@@ -1,0 +1,207 @@
+// Benchmarks regenerating each table and figure of the paper's evaluation
+// (§7), plus ablation benches for the design choices called out in
+// DESIGN.md. Run with:
+//
+//	go test -bench=. -benchmem
+package qkbfly_test
+
+import (
+	"testing"
+
+	"qkbfly"
+	"qkbfly/internal/corpus"
+	"qkbfly/internal/experiments"
+)
+
+var benchEnv *experiments.Env
+
+func getBenchEnv(b *testing.B) *experiments.Env {
+	b.Helper()
+	if benchEnv == nil {
+		benchEnv = experiments.NewEnv(corpus.SmallConfig(), 2)
+	}
+	return benchEnv
+}
+
+// BenchmarkTable3FactExtraction regenerates the Table 3 comparison
+// (DEFIE, QKBfly, QKBfly-pipeline, QKBfly-noun on fact extraction).
+func BenchmarkTable3FactExtraction(b *testing.B) {
+	env := getBenchEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		experiments.RunTable3And4(env, 15, 80)
+	}
+}
+
+// BenchmarkTable4EntityLinking isolates the NED measurement of Table 4
+// (it shares the computation with Table 3; this bench runs the joint
+// system only).
+func BenchmarkTable4EntityLinking(b *testing.B) {
+	env := getBenchEnv(b)
+	sys := env.System(qkbfly.Joint, qkbfly.Greedy)
+	docs := corpus.Docs(env.World.WikiDataset(15))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys.BuildKB(docs)
+		docs = corpus.Docs(env.World.WikiDataset(15))
+	}
+}
+
+// BenchmarkTable5OpenIE regenerates the Open IE component comparison.
+func BenchmarkTable5OpenIE(b *testing.B) {
+	env := getBenchEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		experiments.RunTable5(env, 100, 80)
+	}
+}
+
+// BenchmarkTable6GraphAlgorithms regenerates the greedy-vs-ILP comparison.
+func BenchmarkTable6GraphAlgorithms(b *testing.B) {
+	env := getBenchEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		experiments.RunTable6(env, 8, 1, 2, 80)
+	}
+}
+
+// BenchmarkFigure5SpouseExtraction regenerates the Table 7 / Figure 5
+// spouse-extraction comparison against the DeepDive-style extractor.
+func BenchmarkFigure5SpouseExtraction(b *testing.B) {
+	env := getBenchEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		experiments.RunSpouse(env, 400, 20, []int{5, 10, 25})
+	}
+}
+
+// BenchmarkTable9QA regenerates the ad-hoc QA evaluation.
+func BenchmarkTable9QA(b *testing.B) {
+	env := getBenchEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		experiments.RunTable9(env, 25)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Component benchmarks: the per-document cost the paper reports in
+// Tables 3 and 6.
+// ---------------------------------------------------------------------------
+
+// BenchmarkBuildKBPerDocumentGreedy measures the full three-stage pipeline
+// per document with the greedy graph algorithm.
+func BenchmarkBuildKBPerDocumentGreedy(b *testing.B) {
+	env := getBenchEnv(b)
+	sys := env.System(qkbfly.Joint, qkbfly.Greedy)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		docs := corpus.Docs(env.World.WikiDataset(1))
+		b.StartTimer()
+		sys.BuildKB(docs)
+	}
+}
+
+// BenchmarkBuildKBPerDocumentILP measures the same pipeline with the exact
+// ILP (Appendix A) — the slow path of Table 6.
+func BenchmarkBuildKBPerDocumentILP(b *testing.B) {
+	env := getBenchEnv(b)
+	sys := env.System(qkbfly.Joint, qkbfly.ILP)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		docs := corpus.Docs(env.World.WikiDataset(1))
+		b.StartTimer()
+		sys.BuildKB(docs)
+	}
+}
+
+// BenchmarkBuildKBWikiaGreedy / ...ILP: long fiction pages, where the
+// runtime gap between the greedy algorithm and exact inference is widest
+// (Table 6's Wikia rows).
+func BenchmarkBuildKBWikiaGreedy(b *testing.B) {
+	env := getBenchEnv(b)
+	sys := env.System(qkbfly.Joint, qkbfly.Greedy)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		docs := corpus.Docs(env.World.WikiaDataset(2))
+		b.StartTimer()
+		sys.BuildKB(docs)
+	}
+}
+
+func BenchmarkBuildKBWikiaILP(b *testing.B) {
+	env := getBenchEnv(b)
+	sys := env.System(qkbfly.Joint, qkbfly.ILP)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		docs := corpus.Docs(env.World.WikiaDataset(2))
+		b.StartTimer()
+		sys.BuildKB(docs)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Ablation benches (DESIGN.md §5)
+// ---------------------------------------------------------------------------
+
+// BenchmarkAblationPipelineMode: three separate stages instead of joint
+// inference (the QKBfly-pipeline configuration).
+func BenchmarkAblationPipelineMode(b *testing.B) {
+	env := getBenchEnv(b)
+	sys := env.System(qkbfly.Pipeline, qkbfly.Greedy)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		docs := corpus.Docs(env.World.WikiDataset(5))
+		b.StartTimer()
+		sys.BuildKB(docs)
+	}
+}
+
+// BenchmarkAblationNounOnly: no co-reference resolution.
+func BenchmarkAblationNounOnly(b *testing.B) {
+	env := getBenchEnv(b)
+	sys := env.System(qkbfly.NounOnly, qkbfly.Greedy)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		docs := corpus.Docs(env.World.WikiDataset(5))
+		b.StartTimer()
+		sys.BuildKB(docs)
+	}
+}
+
+// BenchmarkAblationTauSweep: the cost of distilling facts at different
+// confidence thresholds (the recall/precision knob of §2.1).
+func BenchmarkAblationTauSweep(b *testing.B) {
+	env := getBenchEnv(b)
+	sys := env.System(qkbfly.Joint, qkbfly.Greedy)
+	kb, _ := sys.BuildKB(corpus.Docs(env.World.WikiDataset(10)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, tau := range []float64{0.0, 0.25, 0.5, 0.75, 0.9} {
+			cfg := qkbfly.DefaultConfig()
+			cfg.Tau = tau
+			s := qkbfly.New(qkbfly.Resources{
+				Repo: env.World.Repo, Patterns: env.World.Patterns, Stats: env.Stats,
+			}, cfg)
+			s.FilterTau(kb)
+		}
+	}
+}
+
+// BenchmarkStatisticsBuild: the one-time background-statistics pass over
+// the corpus (priors, context vectors, type signatures).
+func BenchmarkStatisticsBuild(b *testing.B) {
+	env := getBenchEnv(b)
+	_ = env
+	w := corpus.NewWorld(corpus.SmallConfig())
+	for i := 0; i < b.N; i++ {
+		experiments.NewEnv(corpus.SmallConfig(), 1)
+	}
+	_ = w
+}

@@ -1,0 +1,55 @@
+// Newsroom: the journalist workflow the paper motivates (§1, §6) — monitor
+// emerging events, build a KB over fresh news stories, and surface facts
+// about entities that no static knowledge base knows yet.
+package main
+
+import (
+	"fmt"
+
+	"qkbfly"
+	"qkbfly/internal/corpus"
+	"qkbfly/internal/nlp/clause"
+	"qkbfly/internal/nlp/depparse"
+	"qkbfly/internal/search"
+	"qkbfly/internal/stats"
+)
+
+func main() {
+	world := corpus.NewWorld(corpus.SmallConfig())
+	background := world.BackgroundCorpus()
+	pipe := clause.NewPipeline(world.Repo, depparse.Malt)
+	st := stats.Build(corpus.Docs(background), world.Repo, pipe)
+
+	// The index holds the news stream (three stories per event).
+	news := world.NewsDataset(3)
+	index := search.New(corpus.Docs(append(background, news...)))
+
+	sys := qkbfly.New(qkbfly.Resources{
+		Repo: world.Repo, Patterns: world.Patterns, Stats: st, Index: index,
+	}, qkbfly.DefaultConfig())
+
+	// A journalist scans the emerging events and queries each one.
+	for i := range world.Events {
+		ev := &world.Events[i]
+		if i >= 5 {
+			break
+		}
+		query := ev.Queries[0]
+		kb, docs, _ := sys.BuildKBForQuery(query, "news", 5)
+		fmt.Printf("== event %d (%s): query %q -> %d stories, %d facts\n",
+			ev.ID, ev.Kind, query, len(docs), kb.Len())
+		// Highlight the up-to-date knowledge: facts involving emerging
+		// entities, which a static KB cannot contain.
+		for _, f := range kb.Facts() {
+			emergingSubject := kb.Entity(f.Subject.EntityID) != nil &&
+				kb.Entity(f.Subject.EntityID).Emerging
+			if emergingSubject {
+				fmt.Printf("   EMERGING %s\n", f.String())
+				continue
+			}
+			if f.Confidence >= 0.5 {
+				fmt.Printf("   %.2f %s\n", f.Confidence, f.String())
+			}
+		}
+	}
+}

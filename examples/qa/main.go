@@ -1,0 +1,50 @@
+// QA: ad-hoc question answering on emerging topics (§7.4, Appendix B).
+// Questions about events are answered from a KB built on the fly at
+// question time — no pre-existing fact repository is consulted.
+package main
+
+import (
+	"fmt"
+
+	"qkbfly"
+	"qkbfly/internal/corpus"
+	"qkbfly/internal/experiments"
+	"qkbfly/internal/qa"
+)
+
+func main() {
+	env := experiments.NewEnv(corpus.SmallConfig(), 3)
+
+	// Train the answer classifier on WebQuestions-style questions
+	// generated from background facts (Appendix B, "Classifier Training").
+	sys := env.System(qkbfly.Joint, qkbfly.Greedy)
+	base := &qa.System{QKB: sys, Repo: env.World.Repo, Index: env.Index, NewsSize: 5}
+	base.Model = experiments.TrainQAModel(env, base, 40)
+
+	bench := env.World.QABenchmark()
+	correct, asked := 0, 0
+	for i, q := range bench {
+		if i >= 8 {
+			break
+		}
+		asked++
+		answers := base.Answer(q.Text)
+		ok := false
+		for _, a := range answers {
+			for _, g := range q.Gold {
+				if env.MatchAnswer(g, a) {
+					ok = true
+				}
+			}
+		}
+		status := "MISS"
+		if ok {
+			status = "HIT "
+			correct++
+		}
+		fmt.Printf("%s Q: %s\n", status, q.Text)
+		fmt.Printf("     gold: %v\n", q.Gold)
+		fmt.Printf("     answers: %v\n\n", answers)
+	}
+	fmt.Printf("%d/%d answered correctly\n", correct, asked)
+}

@@ -1,0 +1,72 @@
+// Package defie implements the DEFIE baseline [Bovi et al., TACL 2015]
+// used throughout §7: a two-stage pipeline of Open IE followed by
+// Babelfy-style named-entity disambiguation. Compared to QKBfly:
+//
+//   - it yields triples only (no higher-arity facts);
+//   - relational predicates are NOT canonicalized (surface patterns);
+//   - NED is graph-based with coherence (Babelfy's densest-subgraph
+//     heuristic) but has no type-signature feature and no pronoun
+//     handling.
+package defie
+
+import (
+	"qkbfly/internal/canon"
+	"qkbfly/internal/densify"
+	"qkbfly/internal/graph"
+	"qkbfly/internal/kb/entityrepo"
+	"qkbfly/internal/kb/patterns"
+	"qkbfly/internal/kb/store"
+	"qkbfly/internal/nlp"
+	"qkbfly/internal/nlp/clause"
+	"qkbfly/internal/nlp/depparse"
+	"qkbfly/internal/stats"
+)
+
+// System is a configured DEFIE instance.
+type System struct {
+	repo *entityrepo.Repo
+	st   *stats.Stats
+	pipe *clause.Pipeline
+}
+
+// New assembles DEFIE over the same background repositories as QKBfly.
+func New(repo *entityrepo.Repo, st *stats.Stats) *System {
+	return &System{repo: repo, st: st, pipe: clause.NewPipeline(repo, depparse.Malt)}
+}
+
+// BuildKB runs the DEFIE pipeline over the documents.
+func (s *System) BuildKB(docs []*nlp.Document) *store.KB {
+	kb := store.New()
+	// Empty pattern repository: predicates stay surface forms.
+	emptyPatterns := patterns.New(nil)
+	for _, doc := range docs {
+		clausesBySent := s.pipe.AnnotateDocument(doc)
+		builder := graph.NewBuilder(s.repo)
+		builder.IncludePronouns = false // Babelfy does not consider pronouns
+		builder.IncludeNPSameAs = false // ... and performs no mention clustering
+		builder.LooseCandidates = true  // ... and identifies candidates loosely
+		g := builder.Build(doc, clausesBySent)
+
+		// Babelfy-style NED: joint densest-subgraph with coherence but no
+		// type signatures.
+		params := densify.DefaultParams()
+		params.UseTypeSignatures = false
+		scorer := densify.NewScorer(s.st, s.repo, params, doc)
+		res := densify.Densify(g, scorer)
+
+		c := canon.New(emptyPatterns, s.repo)
+		c.Populate(kb, doc, g, res)
+	}
+	// Truncate to triples: DEFIE produces binary extractions only.
+	out := store.New()
+	for _, e := range kb.Entities() {
+		out.AddEntity(*e)
+	}
+	for _, f := range kb.Facts() {
+		if len(f.Objects) > 1 {
+			f.Objects = f.Objects[:1]
+		}
+		out.AddFact(f)
+	}
+	return out
+}

@@ -1,0 +1,60 @@
+package defie
+
+import (
+	"testing"
+
+	"qkbfly/internal/corpus"
+	"qkbfly/internal/nlp/clause"
+	"qkbfly/internal/nlp/depparse"
+	"qkbfly/internal/stats"
+)
+
+func TestDEFIEProducesTriplesOnly(t *testing.T) {
+	w := corpus.NewWorld(corpus.SmallConfig())
+	pipe := clause.NewPipeline(w.Repo, depparse.Malt)
+	st := stats.Build(corpus.Docs(w.BackgroundCorpus()), w.Repo, pipe)
+	d := New(w.Repo, st)
+	kb := d.BuildKB(corpus.Docs(w.WikiDataset(10)))
+	if kb.Len() == 0 {
+		t.Fatal("DEFIE extracted nothing")
+	}
+	for _, f := range kb.Facts() {
+		if f.Arity() > 2 {
+			t.Errorf("DEFIE emitted a higher-arity fact: %s", f.String())
+		}
+	}
+}
+
+func TestDEFIEPredicatesNotCanonicalized(t *testing.T) {
+	w := corpus.NewWorld(corpus.SmallConfig())
+	pipe := clause.NewPipeline(w.Repo, depparse.Malt)
+	st := stats.Build(corpus.Docs(w.BackgroundCorpus()), w.Repo, pipe)
+	d := New(w.Repo, st)
+	kb := d.BuildKB(corpus.Docs(w.WikiDataset(10)))
+	// No fact may use a canonical synset ID such as "born_in": DEFIE
+	// leaves predicates as surface patterns.
+	for _, f := range kb.Facts() {
+		for _, syn := range w.Patterns.Synsets() {
+			if f.Relation == syn.ID && f.Relation != f.Pattern {
+				t.Errorf("canonicalized predicate %q in DEFIE output", f.Relation)
+			}
+		}
+	}
+}
+
+func TestDEFIELowerYieldThanQKBfly(t *testing.T) {
+	w := corpus.NewWorld(corpus.SmallConfig())
+	pipe := clause.NewPipeline(w.Repo, depparse.Malt)
+	st := stats.Build(corpus.Docs(w.BackgroundCorpus()), w.Repo, pipe)
+	d := New(w.Repo, st)
+	kb := d.BuildKB(corpus.Docs(w.WikiDataset(15)))
+	// DEFIE drops pronoun-subject facts entirely, so its yield must be
+	// well below the number of gold facts realized in the articles.
+	gold := 0
+	for _, gd := range w.WikiDataset(15) {
+		gold += len(gd.FactIDs)
+	}
+	if kb.Len() >= gold {
+		t.Errorf("DEFIE yield %d >= gold realization count %d", kb.Len(), gold)
+	}
+}

@@ -1,0 +1,299 @@
+// Package canon implements stage 3 of QKBfly (§5): on-the-fly KB
+// canonicalization. It merges co-reference node groups into canonical or
+// emerging entities, maps relational paraphrases onto the pattern
+// repository's synsets, assembles binary and higher-arity facts from the
+// clause structure, and populates the KB store.
+package canon
+
+import (
+	"strings"
+
+	"qkbfly/internal/densify"
+	"qkbfly/internal/graph"
+	"qkbfly/internal/kb/entityrepo"
+	"qkbfly/internal/kb/patterns"
+	"qkbfly/internal/kb/store"
+	"qkbfly/internal/nlp"
+	"qkbfly/internal/nlp/clause"
+)
+
+// Canonicalizer holds the repositories used during canonicalization.
+type Canonicalizer struct {
+	Patterns *patterns.Repo
+	Repo     *entityrepo.Repo
+	// NewEntityThreshold: assignments below this confidence are treated as
+	// out-of-KB names and become emerging entities (§5).
+	NewEntityThreshold float64
+}
+
+// New returns a Canonicalizer with the default threshold.
+func New(p *patterns.Repo, r *entityrepo.Repo) *Canonicalizer {
+	return &Canonicalizer{Patterns: p, Repo: r, NewEntityThreshold: 0.10}
+}
+
+// nodeValue is the resolved value of a noun-phrase/pronoun node.
+type nodeValue struct {
+	value      store.Value
+	confidence float64
+	types      []string
+	resolved   bool
+}
+
+// Populate canonicalizes one document's densified graph into the KB.
+func (c *Canonicalizer) Populate(kb *store.KB, doc *nlp.Document, g *graph.Graph, res *densify.Result) {
+	values := c.resolveNodes(kb, doc, g, res)
+
+	// Facts from clause nodes: subject plus all arguments that depend on
+	// the same clause node merge into one (possibly higher-arity) fact.
+	for _, n := range g.Nodes {
+		if n.Kind != graph.ClauseNode || n.Clause == nil {
+			continue
+		}
+		c.clauseFact(kb, doc, g, n, values)
+	}
+	// Standalone binary facts from heuristic relation edges (possessives
+	// and "is the <noun> of" complements).
+	for _, e := range g.Edges {
+		if e.Kind != graph.RelationEdge || !e.Aux || e.Removed {
+			continue
+		}
+		sv, ok1 := values[e.From]
+		ov, ok2 := values[e.To]
+		if !ok1 || !ok2 || !sv.resolved || !ov.resolved {
+			continue
+		}
+		rel, _ := c.Patterns.Canonicalize(e.Label, sv.types, ov.types)
+		kb.AddFact(store.Fact{
+			Subject: sv.value, Relation: rel, Pattern: e.Label,
+			Objects:    []store.Value{ov.value},
+			Confidence: minConf(sv.confidence, ov.confidence),
+			Source:     store.Provenance{DocID: doc.ID, SentIndex: g.Nodes[e.From].SentIndex},
+		})
+	}
+}
+
+// resolveNodes turns every NP/pronoun node into a store.Value, creating
+// entity records (linked and emerging) along the way.
+func (c *Canonicalizer) resolveNodes(kb *store.KB, doc *nlp.Document, g *graph.Graph, res *densify.Result) map[int]nodeValue {
+	values := map[int]nodeValue{}
+
+	// Union-find over alive NP-NP sameAs edges.
+	parent := map[int]int{}
+	var find func(int) int
+	find = func(x int) int {
+		if parent[x] != x {
+			parent[x] = find(parent[x])
+		}
+		return parent[x]
+	}
+	for _, n := range g.Nodes {
+		if n.Kind == graph.NounPhraseNode {
+			parent[n.ID] = n.ID
+		}
+	}
+	for _, e := range g.Edges {
+		if e.Kind != graph.SameAsEdge || e.Removed {
+			continue
+		}
+		if g.Nodes[e.From].Kind != graph.NounPhraseNode || g.Nodes[e.To].Kind != graph.NounPhraseNode {
+			continue
+		}
+		ra, rb := find(e.From), find(e.To)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+	groups := map[int][]int{}
+	for _, n := range g.Nodes {
+		if n.Kind == graph.NounPhraseNode {
+			groups[find(n.ID)] = append(groups[find(n.ID)], n.ID)
+		}
+	}
+
+	for _, grp := range groups {
+		c.resolveGroup(kb, g, grp, res, values)
+	}
+	// Pronouns take their antecedent's value.
+	for _, n := range g.Nodes {
+		if n.Kind != graph.PronounNode {
+			continue
+		}
+		if ant, ok := res.Antecedent[n.ID]; ok && ant >= 0 {
+			if v, ok2 := values[ant]; ok2 {
+				values[n.ID] = v
+			}
+		}
+	}
+	return values
+}
+
+// resolveGroup decides whether a sameAs group is a repository entity or an
+// emerging entity and registers it.
+func (c *Canonicalizer) resolveGroup(kb *store.KB, g *graph.Graph, grp []int, res *densify.Result, values map[int]nodeValue) {
+	// Collect mention surfaces and the (single) assignment.
+	var mentions []string
+	entityID := ""
+	conf := 1.0
+	for _, id := range grp {
+		n := g.Nodes[id]
+		if n.Text != "" {
+			mentions = append(mentions, n.Text)
+		}
+		if e, ok := res.Assignment[id]; ok && e != "" {
+			entityID = e
+			if cf, ok2 := res.Confidence[id]; ok2 && cf < conf {
+				conf = cf
+			}
+		}
+	}
+
+	// TIME nodes are literals, never entities.
+	if len(grp) == 1 {
+		n := g.Nodes[grp[0]]
+		if n.NER == nlp.NERTime {
+			values[n.ID] = nodeValue{
+				value:      store.Value{Literal: n.TimeValue, IsTime: true},
+				confidence: 1, types: []string{"TIME"}, resolved: true,
+			}
+			return
+		}
+	}
+
+	if entityID != "" && conf >= c.NewEntityThreshold {
+		// Linked to the repository.
+		e := c.Repo.Get(entityID)
+		types := entityrepo.TypeClosure(e.Types)
+		kb.AddEntity(store.EntityRecord{
+			ID: entityID, Name: e.Name, Mentions: mentions, Types: e.Types,
+		})
+		for _, id := range grp {
+			values[id] = nodeValue{
+				value:      store.Value{EntityID: entityID},
+				confidence: conf, types: types, resolved: true,
+			}
+		}
+		return
+	}
+
+	// Out-of-KB: named mentions become an emerging entity; unnamed common
+	// nouns ("actor", "$100,000") stay literals.
+	named := false
+	var nerType nlp.NERType = nlp.NERNone
+	for _, id := range grp {
+		n := g.Nodes[id]
+		if n.NER != nlp.NERNone && n.NER != nlp.NERTime {
+			named = true
+			nerType = n.NER
+		}
+	}
+	if !named {
+		for _, id := range grp {
+			n := g.Nodes[id]
+			values[id] = nodeValue{
+				value:      store.Value{Literal: n.Text},
+				confidence: 1, types: []string{"LITERAL"}, resolved: n.Text != "",
+			}
+		}
+		return
+	}
+	name := longest(mentions)
+	newID := "new:" + strings.ReplaceAll(name, " ", "_")
+	types := nerTypes(nerType)
+	kb.AddEntity(store.EntityRecord{
+		ID: newID, Name: name, Mentions: mentions, Types: types, Emerging: true,
+	})
+	for _, id := range grp {
+		values[id] = nodeValue{
+			value:      store.Value{EntityID: newID},
+			confidence: 1, types: types, resolved: true,
+		}
+	}
+}
+
+// clauseFact assembles the (possibly higher-arity) fact of one clause.
+func (c *Canonicalizer) clauseFact(kb *store.KB, doc *nlp.Document, g *graph.Graph, cn *graph.Node, values map[int]nodeValue) {
+	cl := cn.Clause
+	if cl.Subject == nil || cl.Negated {
+		return
+	}
+	si := cn.SentIndex
+	subjNode := g.NPAt(si, cl.Subject.Head)
+	if subjNode == nil {
+		return
+	}
+	sv, ok := values[subjNode.ID]
+	if !ok || !sv.resolved || !sv.value.IsEntity() {
+		return // unresolved pronoun subjects and literal subjects are dropped
+	}
+	sent := &doc.Sentences[si]
+	var objs []store.Value
+	var objTypes []string
+	conf := sv.confidence
+	for _, arg := range cl.Args() {
+		if arg.Role == clause.RoleSubject {
+			continue
+		}
+		// A complement that carries a prepositional object ("is the son
+		// OF X", "is a member OF Y") was already emitted as a standalone
+		// relation via the heuristic edge; the bare complement noun would
+		// be a junk fact ("<X, be, son>").
+		if arg.Role == clause.RoleComplement && len(sent.ChildrenByRel(arg.Head, nlp.DepPrep)) > 0 {
+			continue
+		}
+		an := g.NPAt(si, arg.Head)
+		if an == nil {
+			continue
+		}
+		av, ok := values[an.ID]
+		if !ok || !av.resolved {
+			continue
+		}
+		objs = append(objs, av.value)
+		if av.value.IsEntity() && objTypes == nil {
+			objTypes = av.types
+		}
+		if av.value.IsEntity() {
+			conf = minConf(conf, av.confidence)
+		}
+	}
+	if len(objs) == 0 {
+		return
+	}
+	rel, _ := c.Patterns.Canonicalize(cl.Pattern, sv.types, objTypes)
+	kb.AddFact(store.Fact{
+		Subject: sv.value, Relation: rel, Pattern: cl.Pattern,
+		Objects: objs, Confidence: conf,
+		Source: store.Provenance{DocID: doc.ID, SentIndex: si},
+	})
+}
+
+func minConf(a, b float64) float64 {
+	if b < a {
+		return b
+	}
+	return a
+}
+
+func longest(xs []string) string {
+	best := ""
+	for _, x := range xs {
+		if len(x) > len(best) {
+			best = x
+		}
+	}
+	return best
+}
+
+// nerTypes maps a coarse NER type onto the fine-grained type system.
+func nerTypes(t nlp.NERType) []string {
+	switch t {
+	case nlp.NERPerson:
+		return []string{entityrepo.TypePerson}
+	case nlp.NEROrganization:
+		return []string{entityrepo.TypeOrganization}
+	case nlp.NERLocation:
+		return []string{entityrepo.TypeLocation}
+	default:
+		return []string{"MISC"}
+	}
+}

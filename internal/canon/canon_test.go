@@ -1,0 +1,177 @@
+package canon
+
+import (
+	"strings"
+	"testing"
+
+	"qkbfly/internal/corpus"
+	"qkbfly/internal/densify"
+	"qkbfly/internal/graph"
+	"qkbfly/internal/kb/store"
+	"qkbfly/internal/nlp"
+	"qkbfly/internal/nlp/clause"
+	"qkbfly/internal/nlp/depparse"
+	"qkbfly/internal/stats"
+)
+
+type fixture struct {
+	world *corpus.World
+	stats *stats.Stats
+	pipe  *clause.Pipeline
+}
+
+var fx *fixture
+
+func getFixture(t *testing.T) *fixture {
+	t.Helper()
+	if fx == nil {
+		w := corpus.NewWorld(corpus.SmallConfig())
+		pipe := clause.NewPipeline(w.Repo, depparse.Malt)
+		st := stats.Build(corpus.Docs(w.BackgroundCorpus()), w.Repo, pipe)
+		fx = &fixture{world: w, stats: st, pipe: pipe}
+	}
+	return fx
+}
+
+func (f *fixture) populate(t *testing.T, text string) *store.KB {
+	t.Helper()
+	doc := &nlp.Document{ID: "test", Text: text}
+	cls := f.pipe.AnnotateDocument(doc)
+	g := graph.NewBuilder(f.world.Repo).Build(doc, cls)
+	scorer := densify.NewScorer(f.stats, f.world.Repo, densify.DefaultParams(), doc)
+	res := densify.Densify(g, scorer)
+	kb := store.New()
+	New(f.world.Patterns, f.world.Repo).Populate(kb, doc, g, res)
+	return kb
+}
+
+func TestBinaryFact(t *testing.T) {
+	f := getFixture(t)
+	id := f.world.EntitiesOfType("ACTOR")[0]
+	name := f.world.Entity(id).Name
+	kb := f.populate(t, name+" is an actor.")
+	facts := kb.Search(store.Query{Predicate: "is_a"})
+	if len(facts) != 1 {
+		t.Fatalf("is_a facts = %d", len(facts))
+	}
+	if facts[0].Subject.EntityID != id {
+		t.Errorf("subject = %s", facts[0].Subject.EntityID)
+	}
+	if facts[0].Objects[0].Literal != "actor" {
+		t.Errorf("object = %v", facts[0].Objects[0])
+	}
+}
+
+func TestHigherArityFact(t *testing.T) {
+	f := getFixture(t)
+	actors := f.world.EntitiesOfType("ACTOR")
+	name := f.world.Entity(actors[0]).Name
+	films := f.world.EntitiesOfType("FILM")
+	film := f.world.Entity(films[0]).Name
+	kb := f.populate(t, name+" played Captain Veyron in "+film+".")
+	facts := kb.Search(store.Query{Predicate: "play_in"})
+	if len(facts) != 1 {
+		t.Fatalf("play_in facts = %v", kb.Facts())
+	}
+	if facts[0].Arity() != 3 {
+		t.Errorf("arity = %d, want 3 (ternary)", facts[0].Arity())
+	}
+}
+
+func TestEmergingEntity(t *testing.T) {
+	f := getFixture(t)
+	kb := f.populate(t, "Zinnia Quellwater is an actress.")
+	found := false
+	for _, e := range kb.Entities() {
+		if e.Emerging && strings.Contains(e.ID, "Zinnia") {
+			found = true
+			if len(e.Mentions) == 0 {
+				t.Error("emerging entity has no mentions")
+			}
+		}
+	}
+	if !found {
+		t.Errorf("no emerging entity: %v", kb.Entities())
+	}
+}
+
+func TestPronounSubjectResolvedThroughAntecedent(t *testing.T) {
+	f := getFixture(t)
+	id := f.world.EntitiesOfType("ACTOR")[0]
+	name := f.world.Entity(id).Name
+	kb := f.populate(t, name+" is an actor. He supports the Clear Water Foundation.")
+	facts := kb.Search(store.Query{Predicate: "support"})
+	if len(facts) != 1 {
+		t.Fatalf("supports facts = %v", kb.Facts())
+	}
+	if facts[0].Subject.EntityID != id {
+		t.Errorf("pronoun fact subject = %s, want %s", facts[0].Subject.EntityID, id)
+	}
+}
+
+func TestTimeLiteral(t *testing.T) {
+	f := getFixture(t)
+	id := f.world.EntitiesOfType("PERSON")[0]
+	name := f.world.Entity(id).Name
+	kb := f.populate(t, name+" was born in Quilholm on May 3, 1970.")
+	for _, fact := range kb.Facts() {
+		for _, o := range fact.Objects {
+			if o.IsTime && o.Literal != "1970-05-03" {
+				t.Errorf("time literal = %q", o.Literal)
+			}
+		}
+	}
+}
+
+func TestNegatedClauseDropped(t *testing.T) {
+	f := getFixture(t)
+	id := f.world.EntitiesOfType("PERSON")[0]
+	name := f.world.Entity(id).Name
+	kb := f.populate(t, name+" did not marry anyone.")
+	if facts := kb.Search(store.Query{Predicate: "marr"}); len(facts) != 0 {
+		t.Errorf("negated clause produced facts: %v", facts)
+	}
+}
+
+func TestComplementWithPrepSuppressed(t *testing.T) {
+	f := getFixture(t)
+	id := f.world.EntitiesOfType("PERSON")[0]
+	e := f.world.Entity(id)
+	kb := f.populate(t, e.Name+" is the son of Quentin Veyblatt.")
+	// The junk fact <X, be, "son"> must not appear.
+	for _, fact := range kb.Facts() {
+		for _, o := range fact.Objects {
+			if o.Literal == "son" {
+				t.Errorf("junk complement fact: %s", fact.String())
+			}
+		}
+	}
+	// The born_to fact from the "be son of" edge must appear.
+	if facts := kb.Search(store.Query{Predicate: "born_to"}); len(facts) != 1 {
+		t.Errorf("born_to facts = %v", kb.Facts())
+	}
+}
+
+func TestConfidenceIsMinOverArgs(t *testing.T) {
+	f := getFixture(t)
+	id := f.world.EntitiesOfType("ACTOR")[0]
+	name := f.world.Entity(id).Name
+	kb := f.populate(t, name+" is an actor.")
+	for _, fact := range kb.Facts() {
+		if fact.Confidence <= 0 || fact.Confidence > 1 {
+			t.Errorf("confidence %f out of range: %s", fact.Confidence, fact.String())
+		}
+	}
+}
+
+func TestProvenance(t *testing.T) {
+	f := getFixture(t)
+	id := f.world.EntitiesOfType("ACTOR")[0]
+	name := f.world.Entity(id).Name
+	kb := f.populate(t, name+" is an actor. He won the Aurum Award.")
+	for _, fact := range kb.Facts() {
+		if fact.Source.DocID != "test" {
+			t.Errorf("provenance doc = %q", fact.Source.DocID)
+		}
+	}
+}

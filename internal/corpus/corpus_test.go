@@ -1,0 +1,233 @@
+package corpus
+
+import (
+	"strings"
+	"testing"
+
+	"qkbfly/internal/kb/entityrepo"
+)
+
+func smallWorld(t *testing.T) *World {
+	t.Helper()
+	return NewWorld(SmallConfig())
+}
+
+func TestWorldDeterminism(t *testing.T) {
+	a := NewWorld(SmallConfig())
+	b := NewWorld(SmallConfig())
+	if len(a.Order) != len(b.Order) || len(a.Facts) != len(b.Facts) {
+		t.Fatalf("worlds differ: %d/%d entities, %d/%d facts",
+			len(a.Order), len(b.Order), len(a.Facts), len(b.Facts))
+	}
+	for i := range a.Order {
+		if a.Order[i] != b.Order[i] {
+			t.Fatalf("entity order differs at %d: %s vs %s", i, a.Order[i], b.Order[i])
+		}
+	}
+	da := a.Article(a.Order[len(a.Order)-1], true)
+	db := b.Article(b.Order[len(b.Order)-1], true)
+	if da.Doc.Text != db.Doc.Text {
+		t.Error("article realization not deterministic")
+	}
+}
+
+func TestArticleRegenerationIdentical(t *testing.T) {
+	w := smallWorld(t)
+	id := w.EntitiesOfType(entityrepo.TypeActor)[0]
+	d1 := w.Article(id, true)
+	d2 := w.Article(id, true)
+	if d1.Doc.Text != d2.Doc.Text {
+		t.Error("regenerating the same article changed its text")
+	}
+	if len(d1.Doc.Anchors) != len(d2.Doc.Anchors) {
+		t.Error("anchor counts differ between regenerations")
+	}
+}
+
+func TestFactsReferenceExistingEntities(t *testing.T) {
+	w := smallWorld(t)
+	for _, f := range w.Facts {
+		if w.Entity(f.Subject) == nil {
+			t.Fatalf("fact %d subject %q unknown", f.ID, f.Subject)
+		}
+		for _, o := range f.Objects {
+			if o.IsEntity() && w.Entity(o.EntityID) == nil {
+				t.Fatalf("fact %d object %q unknown", f.ID, o.EntityID)
+			}
+		}
+	}
+}
+
+func TestRepoExcludesEmerging(t *testing.T) {
+	w := smallWorld(t)
+	emerging := 0
+	for _, id := range w.Order {
+		e := w.Entity(id)
+		if e.Emerging {
+			emerging++
+			if w.Repo.Get(id) != nil {
+				t.Errorf("emerging entity %s in repository", id)
+			}
+		} else if w.Repo.Get(id) == nil {
+			t.Errorf("non-emerging entity %s missing from repository", id)
+		}
+	}
+	if emerging == 0 {
+		t.Error("world has no emerging entities")
+	}
+}
+
+func TestAnchorsAlign(t *testing.T) {
+	w := smallWorld(t)
+	docs := w.BackgroundCorpus()
+	total := 0
+	for _, gd := range docs {
+		for _, a := range gd.Doc.Anchors {
+			total++
+			sent := &gd.Doc.Sentences[a.SentIndex]
+			if a.Start < 0 || a.End > len(sent.Tokens) || a.Start >= a.End {
+				t.Fatalf("doc %s: bad anchor span [%d,%d)", gd.Doc.ID, a.Start, a.End)
+			}
+			if w.Entity(a.EntityID) == nil {
+				t.Fatalf("anchor to unknown entity %s", a.EntityID)
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("no anchors in the background corpus")
+	}
+}
+
+func TestGoldAlignment(t *testing.T) {
+	w := smallWorld(t)
+	id := w.EntitiesOfType(entityrepo.TypeActor)[0]
+	gd := w.Article(id, false)
+	if len(gd.FactIDs) == 0 {
+		t.Fatal("article expresses no facts")
+	}
+	if len(gd.SentFacts) > len(gd.Doc.Sentences) {
+		t.Errorf("SentFacts (%d) longer than sentences (%d)", len(gd.SentFacts), len(gd.Doc.Sentences))
+	}
+	for _, fs := range gd.SentFacts {
+		for _, fid := range fs {
+			if fid < 0 || fid >= len(w.Facts) {
+				t.Fatalf("gold fact ID %d out of range", fid)
+			}
+		}
+	}
+}
+
+func TestWikiaEmergingRate(t *testing.T) {
+	w := smallWorld(t)
+	docs := w.WikiaDataset(w.Config.WikiaPages)
+	if len(docs) == 0 {
+		t.Fatal("no wikia pages")
+	}
+	// Characters referenced by episode facts should be mostly emerging.
+	emerging, total := 0, 0
+	for _, ep := range w.Episodes {
+		for _, fid := range ep.FactIDs {
+			subj := w.Entity(w.Facts[fid].Subject)
+			total++
+			if subj.Emerging {
+				emerging++
+			}
+		}
+	}
+	if total == 0 || float64(emerging)/float64(total) < 0.5 {
+		t.Errorf("wikia emerging rate = %d/%d, want > 0.5", emerging, total)
+	}
+}
+
+func TestNewsArticlesCoverEventFacts(t *testing.T) {
+	w := smallWorld(t)
+	for i := range w.Events {
+		ev := &w.Events[i]
+		gd := w.NewsArticle(ev, 0)
+		covered := map[int]bool{}
+		for _, fid := range gd.FactIDs {
+			covered[fid] = true
+		}
+		for _, fid := range ev.FactIDs {
+			if !covered[fid] {
+				t.Errorf("event %d (%s): fact %d not realized", ev.ID, ev.Kind, fid)
+			}
+		}
+		if gd.Doc.Source != "news" {
+			t.Errorf("news source = %q", gd.Doc.Source)
+		}
+	}
+}
+
+func TestQABenchmark(t *testing.T) {
+	w := smallWorld(t)
+	qs := w.QABenchmark()
+	if len(qs) == 0 {
+		t.Fatal("empty QA benchmark")
+	}
+	for _, q := range qs {
+		if q.Text == "" || len(q.Gold) == 0 {
+			t.Errorf("bad question %+v", q)
+		}
+		if !strings.HasSuffix(q.Text, "?") {
+			t.Errorf("question without question mark: %q", q.Text)
+		}
+	}
+}
+
+func TestLiveArticleIncludesEventFacts(t *testing.T) {
+	w := smallWorld(t)
+	// Find an event participant.
+	var pid string
+	for _, ev := range w.Events {
+		if len(ev.FactIDs) > 0 {
+			pid = w.Facts[ev.FactIDs[0]].Subject
+			break
+		}
+	}
+	if pid == "" {
+		t.Skip("no events")
+	}
+	static := w.Article(pid, false)
+	live := w.LiveArticle(pid)
+	hasEvent := func(gd *GenDoc) bool {
+		for _, fid := range gd.FactIDs {
+			if w.Facts[fid].EventID >= 0 {
+				return true
+			}
+		}
+		return false
+	}
+	if hasEvent(static) {
+		t.Error("background article leaks event facts")
+	}
+	if !hasEvent(live) {
+		t.Error("live article missing event facts")
+	}
+}
+
+func TestProfessionAndTypeNouns(t *testing.T) {
+	w := smallWorld(t)
+	for _, id := range w.Order {
+		e := w.Entity(id)
+		if entityrepo.Subsumes(entityrepo.TypePerson, e.Type) {
+			if ProfessionNoun(e) == "" {
+				t.Errorf("no profession noun for %s (%s)", id, e.Type)
+			}
+		} else if TypeNoun(e.Type) == "" {
+			t.Errorf("no type noun for %s (%s)", id, e.Type)
+		}
+	}
+}
+
+func TestEventsHaveQueries(t *testing.T) {
+	w := smallWorld(t)
+	for _, ev := range w.Events {
+		if len(ev.Queries) == 0 {
+			t.Errorf("event %d (%s) has no queries", ev.ID, ev.Kind)
+		}
+		if len(ev.FactIDs) == 0 {
+			t.Errorf("event %d (%s) has no facts", ev.ID, ev.Kind)
+		}
+	}
+}

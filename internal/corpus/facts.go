@@ -1,0 +1,551 @@
+package corpus
+
+import (
+	"fmt"
+
+	"qkbfly/internal/kb/entityrepo"
+	"qkbfly/internal/nlp"
+)
+
+// This file populates the world with ground-truth facts: background facts
+// (known before any event; these form the articles of the background
+// corpus and the static-KB QA baseline) and emerging events with their
+// facts (known only from news text).
+
+var monthNames = []string{"January", "February", "March", "April", "May",
+	"June", "July", "August", "September", "October", "November", "December"}
+
+// randDate returns a (normalized, surface) date pair within [yearLo, yearHi].
+func (w *World) randDate(yearLo, yearHi int) (string, string) {
+	year := yearLo + w.rng.Intn(yearHi-yearLo+1)
+	month := 1 + w.rng.Intn(12)
+	day := 1 + w.rng.Intn(28)
+	norm := fmt.Sprintf("%04d-%02d-%02d", year, month, day)
+	surface := fmt.Sprintf("%s %d, %d", monthNames[month-1], day, year)
+	return norm, surface
+}
+
+func (w *World) randYear(lo, hi int) (string, string) {
+	y := lo + w.rng.Intn(hi-lo+1)
+	return fmt.Sprintf("%d", y), fmt.Sprintf("%d", y)
+}
+
+func (w *World) pickEntity(ids []string) *Entity {
+	return w.Entities[ids[w.rng.Intn(len(ids))]]
+}
+
+func (w *World) generateBackgroundFacts() {
+	people := w.EntitiesOfType(entityrepo.TypePerson)
+	cities := w.EntitiesOfType(entityrepo.TypeCity)
+	films := w.EntitiesOfType(entityrepo.TypeFilm)
+	albums := w.EntitiesOfType(entityrepo.TypeAlbum)
+	series := w.EntitiesOfType(entityrepo.TypeSeries)
+	clubs := w.EntitiesOfType(entityrepo.TypeFootballClub)
+	bands := w.EntitiesOfType(entityrepo.TypeBand)
+	companies := w.EntitiesOfType(entityrepo.TypeCompany)
+	universities := w.EntitiesOfType(entityrepo.TypeUniversity)
+	charities := w.EntitiesOfType(entityrepo.TypeCharity)
+	parties := w.EntitiesOfType(entityrepo.TypeParty)
+	awards := w.EntitiesOfType(entityrepo.TypeAward)
+
+	// Type statements for all non-person entities ("Velford is a city"),
+	// so every article opens with an is_a fact.
+	for _, id := range w.Order {
+		e := w.Entities[id]
+		if entityrepo.Subsumes(entityrepo.TypePerson, e.Type) {
+			continue
+		}
+		w.addFact(id, "is_a", -1, LiteralArg(TypeNoun(e.Type)))
+	}
+
+	// Marriages between consecutive opposite-gender persons; some divorce.
+	var prevSingle *Entity
+	for _, pid := range people {
+		p := w.Entities[pid]
+		// Everyone: a type statement ("X is an actor") and a birthplace.
+		w.addFact(pid, "is_a", -1, LiteralArg(ProfessionNoun(p)))
+		norm, surface := w.randDate(1950, 1995)
+		w.addFact(pid, "born_in", -1, EntityArg(w.pickEntity(cities).ID), TimeArg(norm, surface))
+		// Education for a third of them.
+		if w.rng.Float64() < 0.33 && len(universities) > 0 {
+			w.addFact(pid, "studied_at", -1, EntityArg(w.pickEntity(universities).ID))
+		}
+		// Parent (a fresh low-prominence person, emerging half the time —
+		// the "William Alvin Pitt" long-tail case of Table 1).
+		if w.rng.Float64() < 0.35 {
+			parent := w.makeParent(p)
+			w.addFact(pid, "born_to", -1, EntityArg(parent.ID))
+		}
+		// Marriage chain.
+		if prevSingle != nil && prevSingle.Gender != p.Gender && w.rng.Float64() < 0.6 {
+			mn, ms := w.randDate(1990, 2014)
+			w.addFact(pid, "married_to", -1, EntityArg(prevSingle.ID), TimeArg(mn, ms))
+			if w.rng.Float64() < 0.3 {
+				dn, ds := w.randDate(2005, 2014)
+				w.addFact(pid, "divorced_from", -1, EntityArg(prevSingle.ID), TimeArg(dn, ds))
+			}
+			if w.rng.Float64() < 0.2 {
+				child := w.makeChild(p)
+				an, as := w.randDate(2000, 2014)
+				w.addFact(pid, "adopted", -1, EntityArg(child.ID), TimeArg(an, as))
+			}
+			prevSingle = nil
+		} else if prevSingle == nil {
+			prevSingle = p
+		}
+		// Profession-specific facts.
+		switch p.Type {
+		case entityrepo.TypeActor:
+			n := 1 + w.rng.Intn(3)
+			for k := 0; k < n; k++ {
+				film := w.pickEntity(films)
+				role := w.makeCharacter(film)
+				w.addFact(pid, "play_in", -1, EntityArg(role.ID), EntityArg(film.ID))
+			}
+			if w.rng.Float64() < 0.4 {
+				yn, ys := w.randYear(1995, 2014)
+				w.addFact(pid, "win_award", -1, EntityArg(w.pickEntity(awards).ID), TimeArg(yn, ys))
+			}
+			if w.rng.Float64() < 0.25 && len(charities) > 0 {
+				w.addFact(pid, "supports", -1, EntityArg(w.pickEntity(charities).ID))
+			}
+			if w.rng.Float64() < 0.2 && len(charities) > 0 {
+				amount := fmt.Sprintf("$%d,000", 50+10*w.rng.Intn(95))
+				w.addFact(pid, "donated_to", -1, LiteralArg(amount), EntityArg(w.pickEntity(charities).ID))
+			}
+		case entityrepo.TypeMusician:
+			if len(bands) > 0 && w.rng.Float64() < 0.6 {
+				w.addFact(pid, "member_of", -1, EntityArg(w.pickEntity(bands).ID))
+			}
+			n := 1 + w.rng.Intn(2)
+			for k := 0; k < n; k++ {
+				yn, ys := w.randYear(1990, 2014)
+				w.addFact(pid, "released", -1, EntityArg(w.pickEntity(albums).ID), TimeArg(yn, ys))
+			}
+			if w.rng.Float64() < 0.4 {
+				yn, ys := w.randYear(1995, 2014)
+				giver := w.pickEntity(people)
+				w.addFact(pid, "win_award", -1, EntityArg(w.pickEntity(awards).ID), TimeArg(yn, ys), EntityArg(giver.ID))
+			}
+		case entityrepo.TypeFootballer:
+			club := w.pickEntity(clubs)
+			w.addFact(pid, "plays_for", -1, EntityArg(club.ID))
+			if w.rng.Float64() < 0.5 {
+				goals := fmt.Sprintf("%d goals", 5+w.rng.Intn(40))
+				w.addFact(pid, "scored_for", -1, LiteralArg(goals), EntityArg(club.ID))
+			}
+		case entityrepo.TypePolitician:
+			if len(parties) > 0 {
+				w.addFact(pid, "member_of", -1, EntityArg(w.pickEntity(parties).ID))
+			}
+			if w.rng.Float64() < 0.5 {
+				office := w.pick([]string{"mayor", "senator", "minister", "governor"})
+				city := w.pickEntity(cities)
+				yn, ys := w.randYear(2000, 2014)
+				w.addFact(pid, "elected_as", -1, LiteralArg(office), EntityArg(city.ID), TimeArg(yn, ys))
+			}
+		case entityrepo.TypeBusinessPerson:
+			company := w.pickEntity(companies)
+			yn, ys := w.randYear(1985, 2010)
+			w.addFact(pid, "founded", -1, EntityArg(company.ID), TimeArg(yn, ys))
+			w.addFact(pid, "leads", -1, EntityArg(company.ID))
+		case entityrepo.TypeScientist:
+			if len(universities) > 0 {
+				w.addFact(pid, "works_for", -1, EntityArg(w.pickEntity(universities).ID))
+			}
+			if w.rng.Float64() < 0.5 {
+				yn, ys := w.randYear(1995, 2014)
+				w.addFact(pid, "win_award", -1, EntityArg(w.pickEntity(awards).ID), TimeArg(yn, ys))
+			}
+		case entityrepo.TypeWriter:
+			w.addFact(pid, "wrote", -1, EntityArg(w.pickEntity(films).ID))
+		case entityrepo.TypeDirector:
+			n := 1 + w.rng.Intn(2)
+			for k := 0; k < n; k++ {
+				w.addFact(pid, "directed", -1, EntityArg(w.pickEntity(films).ID))
+			}
+		}
+	}
+	// Company acquisitions.
+	for i := 0; i+1 < len(companies); i += 5 {
+		price := fmt.Sprintf("$%d,000,000", 100+10*w.rng.Intn(400))
+		w.addFact(companies[i], "acquired", -1, EntityArg(companies[i+1]), LiteralArg(price))
+	}
+	_ = series
+}
+
+// makeParent creates a low-prominence parent entity; half are emerging.
+func (w *World) makeParent(child *Entity) *Entity {
+	first := maleFirst[w.rng.Intn(len(maleFirst))]
+	gender := nlp.GenderMale
+	if w.rng.Float64() < 0.5 {
+		first = femaleFirst[w.rng.Intn(len(femaleFirst))]
+		gender = nlp.GenderFemale
+	}
+	last := lastName(child.Name)
+	name := first + " " + last
+	e := &Entity{
+		ID: w.freshID(name), Name: name, Type: entityrepo.TypePerson,
+		Gender: gender, Emerging: w.rng.Float64() < 0.5,
+		Prominence: 0.15, HomeCity: child.HomeCity,
+	}
+	return w.addEntity(e)
+}
+
+// makeChild creates an adopted-child entity (always emerging).
+func (w *World) makeChild(parent *Entity) *Entity {
+	first := maleFirst[w.rng.Intn(len(maleFirst))]
+	gender := nlp.GenderMale
+	if w.rng.Float64() < 0.5 {
+		first = femaleFirst[w.rng.Intn(len(femaleFirst))]
+		gender = nlp.GenderFemale
+	}
+	name := first + " " + lastName(parent.Name)
+	e := &Entity{
+		ID: w.freshID(name), Name: name, Type: entityrepo.TypePerson,
+		Gender: gender, Emerging: true, Prominence: 0.1,
+	}
+	return w.addEntity(e)
+}
+
+// makeCharacter creates a fictional character for a film/series. Characters
+// are mostly emerging — they drive the Wikia dataset's 71% out-of-KB rate.
+func (w *World) makeCharacter(work *Entity) *Entity {
+	name := roleFirst[w.rng.Intn(len(roleFirst))] + " " + roleNames[w.rng.Intn(len(roleNames))]
+	gender := nlp.GenderMale
+	if w.rng.Float64() < 0.4 {
+		gender = nlp.GenderFemale
+	}
+	e := &Entity{
+		ID: w.freshID(name), Name: name, Type: entityrepo.TypeCharacter,
+		Gender: gender, Emerging: w.rng.Float64() < 0.8,
+		Prominence: 0.2, HomeCity: work.ID,
+	}
+	return w.addEntity(e)
+}
+
+// TypeNoun returns the common-noun rendering of a non-person type.
+func TypeNoun(t string) string {
+	switch t {
+	case entityrepo.TypeCity:
+		return "city"
+	case entityrepo.TypeCountry:
+		return "country"
+	case entityrepo.TypeRegion:
+		return "region"
+	case entityrepo.TypeFootballClub:
+		return "football club"
+	case entityrepo.TypeBand:
+		return "band"
+	case entityrepo.TypeCompany:
+		return "company"
+	case entityrepo.TypeUniversity:
+		return "university"
+	case entityrepo.TypeCharity:
+		return "charity"
+	case entityrepo.TypeParty:
+		return "political party"
+	case entityrepo.TypeFilm:
+		return "film"
+	case entityrepo.TypeAlbum:
+		return "album"
+	case entityrepo.TypeSong:
+		return "song"
+	case entityrepo.TypeSeries:
+		return "television series"
+	case entityrepo.TypeAward:
+		return "prize"
+	default:
+		return "entity"
+	}
+}
+
+// ProfessionNoun returns the common-noun rendering of a person's type.
+func ProfessionNoun(e *Entity) string {
+	switch e.Type {
+	case entityrepo.TypeActor:
+		if e.Gender == nlp.GenderFemale {
+			return "actress"
+		}
+		return "actor"
+	case entityrepo.TypeMusician:
+		return "singer"
+	case entityrepo.TypeFootballer:
+		return "footballer"
+	case entityrepo.TypePolitician:
+		return "politician"
+	case entityrepo.TypeBusinessPerson:
+		return "executive"
+	case entityrepo.TypeScientist:
+		return "scientist"
+	case entityrepo.TypeModel:
+		return "model"
+	case entityrepo.TypeWriter:
+		return "author"
+	case entityrepo.TypeDirector:
+		return "director"
+	case entityrepo.TypeCharacter:
+		return "character"
+	default:
+		return "person"
+	}
+}
+
+func lastName(full string) string {
+	i := len(full) - 1
+	for i >= 0 && full[i] != ' ' {
+		i--
+	}
+	return full[i+1:]
+}
+
+// eventKinds and their generators.
+var eventKinds = []string{
+	"divorce", "award", "transfer", "attack", "concert",
+	"shooting", "acquisition", "election", "film_premiere", "charity_gala",
+}
+
+// prominentPeople returns non-emerging persons with a profession type
+// (excluding characters, parents and other long-tail persons).
+func (w *World) prominentPeople() []string {
+	var out []string
+	for _, id := range w.Order {
+		e := w.Entities[id]
+		if e.Emerging {
+			continue
+		}
+		for _, p := range professions {
+			if e.Type == p {
+				out = append(out, id)
+				break
+			}
+		}
+	}
+	return out
+}
+
+func (w *World) generateEvents() {
+	people := w.prominentPeople()
+	clubs := w.EntitiesOfType(entityrepo.TypeFootballClub)
+	cities := w.EntitiesOfType(entityrepo.TypeCity)
+	bands := w.EntitiesOfType(entityrepo.TypeBand)
+	awards := w.EntitiesOfType(entityrepo.TypeAward)
+	films := w.EntitiesOfType(entityrepo.TypeFilm)
+	companies := w.EntitiesOfType(entityrepo.TypeCompany)
+	charities := w.EntitiesOfType(entityrepo.TypeCharity)
+
+	for i := 0; i < w.Config.Events; i++ {
+		kind := eventKinds[i%len(eventKinds)]
+		ev := Event{ID: i, Kind: kind}
+		ev.Date, ev.DateText = w.randDate(2015, 2016)
+		switch kind {
+		case "divorce":
+			a := w.pickEntity(people)
+			b := w.spouseFor(a, people)
+			f1 := w.addFact(a.ID, "divorced_from", i, EntityArg(b.ID))
+			f2 := w.addFact(a.ID, "married_to", i, EntityArg(b.ID)) // recap fact
+			ev.Title = lastName(a.Name) + " files for divorce from " + lastName(b.Name)
+			ev.FactIDs = []int{f1, f2}
+			ev.Queries = []string{a.Name, b.Name}
+		case "award":
+			p := w.pickEntity(people)
+			aw := w.pickEntity(awards)
+			reason := w.pick([]string{
+				"an acclaimed charity tour", "a landmark research career",
+				"an outstanding final season", "a celebrated new album",
+			})
+			f1 := w.addFact(p.ID, "win_award", i, EntityArg(aw.ID), LiteralArg(reason))
+			ev.Title = lastName(p.Name) + " wins " + aw.Name
+			ev.FactIDs = []int{f1}
+			ev.Queries = []string{p.Name, aw.Name}
+		case "transfer":
+			p := w.pickEntity(w.peopleOf(entityrepo.TypeFootballer, people))
+			c := w.pickEntity(clubs)
+			fee := fmt.Sprintf("$%d,000,000", 20+w.rng.Intn(80))
+			f1 := w.addFact(p.ID, "plays_for", i, EntityArg(c.ID))
+			f2 := w.addFact(c.ID, "acquired", i, EntityArg(p.ID), LiteralArg(fee))
+			ev.Title = lastName(p.Name) + " signs for " + c.Name
+			ev.FactIDs = []int{f1, f2}
+			ev.Queries = []string{p.Name, c.Name}
+		case "attack":
+			city := w.pickEntity(cities)
+			band := w.pickEntity(bands)
+			victims := fmt.Sprintf("%d people", 10+w.rng.Intn(90))
+			f1 := w.addFact(band.ID, "performed_at", i, EntityArg(city.ID))
+			f2 := w.addFact(city.ID, "killed_in", i, LiteralArg(victims))
+			ev.Title = "attack in " + city.Name
+			ev.FactIDs = []int{f1, f2}
+			ev.Queries = []string{city.Name + " attack", band.Name}
+		case "concert":
+			band := w.pickEntity(bands)
+			city := w.pickEntity(cities)
+			f1 := w.addFact(band.ID, "performed_at", i, EntityArg(city.ID))
+			ev.Title = band.Name + " concert in " + city.Name
+			ev.FactIDs = []int{f1}
+			ev.Queries = []string{band.Name}
+		case "shooting":
+			victim := w.makeEmergingPerson()
+			officer := w.makeEmergingPerson()
+			f1 := w.addFact(officer.ID, "shot", i, EntityArg(victim.ID))
+			city := w.pickEntity(cities)
+			f2 := w.addFact(victim.ID, "died_in", i, EntityArg(city.ID))
+			ev.Title = "shooting of " + victim.Name
+			ev.FactIDs = []int{f1, f2}
+			ev.Queries = []string{victim.Name}
+		case "acquisition":
+			a := w.pickEntity(companies)
+			b := w.pickEntity(companies)
+			for b.ID == a.ID {
+				b = w.pickEntity(companies)
+			}
+			price := fmt.Sprintf("$%d,000,000", 200+10*w.rng.Intn(300))
+			f1 := w.addFact(a.ID, "acquired", i, EntityArg(b.ID), LiteralArg(price))
+			ev.Title = a.Name + " acquires " + b.Name
+			ev.FactIDs = []int{f1}
+			ev.Queries = []string{a.Name, b.Name}
+		case "election":
+			p := w.pickEntity(w.peopleOf(entityrepo.TypePolitician, people))
+			office := w.pick([]string{"mayor", "president", "governor"})
+			city := w.pickEntity(cities)
+			f1 := w.addFact(p.ID, "elected_as", i, LiteralArg(office), EntityArg(city.ID))
+			ev.Title = lastName(p.Name) + " elected " + office
+			ev.FactIDs = []int{f1}
+			ev.Queries = []string{p.Name}
+		case "film_premiere":
+			actor := w.pickEntity(w.peopleOf(entityrepo.TypeActor, people))
+			film := w.pickEntity(films)
+			role := w.makeCharacter(w.Entities[film.ID])
+			f1 := w.addFact(actor.ID, "play_in", i, EntityArg(role.ID), EntityArg(film.ID))
+			ev.Title = film.Name + " premiere"
+			ev.FactIDs = []int{f1}
+			ev.Queries = []string{actor.Name, film.Name}
+		case "charity_gala":
+			p := w.pickEntity(people)
+			ch := w.pickEntity(charities)
+			amount := fmt.Sprintf("$%d,000", 100+10*w.rng.Intn(90))
+			f1 := w.addFact(p.ID, "donated_to", i, LiteralArg(amount), EntityArg(ch.ID))
+			ev.Title = lastName(p.Name) + " charity gala"
+			ev.FactIDs = []int{f1}
+			ev.Queries = []string{p.Name}
+		}
+		// Lead fact: "X made headlines on <date>" — news stories open with
+		// it, and extractions of it are legitimately supported by the text.
+		if len(ev.FactIDs) > 0 {
+			lead := w.Facts[ev.FactIDs[0]].Subject
+			ev.Headline = w.addFact(lead, "in_news", i,
+				LiteralArg("headlines"), TimeArg(ev.Date, ev.DateText))
+		} else {
+			ev.Headline = -1
+		}
+		w.Events = append(w.Events, ev)
+	}
+}
+
+// Episode is one pre-generated Wikia-style episode: the facts its page
+// expresses (characters are created here and are mostly emerging).
+type Episode struct {
+	SeriesID string
+	FactIDs  []int
+}
+
+// generateEpisodes creates the Wikia dataset's episodes and their facts.
+func (w *World) generateEpisodes() {
+	series := w.EntitiesOfType(entityrepo.TypeSeries)
+	if len(series) == 0 {
+		return
+	}
+	cities := w.EntitiesOfType(entityrepo.TypeCity)
+	for p := 0; p < w.Config.WikiaPages; p++ {
+		ep := Episode{SeriesID: series[p%len(series)]}
+		s := w.Entities[ep.SeriesID]
+		// Episode pages are long, like real Wikia episode synopses
+		// (the paper's dataset averages 88 sentences per page).
+		n := 24 + w.rng.Intn(12)
+		var prev *Entity
+		for k := 0; k < n; k++ {
+			c := w.makeCharacter(s)
+			var fid int
+			switch k % 4 {
+			case 0:
+				if prev != nil {
+					fid = w.addFact(c.ID, "shot", -1, EntityArg(prev.ID))
+				} else {
+					fid = w.addFact(c.ID, "shot", -1, LiteralArg("a guard"))
+				}
+			case 1:
+				fid = w.addFact(c.ID, "born_in", -1, EntityArg(cities[w.rng.Intn(len(cities))]))
+			case 2:
+				if prev != nil {
+					fid = w.addFact(c.ID, "married_to", -1, EntityArg(prev.ID))
+				} else {
+					fid = w.addFact(c.ID, "is_a", -1, LiteralArg("character"))
+				}
+			default:
+				if prev != nil {
+					fid = w.addFact(c.ID, "met_with", -1, EntityArg(prev.ID))
+				} else {
+					fid = w.addFact(c.ID, "is_a", -1, LiteralArg("character"))
+				}
+			}
+			ep.FactIDs = append(ep.FactIDs, fid)
+			prev = c
+		}
+		w.Episodes = append(w.Episodes, ep)
+	}
+}
+
+// spouseFor picks a person of the opposite gender.
+func (w *World) spouseFor(a *Entity, people []string) *Entity {
+	for tries := 0; tries < 100; tries++ {
+		b := w.pickEntity(people)
+		if b.ID != a.ID && b.Gender != a.Gender {
+			return b
+		}
+	}
+	return w.pickEntity(people)
+}
+
+func (w *World) peopleOf(t string, people []string) []string {
+	var out []string
+	for _, id := range people {
+		if w.Entities[id].Type == t {
+			out = append(out, id)
+		}
+	}
+	if len(out) == 0 {
+		return people
+	}
+	return out
+}
+
+// makeEmergingPerson creates an out-of-repository person (news-only).
+func (w *World) makeEmergingPerson() *Entity {
+	first := maleFirst[w.rng.Intn(len(maleFirst))]
+	gender := nlp.GenderMale
+	if w.rng.Float64() < 0.5 {
+		first = femaleFirst[w.rng.Intn(len(femaleFirst))]
+		gender = nlp.GenderFemale
+	}
+	name := first + " " + surnames[w.rng.Intn(len(surnames))]
+	e := &Entity{
+		ID: w.freshID(name), Name: name, Type: entityrepo.TypePerson,
+		Gender: gender, Emerging: true, Prominence: 0.2,
+		Aliases: []string{lastName(name)},
+	}
+	return w.addEntity(e)
+}
+
+// buildRepo fills the background entity repository with all non-emerging
+// entities (aliases, types and gender — the only attributes QKBfly uses).
+func (w *World) buildRepo() {
+	for _, id := range w.Order {
+		e := w.Entities[id]
+		if e.Emerging {
+			continue
+		}
+		w.Repo.Add(&entityrepo.Entity{
+			ID: e.ID, Name: e.Name, Aliases: e.Aliases,
+			Types: entityrepo.Supertypes(e.Type), Gender: e.Gender,
+		})
+	}
+}

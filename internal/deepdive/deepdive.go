@@ -1,0 +1,276 @@
+// Package deepdive implements the DeepDive-style spouse extractor of §7.3
+// [Zhang et al., SIGMOD 2016]: a per-relation extraction model built from
+// candidate generation, a feature library, distant supervision from an
+// existing KB, logistic-regression factor weights, and Gibbs-sampling
+// marginal inference over a factor graph that correlates candidates
+// sharing the same entity pair. It extracts instances of exactly one
+// target relation (married_to), mirroring the DeepDive spouse tutorial the
+// paper retrains on DBpedia couples.
+package deepdive
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"qkbfly/internal/nlp"
+	"qkbfly/internal/nlp/clause"
+	"qkbfly/internal/svm"
+)
+
+// Candidate is a potential spouse pair: two person mentions in one
+// sentence.
+type Candidate struct {
+	DocID     string
+	SentIndex int
+	A, B      string // mention surfaces
+	PairKey   string // normalized unordered pair key
+	Features  map[string]float64
+	// Probability filled by inference.
+	Probability float64
+}
+
+// Extractor is a trained spouse-relation extractor.
+type Extractor struct {
+	pipe  *clause.Pipeline
+	model *svm.Model
+	// GibbsIterations for marginal inference.
+	GibbsIterations int
+	Seed            int64
+}
+
+// New returns an untrained extractor using the given pipeline.
+func New(pipe *clause.Pipeline) *Extractor {
+	return &Extractor{pipe: pipe, GibbsIterations: 300, Seed: 11}
+}
+
+// marriage cue words used by the feature library.
+var cueWords = map[string]bool{
+	"marry": true, "married": true, "wed": true, "wife": true,
+	"husband": true, "spouse": true, "divorce": true, "divorced": true,
+	"widow": true, "widower": true, "knot": true, "vows": true,
+}
+
+// Candidates generates spouse candidates with features from a document.
+func (e *Extractor) Candidates(doc *nlp.Document) []Candidate {
+	e.pipe.AnnotateDocument(doc)
+	var out []Candidate
+	for si := range doc.Sentences {
+		sent := &doc.Sentences[si]
+		var persons []nlp.Mention
+		for _, m := range sent.Mentions {
+			if m.Type == nlp.NERPerson {
+				persons = append(persons, m)
+			}
+		}
+		for i := 0; i < len(persons); i++ {
+			for j := i + 1; j < len(persons); j++ {
+				a, b := persons[i], persons[j]
+				out = append(out, Candidate{
+					DocID: doc.ID, SentIndex: si,
+					A: a.Text, B: b.Text,
+					PairKey:  pairKey(a.Text, b.Text),
+					Features: features(sent, a, b),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// features is the DeepDive-tutorial-style feature library: words between
+// the mentions, distance buckets, cue-word indicators, and the dependency
+// path through the connecting verb.
+func features(sent *nlp.Sentence, a, b nlp.Mention) map[string]float64 {
+	f := map[string]float64{}
+	lo, hi := a.End, b.Start
+	if lo > hi {
+		lo, hi = b.End, a.Start
+	}
+	nBetween := 0
+	for k := lo; k < hi && k < len(sent.Tokens); k++ {
+		w := strings.ToLower(sent.Tokens[k].Lemma)
+		f["btw:"+w] = 1
+		if cueWords[w] {
+			f["cue"] = 1
+		}
+		nBetween++
+	}
+	f[fmt.Sprintf("dist:%d", bucket(nBetween))] = 1
+	// Dependency path: verbs governing either mention head.
+	for _, head := range []int{a.Start, b.Start} {
+		h := head
+		for steps := 0; steps < 5 && h >= 0 && h < len(sent.Tokens); steps++ {
+			h = sent.Tokens[h].Head
+			if h >= 0 && sent.Tokens[h].POS.IsVerb() {
+				f["govverb:"+strings.ToLower(sent.Tokens[h].Lemma)] = 1
+				break
+			}
+		}
+	}
+	// Sentence-level cue.
+	for k := range sent.Tokens {
+		if cueWords[strings.ToLower(sent.Tokens[k].Lemma)] {
+			f["sentcue"] = 1
+			break
+		}
+	}
+	return f
+}
+
+func bucket(n int) int {
+	switch {
+	case n <= 2:
+		return 0
+	case n <= 5:
+		return 1
+	case n <= 10:
+		return 2
+	default:
+		return 3
+	}
+}
+
+func pairKey(a, b string) string {
+	an, bn := normName(a), normName(b)
+	if bn < an {
+		an, bn = bn, an
+	}
+	return an + "|" + bn
+}
+
+func normName(s string) string {
+	s = strings.ReplaceAll(s, ".", "")
+	return strings.Join(strings.Fields(strings.ToLower(s)), " ")
+}
+
+// Train runs distant supervision: candidates whose pair key appears in
+// knownSpouses become positive examples, the rest negatives (subsampled).
+func (e *Extractor) Train(docs []*nlp.Document, knownSpouses map[string]bool) (positives, negatives int) {
+	var examples []svm.Example
+	rng := rand.New(rand.NewSource(e.Seed))
+	for _, doc := range docs {
+		for _, c := range e.Candidates(doc) {
+			label := knownSpouses[c.PairKey]
+			if !label && rng.Float64() > 0.5 {
+				continue // subsample negatives, as the tutorial does
+			}
+			if label {
+				positives++
+			} else {
+				negatives++
+			}
+			examples = append(examples, svm.Example{Features: c.Features, Label: label})
+		}
+	}
+	opt := svm.DefaultOptions()
+	opt.Logistic = true
+	opt.Epochs = 40
+	opt.PositiveWeight = 5 // distant supervision yields few positives
+	opt.Seed = e.Seed
+	e.model = svm.Train(examples, opt)
+	return positives, negatives
+}
+
+// Extract runs candidate generation and factor-graph marginal inference
+// over the documents and returns candidates with marginal probabilities,
+// aggregated per entity pair (max marginal), sorted by probability.
+func (e *Extractor) Extract(docs []*nlp.Document) []Candidate {
+	var cands []Candidate
+	for _, doc := range docs {
+		cands = append(cands, e.Candidates(doc)...)
+	}
+	e.infer(cands)
+	// Aggregate per pair: keep the best candidate of each pair.
+	best := map[string]int{}
+	for i := range cands {
+		if j, ok := best[cands[i].PairKey]; !ok || cands[i].Probability > cands[j].Probability {
+			best[cands[i].PairKey] = i
+		}
+	}
+	var out []Candidate
+	for _, i := range best {
+		out = append(out, cands[i])
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Probability != out[j].Probability {
+			return out[i].Probability > out[j].Probability
+		}
+		return out[i].PairKey < out[j].PairKey
+	})
+	return out
+}
+
+// infer estimates marginals by Gibbs sampling over a factor graph with a
+// unary logistic factor per candidate and a correlation factor tying
+// candidates of the same entity pair (DeepDive's joint inference).
+func (e *Extractor) infer(cands []Candidate) {
+	if e.model == nil {
+		for i := range cands {
+			cands[i].Probability = 0
+		}
+		return
+	}
+	n := len(cands)
+	if n == 0 {
+		return
+	}
+	// Unary potentials (logistic scores).
+	unary := make([]float64, n)
+	for i := range cands {
+		unary[i] = e.model.Score(cands[i].Features)
+	}
+	// Same-pair cliques.
+	byPair := map[string][]int{}
+	for i := range cands {
+		byPair[cands[i].PairKey] = append(byPair[cands[i].PairKey], i)
+	}
+	const pairCoupling = 0.8
+	rng := rand.New(rand.NewSource(e.Seed))
+	state := make([]bool, n)
+	for i := range state {
+		state[i] = unary[i] > 0
+	}
+	counts := make([]int, n)
+	burn := e.GibbsIterations / 5
+	for it := 0; it < e.GibbsIterations; it++ {
+		for i := 0; i < n; i++ {
+			score := unary[i]
+			for _, j := range byPair[cands[i].PairKey] {
+				if j != i && state[j] {
+					score += pairCoupling
+				}
+			}
+			p := 1 / (1 + exp(-score))
+			state[i] = rng.Float64() < p
+			if it >= burn && state[i] {
+				counts[i]++
+			}
+		}
+	}
+	den := e.GibbsIterations - burn
+	for i := range cands {
+		cands[i].Probability = float64(counts[i]) / float64(den)
+	}
+}
+
+func exp(x float64) float64 {
+	// guard against overflow in the sampler
+	if x > 40 {
+		x = 40
+	}
+	if x < -40 {
+		x = -40
+	}
+	return math.Exp(x)
+}
+
+// ModelWeight exposes a trained feature weight (debugging and tests).
+func (e *Extractor) ModelWeight(feature string) float64 {
+	if e.model == nil {
+		return 0
+	}
+	return e.model.W[feature]
+}

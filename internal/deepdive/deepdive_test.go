@@ -1,0 +1,138 @@
+package deepdive
+
+import (
+	"strings"
+	"testing"
+
+	"qkbfly/internal/corpus"
+	"qkbfly/internal/kb/entityrepo"
+	"qkbfly/internal/nlp"
+	"qkbfly/internal/nlp/clause"
+	"qkbfly/internal/nlp/depparse"
+)
+
+func trained(t *testing.T) (*Extractor, *corpus.World) {
+	t.Helper()
+	w := corpus.NewWorld(corpus.SmallConfig())
+	known := map[string]bool{}
+	for i := range w.Facts {
+		f := &w.Facts[i]
+		if f.Relation != "married_to" || !f.Objects[0].IsEntity() {
+			continue
+		}
+		a := w.Entity(f.Subject)
+		b := w.Entity(f.Objects[0].EntityID)
+		for _, an := range append([]string{a.Name}, a.Aliases...) {
+			for _, bn := range append([]string{b.Name}, b.Aliases...) {
+				known[pairKey(an, bn)] = true
+			}
+		}
+	}
+	dd := New(clause.NewPipeline(w.Repo, depparse.Malt))
+	var docs []*nlp.Document
+	for _, gd := range w.BackgroundCorpus() {
+		id := strings.TrimPrefix(gd.Doc.ID, "wiki:")
+		e := w.Entity(id)
+		if e != nil && entityrepo.Subsumes(entityrepo.TypePerson, e.Type) {
+			docs = append(docs, gd.Doc)
+		}
+	}
+	pos, neg := dd.Train(docs, known)
+	if pos == 0 || neg == 0 {
+		t.Fatalf("training degenerate: %d pos %d neg", pos, neg)
+	}
+	return dd, w
+}
+
+func TestCandidateGeneration(t *testing.T) {
+	w := corpus.NewWorld(corpus.SmallConfig())
+	dd := New(clause.NewPipeline(w.Repo, depparse.Malt))
+	doc := &nlp.Document{ID: "t", Text: "Brad Pitt married Angelina Jolie in 2005. Nothing else happened."}
+	cands := dd.Candidates(doc)
+	if len(cands) != 1 {
+		t.Fatalf("candidates = %d", len(cands))
+	}
+	c := cands[0]
+	if c.Features["btw:marry"] != 1 {
+		t.Errorf("missing between-feature: %v", c.Features)
+	}
+	if c.Features["cue"] != 1 {
+		t.Errorf("missing cue feature: %v", c.Features)
+	}
+	if c.PairKey != "angelina jolie|brad pitt" {
+		t.Errorf("pair key = %q", c.PairKey)
+	}
+}
+
+func TestMarriageSentenceRanksAboveOthers(t *testing.T) {
+	dd, w := trained(t)
+	// Build a doc with one marriage sentence and one co-occurrence noise
+	// sentence, using known repo names.
+	people := w.EntitiesOfType(entityrepo.TypeActor)
+	a := w.Entity(people[0]).Name
+	b := w.Entity(people[1]).Name
+	c := w.Entity(people[2]).Name
+	doc := &nlp.Document{ID: "t", Text: a + " married " + b + " in 2003. " + a + " met " + c + " at the ceremony."}
+	pairs := dd.Extract([]*nlp.Document{doc})
+	if len(pairs) != 2 {
+		t.Fatalf("pairs = %d", len(pairs))
+	}
+	if !strings.Contains(pairs[0].PairKey, strings.ToLower(lastOf(b))) {
+		t.Errorf("top pair = %q, want the married couple first (probs %f vs %f)",
+			pairs[0].PairKey, pairs[0].Probability, pairs[1].Probability)
+	}
+	if pairs[0].Probability <= pairs[1].Probability {
+		t.Errorf("marriage pair %f not above noise pair %f",
+			pairs[0].Probability, pairs[1].Probability)
+	}
+}
+
+func lastOf(name string) string {
+	parts := strings.Fields(name)
+	return parts[len(parts)-1]
+}
+
+func TestSamePairCoupling(t *testing.T) {
+	dd, w := trained(t)
+	people := w.EntitiesOfType(entityrepo.TypeActor)
+	a := w.Entity(people[0]).Name
+	b := w.Entity(people[1]).Name
+	// The same pair mentioned twice: coupling should not lower the
+	// marginal below the single-occurrence case.
+	doc1 := &nlp.Document{ID: "t1", Text: a + " married " + b + " in 2003."}
+	single := dd.Extract([]*nlp.Document{doc1})[0].Probability
+	doc2a := &nlp.Document{ID: "t2", Text: a + " married " + b + " in 2003."}
+	doc2b := &nlp.Document{ID: "t3", Text: a + " wed " + b + " in Quilholm."}
+	both := dd.Extract([]*nlp.Document{doc2a, doc2b})
+	if both[0].Probability+1e-9 < single-0.1 {
+		t.Errorf("coupled marginal %f far below single %f", both[0].Probability, single)
+	}
+}
+
+func TestExtractDeterministic(t *testing.T) {
+	dd, w := trained(t)
+	docs := corpus.Docs(w.WikiDataset(10))
+	a := dd.Extract(docs)
+	b := dd.Extract(corpus.Docs(w.WikiDataset(10)))
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic pair count")
+	}
+	for i := range a {
+		if a[i].PairKey != b[i].PairKey {
+			t.Error("nondeterministic ranking")
+			break
+		}
+	}
+}
+
+func TestUntrainedModel(t *testing.T) {
+	w := corpus.NewWorld(corpus.SmallConfig())
+	dd := New(clause.NewPipeline(w.Repo, depparse.Malt))
+	doc := &nlp.Document{ID: "t", Text: "Brad Pitt married Angelina Jolie."}
+	pairs := dd.Extract([]*nlp.Document{doc})
+	for _, p := range pairs {
+		if p.Probability != 0 {
+			t.Errorf("untrained probability = %f", p.Probability)
+		}
+	}
+}

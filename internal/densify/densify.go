@@ -1,0 +1,725 @@
+package densify
+
+import (
+	"math"
+	"sort"
+
+	"qkbfly/internal/graph"
+	"qkbfly/internal/nlp"
+)
+
+// Result is the output of the graph algorithm: the densified subgraph S*
+// expressed as an assignment of noun phrases to entities, pronoun
+// antecedents, and per-mention confidence scores (§4).
+type Result struct {
+	// Assignment maps NP node IDs to their disambiguated entity ID; nodes
+	// absent from the map are out-of-KB (new entities).
+	Assignment map[int]string
+	// Antecedent maps pronoun node IDs to the NP node ID they resolve to;
+	// -1 (or absence) means unresolved.
+	Antecedent map[int]int
+	// Confidence holds the normalized confidence score of each assigned
+	// NP node (§4, "Confidence Scores").
+	Confidence map[int]float64
+	// Removed counts edges removed by the greedy loop (for tests).
+	Removed int
+	// Objective is W(S*), the final subgraph weight.
+	Objective float64
+}
+
+// debugExtract, when non-nil, observes each group and its intersection at
+// extraction time (test hook).
+var debugExtract func(grp []int, inter map[int]bool)
+
+// state is the mutable solver state over the semantic graph.
+type state struct {
+	g      *graph.Graph
+	scorer *Scorer
+
+	// cand[np] holds alive means edges: entity node -> edge ID.
+	cand map[int]map[int]int
+	// pron[p] holds alive pronoun sameAs edges: NP node -> edge ID.
+	pron map[int]map[int]int
+	// npSame holds alive NP-NP sameAs edge IDs.
+	npSame map[int]bool
+	// relEdges are the relation edges (never removed; weights change).
+	relEdges []int
+	// relAt[node] lists relation edge IDs incident to the node.
+	relAt map[int][]int
+
+	npNodes   []int
+	pronNodes []int
+}
+
+// Densify runs the greedy constrained densest-subgraph algorithm
+// (Algorithm 1) and returns the assignment, antecedents and confidences.
+func Densify(g *graph.Graph, scorer *Scorer) *Result {
+	st := newState(g, scorer)
+	st.initIntersect()
+	st.initGenderFilter()
+	if scorer.Params.PipelineMode {
+		return st.solvePipeline()
+	}
+	removed := st.greedyLoop()
+	res := st.extract()
+	res.Removed = removed
+	return res
+}
+
+func newState(g *graph.Graph, scorer *Scorer) *state {
+	st := &state{
+		g: g, scorer: scorer,
+		cand:   map[int]map[int]int{},
+		pron:   map[int]map[int]int{},
+		npSame: map[int]bool{},
+		relAt:  map[int][]int{},
+	}
+	for _, n := range g.Nodes {
+		switch n.Kind {
+		case graph.NounPhraseNode:
+			st.npNodes = append(st.npNodes, n.ID)
+		case graph.PronounNode:
+			st.pronNodes = append(st.pronNodes, n.ID)
+		}
+	}
+	for _, e := range g.Edges {
+		switch e.Kind {
+		case graph.MeansEdge:
+			m := st.cand[e.From]
+			if m == nil {
+				m = map[int]int{}
+				st.cand[e.From] = m
+			}
+			m[e.To] = e.ID
+		case graph.SameAsEdge:
+			from, to := g.Nodes[e.From], g.Nodes[e.To]
+			if from.Kind == graph.PronounNode || to.Kind == graph.PronounNode {
+				p, n := e.From, e.To
+				if to.Kind == graph.PronounNode {
+					p, n = e.To, e.From
+				}
+				m := st.pron[p]
+				if m == nil {
+					m = map[int]int{}
+					st.pron[p] = m
+				}
+				m[n] = e.ID
+			} else {
+				st.npSame[e.ID] = true
+			}
+		case graph.RelationEdge:
+			st.relEdges = append(st.relEdges, e.ID)
+			st.relAt[e.From] = append(st.relAt[e.From], e.ID)
+			st.relAt[e.To] = append(st.relAt[e.To], e.ID)
+		}
+	}
+	return st
+}
+
+// groups returns the connected components of NPs over alive NP-NP sameAs
+// edges.
+func (st *state) groups() [][]int {
+	parent := map[int]int{}
+	var find func(int) int
+	find = func(x int) int {
+		if parent[x] != x {
+			parent[x] = find(parent[x])
+		}
+		return parent[x]
+	}
+	for _, id := range st.npNodes {
+		parent[id] = id
+	}
+	for eid := range st.npSame {
+		e := st.g.Edges[eid]
+		ra, rb := find(e.From), find(e.To)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+	byRoot := map[int][]int{}
+	for _, id := range st.npNodes {
+		r := find(id)
+		byRoot[r] = append(byRoot[r], id)
+	}
+	var out [][]int
+	var roots []int
+	for r := range byRoot {
+		roots = append(roots, r)
+	}
+	sort.Ints(roots)
+	for _, r := range roots {
+		g := byRoot[r]
+		sort.Ints(g)
+		out = append(out, g)
+	}
+	return out
+}
+
+// initIntersect applies the candidate-set intersection of Algorithm 1:
+// for all noun-phrase nodes mutually connected via sameAs edges, the
+// entity candidate sets are intersected (skipping empty sets, which
+// denote out-of-KB names).
+func (st *state) initIntersect() {
+	for _, grp := range st.groups() {
+		inter := st.groupIntersection(grp)
+		if inter == nil {
+			continue // conflict or no candidates; resolved in the loop
+		}
+		for _, np := range grp {
+			for ent, eid := range st.cand[np] {
+				if !inter[ent] {
+					st.removeEdge(eid)
+					delete(st.cand[np], ent)
+				}
+			}
+		}
+	}
+}
+
+// groupIntersection intersects the non-empty candidate sets of the group.
+// It returns nil when the intersection is empty but at least two members
+// had (disjoint) non-empty sets — a conflict the greedy loop must resolve
+// by pruning sameAs edges — or when no member has candidates.
+func (st *state) groupIntersection(grp []int) map[int]bool {
+	var inter map[int]bool
+	for _, np := range grp {
+		c := st.cand[np]
+		if len(c) == 0 {
+			continue
+		}
+		if inter == nil {
+			inter = map[int]bool{}
+			for ent := range c {
+				inter[ent] = true
+			}
+			continue
+		}
+		for ent := range inter {
+			if _, ok := c[ent]; !ok {
+				delete(inter, ent)
+			}
+		}
+	}
+	if len(inter) == 0 {
+		return nil
+	}
+	return inter
+}
+
+// initGenderFilter implements constraint (4): a pronoun may not link to a
+// noun phrase whose every entity candidate has a known gender conflicting
+// with the pronoun's.
+func (st *state) initGenderFilter() {
+	for _, p := range st.pronNodes {
+		pg := nlp.PronounGender(st.pronText(p))
+		if pg == nlp.GenderUnknown {
+			continue
+		}
+		for np, eid := range st.pron[p] {
+			cands := st.cand[np]
+			if len(cands) == 0 {
+				continue // out-of-KB antecedent: gender unknown, allowed
+			}
+			ok := false
+			for ent := range cands {
+				eg := st.scorer.EntityGender(st.g.Nodes[ent].EntityID)
+				if eg == nlp.GenderUnknown || eg == pg {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				st.removeEdge(eid)
+				delete(st.pron[p], np)
+			}
+		}
+	}
+}
+
+func (st *state) pronText(p int) string {
+	n := st.g.Nodes[p]
+	return st.scorer.Doc.Sentences[n.SentIndex].Tokens[n.Head].Text
+}
+
+func (st *state) removeEdge(eid int) { st.g.Edges[eid].Removed = true }
+
+// entSet returns ent(node, S): for NPs the alive candidates; for pronouns
+// the union over their alive antecedents (§4).
+func (st *state) entSet(node int) map[int]bool {
+	n := st.g.Nodes[node]
+	out := map[int]bool{}
+	switch n.Kind {
+	case graph.NounPhraseNode:
+		for ent := range st.cand[node] {
+			out[ent] = true
+		}
+	case graph.PronounNode:
+		for np := range st.pron[node] {
+			for ent := range st.cand[np] {
+				out[ent] = true
+			}
+		}
+	}
+	return out
+}
+
+// relWeight computes w(ni, nt, S) for one relation edge under the current
+// candidate sets.
+func (st *state) relWeight(eid int) float64 {
+	e := st.g.Edges[eid]
+	sa, sb := st.entSet(e.From), st.entSet(e.To)
+	if len(sa) == 0 || len(sb) == 0 {
+		return 0
+	}
+	w := 0.0
+	for a := range sa {
+		for b := range sb {
+			w += st.scorer.PairWeight(st.g.Nodes[a].EntityID, st.g.Nodes[b].EntityID, e.Label)
+		}
+	}
+	return w
+}
+
+// objective computes W(S): all alive means weights plus all relation
+// weights.
+func (st *state) objective() float64 {
+	w := 0.0
+	for _, np := range st.npNodes {
+		for ent := range st.cand[np] {
+			w += st.scorer.MeansWeight(st.g.Nodes[np], st.g.Nodes[ent].EntityID)
+		}
+	}
+	for _, eid := range st.relEdges {
+		w += st.relWeight(eid)
+	}
+	return w
+}
+
+// removable describes one edge the loop may remove this round.
+type removable struct {
+	edgeID       int
+	kind         graph.EdgeKind
+	isPronEdge   bool
+	np           int // owning NP (means) or antecedent NP (pronoun sameAs)
+	ent          int // entity node (means only)
+	pron         int // pronoun (pronoun sameAs only)
+	contribution float64
+}
+
+// greedyLoop removes the means/sameAs edge with the smallest contribution
+// to the objective until all constraints hold (Algorithm 1). Weight
+// recomputation is selective: only relation edges incident to the removed
+// edge's nodes are recomputed, via the contribution calculation itself.
+func (st *state) greedyLoop() int {
+	removed := 0
+	for {
+		cands := st.removableEdges()
+		if len(cands) == 0 {
+			return removed
+		}
+		// Deterministic tie-breaking: order by edge ID before comparing.
+		sort.Slice(cands, func(i, j int) bool { return cands[i].edgeID < cands[j].edgeID })
+		best := 0
+		for i := 1; i < len(cands); i++ {
+			if cands[i].contribution < cands[best].contribution {
+				best = i
+			}
+		}
+		st.apply(cands[best])
+		removed++
+	}
+}
+
+// removableEdges lists edges whose removal is required to reach a
+// consistent assignment, with their contributions.
+func (st *state) removableEdges() []removable {
+	var out []removable
+	// Means edges of NPs with more than one candidate.
+	for _, np := range st.npNodes {
+		if len(st.cand[np]) <= 1 {
+			continue
+		}
+		for ent, eid := range st.cand[np] {
+			out = append(out, removable{
+				edgeID: eid, kind: graph.MeansEdge, np: np, ent: ent,
+				contribution: st.meansContribution(np, ent),
+			})
+		}
+	}
+	// Pronoun sameAs edges of pronouns with more than one antecedent.
+	for _, p := range st.pronNodes {
+		if len(st.pron[p]) <= 1 {
+			continue
+		}
+		for np, eid := range st.pron[p] {
+			out = append(out, removable{
+				edgeID: eid, kind: graph.SameAsEdge, isPronEdge: true,
+				pron: p, np: np,
+				contribution: st.pronContribution(p, np),
+			})
+		}
+	}
+	// NP-NP sameAs edges inside conflicting groups (constraint 3 cannot
+	// hold): singleton-but-different members.
+	for _, grp := range st.groups() {
+		if !st.groupConflict(grp) {
+			continue
+		}
+		for eid := range st.npSame {
+			e := st.g.Edges[eid]
+			if inGroup(grp, e.From) && inGroup(grp, e.To) {
+				out = append(out, removable{
+					edgeID: eid, kind: graph.SameAsEdge, np: e.From,
+					contribution: st.sameAsContribution(e.From, e.To),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// groupConflict reports whether the group violates constraint (3): the
+// non-empty candidate sets have an empty intersection, or two members are
+// textually incompatible full names ("Gwendolyn Ashcombe" and "Adrien
+// Ashcombe" chained through the bare surname "Ashcombe" — the transitive
+// string-match noise the densification must cut).
+func (st *state) groupConflict(grp []int) bool {
+	for i := 0; i < len(grp); i++ {
+		for j := i + 1; j < len(grp); j++ {
+			if textConflict(st.g.Nodes[grp[i]].Text, st.g.Nodes[grp[j]].Text) {
+				return true
+			}
+		}
+	}
+	nonEmpty := 0
+	for _, np := range grp {
+		if len(st.cand[np]) > 0 {
+			nonEmpty++
+		}
+	}
+	if nonEmpty < 2 {
+		return false
+	}
+	return st.groupIntersection(grp) == nil
+}
+
+// TextConflict reports whether two mention surfaces cannot name the same
+// entity: both are multi-token and neither's token set contains the
+// other's. Exported for the ILP translation, which needs the same guard.
+func TextConflict(a, b string) bool { return textConflict(a, b) }
+
+// textConflict reports whether two mention surfaces cannot name the same
+// entity: both are multi-token and neither's token set contains the
+// other's.
+func textConflict(a, b string) bool {
+	ta, tb := splitLower(a), splitLower(b)
+	if len(ta) < 2 || len(tb) < 2 {
+		return false
+	}
+	return !tokenSubset(ta, tb) && !tokenSubset(tb, ta)
+}
+
+func tokenSubset(small, big []string) bool {
+	set := map[string]bool{}
+	for _, w := range big {
+		set[w] = true
+	}
+	for _, w := range small {
+		if !set[w] {
+			return false
+		}
+	}
+	return true
+}
+
+func inGroup(grp []int, node int) bool {
+	for _, g := range grp {
+		if g == node {
+			return true
+		}
+	}
+	return false
+}
+
+// meansContribution is c(x,y,S) = W(S) - W(S') for removing a means edge:
+// the means weight itself plus the relation-weight terms that involve the
+// entity at this NP (and through pronouns linked to this NP).
+func (st *state) meansContribution(np, ent int) float64 {
+	entityID := st.g.Nodes[ent].EntityID
+	c := st.scorer.MeansWeight(st.g.Nodes[np], entityID)
+	c += st.relTermsFor(np, ent)
+	// Pronouns that inherit this candidate (only if no other antecedent
+	// supplies the same entity).
+	for _, p := range st.pronNodes {
+		if _, linked := st.pron[p][np]; !linked {
+			continue
+		}
+		if st.entitySuppliedByOther(p, np, ent) {
+			continue
+		}
+		c += st.relTermsFor(p, ent)
+	}
+	return c
+}
+
+// relTermsFor sums the pair-weight terms of all relation edges at node
+// that involve candidate entity ent on node's side.
+func (st *state) relTermsFor(node, ent int) float64 {
+	entityID := st.g.Nodes[ent].EntityID
+	c := 0.0
+	for _, eid := range st.relAt[node] {
+		e := st.g.Edges[eid]
+		other := e.From
+		if other == node {
+			other = e.To
+		}
+		for b := range st.entSet(other) {
+			c += st.scorer.PairWeight(entityID, st.g.Nodes[b].EntityID, e.Label)
+		}
+	}
+	return c
+}
+
+// entitySuppliedByOther reports whether pronoun p still receives entity
+// ent from an antecedent other than np.
+func (st *state) entitySuppliedByOther(p, np, ent int) bool {
+	for other := range st.pron[p] {
+		if other == np {
+			continue
+		}
+		if _, ok := st.cand[other][ent]; ok {
+			return true
+		}
+	}
+	return false
+}
+
+// pronContribution is the objective loss from unlinking pronoun p from
+// antecedent np: the relation terms for entities np exclusively supplies,
+// plus a small recency preference (closer antecedents contribute more).
+func (st *state) pronContribution(p, np int) float64 {
+	c := 0.0
+	for ent := range st.cand[np] {
+		if !st.entitySuppliedByOther(p, np, ent) {
+			c += st.relTermsFor(p, ent)
+		}
+	}
+	pn, nn := st.g.Nodes[p], st.g.Nodes[np]
+	dist := float64(pn.SentIndex-nn.SentIndex) + 0.01*float64(abs(pn.Head-nn.Head))
+	c += 1e-3 / (1 + dist)
+	// Salience: antecedents that act as clause subjects elsewhere (they
+	// have outgoing relation edges) are preferred over object mentions.
+	for _, eid := range st.relAt[np] {
+		if st.g.Edges[eid].From == np {
+			c += 2e-3
+			break
+		}
+	}
+	return c
+}
+
+// sameAsContribution scores an NP-NP sameAs edge by the best coherence
+// between the two sides' candidates plus a token-overlap bonus: the edge
+// that binds least coherent mentions is cut first.
+func (st *state) sameAsContribution(a, b int) float64 {
+	best := 0.0
+	for ea := range st.cand[a] {
+		for eb := range st.cand[b] {
+			coh := st.scorer.coherence(st.g.Nodes[ea].EntityID, st.g.Nodes[eb].EntityID)
+			if coh > best {
+				best = coh
+			}
+		}
+	}
+	return best + 1e-3*float64(sharedTokens(st.g.Nodes[a].Text, st.g.Nodes[b].Text))
+}
+
+// apply removes the chosen edge and updates the state.
+func (st *state) apply(r removable) {
+	st.removeEdge(r.edgeID)
+	switch {
+	case r.kind == graph.MeansEdge:
+		delete(st.cand[r.np], r.ent)
+	case r.isPronEdge:
+		delete(st.pron[r.pron], r.np)
+	default:
+		delete(st.npSame, r.edgeID)
+	}
+}
+
+// solvePipeline is the QKBfly-pipeline configuration: each mention is
+// disambiguated independently by its means weight (no joint inference),
+// and pronouns resolve to the nearest compatible antecedent.
+func (st *state) solvePipeline() *Result {
+	res := &Result{
+		Assignment: map[int]string{},
+		Antecedent: map[int]int{},
+		Confidence: map[int]float64{},
+	}
+	for _, np := range st.npNodes {
+		bestEnt, bestW, total := -1, 0.0, 0.0
+		var ents []int
+		for ent := range st.cand[np] {
+			ents = append(ents, ent)
+		}
+		sort.Ints(ents)
+		for _, ent := range ents {
+			w := st.scorer.MeansWeight(st.g.Nodes[np], st.g.Nodes[ent].EntityID)
+			total += w
+			if bestEnt < 0 || w > bestW {
+				bestEnt, bestW = ent, w
+			}
+		}
+		if bestEnt >= 0 {
+			res.Assignment[np] = st.g.Nodes[bestEnt].EntityID
+			if total > 0 {
+				res.Confidence[np] = bestW / total
+			} else {
+				res.Confidence[np] = 1.0 / float64(len(ents))
+			}
+		}
+	}
+	for _, p := range st.pronNodes {
+		best, bestDist := -1, math.MaxInt
+		for np := range st.pron[p] {
+			pn, nn := st.g.Nodes[p], st.g.Nodes[np]
+			d := (pn.SentIndex-nn.SentIndex)*1000 + abs(pn.Head-nn.Head)
+			if d < bestDist {
+				best, bestDist = np, d
+			}
+		}
+		if best >= 0 {
+			res.Antecedent[p] = best
+		}
+	}
+	res.Objective = st.objective()
+	return res
+}
+
+// extract reads the final assignment out of a consistent state and
+// computes the §4 confidence scores.
+func (st *state) extract() *Result {
+	res := &Result{
+		Assignment: map[int]string{},
+		Antecedent: map[int]int{},
+		Confidence: map[int]float64{},
+	}
+	// Group assignment: the intersection is now a single entity (or none).
+	for _, grp := range st.groups() {
+		inter := st.groupIntersection(grp)
+		if debugExtract != nil {
+			debugExtract(grp, inter)
+		}
+		var entNode = -1
+		for ent := range inter {
+			entNode = ent
+		}
+		if entNode < 0 {
+			continue
+		}
+		entityID := st.g.Nodes[entNode].EntityID
+		for _, np := range grp {
+			res.Assignment[np] = entityID
+			res.Confidence[np] = st.confidence(np, entNode)
+		}
+	}
+	for _, p := range st.pronNodes {
+		for np := range st.pron[p] {
+			res.Antecedent[p] = np
+		}
+	}
+	res.Objective = st.objective()
+	return res
+}
+
+// confidence implements the normalized confidence score of §4:
+// c(ni,eij,S*) over the sum of contributions when substituting each
+// original candidate.
+func (st *state) confidence(np, chosen int) float64 {
+	// Original candidates: every means edge of np in the full graph.
+	var cands []int
+	for _, eid := range st.g.EdgesAt(np) {
+		e := st.g.Edges[eid]
+		if e.Kind == graph.MeansEdge && e.From == np {
+			cands = append(cands, e.To)
+		}
+	}
+	if len(cands) <= 1 {
+		return 1
+	}
+	num := st.substitutionContribution(np, chosen)
+	den := 0.0
+	for _, ent := range cands {
+		den += st.substitutionContribution(np, ent)
+	}
+	if den <= 0 {
+		return 1 / float64(len(cands))
+	}
+	return num / den
+}
+
+// substitutionContribution computes c(ni, eit, St) where St substitutes
+// candidate ent at np, holding all other assignments fixed.
+func (st *state) substitutionContribution(np, ent int) float64 {
+	entityID := st.g.Nodes[ent].EntityID
+	c := st.scorer.MeansWeight(st.g.Nodes[np], entityID)
+	for _, eid := range st.relAt[np] {
+		e := st.g.Edges[eid]
+		other := e.From
+		if other == np {
+			other = e.To
+		}
+		for b := range st.entSet(other) {
+			if b == ent && other == np {
+				continue
+			}
+			c += st.scorer.PairWeight(entityID, st.g.Nodes[b].EntityID, e.Label)
+		}
+	}
+	return c
+}
+
+func sharedTokens(a, b string) int {
+	am := map[string]bool{}
+	for _, w := range splitLower(a) {
+		am[w] = true
+	}
+	n := 0
+	for _, w := range splitLower(b) {
+		if am[w] {
+			n++
+		}
+	}
+	return n
+}
+
+func splitLower(s string) []string {
+	var out []string
+	w := make([]rune, 0, 16)
+	flush := func() {
+		if len(w) > 0 {
+			out = append(out, string(w))
+			w = w[:0]
+		}
+	}
+	for _, r := range s {
+		if r == ' ' || r == '\t' {
+			flush()
+			continue
+		}
+		if r >= 'A' && r <= 'Z' {
+			r += 'a' - 'A'
+		}
+		w = append(w, r)
+	}
+	flush()
+	return out
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,197 @@
+package eval
+
+import (
+	"math"
+	"testing"
+
+	"qkbfly/internal/corpus"
+	"qkbfly/internal/kb/store"
+)
+
+func world(t *testing.T) (*corpus.World, *Assessor) {
+	t.Helper()
+	w := corpus.NewWorld(corpus.SmallConfig())
+	return w, NewAssessor(w)
+}
+
+func TestCorrectFact(t *testing.T) {
+	w, a := world(t)
+	// Take a gold married_to fact and reconstruct the extraction.
+	for i := range w.Facts {
+		f := &w.Facts[i]
+		if f.Relation != "married_to" || !f.Objects[0].IsEntity() {
+			continue
+		}
+		ok := a.Correct(&store.Fact{
+			Subject:  store.Value{EntityID: f.Subject},
+			Relation: "married_to", Pattern: "marry",
+			Objects: []store.Value{{EntityID: f.Objects[0].EntityID}},
+		})
+		if !ok {
+			t.Errorf("gold-equivalent fact judged wrong: %s married %s", f.Subject, f.Objects[0].EntityID)
+		}
+		// Wrong object must be judged incorrect.
+		bad := a.Correct(&store.Fact{
+			Subject:  store.Value{EntityID: f.Subject},
+			Relation: "married_to", Pattern: "marry",
+			Objects: []store.Value{{EntityID: f.Subject}},
+		})
+		if bad {
+			t.Error("self-marriage judged correct")
+		}
+		break
+	}
+}
+
+func TestSurfacePatternMatch(t *testing.T) {
+	w, a := world(t)
+	for i := range w.Facts {
+		f := &w.Facts[i]
+		if f.Relation != "married_to" || !f.Objects[0].IsEntity() {
+			continue
+		}
+		// Surface pattern in the synset, uncanonicalized relation.
+		ok := a.Correct(&store.Fact{
+			Subject:  store.Value{EntityID: f.Subject},
+			Relation: "wed", Pattern: "wed",
+			Objects: []store.Value{{EntityID: f.Objects[0].EntityID}},
+		})
+		if !ok {
+			t.Error("synset surface pattern not accepted")
+		}
+		break
+	}
+}
+
+func TestLiteralSubjectResolution(t *testing.T) {
+	w, a := world(t)
+	for i := range w.Facts {
+		f := &w.Facts[i]
+		if f.Relation != "born_in" || !f.Objects[0].IsEntity() {
+			continue
+		}
+		subj := w.Entity(f.Subject)
+		city := w.Entity(f.Objects[0].EntityID)
+		ok := a.Correct(&store.Fact{
+			Subject:  store.Value{Literal: subj.Name},
+			Relation: "born in", Pattern: "born in",
+			Objects: []store.Value{{Literal: city.Name}},
+		})
+		if !ok {
+			t.Errorf("literal-form fact not matched: %s born in %s", subj.Name, city.Name)
+		}
+		break
+	}
+}
+
+func TestWaldCI(t *testing.T) {
+	if ci := WaldCI(0.5, 100); math.Abs(ci-0.098) > 0.001 {
+		t.Errorf("WaldCI(0.5, 100) = %f", ci)
+	}
+	if ci := WaldCI(1.0, 50); ci != 0 {
+		t.Errorf("WaldCI(1, 50) = %f", ci)
+	}
+	if ci := WaldCI(0.5, 0); ci != 0 {
+		t.Errorf("WaldCI(_, 0) = %f", ci)
+	}
+}
+
+func TestCohensKappa(t *testing.T) {
+	// Perfect agreement.
+	a := []bool{true, true, false, false}
+	if k := CohensKappa(a, a); math.Abs(k-1) > 1e-9 {
+		t.Errorf("kappa(perfect) = %f", k)
+	}
+	// Complete disagreement.
+	b := []bool{false, false, true, true}
+	if k := CohensKappa(a, b); k >= 0 {
+		t.Errorf("kappa(opposite) = %f, want negative", k)
+	}
+	if k := CohensKappa(nil, nil); k != 0 {
+		t.Errorf("kappa(empty) = %f", k)
+	}
+}
+
+func TestPairedTTest(t *testing.T) {
+	same := []float64{1, 2, 3, 4, 5}
+	if p := PairedTTest(same, same); p != 1 {
+		t.Errorf("p(identical) = %f", p)
+	}
+	a := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	b := []float64{2, 3, 4, 5, 6, 7, 8, 9}
+	if p := PairedTTest(a, b); p > 0.001 {
+		t.Errorf("p(systematic shift) = %f, want tiny", p)
+	}
+	if p := PairedTTest([]float64{1}, []float64{2}); p != 1 {
+		t.Errorf("p(n=1) = %f", p)
+	}
+}
+
+func TestQAMetrics(t *testing.T) {
+	eq := func(a, b string) bool { return a == b }
+	golds := [][]string{{"x"}, {"y"}, {"z"}}
+	answers := [][]string{{"x"}, {"wrong"}, nil}
+	prf := QAMetrics(golds, answers, eq)
+	if math.Abs(prf.Precision-1.0/3) > 1e-9 {
+		t.Errorf("precision = %f", prf.Precision)
+	}
+	if math.Abs(prf.Recall-1.0/3) > 1e-9 {
+		t.Errorf("recall = %f", prf.Recall)
+	}
+	if math.Abs(prf.F1-1.0/3) > 1e-9 {
+		t.Errorf("F1 = %f", prf.F1)
+	}
+	// Partial credit: two answers, one right.
+	prf = QAMetrics([][]string{{"x"}}, [][]string{{"x", "junk"}}, eq)
+	if math.Abs(prf.Precision-0.5) > 1e-9 || prf.Recall != 1 {
+		t.Errorf("partial = %+v", prf)
+	}
+}
+
+func TestAssessDeterministic(t *testing.T) {
+	w, a := world(t)
+	var facts []store.Fact
+	for i := range w.Facts[:20] {
+		f := &w.Facts[i]
+		sf := store.Fact{Subject: store.Value{EntityID: f.Subject}, Relation: f.Relation}
+		for _, o := range f.Objects {
+			if o.IsEntity() {
+				sf.Objects = append(sf.Objects, store.Value{EntityID: o.EntityID})
+			} else if o.Time != "" {
+				sf.Objects = append(sf.Objects, store.Value{Literal: o.Time, IsTime: true})
+			} else {
+				sf.Objects = append(sf.Objects, store.Value{Literal: o.Literal})
+			}
+		}
+		facts = append(facts, sf)
+	}
+	a1 := a.Assess(facts, 10, 42)
+	a2 := a.Assess(facts, 10, 42)
+	if a1.Precision != a2.Precision || a1.Kappa != a2.Kappa {
+		t.Error("Assess not deterministic for fixed seed")
+	}
+	if a1.Precision < 0.9 {
+		t.Errorf("gold-equivalent facts precision = %f", a1.Precision)
+	}
+	if a1.Kappa < -1 || a1.Kappa > 1 {
+		t.Errorf("kappa = %f out of range", a1.Kappa)
+	}
+}
+
+func TestPRCurveMonotoneExtractions(t *testing.T) {
+	w, a := world(t)
+	_ = w
+	facts := []store.Fact{
+		{Subject: store.Value{EntityID: "nope"}, Relation: "r", Confidence: 0.9,
+			Objects: []store.Value{{Literal: "x"}}},
+		{Subject: store.Value{EntityID: "nope2"}, Relation: "r", Confidence: 0.5,
+			Objects: []store.Value{{Literal: "y"}}},
+	}
+	pts := a.PRCurve(facts, []int{1, 2, 5})
+	if len(pts) != 3 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	if pts[0].Extractions != 1 || pts[1].Extractions != 2 || pts[2].Extractions != 2 {
+		t.Errorf("extraction counts = %+v", pts)
+	}
+}

@@ -1,0 +1,152 @@
+// Package experiments implements the runners that regenerate every table
+// and figure of the paper's evaluation (§7). Each runner returns a
+// structured result plus a rendered text table; cmd/experiments and
+// bench_test.go drive them.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"qkbfly"
+	"qkbfly/internal/corpus"
+	"qkbfly/internal/eval"
+	"qkbfly/internal/kb/store"
+	"qkbfly/internal/nlp/clause"
+	"qkbfly/internal/nlp/depparse"
+	"qkbfly/internal/search"
+	"qkbfly/internal/stats"
+)
+
+// Env is the shared experimental fixture: the synthetic world, the
+// background corpus and statistics, the retrieval index and the oracle
+// assessor.
+type Env struct {
+	World    *corpus.World
+	BG       []*corpus.GenDoc
+	Stats    *stats.Stats
+	Index    *search.Index
+	Assessor *eval.Assessor
+	// NewsPerEvent used when building the index and news dataset.
+	NewsPerEvent int
+}
+
+// NewEnv builds the fixture. Pass corpus.SmallConfig() in tests.
+//
+// The statistics are computed from the dated background snapshot (the
+// paper's 2015 Wikipedia dump), while the retrieval index holds the LIVE
+// article versions plus the news stream — the paper retrieves current
+// pages at query time.
+func NewEnv(cfg corpus.Config, newsPerEvent int) *Env {
+	w := corpus.NewWorld(cfg)
+	bg := w.BackgroundCorpus()
+	pipe := clause.NewPipeline(w.Repo, depparse.Malt)
+	st := stats.Build(corpus.Docs(bg), w.Repo, pipe)
+	news := w.NewsDataset(newsPerEvent)
+	var indexed []*corpus.GenDoc
+	for _, gd := range bg {
+		id := gd.Doc.ID[len("wiki:"):]
+		indexed = append(indexed, w.LiveArticle(id))
+	}
+	indexed = append(indexed, news...)
+	idx := search.New(corpus.Docs(indexed))
+	return &Env{
+		World: w, BG: bg, Stats: st, Index: idx,
+		Assessor:     eval.NewAssessor(w),
+		NewsPerEvent: newsPerEvent,
+	}
+}
+
+// System builds a QKBfly system in the given configuration.
+func (e *Env) System(mode qkbfly.Mode, alg qkbfly.Algorithm) *qkbfly.System {
+	cfg := qkbfly.DefaultConfig()
+	cfg.Mode = mode
+	cfg.Algorithm = alg
+	return qkbfly.New(qkbfly.Resources{
+		Repo: e.World.Repo, Patterns: e.World.Patterns,
+		Stats: e.Stats, Index: e.Index,
+	}, cfg)
+}
+
+// StaticKB converts the world's background facts into a store.KB — the
+// stand-in for the huge-but-static Freebase of §7.4.
+func (e *Env) StaticKB() *store.KB {
+	kb := store.New()
+	w := e.World
+	for _, id := range w.Order {
+		ent := w.Entities[id]
+		if ent.Emerging {
+			continue
+		}
+		kb.AddEntity(store.EntityRecord{ID: id, Name: ent.Name, Types: []string{ent.Type}})
+	}
+	for i := range w.Facts {
+		f := &w.Facts[i]
+		if f.EventID >= 0 {
+			continue // event facts are unknown to the static KB
+		}
+		if w.Entities[f.Subject].Emerging {
+			continue
+		}
+		sf := store.Fact{
+			Subject:    store.Value{EntityID: f.Subject},
+			Relation:   f.Relation,
+			Pattern:    f.Relation,
+			Confidence: 1,
+		}
+		usable := true
+		for _, o := range f.Objects {
+			switch {
+			case o.IsEntity():
+				if w.Entities[o.EntityID].Emerging {
+					usable = false
+					break
+				}
+				sf.Objects = append(sf.Objects, store.Value{EntityID: o.EntityID})
+			case o.Time != "":
+				sf.Objects = append(sf.Objects, store.Value{Literal: o.Time, IsTime: true})
+			default:
+				sf.Objects = append(sf.Objects, store.Value{Literal: o.Literal})
+			}
+		}
+		if usable && len(sf.Objects) > 0 {
+			kb.AddFact(sf)
+		}
+	}
+	return kb
+}
+
+// renderTable formats rows with padded columns.
+func renderTable(header []string, rows [][]string) string {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	line := func(cells []string) {
+		for i, c := range cells {
+			fmt.Fprintf(&b, "%-*s", widths[i]+2, c)
+		}
+		b.WriteString("\n")
+	}
+	line(header)
+	sep := make([]string, len(header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range rows {
+		line(r)
+	}
+	return b.String()
+}
+
+func pct(x float64) string    { return fmt.Sprintf("%.2f", x) }
+func pm(x, ci float64) string { return fmt.Sprintf("%.2f ± %.2f", x, ci) }

@@ -1,0 +1,185 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"qkbfly"
+	"qkbfly/internal/baselines/defie"
+	"qkbfly/internal/corpus"
+	"qkbfly/internal/eval"
+	"qkbfly/internal/kb/store"
+)
+
+// Table3Row is one system's fact-extraction result (Table 3).
+type Table3Row struct {
+	Method           string
+	TriplePrecision  eval.Assessment
+	TripleCount      int
+	HigherPrecision  eval.Assessment
+	HigherCount      int
+	AvgPerDocSeconds float64
+}
+
+// Table3Result holds the fact-extraction comparison of §7.1.
+type Table3Result struct {
+	Rows []Table3Row
+	Docs int
+}
+
+// Table4Row is one system's entity-linking result (Table 4).
+type Table4Row struct {
+	Method    string
+	Precision float64
+	CI        float64
+	Links     int
+}
+
+// Table4Result holds the NED comparison of §7.1.
+type Table4Result struct {
+	Rows []Table4Row
+}
+
+// RunTable3And4 reproduces Tables 3 and 4: fact extraction and entity
+// linking on the DEFIE-Wikipedia-style dataset, comparing DEFIE, QKBfly,
+// QKBfly-pipeline and QKBfly-noun.
+func RunTable3And4(env *Env, nDocs, sampleSize int) (*Table3Result, *Table4Result) {
+	gdocs := env.World.WikiDataset(nDocs)
+	byID := map[string]*corpus.GenDoc{}
+	for _, gd := range gdocs {
+		byID[gd.Doc.ID] = gd
+	}
+
+	t3 := &Table3Result{Docs: len(gdocs)}
+	t4 := &Table4Result{}
+
+	type sys struct {
+		name string
+		run  func() (*store.KB, float64)
+	}
+	systems := []sys{
+		{"DEFIE", func() (*store.KB, float64) {
+			d := defie.New(env.World.Repo, env.Stats)
+			start := time.Now()
+			kb := d.BuildKB(corpus.Docs(env.World.WikiDataset(nDocs)))
+			return kb, time.Since(start).Seconds() / float64(len(gdocs))
+		}},
+		{"QKBfly", func() (*store.KB, float64) {
+			s := env.System(qkbfly.Joint, qkbfly.Greedy)
+			kb, bs := s.BuildKB(corpus.Docs(env.World.WikiDataset(nDocs)))
+			return kb, bs.Elapsed.Seconds() / float64(bs.Documents)
+		}},
+		{"QKBfly-pipeline", func() (*store.KB, float64) {
+			s := env.System(qkbfly.Pipeline, qkbfly.Greedy)
+			kb, bs := s.BuildKB(corpus.Docs(env.World.WikiDataset(nDocs)))
+			return kb, bs.Elapsed.Seconds() / float64(bs.Documents)
+		}},
+		{"QKBfly-noun", func() (*store.KB, float64) {
+			s := env.System(qkbfly.NounOnly, qkbfly.Greedy)
+			kb, bs := s.BuildKB(corpus.Docs(env.World.WikiDataset(nDocs)))
+			return kb, bs.Elapsed.Seconds() / float64(bs.Documents)
+		}},
+	}
+
+	for si, s := range systems {
+		kb, perDoc := s.run()
+		var triples, higher []store.Fact
+		for _, f := range kb.Facts() {
+			if f.Arity() <= 2 {
+				triples = append(triples, f)
+			} else {
+				higher = append(higher, f)
+			}
+		}
+		row := Table3Row{
+			Method:           s.name,
+			TripleCount:      len(triples),
+			HigherCount:      len(higher),
+			AvgPerDocSeconds: perDoc,
+			TriplePrecision:  env.Assessor.Assess(triples, sampleSize, int64(100+si)),
+			HigherPrecision:  env.Assessor.Assess(higher, sampleSize, int64(200+si)),
+		}
+		if s.name == "DEFIE" {
+			// DEFIE yields triples only; drop the (empty) higher-arity cell.
+			row.HigherCount = 0
+			row.HigherPrecision = eval.Assessment{}
+		}
+		t3.Rows = append(t3.Rows, row)
+
+		// Table 4: mention-level entity linking over a sample of facts.
+		rng := rand.New(rand.NewSource(int64(300 + si)))
+		facts := kb.Facts()
+		idx := rng.Perm(len(facts))
+		links, correct := 0, 0
+		totalLinks := 0
+		for _, f := range facts {
+			l, _ := env.Assessor.LinkStats(&f, byID[f.Source.DocID])
+			totalLinks += l
+		}
+		for _, i := range idx {
+			if links >= sampleSize {
+				break
+			}
+			l, c := env.Assessor.LinkStats(&facts[i], byID[facts[i].Source.DocID])
+			links += l
+			correct += c
+		}
+		p := 0.0
+		if links > 0 {
+			p = float64(correct) / float64(links)
+		}
+		t4.Rows = append(t4.Rows, Table4Row{
+			Method: nedName(s.name), Precision: p,
+			CI: eval.WaldCI(p, links), Links: totalLinks,
+		})
+	}
+	return t3, t4
+}
+
+func nedName(s string) string {
+	if s == "DEFIE" {
+		return "DEFIE/Babelfy"
+	}
+	if s == "QKBfly-noun" {
+		return "" // Table 4 compares only DEFIE, QKBfly and the pipeline
+	}
+	return s
+}
+
+// String renders Table 3.
+func (r *Table3Result) String() string {
+	header := []string{"Method", "Triple Prec.", "#Triples", "Higher-arity Prec.", "#Higher", "ms/doc"}
+	var rows [][]string
+	for _, row := range r.Rows {
+		hp := "—"
+		hc := "—"
+		if row.HigherCount > 0 {
+			hp = pm(row.HigherPrecision.Precision, row.HigherPrecision.CI)
+			hc = fmt.Sprintf("%d", row.HigherCount)
+		}
+		rows = append(rows, []string{
+			row.Method,
+			pm(row.TriplePrecision.Precision, row.TriplePrecision.CI),
+			fmt.Sprintf("%d", row.TripleCount),
+			hp, hc,
+			fmt.Sprintf("%.2f", row.AvgPerDocSeconds*1000),
+		})
+	}
+	return "Table 3: fact extraction (" + fmt.Sprint(r.Docs) + " documents)\n" + renderTable(header, rows)
+}
+
+// String renders Table 4.
+func (r *Table4Result) String() string {
+	header := []string{"Method", "Precision", "#Links"}
+	var rows [][]string
+	for _, row := range r.Rows {
+		if row.Method == "" {
+			continue
+		}
+		rows = append(rows, []string{
+			row.Method, pm(row.Precision, row.CI), fmt.Sprintf("%d", row.Links),
+		})
+	}
+	return "Table 4: linking entities to the repository\n" + renderTable(header, rows)
+}

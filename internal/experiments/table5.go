@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"qkbfly/internal/corpus"
+	"qkbfly/internal/kb/store"
+	"qkbfly/internal/openie"
+)
+
+// Table5Row is one Open IE system's result.
+type Table5Row struct {
+	Method       string
+	Precision    float64
+	CI           float64
+	Extractions  int
+	AvgMsPerSent float64
+}
+
+// Table5Result is the Open IE component comparison of §7.1.
+type Table5Result struct {
+	Rows      []Table5Row
+	Sentences int
+}
+
+// RunTable5 reproduces Table 5: the Open IE systems on a Reverb-style
+// sentence sample. nSentences are drawn from the world's mixed text
+// (articles, news, fiction), mirroring the random Yahoo sample.
+func RunTable5(env *Env, nSentences, sampleSize int) *Table5Result {
+	sents, byDoc := sampleSentences(env, nSentences)
+	res := &Table5Result{Sentences: len(sents)}
+
+	extractors := []openie.Extractor{
+		openie.NewClausIE(env.World.Repo),
+		openie.NewQKBflyOpenIE(env.World.Repo),
+		openie.NewReverb(),
+		openie.NewOllie(env.World.Repo),
+		openie.NewOpenIE42(env.World.Repo),
+	}
+	for xi, ex := range extractors {
+		var all []store.Fact
+		start := time.Now()
+		for i, s := range sents {
+			for _, e := range ex.ExtractSentence(s.text, i) {
+				f := store.Fact{
+					Subject:  store.Value{Literal: e.Subject},
+					Relation: e.Relation, Pattern: e.Relation,
+					Confidence: 1,
+					Source:     store.Provenance{DocID: s.docID, SentIndex: s.sentIndex},
+				}
+				for _, o := range e.Objects {
+					f.Objects = append(f.Objects, store.Value{Literal: o})
+				}
+				all = append(all, f)
+			}
+		}
+		elapsed := time.Since(start)
+		a := env.Assessor.AssessAt(all, byDoc, sampleSize, int64(500+xi))
+		res.Rows = append(res.Rows, Table5Row{
+			Method:       ex.Name(),
+			Precision:    a.Precision,
+			CI:           a.CI,
+			Extractions:  len(all),
+			AvgMsPerSent: float64(elapsed.Milliseconds()) / float64(len(sents)),
+		})
+	}
+	return res
+}
+
+type sampledSentence struct {
+	text      string
+	docID     string
+	sentIndex int
+}
+
+// sampleSentences draws a deterministic sample of sentences across the
+// evaluation corpora, returning the generated documents by ID for the
+// sentence-level oracle.
+func sampleSentences(env *Env, n int) ([]sampledSentence, map[string]*corpus.GenDoc) {
+	var pool []sampledSentence
+	byDoc := map[string]*corpus.GenDoc{}
+	add := func(gds []*corpus.GenDoc) {
+		for _, gd := range gds {
+			byDoc[gd.Doc.ID] = gd
+			for si := range gd.Doc.Sentences {
+				pool = append(pool, sampledSentence{
+					text:  gd.Doc.Sentences[si].Text,
+					docID: gd.Doc.ID, sentIndex: si,
+				})
+			}
+		}
+	}
+	add(env.World.WikiDataset(60))
+	add(env.World.NewsDataset(1))
+	add(env.World.WikiaDataset(env.World.Config.WikiaPages))
+	rng := rand.New(rand.NewSource(42))
+	idx := rng.Perm(len(pool))
+	if len(idx) > n {
+		idx = idx[:n]
+	}
+	out := make([]sampledSentence, 0, len(idx))
+	for _, i := range idx {
+		out = append(out, pool[i])
+	}
+	return out, byDoc
+}
+
+// String renders Table 5.
+func (r *Table5Result) String() string {
+	header := []string{"Method", "Precision", "#Extract.", "ms/sentence"}
+	var rows [][]string
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			row.Method, pm(row.Precision, row.CI),
+			fmt.Sprintf("%d", row.Extractions),
+			fmt.Sprintf("%.2f", row.AvgMsPerSent),
+		})
+	}
+	return fmt.Sprintf("Table 5: Open IE component (%d sentences)\n", r.Sentences) + renderTable(header, rows)
+}

@@ -1,0 +1,200 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"qkbfly"
+	"qkbfly/internal/eval"
+	"qkbfly/internal/kb/entityrepo"
+	"qkbfly/internal/qa"
+	"qkbfly/internal/svm"
+)
+
+// Table9Row is one QA system's macro-averaged result.
+type Table9Row struct {
+	Method string
+	PRF    eval.PRF
+}
+
+// Table9Result reproduces the ad-hoc QA evaluation of §7.4 (Table 9 plus
+// the AQQU end-to-end comparison and the Wikipedia-only / news-only
+// ablations).
+type Table9Result struct {
+	Rows      []Table9Row
+	Questions int
+}
+
+// RunTable9 trains the answer classifier on WebQuestions-style training
+// questions generated from background facts, then evaluates all systems
+// on the GoogleTrendsQuestions-style benchmark.
+func RunTable9(env *Env, trainQuestions int) *Table9Result {
+	sys := env.System(qkbfly.Joint, qkbfly.Greedy)
+	base := &qa.System{
+		QKB: sys, Repo: env.World.Repo, Index: env.Index, NewsSize: 10,
+	}
+	model := TrainQAModel(env, base, trainQuestions)
+	base.Model = model
+
+	static := env.StaticKB()
+	bench := env.World.QABenchmark()
+
+	systems := []qa.Answerer{
+		base,
+		&qa.System{SystemName: "QKBfly-triples", QKB: sys, Repo: env.World.Repo,
+			Index: env.Index, NewsSize: 10, Model: model, TriplesOnly: true},
+		&qa.SentenceAnswers{Base: base, Model: model},
+		&qa.StaticKB{Base: base, KB: static, Model: model},
+		&qa.AQQU{Base: base, KB: static, Patterns: env.World.Patterns},
+		&qa.System{SystemName: "QKBfly (Wikipedia only)", QKB: sys, Repo: env.World.Repo,
+			Index: env.Index, NewsSize: 10, Model: model, Sources: "wikipedia"},
+		&qa.System{SystemName: "QKBfly (news only)", QKB: sys, Repo: env.World.Repo,
+			Index: env.Index, NewsSize: 10, Model: model, Sources: "news"},
+	}
+
+	res := &Table9Result{Questions: len(bench)}
+	for _, s := range systems {
+		var golds, answers [][]string
+		for _, q := range bench {
+			golds = append(golds, q.Gold)
+			answers = append(answers, s.Answer(q.Text))
+		}
+		prf := eval.QAMetrics(golds, answers, env.MatchAnswer)
+		res.Rows = append(res.Rows, Table9Row{Method: s.Name(), PRF: prf})
+	}
+	return res
+}
+
+// String renders Table 9.
+func (r *Table9Result) String() string {
+	header := []string{"Method", "Precision", "Recall", "F1"}
+	var rows [][]string
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			row.Method, fmt.Sprintf("%.3f", row.PRF.Precision),
+			fmt.Sprintf("%.3f", row.PRF.Recall),
+			fmt.Sprintf("%.3f", row.PRF.F1),
+		})
+	}
+	return fmt.Sprintf("Table 9: ad-hoc QA on GoogleTrendsQuestions-style benchmark (%d questions)\n", r.Questions) +
+		renderTable(header, rows)
+}
+
+// MatchAnswer compares a gold answer (entity ID or literal) with a system
+// answer (entity ID, "new:" ID, or literal).
+func (e *Env) MatchAnswer(gold, answer string) bool {
+	if gold == answer {
+		return true
+	}
+	norm := func(s string) string {
+		s = strings.TrimPrefix(s, "new:")
+		return entityrepo.Normalize(strings.ReplaceAll(s, "_", " "))
+	}
+	gn, an := norm(gold), norm(answer)
+	if gn == an {
+		return true
+	}
+	// Resolve both sides to world entities by name/alias where possible.
+	if ge := e.World.Entity(gold); ge != nil {
+		if entityrepo.Normalize(ge.Name) == an {
+			return true
+		}
+		for _, al := range ge.Aliases {
+			if entityrepo.Normalize(al) == an {
+				return true
+			}
+		}
+	}
+	// Literal gold: containment.
+	if strings.Contains(an, gn) || strings.Contains(gn, an) {
+		return gn != "" && an != ""
+	}
+	return false
+}
+
+// TrainQAModel generates WebQuestions-style training questions from
+// background facts, runs the candidate pipeline on each, labels candidates
+// with the gold answers, and trains the linear SVM (Appendix B).
+func TrainQAModel(env *Env, base *qa.System, n int) *svm.Model {
+	type tq struct {
+		text string
+		gold []string
+	}
+	var tqs []tq
+	count := 0
+	for i := range env.World.Facts {
+		if count >= n {
+			break
+		}
+		f := &env.World.Facts[i]
+		if f.EventID >= 0 || len(f.Objects) == 0 {
+			continue
+		}
+		subj := env.World.Entity(f.Subject)
+		if subj == nil || subj.Emerging {
+			continue
+		}
+		var text string
+		var gold []string
+		switch f.Relation {
+		case "born_in":
+			if f.Objects[0].IsEntity() {
+				text = "Where was " + subj.Name + " born?"
+				gold = []string{f.Objects[0].EntityID}
+			}
+		case "married_to":
+			if f.Objects[0].IsEntity() {
+				text = "Who did " + subj.Name + " marry?"
+				gold = []string{f.Objects[0].EntityID}
+			}
+		case "plays_for":
+			if f.Objects[0].IsEntity() {
+				text = "Which club does " + subj.Name + " play for?"
+				gold = []string{f.Objects[0].EntityID}
+			}
+		case "founded":
+			if f.Objects[0].IsEntity() {
+				text = "Which company did " + subj.Name + " found?"
+				gold = []string{f.Objects[0].EntityID}
+			}
+		case "win_award":
+			if f.Objects[0].IsEntity() {
+				text = "Which award did " + subj.Name + " win?"
+				gold = []string{f.Objects[0].EntityID}
+			}
+		case "studied_at":
+			if f.Objects[0].IsEntity() {
+				text = "Where did " + subj.Name + " study?"
+				gold = []string{f.Objects[0].EntityID}
+			}
+		}
+		if text == "" {
+			continue
+		}
+		count++
+		tqs = append(tqs, tq{text: text, gold: gold})
+	}
+
+	var examples []svm.Example
+	for _, q := range tqs {
+		qents := base.QuestionEntities(q.text)
+		docs := base.Retrieve(q.text, qents)
+		if len(docs) == 0 {
+			continue
+		}
+		kb, _ := base.QKB.BuildKB(docs)
+		for _, c := range base.Candidates(q.text, qents, kb) {
+			label := false
+			for _, g := range q.gold {
+				if env.MatchAnswer(g, c.Answer) {
+					label = true
+					break
+				}
+			}
+			examples = append(examples, svm.Example{Features: c.Features, Label: label})
+		}
+	}
+	opt := svm.DefaultOptions()
+	opt.Epochs = 15
+	return svm.Train(examples, opt)
+}

@@ -1,0 +1,514 @@
+// Package graph implements the semantic-graph representation of §3: the
+// per-sentence graphs over clause, noun-phrase, pronoun and entity nodes,
+// connected by depends, relation, sameAs and means edges, linked across
+// sentences by initial co-reference edges.
+package graph
+
+import (
+	"fmt"
+	"strings"
+
+	"qkbfly/internal/kb/entityrepo"
+	"qkbfly/internal/nlp"
+	"qkbfly/internal/nlp/clause"
+)
+
+// NodeKind distinguishes the four node types of §3.
+type NodeKind int
+
+// Node kinds.
+const (
+	ClauseNode NodeKind = iota
+	NounPhraseNode
+	PronounNode
+	EntityNode
+)
+
+// String implements fmt.Stringer.
+func (k NodeKind) String() string {
+	switch k {
+	case ClauseNode:
+		return "clause"
+	case NounPhraseNode:
+		return "np"
+	case PronounNode:
+		return "pronoun"
+	default:
+		return "entity"
+	}
+}
+
+// Node is one node of the semantic graph.
+type Node struct {
+	ID   int
+	Kind NodeKind
+
+	// For clause, noun-phrase and pronoun nodes:
+	SentIndex int
+	Head      int // token index of the head within the sentence
+	Start     int
+	End       int
+	Text      string
+	NER       nlp.NERType
+	TimeValue string
+
+	// For clause nodes:
+	Clause *clause.Clause
+
+	// For entity nodes:
+	EntityID string
+}
+
+// EdgeKind distinguishes the four edge types of §3.
+type EdgeKind int
+
+// Edge kinds.
+const (
+	DependsEdge EdgeKind = iota
+	RelationEdge
+	SameAsEdge
+	MeansEdge
+)
+
+// String implements fmt.Stringer.
+func (k EdgeKind) String() string {
+	switch k {
+	case DependsEdge:
+		return "depends"
+	case RelationEdge:
+		return "relation"
+	case SameAsEdge:
+		return "sameAs"
+	default:
+		return "means"
+	}
+}
+
+// Edge is one edge of the semantic graph. Relation edges carry the surface
+// relation pattern as Label; means and (pronoun) sameAs edges are the ones
+// the densification algorithm may remove.
+type Edge struct {
+	ID      int
+	Kind    EdgeKind
+	From    int // node ID
+	To      int // node ID
+	Label   string
+	Removed bool
+	// Aux marks heuristic relation edges (the "'s <noun>" possessive and
+	// "is the <noun> of" complement constructions of §3) that yield
+	// standalone binary facts rather than belonging to a clause.
+	Aux bool
+}
+
+// Graph is the semantic graph G = (N, R) of one document.
+type Graph struct {
+	DocID string
+	Nodes []*Node
+	Edges []*Edge
+
+	entityNode map[string]int // entity ID -> node ID
+	npAt       map[[2]int]int // (sentence, head token) -> node ID
+	adj        map[int][]int  // node ID -> edge IDs
+}
+
+// New returns an empty graph for a document.
+func New(docID string) *Graph {
+	return &Graph{
+		DocID:      docID,
+		entityNode: make(map[string]int),
+		npAt:       make(map[[2]int]int),
+		adj:        make(map[int][]int),
+	}
+}
+
+// AddNode appends a node and returns it.
+func (g *Graph) AddNode(n Node) *Node {
+	n.ID = len(g.Nodes)
+	p := &n
+	g.Nodes = append(g.Nodes, p)
+	return p
+}
+
+// AddEdge appends an edge and returns it.
+func (g *Graph) AddEdge(kind EdgeKind, from, to int, label string) *Edge {
+	e := &Edge{ID: len(g.Edges), Kind: kind, From: from, To: to, Label: label}
+	g.Edges = append(g.Edges, e)
+	g.adj[from] = append(g.adj[from], e.ID)
+	g.adj[to] = append(g.adj[to], e.ID)
+	return e
+}
+
+// EdgesAt returns the IDs of all edges incident to the node.
+func (g *Graph) EdgesAt(node int) []int { return g.adj[node] }
+
+// NodeForEntity returns (creating on demand) the entity node for entityID.
+func (g *Graph) NodeForEntity(entityID string) *Node {
+	if id, ok := g.entityNode[entityID]; ok {
+		return g.Nodes[id]
+	}
+	n := g.AddNode(Node{Kind: EntityNode, EntityID: entityID})
+	g.entityNode[entityID] = n.ID
+	return n
+}
+
+// NPAt returns the noun-phrase or pronoun node anchored at the given
+// sentence and head token, or nil.
+func (g *Graph) NPAt(sent, head int) *Node {
+	if id, ok := g.npAt[[2]int{sent, head}]; ok {
+		return g.Nodes[id]
+	}
+	return nil
+}
+
+// Stats summarises the graph (used in logs and tests).
+func (g *Graph) Stats() string {
+	counts := map[string]int{}
+	for _, n := range g.Nodes {
+		counts[n.Kind.String()]++
+	}
+	for _, e := range g.Edges {
+		if !e.Removed {
+			counts[e.Kind.String()]++
+		}
+	}
+	return fmt.Sprintf("nodes(clause=%d np=%d pron=%d ent=%d) edges(dep=%d rel=%d same=%d means=%d)",
+		counts["clause"], counts["np"], counts["pronoun"], counts["entity"],
+		counts["depends"], counts["relation"], counts["sameAs"], counts["means"])
+}
+
+// ---------------------------------------------------------------------------
+// Construction (§3)
+// ---------------------------------------------------------------------------
+
+// Builder constructs semantic graphs from annotated documents.
+type Builder struct {
+	Repo *entityrepo.Repo
+	// MaxCandidates bounds the entity candidates per noun phrase.
+	MaxCandidates int
+	// CorefWindow is how many sentences back a pronoun may look (§3: 5).
+	CorefWindow int
+	// IncludePronouns controls whether pronoun nodes are generated
+	// (disabled for the QKBfly-noun configuration).
+	IncludePronouns bool
+	// IncludeNPSameAs controls the string-match co-reference edges
+	// between noun phrases (disabled for the DEFIE/Babelfy baseline,
+	// which performs no mention clustering).
+	IncludeNPSameAs bool
+	// LooseCandidates emulates Babelfy's "loose identification of
+	// candidate meanings": the head-token fallback applies even to
+	// multi-word names, so unknown full names pick up surname-level
+	// candidates. Used by the DEFIE baseline.
+	LooseCandidates bool
+}
+
+// NewBuilder returns a Builder with the paper's defaults.
+func NewBuilder(repo *entityrepo.Repo) *Builder {
+	return &Builder{Repo: repo, MaxCandidates: 8, CorefWindow: 5, IncludePronouns: true, IncludeNPSameAs: true}
+}
+
+// Build constructs the semantic graph of a document whose sentences have
+// been annotated and whose clauses have been detected.
+func (b *Builder) Build(doc *nlp.Document, clausesBySent [][]clause.Clause) *Graph {
+	g := New(doc.ID)
+	for si := range doc.Sentences {
+		b.buildSentence(g, doc, si, clausesBySent[si])
+	}
+	b.addSameAsEdges(g, doc)
+	return g
+}
+
+// npNode returns (creating if needed) the NP or pronoun node for the
+// constituent with the given head token. It returns nil for pronouns when
+// the builder excludes them (the QKBfly-noun configuration).
+func (b *Builder) npNode(g *Graph, doc *nlp.Document, si int, cons clause.Constituent) *Node {
+	if n := g.NPAt(si, cons.Head); n != nil {
+		return n
+	}
+	sent := &doc.Sentences[si]
+	tok := &sent.Tokens[cons.Head]
+	kind := NounPhraseNode
+	if nlp.IsPronoun(tok) {
+		if !b.IncludePronouns {
+			return nil
+		}
+		kind = PronounNode
+	}
+	n := g.AddNode(Node{
+		Kind: kind, SentIndex: si, Head: cons.Head,
+		Start: cons.Start, End: cons.End,
+		Text: mentionText(sent, cons.Start, cons.End),
+		NER:  tok.NER, TimeValue: tok.TimeValue,
+	})
+	g.npAt[[2]int{si, cons.Head}] = n.ID
+	// Means edges to entity candidates (noun phrases only; pronouns get
+	// their candidates through sameAs edges).
+	if kind == NounPhraseNode && b.Repo != nil && tok.NER != nlp.NERTime {
+		for _, cand := range b.candidates(sent, n) {
+			en := g.NodeForEntity(cand)
+			g.AddEdge(MeansEdge, n.ID, en.ID, "")
+		}
+	}
+	return n
+}
+
+// candidates looks up entity candidates for a noun-phrase node by matching
+// alias names in the entity repository: the full span (minus leading
+// determiner), the NER mention covering the head, and the head token.
+func (b *Builder) candidates(sent *nlp.Sentence, n *Node) []string {
+	tried := map[string]bool{}
+	var out []string
+	add := func(alias string) {
+		key := entityrepo.Normalize(alias)
+		if key == "" || tried[key] {
+			return
+		}
+		tried[key] = true
+		for _, id := range b.Repo.Candidates(alias) {
+			dup := false
+			for _, x := range out {
+				if x == id {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				out = append(out, id)
+			}
+		}
+	}
+	add(n.Text)
+	var mention string
+	for _, m := range sent.Mentions {
+		if n.Head >= m.Start && n.Head < m.End {
+			mention = sent.TokenText(m.Start, m.End)
+			add(mention)
+		}
+	}
+	// Head-token fallback ("Pitt" for an unmatched mention) applies only
+	// when the fuller forms matched nothing AND the mention is short: a
+	// multi-word name with no full-alias match is an emerging entity (the
+	// paper's "Jessica Leeds" case), and linking it by surname alone
+	// would be wrong.
+	if b.LooseCandidates || (len(out) == 0 && countFields(mention) < 2) {
+		add(sent.Tokens[n.Head].Text)
+	}
+	if len(out) > b.MaxCandidates {
+		out = out[:b.MaxCandidates]
+	}
+	return out
+}
+
+func countFields(s string) int { return len(strings.Fields(s)) }
+
+// buildSentence adds clause nodes, their argument NP/pronoun nodes,
+// depends edges and relation edges for one sentence.
+func (b *Builder) buildSentence(g *Graph, doc *nlp.Document, si int, clauses []clause.Clause) {
+	sent := &doc.Sentences[si]
+	clauseNodes := make([]*Node, len(clauses))
+	for ci := range clauses {
+		c := &clauses[ci]
+		cn := g.AddNode(Node{
+			Kind: ClauseNode, SentIndex: si, Head: c.Verb,
+			Text: c.Pattern, Clause: c,
+		})
+		clauseNodes[ci] = cn
+		if c.Parent >= 0 && c.Parent < ci {
+			g.AddEdge(DependsEdge, clauseNodes[c.Parent].ID, cn.ID, "")
+		}
+		var subjNode *Node
+		if c.Subject != nil {
+			subjNode = b.npNode(g, doc, si, *c.Subject)
+			if subjNode != nil {
+				g.AddEdge(DependsEdge, cn.ID, subjNode.ID, "S")
+			}
+		}
+		verbLemma := sent.Tokens[c.Verb].Lemma
+		for _, arg := range c.Args() {
+			if c.Subject != nil && arg.Head == c.Subject.Head && arg.Role == clause.RoleSubject {
+				continue
+			}
+			an := b.npNode(g, doc, si, arg)
+			if an == nil {
+				continue
+			}
+			g.AddEdge(DependsEdge, cn.ID, an.ID, string(arg.Role))
+			if subjNode != nil {
+				label := verbLemma
+				if arg.Prep != "" {
+					label += " " + arg.Prep
+				}
+				g.AddEdge(RelationEdge, subjNode.ID, an.ID, label)
+			}
+		}
+		// SVC with a prepositional complement: "X is the son of Y" yields a
+		// relation edge X -> Y labeled "be son of".
+		if c.Complement != nil && subjNode != nil {
+			b.addComplementRelation(g, doc, si, c, subjNode)
+		}
+	}
+	// The "'s <noun>" heuristic of §3: "Pitt 's ex-wife Angelina Jolie"
+	// yields a relation edge Pitt -> Jolie labeled "ex-wife".
+	b.addPossessiveRelations(g, doc, si)
+}
+
+// addComplementRelation handles "X is the <noun> of Y" constructions.
+func (b *Builder) addComplementRelation(g *Graph, doc *nlp.Document, si int, c *clause.Clause, subjNode *Node) {
+	sent := &doc.Sentences[si]
+	complHead := c.Complement.Head
+	for _, pi := range sent.ChildrenByRel(complHead, nlp.DepPrep) {
+		for _, oi := range sent.ChildrenByRel(pi, nlp.DepPobj) {
+			obj := b.npNode(g, doc, si, clause.Constituent{Head: oi, Start: oi, End: oi + 1})
+			if cov := coveringChunk(sent, oi); cov != nil {
+				obj = b.npNode(g, doc, si, clause.Constituent{Head: cov.Head, Start: cov.Start, End: cov.End})
+			}
+			if obj == nil {
+				continue
+			}
+			label := fmt.Sprintf("be %s %s", sent.Tokens[complHead].Lemma, strings.ToLower(sent.Tokens[pi].Text))
+			g.AddEdge(RelationEdge, subjNode.ID, obj.ID, label).Aux = true
+			// The clause's object list gains this argument through the
+			// canonicalization stage via the relation edge.
+		}
+	}
+}
+
+// addPossessiveRelations scans for possessor structures.
+func (b *Builder) addPossessiveRelations(g *Graph, doc *nlp.Document, si int) {
+	sent := &doc.Sentences[si]
+	for i := range sent.Tokens {
+		if sent.Tokens[i].DepRel != nlp.DepPoss {
+			continue
+		}
+		head := sent.Tokens[i].Head
+		if head < 0 || !sent.Tokens[head].POS.IsNoun() {
+			continue
+		}
+		// The relation candidate is a common-noun compound between the
+		// possessive marker and the head ("ex-wife" in "Pitt 's ex-wife
+		// Angelina Jolie").
+		var relNoun string
+		for k := i + 1; k < head; k++ {
+			t := &sent.Tokens[k]
+			if (t.POS == nlp.NN || t.POS == nlp.NNS) && t.NER == nlp.NERNone {
+				relNoun = t.Lemma
+			}
+		}
+		if relNoun == "" {
+			continue
+		}
+		poss := g.NPAt(si, i)
+		if poss == nil {
+			poss = b.npNode(g, doc, si, clause.Constituent{Head: i, Start: i, End: i + 1})
+		}
+		owned := g.NPAt(si, head)
+		if owned == nil {
+			cov := coveringChunk(sent, head)
+			if cov != nil {
+				owned = b.npNode(g, doc, si, clause.Constituent{Head: cov.Head, Start: cov.Start, End: cov.End})
+			} else {
+				owned = b.npNode(g, doc, si, clause.Constituent{Head: head, Start: head, End: head + 1})
+			}
+		}
+		if poss == nil || owned == nil {
+			continue
+		}
+		g.AddEdge(RelationEdge, poss.ID, owned.ID, relNoun).Aux = true
+	}
+}
+
+func coveringChunk(sent *nlp.Sentence, tok int) *nlp.Chunk {
+	for ci := range sent.Chunks {
+		c := &sent.Chunks[ci]
+		if tok >= c.Start && tok < c.End {
+			return c
+		}
+	}
+	return nil
+}
+
+// mentionText renders a constituent, dropping a leading determiner.
+func mentionText(sent *nlp.Sentence, start, end int) string {
+	if start < end && (sent.Tokens[start].POS == nlp.DT) {
+		start++
+	}
+	return sent.TokenText(start, end)
+}
+
+// addSameAsEdges creates the initial co-reference edges (§3, following
+// [3]): string-matching noun phrases with the same NER label, and pronoun
+// edges to all noun phrases within the backward window.
+func (b *Builder) addSameAsEdges(g *Graph, doc *nlp.Document) {
+	var nps, pronouns []*Node
+	for _, n := range g.Nodes {
+		switch n.Kind {
+		case NounPhraseNode:
+			if n.NER != nlp.NERTime && n.NER != nlp.NERNone {
+				nps = append(nps, n)
+			}
+		case PronounNode:
+			pronouns = append(pronouns, n)
+		}
+	}
+	// NP-NP string matches.
+	if b.IncludeNPSameAs {
+		for i := 0; i < len(nps); i++ {
+			for j := i + 1; j < len(nps); j++ {
+				a, bn := nps[i], nps[j]
+				if a.NER != bn.NER {
+					continue
+				}
+				if namesMatch(a.Text, bn.Text) {
+					g.AddEdge(SameAsEdge, a.ID, bn.ID, "")
+				}
+			}
+		}
+	}
+	if !b.IncludePronouns {
+		return
+	}
+	// Pronoun -> preceding NPs within the window.
+	for _, p := range pronouns {
+		gender := nlp.PronounGender(doc.Sentences[p.SentIndex].Tokens[p.Head].Text)
+		for _, n := range nps {
+			if n.SentIndex > p.SentIndex || p.SentIndex-n.SentIndex > b.CorefWindow {
+				continue
+			}
+			if n.SentIndex == p.SentIndex && n.Head >= p.Head {
+				continue
+			}
+			// Person pronouns only link to PERSON mentions; "it" to others.
+			if gender == nlp.GenderMale || gender == nlp.GenderFemale {
+				if n.NER != nlp.NERPerson {
+					continue
+				}
+			} else if gender == nlp.GenderNeuter && n.NER == nlp.NERPerson {
+				continue
+			}
+			g.AddEdge(SameAsEdge, p.ID, n.ID, "")
+		}
+	}
+}
+
+// namesMatch implements the string matching used for initial co-reference:
+// one name's token set must be a subset of the other's ("Pitt" matches
+// "Brad Pitt"), case-insensitively.
+func namesMatch(a, b string) bool {
+	ta := strings.Fields(strings.ToLower(a))
+	tb := strings.Fields(strings.ToLower(b))
+	if len(ta) == 0 || len(tb) == 0 {
+		return false
+	}
+	if len(ta) > len(tb) {
+		ta, tb = tb, ta
+	}
+	set := map[string]bool{}
+	for _, w := range tb {
+		set[w] = true
+	}
+	for _, w := range ta {
+		if !set[w] {
+			return false
+		}
+	}
+	return true
+}

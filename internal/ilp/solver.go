@@ -1,0 +1,286 @@
+// Package ilp implements the Appendix-A baseline: an exact 0/1 integer
+// linear program for the constrained densest-subgraph problem, solved by a
+// branch-and-bound solver (standing in for Gurobi). It is deliberately the
+// exact, expensive counterpart of the greedy algorithm in package densify,
+// reproducing the quality/runtime trade-off of Table 6.
+package ilp
+
+import (
+	"math"
+	"sort"
+)
+
+// Program is a 0/1 ILP in the shape the Appendix-A translation produces:
+// variables are partitioned into exactly-one groups (the cnd_ij variables
+// of one mention form one group), the objective has unary coefficients on
+// variables and pairwise coefficients on variable pairs (the joint-rel_ijtk
+// variables, eliminated by propagation: joint = cnd_a AND cnd_b), and
+// equality constraints tie variables of sameAs-linked mentions together.
+type Program struct {
+	// Groups lists, per group, the variable IDs among which exactly one
+	// must be 1. A group may include a designated "null" variable
+	// (out-of-KB) with zero objective weight.
+	Groups [][]int
+	// Unary objective coefficient per variable.
+	Unary []float64
+	// Pairwise terms: joint variables with their coefficient.
+	Pairwise []PairTerm
+	// Forbidden marks variables fixed to 0 (e.g. gender violations).
+	Forbidden []bool
+	// Equal lists pairs of variables constrained to be equal
+	// (cnd_ij = cnd_tj for sameAs-linked mentions i, t and shared j).
+	Equal [][2]int
+}
+
+// PairTerm is one joint-rel variable: coefficient applies iff A and B are
+// both selected.
+type PairTerm struct {
+	A, B int
+	W    float64
+}
+
+// Solution of the ILP.
+type Solution struct {
+	// Selected[v] is true for variables set to 1.
+	Selected []bool
+	// Objective value.
+	Objective float64
+	// Nodes explored by branch and bound (for the runtime experiments).
+	Nodes int
+}
+
+// NewProgram returns an empty program.
+func NewProgram() *Program { return &Program{} }
+
+// AddVar appends a variable with the given unary weight and returns its ID.
+func (p *Program) AddVar(w float64) int {
+	p.Unary = append(p.Unary, w)
+	p.Forbidden = append(p.Forbidden, false)
+	return len(p.Unary) - 1
+}
+
+// AddGroup registers an exactly-one group over the given variables.
+func (p *Program) AddGroup(vars []int) { p.Groups = append(p.Groups, vars) }
+
+// AddPair registers a pairwise objective term.
+func (p *Program) AddPair(a, b int, w float64) {
+	p.Pairwise = append(p.Pairwise, PairTerm{A: a, B: b, W: w})
+}
+
+// Forbid fixes a variable to 0.
+func (p *Program) Forbid(v int) { p.Forbidden[v] = true }
+
+// AddEqual constrains two variables to take the same value.
+func (p *Program) AddEqual(a, b int) { p.Equal = append(p.Equal, [2]int{a, b}) }
+
+// Solve runs exact branch and bound: it branches over groups (selecting
+// one member per group), propagates equality constraints, and prunes with
+// an admissible upper bound (best member per open group plus best-case
+// pairwise terms). maxNodes bounds the search as a safety valve; if it is
+// exceeded the best incumbent found so far is returned (Exact=false).
+func (p *Program) Solve(maxNodes int) (*Solution, bool) {
+	s := &solver{p: p, maxNodes: maxNodes}
+	s.prepare()
+	s.best = math.Inf(-1)
+	assign := make([]int8, len(p.Unary)) // -1 unset is 0; use 0 unset,1 sel,2 zero
+	s.branch(0, 0, assign)
+	sel := make([]bool, len(p.Unary))
+	for i, v := range s.bestAssign {
+		sel[i] = v == 1
+	}
+	return &Solution{Selected: sel, Objective: s.best, Nodes: s.nodes}, s.nodes <= s.maxNodes
+}
+
+type solver struct {
+	p          *Program
+	maxNodes   int
+	nodes      int
+	best       float64
+	bestAssign []int8
+
+	// pairsAt[v] lists pairwise-term indexes touching variable v.
+	pairsAt [][]int
+	// equalTo[v] lists variables tied to v.
+	equalTo [][]int
+	// groupOrder: groups sorted largest-impact first for better pruning.
+	groupOrder []int
+	// maxGroupGain[g]: admissible optimistic gain for group g.
+	maxGroupGain []float64
+}
+
+func (s *solver) prepare() {
+	p := s.p
+	n := len(p.Unary)
+	s.pairsAt = make([][]int, n)
+	for i, t := range p.Pairwise {
+		s.pairsAt[t.A] = append(s.pairsAt[t.A], i)
+		s.pairsAt[t.B] = append(s.pairsAt[t.B], i)
+	}
+	s.equalTo = make([][]int, n)
+	for _, eq := range p.Equal {
+		s.equalTo[eq[0]] = append(s.equalTo[eq[0]], eq[1])
+		s.equalTo[eq[1]] = append(s.equalTo[eq[1]], eq[0])
+	}
+	// Optimistic unary gain per group (pairwise potential is bounded
+	// separately by pairBound at each node).
+	s.maxGroupGain = make([]float64, len(p.Groups))
+	for g, vars := range p.Groups {
+		bestU := 0.0
+		for _, v := range vars {
+			if !p.Forbidden[v] && p.Unary[v] > bestU {
+				bestU = p.Unary[v]
+			}
+		}
+		s.maxGroupGain[g] = bestU
+	}
+	s.groupOrder = make([]int, len(p.Groups))
+	for i := range s.groupOrder {
+		s.groupOrder[i] = i
+	}
+	sort.Slice(s.groupOrder, func(a, b int) bool {
+		return s.maxGroupGain[s.groupOrder[a]] > s.maxGroupGain[s.groupOrder[b]]
+	})
+}
+
+// pairBound sums the positive pairwise terms that could still be realized
+// under the partial assignment: terms where neither endpoint is zeroed and
+// at least one endpoint is undecided.
+func (s *solver) pairBound(assign []int8) float64 {
+	bound := 0.0
+	for _, t := range s.p.Pairwise {
+		if t.W <= 0 {
+			continue
+		}
+		a, b := assign[t.A], assign[t.B]
+		if a == 2 || b == 2 {
+			continue // dead
+		}
+		if a == 1 && b == 1 {
+			continue // already counted in current
+		}
+		bound += t.W
+	}
+	return bound
+}
+
+// branch explores group gi (index into groupOrder).
+func (s *solver) branch(gi int, current float64, assign []int8) {
+	s.nodes++
+	if s.nodes > s.maxNodes {
+		return
+	}
+	if gi == len(s.groupOrder) {
+		if current > s.best {
+			s.best = current
+			s.bestAssign = append([]int8(nil), assign...)
+		}
+		return
+	}
+	// Admissible bound: current value, the best unary member of each open
+	// group, plus every still-realizable positive pairwise term.
+	bound := current + s.pairBound(assign)
+	for k := gi; k < len(s.groupOrder); k++ {
+		bound += s.maxGroupGain[s.groupOrder[k]]
+	}
+	if bound <= s.best {
+		return
+	}
+	g := s.groupOrder[gi]
+	vars := s.p.Groups[g]
+	// Try each member; order by unary weight descending for fast
+	// incumbents.
+	order := append([]int(nil), vars...)
+	sort.Slice(order, func(a, b int) bool { return s.p.Unary[order[a]] > s.p.Unary[order[b]] })
+	for _, v := range order {
+		if s.p.Forbidden[v] || assign[v] == 2 {
+			continue
+		}
+		var trail []int
+		if !s.assignVar(v, 1, assign, &trail) {
+			s.undo(assign, trail)
+			continue
+		}
+		// Zero the siblings.
+		ok := true
+		for _, u := range vars {
+			if u != v && assign[u] != 2 {
+				if !s.assignVar(u, 2, assign, &trail) {
+					ok = false
+					break
+				}
+			}
+		}
+		if ok {
+			gain := s.trailGain(trail, assign)
+			s.branch(gi+1, current+gain, assign)
+		}
+		s.undo(assign, trail)
+		if s.nodes > s.maxNodes {
+			return
+		}
+	}
+}
+
+// trailGain computes the objective gain of the selections made in this
+// branching step (including equality-propagated ones): unary weights of
+// every newly selected variable, plus each pairwise term exactly once at
+// the moment its second endpoint becomes selected.
+func (s *solver) trailGain(trail []int, assign []int8) float64 {
+	gain := 0.0
+	processed := map[int]bool{}
+	for _, u := range trail {
+		if assign[u] != 1 {
+			continue
+		}
+		gain += s.p.Unary[u]
+		for _, ti := range s.pairsAt[u] {
+			t := s.p.Pairwise[ti]
+			other := t.A
+			if other == u {
+				other = t.B
+			}
+			if assign[other] == 1 && (!inTrailSelected(trail, other, assign) || processed[other]) {
+				gain += t.W
+			}
+		}
+		processed[u] = true
+	}
+	return gain
+}
+
+func inTrailSelected(trail []int, v int, assign []int8) bool {
+	for _, u := range trail {
+		if u == v {
+			return assign[v] == 1
+		}
+	}
+	return false
+}
+
+// assignVar sets a variable (1 selected, 2 zero) and propagates equality
+// constraints. Returns false on conflict.
+func (s *solver) assignVar(v int, val int8, assign []int8, trail *[]int) bool {
+	if assign[v] == val {
+		return true
+	}
+	if assign[v] != 0 {
+		return false
+	}
+	if val == 1 && s.p.Forbidden[v] {
+		return false
+	}
+	assign[v] = val
+	*trail = append(*trail, v)
+	for _, u := range s.equalTo[v] {
+		if !s.assignVar(u, val, assign, trail) {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *solver) undo(assign []int8, trail []int) {
+	for _, v := range trail {
+		assign[v] = 0
+	}
+}

@@ -1,0 +1,259 @@
+package ilp
+
+import (
+	"sort"
+
+	"qkbfly/internal/densify"
+	"qkbfly/internal/graph"
+	"qkbfly/internal/nlp"
+)
+
+// This file is the Appendix-A translation of the densest-subgraph problem
+// into an ILP: a binary variable cnd_ij per mention/candidate pair (plus a
+// null candidate for out-of-KB), exactly-one constraints per mention,
+// equality constraints for sameAs-linked mentions, gender constraints as
+// forbidden variables, and joint-rel_ijtk pairwise objective terms for
+// relation edges.
+
+// mentionVars records the ILP variables of one mention.
+type mentionVars struct {
+	node  int
+	cands []int // entity node IDs; parallel with vars
+	vars  []int
+	null  int // variable ID of the out-of-KB option
+}
+
+// Solve performs exact joint NED+CR on the semantic graph via the ILP and
+// returns the same result type as the greedy algorithm. maxNodes bounds
+// the branch-and-bound search.
+func Solve(g *graph.Graph, scorer *densify.Scorer, maxNodes int) (*densify.Result, *Solution) {
+	p := NewProgram()
+	var mentions []*mentionVars
+	mentionOf := map[int]*mentionVars{}
+
+	// Collect NP mentions with their candidates.
+	for _, n := range g.Nodes {
+		if n.Kind != graph.NounPhraseNode {
+			continue
+		}
+		mv := &mentionVars{node: n.ID}
+		for _, eid := range g.EdgesAt(n.ID) {
+			e := g.Edges[eid]
+			if e.Kind != graph.MeansEdge || e.From != n.ID {
+				continue
+			}
+			mv.cands = append(mv.cands, e.To)
+		}
+		sort.Ints(mv.cands)
+		for _, ent := range mv.cands {
+			w := scorer.MeansWeight(n, g.Nodes[ent].EntityID)
+			mv.vars = append(mv.vars, p.AddVar(w))
+		}
+		mv.null = p.AddVar(0) // out-of-KB choice
+		p.AddGroup(append(append([]int(nil), mv.vars...), mv.null))
+		mentions = append(mentions, mv)
+		mentionOf[n.ID] = mv
+	}
+
+	// sameAs equality constraints between NP mentions: same entity chosen.
+	// The constraint is vacuous when one side is an out-of-KB name (no
+	// candidates), and it is dropped entirely for textually incompatible
+	// full names chained through a shared surname.
+	for _, e := range g.Edges {
+		if e.Kind != graph.SameAsEdge {
+			continue
+		}
+		a, b := mentionOf[e.From], mentionOf[e.To]
+		if a == nil || b == nil {
+			continue // pronoun edges handled below
+		}
+		if len(a.cands) == 0 || len(b.cands) == 0 {
+			continue
+		}
+		if densify.TextConflict(g.Nodes[a.node].Text, g.Nodes[b.node].Text) {
+			continue
+		}
+		for i, entA := range a.cands {
+			j := indexOf(b.cands, entA)
+			if j >= 0 {
+				p.AddEqual(a.vars[i], b.vars[j])
+			} else {
+				// Candidate only on one side cannot be chosen when the
+				// sameAs constraint holds.
+				p.Forbid(a.vars[i])
+			}
+		}
+		for j, entB := range b.cands {
+			if indexOf(a.cands, entB) < 0 {
+				p.Forbid(b.vars[j])
+			}
+		}
+	}
+
+	// Pronouns: a group over candidate antecedents (plus unresolved).
+	type pronVars struct {
+		node int
+		nps  []int
+		vars []int
+		none int
+	}
+	var pronouns []*pronVars
+	for _, n := range g.Nodes {
+		if n.Kind != graph.PronounNode {
+			continue
+		}
+		pv := &pronVars{node: n.ID}
+		gender := nlp.PronounGender(scorer.Doc.Sentences[n.SentIndex].Tokens[n.Head].Text)
+		for _, eid := range g.EdgesAt(n.ID) {
+			e := g.Edges[eid]
+			if e.Kind != graph.SameAsEdge {
+				continue
+			}
+			np := e.From
+			if np == n.ID {
+				np = e.To
+			}
+			if g.Nodes[np].Kind == graph.PronounNode {
+				continue
+			}
+			pv.nps = append(pv.nps, np)
+		}
+		sort.Ints(pv.nps)
+		for _, np := range pv.nps {
+			// Small recency preference keeps selection deterministic when
+			// no relation evidence distinguishes antecedents.
+			nn := g.Nodes[np]
+			dist := float64(n.SentIndex-nn.SentIndex) + 0.01*float64(absInt(n.Head-nn.Head))
+			w := 1e-3 / (1 + dist)
+			for _, reid := range g.EdgesAt(np) {
+				if re := g.Edges[reid]; re.Kind == graph.RelationEdge && re.From == np {
+					w += 2e-3 // salience: subject antecedents preferred
+					break
+				}
+			}
+			// Relation evidence: the best pair weight this antecedent's
+			// candidates can realize on the pronoun's relation edges
+			// (upper-bound linearization of the three-way joint term).
+			for _, reid := range g.EdgesAt(n.ID) {
+				re := g.Edges[reid]
+				if re.Kind != graph.RelationEdge {
+					continue
+				}
+				other := re.From
+				if other == n.ID {
+					other = re.To
+				}
+				om := mentionOf[other]
+				am := mentionOf[np]
+				if om == nil || am == nil {
+					continue
+				}
+				best := 0.0
+				for _, ea := range am.cands {
+					for _, eo := range om.cands {
+						pw := scorer.PairWeight(g.Nodes[ea].EntityID, g.Nodes[eo].EntityID, re.Label)
+						if pw > best {
+							best = pw
+						}
+					}
+				}
+				w += best
+			}
+			v := p.AddVar(w)
+			pv.vars = append(pv.vars, v)
+			// Gender constraint (4): forbid antecedents whose every
+			// candidate conflicts with the pronoun gender.
+			if gender != nlp.GenderUnknown {
+				mv := mentionOf[np]
+				if mv != nil && len(mv.cands) > 0 {
+					ok := false
+					for _, ent := range mv.cands {
+						eg := scorer.EntityGender(g.Nodes[ent].EntityID)
+						if eg == nlp.GenderUnknown || eg == gender {
+							ok = true
+							break
+						}
+					}
+					if !ok {
+						p.Forbid(v)
+					}
+				}
+			}
+		}
+		pv.none = p.AddVar(0)
+		p.AddGroup(append(append([]int(nil), pv.vars...), pv.none))
+		pronouns = append(pronouns, pv)
+	}
+
+	// joint-rel pairwise terms for relation edges between NP mentions.
+	for _, e := range g.Edges {
+		if e.Kind != graph.RelationEdge {
+			continue
+		}
+		a, b := mentionOf[e.From], mentionOf[e.To]
+		if a == nil || b == nil {
+			continue // relation edges at pronouns contribute via antecedents
+		}
+		for i, entA := range a.cands {
+			for j, entB := range b.cands {
+				w := scorer.PairWeight(g.Nodes[entA].EntityID, g.Nodes[entB].EntityID, e.Label)
+				if w > 0 {
+					p.AddPair(a.vars[i], b.vars[j], w)
+				}
+			}
+		}
+	}
+
+	sol, _ := p.Solve(maxNodes)
+
+	res := &densify.Result{
+		Assignment: map[int]string{},
+		Antecedent: map[int]int{},
+		Confidence: map[int]float64{},
+	}
+	for _, mv := range mentions {
+		total, bestW := 0.0, 0.0
+		chosen := -1
+		for i, v := range mv.vars {
+			w := p.Unary[v]
+			total += w
+			if sol.Selected[v] {
+				chosen = i
+				bestW = w
+			}
+		}
+		if chosen >= 0 {
+			res.Assignment[mv.node] = g.Nodes[mv.cands[chosen]].EntityID
+			if total > 0 {
+				res.Confidence[mv.node] = bestW / total
+			} else {
+				res.Confidence[mv.node] = 1.0 / float64(len(mv.vars))
+			}
+		}
+	}
+	for _, pv := range pronouns {
+		for i, v := range pv.vars {
+			if sol.Selected[v] {
+				res.Antecedent[pv.node] = pv.nps[i]
+			}
+		}
+	}
+	res.Objective = sol.Objective
+	return res, sol
+}
+
+func indexOf(xs []int, x int) int {
+	for i, v := range xs {
+		if v == x {
+			return i
+		}
+	}
+	return -1
+}
+
+func absInt(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,225 @@
+// Package entityrepo implements the entity repository (E) of the paper
+// (§2.2): the stand-in for Yago. It stores known entities with their alias
+// names, fine-grained semantic types and gender attributes. As in the
+// paper, only alias and gender knowledge is used by QKBfly — none of the
+// repository's facts — and entities recognized during KB construction are
+// not required to be present here (emerging entities).
+package entityrepo
+
+import (
+	"sort"
+	"strings"
+
+	"qkbfly/internal/nlp"
+)
+
+// Entity is one repository entry.
+type Entity struct {
+	ID      string // canonical identifier, e.g. "Brad_Pitt"
+	Name    string // canonical display name
+	Aliases []string
+	Types   []string // fine-grained types, most specific first
+	Gender  nlp.Gender
+}
+
+// Repo is the entity repository with alias and type indexes.
+type Repo struct {
+	entities map[string]*Entity
+	byAlias  map[string][]string // normalized alias -> entity IDs
+	order    []string            // insertion order, for determinism
+}
+
+// New returns an empty repository.
+func New() *Repo {
+	return &Repo{
+		entities: make(map[string]*Entity),
+		byAlias:  make(map[string][]string),
+	}
+}
+
+// Add inserts an entity. The canonical name is always registered as an
+// alias. Adding an existing ID replaces the previous entry's aliases.
+func (r *Repo) Add(e *Entity) {
+	if _, exists := r.entities[e.ID]; !exists {
+		r.order = append(r.order, e.ID)
+	}
+	r.entities[e.ID] = e
+	seen := map[string]bool{}
+	for _, a := range append([]string{e.Name}, e.Aliases...) {
+		key := Normalize(a)
+		if key == "" || seen[key] {
+			continue
+		}
+		seen[key] = true
+		ids := r.byAlias[key]
+		found := false
+		for _, id := range ids {
+			if id == e.ID {
+				found = true
+				break
+			}
+		}
+		if !found {
+			r.byAlias[key] = append(ids, e.ID)
+		}
+	}
+}
+
+// Get returns the entity with the given ID, or nil.
+func (r *Repo) Get(id string) *Entity { return r.entities[id] }
+
+// Len returns the number of entities.
+func (r *Repo) Len() int { return len(r.entities) }
+
+// IDs returns all entity IDs in insertion order.
+func (r *Repo) IDs() []string { return append([]string(nil), r.order...) }
+
+// Candidates returns the IDs of all entities having the given surface form
+// as an alias, sorted for determinism.
+func (r *Repo) Candidates(alias string) []string {
+	ids := r.byAlias[Normalize(alias)]
+	out := append([]string(nil), ids...)
+	sort.Strings(out)
+	return out
+}
+
+// LookupType implements ner.Gazetteer: it returns the coarse NER type of
+// the alias if known. When several entities share the alias, the first
+// (sorted) entity's type is used — the ambiguity is resolved later by the
+// graph algorithm, which considers all candidates.
+func (r *Repo) LookupType(alias string) (nlp.NERType, bool) {
+	ids := r.Candidates(alias)
+	if len(ids) == 0 {
+		return nlp.NERNone, false
+	}
+	return CoarseType(r.entities[ids[0]].Types), true
+}
+
+// Gender returns the gender attribute of an entity.
+func (r *Repo) Gender(id string) nlp.Gender {
+	if e := r.entities[id]; e != nil {
+		return e.Gender
+	}
+	return nlp.GenderUnknown
+}
+
+// Normalize lower-cases, collapses whitespace and drops periods for alias
+// matching ("Margate F.C." and "Margate FC" normalize identically; the
+// initial in "Petra G." survives tokenization differences).
+func Normalize(alias string) string {
+	alias = strings.ReplaceAll(alias, ".", "")
+	return strings.Join(strings.Fields(strings.ToLower(alias)), " ")
+}
+
+// ---------------------------------------------------------------------------
+// Type system
+// ---------------------------------------------------------------------------
+
+// The fine-grained type system, modeled on the paper's infobox-derived
+// 167-type hierarchy (§4, "Type Signatures"); here a representative subset
+// with an explicit subsumption hierarchy.
+const (
+	TypePerson         = "PERSON"
+	TypeActor          = "ACTOR"
+	TypeMusician       = "MUSICAL_ARTIST"
+	TypePolitician     = "POLITICIAN"
+	TypeAthlete        = "ATHLETE"
+	TypeFootballer     = "FOOTBALLER"
+	TypeTennisPlayer   = "TENNIS_PLAYER"
+	TypeScientist      = "SCIENTIST"
+	TypeBusinessPerson = "BUSINESSPERSON"
+	TypeModel          = "MODEL"
+	TypeWriter         = "WRITER"
+	TypeDirector       = "DIRECTOR"
+	TypeCharacter      = "FICTIONAL_CHARACTER"
+	TypeOrganization   = "ORGANIZATION"
+	TypeCompany        = "COMPANY"
+	TypeFootballClub   = "FOOTBALL_CLUB"
+	TypeBand           = "BAND"
+	TypeUniversity     = "UNIVERSITY"
+	TypeParty          = "POLITICAL_PARTY"
+	TypeCharity        = "CHARITY"
+	TypeLocation       = "LOCATION"
+	TypeCity           = "CITY"
+	TypeCountry        = "COUNTRY"
+	TypeRegion         = "REGION"
+	TypeWork           = "CREATIVE_WORK"
+	TypeFilm           = "FILM"
+	TypeAlbum          = "ALBUM"
+	TypeSong           = "SONG"
+	TypeSeries         = "TV_SERIES"
+	TypeAward          = "AWARD"
+	TypeEvent          = "EVENT"
+)
+
+// parents is the subsumption hierarchy (child -> parent), e.g.
+// FOOTBALLER ⊆ ATHLETE ⊆ PERSON.
+var parents = map[string]string{
+	TypeActor: TypePerson, TypeMusician: TypePerson,
+	TypePolitician: TypePerson, TypeAthlete: TypePerson,
+	TypeFootballer: TypeAthlete, TypeTennisPlayer: TypeAthlete,
+	TypeScientist: TypePerson, TypeBusinessPerson: TypePerson,
+	TypeModel: TypePerson, TypeWriter: TypePerson,
+	TypeDirector: TypePerson, TypeCharacter: TypePerson,
+	TypeCompany: TypeOrganization, TypeFootballClub: TypeOrganization,
+	TypeBand: TypeOrganization, TypeUniversity: TypeOrganization,
+	TypeParty: TypeOrganization, TypeCharity: TypeOrganization,
+	TypeCity: TypeLocation, TypeCountry: TypeLocation,
+	TypeRegion: TypeLocation,
+	TypeFilm:   TypeWork, TypeAlbum: TypeWork, TypeSong: TypeWork,
+	TypeSeries: TypeWork,
+}
+
+// Supertypes returns the type and all of its ancestors, most specific
+// first.
+func Supertypes(t string) []string {
+	out := []string{t}
+	for {
+		p, ok := parents[t]
+		if !ok {
+			return out
+		}
+		out = append(out, p)
+		t = p
+	}
+}
+
+// TypeClosure returns the union of supertypes of all given types.
+func TypeClosure(types []string) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, t := range types {
+		for _, s := range Supertypes(t) {
+			if !seen[s] {
+				seen[s] = true
+				out = append(out, s)
+			}
+		}
+	}
+	return out
+}
+
+// Subsumes reports whether ancestor subsumes (or equals) t.
+func Subsumes(ancestor, t string) bool {
+	for _, s := range Supertypes(t) {
+		if s == ancestor {
+			return true
+		}
+	}
+	return false
+}
+
+// CoarseType maps fine-grained types to the paper's five NER types.
+func CoarseType(types []string) nlp.NERType {
+	for _, t := range TypeClosure(types) {
+		switch t {
+		case TypePerson:
+			return nlp.NERPerson
+		case TypeOrganization:
+			return nlp.NEROrganization
+		case TypeLocation:
+			return nlp.NERLocation
+		}
+	}
+	return nlp.NERMisc
+}

@@ -1,0 +1,151 @@
+package entityrepo
+
+import (
+	"testing"
+	"testing/quick"
+
+	"qkbfly/internal/nlp"
+)
+
+func sample() *Repo {
+	r := New()
+	r.Add(&Entity{ID: "Brad_Pitt", Name: "Brad Pitt",
+		Aliases: []string{"Pitt", "Brad P."},
+		Types:   []string{TypeActor}, Gender: nlp.GenderMale})
+	r.Add(&Entity{ID: "Michael_Pitt", Name: "Michael Pitt",
+		Aliases: []string{"Pitt"},
+		Types:   []string{TypeActor}, Gender: nlp.GenderMale})
+	r.Add(&Entity{ID: "Margate", Name: "Margate",
+		Types: []string{TypeCity}, Gender: nlp.GenderNeuter})
+	r.Add(&Entity{ID: "Margate_F.C.", Name: "Margate F.C.",
+		Aliases: []string{"Margate FC", "Margate"},
+		Types:   []string{TypeFootballClub}, Gender: nlp.GenderNeuter})
+	return r
+}
+
+func TestCandidates(t *testing.T) {
+	r := sample()
+	if got := r.Candidates("Brad Pitt"); len(got) != 1 || got[0] != "Brad_Pitt" {
+		t.Errorf("Candidates(Brad Pitt) = %v", got)
+	}
+	if got := r.Candidates("Pitt"); len(got) != 2 {
+		t.Errorf("Candidates(Pitt) = %v, want both Pitts", got)
+	}
+	// Ambiguous city/club alias.
+	if got := r.Candidates("Margate"); len(got) != 2 {
+		t.Errorf("Candidates(Margate) = %v, want city and club", got)
+	}
+}
+
+func TestNormalizeDots(t *testing.T) {
+	r := sample()
+	if got := r.Candidates("Margate FC"); len(got) != 1 || got[0] != "Margate_F.C." {
+		t.Errorf("Candidates(Margate FC) = %v", got)
+	}
+	if got := r.Candidates("Brad P."); len(got) != 1 {
+		t.Errorf("Candidates(Brad P.) = %v", got)
+	}
+	if got := r.Candidates("brad p"); len(got) != 1 {
+		t.Errorf("case/dot-insensitive lookup failed: %v", got)
+	}
+}
+
+func TestGender(t *testing.T) {
+	r := sample()
+	if r.Gender("Brad_Pitt") != nlp.GenderMale {
+		t.Error("gender lookup failed")
+	}
+	if r.Gender("unknown") != nlp.GenderUnknown {
+		t.Error("unknown entity gender should be unknown")
+	}
+}
+
+func TestLookupType(t *testing.T) {
+	r := sample()
+	typ, ok := r.LookupType("Brad Pitt")
+	if !ok || typ != nlp.NERPerson {
+		t.Errorf("LookupType = %v, %v", typ, ok)
+	}
+	if _, ok := r.LookupType("Nobody Here"); ok {
+		t.Error("unexpected lookup hit")
+	}
+}
+
+func TestHierarchy(t *testing.T) {
+	sup := Supertypes(TypeFootballer)
+	want := []string{TypeFootballer, TypeAthlete, TypePerson}
+	if len(sup) != len(want) {
+		t.Fatalf("Supertypes = %v", sup)
+	}
+	for i := range want {
+		if sup[i] != want[i] {
+			t.Errorf("Supertypes[%d] = %s, want %s", i, sup[i], want[i])
+		}
+	}
+	if !Subsumes(TypePerson, TypeFootballer) {
+		t.Error("PERSON should subsume FOOTBALLER")
+	}
+	if Subsumes(TypeFootballer, TypePerson) {
+		t.Error("FOOTBALLER must not subsume PERSON")
+	}
+	if !Subsumes(TypeActor, TypeActor) {
+		t.Error("reflexive subsumption")
+	}
+}
+
+func TestCoarseType(t *testing.T) {
+	tests := []struct {
+		types []string
+		want  nlp.NERType
+	}{
+		{[]string{TypeFootballer}, nlp.NERPerson},
+		{[]string{TypeFootballClub}, nlp.NEROrganization},
+		{[]string{TypeCity}, nlp.NERLocation},
+		{[]string{TypeFilm}, nlp.NERMisc},
+		{[]string{TypeAward}, nlp.NERMisc},
+	}
+	for _, tt := range tests {
+		if got := CoarseType(tt.types); got != tt.want {
+			t.Errorf("CoarseType(%v) = %s, want %s", tt.types, got, tt.want)
+		}
+	}
+}
+
+func TestTypeClosure(t *testing.T) {
+	c := TypeClosure([]string{TypeFootballer, TypeActor})
+	seen := map[string]bool{}
+	for _, x := range c {
+		if seen[x] {
+			t.Fatalf("duplicate %s in closure %v", x, c)
+		}
+		seen[x] = true
+	}
+	if !seen[TypePerson] || !seen[TypeAthlete] {
+		t.Errorf("closure missing supertypes: %v", c)
+	}
+}
+
+// Property: Supertypes always terminates and ends at a root (a type with
+// no parent), for arbitrary type strings.
+func TestSupertypesTerminates(t *testing.T) {
+	f := func(s string) bool {
+		sup := Supertypes(s)
+		return len(sup) >= 1 && len(sup) <= 10 && sup[0] == s
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAddReplacesAndIDs(t *testing.T) {
+	r := sample()
+	n := r.Len()
+	r.Add(&Entity{ID: "Brad_Pitt", Name: "Brad Pitt", Types: []string{TypeActor}})
+	if r.Len() != n {
+		t.Errorf("re-adding changed Len to %d", r.Len())
+	}
+	ids := r.IDs()
+	if len(ids) != n || ids[0] != "Brad_Pitt" {
+		t.Errorf("IDs = %v", ids)
+	}
+}

@@ -1,0 +1,230 @@
+// Package patterns implements the pattern repository (P) of the paper
+// (§2.2, §5): the stand-in for the PATTY dictionary of relational
+// paraphrases. Surface relation patterns are grouped into synsets; each
+// synset names one canonical relation with a typed signature. At
+// canonicalization time, relation edges whose labels belong to the same
+// synset are combined into a single canonical relation ("play in",
+// "act in" and "star in" all map to play_in). Patterns not contained in
+// the repository become new relations, exactly as in the paper.
+package patterns
+
+import (
+	"sort"
+	"strings"
+
+	"qkbfly/internal/kb/entityrepo"
+)
+
+// Synset is one cluster of relational paraphrases.
+type Synset struct {
+	ID       string   // canonical relation name, e.g. "play_in"
+	Patterns []string // surface patterns (lemmatized verb + prepositions)
+	Domain   string   // fine-grained type of the subject (may be "")
+	Range    string   // fine-grained type of the object (may be "")
+}
+
+// Repo indexes synsets by pattern.
+type Repo struct {
+	synsets   []*Synset
+	byPattern map[string][]*Synset
+}
+
+// New returns a repository containing the given synsets.
+func New(synsets []*Synset) *Repo {
+	r := &Repo{byPattern: make(map[string][]*Synset)}
+	for _, s := range synsets {
+		r.add(s)
+	}
+	return r
+}
+
+func (r *Repo) add(s *Synset) {
+	r.synsets = append(r.synsets, s)
+	for _, p := range s.Patterns {
+		key := normalize(p)
+		r.byPattern[key] = append(r.byPattern[key], s)
+	}
+}
+
+// Len returns the number of synsets.
+func (r *Repo) Len() int { return len(r.synsets) }
+
+// PatternCount returns the total number of registered paraphrases.
+func (r *Repo) PatternCount() int {
+	n := 0
+	for _, s := range r.synsets {
+		n += len(s.Patterns)
+	}
+	return n
+}
+
+// Synsets returns all synsets.
+func (r *Repo) Synsets() []*Synset { return r.synsets }
+
+// Get returns the synset with the given ID, or nil.
+func (r *Repo) Get(id string) *Synset {
+	for _, s := range r.synsets {
+		if s.ID == id {
+			return s
+		}
+	}
+	return nil
+}
+
+// Canonicalize maps a surface pattern to a canonical relation, using the
+// subject and object types to discriminate between synsets sharing the
+// pattern (e.g. "play for" FOOTBALLER->CLUB vs "play in" ACTOR->FILM).
+// It returns the synset ID and true, or the original pattern and false if
+// the pattern is unknown (a new relation in the on-the-fly KB).
+func (r *Repo) Canonicalize(pattern string, subjTypes, objTypes []string) (string, bool) {
+	cands := r.byPattern[normalize(pattern)]
+	if len(cands) == 0 {
+		return pattern, false
+	}
+	best := (*Synset)(nil)
+	bestScore := -1
+	for _, s := range cands {
+		score := 0
+		if s.Domain != "" && typesMatch(subjTypes, s.Domain) {
+			score += 2
+		}
+		if s.Range != "" && typesMatch(objTypes, s.Range) {
+			score += 2
+		}
+		if s.Domain == "" {
+			score++
+		}
+		if s.Range == "" {
+			score++
+		}
+		if score > bestScore {
+			best, bestScore = s, score
+		}
+	}
+	return best.ID, true
+}
+
+// Paraphrases returns all surface patterns of the synset identified by the
+// canonical relation ID, sorted.
+func (r *Repo) Paraphrases(id string) []string {
+	s := r.Get(id)
+	if s == nil {
+		return nil
+	}
+	out := append([]string(nil), s.Patterns...)
+	sort.Strings(out)
+	return out
+}
+
+func typesMatch(types []string, want string) bool {
+	for _, t := range types {
+		if entityrepo.Subsumes(want, t) {
+			return true
+		}
+	}
+	return false
+}
+
+func normalize(p string) string {
+	return strings.Join(strings.Fields(strings.ToLower(p)), " ")
+}
+
+// Default returns the built-in paraphrase dictionary used by the synthetic
+// world: the scaled-down PATTY substitute.
+func Default() *Repo {
+	return New(DefaultSynsets())
+}
+
+// DefaultSynsets returns the built-in synsets. Exposed so that the corpus
+// generator can realize facts with paraphrases from the same inventory.
+func DefaultSynsets() []*Synset {
+	er := struct{ person, actor, musician, footballer, politician, businessperson, scientist, character, org, company, club, band, university, charity, loc, city, film, series, award, work, party string }{
+		entityrepo.TypePerson, entityrepo.TypeActor, entityrepo.TypeMusician,
+		entityrepo.TypeFootballer, entityrepo.TypePolitician,
+		entityrepo.TypeBusinessPerson, entityrepo.TypeScientist,
+		entityrepo.TypeCharacter, entityrepo.TypeOrganization,
+		entityrepo.TypeCompany, entityrepo.TypeFootballClub,
+		entityrepo.TypeBand, entityrepo.TypeUniversity, entityrepo.TypeCharity,
+		entityrepo.TypeLocation, entityrepo.TypeCity, entityrepo.TypeFilm,
+		entityrepo.TypeSeries, entityrepo.TypeAward, entityrepo.TypeWork,
+		entityrepo.TypeParty,
+	}
+	return []*Synset{
+		{ID: "is_a", Domain: "", Range: "",
+			Patterns: []string{"be"}},
+		{ID: "born_in", Domain: er.person, Range: er.loc,
+			Patterns: []string{"born in", "be born in", "born in on", "be from", "grow up in", "come from", "raise in", "birth place"}},
+		{ID: "born_to", Domain: er.person, Range: er.person,
+			Patterns: []string{"born to", "be son of", "be daughter of", "be child of", "father", "mother", "parent"}},
+		{ID: "married_to", Domain: er.person, Range: er.person,
+			Patterns: []string{"marry", "wed", "be married to", "marry in", "marry on", "wed on", "wed in", "wife", "husband", "spouse", "tie the knot with", "tie with", "exchange vows with"}},
+		{ID: "divorced_from", Domain: er.person, Range: er.person,
+			Patterns: []string{"divorce", "divorce from", "divorce on", "file for divorce from", "file for from", "file for from on", "split from", "separate from", "ex-wife", "ex-husband", "end marriage with"}},
+		{ID: "engaged_to", Domain: er.person, Range: er.person,
+			Patterns: []string{"engage to", "be engaged to", "propose to", "fiancee", "fiance"}},
+		{ID: "play_in", Domain: er.actor, Range: er.work,
+			Patterns: []string{"play in", "act in", "star in", "star as", "star as in", "appear in", "portray in", "have role in", "play", "portray", "feature in", "return in as", "cast in", "cast as in"}},
+		{ID: "directed", Domain: er.person, Range: er.film,
+			Patterns: []string{"direct", "be director of", "helm"}},
+		{ID: "wrote", Domain: er.person, Range: er.work,
+			Patterns: []string{"write", "compose", "author", "pen"}},
+		{ID: "released", Domain: er.person, Range: er.work,
+			Patterns: []string{"release", "put out", "issue", "release in", "record", "record in"}},
+		{ID: "performed_at", Domain: er.musician, Range: "",
+			Patterns: []string{"perform at", "perform in", "play at", "sing at", "headline", "perform"}},
+		{ID: "win_award", Domain: er.person, Range: er.award,
+			Patterns: []string{"win", "receive", "be awarded", "win for", "win in", "win in for", "receive in", "receive for", "receive in for", "receive in from", "accept", "collect", "earn", "take home"}},
+		{ID: "nominated_for", Domain: er.person, Range: er.award,
+			Patterns: []string{"nominate for", "be nominated for", "be shortlisted for"}},
+		{ID: "plays_for", Domain: er.footballer, Range: er.club,
+			Patterns: []string{"play for", "sign for", "sign with", "transfer to", "move to", "join"}},
+		{ID: "scored_for", Domain: er.footballer, Range: "",
+			Patterns: []string{"score for", "score in", "score against", "score"}},
+		{ID: "works_for", Domain: er.person, Range: er.org,
+			Patterns: []string{"work for", "work at", "be employed by", "serve at"}},
+		{ID: "leads", Domain: er.person, Range: er.org,
+			Patterns: []string{"lead", "head", "be ceo of", "run", "chair", "manage", "coach", "be chairman of", "be head of"}},
+		{ID: "founded", Domain: er.person, Range: er.org,
+			Patterns: []string{"found", "establish", "establish in", "create", "create in", "set up", "co-found", "launch", "launch in", "start", "start in", "found in"}},
+		{ID: "member_of", Domain: er.person, Range: er.org,
+			Patterns: []string{"be member of", "belong to", "sing for", "be part of", "front", "join"}},
+		{ID: "studied_at", Domain: er.person, Range: er.university,
+			Patterns: []string{"study at", "attend", "graduate from", "enroll at", "study in at"}},
+		{ID: "located_in", Domain: er.org, Range: er.loc,
+			Patterns: []string{"locate in", "base in", "be based in", "headquarter in", "situate in", "lie in", "be located in"}},
+		{ID: "capital_of", Domain: er.city, Range: er.loc,
+			Patterns: []string{"be capital of", "serve as capital of"}},
+		{ID: "died_in", Domain: er.person, Range: er.loc,
+			Patterns: []string{"die in", "pass away in", "die in on"}},
+		{ID: "adopted", Domain: er.person, Range: er.person,
+			Patterns: []string{"adopt", "adopt in", "adopt on", "adopt from"}},
+		{ID: "supports", Domain: er.person, Range: er.charity,
+			Patterns: []string{"support", "back", "endorse", "champion"}},
+		{ID: "donated_to", Domain: er.person, Range: er.org,
+			Patterns: []string{"donate to", "give to", "contribute to", "donate"}},
+		{ID: "accused_of", Domain: er.person, Range: er.person,
+			Patterns: []string{"accuse of", "charge with", "accuse", "allege"}},
+		{ID: "shot", Domain: er.person, Range: er.person,
+			Patterns: []string{"shoot", "shoot by", "fire at", "gun down"}},
+		{ID: "defeated", Domain: "", Range: "",
+			Patterns: []string{"defeat", "beat", "win against", "overcome", "defeat in"}},
+		{ID: "elected_as", Domain: er.politician, Range: "",
+			Patterns: []string{"elect", "elect as", "elect in", "elect of in", "be elected", "vote in as", "choose as", "become", "become of", "be mayor of", "be senator of", "be governor of", "be president of", "be minister of"}},
+		{ID: "resigned_from", Domain: er.person, Range: er.org,
+			Patterns: []string{"resign from", "step down from", "quit", "leave"}},
+		{ID: "acquired", Domain: er.company, Range: er.company,
+			Patterns: []string{"acquire", "buy", "purchase", "take over", "buy for"}},
+		{ID: "merged_with", Domain: er.company, Range: er.company,
+			Patterns: []string{"merge with", "combine with"}},
+		{ID: "visited", Domain: er.person, Range: er.loc,
+			Patterns: []string{"visit", "travel to", "arrive in", "tour"}},
+		{ID: "met_with", Domain: er.person, Range: er.person,
+			Patterns: []string{"meet", "meet with", "hold talks with", "meet in"}},
+		{ID: "killed_in", Domain: er.person, Range: "",
+			Patterns: []string{"kill in", "die during", "perish in", "injured in in", "be killed in"}},
+		{ID: "arrested_for", Domain: er.person, Range: "",
+			Patterns: []string{"arrest for", "arrest", "detain", "take into custody"}},
+		{ID: "in_news", Domain: "", Range: "",
+			Patterns: []string{"make on", "make in on", "make", "hit on", "dominate on"}},
+	}
+}

@@ -1,0 +1,104 @@
+package patterns
+
+import (
+	"testing"
+
+	"qkbfly/internal/kb/entityrepo"
+)
+
+func TestCanonicalizeBasic(t *testing.T) {
+	r := Default()
+	rel, ok := r.Canonicalize("star in", []string{entityrepo.TypeActor}, []string{entityrepo.TypeFilm})
+	if !ok || rel != "play_in" {
+		t.Errorf("star in -> %q (%v)", rel, ok)
+	}
+	rel, ok = r.Canonicalize("UNKNOWN PATTERN", nil, nil)
+	if ok || rel != "UNKNOWN PATTERN" {
+		t.Errorf("unknown pattern -> %q (%v)", rel, ok)
+	}
+}
+
+func TestCanonicalizeTypeDisambiguation(t *testing.T) {
+	r := Default()
+	// "join" is in both plays_for (footballer->club) and member_of
+	// (person->org); the types decide.
+	rel, _ := r.Canonicalize("join",
+		[]string{entityrepo.TypeFootballer}, []string{entityrepo.TypeFootballClub})
+	if rel != "plays_for" {
+		t.Errorf("footballer join club -> %q, want plays_for", rel)
+	}
+	rel, _ = r.Canonicalize("join",
+		[]string{entityrepo.TypeMusician}, []string{entityrepo.TypeBand})
+	if rel != "member_of" {
+		t.Errorf("musician join band -> %q, want member_of", rel)
+	}
+	rel, _ = r.Canonicalize("join",
+		[]string{entityrepo.TypePolitician}, []string{entityrepo.TypeParty})
+	if rel != "member_of" {
+		t.Errorf("politician join party -> %q, want member_of", rel)
+	}
+}
+
+func TestCanonicalizeCaseInsensitive(t *testing.T) {
+	r := Default()
+	rel, ok := r.Canonicalize("Play In", []string{entityrepo.TypeActor}, []string{entityrepo.TypeFilm})
+	if !ok || rel != "play_in" {
+		t.Errorf("case-insensitive lookup failed: %q", rel)
+	}
+}
+
+func TestParaphrases(t *testing.T) {
+	r := Default()
+	ps := r.Paraphrases("play_in")
+	if len(ps) < 5 {
+		t.Errorf("play_in paraphrases = %v", ps)
+	}
+	found := false
+	for _, p := range ps {
+		if p == "act in" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("act in missing from play_in synset")
+	}
+	if ps := r.Paraphrases("no_such_relation"); ps != nil {
+		t.Errorf("unknown synset paraphrases = %v", ps)
+	}
+}
+
+func TestRepoCounts(t *testing.T) {
+	r := Default()
+	if r.Len() < 30 {
+		t.Errorf("synset count = %d, want >= 30", r.Len())
+	}
+	if r.PatternCount() < 150 {
+		t.Errorf("pattern count = %d, want >= 150", r.PatternCount())
+	}
+}
+
+func TestGet(t *testing.T) {
+	r := Default()
+	if s := r.Get("married_to"); s == nil || s.ID != "married_to" {
+		t.Error("Get(married_to) failed")
+	}
+	if s := r.Get("nonexistent"); s != nil {
+		t.Error("Get(nonexistent) should be nil")
+	}
+}
+
+func TestAllSynsetsHaveUniquePatternSets(t *testing.T) {
+	r := Default()
+	for _, s := range r.Synsets() {
+		seen := map[string]bool{}
+		for _, p := range s.Patterns {
+			if seen[p] {
+				t.Errorf("synset %s has duplicate pattern %q", s.ID, p)
+			}
+			seen[p] = true
+		}
+		if len(s.Patterns) == 0 {
+			t.Errorf("synset %s has no patterns", s.ID)
+		}
+	}
+}

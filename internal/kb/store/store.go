@@ -1,0 +1,322 @@
+// Package store implements the on-the-fly knowledge base (K): the output
+// of QKBfly's third stage (§5). It stores canonicalized binary and
+// higher-arity facts with confidence scores and provenance, maintains the
+// entity records (including emerging entities identified by their mention
+// clusters), and supports the subject/predicate/object and Type: searches
+// of the demo interface (§6, Figures 3 and 4).
+package store
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"qkbfly/internal/kb/entityrepo"
+)
+
+// Value is one argument of a fact: either a canonical entity reference or
+// a string/time literal (arguments that could not be linked remain
+// literals, as in the paper's h"Brad Pitt", "be", "actor"i example).
+type Value struct {
+	EntityID string // canonical or emerging entity ID; "" for literals
+	Literal  string // surface literal when EntityID == ""
+	IsTime   bool   // true when the literal is a normalized time value
+}
+
+// IsEntity reports whether the value references an entity.
+func (v Value) IsEntity() bool { return v.EntityID != "" }
+
+// String implements fmt.Stringer.
+func (v Value) String() string {
+	if v.IsEntity() {
+		return v.EntityID
+	}
+	return fmt.Sprintf("%q", v.Literal)
+}
+
+// Provenance records where a fact was extracted from.
+type Provenance struct {
+	DocID     string
+	SentIndex int
+}
+
+// Fact is one canonicalized (possibly higher-arity) fact.
+type Fact struct {
+	ID         int
+	Subject    Value
+	Relation   string // canonical relation (synset ID) or surface pattern
+	Pattern    string // the original surface pattern
+	Objects    []Value
+	Confidence float64
+	Source     Provenance
+}
+
+// Arity returns the total number of arguments including the subject.
+func (f *Fact) Arity() int { return 1 + len(f.Objects) }
+
+// String renders the fact in the paper's angle-bracket notation.
+func (f *Fact) String() string {
+	parts := []string{f.Subject.String(), f.Relation}
+	for _, o := range f.Objects {
+		parts = append(parts, o.String())
+	}
+	return "<" + strings.Join(parts, ", ") + ">"
+}
+
+// EntityRecord describes an entity of the on-the-fly KB: either linked to
+// the background repository or emerging (identified by a mention cluster).
+type EntityRecord struct {
+	ID       string
+	Name     string
+	Mentions []string // distinct surface forms, in first-seen order
+	Types    []string // fine-grained types (closed under subsumption)
+	Emerging bool     // true if absent from the entity repository
+}
+
+// KB is the on-the-fly knowledge base.
+type KB struct {
+	facts     []Fact
+	entities  map[string]*EntityRecord
+	order     []string
+	bySubject map[string][]int
+	byObject  map[string][]int
+	byRel     map[string][]int
+	nextID    int
+}
+
+// New returns an empty on-the-fly KB.
+func New() *KB {
+	return &KB{
+		entities:  make(map[string]*EntityRecord),
+		bySubject: make(map[string][]int),
+		byObject:  make(map[string][]int),
+		byRel:     make(map[string][]int),
+	}
+}
+
+// AddEntity registers (or extends) an entity record. Mentions are merged.
+func (kb *KB) AddEntity(rec EntityRecord) *EntityRecord {
+	e, ok := kb.entities[rec.ID]
+	if !ok {
+		cp := rec
+		cp.Types = entityrepo.TypeClosure(rec.Types)
+		kb.entities[rec.ID] = &cp
+		kb.order = append(kb.order, rec.ID)
+		return &cp
+	}
+	for _, m := range rec.Mentions {
+		if !contains(e.Mentions, m) {
+			e.Mentions = append(e.Mentions, m)
+		}
+	}
+	for _, t := range entityrepo.TypeClosure(rec.Types) {
+		if !contains(e.Types, t) {
+			e.Types = append(e.Types, t)
+		}
+	}
+	return e
+}
+
+// Entity returns the record for an entity ID, or nil.
+func (kb *KB) Entity(id string) *EntityRecord { return kb.entities[id] }
+
+// Entities returns all entity records in insertion order.
+func (kb *KB) Entities() []*EntityRecord {
+	out := make([]*EntityRecord, 0, len(kb.order))
+	for _, id := range kb.order {
+		out = append(out, kb.entities[id])
+	}
+	return out
+}
+
+// EmergingCount returns the number of emerging entities.
+func (kb *KB) EmergingCount() int {
+	n := 0
+	for _, e := range kb.entities {
+		if e.Emerging {
+			n++
+		}
+	}
+	return n
+}
+
+// AddFact appends a fact, deduplicating exact repeats (same subject,
+// relation and objects); on a duplicate the higher confidence wins.
+// It returns the fact ID.
+func (kb *KB) AddFact(f Fact) int {
+	key := f.dedupKey()
+	for _, i := range kb.bySubject[subjectKey(f.Subject)] {
+		if kb.facts[i].dedupKey() == key {
+			if f.Confidence > kb.facts[i].Confidence {
+				kb.facts[i].Confidence = f.Confidence
+				kb.facts[i].Source = f.Source
+			}
+			return kb.facts[i].ID
+		}
+	}
+	f.ID = kb.nextID
+	kb.nextID++
+	idx := len(kb.facts)
+	kb.facts = append(kb.facts, f)
+	kb.bySubject[subjectKey(f.Subject)] = append(kb.bySubject[subjectKey(f.Subject)], idx)
+	kb.byRel[strings.ToLower(f.Relation)] = append(kb.byRel[strings.ToLower(f.Relation)], idx)
+	for _, o := range f.Objects {
+		kb.byObject[subjectKey(o)] = append(kb.byObject[subjectKey(o)], idx)
+	}
+	return f.ID
+}
+
+func (f *Fact) dedupKey() string {
+	parts := []string{subjectKey(f.Subject), strings.ToLower(f.Relation)}
+	for _, o := range f.Objects {
+		parts = append(parts, subjectKey(o))
+	}
+	return strings.Join(parts, "|")
+}
+
+func subjectKey(v Value) string {
+	if v.IsEntity() {
+		return "e:" + v.EntityID
+	}
+	return "l:" + strings.ToLower(v.Literal)
+}
+
+// Facts returns all facts.
+func (kb *KB) Facts() []Fact { return kb.facts }
+
+// Len returns the number of facts.
+func (kb *KB) Len() int { return len(kb.facts) }
+
+// Query describes a search over the KB, matching the demo UI (§6):
+// each field is a substring filter; a "Type:X" subject or object filter
+// matches entities having type X. Empty fields match everything.
+type Query struct {
+	Subject   string
+	Predicate string
+	Object    string
+	MinConf   float64
+}
+
+// Search returns the facts matching the query, ordered by fact ID.
+func (kb *KB) Search(q Query) []Fact {
+	var out []Fact
+	for i := range kb.facts {
+		f := &kb.facts[i]
+		if f.Confidence < q.MinConf {
+			continue
+		}
+		if !kb.matchValue(f.Subject, q.Subject) {
+			continue
+		}
+		if q.Predicate != "" && !strings.Contains(strings.ToLower(f.Relation), strings.ToLower(q.Predicate)) {
+			continue
+		}
+		if q.Object != "" {
+			found := false
+			for _, o := range f.Objects {
+				if kb.matchValue(o, q.Object) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				continue
+			}
+		}
+		out = append(out, *f)
+	}
+	return out
+}
+
+// matchValue implements substring and Type: matching on one argument.
+func (kb *KB) matchValue(v Value, filter string) bool {
+	if filter == "" {
+		return true
+	}
+	if t, ok := strings.CutPrefix(filter, "Type:"); ok {
+		if !v.IsEntity() {
+			return false
+		}
+		e := kb.entities[v.EntityID]
+		if e == nil {
+			return false
+		}
+		for _, et := range e.Types {
+			if strings.EqualFold(et, t) {
+				return true
+			}
+		}
+		return false
+	}
+	lower := strings.ToLower(filter)
+	if v.IsEntity() {
+		if strings.Contains(strings.ToLower(v.EntityID), strings.ReplaceAll(lower, " ", "_")) {
+			return true
+		}
+		if e := kb.entities[v.EntityID]; e != nil {
+			if strings.Contains(strings.ToLower(e.Name), lower) {
+				return true
+			}
+			for _, m := range e.Mentions {
+				if strings.Contains(strings.ToLower(m), lower) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	return strings.Contains(strings.ToLower(v.Literal), lower)
+}
+
+// FactsAbout returns all facts whose subject or any object is the entity.
+func (kb *KB) FactsAbout(entityID string) []Fact {
+	seen := map[int]bool{}
+	var idxs []int
+	for _, i := range kb.bySubject["e:"+entityID] {
+		if !seen[i] {
+			seen[i] = true
+			idxs = append(idxs, i)
+		}
+	}
+	for _, i := range kb.byObject["e:"+entityID] {
+		if !seen[i] {
+			seen[i] = true
+			idxs = append(idxs, i)
+		}
+	}
+	sort.Ints(idxs)
+	out := make([]Fact, 0, len(idxs))
+	for _, i := range idxs {
+		out = append(out, kb.facts[i])
+	}
+	return out
+}
+
+// Relations returns the distinct relation names, sorted.
+func (kb *KB) Relations() []string {
+	var out []string
+	for r := range kb.byRel {
+		out = append(out, r)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Merge adds every fact and entity of other into kb.
+func (kb *KB) Merge(other *KB) {
+	for _, e := range other.Entities() {
+		kb.AddEntity(*e)
+	}
+	for _, f := range other.Facts() {
+		kb.AddFact(f)
+	}
+}
+
+func contains(xs []string, x string) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}

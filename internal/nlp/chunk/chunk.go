@@ -1,0 +1,102 @@
+// Package chunk implements a noun-phrase chunker over POS-tagged tokens.
+//
+// It stands in for the CoreNLP noun-phrase chunker used by the paper's
+// pre-processing pipeline (§2.2): each maximal sequence of the form
+// (DT|PRP$)? (CD|JJ|VBG|VBN)* (NN|NNS|NNP|NNPS)+ becomes one chunk whose
+// head is its last noun token. Possessive constructions ("Pitt 's ex-wife")
+// are split into two chunks so that the "'s <noun>" relation heuristic of
+// §3 can see both noun phrases.
+package chunk
+
+import "qkbfly/internal/nlp"
+
+// Chunk identifies the noun-phrase chunks of a sentence and stores them in
+// sent.Chunks (sorted by position, non-overlapping). Named-entity and time
+// mentions already present in sent.Mentions are kept atomic: a mention is
+// never split across chunks, and a TIME mention forms a chunk of its own.
+func Chunk(sent *nlp.Sentence) {
+	toks := sent.Tokens
+	sent.Chunks = sent.Chunks[:0]
+	mentionStart := make(map[int]int) // start token -> end token
+	for _, m := range sent.Mentions {
+		mentionStart[m.Start] = m.End
+	}
+	i := 0
+	for i < len(toks) {
+		// Atomic TIME mention chunk.
+		if end, ok := mentionStart[i]; ok && toks[i].NER == nlp.NERTime {
+			sent.Chunks = append(sent.Chunks, nlp.Chunk{Start: i, End: end, Head: end - 1})
+			i = end
+			continue
+		}
+		if !startsNP(toks, i) {
+			i++
+			continue
+		}
+		start := i
+		// optional determiner / possessive pronoun
+		if toks[i].POS == nlp.DT || toks[i].POS == nlp.PRPS {
+			i++
+		}
+		// premodifiers
+		for i < len(toks) && isPremod(toks[i].POS) {
+			i++
+		}
+		// nouns; stop before a possessive marker so "Pitt 's wife" splits,
+		// and stop at a TIME mention boundary
+		nounStart := i
+		for i < len(toks) && toks[i].POS.IsNoun() && toks[i].NER != nlp.NERTime {
+			i++
+			if i < len(toks) && toks[i].POS == nlp.POS {
+				break
+			}
+		}
+		if i == nounStart {
+			// Premodifiers without a noun head ("the latest" as elliptic
+			// NP is rare); treat a trailing CD sequence as a number chunk.
+			i = start + 1
+			continue
+		}
+		sent.Chunks = append(sent.Chunks, nlp.Chunk{Start: start, End: i, Head: i - 1})
+		// Skip the possessive marker; the next NP starts fresh.
+		if i < len(toks) && toks[i].POS == nlp.POS {
+			i++
+		}
+	}
+}
+
+// startsNP reports whether a noun phrase can start at index i.
+func startsNP(toks []nlp.Token, i int) bool {
+	t := toks[i].POS
+	if t.IsNoun() {
+		return true
+	}
+	if t == nlp.DT || t == nlp.PRPS || t == nlp.CD || t.IsAdjective() {
+		// must be followed (possibly after premodifiers) by a noun
+		for j := i + 1; j < len(toks); j++ {
+			p := toks[j].POS
+			if p.IsNoun() {
+				return true
+			}
+			if !isPremod(p) {
+				return false
+			}
+		}
+	}
+	return false
+}
+
+func isPremod(t nlp.POSTag) bool {
+	return t == nlp.CD || t.IsAdjective() || t == nlp.VBG || t == nlp.VBN
+}
+
+// ChunkAt returns the index within sent.Chunks of the chunk containing token
+// index tok, or -1 if no chunk contains it.
+func ChunkAt(sent *nlp.Sentence, tok int) int {
+	for ci, c := range sent.Chunks {
+		if tok >= c.Start && tok < c.End {
+			return ci
+		}
+	}
+	return -1
+}

@@ -1,0 +1,117 @@
+package chunk
+
+import (
+	"testing"
+
+	"qkbfly/internal/nlp"
+	"qkbfly/internal/nlp/pos"
+	"qkbfly/internal/nlp/sutime"
+	"qkbfly/internal/nlp/token"
+)
+
+func chunked(t *testing.T, text string) nlp.Sentence {
+	t.Helper()
+	sent := nlp.Sentence{Text: text, Tokens: token.Tokenize(text)}
+	pos.Tag(&sent)
+	sutime.Annotate(&sent)
+	Chunk(&sent)
+	return sent
+}
+
+func chunkTexts(sent nlp.Sentence) []string {
+	var out []string
+	for _, c := range sent.Chunks {
+		out = append(out, sent.TokenText(c.Start, c.End))
+	}
+	return out
+}
+
+func TestBasicNPs(t *testing.T) {
+	sent := chunked(t, "The famous actor won a major award.")
+	got := chunkTexts(sent)
+	want := []string{"The famous actor", "a major award"}
+	if len(got) != len(want) {
+		t.Fatalf("chunks = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("chunk %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestProperNounCompound(t *testing.T) {
+	sent := chunked(t, "Brad Pitt married Angelina Jolie.")
+	got := chunkTexts(sent)
+	if len(got) != 2 || got[0] != "Brad Pitt" || got[1] != "Angelina Jolie" {
+		t.Fatalf("chunks = %v", got)
+	}
+	// Head is the last noun.
+	if sent.Tokens[sent.Chunks[0].Head].Text != "Pitt" {
+		t.Errorf("head of first chunk = %q", sent.Tokens[sent.Chunks[0].Head].Text)
+	}
+}
+
+func TestPossessiveSplit(t *testing.T) {
+	sent := chunked(t, "Pitt's ex-wife Angelina Jolie arrived.")
+	got := chunkTexts(sent)
+	if len(got) < 2 {
+		t.Fatalf("chunks = %v, want possessor split", got)
+	}
+	if got[0] != "Pitt" {
+		t.Errorf("first chunk = %q, want Pitt", got[0])
+	}
+	if got[1] != "ex-wife Angelina Jolie" {
+		t.Errorf("second chunk = %q", got[1])
+	}
+}
+
+func TestTimeMentionAtomic(t *testing.T) {
+	sent := chunked(t, "She filed for divorce on September 19, 2016.")
+	found := false
+	for i, c := range sent.Chunks {
+		text := sent.TokenText(c.Start, c.End)
+		if text == "September 19 , 2016" {
+			found = true
+			if sent.Tokens[sent.Chunks[i].Head].Text != "2016" {
+				t.Errorf("time chunk head = %q", sent.Tokens[sent.Chunks[i].Head].Text)
+			}
+		}
+	}
+	if !found {
+		t.Errorf("time mention not an atomic chunk: %v", chunkTexts(sent))
+	}
+}
+
+func TestChunksDontOverlap(t *testing.T) {
+	sent := chunked(t, "The old manager of the northern club signed a new striker in January 2015.")
+	prevEnd := 0
+	for _, c := range sent.Chunks {
+		if c.Start < prevEnd {
+			t.Fatalf("overlapping chunks: %v", chunkTexts(sent))
+		}
+		if c.Head < c.Start || c.Head >= c.End {
+			t.Fatalf("head %d outside chunk [%d,%d)", c.Head, c.Start, c.End)
+		}
+		prevEnd = c.End
+	}
+}
+
+func TestChunkAt(t *testing.T) {
+	sent := chunked(t, "Brad Pitt won.")
+	if ci := ChunkAt(&sent, 0); ci != 0 {
+		t.Errorf("ChunkAt(0) = %d", ci)
+	}
+	if ci := ChunkAt(&sent, 2); ci != -1 {
+		t.Errorf("ChunkAt(verb) = %d, want -1", ci)
+	}
+}
+
+func TestPronounsNotChunked(t *testing.T) {
+	sent := chunked(t, "He won the match.")
+	for _, text := range chunkTexts(sent) {
+		if text == "He" {
+			t.Error("pronoun was chunked")
+		}
+	}
+}

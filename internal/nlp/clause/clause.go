@@ -1,0 +1,292 @@
+// Package clause implements clause detection in the style of ClausIE
+// [Del Corro & Gemulla 2013], which the paper uses as its Open IE backbone
+// (§2.2, §3). Following Quirk et al., a clause consists of one subject (S),
+// one verb (V), an optional object (O), an optional complement (C) and a
+// variable number of adverbials (A); only seven constituent combinations
+// occur in English: SV, SVA, SVC, SVO, SVOO, SVOA and SVOC.
+//
+// The package also provides the Pipeline that chains all annotators:
+// tokenization, POS tagging, lemmatization, NP chunking, time tagging,
+// NER, dependency parsing and clause detection.
+package clause
+
+import (
+	"strings"
+
+	"qkbfly/internal/nlp"
+	"qkbfly/internal/nlp/chunk"
+	"qkbfly/internal/nlp/depparse"
+	"qkbfly/internal/nlp/lemma"
+	"qkbfly/internal/nlp/ner"
+	"qkbfly/internal/nlp/pos"
+	"qkbfly/internal/nlp/sutime"
+	"qkbfly/internal/nlp/token"
+)
+
+// Type is one of the seven clause types of Quirk et al.
+type Type string
+
+// The seven clause types.
+const (
+	SV   Type = "SV"
+	SVA  Type = "SVA"
+	SVC  Type = "SVC"
+	SVO  Type = "SVO"
+	SVOO Type = "SVOO"
+	SVOA Type = "SVOA"
+	SVOC Type = "SVOC"
+)
+
+// Role of a constituent within its clause.
+type Role string
+
+// Constituent roles.
+const (
+	RoleSubject        Role = "S"
+	RoleVerb           Role = "V"
+	RoleObject         Role = "O"
+	RoleIndirectObject Role = "IO"
+	RoleComplement     Role = "C"
+	RoleAdverbial      Role = "A"
+)
+
+// Constituent is one argument of a clause: a token span with its head.
+type Constituent struct {
+	Role  Role
+	Head  int    // token index of the constituent head
+	Start int    // first token of the span
+	End   int    // one past the last token
+	Prep  string // preposition introducing an oblique/adverbial, else ""
+}
+
+// Clause is one detected clause.
+type Clause struct {
+	Type       Type
+	Verb       int    // token index of the main verb
+	Pattern    string // lemmatized relation pattern, e.g. "donate to"
+	Subject    *Constituent
+	Objects    []Constituent // direct (and indirect) objects in order IO, O
+	Complement *Constituent
+	Adverbials []Constituent
+	Parent     int // index of the governing clause in the result slice, -1
+	Negated    bool
+}
+
+// Args returns all nominal constituents of the clause in linear order:
+// subject, objects, complement, adverbial objects.
+func (c *Clause) Args() []Constituent {
+	var out []Constituent
+	if c.Subject != nil {
+		out = append(out, *c.Subject)
+	}
+	out = append(out, c.Objects...)
+	if c.Complement != nil {
+		out = append(out, *c.Complement)
+	}
+	out = append(out, c.Adverbials...)
+	return out
+}
+
+// Detect extracts the clauses of a parsed sentence.
+func Detect(sent *nlp.Sentence) []Clause {
+	toks := sent.Tokens
+	var verbs []int
+	verbClause := map[int]int{}
+	for i := range toks {
+		if !toks[i].POS.IsVerb() {
+			continue
+		}
+		switch toks[i].DepRel {
+		case nlp.DepRoot, nlp.DepConj, nlp.DepCcomp, nlp.DepAdvcl, nlp.DepRelcl, nlp.DepXcomp:
+			verbs = append(verbs, i)
+		}
+	}
+	clauses := make([]Clause, 0, len(verbs))
+	for _, v := range verbs {
+		c := buildClause(sent, v)
+		verbClause[v] = len(clauses)
+		clauses = append(clauses, c)
+	}
+	// Wire parent links and inherit missing subjects from the parent
+	// clause (conjunction reduction: "Pitt married Jolie and moved to LA").
+	for i := range clauses {
+		head := toks[clauses[i].Verb].Head
+		clauses[i].Parent = -1
+		for head >= 0 {
+			if pi, ok := verbClause[head]; ok {
+				clauses[i].Parent = pi
+				break
+			}
+			head = toks[head].Head
+		}
+		if clauses[i].Subject == nil && clauses[i].Parent >= 0 {
+			rel := toks[clauses[i].Verb].DepRel
+			p := &clauses[clauses[i].Parent]
+			switch rel {
+			case nlp.DepConj, nlp.DepXcomp, nlp.DepAdvcl:
+				clauses[i].Subject = p.Subject
+			case nlp.DepRelcl:
+				// subject of a relative clause is the modified nominal
+				if g := toks[clauses[i].Verb].Head; g >= 0 && toks[g].POS.IsNoun() {
+					cons := constituentAt(sent, g)
+					cons.Role = RoleSubject
+					clauses[i].Subject = &cons
+				}
+			}
+		}
+	}
+	return clauses
+}
+
+// buildClause assembles the clause for main verb v.
+func buildClause(sent *nlp.Sentence, v int) Clause {
+	toks := sent.Tokens
+	c := Clause{Verb: v, Parent: -1}
+
+	if subj := sent.ChildrenByRel(v, nlp.DepNsubj); len(subj) > 0 {
+		cons := constituentAt(sent, subj[0])
+		cons.Role = RoleSubject
+		c.Subject = &cons
+	}
+	for _, j := range sent.ChildrenByRel(v, nlp.DepIobj) {
+		cons := constituentAt(sent, j)
+		cons.Role = RoleIndirectObject
+		c.Objects = append(c.Objects, cons)
+	}
+	for _, j := range sent.ChildrenByRel(v, nlp.DepDobj) {
+		cons := constituentAt(sent, j)
+		cons.Role = RoleObject
+		c.Objects = append(c.Objects, cons)
+	}
+	for _, rel := range []string{nlp.DepAttr, nlp.DepAcomp} {
+		if kids := sent.ChildrenByRel(v, rel); kids != nil {
+			cons := constituentAt(sent, kids[0])
+			cons.Role = RoleComplement
+			c.Complement = &cons
+			break
+		}
+	}
+	// Adverbials: prepositional objects and time modifiers. A preposition
+	// without an object of its own is a verb particle ("grew up in X"):
+	// it joins the relation pattern directly.
+	var preps []string
+	var particles []string
+	for _, j := range sent.Children(v) {
+		switch toks[j].DepRel {
+		case nlp.DepPrep:
+			pobjs := sent.ChildrenByRel(j, nlp.DepPobj)
+			if len(pobjs) == 0 {
+				particles = append(particles, strings.ToLower(toks[j].Text))
+				continue
+			}
+			for _, o := range pobjs {
+				cons := constituentAt(sent, o)
+				cons.Role = RoleAdverbial
+				cons.Prep = strings.ToLower(toks[j].Text)
+				c.Adverbials = append(c.Adverbials, cons)
+				preps = append(preps, cons.Prep)
+			}
+		case nlp.DepTmod:
+			cons := constituentAt(sent, j)
+			cons.Role = RoleAdverbial
+			c.Adverbials = append(c.Adverbials, cons)
+		case nlp.DepNeg:
+			c.Negated = true
+		}
+	}
+	// Relation pattern: lemmatized verb plus the prepositions of its
+	// oblique arguments in order ("donate to", "born in on").
+	pattern := toks[v].Lemma
+	if pattern == "" {
+		pattern = strings.ToLower(toks[v].Text)
+	}
+	if len(particles) > 0 {
+		pattern += " " + strings.Join(particles, " ")
+	}
+	if len(preps) > 0 {
+		pattern += " " + strings.Join(preps, " ")
+	}
+	c.Pattern = pattern
+	c.Type = classify(&c)
+	return c
+}
+
+// classify determines the clause type from the realized constituents.
+func classify(c *Clause) Type {
+	hasO := false
+	hasIO := false
+	for _, o := range c.Objects {
+		if o.Role == RoleIndirectObject {
+			hasIO = true
+		} else {
+			hasO = true
+		}
+	}
+	hasA := len(c.Adverbials) > 0
+	switch {
+	case c.Complement != nil:
+		return SVC
+	case hasO && hasIO:
+		return SVOO
+	case hasO && hasA:
+		return SVOA
+	case hasO:
+		return SVO
+	case hasA:
+		return SVA
+	default:
+		return SV
+	}
+}
+
+// constituentAt returns the constituent spanning the chunk that contains
+// token j (or the single token if it is outside all chunks).
+func constituentAt(sent *nlp.Sentence, j int) Constituent {
+	if ci := chunk.ChunkAt(sent, j); ci >= 0 {
+		ch := sent.Chunks[ci]
+		return Constituent{Head: ch.Head, Start: ch.Start, End: ch.End}
+	}
+	return Constituent{Head: j, Start: j, End: j + 1}
+}
+
+// Pipeline chains all annotators. The zero value is not usable; construct
+// with NewPipeline.
+type Pipeline struct {
+	ner  *ner.Annotator
+	mode depparse.Mode
+}
+
+// NewPipeline builds a pipeline. gaz may be nil (no gazetteer NER).
+func NewPipeline(gaz ner.Gazetteer, mode depparse.Mode) *Pipeline {
+	return &Pipeline{ner: ner.New(gaz), mode: mode}
+}
+
+// AnnotateSentence runs the full annotator chain on one raw sentence.
+func (p *Pipeline) AnnotateSentence(text string, index int) (nlp.Sentence, []Clause) {
+	sent := nlp.Sentence{Index: index, Text: text, Tokens: token.Tokenize(text)}
+	p.annotate(&sent)
+	return sent, Detect(&sent)
+}
+
+// AnnotateDocument tokenizes and annotates a whole document in place and
+// returns the clauses per sentence.
+func (p *Pipeline) AnnotateDocument(doc *nlp.Document) [][]Clause {
+	if len(doc.Sentences) == 0 {
+		doc.Sentences = token.TokenizeSentences(doc.Text)
+	}
+	out := make([][]Clause, len(doc.Sentences))
+	for i := range doc.Sentences {
+		p.annotate(&doc.Sentences[i])
+		out[i] = Detect(&doc.Sentences[i])
+	}
+	return out
+}
+
+func (p *Pipeline) annotate(sent *nlp.Sentence) {
+	pos.Tag(sent)
+	lemma.Annotate(sent)
+	sutime.Annotate(sent)
+	p.ner.Annotate(sent)
+	chunk.Chunk(sent)
+	depparse.Parse(sent, p.mode)
+}

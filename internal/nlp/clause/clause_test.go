@@ -1,0 +1,118 @@
+package clause
+
+import (
+	"testing"
+
+	"qkbfly/internal/nlp"
+	"qkbfly/internal/nlp/depparse"
+)
+
+func detect(t *testing.T, text string) ([]Clause, *Pipeline) {
+	t.Helper()
+	p := NewPipeline(nil, depparse.Malt)
+	_, cls := p.AnnotateSentence(text, 0)
+	return cls, p
+}
+
+func TestClauseTypes(t *testing.T) {
+	tests := []struct {
+		text    string
+		want    Type
+		pattern string
+	}{
+		{"Brad Pitt is an actor.", SVC, "be"},
+		{"He supports the campaign.", SVO, "support"},
+		{"Pitt donated $100,000 to the foundation.", SVOA, "donate to"},
+		{"She filed for divorce.", SVA, "file for"},
+		{"They slept.", SV, "sleep"},
+		{"He gave her the award.", SVOO, "give"},
+		{"Harrison Ford played Han Solo in Star Wars.", SVOA, "play in"},
+	}
+	for _, tt := range tests {
+		cls, _ := detect(t, tt.text)
+		if len(cls) == 0 {
+			t.Errorf("%q: no clauses", tt.text)
+			continue
+		}
+		c := cls[0]
+		if c.Type != tt.want {
+			t.Errorf("%q: type = %s, want %s", tt.text, c.Type, tt.want)
+		}
+		if c.Pattern != tt.pattern {
+			t.Errorf("%q: pattern = %q, want %q", tt.text, c.Pattern, tt.pattern)
+		}
+	}
+}
+
+func TestParticleInPattern(t *testing.T) {
+	cls, _ := detect(t, "She grew up in Weston.")
+	if len(cls) == 0 || cls[0].Pattern != "grow up in" {
+		t.Fatalf("clauses = %+v", cls)
+	}
+}
+
+func TestMultiPrepPattern(t *testing.T) {
+	cls, _ := detect(t, "Jolie filed for divorce on September 19, 2016.")
+	if len(cls) == 0 {
+		t.Fatal("no clauses")
+	}
+	if cls[0].Pattern != "file for on" {
+		t.Errorf("pattern = %q, want %q", cls[0].Pattern, "file for on")
+	}
+	if len(cls[0].Adverbials) != 2 {
+		t.Errorf("adverbials = %d, want 2", len(cls[0].Adverbials))
+	}
+}
+
+func TestNegationFlag(t *testing.T) {
+	cls, _ := detect(t, "He did not marry her.")
+	if len(cls) == 0 || !cls[0].Negated {
+		t.Errorf("negation not detected: %+v", cls)
+	}
+}
+
+func TestSubjectInheritanceConjunction(t *testing.T) {
+	cls, _ := detect(t, "He married Jolie and moved to Weston.")
+	if len(cls) != 2 {
+		t.Fatalf("got %d clauses", len(cls))
+	}
+	if cls[1].Subject == nil {
+		t.Fatal("conjoined clause has no subject")
+	}
+	if cls[0].Subject == nil || cls[1].Subject.Head != cls[0].Subject.Head {
+		t.Errorf("conjoined clause subject not inherited")
+	}
+	if cls[1].Parent != 0 {
+		t.Errorf("parent = %d, want 0", cls[1].Parent)
+	}
+}
+
+func TestArgsOrder(t *testing.T) {
+	cls, _ := detect(t, "He gave her the award.")
+	if len(cls) == 0 {
+		t.Fatal("no clauses")
+	}
+	args := cls[0].Args()
+	if len(args) != 3 {
+		t.Fatalf("args = %d, want 3 (subject + 2 objects)", len(args))
+	}
+	if args[0].Role != RoleSubject {
+		t.Errorf("first arg role = %s", args[0].Role)
+	}
+}
+
+func TestAnnotateDocument(t *testing.T) {
+	p := NewPipeline(nil, depparse.Malt)
+	doc := docOf("Brad Pitt is an actor. He supports the campaign.")
+	cls := p.AnnotateDocument(doc)
+	if len(cls) != 2 {
+		t.Fatalf("clauses per sentence = %d, want 2", len(cls))
+	}
+	if len(cls[0]) == 0 || len(cls[1]) == 0 {
+		t.Errorf("missing clauses: %v", cls)
+	}
+}
+
+func docOf(text string) *nlp.Document {
+	return &nlp.Document{ID: "test", Text: text}
+}

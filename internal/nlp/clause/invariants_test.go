@@ -1,0 +1,131 @@
+package clause
+
+import (
+	"testing"
+
+	"qkbfly/internal/corpus"
+	"qkbfly/internal/nlp"
+	"qkbfly/internal/nlp/depparse"
+)
+
+// TestCorpusWideInvariants runs the full pipeline over every sentence of
+// the small world's datasets and checks the structural invariants that
+// every downstream stage relies on:
+//
+//  1. exactly one dependency root per sentence, no cycles;
+//  2. chunks are non-overlapping with in-range heads;
+//  3. mentions have valid spans and TIME mentions carry a value;
+//  4. every clause constituent's span and head are within bounds, the
+//     head lies inside the span, and the pattern is non-empty.
+func TestCorpusWideInvariants(t *testing.T) {
+	w := corpus.NewWorld(corpus.SmallConfig())
+	p := NewPipeline(w.Repo, depparse.Malt)
+
+	var docs []*nlp.Document
+	docs = append(docs, corpus.Docs(w.WikiDataset(25))...)
+	docs = append(docs, corpus.Docs(w.NewsDataset(1))...)
+	docs = append(docs, corpus.Docs(w.WikiaDataset(w.Config.WikiaPages))...)
+
+	sentences, clauses := 0, 0
+	for _, doc := range docs {
+		clausesBySent := p.AnnotateDocument(doc)
+		for si := range doc.Sentences {
+			sent := &doc.Sentences[si]
+			sentences++
+			checkTree(t, doc.ID, sent)
+			checkChunks(t, doc.ID, sent)
+			checkMentions(t, doc.ID, sent)
+			for i := range clausesBySent[si] {
+				clauses++
+				checkClause(t, doc.ID, sent, &clausesBySent[si][i])
+			}
+			if t.Failed() {
+				t.Fatalf("invariant violated in %s sentence %d: %q", doc.ID, si, sent.Text)
+			}
+		}
+	}
+	if sentences < 200 || clauses < 150 {
+		t.Errorf("coverage too small: %d sentences, %d clauses", sentences, clauses)
+	}
+}
+
+func checkTree(t *testing.T, docID string, sent *nlp.Sentence) {
+	t.Helper()
+	roots := 0
+	for i := range sent.Tokens {
+		h := sent.Tokens[i].Head
+		if h == -1 {
+			roots++
+			continue
+		}
+		if h < 0 || h >= len(sent.Tokens) {
+			t.Errorf("%s: token %d head %d out of range", docID, i, h)
+		}
+		// cycle check
+		seen := map[int]bool{}
+		j := i
+		for j >= 0 {
+			if seen[j] {
+				t.Errorf("%s: dependency cycle at token %d", docID, i)
+				return
+			}
+			seen[j] = true
+			j = sent.Tokens[j].Head
+		}
+	}
+	if len(sent.Tokens) > 0 && roots != 1 {
+		t.Errorf("%s: %d roots", docID, roots)
+	}
+}
+
+func checkChunks(t *testing.T, docID string, sent *nlp.Sentence) {
+	t.Helper()
+	prevEnd := 0
+	for _, c := range sent.Chunks {
+		if c.Start < prevEnd || c.End > len(sent.Tokens) || c.Start >= c.End {
+			t.Errorf("%s: bad chunk [%d,%d)", docID, c.Start, c.End)
+		}
+		if c.Head < c.Start || c.Head >= c.End {
+			t.Errorf("%s: chunk head %d outside [%d,%d)", docID, c.Head, c.Start, c.End)
+		}
+		prevEnd = c.End
+	}
+}
+
+func checkMentions(t *testing.T, docID string, sent *nlp.Sentence) {
+	t.Helper()
+	for _, m := range sent.Mentions {
+		if m.Start < 0 || m.End > len(sent.Tokens) || m.Start >= m.End {
+			t.Errorf("%s: bad mention span [%d,%d)", docID, m.Start, m.End)
+		}
+		if m.Type == nlp.NERTime && m.TimeValue == "" {
+			t.Errorf("%s: TIME mention %q without value", docID, m.Text)
+		}
+		if m.Text == "" {
+			t.Errorf("%s: empty mention text", docID)
+		}
+	}
+}
+
+func checkClause(t *testing.T, docID string, sent *nlp.Sentence, c *Clause) {
+	t.Helper()
+	if c.Pattern == "" {
+		t.Errorf("%s: clause with empty pattern", docID)
+	}
+	if c.Verb < 0 || c.Verb >= len(sent.Tokens) {
+		t.Errorf("%s: clause verb %d out of range", docID, c.Verb)
+	}
+	for _, arg := range c.Args() {
+		if arg.Start < 0 || arg.End > len(sent.Tokens) || arg.Start >= arg.End {
+			t.Errorf("%s: constituent span [%d,%d) invalid", docID, arg.Start, arg.End)
+		}
+		if arg.Head < arg.Start || arg.Head >= arg.End {
+			t.Errorf("%s: constituent head %d outside [%d,%d)", docID, arg.Head, arg.Start, arg.End)
+		}
+	}
+	switch c.Type {
+	case SV, SVA, SVC, SVO, SVOO, SVOA, SVOC:
+	default:
+		t.Errorf("%s: unknown clause type %q", docID, c.Type)
+	}
+}

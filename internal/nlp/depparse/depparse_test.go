@@ -1,0 +1,201 @@
+package depparse
+
+import (
+	"testing"
+
+	"qkbfly/internal/nlp"
+	"qkbfly/internal/nlp/chunk"
+	"qkbfly/internal/nlp/lemma"
+	"qkbfly/internal/nlp/pos"
+	"qkbfly/internal/nlp/sutime"
+	"qkbfly/internal/nlp/token"
+)
+
+func parse(t *testing.T, text string, mode Mode) nlp.Sentence {
+	t.Helper()
+	sent := nlp.Sentence{Text: text, Tokens: token.Tokenize(text)}
+	pos.Tag(&sent)
+	lemma.Annotate(&sent)
+	sutime.Annotate(&sent)
+	chunk.Chunk(&sent)
+	Parse(&sent, mode)
+	return sent
+}
+
+func findToken(sent nlp.Sentence, text string) int {
+	for i, tok := range sent.Tokens {
+		if tok.Text == text {
+			return i
+		}
+	}
+	return -1
+}
+
+func assertDep(t *testing.T, sent nlp.Sentence, dep, head, rel string) {
+	t.Helper()
+	di := findToken(sent, dep)
+	if di < 0 {
+		t.Fatalf("token %q not found", dep)
+	}
+	tok := sent.Tokens[di]
+	if head == "" {
+		if tok.Head != -1 {
+			t.Errorf("%q head = %d (%q), want root", dep, tok.Head, sent.Tokens[tok.Head].Text)
+		}
+	} else {
+		hi := findToken(sent, head)
+		if tok.Head != hi {
+			got := "ROOT"
+			if tok.Head >= 0 {
+				got = sent.Tokens[tok.Head].Text
+			}
+			t.Errorf("%q head = %q, want %q", dep, got, head)
+		}
+	}
+	if rel != "" && tok.DepRel != rel {
+		t.Errorf("%q rel = %s, want %s", dep, tok.DepRel, rel)
+	}
+}
+
+func TestSVO(t *testing.T) {
+	sent := parse(t, "Brad Pitt married Angelina Jolie.", Malt)
+	assertDep(t, sent, "married", "", nlp.DepRoot)
+	assertDep(t, sent, "Pitt", "married", nlp.DepNsubj)
+	assertDep(t, sent, "Jolie", "married", nlp.DepDobj)
+	assertDep(t, sent, "Brad", "Pitt", nlp.DepCompound)
+}
+
+func TestCopula(t *testing.T) {
+	sent := parse(t, "Brad Pitt is an actor.", Malt)
+	assertDep(t, sent, "is", "", nlp.DepRoot)
+	assertDep(t, sent, "actor", "is", nlp.DepAttr)
+	assertDep(t, sent, "an", "actor", nlp.DepDet)
+}
+
+func TestPrepositionalPhrase(t *testing.T) {
+	sent := parse(t, "Pitt donated $100,000 to the foundation.", Malt)
+	assertDep(t, sent, "$100,000", "donated", nlp.DepDobj)
+	assertDep(t, sent, "to", "donated", nlp.DepPrep)
+	assertDep(t, sent, "foundation", "to", nlp.DepPobj)
+}
+
+func TestPassive(t *testing.T) {
+	sent := parse(t, "She was born in Weston.", Malt)
+	assertDep(t, sent, "born", "", nlp.DepRoot)
+	assertDep(t, sent, "was", "born", nlp.DepAuxpass)
+	assertDep(t, sent, "She", "born", nlp.DepNsubj)
+	assertDep(t, sent, "Weston", "in", nlp.DepPobj)
+}
+
+func TestPossessive(t *testing.T) {
+	sent := parse(t, "Pitt's ex-wife Angelina Jolie arrived.", Malt)
+	assertDep(t, sent, "Pitt", "Jolie", nlp.DepPoss)
+	assertDep(t, sent, "'s", "Pitt", nlp.DepCase)
+}
+
+func TestOfAttachesToNoun(t *testing.T) {
+	sent := parse(t, "She is the capital of Valdoria.", Malt)
+	assertDep(t, sent, "of", "capital", nlp.DepPrep)
+	assertDep(t, sent, "Valdoria", "of", nlp.DepPobj)
+}
+
+func TestNegation(t *testing.T) {
+	sent := parse(t, "He did not resign.", Malt)
+	assertDep(t, sent, "not", "resign", nlp.DepNeg)
+}
+
+func TestConjoinedClauses(t *testing.T) {
+	sent := parse(t, "He married Jolie and moved to Weston.", Malt)
+	assertDep(t, sent, "married", "", nlp.DepRoot)
+	assertDep(t, sent, "moved", "married", nlp.DepConj)
+}
+
+func TestSubordinateClause(t *testing.T) {
+	sent := parse(t, "She resigned because the party lost.", Malt)
+	assertDep(t, sent, "lost", "resigned", nlp.DepAdvcl)
+	assertDep(t, sent, "because", "lost", nlp.DepMark)
+}
+
+func TestSingleRootNoCycles(t *testing.T) {
+	texts := []string{
+		"Brad Pitt is an actor.",
+		"He supports the ONE Campaign.",
+		"Pitt donated $100,000 to the Daniel Pearl Foundation.",
+		"Pitt's ex-wife Angelina Jolie filed for divorce on September 19, 2016.",
+		"Harrison Ford played Han Solo in Star Wars.",
+		"She resigned because the party lost the election in 2014.",
+		"The old manager, a former striker, signed him.",
+		"Wins and losses followed.",
+	}
+	for _, mode := range []Mode{Malt, Stanford} {
+		for _, text := range texts {
+			sent := parse(t, text, mode)
+			roots := 0
+			for i := range sent.Tokens {
+				if sent.Tokens[i].Head == -1 {
+					roots++
+				}
+				// cycle check: walk to root
+				seen := map[int]bool{}
+				j := i
+				for j >= 0 {
+					if seen[j] {
+						t.Fatalf("mode %v %q: cycle at token %d", mode, text, i)
+					}
+					seen[j] = true
+					j = sent.Tokens[j].Head
+				}
+			}
+			if roots != 1 {
+				t.Errorf("mode %v %q: %d roots", mode, text, roots)
+			}
+		}
+	}
+}
+
+func TestStanfordModeAgreesOnCore(t *testing.T) {
+	// Both parsers must find the same subject and object for a simple
+	// transitive sentence.
+	for _, mode := range []Mode{Malt, Stanford} {
+		sent := parse(t, "Amara Barlowe recorded the album.", mode)
+		assertDep(t, sent, "Barlowe", "recorded", nlp.DepNsubj)
+		assertDep(t, sent, "album", "recorded", nlp.DepDobj)
+	}
+}
+
+func TestVerblessSentence(t *testing.T) {
+	sent := parse(t, "A remarkable victory.", Malt)
+	roots := 0
+	for i := range sent.Tokens {
+		if sent.Tokens[i].Head == -1 {
+			roots++
+		}
+	}
+	if roots != 1 {
+		t.Errorf("verbless sentence has %d roots", roots)
+	}
+}
+
+func BenchmarkMaltParse(b *testing.B) {
+	text := "Pitt's ex-wife Angelina Jolie filed for divorce on September 19, 2016."
+	for i := 0; i < b.N; i++ {
+		sent := nlp.Sentence{Text: text, Tokens: token.Tokenize(text)}
+		pos.Tag(&sent)
+		lemma.Annotate(&sent)
+		sutime.Annotate(&sent)
+		chunk.Chunk(&sent)
+		Parse(&sent, Malt)
+	}
+}
+
+func BenchmarkStanfordParse(b *testing.B) {
+	text := "Pitt's ex-wife Angelina Jolie filed for divorce on September 19, 2016."
+	for i := 0; i < b.N; i++ {
+		sent := nlp.Sentence{Text: text, Tokens: token.Tokenize(text)}
+		pos.Tag(&sent)
+		lemma.Annotate(&sent)
+		sutime.Annotate(&sent)
+		chunk.Chunk(&sent)
+		Parse(&sent, Stanford)
+	}
+}

@@ -1,0 +1,238 @@
+// Package lemma implements a rule-based English lemmatizer with an
+// irregular-form table. It provides the lemmatized verb forms used as
+// relation-pattern labels in the semantic graph (§3: "the lemmatized verb
+// (V) constituent of the clause").
+package lemma
+
+import (
+	"strings"
+
+	"qkbfly/internal/nlp"
+)
+
+// irregular maps inflected forms to lemmas for verbs and nouns whose
+// inflection is not covered by the suffix rules.
+var irregular = map[string]string{
+	"is": "be", "am": "be", "are": "be", "was": "be", "were": "be",
+	"been": "be", "being": "be", "'s": "be", "'re": "be", "'m": "be",
+	"has": "have", "had": "have", "having": "have", "'ve": "have",
+	"does": "do", "did": "do", "done": "do", "doing": "do",
+	"won": "win", "wore": "wear", "worn": "wear",
+	"wrote": "write", "written": "write",
+	"bore": "bear", "born": "born", "borne": "bear",
+	"became": "become", "began": "begin", "begun": "begin",
+	"went": "go", "gone": "go", "came": "come",
+	"saw": "see", "seen": "see", "met": "meet",
+	"led": "lead", "left": "leave", "held": "hold",
+	"made": "make", "took": "take", "taken": "take",
+	"got": "get", "gotten": "get", "gave": "give", "given": "give",
+	"said": "say", "told": "tell", "sold": "sell", "bought": "buy",
+	"brought": "bring", "thought": "think", "taught": "teach",
+	"caught": "catch", "fought": "fight", "sought": "seek",
+	"found": "find", "grew": "grow", "grown": "grow",
+	"knew": "know", "known": "know", "flew": "fly", "flown": "fly",
+	"drew": "draw", "drawn": "draw", "threw": "throw", "thrown": "throw",
+	"shot": "shoot", "struck": "strike", "stricken": "strike",
+	"sang": "sing", "sung": "sing", "ran": "run", "spoke": "speak",
+	"spoken": "speak", "broke": "break", "broken": "break",
+	"chose": "choose", "chosen": "choose", "rose": "rise", "risen": "rise",
+	"fell": "fall", "fallen": "fall", "felt": "feel", "kept": "keep",
+	"lost": "lose", "paid": "pay", "sent": "send", "spent": "spend",
+	"slept": "sleep", "swept": "sweep", "wept": "weep",
+	"built": "build", "heard": "hear", "stood": "stand", "understood": "understand",
+	"wed": "wed", "died": "die", "dying": "die", "lay": "lie", "lain": "lie",
+	"forgot": "forget", "forgotten": "forget", "beat": "beat", "beaten": "beat",
+	"hit": "hit", "put": "put", "set": "set", "cut": "cut", "let": "let",
+	"read": "read", "spread": "spread", "cost": "cost", "quit": "quit",
+	"children": "child", "people": "person", "men": "man", "women": "woman",
+	"wives": "wife", "lives": "life", "feet": "foot", "teeth": "tooth",
+	"mice": "mouse", "geese": "goose", "media": "medium", "data": "datum",
+	"series": "series", "species": "species",
+}
+
+// doubleConsonantStems are verbs whose -ed/-ing forms double the final
+// consonant ("transferred" -> "transfer", "starred" -> "star").
+var doubleConsonantStems = map[string]bool{
+	"star": true, "transfer": true, "plan": true, "stop": true, "rob": true,
+	"grab": true, "drop": true, "ban": true, "occur": true, "refer": true,
+	"prefer": true, "commit": true, "admit": true, "permit": true,
+	"submit": true, "regret": true, "travel": true, "cancel": true,
+	"signal": true, "equip": true, "ship": true, "step": true, "slip": true,
+	"wrap": true, "trap": true, "chat": true, "shop": true, "hug": true,
+	"beg": true, "stun": true, "spot": true, "pin": true, "sum": true,
+}
+
+// esStems take -es rather than -s ("marries" -> "marry" is handled by the
+// -ies rule; these are the -ches/-shes/-sses/-xes/-zes/-oes cases).
+func esStem(word string) (string, bool) {
+	for _, suf := range []string{"ches", "shes", "sses", "xes", "zes", "oes"} {
+		if strings.HasSuffix(word, suf) {
+			return word[:len(word)-2], true
+		}
+	}
+	return "", false
+}
+
+// Lemma returns the lemma of a word given its POS tag.
+func Lemma(word string, tag nlp.POSTag) string {
+	lower := strings.ToLower(word)
+	if lem, ok := irregular[lower]; ok {
+		return lem
+	}
+	switch {
+	case tag.IsVerb():
+		return verbLemma(lower)
+	case tag == nlp.NNS || tag == nlp.NNPS:
+		return nounLemma(lower)
+	case tag == nlp.JJR:
+		return strings.TrimSuffix(lower, "er")
+	case tag == nlp.JJS:
+		return strings.TrimSuffix(lower, "est")
+	default:
+		if tag.IsProperNoun() {
+			return word // keep the original casing of names
+		}
+		return lower
+	}
+}
+
+// knownBases is the set of base verbs used to resolve ambiguous -ed/-ing
+// stems (e.g. "filed" could stem to "fil" or "file"; "file" is known).
+var knownBases = map[string]bool{
+	"file": true, "name": true, "move": true, "live": true, "love": true,
+	"like": true, "make": true, "take": true, "give": true, "come": true,
+	"use": true, "create": true, "donate": true, "announce": true,
+	"divorce": true, "release": true, "receive": true, "manage": true,
+	"serve": true, "score": true, "cause": true, "raise": true,
+	"feature": true, "include": true, "describe": true, "base": true,
+	"locate": true, "capture": true, "produce": true, "retire": true,
+	"evacuate": true, "rescue": true, "graduate": true, "injure": true,
+	"accuse": true, "acquire": true, "close": true, "charge": true,
+	"note": true, "state": true, "date": true, "rule": true, "argue": true,
+	"issue": true, "promise": true, "believe": true, "achieve": true,
+	"arrive": true, "drive": true, "leave": true, "prove": true,
+	"provide": true, "decide": true, "change": true, "engage": true,
+	"merge": true, "judge": true, "damage": true, "celebrate": true,
+	"nominate": true, "dedicate": true, "operate": true, "compete": true,
+	"endorse": true, "separate": true, "propose": true, "resign": true,
+	"complete": true, "vote": true, "invite": true, "write": true,
+	"win": true, "run": true, "sit": true, "swim": true, "begin": true,
+	"plan": true, "stop": true, "star": true, "transfer": true,
+	"occur": true, "commit": true, "admit": true, "permit": true,
+	"refer": true, "prefer": true, "ban": true, "grab": true, "drop": true,
+	"shop": true, "step": true, "ship": true, "equip": true, "wrap": true,
+	"chat": true, "stun": true, "spot": true, "pin": true, "sum": true,
+	"hug": true, "beg": true, "rob": true, "trap": true, "slip": true,
+	"wed": true, "travel": true, "cancel": true, "signal": true,
+	"regret": true, "submit": true,
+}
+
+func verbLemma(lower string) string {
+	switch {
+	case strings.HasSuffix(lower, "ies") && len(lower) > 4:
+		return lower[:len(lower)-3] + "y"
+	case strings.HasSuffix(lower, "ied") && len(lower) > 4:
+		return lower[:len(lower)-3] + "y"
+	case strings.HasSuffix(lower, "ying") && len(lower) > 5:
+		return lower[:len(lower)-4] + "y"
+	}
+	if s, ok := esStem(lower); ok {
+		return s
+	}
+	switch {
+	case strings.HasSuffix(lower, "ing") && len(lower) > 4:
+		return resolveStem(lower[:len(lower)-3])
+	case strings.HasSuffix(lower, "ed") && len(lower) > 3:
+		return resolveStem(lower[:len(lower)-2])
+	case strings.HasSuffix(lower, "s") && !strings.HasSuffix(lower, "ss") && len(lower) > 2:
+		return lower[:len(lower)-1]
+	default:
+		return lower
+	}
+}
+
+// resolveStem picks the best base form for an -ed/-ing stem by trying the
+// bare stem, the stem with a restored final "e", and the stem with an
+// undoubled final consonant, preferring candidates in knownBases.
+func resolveStem(stem string) string {
+	candidates := []string{stem, stem + "e"}
+	n := len(stem)
+	if n >= 2 && stem[n-1] == stem[n-2] && isConsonant(stem[n-1]) {
+		candidates = append(candidates, stem[:n-1])
+	}
+	for _, c := range candidates {
+		if knownBases[c] {
+			return c
+		}
+	}
+	return undouble(fixE(stem))
+}
+
+// fixE restores a dropped final "e" for stems like "creat" -> "create".
+func fixE(stem string) string {
+	if len(stem) < 3 {
+		return stem
+	}
+	// Stems ending in a consonant cluster that requires "e": -at, -iv, -us,
+	// -as, -os, -it (not -ht), -ut, plus c/g softening (-nc, -rg ...).
+	endings := []string{"at", "iv", "us", "uc", "as", "os", "ut", "it",
+		"nc", "rg", "dg", "rv", "lv", "uat", "eas", "iz", "is", "ag",
+		"in", "ar", "or", "ir", "ur", "as"}
+	for _, e := range endings {
+		if strings.HasSuffix(stem, e) {
+			// Exceptions where no "e" belongs.
+			switch stem {
+			case "sign", "begin", "join", "return", "star", "wear", "hear",
+				"appear", "clear", "air", "chair", "occur", "perform",
+				"transfer", "remain", "explain", "maintain", "contain",
+				"obtain", "gain", "train", "run", "sustain", "attain",
+				"complain", "entertain", "retain", "restrain", "plan":
+				return stem
+			}
+			return stem + "e"
+		}
+	}
+	return stem
+}
+
+// undouble collapses a doubled final consonant ("starr" -> "star").
+func undouble(stem string) string {
+	n := len(stem)
+	if n >= 2 && stem[n-1] == stem[n-2] && isConsonant(stem[n-1]) {
+		if doubleConsonantStems[stem[:n-1]] {
+			return stem[:n-1]
+		}
+	}
+	return stem
+}
+
+func nounLemma(lower string) string {
+	switch {
+	case strings.HasSuffix(lower, "ies") && len(lower) > 4:
+		return lower[:len(lower)-3] + "y"
+	case strings.HasSuffix(lower, "ves") && len(lower) > 4:
+		return lower[:len(lower)-3] + "f"
+	}
+	if s, ok := esStem(lower); ok {
+		return s
+	}
+	if strings.HasSuffix(lower, "s") && !strings.HasSuffix(lower, "ss") && len(lower) > 2 {
+		return lower[:len(lower)-1]
+	}
+	return lower
+}
+
+func isConsonant(b byte) bool {
+	switch b {
+	case 'a', 'e', 'i', 'o', 'u':
+		return false
+	}
+	return b >= 'a' && b <= 'z'
+}
+
+// Annotate fills the Lemma field of every token in the sentence.
+func Annotate(sent *nlp.Sentence) {
+	for i := range sent.Tokens {
+		sent.Tokens[i].Lemma = Lemma(sent.Tokens[i].Text, sent.Tokens[i].POS)
+	}
+}

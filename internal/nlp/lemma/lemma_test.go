@@ -1,0 +1,154 @@
+package lemma
+
+import (
+	"testing"
+	"testing/quick"
+
+	"qkbfly/internal/nlp"
+)
+
+func TestVerbLemmas(t *testing.T) {
+	tests := []struct {
+		word string
+		tag  nlp.POSTag
+		want string
+	}{
+		{"married", nlp.VBD, "marry"},
+		{"marries", nlp.VBZ, "marry"},
+		{"marrying", nlp.VBG, "marry"},
+		{"filed", nlp.VBD, "file"},
+		{"named", nlp.VBD, "name"},
+		{"donated", nlp.VBD, "donate"},
+		{"announced", nlp.VBD, "announce"},
+		{"received", nlp.VBD, "receive"},
+		{"divorced", nlp.VBD, "divorce"},
+		{"starred", nlp.VBD, "star"},
+		{"starring", nlp.VBG, "star"},
+		{"transferred", nlp.VBD, "transfer"},
+		{"won", nlp.VBD, "win"},
+		{"wrote", nlp.VBD, "write"},
+		{"written", nlp.VBN, "write"},
+		{"was", nlp.VBD, "be"},
+		{"is", nlp.VBZ, "be"},
+		{"been", nlp.VBN, "be"},
+		{"went", nlp.VBD, "go"},
+		{"said", nlp.VBD, "say"},
+		{"shot", nlp.VBD, "shoot"},
+		{"sang", nlp.VBD, "sing"},
+		{"plays", nlp.VBZ, "play"},
+		{"played", nlp.VBD, "play"},
+		{"supports", nlp.VBZ, "support"},
+		{"studies", nlp.VBZ, "study"},
+		{"studied", nlp.VBD, "study"},
+		{"dying", nlp.VBG, "die"},
+		{"endorsed", nlp.VBD, "endorse"},
+		{"established", nlp.VBD, "establish"},
+		{"acquired", nlp.VBD, "acquire"},
+		{"led", nlp.VBD, "lead"},
+		{"left", nlp.VBD, "leave"},
+		{"became", nlp.VBD, "become"},
+		{"elected", nlp.VBD, "elect"},
+		{"born", nlp.VBN, "born"}, // kept as-is for the "born in" pattern
+		{"winning", nlp.VBG, "win"},
+		{"running", nlp.VBG, "run"},
+		{"adopted", nlp.VBD, "adopt"},
+		{"performed", nlp.VBD, "perform"},
+		{"graduated", nlp.VBD, "graduate"},
+	}
+	for _, tt := range tests {
+		if got := Lemma(tt.word, tt.tag); got != tt.want {
+			t.Errorf("Lemma(%q, %s) = %q, want %q", tt.word, tt.tag, got, tt.want)
+		}
+	}
+}
+
+func TestNounLemmas(t *testing.T) {
+	tests := []struct {
+		word string
+		tag  nlp.POSTag
+		want string
+	}{
+		{"wives", nlp.NNS, "wife"},
+		{"children", nlp.NNS, "child"},
+		{"cities", nlp.NNS, "city"},
+		{"awards", nlp.NNS, "award"},
+		{"matches", nlp.NNS, "match"},
+		{"people", nlp.NNS, "person"},
+		{"series", nlp.NNS, "series"},
+		{"goals", nlp.NNS, "goal"},
+	}
+	for _, tt := range tests {
+		if got := Lemma(tt.word, tt.tag); got != tt.want {
+			t.Errorf("Lemma(%q, %s) = %q, want %q", tt.word, tt.tag, got, tt.want)
+		}
+	}
+}
+
+func TestProperNounsKeepCase(t *testing.T) {
+	if got := Lemma("Pitt", nlp.NNP); got != "Pitt" {
+		t.Errorf("proper noun lemma = %q, want Pitt", got)
+	}
+}
+
+func TestAdjectives(t *testing.T) {
+	if got := Lemma("bigger", nlp.JJR); got != "bigg" && got != "big" {
+		// comparative stripping is approximate; must at least strip -er
+		t.Errorf("Lemma(bigger) = %q", got)
+	}
+	if got := Lemma("Famous", nlp.JJ); got != "famous" {
+		t.Errorf("Lemma(Famous, JJ) = %q, want famous", got)
+	}
+}
+
+// Property: lemmatization is idempotent for verbs — the lemma of a lemma
+// is itself.
+func TestLemmaIdempotent(t *testing.T) {
+	words := []string{"marry", "file", "play", "win", "write", "be", "go",
+		"donate", "support", "study", "run", "star", "transfer", "create"}
+	for _, w := range words {
+		l1 := Lemma(w, nlp.VB)
+		l2 := Lemma(l1, nlp.VB)
+		if l1 != l2 {
+			t.Errorf("lemma not idempotent: %q -> %q -> %q", w, l1, l2)
+		}
+	}
+}
+
+// Property: lemmas are never empty for non-empty alphabetic words.
+func TestLemmaNeverEmpty(t *testing.T) {
+	f := func(s string) bool {
+		cleaned := ""
+		for _, r := range s {
+			if r >= 'a' && r <= 'z' {
+				cleaned += string(r)
+			}
+			if len(cleaned) >= 12 {
+				break
+			}
+		}
+		if cleaned == "" {
+			return true
+		}
+		for _, tag := range []nlp.POSTag{nlp.VB, nlp.VBD, nlp.VBZ, nlp.NNS, nlp.NN} {
+			if Lemma(cleaned, tag) == "" {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAnnotate(t *testing.T) {
+	sent := nlp.Sentence{Tokens: []nlp.Token{
+		{Text: "She", POS: nlp.PRP},
+		{Text: "married", POS: nlp.VBD},
+		{Text: "him", POS: nlp.PRP},
+	}}
+	Annotate(&sent)
+	if sent.Tokens[1].Lemma != "marry" {
+		t.Errorf("Annotate lemma = %q", sent.Tokens[1].Lemma)
+	}
+}

@@ -1,0 +1,157 @@
+// Package ner implements a gazetteer- and shape-based named-entity
+// recognizer over POS-tagged tokens, standing in for the Stanford NER
+// tagger in the paper's pipeline (§2.2, §3). It assigns the paper's five
+// coarse types: PERSON, ORGANIZATION, LOCATION, MISC and TIME (the latter
+// produced by package sutime and left untouched here).
+package ner
+
+import (
+	"strings"
+
+	"qkbfly/internal/nlp"
+)
+
+// Gazetteer resolves an alias string to a coarse NER type. The entity
+// repository implements this interface.
+type Gazetteer interface {
+	// LookupType returns the NER type of the given surface form if any
+	// known entity uses it as an alias.
+	LookupType(alias string) (nlp.NERType, bool)
+}
+
+// maxMentionLen is the longest alias (in tokens) the recognizer will match.
+const maxMentionLen = 6
+
+var personTitles = map[string]bool{
+	"mr.": true, "mrs.": true, "ms.": true, "dr.": true, "prof.": true,
+	"president": true, "minister": true, "chancellor": true, "mayor": true,
+	"senator": true, "judge": true, "king": true, "queen": true,
+	"prince": true, "princess": true, "pope": true, "sir": true,
+	"captain": true, "coach": true, "actor": true, "actress": true,
+	"singer": true, "director": true, "striker": true, "midfielder": true,
+	"defender": true, "goalkeeper": true, "warrior": true, "general": true,
+}
+
+var orgSuffixes = []string{
+	"inc.", "ltd.", "corp.", "co.", "fc", "f.c.", "united", "city",
+	"university", "institute", "academy", "foundation", "company",
+	"records", "studios", "bank", "group", "club", "orchestra",
+	"association", "federation", "committee", "council", "party", "campaign",
+	"airlines", "motors", "industries", "holdings", "media", "network",
+}
+
+var locPrepositions = map[string]bool{
+	"in": true, "at": true, "from": true, "near": true, "to": true,
+	"into": true, "across": true, "outside": true, "inside": true,
+	"around": true, "through": true, "towards": true,
+}
+
+// Annotator recognizes named-entity mentions using an optional gazetteer.
+type Annotator struct {
+	gaz Gazetteer
+}
+
+// New returns an Annotator. gaz may be nil, in which case only shape and
+// context rules apply.
+func New(gaz Gazetteer) *Annotator { return &Annotator{gaz: gaz} }
+
+// Annotate marks named-entity mentions in the sentence: it sets the NER
+// field of the covered tokens and appends to sent.Mentions. TIME tokens
+// produced by sutime are never overwritten.
+func (a *Annotator) Annotate(sent *nlp.Sentence) {
+	toks := sent.Tokens
+	i := 0
+	for i < len(toks) {
+		if toks[i].NER == nlp.NERTime {
+			i++
+			continue
+		}
+		if !toks[i].POS.IsProperNoun() {
+			i++
+			continue
+		}
+		end, typ := a.matchMention(sent, i)
+		if end <= i {
+			i++
+			continue
+		}
+		for j := i; j < end; j++ {
+			toks[j].NER = typ
+		}
+		sent.Mentions = append(sent.Mentions, nlp.Mention{
+			Start: i, End: end, Type: typ, Text: sent.TokenText(i, end),
+		})
+		i = end
+	}
+}
+
+// matchMention finds the longest mention starting at token i and its type.
+func (a *Annotator) matchMention(sent *nlp.Sentence, i int) (int, nlp.NERType) {
+	toks := sent.Tokens
+	// The run of proper-noun tokens starting at i (allowing internal "of"
+	// and "the" for names like "University of Weston").
+	runEnd := i
+	for runEnd < len(toks) {
+		t := &toks[runEnd]
+		if t.NER == nlp.NERTime {
+			break
+		}
+		if t.POS.IsProperNoun() {
+			runEnd++
+			continue
+		}
+		lower := strings.ToLower(t.Text)
+		if (lower == "of" || lower == "the") && runEnd+1 < len(toks) && toks[runEnd+1].POS.IsProperNoun() && runEnd > i {
+			runEnd++
+			continue
+		}
+		break
+	}
+	if runEnd == i {
+		return i, nlp.NERNone
+	}
+	if runEnd-i > maxMentionLen {
+		runEnd = i + maxMentionLen
+	}
+	// Longest gazetteer match first.
+	if a.gaz != nil {
+		for end := runEnd; end > i; end-- {
+			alias := sent.TokenText(i, end)
+			if typ, ok := a.gaz.LookupType(alias); ok {
+				return end, typ
+			}
+		}
+	}
+	// Shape/context classification of the full run.
+	return runEnd, a.classify(sent, i, runEnd)
+}
+
+// classify guesses the type of an out-of-gazetteer proper-noun run from its
+// shape and context — this is what lets the system recognize emerging
+// entities that are absent from the entity repository.
+func (a *Annotator) classify(sent *nlp.Sentence, start, end int) nlp.NERType {
+	toks := sent.Tokens
+	last := strings.ToLower(toks[end-1].Text)
+	for _, suf := range orgSuffixes {
+		if last == suf {
+			return nlp.NEROrganization
+		}
+	}
+	// Preceding person title: "President Walsh", "Dr. Amara Finch".
+	if start > 0 && personTitles[strings.ToLower(toks[start-1].Text)] {
+		return nlp.NERPerson
+	}
+	if personTitles[strings.ToLower(toks[start].Text)] {
+		return nlp.NERPerson
+	}
+	// Preceding locative preposition: "in Weston".
+	if start > 0 && locPrepositions[strings.ToLower(toks[start-1].Text)] && end-start <= 2 {
+		return nlp.NERLocation
+	}
+	// Two or three capitalized words, none a known common noun: person-like.
+	n := end - start
+	if n >= 2 && n <= 3 {
+		return nlp.NERPerson
+	}
+	return nlp.NERMisc
+}

@@ -1,0 +1,126 @@
+package ner
+
+import (
+	"testing"
+
+	"qkbfly/internal/nlp"
+	"qkbfly/internal/nlp/pos"
+	"qkbfly/internal/nlp/sutime"
+	"qkbfly/internal/nlp/token"
+)
+
+// fakeGaz is a small gazetteer for tests.
+type fakeGaz map[string]nlp.NERType
+
+func (g fakeGaz) LookupType(alias string) (nlp.NERType, bool) {
+	t, ok := g[normKey(alias)]
+	return t, ok
+}
+
+func normKey(s string) string {
+	out := make([]byte, 0, len(s))
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c >= 'A' && c <= 'Z' {
+			c += 'a' - 'A'
+		}
+		if c == '.' {
+			continue
+		}
+		out = append(out, c)
+	}
+	return string(out)
+}
+
+func annotate(t *testing.T, gaz Gazetteer, text string) nlp.Sentence {
+	t.Helper()
+	sent := nlp.Sentence{Text: text, Tokens: token.Tokenize(text)}
+	pos.Tag(&sent)
+	sutime.Annotate(&sent)
+	New(gaz).Annotate(&sent)
+	return sent
+}
+
+func mentionsOf(sent nlp.Sentence, typ nlp.NERType) []string {
+	var out []string
+	for _, m := range sent.Mentions {
+		if m.Type == typ {
+			out = append(out, m.Text)
+		}
+	}
+	return out
+}
+
+func TestGazetteerMatch(t *testing.T) {
+	gaz := fakeGaz{"brad pitt": nlp.NERPerson, "margate fc": nlp.NEROrganization}
+	sent := annotate(t, gaz, "Brad Pitt joined Margate F.C. in 2001.")
+	if got := mentionsOf(sent, nlp.NERPerson); len(got) != 1 || got[0] != "Brad Pitt" {
+		t.Errorf("PERSON mentions = %v", got)
+	}
+	if got := mentionsOf(sent, nlp.NEROrganization); len(got) != 1 {
+		t.Errorf("ORG mentions = %v", got)
+	}
+}
+
+func TestLongestMatchWins(t *testing.T) {
+	gaz := fakeGaz{"pitt": nlp.NERPerson, "brad pitt": nlp.NERPerson}
+	sent := annotate(t, gaz, "Brad Pitt arrived.")
+	got := mentionsOf(sent, nlp.NERPerson)
+	if len(got) != 1 || got[0] != "Brad Pitt" {
+		t.Errorf("mentions = %v, want the longest match", got)
+	}
+}
+
+func TestEmergingPersonByShape(t *testing.T) {
+	sent := annotate(t, nil, "Yesterday Jessica Leeds accused him.")
+	got := mentionsOf(sent, nlp.NERPerson)
+	found := false
+	for _, m := range got {
+		if m == "Jessica Leeds" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("emerging person not detected: %v", sent.Mentions)
+	}
+}
+
+func TestOrgSuffix(t *testing.T) {
+	sent := annotate(t, nil, "He works for Vexley Industries now.")
+	if got := mentionsOf(sent, nlp.NEROrganization); len(got) != 1 || got[0] != "Vexley Industries" {
+		t.Errorf("ORG mentions = %v", got)
+	}
+}
+
+func TestLocationByPreposition(t *testing.T) {
+	sent := annotate(t, nil, "She lives in Karvale now.")
+	if got := mentionsOf(sent, nlp.NERLocation); len(got) != 1 || got[0] != "Karvale" {
+		t.Errorf("LOC mentions = %v", got)
+	}
+}
+
+func TestPersonTitle(t *testing.T) {
+	sent := annotate(t, nil, "President Walsh resigned.")
+	got := mentionsOf(sent, nlp.NERPerson)
+	if len(got) == 0 {
+		t.Fatalf("no PERSON mention in %v", sent.Mentions)
+	}
+}
+
+func TestTimeNotOverwritten(t *testing.T) {
+	gaz := fakeGaz{"september": nlp.NERLocation} // adversarial
+	sent := annotate(t, gaz, "She filed on September 19, 2016.")
+	for _, tok := range sent.Tokens {
+		if tok.Text == "September" && tok.NER != nlp.NERTime {
+			t.Errorf("September NER = %s, want TIME", tok.NER)
+		}
+	}
+}
+
+func TestUniversityOfPattern(t *testing.T) {
+	gaz := fakeGaz{"university of weston": nlp.NEROrganization}
+	sent := annotate(t, gaz, "She studied at University of Weston.")
+	if got := mentionsOf(sent, nlp.NEROrganization); len(got) != 1 || got[0] != "University of Weston" {
+		t.Errorf("ORG mentions = %v", got)
+	}
+}

@@ -1,0 +1,295 @@
+// Package nlp defines the shared linguistic annotation types used by every
+// stage of the QKBfly pipeline: tokens, sentences, documents, part-of-speech
+// tags, named-entity types and dependency relations.
+//
+// The concrete annotators live in the subpackages token, pos, lemma, chunk,
+// ner, sutime, depparse and clause; this package only holds the data model so
+// that the annotators do not depend on each other.
+package nlp
+
+import "strings"
+
+// POSTag is a Penn-Treebank-style part-of-speech tag.
+type POSTag string
+
+// The tag inventory used by the tagger and parser. This is a pragmatic
+// subset of the Penn Treebank tagset.
+const (
+	NN    POSTag = "NN"   // singular noun
+	NNS   POSTag = "NNS"  // plural noun
+	NNP   POSTag = "NNP"  // proper noun
+	NNPS  POSTag = "NNPS" // plural proper noun
+	VB    POSTag = "VB"   // verb, base form
+	VBD   POSTag = "VBD"  // verb, past tense
+	VBZ   POSTag = "VBZ"  // verb, 3rd person singular present
+	VBP   POSTag = "VBP"  // verb, non-3rd person present
+	VBG   POSTag = "VBG"  // verb, gerund
+	VBN   POSTag = "VBN"  // verb, past participle
+	MD    POSTag = "MD"   // modal
+	IN    POSTag = "IN"   // preposition / subordinating conjunction
+	TO    POSTag = "TO"   // "to"
+	DT    POSTag = "DT"   // determiner
+	JJ    POSTag = "JJ"   // adjective
+	JJR   POSTag = "JJR"  // comparative adjective
+	JJS   POSTag = "JJS"  // superlative adjective
+	RB    POSTag = "RB"   // adverb
+	PRP   POSTag = "PRP"  // personal pronoun
+	PRPS  POSTag = "PRP$" // possessive pronoun
+	CC    POSTag = "CC"   // coordinating conjunction
+	CD    POSTag = "CD"   // cardinal number
+	WP    POSTag = "WP"   // wh-pronoun
+	WRB   POSTag = "WRB"  // wh-adverb
+	WDT   POSTag = "WDT"  // wh-determiner
+	EX    POSTag = "EX"   // existential "there"
+	POS   POSTag = "POS"  // possessive marker 's
+	PUNCT POSTag = "."    // punctuation
+	SYM   POSTag = "SYM"  // symbol ($, %, ...)
+	UH    POSTag = "UH"   // interjection
+	FW    POSTag = "FW"   // foreign word
+)
+
+// IsNoun reports whether the tag is one of the noun tags.
+func (t POSTag) IsNoun() bool { return t == NN || t == NNS || t == NNP || t == NNPS }
+
+// IsProperNoun reports whether the tag is a proper-noun tag.
+func (t POSTag) IsProperNoun() bool { return t == NNP || t == NNPS }
+
+// IsVerb reports whether the tag is a verb tag (modals excluded).
+func (t POSTag) IsVerb() bool {
+	switch t {
+	case VB, VBD, VBZ, VBP, VBG, VBN:
+		return true
+	}
+	return false
+}
+
+// IsAdjective reports whether the tag is an adjective tag.
+func (t POSTag) IsAdjective() bool { return t == JJ || t == JJR || t == JJS }
+
+// NERType is one of the five coarse named-entity types the paper uses,
+// or None for tokens outside any mention.
+type NERType string
+
+// The five NER types of the paper (§3) plus None.
+const (
+	NERNone         NERType = "NONE"
+	NERPerson       NERType = "PERSON"
+	NEROrganization NERType = "ORGANIZATION"
+	NERLocation     NERType = "LOCATION"
+	NERMisc         NERType = "MISC"
+	NERTime         NERType = "TIME"
+)
+
+// Dependency relation labels produced by the parser.
+const (
+	DepRoot     = "root"
+	DepNsubj    = "nsubj"
+	DepDobj     = "dobj"
+	DepIobj     = "iobj"
+	DepAttr     = "attr"  // copular complement (nominal)
+	DepAcomp    = "acomp" // copular complement (adjectival)
+	DepPrep     = "prep"
+	DepPobj     = "pobj"
+	DepDet      = "det"
+	DepAmod     = "amod"
+	DepNummod   = "nummod"
+	DepCompound = "compound"
+	DepPoss     = "poss"
+	DepCase     = "case" // the 's marker
+	DepAux      = "aux"
+	DepAuxpass  = "auxpass"
+	DepNeg      = "neg"
+	DepAdvmod   = "advmod"
+	DepCc       = "cc"
+	DepConj     = "conj"
+	DepMark     = "mark"
+	DepCcomp    = "ccomp"
+	DepAdvcl    = "advcl"
+	DepRelcl    = "relcl"
+	DepXcomp    = "xcomp"
+	DepAppos    = "appos"
+	DepTmod     = "tmod"
+	DepPunct    = "punct"
+	DepDep      = "dep" // unclassified
+)
+
+// Token is a single token with all of its annotations. Head and DepRel are
+// filled by the dependency parser; NER and TimeValue by the recognizers.
+type Token struct {
+	Text      string
+	Lemma     string
+	POS       POSTag
+	NER       NERType
+	TimeValue string // normalized time value when NER == NERTime
+	Start     int    // byte offset of the token within the sentence text
+	End       int    // byte offset one past the token
+	Head      int    // index of the head token within the sentence; -1 for root
+	DepRel    string
+}
+
+// Chunk is a noun-phrase chunk: token index range [Start, End) with the
+// index of the head token.
+type Chunk struct {
+	Start int
+	End   int
+	Head  int
+}
+
+// Mention is a recognized named-entity or time mention over a token range
+// [Start, End).
+type Mention struct {
+	Start     int
+	End       int
+	Type      NERType
+	Text      string
+	TimeValue string
+}
+
+// Sentence is a tokenized, annotated sentence.
+type Sentence struct {
+	Index    int // position of the sentence within its document
+	Text     string
+	Tokens   []Token
+	Chunks   []Chunk
+	Mentions []Mention
+}
+
+// TokenText returns the surface text of tokens [start, end) joined by spaces.
+func (s *Sentence) TokenText(start, end int) string {
+	if start < 0 {
+		start = 0
+	}
+	if end > len(s.Tokens) {
+		end = len(s.Tokens)
+	}
+	if start >= end {
+		return ""
+	}
+	parts := make([]string, 0, end-start)
+	for i := start; i < end; i++ {
+		parts = append(parts, s.Tokens[i].Text)
+	}
+	return strings.Join(parts, " ")
+}
+
+// Children returns the indices of the direct dependents of token i.
+func (s *Sentence) Children(i int) []int {
+	var kids []int
+	for j := range s.Tokens {
+		if s.Tokens[j].Head == i {
+			kids = append(kids, j)
+		}
+	}
+	return kids
+}
+
+// ChildrenByRel returns the direct dependents of token i with relation rel.
+func (s *Sentence) ChildrenByRel(i int, rel string) []int {
+	var kids []int
+	for j := range s.Tokens {
+		if s.Tokens[j].Head == i && s.Tokens[j].DepRel == rel {
+			kids = append(kids, j)
+		}
+	}
+	return kids
+}
+
+// Subtree returns the token indices of the subtree rooted at i, in order.
+func (s *Sentence) Subtree(i int) []int {
+	seen := make([]bool, len(s.Tokens))
+	var walk func(int)
+	walk = func(k int) {
+		if k < 0 || k >= len(s.Tokens) || seen[k] {
+			return
+		}
+		seen[k] = true
+		for j := range s.Tokens {
+			if s.Tokens[j].Head == k && !seen[j] {
+				walk(j)
+			}
+		}
+	}
+	walk(i)
+	var out []int
+	for j, ok := range seen {
+		if ok {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// Anchor is a hyperlink-style annotation in a background-corpus document:
+// the token range [Start, End) of sentence SentIndex refers to EntityID.
+// Anchors play the role of Wikipedia href links for computing priors.
+type Anchor struct {
+	SentIndex int
+	Start     int
+	End       int
+	EntityID  string
+}
+
+// Document is an input document: a Wikipedia-style article or a news story.
+type Document struct {
+	ID        string
+	Title     string
+	Source    string // "wikipedia" or "news"
+	Text      string
+	Sentences []Sentence
+	Anchors   []Anchor
+}
+
+// Tokens returns all tokens of the document in order.
+func (d *Document) Tokens() []Token {
+	var out []Token
+	for i := range d.Sentences {
+		out = append(out, d.Sentences[i].Tokens...)
+	}
+	return out
+}
+
+// IsPronoun reports whether the token is a personal pronoun handled by
+// co-reference resolution (he, she, him, her, his, hers, they, them, it...).
+func IsPronoun(t *Token) bool {
+	return t.POS == PRP || t.POS == PRPS
+}
+
+// Gender is the grammatical gender used by pronoun constraint (4) in §4.
+type Gender int
+
+// Gender values. Unknown means the repository provides no gender.
+const (
+	GenderUnknown Gender = iota
+	GenderMale
+	GenderFemale
+	GenderNeuter
+)
+
+// PronounGender returns the gender selected by a pronoun surface form, or
+// GenderUnknown for genderless pronouns such as "they".
+func PronounGender(text string) Gender {
+	switch strings.ToLower(text) {
+	case "he", "him", "his", "himself":
+		return GenderMale
+	case "she", "her", "hers", "herself":
+		return GenderFemale
+	case "it", "its", "itself":
+		return GenderNeuter
+	default:
+		return GenderUnknown
+	}
+}
+
+// String implements fmt.Stringer.
+func (g Gender) String() string {
+	switch g {
+	case GenderMale:
+		return "male"
+	case GenderFemale:
+		return "female"
+	case GenderNeuter:
+		return "neuter"
+	default:
+		return "unknown"
+	}
+}

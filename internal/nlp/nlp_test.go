@@ -1,0 +1,111 @@
+package nlp
+
+import "testing"
+
+func sentence() *Sentence {
+	// "Brad Pitt married Angelina Jolie" with a hand-built tree.
+	return &Sentence{
+		Text: "Brad Pitt married Angelina Jolie",
+		Tokens: []Token{
+			{Text: "Brad", POS: NNP, Head: 1, DepRel: DepCompound},
+			{Text: "Pitt", POS: NNP, Head: 2, DepRel: DepNsubj},
+			{Text: "married", POS: VBD, Head: -1, DepRel: DepRoot},
+			{Text: "Angelina", POS: NNP, Head: 4, DepRel: DepCompound},
+			{Text: "Jolie", POS: NNP, Head: 2, DepRel: DepDobj},
+		},
+	}
+}
+
+func TestChildren(t *testing.T) {
+	s := sentence()
+	kids := s.Children(2)
+	if len(kids) != 2 || kids[0] != 1 || kids[1] != 4 {
+		t.Errorf("Children(married) = %v", kids)
+	}
+	if got := s.ChildrenByRel(2, DepNsubj); len(got) != 1 || got[0] != 1 {
+		t.Errorf("ChildrenByRel(nsubj) = %v", got)
+	}
+	if got := s.ChildrenByRel(2, DepIobj); got != nil {
+		t.Errorf("ChildrenByRel(iobj) = %v", got)
+	}
+}
+
+func TestSubtree(t *testing.T) {
+	s := sentence()
+	if got := s.Subtree(4); len(got) != 2 {
+		t.Errorf("Subtree(Jolie) = %v", got)
+	}
+	if got := s.Subtree(2); len(got) != 5 {
+		t.Errorf("Subtree(root) = %v", got)
+	}
+	if got := s.Subtree(-1); got != nil {
+		t.Errorf("Subtree(-1) = %v", got)
+	}
+}
+
+func TestTokenText(t *testing.T) {
+	s := sentence()
+	if got := s.TokenText(0, 2); got != "Brad Pitt" {
+		t.Errorf("TokenText = %q", got)
+	}
+	if got := s.TokenText(-5, 99); got != "Brad Pitt married Angelina Jolie" {
+		t.Errorf("clamped TokenText = %q", got)
+	}
+	if got := s.TokenText(3, 3); got != "" {
+		t.Errorf("empty range = %q", got)
+	}
+}
+
+func TestPOSPredicates(t *testing.T) {
+	if !NNP.IsNoun() || !NNP.IsProperNoun() {
+		t.Error("NNP predicates")
+	}
+	if NN.IsProperNoun() {
+		t.Error("NN is not proper")
+	}
+	if !VBD.IsVerb() || MD.IsVerb() {
+		t.Error("verb predicates")
+	}
+	if !JJR.IsAdjective() || NN.IsAdjective() {
+		t.Error("adjective predicates")
+	}
+}
+
+func TestPronounGender(t *testing.T) {
+	tests := []struct {
+		text string
+		want Gender
+	}{
+		{"he", GenderMale}, {"He", GenderMale}, {"his", GenderMale},
+		{"she", GenderFemale}, {"her", GenderFemale},
+		{"it", GenderNeuter}, {"its", GenderNeuter},
+		{"they", GenderUnknown}, {"them", GenderUnknown},
+	}
+	for _, tt := range tests {
+		if got := PronounGender(tt.text); got != tt.want {
+			t.Errorf("PronounGender(%q) = %v, want %v", tt.text, got, tt.want)
+		}
+	}
+}
+
+func TestGenderString(t *testing.T) {
+	if GenderMale.String() != "male" || GenderUnknown.String() != "unknown" {
+		t.Error("Gender.String")
+	}
+}
+
+func TestIsPronoun(t *testing.T) {
+	if !IsPronoun(&Token{POS: PRP}) || !IsPronoun(&Token{POS: PRPS}) {
+		t.Error("pronoun tags")
+	}
+	if IsPronoun(&Token{POS: NN}) {
+		t.Error("NN is not a pronoun")
+	}
+}
+
+func TestDocumentTokens(t *testing.T) {
+	d := Document{Sentences: []Sentence{*sentence(), *sentence()}}
+	if got := d.Tokens(); len(got) != 10 {
+		t.Errorf("Tokens() = %d", len(got))
+	}
+}

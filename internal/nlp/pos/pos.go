@@ -1,0 +1,191 @@
+// Package pos implements a rule-and-lexicon part-of-speech tagger.
+//
+// It stands in for the Stanford CoreNLP POS tagger in the paper's
+// pre-processing pipeline (§2.2). Tagging proceeds in three passes:
+// a lexicon lookup, shape/suffix guessing for unknown words, and a set of
+// Brill-style contextual repair rules.
+package pos
+
+import (
+	"strings"
+	"unicode"
+
+	"qkbfly/internal/nlp"
+)
+
+// Tag assigns a POS tag to every token of the sentence in place.
+func Tag(sent *nlp.Sentence) {
+	toks := sent.Tokens
+	for i := range toks {
+		toks[i].POS = initialTag(toks[i].Text, i == 0)
+	}
+	contextualRepair(toks)
+}
+
+// TagAll tags every sentence of the document.
+func TagAll(doc *nlp.Document) {
+	for i := range doc.Sentences {
+		Tag(&doc.Sentences[i])
+	}
+}
+
+// initialTag performs lexicon lookup and unknown-word guessing.
+func initialTag(text string, sentenceInitial bool) nlp.POSTag {
+	lower := strings.ToLower(text)
+	if tag, ok := lexicon[lower]; ok {
+		// A capitalized open-class lexicon word mid-sentence is a proper
+		// noun use (the city "Reading", the film "Star Wars"); closed-class
+		// words keep their tag.
+		if !sentenceInitial && isCapitalized(text) &&
+			(tag.IsNoun() || tag.IsVerb() || tag.IsAdjective()) &&
+			tag != nlp.NNP && tag != nlp.NNPS {
+			return nlp.NNP
+		}
+		return tag
+	}
+	// Numbers.
+	if isNumber(text) {
+		return nlp.CD
+	}
+	// Punctuation and symbols.
+	r := []rune(text)
+	if len(r) > 0 && !unicode.IsLetter(r[0]) && !unicode.IsDigit(r[0]) {
+		switch text {
+		case "$", "%", "#", "&", "+", "=":
+			return nlp.SYM
+		default:
+			return nlp.PUNCT
+		}
+	}
+	// Capitalized unknown word: proper noun (mid-sentence this is reliable;
+	// sentence-initially we still prefer NNP for unknown words since known
+	// words were caught by the lexicon).
+	if isCapitalized(text) {
+		if strings.HasSuffix(text, "s") && len(text) > 3 && isCapitalized(text[:len(text)-1]) && strings.HasSuffix(strings.ToLower(text), "ings") {
+			return nlp.NNPS
+		}
+		return nlp.NNP
+	}
+	// Suffix rules for unknown lower-case words.
+	switch {
+	case strings.HasSuffix(lower, "ly"):
+		return nlp.RB
+	case strings.HasSuffix(lower, "ing"):
+		return nlp.VBG
+	case strings.HasSuffix(lower, "ed"):
+		return nlp.VBD
+	case strings.HasSuffix(lower, "ous"), strings.HasSuffix(lower, "ful"),
+		strings.HasSuffix(lower, "ive"), strings.HasSuffix(lower, "able"),
+		strings.HasSuffix(lower, "ible"), strings.HasSuffix(lower, "al"),
+		strings.HasSuffix(lower, "ish"), strings.HasSuffix(lower, "less"):
+		return nlp.JJ
+	case strings.HasSuffix(lower, "ment"), strings.HasSuffix(lower, "tion"),
+		strings.HasSuffix(lower, "sion"), strings.HasSuffix(lower, "ness"),
+		strings.HasSuffix(lower, "ity"), strings.HasSuffix(lower, "ship"),
+		strings.HasSuffix(lower, "ism"), strings.HasSuffix(lower, "ist"),
+		strings.HasSuffix(lower, "er"), strings.HasSuffix(lower, "or"):
+		return nlp.NN
+	case strings.HasSuffix(lower, "s") && !strings.HasSuffix(lower, "ss"):
+		return nlp.NNS
+	default:
+		return nlp.NN
+	}
+}
+
+// contextualRepair applies Brill-style transformation rules that fix the
+// most common initial-tag errors using the local context.
+func contextualRepair(toks []nlp.Token) {
+	n := len(toks)
+	prev := func(i int) nlp.POSTag {
+		if i-1 >= 0 {
+			return toks[i-1].POS
+		}
+		return ""
+	}
+	next := func(i int) nlp.POSTag {
+		if i+1 < n {
+			return toks[i+1].POS
+		}
+		return ""
+	}
+	for i := 0; i < n; i++ {
+		t := &toks[i]
+		switch {
+		// DT/PRP$/JJ + VB* that could be a noun -> noun ("the play", "his record").
+		case (prev(i) == nlp.DT || prev(i) == nlp.PRPS || prev(i).IsAdjective()) && t.POS.IsVerb() && !next(i).IsNoun():
+			if t.POS == nlp.VBG || t.POS == nlp.VB || t.POS == nlp.VBP || t.POS == nlp.VBZ {
+				if t.POS == nlp.VBZ {
+					t.POS = nlp.NNS
+				} else {
+					t.POS = nlp.NN
+				}
+			}
+		// TO/MD + anything verbal -> base verb ("to play", "will star").
+		case (prev(i) == nlp.TO || prev(i) == nlp.MD) && (t.POS.IsVerb() || t.POS == nlp.NN):
+			if _, known := lexicon[strings.ToLower(t.Text)]; known && t.POS == nlp.NN {
+				// keep known nouns ("to Paris" won't reach here: NNP)
+			} else {
+				t.POS = nlp.VB
+			}
+		// have/has/had + VBD -> VBN ("has married").
+		case t.POS == nlp.VBD && i > 0 && isHave(toks[i-1].Text):
+			t.POS = nlp.VBN
+		// be-form + VBD -> VBN (passive: "was married").
+		case t.POS == nlp.VBD && i > 0 && isBe(toks[i-1].Text):
+			t.POS = nlp.VBN
+		}
+	}
+	// "'s" disambiguation: possessive POS after a noun, VBZ otherwise
+	// ("Pitt's wife" vs "he's an actor" handled as POS only after nouns).
+	for i := 0; i < n; i++ {
+		if toks[i].Text == "'s" {
+			if i > 0 && (toks[i-1].POS.IsNoun() || toks[i-1].POS == nlp.PRP) {
+				// After a pronoun "'s" is a contraction of "is".
+				if toks[i-1].POS == nlp.PRP {
+					toks[i].POS = nlp.VBZ
+				} else {
+					toks[i].POS = nlp.POS
+				}
+			} else {
+				toks[i].POS = nlp.VBZ
+			}
+		}
+	}
+	// Sentence-initial unknown NNP followed by a common pattern of a normal
+	// sentence start ("Yesterday ..."): leave as-is; handled by NER instead.
+}
+
+func isHave(text string) bool {
+	switch strings.ToLower(text) {
+	case "have", "has", "had", "having", "'ve":
+		return true
+	}
+	return false
+}
+
+func isBe(text string) bool {
+	switch strings.ToLower(text) {
+	case "be", "is", "am", "are", "was", "were", "been", "being", "'re", "'m":
+		return true
+	}
+	return false
+}
+
+func isCapitalized(text string) bool {
+	r := []rune(text)
+	return len(r) > 0 && unicode.IsUpper(r[0])
+}
+
+func isNumber(text string) bool {
+	hasDigit := false
+	for _, r := range text {
+		switch {
+		case unicode.IsDigit(r):
+			hasDigit = true
+		case r == '.' || r == ',' || r == '$' || r == '%' || r == '-' || r == '+':
+		default:
+			return false
+		}
+	}
+	return hasDigit
+}

@@ -1,0 +1,117 @@
+package pos
+
+import (
+	"strings"
+	"testing"
+
+	"qkbfly/internal/nlp"
+	"qkbfly/internal/nlp/token"
+)
+
+func tagged(t *testing.T, text string) nlp.Sentence {
+	t.Helper()
+	sent := nlp.Sentence{Text: text, Tokens: token.Tokenize(text)}
+	Tag(&sent)
+	return sent
+}
+
+func assertTags(t *testing.T, text string, want ...nlp.POSTag) {
+	t.Helper()
+	sent := tagged(t, text)
+	if len(sent.Tokens) != len(want) {
+		var got []string
+		for _, tok := range sent.Tokens {
+			got = append(got, tok.Text+"/"+string(tok.POS))
+		}
+		t.Fatalf("%q: got %d tokens (%s), want %d", text, len(sent.Tokens), strings.Join(got, " "), len(want))
+	}
+	for i, w := range want {
+		if sent.Tokens[i].POS != w {
+			t.Errorf("%q token %d (%q) = %s, want %s", text, i, sent.Tokens[i].Text, sent.Tokens[i].POS, w)
+		}
+	}
+}
+
+func TestTagBasicSentences(t *testing.T) {
+	assertTags(t, "Brad Pitt is an actor.",
+		nlp.NNP, nlp.NNP, nlp.VBZ, nlp.DT, nlp.NN, nlp.PUNCT)
+	assertTags(t, "He supports the campaign.",
+		nlp.PRP, nlp.VBZ, nlp.DT, nlp.NN, nlp.PUNCT)
+	assertTags(t, "She married him in 1999.",
+		nlp.PRP, nlp.VBD, nlp.PRP, nlp.IN, nlp.CD, nlp.PUNCT)
+}
+
+func TestTagUnknownWords(t *testing.T) {
+	sent := tagged(t, "Zorblatt quickly vorbled the snarfing gribbles.")
+	wants := []nlp.POSTag{nlp.NNP, nlp.RB, nlp.VBD, nlp.DT, nlp.VBG, nlp.NNS, nlp.PUNCT}
+	for i, w := range wants {
+		if sent.Tokens[i].POS != w {
+			t.Errorf("token %d (%q) = %s, want %s", i, sent.Tokens[i].Text, sent.Tokens[i].POS, w)
+		}
+	}
+}
+
+func TestCapitalizedLexiconWordMidSentence(t *testing.T) {
+	// "Star" is a lexicon verb but capitalized mid-sentence it is part of
+	// a name.
+	sent := tagged(t, "He acted in Star Wars.")
+	if sent.Tokens[3].POS != nlp.NNP {
+		t.Errorf("Star = %s, want NNP", sent.Tokens[3].POS)
+	}
+}
+
+func TestPossessiveMarkerDisambiguation(t *testing.T) {
+	sent := tagged(t, "Pitt's wife arrived.")
+	if sent.Tokens[1].POS != nlp.POS {
+		t.Errorf("'s after noun = %s, want POS", sent.Tokens[1].POS)
+	}
+	sent = tagged(t, "He's an actor.")
+	if sent.Tokens[1].POS != nlp.VBZ {
+		t.Errorf("'s after pronoun = %s, want VBZ", sent.Tokens[1].POS)
+	}
+}
+
+func TestPassiveParticiple(t *testing.T) {
+	sent := tagged(t, "She was married to him.")
+	if sent.Tokens[2].POS != nlp.VBN {
+		t.Errorf("married after was = %s, want VBN", sent.Tokens[2].POS)
+	}
+	sent = tagged(t, "He has married twice.")
+	if sent.Tokens[2].POS != nlp.VBN {
+		t.Errorf("married after has = %s, want VBN", sent.Tokens[2].POS)
+	}
+}
+
+func TestToPlusVerb(t *testing.T) {
+	sent := tagged(t, "She wants to play well.")
+	if sent.Tokens[3].POS != nlp.VB {
+		t.Errorf("play after to = %s, want VB", sent.Tokens[3].POS)
+	}
+}
+
+func TestNumbersAndMoney(t *testing.T) {
+	sent := tagged(t, "He donated $100,000 yesterday.")
+	if sent.Tokens[2].POS != nlp.CD {
+		t.Errorf("$100,000 = %s, want CD", sent.Tokens[2].POS)
+	}
+}
+
+func TestDeterminerVerbRepair(t *testing.T) {
+	// "record" is a lexicon verb; after a possessive it is a noun.
+	sent := tagged(t, "His record was broken.")
+	if sent.Tokens[1].POS != nlp.NN {
+		t.Errorf("record after His = %s, want NN", sent.Tokens[1].POS)
+	}
+}
+
+func TestTagAllDocument(t *testing.T) {
+	doc := nlp.Document{Sentences: token.TokenizeSentences("He won. She lost.")}
+	TagAll(&doc)
+	for si, s := range doc.Sentences {
+		for ti, tok := range s.Tokens {
+			if tok.POS == "" {
+				t.Errorf("sentence %d token %d untagged", si, ti)
+			}
+		}
+	}
+}

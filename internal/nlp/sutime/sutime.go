@@ -1,0 +1,163 @@
+// Package sutime implements a rule-based time-expression recognizer and
+// normalizer, standing in for the SUTime annotator [Chang & Manning 2012]
+// the paper uses to detect time expressions within clauses (§2.2, §3).
+//
+// Recognized forms (with their normalized values):
+//
+//	"September 19, 2016"  -> 2016-09-19
+//	"17 December 1936"    -> 1936-12-17
+//	"May 2012"            -> 2012-05
+//	"2008"                -> 2008
+//	"the 1980s"           -> 198X
+//	"Monday" (weekdays)   -> WEEKDAY
+package sutime
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"qkbfly/internal/nlp"
+)
+
+var months = map[string]int{
+	"january": 1, "february": 2, "march": 3, "april": 4, "may": 5,
+	"june": 6, "july": 7, "august": 8, "september": 9, "october": 10,
+	"november": 11, "december": 12,
+	"jan.": 1, "feb.": 2, "mar.": 3, "apr.": 4, "jun.": 6, "jul.": 7,
+	"aug.": 8, "sep.": 9, "sept.": 9, "oct.": 10, "nov.": 11, "dec.": 12,
+}
+
+var weekdays = map[string]bool{
+	"monday": true, "tuesday": true, "wednesday": true, "thursday": true,
+	"friday": true, "saturday": true, "sunday": true,
+}
+
+// Annotate detects time expressions in the sentence, sets NER=TIME and
+// TimeValue on the covered tokens, and appends TIME mentions to
+// sent.Mentions.
+func Annotate(sent *nlp.Sentence) {
+	toks := sent.Tokens
+	i := 0
+	for i < len(toks) {
+		if end, value, ok := match(toks, i); ok {
+			for j := i; j < end; j++ {
+				toks[j].NER = nlp.NERTime
+				toks[j].TimeValue = value
+			}
+			sent.Mentions = append(sent.Mentions, nlp.Mention{
+				Start: i, End: end, Type: nlp.NERTime,
+				Text: sent.TokenText(i, end), TimeValue: value,
+			})
+			i = end
+			continue
+		}
+		i++
+	}
+}
+
+// match tries to match a time expression starting at token i and returns
+// the end index (exclusive), the normalized value, and success.
+func match(toks []nlp.Token, i int) (int, string, bool) {
+	lower := strings.ToLower(toks[i].Text)
+
+	// "<Month> <day>, <year>" | "<Month> <day>" | "<Month> <year>" | "<Month>"
+	if m, ok := months[lower]; ok && isCapitalizedOrAbbrev(toks[i].Text) {
+		j := i + 1
+		day, year := 0, 0
+		if j < len(toks) && isDayNumber(toks[j].Text) {
+			day, _ = strconv.Atoi(toks[j].Text)
+			j++
+			if j < len(toks) && toks[j].Text == "," {
+				j++
+			}
+			if j < len(toks) && isYear(toks[j].Text) {
+				year, _ = strconv.Atoi(toks[j].Text)
+				j++
+			}
+			return j, normalize(year, m, day), true
+		}
+		if j < len(toks) && isYear(toks[j].Text) {
+			year, _ = strconv.Atoi(toks[j].Text)
+			j++
+			return j, normalize(year, m, 0), true
+		}
+		// Bare month only counts when clearly temporal ("in May").
+		if i > 0 && strings.EqualFold(toks[i-1].Text, "in") {
+			return i + 1, fmt.Sprintf("XXXX-%02d", m), true
+		}
+		return 0, "", false
+	}
+
+	// "<day> <Month> <year>" | "<day> <Month>"
+	if isDayNumber(toks[i].Text) && i+1 < len(toks) {
+		if m, ok := months[strings.ToLower(toks[i+1].Text)]; ok {
+			day, _ := strconv.Atoi(toks[i].Text)
+			j := i + 2
+			year := 0
+			if j < len(toks) && isYear(toks[j].Text) {
+				year, _ = strconv.Atoi(toks[j].Text)
+				j++
+			}
+			return j, normalize(year, m, day), true
+		}
+	}
+
+	// decades: "the 1980s" / "1980s"
+	if strings.HasSuffix(lower, "s") && len(lower) == 5 && isYear(lower[:4]) {
+		return i + 1, lower[:3] + "X", true
+	}
+
+	// bare year
+	if isYear(toks[i].Text) {
+		// Avoid treating list numbers as years when preceded by '$' etc.
+		if i > 0 && toks[i-1].Text == "$" {
+			return 0, "", false
+		}
+		return i + 1, toks[i].Text, true
+	}
+
+	// weekdays
+	if weekdays[lower] && isCapitalizedOrAbbrev(toks[i].Text) {
+		return i + 1, strings.ToUpper(lower[:3]), true
+	}
+
+	// relative expressions
+	if lower == "yesterday" || lower == "today" || lower == "tomorrow" {
+		return i + 1, strings.ToUpper(lower), true
+	}
+	if (lower == "last" || lower == "next") && i+1 < len(toks) {
+		nxt := strings.ToLower(toks[i+1].Text)
+		if nxt == "year" || nxt == "month" || nxt == "week" || weekdays[nxt] {
+			return i + 2, strings.ToUpper(lower + "_" + nxt), true
+		}
+	}
+	return 0, "", false
+}
+
+func normalize(year, month, day int) string {
+	switch {
+	case year > 0 && day > 0:
+		return fmt.Sprintf("%04d-%02d-%02d", year, month, day)
+	case year > 0:
+		return fmt.Sprintf("%04d-%02d", year, month)
+	case day > 0:
+		return fmt.Sprintf("XXXX-%02d-%02d", month, day)
+	default:
+		return fmt.Sprintf("XXXX-%02d", month)
+	}
+}
+
+func isDayNumber(text string) bool {
+	n, err := strconv.Atoi(text)
+	return err == nil && n >= 1 && n <= 31 && len(text) <= 2
+}
+
+func isYear(text string) bool {
+	n, err := strconv.Atoi(text)
+	return err == nil && n >= 1000 && n <= 2999 && len(text) == 4
+}
+
+func isCapitalizedOrAbbrev(text string) bool {
+	return len(text) > 0 && text[0] >= 'A' && text[0] <= 'Z'
+}

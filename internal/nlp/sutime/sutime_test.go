@@ -1,0 +1,91 @@
+package sutime
+
+import (
+	"testing"
+
+	"qkbfly/internal/nlp"
+	"qkbfly/internal/nlp/pos"
+	"qkbfly/internal/nlp/token"
+)
+
+func annotate(t *testing.T, text string) nlp.Sentence {
+	t.Helper()
+	sent := nlp.Sentence{Text: text, Tokens: token.Tokenize(text)}
+	pos.Tag(&sent)
+	Annotate(&sent)
+	return sent
+}
+
+func firstTime(sent nlp.Sentence) (string, string) {
+	for _, m := range sent.Mentions {
+		if m.Type == nlp.NERTime {
+			return m.Text, m.TimeValue
+		}
+	}
+	return "", ""
+}
+
+func TestDateForms(t *testing.T) {
+	tests := []struct {
+		text      string
+		wantText  string
+		wantValue string
+	}{
+		{"She filed on September 19, 2016.", "September 19 , 2016", "2016-09-19"},
+		{"He was born on 17 December 1936.", "17 December 1936", "1936-12-17"},
+		{"He won the prize in May 2012.", "May 2012", "2012-05"},
+		{"The film premiered in 2008.", "2008", "2008"},
+		{"He toured during the 1980s.", "1980s", "198X"},
+		{"The match is on Monday.", "Monday", "MON"},
+		{"They met yesterday.", "yesterday", "YESTERDAY"},
+		{"She resigned last year.", "last year", "LAST_YEAR"},
+		{"The ceremony was in May.", "May", "XXXX-05"},
+	}
+	for _, tt := range tests {
+		sent := annotate(t, tt.text)
+		gotText, gotValue := firstTime(sent)
+		if gotText != tt.wantText || gotValue != tt.wantValue {
+			t.Errorf("%q: got (%q, %q), want (%q, %q)", tt.text, gotText, gotValue, tt.wantText, tt.wantValue)
+		}
+	}
+}
+
+func TestNoFalseTimes(t *testing.T) {
+	for _, text := range []string{
+		"He scored 31 goals.",          // bare small number
+		"He donated $100,000 in cash.", // money
+		"May I help you.",              // sentence-initial "May" not after "in"
+	} {
+		sent := annotate(t, text)
+		if txt, val := firstTime(sent); txt != "" {
+			t.Errorf("%q: unexpected time %q (%s)", text, txt, val)
+		}
+	}
+}
+
+func TestTokensMarked(t *testing.T) {
+	sent := annotate(t, "She filed on September 19, 2016.")
+	marked := 0
+	for _, tok := range sent.Tokens {
+		if tok.NER == nlp.NERTime {
+			marked++
+			if tok.TimeValue != "2016-09-19" {
+				t.Errorf("token %q TimeValue = %q", tok.Text, tok.TimeValue)
+			}
+		}
+	}
+	if marked != 4 { // September 19 , 2016
+		t.Errorf("marked %d tokens, want 4", marked)
+	}
+}
+
+func TestYearRange(t *testing.T) {
+	sent := annotate(t, "It happened in 999.")
+	if txt, _ := firstTime(sent); txt != "" {
+		t.Errorf("999 recognized as a year: %q", txt)
+	}
+	sent = annotate(t, "It happened in 1905.")
+	if _, val := firstTime(sent); val != "1905" {
+		t.Errorf("1905 not recognized, got %q", val)
+	}
+}

@@ -1,0 +1,234 @@
+// Package token implements sentence splitting and word tokenization.
+//
+// It plays the role of the tokenizer in the Stanford CoreNLP pipeline the
+// paper uses for pre-processing (§2.2). The tokenizer is rule-based: it
+// splits punctuation from words, keeps abbreviations and decimal numbers
+// intact, and separates English clitics ("'s", "n't", "'re", ...).
+package token
+
+import (
+	"strings"
+	"unicode"
+
+	"qkbfly/internal/nlp"
+)
+
+// abbreviations that do not end a sentence even though they end with '.'.
+var abbreviations = map[string]bool{
+	"mr.": true, "mrs.": true, "ms.": true, "dr.": true, "prof.": true,
+	"st.": true, "jr.": true, "sr.": true, "vs.": true, "etc.": true,
+	"inc.": true, "ltd.": true, "co.": true, "corp.": true, "gen.": true,
+	"lt.": true, "col.": true, "sgt.": true, "rev.": true, "hon.": true,
+	"u.s.": true, "u.k.": true, "e.g.": true, "i.e.": true, "jan.": true,
+	"feb.": true, "mar.": true, "apr.": true, "jun.": true, "jul.": true,
+	"aug.": true, "sep.": true, "sept.": true, "oct.": true, "nov.": true,
+	"dec.": true, "no.": true, "fig.": true, "approx.": true, "dept.": true,
+	"f.c.": true, "a.c.": true, "d.c.": true,
+}
+
+// clitics split from the preceding word, longest first.
+var clitics = []string{"n't", "'ll", "'re", "'ve", "'s", "'m", "'d"}
+
+// SplitSentences splits text into sentence strings. A sentence boundary is
+// a '.', '!' or '?' that is not part of a known abbreviation, an initial
+// ("J. Smith") or a decimal number, followed by whitespace and an upper-case
+// letter, digit, or quote.
+func SplitSentences(text string) []string {
+	var sentences []string
+	runes := []rune(text)
+	start := 0
+	for i := 0; i < len(runes); i++ {
+		r := runes[i]
+		if r != '.' && r != '!' && r != '?' {
+			continue
+		}
+		if r == '.' {
+			// Decimal number: "3.5".
+			if i > 0 && i+1 < len(runes) && unicode.IsDigit(runes[i-1]) && unicode.IsDigit(runes[i+1]) {
+				continue
+			}
+			// Abbreviation or single-letter initial.
+			w := lastWord(runes, i)
+			if abbreviations[strings.ToLower(w+".")] {
+				continue
+			}
+			if len([]rune(w)) == 1 && unicode.IsUpper([]rune(w)[0]) {
+				continue
+			}
+		}
+		// Consume trailing closing quotes/brackets.
+		j := i + 1
+		for j < len(runes) && (runes[j] == '"' || runes[j] == '\'' || runes[j] == ')' || runes[j] == ']') {
+			j++
+		}
+		// Must be followed by whitespace then an upper-case/digit/quote, or EOF.
+		k := j
+		for k < len(runes) && unicode.IsSpace(runes[k]) {
+			k++
+		}
+		if k == j && k < len(runes) {
+			continue // no whitespace after the period
+		}
+		if k < len(runes) {
+			next := runes[k]
+			if !unicode.IsUpper(next) && !unicode.IsDigit(next) && next != '"' && next != '\'' && next != '(' {
+				continue
+			}
+		}
+		s := strings.TrimSpace(string(runes[start:j]))
+		if s != "" {
+			sentences = append(sentences, s)
+		}
+		start = k
+		i = k - 1
+	}
+	if tail := strings.TrimSpace(string(runes[start:])); tail != "" {
+		sentences = append(sentences, tail)
+	}
+	return sentences
+}
+
+func lastWord(runes []rune, end int) string {
+	i := end - 1
+	for i >= 0 && !unicode.IsSpace(runes[i]) {
+		i--
+	}
+	return string(runes[i+1 : end])
+}
+
+// Tokenize splits a single sentence into tokens with byte offsets.
+// POS, lemma, NER and dependency fields are left for later stages.
+func Tokenize(sentence string) []nlp.Token {
+	var tokens []nlp.Token
+	add := func(text string, start, end int) {
+		if text == "" {
+			return
+		}
+		tokens = append(tokens, nlp.Token{
+			Text: text, Start: start, End: end,
+			Head: -1, DepRel: nlp.DepDep, NER: nlp.NERNone,
+		})
+	}
+	i := 0
+	n := len(sentence)
+	for i < n {
+		r := rune(sentence[i])
+		switch {
+		case unicode.IsSpace(r):
+			i++
+		case isWordRune(r):
+			j := i
+			for j < n && (isWordRune(rune(sentence[j])) ||
+				// interior apostrophe ("didn't", "O'Brien")
+				(sentence[j] == '\'' && j+1 < n && j > i && isWordRune(rune(sentence[j+1])))) {
+				j++
+			}
+			// Keep decimal points and internal periods of abbreviations,
+			// and internal hyphens ("ex-wife", "co-founder").
+			for j < n && (sentence[j] == '.' || sentence[j] == '-') && j+1 < n && isWordRune(rune(sentence[j+1])) {
+				j++
+				for j < n && isWordRune(rune(sentence[j])) {
+					j++
+				}
+			}
+			word := sentence[i:j]
+			// Attach a trailing period if the word is a known abbreviation.
+			if j < n && sentence[j] == '.' && abbreviations[strings.ToLower(word+".")] {
+				j++
+				word = sentence[i:j]
+			}
+			emitWithClitics(word, i, add)
+			i = j
+		default:
+			// Standalone clitic written with a space ("Pitt 's wife").
+			if sentence[i] == '\'' {
+				matched := false
+				for _, c := range clitics {
+					rest := c[1:]
+					if i+1+len(rest) <= n && strings.EqualFold(sentence[i+1:i+1+len(rest)], rest) &&
+						(i+1+len(rest) == n || !isWordRune(rune(sentence[i+1+len(rest)]))) {
+						add(sentence[i:i+1+len(rest)], i, i+1+len(rest))
+						i += 1 + len(rest)
+						matched = true
+						break
+					}
+				}
+				if matched {
+					continue
+				}
+			}
+			// Punctuation and symbols: one token per run of identical
+			// characters for "..." style, otherwise one per character.
+			j := i + 1
+			for j < n && sentence[j] == sentence[i] && (sentence[i] == '.' || sentence[i] == '-') {
+				j++
+			}
+			add(sentence[i:j], i, j)
+			i = j
+		}
+	}
+	return fixCommaTokens(tokens)
+}
+
+// emitWithClitics splits clitics like "'s" and "n't" off a word.
+func emitWithClitics(word string, offset int, add func(string, int, int)) {
+	lower := strings.ToLower(word)
+	for _, c := range clitics {
+		if strings.HasSuffix(lower, c) && len(word) > len(c) {
+			base := word[:len(word)-len(c)]
+			add(base, offset, offset+len(base))
+			add(word[len(word)-len(c):], offset+len(base), offset+len(word))
+			return
+		}
+	}
+	add(word, offset, offset+len(word))
+}
+
+func isWordRune(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '$' || r == '%' || r == ','
+}
+
+// TokenizeSentences splits text into sentences and tokenizes each one,
+// producing nlp.Sentence values with Index set.
+func TokenizeSentences(text string) []nlp.Sentence {
+	raw := SplitSentences(text)
+	out := make([]nlp.Sentence, 0, len(raw))
+	for i, s := range raw {
+		out = append(out, nlp.Sentence{Index: i, Text: s, Tokens: Tokenize(s)})
+	}
+	return out
+}
+
+// fixCommaTokens repairs tokens where a ',' was glued to a word but is not
+// a thousands separator (e.g. "Paris," -> "Paris" + ",").
+func fixCommaTokens(toks []nlp.Token) []nlp.Token {
+	var out []nlp.Token
+	for _, t := range toks {
+		text := t.Text
+		start := t.Start
+		for {
+			idx := strings.IndexByte(text, ',')
+			if idx < 0 {
+				break
+			}
+			// Thousands separator: digit , digit digit digit.
+			if idx > 0 && idx+3 < len(text) &&
+				isDigit(text[idx-1]) && isDigit(text[idx+1]) && isDigit(text[idx+2]) && isDigit(text[idx+3]) &&
+				(idx+4 >= len(text) || !isDigit(text[idx+4])) {
+				break
+			}
+			if idx > 0 {
+				out = append(out, nlp.Token{Text: text[:idx], Start: start, End: start + idx, Head: -1, DepRel: nlp.DepDep, NER: nlp.NERNone})
+			}
+			out = append(out, nlp.Token{Text: ",", Start: start + idx, End: start + idx + 1, Head: -1, DepRel: nlp.DepDep, NER: nlp.NERNone})
+			text = text[idx+1:]
+			start += idx + 1
+		}
+		if text != "" {
+			out = append(out, nlp.Token{Text: text, Start: start, End: start + len(text), Head: -1, DepRel: nlp.DepDep, NER: nlp.NERNone})
+		}
+	}
+	return out
+}
+
+func isDigit(b byte) bool { return b >= '0' && b <= '9' }

@@ -1,0 +1,136 @@
+package token
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSplitSentences(t *testing.T) {
+	tests := []struct {
+		name string
+		text string
+		want []string
+	}{
+		{"single", "Brad Pitt is an actor.", []string{"Brad Pitt is an actor."}},
+		{"two", "He won. She lost.", []string{"He won.", "She lost."}},
+		{"abbrev", "Mr. Pitt arrived. He sat down.", []string{"Mr. Pitt arrived.", "He sat down."}},
+		{"initial", "J. Smith arrived. He sat.", []string{"J. Smith arrived.", "He sat."}},
+		{"decimal", "It cost 3.5 million. He paid.", []string{"It cost 3.5 million.", "He paid."}},
+		{"question", "Who won? Nobody knows.", []string{"Who won?", "Nobody knows."}},
+		{"exclaim", "They won! The crowd cheered.", []string{"They won!", "The crowd cheered."}},
+		{"no trailing period", "He won", []string{"He won"}},
+		{"empty", "", nil},
+		{"fc", "He joined Margate F.C. in 2001.", []string{"He joined Margate F.C. in 2001."}},
+		{"lowercase next", "He works at acme.com daily.", []string{"He works at acme.com daily."}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := SplitSentences(tt.text)
+			if len(got) != len(tt.want) {
+				t.Fatalf("got %d sentences %q, want %d %q", len(got), got, len(tt.want), tt.want)
+			}
+			for i := range got {
+				if got[i] != tt.want[i] {
+					t.Errorf("sentence %d = %q, want %q", i, got[i], tt.want[i])
+				}
+			}
+		})
+	}
+}
+
+func TestTokenize(t *testing.T) {
+	tests := []struct {
+		name string
+		text string
+		want []string
+	}{
+		{"basic", "He won the prize.", []string{"He", "won", "the", "prize", "."}},
+		{"clitic possessive", "Pitt's wife", []string{"Pitt", "'s", "wife"}},
+		{"clitic nt", "He didn't go", []string{"He", "did", "n't", "go"}},
+		{"standalone clitic", "Pitt 's wife", []string{"Pitt", "'s", "wife"}},
+		{"hyphen", "His ex-wife arrived.", []string{"His", "ex-wife", "arrived", "."}},
+		{"money", "He donated $100,000 to charity.", []string{"He", "donated", "$100,000", "to", "charity", "."}},
+		{"comma split", "In Paris, he sang.", []string{"In", "Paris", ",", "he", "sang", "."}},
+		{"date comma", "September 19, 2016", []string{"September", "19", ",", "2016"}},
+		{"abbrev kept", "Margate F.C. lost.", []string{"Margate", "F.C.", "lost", "."}},
+		{"quotes", `He said "yes" today.`, []string{"He", "said", `"`, "yes", `"`, "today", "."}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			toks := Tokenize(tt.text)
+			var got []string
+			for _, tok := range toks {
+				got = append(got, tok.Text)
+			}
+			if strings.Join(got, "|") != strings.Join(tt.want, "|") {
+				t.Errorf("Tokenize(%q) = %v, want %v", tt.text, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestTokenizeOffsets(t *testing.T) {
+	text := "Pitt donated $100,000 to the foundation."
+	for _, tok := range Tokenize(text) {
+		if tok.Start < 0 || tok.End > len(text) || tok.Start >= tok.End {
+			t.Fatalf("token %q has invalid offsets [%d,%d)", tok.Text, tok.Start, tok.End)
+		}
+		if text[tok.Start:tok.End] != tok.Text {
+			t.Errorf("offsets of %q point at %q", tok.Text, text[tok.Start:tok.End])
+		}
+	}
+}
+
+func TestTokenizeSentencesIndexes(t *testing.T) {
+	sents := TokenizeSentences("He won. She lost. They cheered.")
+	if len(sents) != 3 {
+		t.Fatalf("got %d sentences", len(sents))
+	}
+	for i, s := range sents {
+		if s.Index != i {
+			t.Errorf("sentence %d has Index %d", i, s.Index)
+		}
+		if len(s.Tokens) == 0 {
+			t.Errorf("sentence %d has no tokens", i)
+		}
+	}
+}
+
+// Property: every token's offsets slice the original sentence back out,
+// and tokens never overlap.
+func TestTokenizeOffsetsProperty(t *testing.T) {
+	f := func(words []string) bool {
+		// Build a plausible sentence from printable fragments.
+		var parts []string
+		for _, w := range words {
+			clean := strings.Map(func(r rune) rune {
+				if r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r >= '0' && r <= '9' {
+					return r
+				}
+				return -1
+			}, w)
+			if clean != "" {
+				parts = append(parts, clean)
+			}
+			if len(parts) >= 8 {
+				break
+			}
+		}
+		text := strings.Join(parts, " ")
+		prevEnd := 0
+		for _, tok := range Tokenize(text) {
+			if tok.Start < prevEnd || tok.End > len(text) {
+				return false
+			}
+			if text[tok.Start:tok.End] != tok.Text {
+				return false
+			}
+			prevEnd = tok.End
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,306 @@
+// Package openie implements the Open IE systems compared in Table 5:
+// the ClausIE-based extractor in its original (Stanford-parser) and
+// QKBfly (MaltParser) configurations, a Reverb-style pattern extractor
+// that uses no parsing at all, and Ollie- and OpenIE-4.2-style extractors.
+// All of them produce uncanonicalized surface triples (or n-ary
+// extractions for the clause-based ones).
+package openie
+
+import (
+	"strings"
+
+	"qkbfly/internal/nlp"
+	"qkbfly/internal/nlp/chunk"
+	"qkbfly/internal/nlp/clause"
+	"qkbfly/internal/nlp/depparse"
+	"qkbfly/internal/nlp/lemma"
+	"qkbfly/internal/nlp/ner"
+	"qkbfly/internal/nlp/pos"
+	"qkbfly/internal/nlp/token"
+)
+
+// Extraction is one uncanonicalized Open IE proposition.
+type Extraction struct {
+	Subject   string
+	Relation  string   // surface relation phrase (lemmatized verb + preps)
+	Objects   []string // one or more arguments
+	SentIndex int
+}
+
+// Extractor is one Open IE system.
+type Extractor interface {
+	Name() string
+	// ExtractSentence processes one raw sentence.
+	ExtractSentence(text string, index int) []Extraction
+}
+
+// ---------------------------------------------------------------------------
+// Clause-based extractors (ClausIE original and QKBfly's component)
+// ---------------------------------------------------------------------------
+
+// ClauseExtractor is the ClausIE-style extractor. Mode selects the parser:
+// depparse.Stanford reproduces the original ClausIE configuration (slow),
+// depparse.Malt the QKBfly modification (§2.1).
+type ClauseExtractor struct {
+	name string
+	pipe *clause.Pipeline
+	// TriplesOnly truncates n-ary extractions to binary triples
+	// (the OpenIE-4.2-style configuration).
+	TriplesOnly bool
+	// NonVerbal adds ClausIE's non-verb-mediated propositions
+	// (possessives and appositions), raising yield.
+	NonVerbal bool
+}
+
+// NewClausIE returns the original ClausIE configuration (Stanford parser,
+// including the non-verbal proposition patterns).
+func NewClausIE(gaz ner.Gazetteer) *ClauseExtractor {
+	return &ClauseExtractor{name: "ClausIE", pipe: clause.NewPipeline(gaz, depparse.Stanford), NonVerbal: true}
+}
+
+// NewQKBflyOpenIE returns QKBfly's Open IE component (MaltParser).
+func NewQKBflyOpenIE(gaz ner.Gazetteer) *ClauseExtractor {
+	return &ClauseExtractor{name: "QKBfly", pipe: clause.NewPipeline(gaz, depparse.Malt)}
+}
+
+// NewOpenIE42 returns the OpenIE-4.2-style configuration: dependency
+// parsing with the fast parser, triples only, slightly stricter filters.
+func NewOpenIE42(gaz ner.Gazetteer) *ClauseExtractor {
+	return &ClauseExtractor{name: "Open IE 4.2", pipe: clause.NewPipeline(gaz, depparse.Malt), TriplesOnly: true}
+}
+
+// Name implements Extractor.
+func (e *ClauseExtractor) Name() string { return e.name }
+
+// ExtractSentence implements Extractor.
+func (e *ClauseExtractor) ExtractSentence(text string, index int) []Extraction {
+	sent, clauses := e.pipe.AnnotateSentence(text, index)
+	var out []Extraction
+	for i := range clauses {
+		c := &clauses[i]
+		if c.Subject == nil || c.Negated {
+			continue
+		}
+		subj := sent.TokenText(c.Subject.Start, c.Subject.End)
+		var objs []string
+		for _, arg := range c.Args() {
+			if arg.Role == clause.RoleSubject {
+				continue
+			}
+			objs = append(objs, sent.TokenText(arg.Start, arg.End))
+		}
+		if len(objs) == 0 {
+			continue
+		}
+		if e.TriplesOnly {
+			objs = objs[:1]
+		}
+		out = append(out, Extraction{
+			Subject: subj, Relation: c.Pattern, Objects: objs, SentIndex: index,
+		})
+	}
+	if e.NonVerbal {
+		out = append(out, nonVerbalExtractions(&sent, index)...)
+	}
+	return out
+}
+
+// nonVerbalExtractions yields possessive and apposition propositions.
+func nonVerbalExtractions(sent *nlp.Sentence, index int) []Extraction {
+	var out []Extraction
+	for i := range sent.Tokens {
+		switch sent.Tokens[i].DepRel {
+		case nlp.DepPoss:
+			head := sent.Tokens[i].Head
+			if head < 0 {
+				continue
+			}
+			var relNoun string
+			for k := i + 1; k < head; k++ {
+				if sent.Tokens[k].POS == nlp.NN || sent.Tokens[k].POS == nlp.NNS {
+					relNoun = sent.Tokens[k].Lemma
+				}
+			}
+			if relNoun == "" {
+				continue
+			}
+			out = append(out, Extraction{
+				Subject: sent.Tokens[i].Text, Relation: relNoun,
+				Objects: []string{sent.Tokens[head].Text}, SentIndex: index,
+			})
+		case nlp.DepAppos:
+			if h := sent.Tokens[i].Head; h >= 0 {
+				out = append(out, Extraction{
+					Subject: sent.Tokens[h].Text, Relation: "be",
+					Objects: []string{sent.Tokens[i].Text}, SentIndex: index,
+				})
+			}
+		}
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Reverb: POS-pattern extractor, no parsing
+// ---------------------------------------------------------------------------
+
+// Reverb implements the Reverb-style extractor [Fader et al. 2011]: a
+// verb (+ optional particles/prepositions) pattern between two noun
+// phrases, using only tokenization, POS tagging and chunking.
+type Reverb struct{}
+
+// NewReverb returns the Reverb-style extractor.
+func NewReverb() *Reverb { return &Reverb{} }
+
+// Name implements Extractor.
+func (r *Reverb) Name() string { return "Reverb" }
+
+// ExtractSentence implements Extractor.
+func (r *Reverb) ExtractSentence(text string, index int) []Extraction {
+	sent := nlp.Sentence{Index: index, Text: text, Tokens: token.Tokenize(text)}
+	pos.Tag(&sent)
+	lemma.Annotate(&sent)
+	chunk.Chunk(&sent)
+	toks := sent.Tokens
+	var out []Extraction
+	for i := 0; i < len(toks); i++ {
+		if !toks[i].POS.IsVerb() {
+			continue
+		}
+		// Relation phrase: V (RB|IN|TO)* — greedy to the right.
+		j := i + 1
+		rel := toks[i].Lemma
+		for j < len(toks) && (toks[j].POS == nlp.IN || toks[j].POS == nlp.TO) {
+			rel += " " + strings.ToLower(toks[j].Text)
+			j++
+		}
+		// Left NP: the chunk ending right before i (skipping adverbs/aux).
+		left := lastChunkBefore(&sent, i)
+		right := firstChunkAt(&sent, j)
+		if left < 0 || right < 0 {
+			continue
+		}
+		lc, rc := sent.Chunks[left], sent.Chunks[right]
+		out = append(out, Extraction{
+			Subject:   sent.TokenText(lc.Start, lc.End),
+			Relation:  rel,
+			Objects:   []string{sent.TokenText(rc.Start, rc.End)},
+			SentIndex: index,
+		})
+		i = j
+	}
+	return out
+}
+
+func lastChunkBefore(sent *nlp.Sentence, i int) int {
+	best := -1
+	for ci, c := range sent.Chunks {
+		if c.End <= i {
+			best = ci
+		}
+	}
+	// Reverb requires adjacency up to auxiliaries/adverbs.
+	if best >= 0 {
+		for k := sent.Chunks[best].End; k < i; k++ {
+			p := sent.Tokens[k].POS
+			if !(p == nlp.RB || p == nlp.MD || p.IsVerb()) {
+				return -1
+			}
+		}
+	}
+	return best
+}
+
+func firstChunkAt(sent *nlp.Sentence, j int) int {
+	for ci, c := range sent.Chunks {
+		if c.Start == j {
+			return ci
+		}
+	}
+	return -1
+}
+
+// ---------------------------------------------------------------------------
+// Ollie: dependency patterns with relaxed filters
+// ---------------------------------------------------------------------------
+
+// Ollie implements an Ollie-style extractor [Mausam et al. 2012]: it uses
+// the fast dependency parser and extracts from a wider, noisier set of
+// patterns than the clause-based systems (including apposition and
+// possessive patterns), trading precision for coverage.
+type Ollie struct {
+	pipe *clause.Pipeline
+}
+
+// NewOllie returns the Ollie-style extractor.
+func NewOllie(gaz ner.Gazetteer) *Ollie {
+	return &Ollie{pipe: clause.NewPipeline(gaz, depparse.Malt)}
+}
+
+// Name implements Extractor.
+func (o *Ollie) Name() string { return "Ollie" }
+
+// ExtractSentence implements Extractor.
+func (o *Ollie) ExtractSentence(text string, index int) []Extraction {
+	sent, clauses := o.pipe.AnnotateSentence(text, index)
+	var out []Extraction
+	// Clause triples, including subject-less ones with a recovered dummy
+	// subject (Ollie's aggressive recall).
+	for i := range clauses {
+		c := &clauses[i]
+		subj := ""
+		if c.Subject != nil {
+			subj = sent.TokenText(c.Subject.Start, c.Subject.End)
+		}
+		for _, arg := range c.Args() {
+			if arg.Role == clause.RoleSubject {
+				continue
+			}
+			if subj == "" {
+				continue
+			}
+			rel := c.Pattern
+			if arg.Prep != "" && !strings.HasSuffix(rel, arg.Prep) {
+				rel = sent.Tokens[c.Verb].Lemma + " " + arg.Prep
+			}
+			out = append(out, Extraction{
+				Subject: subj, Relation: rel,
+				Objects:   []string{sent.TokenText(arg.Start, arg.End)},
+				SentIndex: index,
+			})
+		}
+	}
+	// Possessive pattern: "X's N Y" -> (X, N, Y).
+	for i := range sent.Tokens {
+		if sent.Tokens[i].DepRel != nlp.DepPoss {
+			continue
+		}
+		head := sent.Tokens[i].Head
+		if head < 0 {
+			continue
+		}
+		var relNoun string
+		for k := i + 1; k < head; k++ {
+			if sent.Tokens[k].POS == nlp.NN || sent.Tokens[k].POS == nlp.NNS {
+				relNoun = sent.Tokens[k].Lemma
+			}
+		}
+		if relNoun == "" {
+			continue
+		}
+		out = append(out, Extraction{
+			Subject: sent.Tokens[i].Text, Relation: relNoun,
+			Objects: []string{sent.Tokens[head].Text}, SentIndex: index,
+		})
+	}
+	// Apposition pattern: "X, the N," -> (X, be, the N).
+	for i := range sent.Tokens {
+		if sent.Tokens[i].DepRel == nlp.DepAppos && sent.Tokens[i].Head >= 0 {
+			out = append(out, Extraction{
+				Subject: sent.Tokens[sent.Tokens[i].Head].Text, Relation: "be",
+				Objects: []string{sent.Tokens[i].Text}, SentIndex: index,
+			})
+		}
+	}
+	return out
+}

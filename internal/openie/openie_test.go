@@ -1,0 +1,108 @@
+package openie
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestQKBflyClauseExtraction(t *testing.T) {
+	ex := NewQKBflyOpenIE(nil)
+	got := ex.ExtractSentence("Pitt donated $100,000 to the Daniel Pearl Foundation.", 0)
+	if len(got) != 1 {
+		t.Fatalf("extractions = %+v", got)
+	}
+	e := got[0]
+	if e.Subject != "Pitt" || e.Relation != "donate to" {
+		t.Errorf("extraction = %+v", e)
+	}
+	if len(e.Objects) != 2 {
+		t.Errorf("objects = %v, want 2 (n-ary)", e.Objects)
+	}
+}
+
+func TestOpenIE42TriplesOnly(t *testing.T) {
+	ex := NewOpenIE42(nil)
+	got := ex.ExtractSentence("Pitt donated $100,000 to the Daniel Pearl Foundation.", 0)
+	if len(got) != 1 || len(got[0].Objects) != 1 {
+		t.Errorf("OpenIE 4.2 should truncate to triples: %+v", got)
+	}
+}
+
+func TestClausIENonVerbal(t *testing.T) {
+	ex := NewClausIE(nil)
+	got := ex.ExtractSentence("Pitt's ex-wife Angelina Jolie arrived.", 0)
+	found := false
+	for _, e := range got {
+		if e.Relation == "ex-wife" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("possessive proposition missing: %+v", got)
+	}
+}
+
+func TestReverbAdjacentPattern(t *testing.T) {
+	ex := NewReverb()
+	got := ex.ExtractSentence("Brad Pitt married Angelina Jolie.", 0)
+	if len(got) != 1 {
+		t.Fatalf("extractions = %+v", got)
+	}
+	if got[0].Subject != "Brad Pitt" || got[0].Relation != "marry" ||
+		got[0].Objects[0] != "Angelina Jolie" {
+		t.Errorf("extraction = %+v", got[0])
+	}
+}
+
+func TestReverbWithPreposition(t *testing.T) {
+	ex := NewReverb()
+	got := ex.ExtractSentence("The striker signed for Margate City.", 0)
+	if len(got) != 1 {
+		t.Fatalf("extractions = %+v", got)
+	}
+	if got[0].Relation != "sign for" {
+		t.Errorf("relation = %q", got[0].Relation)
+	}
+}
+
+func TestReverbSkipsPronounSubjects(t *testing.T) {
+	ex := NewReverb()
+	got := ex.ExtractSentence("He married Angelina Jolie.", 0)
+	if len(got) != 0 {
+		t.Errorf("Reverb extracted with a pronoun subject: %+v", got)
+	}
+}
+
+func TestOllieIncludesNoisierPatterns(t *testing.T) {
+	base := NewQKBflyOpenIE(nil)
+	ollie := NewOllie(nil)
+	text := "Pitt's ex-wife Angelina Jolie filed for divorce on September 19, 2016."
+	nBase := len(base.ExtractSentence(text, 0))
+	nOllie := len(ollie.ExtractSentence(text, 0))
+	if nOllie <= nBase {
+		t.Errorf("Ollie yield %d <= clause yield %d", nOllie, nBase)
+	}
+}
+
+func TestExtractorNames(t *testing.T) {
+	names := map[string]bool{}
+	for _, ex := range []Extractor{
+		NewClausIE(nil), NewQKBflyOpenIE(nil), NewReverb(),
+		NewOllie(nil), NewOpenIE42(nil),
+	} {
+		if ex.Name() == "" || names[ex.Name()] {
+			t.Errorf("bad or duplicate extractor name %q", ex.Name())
+		}
+		names[ex.Name()] = true
+	}
+}
+
+func TestNegatedClausesSkipped(t *testing.T) {
+	ex := NewQKBflyOpenIE(nil)
+	got := ex.ExtractSentence("Pitt did not marry Jolie.", 0)
+	for _, e := range got {
+		if strings.Contains(e.Relation, "marry") {
+			t.Errorf("negated clause extracted: %+v", e)
+		}
+	}
+}

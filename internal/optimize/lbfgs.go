@@ -1,0 +1,151 @@
+// Package optimize implements the L-BFGS quasi-Newton optimizer
+// [Liu & Nocedal 1989] used in §4 to learn the hyper-parameters α1..α4 by
+// maximizing the probability of ground-truth annotations. The
+// implementation is the standard two-loop recursion with an Armijo
+// backtracking line search.
+package optimize
+
+import "math"
+
+// Objective evaluates the function and its gradient at x.
+type Objective func(x []float64) (f float64, grad []float64)
+
+// Options configure the optimizer.
+type Options struct {
+	// History is the number of correction pairs kept (m).
+	History int
+	// MaxIter bounds the outer iterations.
+	MaxIter int
+	// GradTol stops when the gradient norm falls below it.
+	GradTol float64
+	// StepTol stops when the step size collapses.
+	StepTol float64
+}
+
+// DefaultOptions returns reasonable defaults for small problems.
+func DefaultOptions() Options {
+	return Options{History: 7, MaxIter: 100, GradTol: 1e-6, StepTol: 1e-12}
+}
+
+// Result reports the optimum found.
+type Result struct {
+	X          []float64
+	F          float64
+	Iterations int
+	Converged  bool
+}
+
+// Minimize runs L-BFGS from x0.
+func Minimize(obj Objective, x0 []float64, opt Options) Result {
+	n := len(x0)
+	x := append([]float64(nil), x0...)
+	f, g := obj(x)
+
+	var sList, yList [][]float64
+	var rhoList []float64
+
+	for iter := 0; iter < opt.MaxIter; iter++ {
+		if norm(g) < opt.GradTol {
+			return Result{X: x, F: f, Iterations: iter, Converged: true}
+		}
+		// Two-loop recursion: d = -H·g.
+		d := twoLoop(g, sList, yList, rhoList)
+		for i := range d {
+			d[i] = -d[i]
+		}
+		// Ensure a descent direction.
+		if dot(d, g) >= 0 {
+			for i := range d {
+				d[i] = -g[i]
+			}
+		}
+		// Backtracking Armijo line search.
+		step := 1.0
+		if len(sList) == 0 {
+			step = 1.0 / math.Max(1, norm(g))
+		}
+		const c1 = 1e-4
+		gd := dot(g, d)
+		var xNew []float64
+		var fNew float64
+		var gNew []float64
+		ok := false
+		for ls := 0; ls < 50; ls++ {
+			xNew = make([]float64, n)
+			for i := range x {
+				xNew[i] = x[i] + step*d[i]
+			}
+			fNew, gNew = obj(xNew)
+			if fNew <= f+c1*step*gd {
+				ok = true
+				break
+			}
+			step *= 0.5
+			if step < opt.StepTol {
+				break
+			}
+		}
+		if !ok {
+			return Result{X: x, F: f, Iterations: iter, Converged: false}
+		}
+		// Update history.
+		s := make([]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			s[i] = xNew[i] - x[i]
+			y[i] = gNew[i] - g[i]
+		}
+		sy := dot(s, y)
+		if sy > 1e-10 {
+			sList = append(sList, s)
+			yList = append(yList, y)
+			rhoList = append(rhoList, 1/sy)
+			if len(sList) > opt.History {
+				sList = sList[1:]
+				yList = yList[1:]
+				rhoList = rhoList[1:]
+			}
+		}
+		x, f, g = xNew, fNew, gNew
+	}
+	return Result{X: x, F: f, Iterations: opt.MaxIter, Converged: false}
+}
+
+// twoLoop computes H·g with the stored corrections.
+func twoLoop(g []float64, sList, yList [][]float64, rhoList []float64) []float64 {
+	q := append([]float64(nil), g...)
+	m := len(sList)
+	alpha := make([]float64, m)
+	for i := m - 1; i >= 0; i-- {
+		alpha[i] = rhoList[i] * dot(sList[i], q)
+		axpy(q, -alpha[i], yList[i])
+	}
+	// Initial Hessian scaling.
+	if m > 0 {
+		gammaK := dot(sList[m-1], yList[m-1]) / dot(yList[m-1], yList[m-1])
+		for i := range q {
+			q[i] *= gammaK
+		}
+	}
+	for i := 0; i < m; i++ {
+		beta := rhoList[i] * dot(yList[i], q)
+		axpy(q, alpha[i]-beta, sList[i])
+	}
+	return q
+}
+
+func dot(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+func axpy(y []float64, a float64, x []float64) {
+	for i := range y {
+		y[i] += a * x[i]
+	}
+}
+
+func norm(a []float64) float64 { return math.Sqrt(dot(a, a)) }

@@ -1,0 +1,109 @@
+package optimize
+
+import (
+	"math"
+	"testing"
+)
+
+func TestQuadratic(t *testing.T) {
+	// f(x) = (x0-3)^2 + 2(x1+1)^2, optimum at (3, -1).
+	obj := func(x []float64) (float64, []float64) {
+		f := (x[0]-3)*(x[0]-3) + 2*(x[1]+1)*(x[1]+1)
+		return f, []float64{2 * (x[0] - 3), 4 * (x[1] + 1)}
+	}
+	res := Minimize(obj, []float64{0, 0}, DefaultOptions())
+	if !res.Converged {
+		t.Fatalf("did not converge: %+v", res)
+	}
+	if math.Abs(res.X[0]-3) > 1e-4 || math.Abs(res.X[1]+1) > 1e-4 {
+		t.Errorf("optimum = %v", res.X)
+	}
+}
+
+func TestRosenbrock(t *testing.T) {
+	obj := func(x []float64) (float64, []float64) {
+		a, b := x[0], x[1]
+		f := (1-a)*(1-a) + 100*(b-a*a)*(b-a*a)
+		g := []float64{
+			-2*(1-a) - 400*a*(b-a*a),
+			200 * (b - a*a),
+		}
+		return f, g
+	}
+	opt := DefaultOptions()
+	opt.MaxIter = 500
+	res := Minimize(obj, []float64{-1.2, 1}, opt)
+	if math.Abs(res.X[0]-1) > 1e-3 || math.Abs(res.X[1]-1) > 1e-3 {
+		t.Errorf("Rosenbrock optimum = %v (f=%f, iters=%d)", res.X, res.F, res.Iterations)
+	}
+}
+
+func TestHighDimensional(t *testing.T) {
+	// Sum of shifted quadratics in 20 dimensions.
+	n := 20
+	obj := func(x []float64) (float64, []float64) {
+		f := 0.0
+		g := make([]float64, n)
+		for i := range x {
+			d := x[i] - float64(i)
+			f += d * d
+			g[i] = 2 * d
+		}
+		return f, g
+	}
+	res := Minimize(obj, make([]float64, n), DefaultOptions())
+	for i := range res.X {
+		if math.Abs(res.X[i]-float64(i)) > 1e-3 {
+			t.Fatalf("x[%d] = %f, want %d", i, res.X[i], i)
+		}
+	}
+}
+
+func TestAlreadyOptimal(t *testing.T) {
+	obj := func(x []float64) (float64, []float64) {
+		return x[0] * x[0], []float64{2 * x[0]}
+	}
+	res := Minimize(obj, []float64{0}, DefaultOptions())
+	if !res.Converged || res.Iterations != 0 {
+		t.Errorf("res = %+v", res)
+	}
+}
+
+func TestLogLikelihoodShape(t *testing.T) {
+	// Maximize a concave log-likelihood by minimizing its negation —
+	// the shape used for the α1..α4 tuning in §4.
+	counts := []float64{5, 3, 2}
+	obj := func(x []float64) (float64, []float64) {
+		// Softmax log-likelihood of observing category 0 weighted by counts.
+		var z float64
+		exps := make([]float64, len(x))
+		for i, xi := range x {
+			exps[i] = math.Exp(xi)
+			z += exps[i]
+		}
+		f := 0.0
+		g := make([]float64, len(x))
+		for i := range x {
+			p := exps[i] / z
+			f -= counts[i] * math.Log(p)
+			for j := range x {
+				indicator := 0.0
+				if i == j {
+					indicator = 1
+				}
+				g[j] -= counts[i] * (indicator - exps[j]/z)
+			}
+		}
+		return f, g
+	}
+	res := Minimize(obj, []float64{0, 0, 0}, DefaultOptions())
+	// The optimum assigns probabilities proportional to counts.
+	var z float64
+	for _, xi := range res.X {
+		z += math.Exp(xi)
+	}
+	p0 := math.Exp(res.X[0]) / z
+	if math.Abs(p0-0.5) > 1e-3 {
+		t.Errorf("p0 = %f, want 0.5", p0)
+	}
+}

@@ -1,0 +1,242 @@
+package qa
+
+import (
+	"sort"
+	"strings"
+
+	"qkbfly/internal/kb/entityrepo"
+	"qkbfly/internal/kb/store"
+	"qkbfly/internal/nlp"
+	"qkbfly/internal/svm"
+)
+
+// SentenceAnswers is the text-centric baseline of Table 9: it retrieves
+// the same documents but performs no fact extraction — every entity
+// co-occurring with a question entity in one sentence is a candidate, and
+// the candidate features are the sentence tokens.
+type SentenceAnswers struct {
+	Base  *System // reused for retrieval and question analysis
+	Model *svm.Model
+}
+
+// Name implements Answerer.
+func (s *SentenceAnswers) Name() string { return "Sentence-Answers" }
+
+// Answer implements Answerer.
+func (s *SentenceAnswers) Answer(question string) []string {
+	qents := s.Base.questionEntities(question)
+	docs := s.Base.retrieve(question, qents)
+	cands := s.Candidates(question, qents, docs)
+	sys := *s.Base
+	sys.Model = s.Model
+	return sys.rank(cands)
+}
+
+// Candidates implements the sentence-cooccurrence candidate generation.
+func (s *SentenceAnswers) Candidates(question string, qents []string, docs []*nlp.Document) []Candidate {
+	qtokens := questionTokens(question, qents)
+	want := expectedTypes(question)
+	aliasSet := map[string]bool{}
+	for _, id := range qents {
+		if e := s.Base.Repo.Get(id); e != nil {
+			aliasSet[entityrepo.Normalize(e.Name)] = true
+			for _, a := range e.Aliases {
+				aliasSet[entityrepo.Normalize(a)] = true
+			}
+		}
+	}
+	ctx := map[string]map[string]float64{}
+	for _, doc := range docs {
+		s.Base.QKB.Pipeline().AnnotateDocument(doc)
+		for si := range doc.Sentences {
+			sent := &doc.Sentences[si]
+			// Does the sentence mention a question entity?
+			hit := len(qents) == 0
+			for _, m := range sent.Mentions {
+				if aliasSet[entityrepo.Normalize(m.Text)] {
+					hit = true
+					break
+				}
+			}
+			if !hit {
+				continue
+			}
+			var stokens []string
+			for _, t := range sent.Tokens {
+				if t.POS != nlp.PUNCT {
+					stokens = append(stokens, strings.ToLower(t.Lemma))
+				}
+			}
+			for _, m := range sent.Mentions {
+				if aliasSet[entityrepo.Normalize(m.Text)] {
+					continue
+				}
+				if !mentionTypeOK(m, want) {
+					continue
+				}
+				key := m.Text
+				cm := ctx[key]
+				if cm == nil {
+					cm = map[string]float64{}
+					ctx[key] = cm
+				}
+				for _, qt := range qtokens {
+					for _, st := range stokens {
+						cm["q:"+qt+"|c:"+st] = 1
+					}
+				}
+			}
+		}
+	}
+	var keys []string
+	for k := range ctx {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]Candidate, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, Candidate{Answer: k, Features: ctx[k]})
+	}
+	return out
+}
+
+func mentionTypeOK(m nlp.Mention, want []string) bool {
+	if len(want) == 0 {
+		return true
+	}
+	for _, w := range want {
+		switch w {
+		case entityrepo.TypePerson:
+			if m.Type == nlp.NERPerson {
+				return true
+			}
+		case entityrepo.TypeOrganization, entityrepo.TypeFootballClub,
+			entityrepo.TypeBand, entityrepo.TypeCompany, entityrepo.TypeUniversity:
+			if m.Type == nlp.NEROrganization {
+				return true
+			}
+		case entityrepo.TypeLocation:
+			if m.Type == nlp.NERLocation {
+				return true
+			}
+		case "TIME":
+			if m.Type == nlp.NERTime {
+				return true
+			}
+		default:
+			if m.Type == nlp.NERMisc {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// StaticKB is the QA-Freebase baseline: the same QA method applied to a
+// huge but static fact collection (the background KB), which lacks facts
+// about recent events.
+type StaticKB struct {
+	Base  *System
+	KB    *store.KB
+	Model *svm.Model
+}
+
+// Name implements Answerer.
+func (s *StaticKB) Name() string { return "QA-Freebase" }
+
+// Answer implements Answerer.
+func (s *StaticKB) Answer(question string) []string {
+	qents := s.Base.questionEntities(question)
+	// Restrict the static KB to facts about the question entities — the
+	// analogue of dereferencing the Freebase entity node.
+	sub := store.New()
+	for _, e := range s.KB.Entities() {
+		sub.AddEntity(*e)
+	}
+	found := false
+	for _, id := range qents {
+		for _, f := range s.KB.FactsAbout(id) {
+			sub.AddFact(f)
+			found = true
+		}
+	}
+	if !found {
+		return nil // no facts about these entities: empty result
+	}
+	sys := *s.Base
+	sys.Model = s.Model
+	cands := sys.Candidates(question, qents, sub)
+	return sys.rank(cands)
+}
+
+// AQQU is the end-to-end KB-QA baseline [Bast & Haussmann 2015]: template
+// semantic parsing over the static KB. It matches the question's verb or
+// relational noun against the pattern repository's synsets, finds facts of
+// the question entity with that relation, and returns the other argument.
+type AQQU struct {
+	Base     *System
+	KB       *store.KB
+	Patterns interface {
+		Canonicalize(pattern string, subjTypes, objTypes []string) (string, bool)
+	}
+}
+
+// Name implements Answerer.
+func (a *AQQU) Name() string { return "AQQU" }
+
+// Answer implements Answerer.
+func (a *AQQU) Answer(question string) []string {
+	qents := a.Base.questionEntities(question)
+	if len(qents) == 0 {
+		return nil
+	}
+	want := expectedTypes(question)
+	// Relation detection: try every content lemma and lemma bigram as a
+	// relation pattern ("play for" -> plays_for).
+	toks := questionTokens(question, nil)
+	var rels []string
+	for i, t := range toks {
+		if rel, ok := a.Patterns.Canonicalize(t, nil, nil); ok {
+			rels = append(rels, rel)
+		}
+		if i+1 < len(toks) {
+			if rel, ok := a.Patterns.Canonicalize(t+" "+toks[i+1], nil, nil); ok {
+				rels = append(rels, rel)
+			}
+		}
+	}
+	var out []string
+	seen := map[string]bool{}
+	for _, id := range qents {
+		for _, f := range a.KB.FactsAbout(id) {
+			match := len(rels) == 0
+			for _, r := range rels {
+				if f.Relation == r {
+					match = true
+					break
+				}
+			}
+			if !match {
+				continue
+			}
+			values := append([]store.Value{f.Subject}, f.Objects...)
+			for _, v := range values {
+				if v.IsEntity() && v.EntityID == id {
+					continue
+				}
+				if !a.Base.typeOK(v, a.KB, want) {
+					continue
+				}
+				key := valueKey(v)
+				if key != "" && !seen[key] {
+					seen[key] = true
+					out = append(out, key)
+				}
+			}
+		}
+	}
+	if len(out) > 3 {
+		out = out[:3]
+	}
+	return out
+}

@@ -1,0 +1,405 @@
+// Package qa implements the ad-hoc question answering of §7.4 and
+// Appendix B: question entities are detected, relevant documents are
+// retrieved, an on-the-fly KB is built with QKBfly, answer candidates are
+// collected with an expected-answer-type filter, and a pre-trained linear
+// SVM ranks the candidates by question-token × candidate-context-token
+// pair features. The package also provides the three baselines of
+// Table 9 (QKBfly-triples, Sentence-Answers, QA-Freebase) and the AQQU
+// baseline of the end-to-end comparison.
+package qa
+
+import (
+	"sort"
+	"strings"
+
+	"qkbfly"
+	"qkbfly/internal/kb/entityrepo"
+	"qkbfly/internal/kb/store"
+	"qkbfly/internal/nlp"
+	"qkbfly/internal/nlp/lemma"
+	"qkbfly/internal/nlp/pos"
+	"qkbfly/internal/nlp/token"
+	"qkbfly/internal/search"
+	"qkbfly/internal/svm"
+)
+
+// Answerer is one QA system under comparison.
+type Answerer interface {
+	Name() string
+	Answer(question string) []string
+}
+
+// System is the QKBfly-based QA pipeline (Appendix B).
+type System struct {
+	SystemName string
+	QKB        *qkbfly.System
+	Repo       *entityrepo.Repo
+	Index      *search.Index
+	Model      *svm.Model
+	// TriplesOnly restricts the on-the-fly KB to SPO triples
+	// (the QKBfly-triples configuration).
+	TriplesOnly bool
+	// NewsSize is the number of news documents retrieved (paper: 10).
+	NewsSize int
+	// Sources restricts retrieval ("" = Wikipedia + news).
+	Sources string
+	// MaxAnswers caps the returned answer list.
+	MaxAnswers int
+}
+
+// Name implements Answerer.
+func (s *System) Name() string {
+	if s.SystemName != "" {
+		return s.SystemName
+	}
+	return "QKBfly"
+}
+
+// Answer implements Answerer: the four steps of Appendix B.
+func (s *System) Answer(question string) []string {
+	// Step 1: detect question entities, retrieve documents.
+	qents := s.questionEntities(question)
+	docs := s.retrieve(question, qents)
+	if len(docs) == 0 {
+		return nil
+	}
+	// Step 2: build the question-specific on-the-fly KB.
+	kb, _ := s.QKB.BuildKB(docs)
+	// Steps 3-4: candidates, type filter, classification.
+	cands := s.Candidates(question, qents, kb)
+	return s.rank(cands)
+}
+
+// QuestionEntities exposes question-entity detection (used for training).
+func (s *System) QuestionEntities(question string) []string {
+	return s.questionEntities(question)
+}
+
+// Retrieve exposes document retrieval (used for training).
+func (s *System) Retrieve(question string, qents []string) []*nlp.Document {
+	return s.retrieve(question, qents)
+}
+
+// questionEntities finds repository entities mentioned in the question by
+// longest alias match.
+func (s *System) questionEntities(question string) []string {
+	toks := token.Tokenize(question)
+	var out []string
+	seen := map[string]bool{}
+	for i := 0; i < len(toks); i++ {
+		for end := min(i+6, len(toks)); end > i; end-- {
+			parts := make([]string, 0, end-i)
+			for k := i; k < end; k++ {
+				parts = append(parts, toks[k].Text)
+			}
+			alias := strings.Join(parts, " ")
+			ids := s.Repo.Candidates(alias)
+			if len(ids) > 0 {
+				if !seen[ids[0]] {
+					seen[ids[0]] = true
+					out = append(out, ids[0])
+				}
+				i = end - 1
+				break
+			}
+		}
+	}
+	return out
+}
+
+// retrieve fetches the Wikipedia article of each question entity plus the
+// top news stories for the full question text (Appendix B Step 1).
+func (s *System) retrieve(question string, qents []string) []*nlp.Document {
+	var docs []*nlp.Document
+	seen := map[string]bool{}
+	add := func(d *nlp.Document) {
+		if d != nil && !seen[d.ID] {
+			seen[d.ID] = true
+			docs = append(docs, cloneDoc(d))
+		}
+	}
+	if s.Sources != "news" {
+		for _, id := range qents {
+			if e := s.Repo.Get(id); e != nil {
+				add(s.Index.ByTitle(e.Name))
+			}
+		}
+	}
+	if s.Sources != "wikipedia" {
+		n := s.NewsSize
+		if n == 0 {
+			n = 10
+		}
+		for _, hit := range s.Index.Search(question, n, "news") {
+			add(hit.Doc)
+		}
+	}
+	return docs
+}
+
+// Candidate is one scored answer candidate.
+type Candidate struct {
+	Answer   string // entity ID or literal
+	Features map[string]float64
+	Score    float64
+}
+
+// Candidates collects typed answer candidates from the KB with their
+// classifier features (Appendix B Steps 3 and the feature set).
+func (s *System) Candidates(question string, qents []string, kb *store.KB) []Candidate {
+	qtokens := questionTokens(question, qents)
+	want := expectedTypes(question)
+	qset := map[string]bool{}
+	for _, id := range qents {
+		qset[id] = true
+	}
+	// Gather candidate values with the tokens of the facts they occur in.
+	qlemmas := map[string]bool{}
+	for _, qt := range qtokens {
+		qlemmas[qt] = true
+	}
+	ctx := map[string]map[string]float64{}
+	for _, f := range kb.Facts() {
+		if s.TriplesOnly && len(f.Objects) > 1 {
+			f.Objects = f.Objects[:1]
+		}
+		values := append([]store.Value{f.Subject}, f.Objects...)
+		var ftokens []string
+		relWords := strings.FieldsFunc(strings.ToLower(f.Relation+" "+f.Pattern), func(r rune) bool {
+			return r == '_' || r == ' '
+		})
+		ftokens = append(ftokens, relWords...)
+		// Does the fact mention a question entity (directly or through the
+		// mention cluster of an emerging entity)?
+		hasQEnt := false
+		for _, v := range values {
+			if v.IsEntity() {
+				if qset[v.EntityID] {
+					hasQEnt = true
+				}
+				ftokens = append(ftokens, strings.ToLower(v.EntityID))
+			} else {
+				ftokens = append(ftokens, lemmaTokens(v.Literal)...)
+			}
+		}
+		// Relation match: a question content lemma names the relation.
+		relMatch := false
+		for _, rw := range relWords {
+			if len(rw) > 2 && qlemmas[rw] {
+				relMatch = true
+				break
+			}
+		}
+		for _, v := range values {
+			key := valueKey(v)
+			if key == "" || (v.IsEntity() && qset[v.EntityID]) {
+				continue
+			}
+			if !s.typeOK(v, kb, want) {
+				continue
+			}
+			m := ctx[key]
+			if m == nil {
+				m = map[string]float64{}
+				ctx[key] = m
+			}
+			// Generalizing features: co-occurrence with a question entity
+			// in one fact, and relation-word match — these transfer from
+			// the WebQuestions-style training set to unseen questions.
+			if hasQEnt {
+				m["qent-in-fact"] = 1
+				if relMatch {
+					m["qent-and-rel"] = 1
+				}
+			}
+			if relMatch {
+				m["rel-match"] = 1
+			}
+			for _, qt := range qtokens {
+				for _, ft := range ftokens {
+					m["q:"+qt+"|c:"+ft] = 1
+				}
+			}
+		}
+	}
+	var out []Candidate
+	var keys []string
+	for k := range ctx {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		out = append(out, Candidate{Answer: k, Features: ctx[k]})
+	}
+	return out
+}
+
+// rank scores candidates with the model and returns positives (top-ranked
+// first), capped.
+func (s *System) rank(cands []Candidate) []string {
+	for i := range cands {
+		if s.Model != nil {
+			cands[i].Score = s.Model.Score(cands[i].Features)
+		} else {
+			cands[i].Score = float64(len(cands[i].Features))
+		}
+	}
+	sort.SliceStable(cands, func(i, j int) bool { return cands[i].Score > cands[j].Score })
+	maxA := s.MaxAnswers
+	if maxA == 0 {
+		maxA = 3
+	}
+	var out []string
+	for _, c := range cands {
+		if c.Score <= 0 {
+			break
+		}
+		out = append(out, c.Answer)
+		if len(out) >= maxA {
+			break
+		}
+	}
+	// Single best fallback: factoid questions get the top candidate even
+	// when the margin is not positive (Appendix B Step 4).
+	if len(out) == 0 && len(cands) > 0 && len(cands[0].Features) > 0 {
+		out = append(out, cands[0].Answer)
+	}
+	return out
+}
+
+// typeOK applies the expected-answer-type filter of Step 3.
+func (s *System) typeOK(v store.Value, kb *store.KB, want []string) bool {
+	if len(want) == 0 {
+		return true
+	}
+	if !v.IsEntity() {
+		for _, w := range want {
+			if w == "LITERAL" && !v.IsTime {
+				return true
+			}
+			if w == "TIME" && v.IsTime {
+				return true
+			}
+		}
+		return false
+	}
+	rec := kb.Entity(v.EntityID)
+	if rec == nil {
+		return false
+	}
+	for _, w := range want {
+		if w == "LITERAL" || w == "TIME" {
+			continue
+		}
+		for _, t := range rec.Types {
+			if entityrepo.Subsumes(w, t) || t == w {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// expectedTypes maps the wh-word (and a following type noun for "which X")
+// to acceptable answer types.
+func expectedTypes(question string) []string {
+	q := strings.ToLower(question)
+	fields := strings.Fields(q)
+	if len(fields) == 0 {
+		return nil
+	}
+	switch fields[0] {
+	case "who", "whom":
+		return []string{entityrepo.TypePerson, entityrepo.TypeOrganization}
+	case "where":
+		return []string{entityrepo.TypeLocation}
+	case "when":
+		return []string{"TIME"}
+	case "how":
+		if len(fields) > 1 && (fields[1] == "much" || fields[1] == "many") {
+			return []string{"LITERAL"}
+		}
+	case "which", "what":
+		if len(fields) > 1 {
+			switch strings.TrimSuffix(fields[1], "s") {
+			case "club", "team":
+				return []string{entityrepo.TypeFootballClub}
+			case "band":
+				return []string{entityrepo.TypeBand}
+			case "company":
+				return []string{entityrepo.TypeCompany}
+			case "award", "prize":
+				return []string{entityrepo.TypeAward}
+			case "film", "movie":
+				return []string{entityrepo.TypeFilm}
+			case "city", "country", "place":
+				return []string{entityrepo.TypeLocation}
+			case "university", "school":
+				return []string{entityrepo.TypeUniversity}
+			case "person", "actor", "singer", "player":
+				return []string{entityrepo.TypePerson}
+			}
+		}
+	}
+	return nil
+}
+
+// questionTokens extracts the lemmatized unigrams and entity IDs of a
+// question (the x-side of the feature pairs).
+func questionTokens(question string, qents []string) []string {
+	sent := nlp.Sentence{Text: question, Tokens: token.Tokenize(question)}
+	pos.Tag(&sent)
+	lemma.Annotate(&sent)
+	var out []string
+	for _, t := range sent.Tokens {
+		if t.POS == nlp.PUNCT {
+			continue
+		}
+		out = append(out, strings.ToLower(t.Lemma))
+	}
+	for _, id := range qents {
+		out = append(out, strings.ToLower(id))
+	}
+	return out
+}
+
+func lemmaTokens(text string) []string {
+	sent := nlp.Sentence{Text: text, Tokens: token.Tokenize(text)}
+	pos.Tag(&sent)
+	lemma.Annotate(&sent)
+	var out []string
+	for _, t := range sent.Tokens {
+		if t.POS == nlp.PUNCT {
+			continue
+		}
+		out = append(out, strings.ToLower(t.Lemma))
+	}
+	return out
+}
+
+func valueKey(v store.Value) string {
+	if v.IsEntity() {
+		return v.EntityID
+	}
+	return v.Literal
+}
+
+func cloneDoc(d *nlp.Document) *nlp.Document {
+	cp := *d
+	cp.Sentences = make([]nlp.Sentence, len(d.Sentences))
+	for i := range d.Sentences {
+		s := d.Sentences[i]
+		s.Tokens = append([]nlp.Token(nil), s.Tokens...)
+		s.Chunks = append([]nlp.Chunk(nil), s.Chunks...)
+		s.Mentions = append([]nlp.Mention(nil), s.Mentions...)
+		cp.Sentences[i] = s
+	}
+	return &cp
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,157 @@
+// Package search implements BM25 document retrieval over the synthetic
+// article and news collections. It plays the role of the paper's
+// query-time document retrieval (Wikipedia and Google News restricted to
+// en.wikipedia.org / bbc.com, §6 and Appendix B Step 1).
+package search
+
+import (
+	"math"
+	"sort"
+	"strings"
+
+	"qkbfly/internal/nlp"
+)
+
+// BM25 parameters (standard defaults).
+const (
+	k1 = 1.2
+	b  = 0.75
+)
+
+// Index is an inverted index with BM25 scoring.
+type Index struct {
+	docs    []*nlp.Document
+	lengths []int
+	avgLen  float64
+	// postings: term -> doc ordinal -> term frequency
+	postings map[string]map[int]int
+	titles   map[string]int // normalized title -> doc ordinal
+}
+
+// New builds an index over the documents.
+func New(docs []*nlp.Document) *Index {
+	idx := &Index{
+		docs:     docs,
+		postings: make(map[string]map[int]int),
+		titles:   make(map[string]int),
+	}
+	total := 0
+	for di, doc := range docs {
+		terms := docTerms(doc)
+		idx.lengths = append(idx.lengths, len(terms))
+		total += len(terms)
+		for _, t := range terms {
+			m := idx.postings[t]
+			if m == nil {
+				m = map[int]int{}
+				idx.postings[t] = m
+			}
+			m[di]++
+		}
+		idx.titles[normalize(doc.Title)] = di
+	}
+	if len(docs) > 0 {
+		idx.avgLen = float64(total) / float64(len(docs))
+	}
+	return idx
+}
+
+// Len returns the number of indexed documents.
+func (idx *Index) Len() int { return len(idx.docs) }
+
+// Result is one retrieval hit.
+type Result struct {
+	Doc   *nlp.Document
+	Score float64
+}
+
+// Search returns the top-k documents for the query, optionally restricted
+// to one source ("wikipedia" or "news"; empty means both).
+func (idx *Index) Search(query string, k int, source string) []Result {
+	terms := tokenize(query)
+	scores := map[int]float64{}
+	n := float64(len(idx.docs))
+	for _, t := range terms {
+		post := idx.postings[t]
+		if len(post) == 0 {
+			continue
+		}
+		idf := math.Log(1 + (n-float64(len(post))+0.5)/(float64(len(post))+0.5))
+		for di, tf := range post {
+			dl := float64(idx.lengths[di])
+			den := float64(tf) + k1*(1-b+b*dl/idx.avgLen)
+			scores[di] += idf * float64(tf) * (k1 + 1) / den
+		}
+	}
+	// Exact title match gets a strong boost (the paper retrieves the
+	// Wikipedia article with the entity's ID directly).
+	if di, ok := idx.titles[normalize(query)]; ok {
+		scores[di] += 100
+	}
+	var out []Result
+	for di, s := range scores {
+		if source != "" && idx.docs[di].Source != source {
+			continue
+		}
+		out = append(out, Result{Doc: idx.docs[di], Score: s})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Doc.ID < out[j].Doc.ID
+	})
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// ByTitle returns the document with the given title, or nil.
+func (idx *Index) ByTitle(title string) *nlp.Document {
+	if di, ok := idx.titles[normalize(title)]; ok {
+		return idx.docs[di]
+	}
+	return nil
+}
+
+func docTerms(doc *nlp.Document) []string {
+	var out []string
+	out = append(out, tokenize(doc.Title)...)
+	if len(doc.Sentences) > 0 {
+		for i := range doc.Sentences {
+			for _, t := range doc.Sentences[i].Tokens {
+				w := normalizeTerm(t.Text)
+				if w != "" {
+					out = append(out, w)
+				}
+			}
+		}
+		return out
+	}
+	out = append(out, tokenize(doc.Text)...)
+	return out
+}
+
+func tokenize(s string) []string {
+	var out []string
+	for _, f := range strings.Fields(s) {
+		w := normalizeTerm(f)
+		if w != "" {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+func normalizeTerm(w string) string {
+	w = strings.ToLower(strings.Trim(w, ".,!?\"'()[]:;"))
+	if len(w) < 2 {
+		return ""
+	}
+	return w
+}
+
+func normalize(s string) string {
+	return strings.Join(strings.Fields(strings.ToLower(s)), " ")
+}

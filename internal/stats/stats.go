@@ -1,0 +1,308 @@
+// Package stats computes the background statistics (S) of the paper
+// (§2.2, §4) from the anchor-annotated background corpus (C):
+//
+//   - mention→entity priors from anchor links (the Wikipedia href counts);
+//   - TF-IDF context vectors for entities (from their articles) and the
+//     weighted overlap coefficient used as the similarity measure;
+//   - type signatures: (co-)occurrence counts of argument types under
+//     relation patterns, from clauses whose arguments are anchor-linked
+//     entities or recognized names/time expressions.
+package stats
+
+import (
+	"math"
+	"strings"
+
+	"qkbfly/internal/kb/entityrepo"
+	"qkbfly/internal/nlp"
+	"qkbfly/internal/nlp/clause"
+)
+
+// Stats holds the precomputed background statistics.
+type Stats struct {
+	anchorCount  map[string]map[string]int // mention -> entity -> count
+	mentionTotal map[string]int            // mention -> total anchors
+	ctx          map[string]map[string]float64
+	ctxSum       map[string]float64
+	df           map[string]int
+	nDocs        int
+	typeSig      map[string]map[string]int // pattern -> subjType|objType -> count
+	typeSigTotal map[string]int
+}
+
+var stopwords = map[string]bool{
+	"the": true, "a": true, "an": true, "is": true, "was": true, "are": true,
+	"were": true, "be": true, "been": true, "in": true, "on": true,
+	"of": true, "to": true, "for": true, "from": true, "and": true,
+	"or": true, "he": true, "she": true, "it": true, "they": true,
+	"his": true, "her": true, "its": true, "their": true, "at": true,
+	"by": true, "with": true, "as": true, "that": true, "this": true,
+}
+
+// Build computes statistics from the background corpus. Each document that
+// describes an entity must have ID "wiki:<entityID>" (the corpus generator
+// guarantees this); its tokens form that entity's context vector. The
+// pipeline is used to detect clauses for the type-signature counts.
+func Build(docs []*nlp.Document, repo *entityrepo.Repo, pipe *clause.Pipeline) *Stats {
+	s := &Stats{
+		anchorCount:  make(map[string]map[string]int),
+		mentionTotal: make(map[string]int),
+		ctx:          make(map[string]map[string]float64),
+		ctxSum:       make(map[string]float64),
+		df:           make(map[string]int),
+		typeSig:      make(map[string]map[string]int),
+		typeSigTotal: make(map[string]int),
+	}
+	s.nDocs = len(docs)
+
+	// Pass 1: term frequencies and document frequencies.
+	tf := make(map[string]map[string]int, len(docs))
+	for _, doc := range docs {
+		entityID := docEntity(doc)
+		if len(doc.Sentences) == 0 {
+			continue
+		}
+		counts := map[string]int{}
+		for i := range doc.Sentences {
+			for _, t := range doc.Sentences[i].Tokens {
+				w := strings.ToLower(t.Text)
+				if stopwords[w] || len(w) < 2 || !isWordLike(w) {
+					continue
+				}
+				counts[w]++
+			}
+		}
+		for w := range counts {
+			s.df[w]++
+		}
+		if entityID != "" {
+			tf[entityID] = counts
+		}
+		// Anchor priors.
+		for _, a := range doc.Anchors {
+			mention := normalizeMention(doc.Sentences[a.SentIndex].TokenText(a.Start, a.End))
+			if mention == "" {
+				continue
+			}
+			m := s.anchorCount[mention]
+			if m == nil {
+				m = map[string]int{}
+				s.anchorCount[mention] = m
+			}
+			m[a.EntityID]++
+			s.mentionTotal[mention]++
+		}
+	}
+	// TF-IDF vectors.
+	for entityID, counts := range tf {
+		vec := make(map[string]float64, len(counts))
+		sum := 0.0
+		for w, c := range counts {
+			idf := math.Log(float64(s.nDocs+1) / float64(s.df[w]+1))
+			v := float64(c) * idf
+			vec[w] = v
+			sum += v
+		}
+		s.ctx[entityID] = vec
+		s.ctxSum[entityID] = sum
+	}
+
+	// Pass 2: type signatures from clauses. Arguments are typed by anchor
+	// (entity types from the repository), NER label, or TIME.
+	if pipe != nil {
+		for _, doc := range docs {
+			clausesBySent := pipe.AnnotateDocument(doc)
+			for si := range doc.Sentences {
+				anchorAt := map[int]string{}
+				for _, a := range doc.Anchors {
+					if a.SentIndex != si {
+						continue
+					}
+					for k := a.Start; k < a.End; k++ {
+						anchorAt[k] = a.EntityID
+					}
+				}
+				for _, c := range clausesBySent[si] {
+					if c.Subject == nil {
+						continue
+					}
+					subjTypes := s.argTypes(&doc.Sentences[si], c.Subject.Head, anchorAt, repo)
+					for _, obj := range c.Args()[1:] {
+						objTypes := s.argTypes(&doc.Sentences[si], obj.Head, anchorAt, repo)
+						s.countSig(c.Pattern, subjTypes, objTypes)
+					}
+				}
+			}
+		}
+	}
+	return s
+}
+
+func docEntity(doc *nlp.Document) string {
+	if id, ok := strings.CutPrefix(doc.ID, "wiki:"); ok {
+		return id
+	}
+	return ""
+}
+
+// argTypes determines the semantic types of a clause argument.
+func (s *Stats) argTypes(sent *nlp.Sentence, head int, anchorAt map[int]string, repo *entityrepo.Repo) []string {
+	if id, ok := anchorAt[head]; ok && repo != nil {
+		if e := repo.Get(id); e != nil {
+			return entityrepo.TypeClosure(e.Types)
+		}
+	}
+	t := sent.Tokens[head]
+	if t.NER == nlp.NERTime {
+		return []string{"TIME"}
+	}
+	if t.NER != nlp.NERNone {
+		return []string{string(t.NER)}
+	}
+	return []string{"LITERAL"}
+}
+
+func (s *Stats) countSig(pattern string, subjTypes, objTypes []string) {
+	m := s.typeSig[pattern]
+	if m == nil {
+		m = map[string]int{}
+		s.typeSig[pattern] = m
+	}
+	for _, st := range subjTypes {
+		for _, ot := range objTypes {
+			m[st+"|"+ot]++
+			s.typeSigTotal[pattern]++
+		}
+	}
+}
+
+// Prior returns the anchor-based prior probability that the mention
+// denotes the entity: count(mention→entity) / count(mention→*).
+func (s *Stats) Prior(mention, entityID string) float64 {
+	key := normalizeMention(mention)
+	total := s.mentionTotal[key]
+	if total == 0 {
+		return 0
+	}
+	return float64(s.anchorCount[key][entityID]) / float64(total)
+}
+
+// Candidates returns the entities the mention links to in the corpus,
+// useful as a fallback candidate source.
+func (s *Stats) Candidates(mention string) map[string]int {
+	return s.anchorCount[normalizeMention(mention)]
+}
+
+// ContextVector returns the TF-IDF context vector of an entity (may be nil).
+func (s *Stats) ContextVector(entityID string) map[string]float64 {
+	return s.ctx[entityID]
+}
+
+// SentenceVector builds the TF-IDF context vector of a sentence (the
+// context of a noun-phrase occurrence, §4).
+func (s *Stats) SentenceVector(sent *nlp.Sentence) (map[string]float64, float64) {
+	vec := map[string]float64{}
+	sum := 0.0
+	for _, t := range sent.Tokens {
+		w := strings.ToLower(t.Text)
+		if stopwords[w] || len(w) < 2 || !isWordLike(w) {
+			continue
+		}
+		idf := math.Log(float64(s.nDocs+1) / float64(s.df[w]+1))
+		vec[w] += idf
+		sum += idf
+	}
+	return vec, sum
+}
+
+// Similarity computes the weighted overlap coefficient of §4 between a
+// sentence vector (with its sum) and an entity's context vector:
+// sum_k min(vk, v'k) / min(sum vk, sum v'k).
+func (s *Stats) Similarity(vec map[string]float64, vecSum float64, entityID string) float64 {
+	evec := s.ctx[entityID]
+	if evec == nil || vecSum == 0 {
+		return 0
+	}
+	overlap := 0.0
+	for w, v := range vec {
+		if ev, ok := evec[w]; ok {
+			overlap += math.Min(v, ev)
+		}
+	}
+	den := math.Min(vecSum, s.ctxSum[entityID])
+	if den == 0 {
+		return 0
+	}
+	return clamp01(overlap / den)
+}
+
+// clamp01 guards against floating-point accumulation pushing an overlap
+// coefficient infinitesimally outside [0, 1].
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+// Coherence computes the weighted overlap similarity between the context
+// vectors of two entities (coh in §4).
+func (s *Stats) Coherence(e1, e2 string) float64 {
+	v1, v2 := s.ctx[e1], s.ctx[e2]
+	if v1 == nil || v2 == nil {
+		return 0
+	}
+	if len(v2) < len(v1) {
+		v1, v2 = v2, v1
+		e1, e2 = e2, e1
+	}
+	overlap := 0.0
+	for w, a := range v1 {
+		if b, ok := v2[w]; ok {
+			overlap += math.Min(a, b)
+		}
+	}
+	den := math.Min(s.ctxSum[e1], s.ctxSum[e2])
+	if den == 0 {
+		return 0
+	}
+	return clamp01(overlap / den)
+}
+
+// TypeSignature returns ts(e_i, e_t, r): the relative frequency of the
+// argument-type combination under the relation pattern, summed over all
+// type pairs of the two entities (§4).
+func (s *Stats) TypeSignature(subjTypes, objTypes []string, pattern string) float64 {
+	total := s.typeSigTotal[pattern]
+	if total == 0 {
+		return 0
+	}
+	m := s.typeSig[pattern]
+	count := 0
+	for _, st := range subjTypes {
+		for _, ot := range objTypes {
+			count += m[st+"|"+ot]
+		}
+	}
+	return float64(count) / float64(total)
+}
+
+// HasPattern reports whether the pattern was observed in the background
+// corpus at all.
+func (s *Stats) HasPattern(pattern string) bool { return s.typeSigTotal[pattern] > 0 }
+
+func normalizeMention(m string) string {
+	return strings.Join(strings.Fields(strings.ToLower(m)), " ")
+}
+
+func isWordLike(w string) bool {
+	for _, r := range w {
+		if (r < 'a' || r > 'z') && (r < '0' || r > '9') && r != '-' && r != '.' && r != '\'' {
+			return false
+		}
+	}
+	return true
+}

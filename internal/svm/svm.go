@@ -1,0 +1,123 @@
+// Package svm implements a linear classifier over sparse string features,
+// standing in for the Liblinear SVM library [Fan et al. 2008] the paper
+// uses to rank QA answer candidates (Appendix B) and for the logistic
+// factor weights of the DeepDive-style extractor. Training is Pegasos-style
+// stochastic sub-gradient descent on the hinge loss with L2
+// regularization; a logistic option trains log-loss instead, so scores can
+// be read as probabilities.
+package svm
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Example is one training instance: sparse binary/real features.
+type Example struct {
+	Features map[string]float64
+	Label    bool
+}
+
+// Options configure training.
+type Options struct {
+	Epochs   int
+	Lambda   float64 // L2 regularization strength
+	Eta0     float64 // initial learning rate
+	Logistic bool    // log-loss instead of hinge
+	// PositiveWeight scales the gradient of positive examples (class
+	// weighting for imbalanced problems, like Liblinear's -w1).
+	PositiveWeight float64
+	Seed           int64
+}
+
+// DefaultOptions returns the defaults (mirroring Liblinear's).
+func DefaultOptions() Options {
+	return Options{Epochs: 20, Lambda: 1e-4, Eta0: 0.5, PositiveWeight: 1, Seed: 1}
+}
+
+// Model is a trained linear model.
+type Model struct {
+	W        map[string]float64
+	Bias     float64
+	Logistic bool
+}
+
+// Train fits a linear model on the examples with decayed SGD.
+func Train(examples []Example, opt Options) *Model {
+	if opt.Epochs == 0 {
+		opt = DefaultOptions()
+	}
+	if opt.Eta0 == 0 {
+		opt.Eta0 = 0.5
+	}
+	if opt.PositiveWeight == 0 {
+		opt.PositiveWeight = 1
+	}
+	m := &Model{W: map[string]float64{}, Logistic: opt.Logistic}
+	rng := rand.New(rand.NewSource(opt.Seed))
+	t := 0
+	for epoch := 0; epoch < opt.Epochs; epoch++ {
+		order := rng.Perm(len(examples))
+		for _, i := range order {
+			t++
+			eta := opt.Eta0 / (1 + opt.Lambda*float64(t)*100)
+			ex := &examples[i]
+			y := -1.0
+			weight := 1.0
+			if ex.Label {
+				y = 1.0
+				weight = opt.PositiveWeight
+			}
+			margin := y * (m.dot(ex.Features) + m.Bias)
+			// L2 shrinkage.
+			shrink := 1 - eta*opt.Lambda
+			if shrink < 0 {
+				shrink = 0
+			}
+			for k := range m.W {
+				m.W[k] *= shrink
+			}
+			if opt.Logistic {
+				// gradient of log-loss: -y * sigmoid(-margin)
+				g := weight * y * sigmoid(-margin)
+				for k, v := range ex.Features {
+					m.W[k] += eta * g * v
+				}
+				m.Bias += eta * g
+			} else if margin < 1 {
+				for k, v := range ex.Features {
+					m.W[k] += eta * weight * y * v
+				}
+				m.Bias += eta * weight * y
+			}
+		}
+	}
+	return m
+}
+
+func (m *Model) dot(f map[string]float64) float64 {
+	s := 0.0
+	for k, v := range f {
+		s += m.W[k] * v
+	}
+	return s
+}
+
+// Score returns the raw decision value.
+func (m *Model) Score(f map[string]float64) float64 { return m.dot(f) + m.Bias }
+
+// Prob returns the positive-class probability (logistic link).
+func (m *Model) Prob(f map[string]float64) float64 { return sigmoid(m.Score(f)) }
+
+// Predict returns the binary decision.
+func (m *Model) Predict(f map[string]float64) bool { return m.Score(f) > 0 }
+
+func sigmoid(x float64) float64 {
+	if x < -40 {
+		return 0
+	}
+	if x > 40 {
+		return 1
+	}
+	return 1 / (1 + math.Exp(-x))
+}

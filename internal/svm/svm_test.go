@@ -1,0 +1,108 @@
+package svm
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSeparable(t *testing.T) {
+	var examples []Example
+	for i := 0; i < 50; i++ {
+		examples = append(examples,
+			Example{Features: map[string]float64{"good": 1}, Label: true},
+			Example{Features: map[string]float64{"bad": 1}, Label: false})
+	}
+	m := Train(examples, DefaultOptions())
+	if !m.Predict(map[string]float64{"good": 1}) {
+		t.Error("positive feature misclassified")
+	}
+	if m.Predict(map[string]float64{"bad": 1}) {
+		t.Error("negative feature misclassified")
+	}
+}
+
+func TestLogisticProbabilities(t *testing.T) {
+	var examples []Example
+	for i := 0; i < 80; i++ {
+		examples = append(examples,
+			Example{Features: map[string]float64{"a": 1}, Label: true},
+			Example{Features: map[string]float64{"b": 1}, Label: false})
+	}
+	opt := DefaultOptions()
+	opt.Logistic = true
+	m := Train(examples, opt)
+	pa := m.Prob(map[string]float64{"a": 1})
+	pb := m.Prob(map[string]float64{"b": 1})
+	if pa < 0.8 {
+		t.Errorf("P(a) = %f, want > 0.8", pa)
+	}
+	if pb > 0.2 {
+		t.Errorf("P(b) = %f, want < 0.2", pb)
+	}
+}
+
+func TestNoisyData(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var examples []Example
+	for i := 0; i < 400; i++ {
+		label := rng.Float64() < 0.5
+		f := map[string]float64{}
+		if label {
+			f["signal"] = 1
+		} else if rng.Float64() < 0.1 {
+			f["signal"] = 1 // 10% label noise
+		}
+		f["noise"] = rng.Float64()
+		examples = append(examples, Example{Features: f, Label: label})
+	}
+	m := Train(examples, DefaultOptions())
+	correct := 0
+	for _, ex := range examples {
+		if m.Predict(ex.Features) == ex.Label {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(len(examples)); acc < 0.85 {
+		t.Errorf("accuracy = %f", acc)
+	}
+}
+
+func TestPositiveWeighting(t *testing.T) {
+	// Imbalanced data: 10 positives, 200 negatives sharing a weak feature.
+	var examples []Example
+	for i := 0; i < 10; i++ {
+		examples = append(examples, Example{Features: map[string]float64{"x": 1, "pos": 1}, Label: true})
+	}
+	for i := 0; i < 200; i++ {
+		examples = append(examples, Example{Features: map[string]float64{"x": 1}, Label: false})
+	}
+	opt := DefaultOptions()
+	opt.Logistic = true
+	opt.PositiveWeight = 10
+	m := Train(examples, opt)
+	if !m.Predict(map[string]float64{"x": 1, "pos": 1}) {
+		t.Error("weighted positive not recovered")
+	}
+}
+
+func TestEmptyTrainingSet(t *testing.T) {
+	m := Train(nil, DefaultOptions())
+	if m.Score(map[string]float64{"anything": 1}) != 0 {
+		t.Error("empty model should score 0")
+	}
+}
+
+func TestDeterministicTraining(t *testing.T) {
+	examples := []Example{
+		{Features: map[string]float64{"a": 1}, Label: true},
+		{Features: map[string]float64{"b": 1}, Label: false},
+		{Features: map[string]float64{"a": 1, "b": 1}, Label: true},
+	}
+	m1 := Train(examples, DefaultOptions())
+	m2 := Train(examples, DefaultOptions())
+	for k, v := range m1.W {
+		if m2.W[k] != v {
+			t.Errorf("weight %q differs: %f vs %f", k, v, m2.W[k])
+		}
+	}
+}

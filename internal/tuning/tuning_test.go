@@ -1,0 +1,71 @@
+package tuning
+
+import (
+	"testing"
+
+	"qkbfly/internal/corpus"
+	"qkbfly/internal/nlp/clause"
+	"qkbfly/internal/nlp/depparse"
+	"qkbfly/internal/stats"
+)
+
+func TestTuneOnWorld(t *testing.T) {
+	w := corpus.NewWorld(corpus.SmallConfig())
+	pipe := clause.NewPipeline(w.Repo, depparse.Malt)
+	st := stats.Build(corpus.Docs(w.BackgroundCorpus()), w.Repo, pipe)
+	ann := AnnotationsFromWorld(w, 200)
+	if len(ann) < 20 {
+		t.Fatalf("annotations = %d", len(ann))
+	}
+	res := Tune(ann, st, w.Repo)
+	if res.Annotations == 0 {
+		t.Fatal("no usable (ambiguous) annotations")
+	}
+	sum := 0.0
+	for i, a := range res.Alpha {
+		if a < 0 {
+			t.Errorf("alpha[%d] = %f negative", i, a)
+		}
+		sum += a
+	}
+	if sum < 0.99 || sum > 1.01 {
+		t.Errorf("alphas not normalized: %v", res.Alpha)
+	}
+	// At least one feature must carry substantial weight; with
+	// surname-alias mentions the coherence/type features dominate (the
+	// anchor prior spreads its mass by prominence, so L-BFGS may drive
+	// α1 toward zero on this annotation design).
+	max := 0.0
+	for _, a := range res.Alpha {
+		if a > max {
+			max = a
+		}
+	}
+	if max < 0.3 {
+		t.Errorf("no dominant feature: %v", res.Alpha)
+	}
+}
+
+func TestTuneImprovesLikelihood(t *testing.T) {
+	w := corpus.NewWorld(corpus.SmallConfig())
+	pipe := clause.NewPipeline(w.Repo, depparse.Malt)
+	st := stats.Build(corpus.Docs(w.BackgroundCorpus()), w.Repo, pipe)
+	ann := AnnotationsFromWorld(w, 150)
+	res := Tune(ann, st, w.Repo)
+	if res.Iterations == 0 {
+		t.Skip("converged immediately")
+	}
+	if res.LogLik > 0 {
+		t.Errorf("log-likelihood %f positive", res.LogLik)
+	}
+}
+
+func TestEmptyAnnotations(t *testing.T) {
+	w := corpus.NewWorld(corpus.SmallConfig())
+	pipe := clause.NewPipeline(w.Repo, depparse.Malt)
+	st := stats.Build(corpus.Docs(w.BackgroundCorpus()), w.Repo, pipe)
+	res := Tune(nil, st, w.Repo)
+	if res.Annotations != 0 {
+		t.Errorf("annotations = %d", res.Annotations)
+	}
+}

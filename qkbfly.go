@@ -1,0 +1,235 @@
+// Package qkbfly implements QKBfly, the query-driven on-the-fly knowledge
+// base construction system of Nguyen et al. (PVLDB 11(1), 2017).
+//
+// Given an entity-centric query or a natural-language question, the system
+// retrieves relevant documents, builds a semantic graph per document (§3),
+// jointly performs named-entity disambiguation and co-reference resolution
+// by graph densification (§4), and canonicalizes the result into an
+// on-the-fly KB of binary and higher-arity facts (§5).
+//
+// Basic use:
+//
+//	world := corpus.NewWorld(corpus.DefaultConfig())   // or your own docs
+//	sys := qkbfly.New(qkbfly.Resources{...}, qkbfly.DefaultConfig())
+//	kb := sys.BuildKB(docs)
+//	facts := kb.Search(store.Query{Subject: "Type:MUSICAL_ARTIST"})
+package qkbfly
+
+import (
+	"time"
+
+	"qkbfly/internal/canon"
+	"qkbfly/internal/densify"
+	"qkbfly/internal/graph"
+	"qkbfly/internal/ilp"
+	"qkbfly/internal/kb/entityrepo"
+	"qkbfly/internal/kb/patterns"
+	"qkbfly/internal/kb/store"
+	"qkbfly/internal/nlp"
+	"qkbfly/internal/nlp/clause"
+	"qkbfly/internal/nlp/depparse"
+	"qkbfly/internal/search"
+	"qkbfly/internal/stats"
+)
+
+// Mode selects the inference configuration compared in §7.1.
+type Mode int
+
+// The configurations of Table 3.
+const (
+	// Joint is full QKBfly: fact extraction, NED and CR jointly.
+	Joint Mode = iota
+	// Pipeline runs three separate stages and omits the type-signature
+	// feature (QKBfly-pipeline).
+	Pipeline
+	// NounOnly performs fact extraction and NED only; no co-reference
+	// resolution (QKBfly-noun).
+	NounOnly
+)
+
+// Algorithm selects greedy densification or the exact ILP (Table 6).
+type Algorithm int
+
+// Graph algorithms.
+const (
+	Greedy Algorithm = iota
+	ILP
+)
+
+// Config controls a System.
+type Config struct {
+	Mode      Mode
+	Algorithm Algorithm
+	// Params are the §4 hyper-parameters.
+	Params densify.Params
+	// Tau is the confidence threshold for distilling high-quality facts
+	// (§4; the paper uses 0.5, and 0.9 for the precision-oriented
+	// DeepDive comparison).
+	Tau float64
+	// ParserMode selects the dependency parser (Malt is the paper's
+	// choice; Stanford reproduces the slow baseline of Table 5).
+	ParserMode depparse.Mode
+	// ILPMaxNodes bounds the branch-and-bound search per document.
+	ILPMaxNodes int
+}
+
+// DefaultConfig returns the paper's default configuration.
+func DefaultConfig() Config {
+	return Config{
+		Mode:        Joint,
+		Algorithm:   Greedy,
+		Params:      densify.DefaultParams(),
+		Tau:         0.5,
+		ParserMode:  depparse.Malt,
+		ILPMaxNodes: 2_000_000,
+	}
+}
+
+// Resources are the background repositories of §2.2: the entity
+// repository (E), the pattern repository (P) and the statistics (S)
+// precomputed from the background corpus (C).
+type Resources struct {
+	Repo     *entityrepo.Repo
+	Patterns *patterns.Repo
+	Stats    *stats.Stats
+	// Index retrieves documents for queries; optional (BuildKB does not
+	// need it, BuildKBForQuery does).
+	Index *search.Index
+}
+
+// System is a configured QKBfly instance.
+type System struct {
+	res  Resources
+	cfg  Config
+	pipe *clause.Pipeline
+}
+
+// New assembles a System.
+func New(res Resources, cfg Config) *System {
+	var gaz interface {
+		LookupType(string) (nlp.NERType, bool)
+	}
+	if res.Repo != nil {
+		gaz = res.Repo
+	}
+	return &System{
+		res:  res,
+		cfg:  cfg,
+		pipe: clause.NewPipeline(gaz, cfg.ParserMode),
+	}
+}
+
+// Pipeline exposes the NLP pipeline (used by baselines and experiments).
+func (s *System) Pipeline() *clause.Pipeline { return s.pipe }
+
+// BuildStats is a run-time accounting of one BuildKB call.
+type BuildStats struct {
+	Documents     int
+	Sentences     int
+	Clauses       int
+	EdgesRemoved  int
+	Elapsed       time.Duration
+	PerDocElapsed []time.Duration
+}
+
+// BuildKB runs the full three-stage pipeline over the documents and
+// returns the on-the-fly KB. Facts below the configured τ are still
+// stored; use FilterTau or store.Query.MinConf to distill.
+func (s *System) BuildKB(docs []*nlp.Document) (*store.KB, *BuildStats) {
+	return s.buildKB(docs, -1)
+}
+
+// BuildKBWithCorefWindow is BuildKB with a custom pronoun co-reference
+// window (the paper fixes 5 backward sentences; this exists for the
+// ablation study).
+func (s *System) BuildKBWithCorefWindow(docs []*nlp.Document, window int) (*store.KB, *BuildStats) {
+	return s.buildKB(docs, window)
+}
+
+func (s *System) buildKB(docs []*nlp.Document, corefWindow int) (*store.KB, *BuildStats) {
+	kb := store.New()
+	bs := &BuildStats{}
+	start := time.Now()
+	for _, doc := range docs {
+		t0 := time.Now()
+		s.processDocument(kb, doc, bs, corefWindow)
+		bs.PerDocElapsed = append(bs.PerDocElapsed, time.Since(t0))
+		bs.Documents++
+	}
+	bs.Elapsed = time.Since(start)
+	return kb, bs
+}
+
+func (s *System) processDocument(kb *store.KB, doc *nlp.Document, bs *BuildStats, corefWindow int) {
+	// Stage 0: linguistic pre-processing and clause detection.
+	clausesBySent := s.pipe.AnnotateDocument(doc)
+	bs.Sentences += len(doc.Sentences)
+	for _, cs := range clausesBySent {
+		bs.Clauses += len(cs)
+	}
+	// Stage 1: semantic graph (§3).
+	builder := graph.NewBuilder(s.res.Repo)
+	builder.IncludePronouns = s.cfg.Mode != NounOnly
+	if corefWindow >= 0 {
+		builder.CorefWindow = corefWindow
+	}
+	g := builder.Build(doc, clausesBySent)
+
+	// Stage 2: graph algorithm (§4 / Appendix A).
+	params := s.cfg.Params
+	if s.cfg.Mode == Pipeline {
+		params.PipelineMode = true
+		params.UseTypeSignatures = false
+	}
+	scorer := densify.NewScorer(s.res.Stats, s.res.Repo, params, doc)
+	var res *densify.Result
+	if s.cfg.Algorithm == ILP && s.cfg.Mode == Joint {
+		res, _ = ilp.Solve(g, scorer, s.cfg.ILPMaxNodes)
+	} else {
+		res = densify.Densify(g, scorer)
+	}
+	bs.EdgesRemoved += res.Removed
+
+	// Stage 3: canonicalization (§5).
+	c := canon.New(s.res.Patterns, s.res.Repo)
+	c.Populate(kb, doc, g, res)
+}
+
+// BuildKBForQuery retrieves documents for the query from the index and
+// builds the on-the-fly KB from them — the end-to-end query-driven flow of
+// §6. source restricts retrieval ("wikipedia", "news" or ""); size is the
+// number of documents.
+func (s *System) BuildKBForQuery(query string, source string, size int) (*store.KB, []*nlp.Document, *BuildStats) {
+	if s.res.Index == nil {
+		kb, bs := s.BuildKB(nil)
+		return kb, nil, bs
+	}
+	hits := s.res.Index.Search(query, size, source)
+	docs := make([]*nlp.Document, 0, len(hits))
+	for _, h := range hits {
+		docs = append(docs, cloneDoc(h.Doc))
+	}
+	kb, bs := s.BuildKB(docs)
+	return kb, docs, bs
+}
+
+// FilterTau returns the facts meeting the configured confidence threshold.
+func (s *System) FilterTau(kb *store.KB) []store.Fact {
+	return kb.Search(store.Query{MinConf: s.cfg.Tau})
+}
+
+// cloneDoc deep-copies a document so annotation does not mutate the
+// indexed original (documents are re-annotated per query).
+func cloneDoc(d *nlp.Document) *nlp.Document {
+	cp := *d
+	cp.Sentences = make([]nlp.Sentence, len(d.Sentences))
+	for i := range d.Sentences {
+		s := d.Sentences[i]
+		s.Tokens = append([]nlp.Token(nil), s.Tokens...)
+		s.Chunks = append([]nlp.Chunk(nil), s.Chunks...)
+		s.Mentions = append([]nlp.Mention(nil), s.Mentions...)
+		cp.Sentences[i] = s
+	}
+	cp.Anchors = append([]nlp.Anchor(nil), d.Anchors...)
+	return &cp
+}

@@ -1,0 +1,160 @@
+package qkbfly_test
+
+import (
+	"strings"
+	"testing"
+
+	"qkbfly"
+	"qkbfly/internal/corpus"
+	"qkbfly/internal/kb/store"
+	"qkbfly/internal/nlp/clause"
+	"qkbfly/internal/nlp/depparse"
+	"qkbfly/internal/search"
+	"qkbfly/internal/stats"
+)
+
+type fixture struct {
+	world *corpus.World
+	res   qkbfly.Resources
+}
+
+var fx *fixture
+
+func getFixture(t *testing.T) *fixture {
+	t.Helper()
+	if fx != nil {
+		return fx
+	}
+	w := corpus.NewWorld(corpus.SmallConfig())
+	pipe := clause.NewPipeline(w.Repo, depparse.Malt)
+	bg := w.BackgroundCorpus()
+	st := stats.Build(corpus.Docs(bg), w.Repo, pipe)
+	idx := search.New(corpus.Docs(append(append([]*corpus.GenDoc{}, bg...), w.NewsDataset(2)...)))
+	fx = &fixture{world: w, res: qkbfly.Resources{
+		Repo: w.Repo, Patterns: w.Patterns, Stats: st, Index: idx,
+	}}
+	return fx
+}
+
+func TestBuildKBEndToEnd(t *testing.T) {
+	f := getFixture(t)
+	sys := qkbfly.New(f.res, qkbfly.DefaultConfig())
+	docs := corpus.Docs(f.world.WikiDataset(10))
+	kb, bs := sys.BuildKB(docs)
+	if kb.Len() == 0 {
+		t.Fatal("empty KB")
+	}
+	if bs.Documents != 10 || bs.Sentences == 0 || bs.Clauses == 0 {
+		t.Errorf("stats = %+v", bs)
+	}
+	if len(bs.PerDocElapsed) != 10 {
+		t.Errorf("per-doc timings = %d", len(bs.PerDocElapsed))
+	}
+	// The KB must contain both linked and emerging entities.
+	if kb.EmergingCount() == 0 {
+		t.Error("no emerging entities")
+	}
+	if kb.EmergingCount() == len(kb.Entities()) {
+		t.Error("no linked entities")
+	}
+}
+
+func TestModesDiffer(t *testing.T) {
+	f := getFixture(t)
+	joint := qkbfly.New(f.res, qkbfly.DefaultConfig())
+	nounCfg := qkbfly.DefaultConfig()
+	nounCfg.Mode = qkbfly.NounOnly
+	noun := qkbfly.New(f.res, nounCfg)
+
+	jointKB, _ := joint.BuildKB(corpus.Docs(f.world.WikiDataset(10)))
+	nounKB, _ := noun.BuildKB(corpus.Docs(f.world.WikiDataset(10)))
+	// Without co-reference resolution the noun-only system extracts
+	// strictly fewer facts (pronoun-subject sentences are lost).
+	if nounKB.Len() >= jointKB.Len() {
+		t.Errorf("noun-only yield %d >= joint yield %d", nounKB.Len(), jointKB.Len())
+	}
+}
+
+func TestILPMode(t *testing.T) {
+	f := getFixture(t)
+	cfg := qkbfly.DefaultConfig()
+	cfg.Algorithm = qkbfly.ILP
+	sys := qkbfly.New(f.res, cfg)
+	kb, _ := sys.BuildKB(corpus.Docs(f.world.WikiDataset(5)))
+	if kb.Len() == 0 {
+		t.Fatal("ILP mode produced no facts")
+	}
+}
+
+func TestFilterTau(t *testing.T) {
+	f := getFixture(t)
+	cfg := qkbfly.DefaultConfig()
+	cfg.Tau = 0.5
+	sys := qkbfly.New(f.res, cfg)
+	kb, _ := sys.BuildKB(corpus.Docs(f.world.WikiDataset(10)))
+	filtered := sys.FilterTau(kb)
+	if len(filtered) > kb.Len() {
+		t.Error("filter added facts")
+	}
+	for _, fact := range filtered {
+		if fact.Confidence < 0.5 {
+			t.Errorf("fact below tau: %f", fact.Confidence)
+		}
+	}
+}
+
+func TestBuildKBForQuery(t *testing.T) {
+	f := getFixture(t)
+	sys := qkbfly.New(f.res, qkbfly.DefaultConfig())
+	id := f.world.EntitiesOfType("ACTOR")[0]
+	name := f.world.Entity(id).Name
+	kb, docs, _ := sys.BuildKBForQuery(name, "wikipedia", 1)
+	if len(docs) != 1 {
+		t.Fatalf("retrieved %d docs", len(docs))
+	}
+	if kb.Len() == 0 {
+		t.Fatal("query-driven KB empty")
+	}
+	// Facts about the queried entity must be present.
+	if facts := kb.FactsAbout(id); len(facts) == 0 {
+		t.Errorf("no facts about %s; entities: %v", id, kb.Entities())
+	}
+}
+
+func TestTypeSearchOnResultKB(t *testing.T) {
+	f := getFixture(t)
+	sys := qkbfly.New(f.res, qkbfly.DefaultConfig())
+	kb, _ := sys.BuildKB(corpus.Docs(f.world.WikiDataset(10)))
+	// The §6 demo search: Type: prefix on subjects.
+	res := kb.Search(store.Query{Subject: "Type:PERSON"})
+	if len(res) == 0 {
+		t.Error("Type:PERSON search empty")
+	}
+	for _, fact := range res {
+		rec := kb.Entity(fact.Subject.EntityID)
+		if rec == nil {
+			t.Fatalf("missing entity record for %s", fact.Subject.EntityID)
+		}
+		ok := false
+		for _, typ := range rec.Types {
+			if strings.EqualFold(typ, "PERSON") {
+				ok = true
+			}
+		}
+		if !ok {
+			t.Errorf("non-person subject %s in Type:PERSON results", fact.Subject.EntityID)
+		}
+	}
+}
+
+func TestQueryAgainIsIdempotent(t *testing.T) {
+	f := getFixture(t)
+	sys := qkbfly.New(f.res, qkbfly.DefaultConfig())
+	id := f.world.EntitiesOfType("ACTOR")[0]
+	name := f.world.Entity(id).Name
+	kb1, _, _ := sys.BuildKBForQuery(name, "wikipedia", 1)
+	kb2, _, _ := sys.BuildKBForQuery(name, "wikipedia", 1)
+	if kb1.Len() != kb2.Len() {
+		t.Errorf("repeated query changed yield: %d vs %d (index mutation?)", kb1.Len(), kb2.Len())
+	}
+}
