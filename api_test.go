@@ -1,0 +1,65 @@
+package qkbfly_test
+
+import (
+	"context"
+	"testing"
+
+	"qkbfly"
+	"qkbfly/internal/corpus"
+)
+
+// TestBuildKBContextMatchesWrappers: the back-compat wrappers are thin
+// adapters over BuildKBContext — all paths must produce identical KBs,
+// at any parallelism.
+func TestBuildKBContextMatchesWrappers(t *testing.T) {
+	f := getFixture(t)
+	sys := qkbfly.New(f.res, qkbfly.DefaultConfig())
+	const nDocs = 8
+	ctx := context.Background()
+
+	wrapKB, _ := sys.BuildKB(corpus.Docs(f.world.WikiDataset(nDocs)))
+	want := wrapKB.Fingerprint()
+
+	for _, p := range []int{1, 3} {
+		kb, bs, err := sys.BuildKBContext(ctx, corpus.Docs(f.world.WikiDataset(nDocs)),
+			qkbfly.WithParallelism(p))
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+		if kb.Fingerprint() != want {
+			t.Errorf("BuildKBContext(p=%d) differs from BuildKB", p)
+		}
+		if bs.Parallelism != p {
+			t.Errorf("p=%d: stats report parallelism %d", p, bs.Parallelism)
+		}
+	}
+
+	winKB, _ := sys.BuildKBWithCorefWindow(corpus.Docs(f.world.WikiDataset(nDocs)), 2)
+	optKB, _, err := sys.BuildKBContext(ctx, corpus.Docs(f.world.WikiDataset(nDocs)),
+		qkbfly.WithCorefWindow(2), qkbfly.WithParallelism(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if winKB.Fingerprint() != optKB.Fingerprint() {
+		t.Error("WithCorefWindow option differs from BuildKBWithCorefWindow")
+	}
+}
+
+// TestBuildKBForQueryContextCancel: a pre-cancelled context surfaces the
+// error and returns an empty (but usable) KB.
+func TestBuildKBForQueryContextCancel(t *testing.T) {
+	f := getFixture(t)
+	sys := qkbfly.New(f.res, qkbfly.DefaultConfig())
+	id := f.world.EntitiesOfType("ACTOR")[0]
+	name := f.world.Entity(id).Name
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	kb, _, _, err := sys.BuildKBForQueryContext(ctx, name, "wikipedia", 1)
+	if err == nil {
+		t.Fatal("expected context error")
+	}
+	if kb == nil || kb.Len() != 0 {
+		t.Errorf("cancelled query build returned %v", kb)
+	}
+}

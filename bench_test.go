@@ -6,6 +6,8 @@
 package qkbfly_test
 
 import (
+	"context"
+	"runtime"
 	"testing"
 
 	"qkbfly"
@@ -83,6 +85,50 @@ func BenchmarkTable9QA(b *testing.B) {
 		experiments.RunTable9(env, 25)
 	}
 }
+
+// ---------------------------------------------------------------------------
+// Engine benchmarks: the serial path versus the concurrent staged engine
+// over the same batch. On a multi-core machine the parallel build wins by
+// roughly the worker count while producing a byte-identical KB (asserted
+// via store.KB.Fingerprint before timing starts).
+// ---------------------------------------------------------------------------
+
+func benchBuildKBAtParallelism(b *testing.B, parallelism int) {
+	env := getBenchEnv(b)
+	sys := env.System(qkbfly.Joint, qkbfly.Greedy)
+	const nDocs = 24
+	ctx := context.Background()
+
+	// Identity check outside the timed region: the engine at this
+	// parallelism must produce the same KB as the serial path.
+	serialKB, _, _ := sys.BuildKBContext(ctx, corpus.Docs(env.World.WikiDataset(nDocs)),
+		qkbfly.WithParallelism(1))
+	parKB, _, err := sys.BuildKBContext(ctx, corpus.Docs(env.World.WikiDataset(nDocs)),
+		qkbfly.WithParallelism(parallelism))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if serialKB.Fingerprint() != parKB.Fingerprint() {
+		b.Fatalf("parallel KB (p=%d) differs from serial KB", parallelism)
+	}
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		docs := corpus.Docs(env.World.WikiDataset(nDocs))
+		b.StartTimer()
+		if _, _, err := sys.BuildKBContext(ctx, docs, qkbfly.WithParallelism(parallelism)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBuildKBSerial is the baseline: the staged pipeline with a
+// single worker, equivalent to the original per-document loop.
+func BenchmarkBuildKBSerial(b *testing.B) { benchBuildKBAtParallelism(b, 1) }
+
+// BenchmarkBuildKBParallel runs the same batch with one worker per CPU.
+func BenchmarkBuildKBParallel(b *testing.B) { benchBuildKBAtParallelism(b, runtime.NumCPU()) }
 
 // ---------------------------------------------------------------------------
 // Component benchmarks: the per-document cost the paper reports in

@@ -1,0 +1,82 @@
+package qkbfly
+
+import (
+	"reflect"
+	"testing"
+
+	"qkbfly/internal/corpus"
+	"qkbfly/internal/nlp"
+	"qkbfly/internal/nlp/clause"
+	"qkbfly/internal/nlp/depparse"
+)
+
+// snapshotDoc makes an independent deep copy for later comparison, without
+// using cloneDoc itself (the function under test).
+func snapshotDoc(d *nlp.Document) *nlp.Document {
+	cp := *d
+	cp.Sentences = make([]nlp.Sentence, len(d.Sentences))
+	for i := range d.Sentences {
+		s := d.Sentences[i]
+		s.Tokens = append([]nlp.Token(nil), s.Tokens...)
+		s.Chunks = append([]nlp.Chunk(nil), s.Chunks...)
+		s.Mentions = append([]nlp.Mention(nil), s.Mentions...)
+		cp.Sentences[i] = s
+	}
+	cp.Anchors = append([]nlp.Anchor(nil), d.Anchors...)
+	return &cp
+}
+
+// TestCloneDocIsolation: annotating a cloned document (what every
+// query-driven build does to indexed documents) must not mutate the
+// original in any field — tokens, chunks, mentions or anchors.
+func TestCloneDocIsolation(t *testing.T) {
+	world := corpus.NewWorld(corpus.SmallConfig())
+	pipe := clause.NewPipeline(world.Repo, depparse.Malt)
+
+	orig := corpus.Docs(world.WikiDataset(1))[0]
+	// Annotate once so the original carries the full mutable state
+	// (tokens, POS, NER, mentions, chunks, dependency arcs).
+	pipe.AnnotateDocument(orig)
+	before := snapshotDoc(orig)
+
+	cl := cloneDoc(orig)
+	pipe.AnnotateDocument(cl)
+	if !reflect.DeepEqual(before, orig) {
+		t.Fatal("annotating a clone mutated the original document")
+	}
+
+	// Direct writes into every cloned slice must not show through either.
+	if len(cl.Sentences) == 0 || len(cl.Sentences[0].Tokens) == 0 {
+		t.Fatal("clone has no sentences/tokens to perturb")
+	}
+	cl.Sentences[0].Tokens[0].Text = "MUTATED"
+	cl.Sentences[0].Tokens[0].NER = nlp.NERPerson
+	if len(cl.Sentences[0].Chunks) > 0 {
+		cl.Sentences[0].Chunks[0].Start = -99
+	}
+	if len(cl.Sentences[0].Mentions) > 0 {
+		cl.Sentences[0].Mentions[0].Start = -99
+	}
+	if len(cl.Anchors) > 0 {
+		cl.Anchors[0].EntityID = "MUTATED"
+	}
+	if !reflect.DeepEqual(before, orig) {
+		t.Fatal("writing into a clone's slices mutated the original document")
+	}
+}
+
+// TestCloneDocIndependentAnnotation: two clones of the same indexed
+// document annotate to identical results — re-annotation is reproducible.
+func TestCloneDocIndependentAnnotation(t *testing.T) {
+	world := corpus.NewWorld(corpus.SmallConfig())
+	pipe := clause.NewPipeline(world.Repo, depparse.Malt)
+	orig := corpus.Docs(world.WikiDataset(1))[0]
+	pipe.AnnotateDocument(orig)
+
+	c1, c2 := cloneDoc(orig), cloneDoc(orig)
+	pipe.AnnotateDocument(c1)
+	pipe.AnnotateDocument(c2)
+	if !reflect.DeepEqual(c1, c2) {
+		t.Fatal("two clones annotated differently")
+	}
+}

@@ -26,6 +26,7 @@ func main() {
 		sample   = flag.Int("sample", 200, "assessment sample size")
 		tune     = flag.Bool("tune", false, "run the §4 hyper-parameter tuning")
 		ablation = flag.Bool("ablation", false, "run the DESIGN.md ablation studies")
+		par      = flag.Int("parallelism", 0, "engine worker-pool size for KB builds (0 = one per CPU)")
 	)
 	flag.Parse()
 
@@ -65,6 +66,7 @@ func main() {
 	start := time.Now()
 	fmt.Fprintf(os.Stderr, "building world, background corpus and statistics...\n")
 	env := experiments.NewEnv(cfg, 3)
+	env.Parallelism = *par
 	fmt.Fprintf(os.Stderr, "fixture ready in %v (%d entities, %d facts, %d background docs)\n",
 		time.Since(start).Round(time.Millisecond), len(env.World.Order), len(env.World.Facts), len(env.BG))
 

@@ -4,9 +4,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"qkbfly"
 	"qkbfly/internal/corpus"
@@ -28,8 +30,15 @@ func main() {
 		tau     = flag.Float64("tau", 0.0, "confidence threshold")
 		limit   = flag.Int("limit", 30, "max facts to print")
 		seed    = flag.Int64("seed", 1, "world seed")
+		par     = flag.Int("parallelism", 0, "engine worker-pool size (0 = one per CPU)")
+		timings = flag.Bool("timings", false, "print per-stage engine timings")
 	)
 	flag.Parse()
+
+	// ^C cancels the build; the KB over the already-processed documents is
+	// still printed.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	cfg := corpus.DefaultConfig()
 	cfg.Seed = *seed
@@ -49,13 +58,22 @@ func main() {
 		*query = w.Entities[w.EntitiesOfType("ACTOR")[0]].Name
 		fmt.Fprintf(os.Stderr, "no -query given; using %q\n", *query)
 	}
-	kb, docs, bs := sys.BuildKBForQuery(*query, *source, *size)
+	kb, docs, bs, err := sys.BuildKBForQueryContext(ctx, *query, *source, *size,
+		qkbfly.WithParallelism(*par))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "build interrupted (%v); showing partial KB\n", err)
+	}
 	fmt.Printf("LOG:\n")
 	for i, d := range docs {
 		fmt.Printf("  %d - %s (%s)\n", i+1, d.Title, d.ID)
 	}
-	fmt.Printf("built on-the-fly KB: %d facts, %d entities (%d emerging) in %v\n",
-		kb.Len(), len(kb.Entities()), kb.EmergingCount(), bs.Elapsed)
+	fmt.Printf("built on-the-fly KB: %d facts, %d entities (%d emerging) in %v (%d workers)\n",
+		kb.Len(), len(kb.Entities()), kb.EmergingCount(), bs.Elapsed, bs.Parallelism)
+	if *timings {
+		st := bs.StageElapsed
+		fmt.Printf("stage timings (CPU): annotate %v, graph %v, densify %v, canonicalize %v, merge %v\n",
+			st.Annotate, st.Graph, st.Densify, st.Canonicalize, st.Merge)
+	}
 
 	results := kb.Search(store.Query{
 		Subject: *subject, Predicate: *pred, Object: *object, MinConf: *tau,

@@ -4,7 +4,10 @@
 package main
 
 import (
+	"context"
 	"fmt"
+	"runtime"
+	"time"
 
 	"qkbfly"
 	"qkbfly/internal/corpus"
@@ -28,14 +31,25 @@ func main() {
 		Repo: world.Repo, Patterns: world.Patterns, Stats: st, Index: index,
 	}, qkbfly.DefaultConfig())
 
-	// A journalist scans the emerging events and queries each one.
+	// A journalist scans the emerging events and queries each one. Each
+	// query gets a deadline — a newsroom dashboard cannot wait on a slow
+	// batch, and a cancelled build still returns the KB over the
+	// already-processed stories.
 	for i := range world.Events {
 		ev := &world.Events[i]
 		if i >= 5 {
 			break
 		}
 		query := ev.Queries[0]
-		kb, docs, _ := sys.BuildKBForQuery(query, "news", 5)
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		kb, docs, _, err := sys.BuildKBForQueryContext(ctx, query, "news", 5,
+			qkbfly.WithParallelism(runtime.NumCPU()))
+		cancel()
+		if err != nil {
+			fmt.Printf("== event %d (%s): query %q timed out; partial KB with %d facts\n",
+				ev.ID, ev.Kind, query, kb.Len())
+			continue
+		}
 		fmt.Printf("== event %d (%s): query %q -> %d stories, %d facts\n",
 			ev.ID, ev.Kind, query, len(docs), kb.Len())
 		// Highlight the up-to-date knowledge: facts involving emerging

@@ -5,6 +5,7 @@ package main
 
 import (
 	"fmt"
+	"runtime"
 
 	"qkbfly"
 	"qkbfly/internal/corpus"
@@ -14,11 +15,15 @@ import (
 
 func main() {
 	env := experiments.NewEnv(corpus.SmallConfig(), 3)
+	// Per-question KBs are built on the concurrent staged engine; answer
+	// latency is what matters at question time, so use every core.
+	env.Parallelism = runtime.NumCPU()
 
 	// Train the answer classifier on WebQuestions-style questions
 	// generated from background facts (Appendix B, "Classifier Training").
 	sys := env.System(qkbfly.Joint, qkbfly.Greedy)
-	base := &qa.System{QKB: sys, Repo: env.World.Repo, Index: env.Index, NewsSize: 5}
+	base := &qa.System{QKB: sys, Repo: env.World.Repo, Index: env.Index, NewsSize: 5,
+		Parallelism: env.Parallelism}
 	base.Model = experiments.TrainQAModel(env, base, 40)
 
 	bench := env.World.QABenchmark()

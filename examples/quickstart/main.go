@@ -4,7 +4,9 @@
 package main
 
 import (
+	"context"
 	"fmt"
+	"runtime"
 
 	"qkbfly"
 	"qkbfly/internal/corpus"
@@ -37,13 +39,23 @@ func main() {
 		Index:    index,
 	}, qkbfly.DefaultConfig())
 
-	// 4. Query-driven KB construction: pick the world's first actor.
+	// 4. Query-driven KB construction: pick the world's first actor. The
+	//    build runs on the concurrent staged engine — one worker per CPU
+	//    here — and is cancellable through the context.
 	query := world.Entities[world.EntitiesOfType("ACTOR")[0]].Name
 	fmt.Printf("query: %q\n\n", query)
-	kb, docs, bs := sys.BuildKBForQuery(query, "wikipedia", 1)
+	kb, docs, bs, err := sys.BuildKBForQueryContext(context.Background(), query, "wikipedia", 1,
+		qkbfly.WithParallelism(runtime.NumCPU()))
+	if err != nil {
+		fmt.Println("build cancelled:", err)
+		return
+	}
 
-	fmt.Printf("processed %d document(s) in %v: %d facts, %d entities (%d emerging)\n\n",
-		len(docs), bs.Elapsed, kb.Len(), len(kb.Entities()), kb.EmergingCount())
+	fmt.Printf("processed %d document(s) in %v on %d worker(s): %d facts, %d entities (%d emerging)\n",
+		len(docs), bs.Elapsed, bs.Parallelism, kb.Len(), len(kb.Entities()), kb.EmergingCount())
+	fmt.Printf("stage time: annotate %v, graph %v, densify %v, canonicalize %v\n\n",
+		bs.StageElapsed.Annotate, bs.StageElapsed.Graph, bs.StageElapsed.Densify,
+		bs.StageElapsed.Canonicalize)
 
 	// 5. Inspect the on-the-fly KB.
 	for _, f := range kb.Facts() {

@@ -1,0 +1,3 @@
+module qkbfly
+
+go 1.24

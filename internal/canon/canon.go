@@ -6,6 +6,7 @@
 package canon
 
 import (
+	"sort"
 	"strings"
 
 	"qkbfly/internal/densify"
@@ -110,8 +111,16 @@ func (c *Canonicalizer) resolveNodes(kb *store.KB, doc *nlp.Document, g *graph.G
 		}
 	}
 
-	for _, grp := range groups {
-		c.resolveGroup(kb, g, grp, res, values)
+	// Resolve groups in sorted-root order: map iteration order would make
+	// entity-record insertion order (and thus Entities()) vary run to run,
+	// which the deterministic parallel merge cannot tolerate.
+	roots := make([]int, 0, len(groups))
+	for r := range groups {
+		roots = append(roots, r)
+	}
+	sort.Ints(roots)
+	for _, r := range roots {
+		c.resolveGroup(kb, g, groups[r], res, values)
 	}
 	// Pronouns take their antecedent's value.
 	for _, n := range g.Nodes {

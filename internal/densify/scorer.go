@@ -52,16 +52,26 @@ type Scorer struct {
 // NewScorer prepares a scorer for one document.
 func NewScorer(st *stats.Stats, repo *entityrepo.Repo, p Params, doc *nlp.Document) *Scorer {
 	s := &Scorer{
-		Stats: st, Repo: repo, Params: p, Doc: doc,
+		Stats: st, Repo: repo, Params: p,
 		cohCache:  make(map[[2]string]float64),
 		typeCache: make(map[string][]string),
 	}
+	s.Reset(doc)
+	return s
+}
+
+// Reset retargets the scorer at a new document, recomputing the sentence
+// context vectors. The entity-level caches (pairwise coherence, type
+// closures) depend only on the background statistics and repository, so
+// they survive the reset — a worker that processes many documents reuses
+// them across its whole batch.
+func (s *Scorer) Reset(doc *nlp.Document) {
+	s.Doc = doc
 	s.sentVec = make([]map[string]float64, len(doc.Sentences))
 	s.sentVecSum = make([]float64, len(doc.Sentences))
 	for i := range doc.Sentences {
-		s.sentVec[i], s.sentVecSum[i] = st.SentenceVector(&doc.Sentences[i])
+		s.sentVec[i], s.sentVecSum[i] = s.Stats.SentenceVector(&doc.Sentences[i])
 	}
-	return s
 }
 
 // MeansWeight is w(ni, eij) = α1·prior + α2·sim (§4, weight (1)).

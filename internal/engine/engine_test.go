@@ -1,0 +1,190 @@
+package engine_test
+
+import (
+	"context"
+	"runtime"
+	"testing"
+
+	"qkbfly/internal/canon"
+	"qkbfly/internal/corpus"
+	"qkbfly/internal/densify"
+	"qkbfly/internal/engine"
+	"qkbfly/internal/graph"
+	"qkbfly/internal/kb/store"
+	"qkbfly/internal/nlp"
+	"qkbfly/internal/nlp/clause"
+	"qkbfly/internal/nlp/depparse"
+	"qkbfly/internal/stats"
+)
+
+type fixture struct {
+	world *corpus.World
+	pipe  *clause.Pipeline
+	stats *stats.Stats
+}
+
+var fx *fixture
+
+func getFixture(t *testing.T) *fixture {
+	t.Helper()
+	if fx == nil {
+		w := corpus.NewWorld(corpus.SmallConfig())
+		pipe := clause.NewPipeline(w.Repo, depparse.Malt)
+		st := stats.Build(corpus.Docs(w.BackgroundCorpus()), w.Repo, pipe)
+		fx = &fixture{world: w, pipe: pipe, stats: st}
+	}
+	return fx
+}
+
+func (f *fixture) config() engine.Config {
+	return engine.Config{
+		Repo:            f.world.Repo,
+		Patterns:        f.world.Patterns,
+		Stats:           f.stats,
+		Pipe:            f.pipe,
+		Params:          densify.DefaultParams(),
+		ILPMaxNodes:     2_000_000,
+		IncludePronouns: true,
+		CorefWindow:     -1,
+	}
+}
+
+func (f *fixture) docs(n int) []*nlp.Document {
+	return corpus.Docs(f.world.WikiDataset(n))
+}
+
+// serialReference replays the pre-engine per-document loop: one shared KB,
+// stage state freshly allocated for every document.
+func (f *fixture) serialReference(docs []*nlp.Document) *store.KB {
+	kb := store.New()
+	for _, doc := range docs {
+		clausesBySent := f.pipe.AnnotateDocument(doc)
+		b := graph.NewBuilder(f.world.Repo)
+		b.IncludePronouns = true
+		g := b.Build(doc, clausesBySent)
+		scorer := densify.NewScorer(f.stats, f.world.Repo, densify.DefaultParams(), doc)
+		res := densify.Densify(g, scorer)
+		canon.New(f.world.Patterns, f.world.Repo).Populate(kb, doc, g, res)
+	}
+	return kb
+}
+
+// TestDeterministicAcrossParallelism: the engine at parallelism 1, 4 and
+// NumCPU must produce exactly the KB of the old serial path — same fact
+// set, entity records and confidences.
+func TestDeterministicAcrossParallelism(t *testing.T) {
+	f := getFixture(t)
+	const nDocs = 12
+	want := f.serialReference(f.docs(nDocs)).Fingerprint()
+	if want == "" {
+		t.Fatal("serial reference produced an empty KB")
+	}
+	for _, p := range []int{1, 4, runtime.NumCPU()} {
+		kb, bs, err := engine.New(f.config(), engine.WithParallelism(p)).
+			Run(context.Background(), f.docs(nDocs))
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+		if got := kb.Fingerprint(); got != want {
+			t.Errorf("p=%d: KB differs from serial reference", p)
+		}
+		if bs.Documents != nDocs {
+			t.Errorf("p=%d: Documents = %d, want %d", p, bs.Documents, nDocs)
+		}
+	}
+}
+
+// TestRepeatedRunsIdentical guards against map-iteration or scheduling
+// nondeterminism leaking into the merged KB.
+func TestRepeatedRunsIdentical(t *testing.T) {
+	f := getFixture(t)
+	var first string
+	for i := 0; i < 3; i++ {
+		kb, _, err := engine.New(f.config(), engine.WithParallelism(4)).
+			Run(context.Background(), f.docs(8))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			first = kb.Fingerprint()
+		} else if kb.Fingerprint() != first {
+			t.Fatalf("run %d differs from run 0", i)
+		}
+	}
+}
+
+// TestStageTimings: the extended BuildStats must attribute time to every
+// pipeline stage and report per-document wall times in document order.
+func TestStageTimings(t *testing.T) {
+	f := getFixture(t)
+	const nDocs = 6
+	_, bs, err := engine.New(f.config(), engine.WithParallelism(2)).
+		Run(context.Background(), f.docs(nDocs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bs.Parallelism != 2 {
+		t.Errorf("Parallelism = %d, want 2", bs.Parallelism)
+	}
+	if len(bs.PerDocElapsed) != nDocs {
+		t.Errorf("PerDocElapsed = %d entries, want %d", len(bs.PerDocElapsed), nDocs)
+	}
+	if bs.Sentences == 0 || bs.Clauses == 0 {
+		t.Errorf("counts not accumulated: %+v", bs)
+	}
+	st := bs.StageElapsed
+	if st.Annotate <= 0 || st.Graph <= 0 || st.Densify <= 0 || st.Canonicalize <= 0 {
+		t.Errorf("stage timings not populated: %+v", st)
+	}
+	if sum := st.Annotate + st.Graph + st.Densify + st.Canonicalize; sum <= 0 {
+		t.Errorf("total stage time %v", sum)
+	}
+}
+
+// TestCancellation: a cancelled context stops the run; no documents are
+// claimed and the error is surfaced.
+func TestCancellation(t *testing.T) {
+	f := getFixture(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	kb, bs, err := engine.New(f.config(), engine.WithParallelism(2)).Run(ctx, f.docs(6))
+	if err == nil {
+		t.Fatal("expected context error")
+	}
+	if bs.Documents != 0 || kb.Len() != 0 {
+		t.Errorf("cancelled run processed %d docs, %d facts", bs.Documents, kb.Len())
+	}
+}
+
+// TestCorefWindowOption: the option must reach the graph builder — with a
+// zero backward window, pronouns cannot link across sentences, so the
+// joint system extracts no more facts than with the paper's window of 5.
+func TestCorefWindowOption(t *testing.T) {
+	f := getFixture(t)
+	const nDocs = 10
+	def, _, err := engine.New(f.config(), engine.WithParallelism(2)).
+		Run(context.Background(), f.docs(nDocs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	zero, _, err := engine.New(f.config(), engine.WithParallelism(2), engine.WithCorefWindow(0)).
+		Run(context.Background(), f.docs(nDocs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if zero.Len() > def.Len() {
+		t.Errorf("window 0 yielded %d facts > default window's %d", zero.Len(), def.Len())
+	}
+}
+
+// TestEmptyBatch: zero documents is a valid (empty) build.
+func TestEmptyBatch(t *testing.T) {
+	f := getFixture(t)
+	kb, bs, err := engine.New(f.config()).Run(context.Background(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kb.Len() != 0 || bs.Documents != 0 {
+		t.Errorf("empty batch: %d facts, %d docs", kb.Len(), bs.Documents)
+	}
+}

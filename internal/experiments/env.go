@@ -29,6 +29,11 @@ type Env struct {
 	Assessor *eval.Assessor
 	// NewsPerEvent used when building the index and news dataset.
 	NewsPerEvent int
+	// Parallelism is the engine worker-pool size for every system built
+	// from this env; 0 means one worker per CPU. Experiment results are
+	// identical at any setting (the engine merge is deterministic) — only
+	// the wall time changes.
+	Parallelism int
 }
 
 // NewEnv builds the fixture. Pass corpus.SmallConfig() in tests.
@@ -62,6 +67,7 @@ func (e *Env) System(mode qkbfly.Mode, alg qkbfly.Algorithm) *qkbfly.System {
 	cfg := qkbfly.DefaultConfig()
 	cfg.Mode = mode
 	cfg.Algorithm = alg
+	cfg.Parallelism = e.Parallelism
 	return qkbfly.New(qkbfly.Resources{
 		Repo: e.World.Repo, Patterns: e.World.Patterns,
 		Stats: e.Stats, Index: e.Index,

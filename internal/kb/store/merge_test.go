@@ -1,0 +1,138 @@
+package store
+
+import (
+	"testing"
+)
+
+func fact(doc string, sent int, subj, rel string, conf float64, objs ...Value) Fact {
+	return Fact{
+		Subject:    Value{EntityID: subj},
+		Relation:   rel,
+		Pattern:    rel,
+		Objects:    objs,
+		Confidence: conf,
+		Source:     Provenance{DocID: doc, SentIndex: sent},
+	}
+}
+
+// TestMergeDedupsAndRenumbers: merging shards must deduplicate repeated
+// facts and assign compact IDs equal to the fact's index.
+func TestMergeDedupsAndRenumbers(t *testing.T) {
+	a := New()
+	a.AddFact(fact("d1", 0, "X", "married", 0.8, Value{EntityID: "Y"}))
+	a.AddFact(fact("d1", 1, "X", "born in", 0.6, Value{Literal: "Paris"}))
+	b := New()
+	b.AddFact(fact("d2", 0, "X", "married", 0.7, Value{EntityID: "Y"})) // duplicate, lower conf
+	b.AddFact(fact("d2", 1, "Z", "acted in", 0.9, Value{EntityID: "F"}))
+
+	kb := New()
+	kb.Merge(a)
+	kb.Merge(b)
+	if kb.Len() != 3 {
+		t.Fatalf("merged %d facts, want 3 (duplicate not collapsed)", kb.Len())
+	}
+	for i, f := range kb.Facts() {
+		if f.ID != i {
+			t.Errorf("fact %d has ID %d; IDs must be compact and index-aligned", i, f.ID)
+		}
+	}
+	// The duplicate keeps the higher confidence and its provenance.
+	got := kb.Search(Query{Predicate: "married"})
+	if len(got) != 1 || got[0].Confidence != 0.8 || got[0].Source.DocID != "d1" {
+		t.Errorf("duplicate resolution wrong: %+v", got)
+	}
+}
+
+// TestMergeOrderIndependent: merging the same shards in either order must
+// fingerprint identically — including confidence ties, which break toward
+// the smaller provenance rather than insertion order.
+func TestMergeOrderIndependent(t *testing.T) {
+	mk := func() (*KB, *KB) {
+		a := New()
+		a.AddEntity(EntityRecord{ID: "X", Name: "X", Mentions: []string{"X"}})
+		a.AddFact(fact("d2", 3, "X", "married", 0.5, Value{EntityID: "Y"})) // tie, later doc
+		a.AddFact(fact("d1", 0, "X", "born in", 0.4, Value{Literal: "Oslo"}))
+		b := New()
+		b.AddEntity(EntityRecord{ID: "X", Name: "X", Mentions: []string{"Mr. X"}})
+		b.AddFact(fact("d1", 1, "X", "married", 0.5, Value{EntityID: "Y"})) // tie, earlier doc
+		return a, b
+	}
+
+	a1, b1 := mk()
+	ab := New()
+	ab.Merge(a1)
+	ab.Merge(b1)
+
+	a2, b2 := mk()
+	ba := New()
+	ba.Merge(b2)
+	ba.Merge(a2)
+
+	if ab.Fingerprint() != ba.Fingerprint() {
+		t.Fatalf("merge is order-dependent:\n--- a,b ---\n%s\n--- b,a ---\n%s",
+			ab.Fingerprint(), ba.Fingerprint())
+	}
+	// The tie must have resolved to d1's provenance in both.
+	for _, kb := range []*KB{ab, ba} {
+		got := kb.Search(Query{Predicate: "married"})
+		if len(got) != 1 || got[0].Source.DocID != "d1" || got[0].Source.SentIndex != 1 {
+			t.Errorf("tie-break wrong: %+v", got)
+		}
+	}
+}
+
+// TestMergeDoesNotAliasShard: mutating a shard after the merge must not
+// show through into the merged KB.
+func TestMergeDoesNotAliasShard(t *testing.T) {
+	shard := New()
+	shard.AddEntity(EntityRecord{ID: "X", Name: "X", Mentions: []string{"X"}, Types: []string{"PERSON"}})
+	shard.AddFact(fact("d1", 0, "X", "married", 0.8, Value{EntityID: "Y"}))
+
+	kb := New()
+	kb.Merge(shard)
+	shard.Facts()[0].Objects[0] = Value{Literal: "CLOBBERED"}
+	shard.Entity("X").Mentions[0] = "CLOBBERED"
+
+	if got := kb.Facts()[0].Objects[0]; got.EntityID != "Y" {
+		t.Errorf("merged fact aliases shard objects: %+v", got)
+	}
+	if got := kb.Entity("X").Mentions[0]; got != "X" {
+		t.Errorf("merged entity aliases shard mentions: %q", got)
+	}
+}
+
+// TestAddFactTieBreakDeterministic: equal-confidence duplicates keep the
+// lexicographically smaller provenance regardless of insertion order.
+func TestAddFactTieBreakDeterministic(t *testing.T) {
+	kb1 := New()
+	kb1.AddFact(fact("d1", 2, "X", "married", 0.5, Value{EntityID: "Y"}))
+	kb1.AddFact(fact("d1", 0, "X", "married", 0.5, Value{EntityID: "Y"}))
+
+	kb2 := New()
+	kb2.AddFact(fact("d1", 0, "X", "married", 0.5, Value{EntityID: "Y"}))
+	kb2.AddFact(fact("d1", 2, "X", "married", 0.5, Value{EntityID: "Y"}))
+
+	s1, s2 := kb1.Facts()[0].Source, kb2.Facts()[0].Source
+	if s1 != s2 {
+		t.Fatalf("tie-break depends on order: %+v vs %+v", s1, s2)
+	}
+	if s1.SentIndex != 0 {
+		t.Errorf("tie kept sentence %d, want 0", s1.SentIndex)
+	}
+}
+
+// TestFingerprintInsensitiveToInsertionOrder: the fingerprint compares KB
+// content, not construction history.
+func TestFingerprintInsensitiveToInsertionOrder(t *testing.T) {
+	kb1 := New()
+	kb1.AddFact(fact("d1", 0, "A", "r1", 0.5, Value{EntityID: "B"}))
+	kb1.AddFact(fact("d1", 1, "C", "r2", 0.6, Value{EntityID: "D"}))
+
+	kb2 := New()
+	kb2.AddFact(fact("d1", 1, "C", "r2", 0.6, Value{EntityID: "D"}))
+	kb2.AddFact(fact("d1", 0, "A", "r1", 0.5, Value{EntityID: "B"}))
+
+	if kb1.Fingerprint() != kb2.Fingerprint() {
+		t.Fatal("fingerprint depends on insertion order")
+	}
+}

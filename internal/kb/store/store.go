@@ -9,6 +9,7 @@ package store
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 
 	"qkbfly/internal/kb/entityrepo"
@@ -95,10 +96,13 @@ func New() *KB {
 }
 
 // AddEntity registers (or extends) an entity record. Mentions are merged.
+// The record's slices are copied, so a record lifted from another KB (as
+// Merge does with engine shards) never aliases the source's storage.
 func (kb *KB) AddEntity(rec EntityRecord) *EntityRecord {
 	e, ok := kb.entities[rec.ID]
 	if !ok {
 		cp := rec
+		cp.Mentions = append([]string(nil), rec.Mentions...)
 		cp.Types = entityrepo.TypeClosure(rec.Types)
 		kb.entities[rec.ID] = &cp
 		kb.order = append(kb.order, rec.ID)
@@ -141,15 +145,22 @@ func (kb *KB) EmergingCount() int {
 }
 
 // AddFact appends a fact, deduplicating exact repeats (same subject,
-// relation and objects); on a duplicate the higher confidence wins.
-// It returns the fact ID.
+// relation and objects); on a duplicate the higher confidence wins, and a
+// confidence tie is broken toward the lexicographically smaller provenance
+// so the surviving fact does not depend on insertion order (shards merged
+// in any partitioning converge on the same record). It returns the fact ID,
+// which is always the fact's index in Facts().
 func (kb *KB) AddFact(f Fact) int {
 	key := f.dedupKey()
 	for _, i := range kb.bySubject[subjectKey(f.Subject)] {
 		if kb.facts[i].dedupKey() == key {
-			if f.Confidence > kb.facts[i].Confidence {
+			if f.Confidence > kb.facts[i].Confidence ||
+				(f.Confidence == kb.facts[i].Confidence && provLess(f.Source, kb.facts[i].Source)) {
 				kb.facts[i].Confidence = f.Confidence
 				kb.facts[i].Source = f.Source
+				// The surface pattern travels with its provenance: the
+				// stored fact must cite a sentence that contains it.
+				kb.facts[i].Pattern = f.Pattern
 			}
 			return kb.facts[i].ID
 		}
@@ -172,6 +183,14 @@ func (f *Fact) dedupKey() string {
 		parts = append(parts, subjectKey(o))
 	}
 	return strings.Join(parts, "|")
+}
+
+// provLess orders provenances by (DocID, SentIndex).
+func provLess(a, b Provenance) bool {
+	if a.DocID != b.DocID {
+		return a.DocID < b.DocID
+	}
+	return a.SentIndex < b.SentIndex
 }
 
 func subjectKey(v Value) string {
@@ -302,14 +321,47 @@ func (kb *KB) Relations() []string {
 	return out
 }
 
-// Merge adds every fact and entity of other into kb.
+// Merge adds every fact and entity of other into kb. Facts are
+// re-numbered compactly in merge order and deduplicated against the
+// receiver (AddFact's deterministic tie-break makes the surviving
+// confidence and provenance independent of which shard arrived first);
+// object slices are copied so the shard can be discarded or mutated
+// afterwards without aliasing the merged KB.
 func (kb *KB) Merge(other *KB) {
 	for _, e := range other.Entities() {
 		kb.AddEntity(*e)
 	}
 	for _, f := range other.Facts() {
+		f.Objects = append([]Value(nil), f.Objects...)
 		kb.AddFact(f)
 	}
+}
+
+// Fingerprint renders the KB's semantic content — facts with confidences
+// and provenance, entity records with mentions and types — as a sorted,
+// insertion-order-independent string. Two KBs built from the same
+// documents fingerprint identically regardless of how the work was
+// partitioned; tests and benchmarks use it to prove the parallel engine
+// matches the serial path.
+func (kb *KB) Fingerprint() string {
+	lines := make([]string, 0, len(kb.facts)+len(kb.order))
+	for i := range kb.facts {
+		f := &kb.facts[i]
+		lines = append(lines, fmt.Sprintf("f %s conf=%s src=%s:%d",
+			f.String(), strconv.FormatFloat(f.Confidence, 'g', -1, 64),
+			f.Source.DocID, f.Source.SentIndex))
+	}
+	for _, id := range kb.order {
+		e := kb.entities[id]
+		mentions := append([]string(nil), e.Mentions...)
+		sort.Strings(mentions)
+		types := append([]string(nil), e.Types...)
+		sort.Strings(types)
+		lines = append(lines, fmt.Sprintf("e %s name=%q emerging=%t mentions=%v types=%v",
+			e.ID, e.Name, e.Emerging, mentions, types))
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
 }
 
 func contains(xs []string, x string) bool {

@@ -9,6 +9,7 @@
 package qa
 
 import (
+	"context"
 	"sort"
 	"strings"
 
@@ -45,6 +46,9 @@ type System struct {
 	Sources string
 	// MaxAnswers caps the returned answer list.
 	MaxAnswers int
+	// Parallelism is the engine worker-pool size for the per-question KB
+	// build; 0 means one worker per CPU.
+	Parallelism int
 }
 
 // Name implements Answerer.
@@ -63,8 +67,13 @@ func (s *System) Answer(question string) []string {
 	if len(docs) == 0 {
 		return nil
 	}
-	// Step 2: build the question-specific on-the-fly KB.
-	kb, _ := s.QKB.BuildKB(docs)
+	// Step 2: build the question-specific on-the-fly KB. Only a non-zero
+	// Parallelism overrides the QKB system's own configured pool size.
+	var opts []qkbfly.Option
+	if s.Parallelism > 0 {
+		opts = append(opts, qkbfly.WithParallelism(s.Parallelism))
+	}
+	kb, _, _ := s.QKB.BuildKBContext(context.Background(), docs, opts...)
 	// Steps 3-4: candidates, type filter, classification.
 	cands := s.Candidates(question, qents, kb)
 	return s.rank(cands)

@@ -11,17 +11,20 @@
 //
 //	world := corpus.NewWorld(corpus.DefaultConfig())   // or your own docs
 //	sys := qkbfly.New(qkbfly.Resources{...}, qkbfly.DefaultConfig())
-//	kb := sys.BuildKB(docs)
+//	kb, _, err := sys.BuildKBContext(ctx, docs, qkbfly.WithParallelism(8))
 //	facts := kb.Search(store.Query{Subject: "Type:MUSICAL_ARTIST"})
+//
+// Document batches are executed by the concurrent staged engine
+// (internal/engine): a worker pool runs the four-stage pipeline with
+// reusable per-worker state and merges per-document KB shards
+// deterministically, so any parallelism level yields the same KB.
 package qkbfly
 
 import (
-	"time"
+	"context"
 
-	"qkbfly/internal/canon"
 	"qkbfly/internal/densify"
-	"qkbfly/internal/graph"
-	"qkbfly/internal/ilp"
+	"qkbfly/internal/engine"
 	"qkbfly/internal/kb/entityrepo"
 	"qkbfly/internal/kb/patterns"
 	"qkbfly/internal/kb/store"
@@ -71,6 +74,9 @@ type Config struct {
 	ParserMode depparse.Mode
 	// ILPMaxNodes bounds the branch-and-bound search per document.
 	ILPMaxNodes int
+	// Parallelism is the default worker-pool size for KB construction;
+	// <= 0 means one worker per CPU. Per-call WithParallelism overrides it.
+	Parallelism int
 }
 
 // DefaultConfig returns the paper's default configuration.
@@ -122,94 +128,93 @@ func New(res Resources, cfg Config) *System {
 // Pipeline exposes the NLP pipeline (used by baselines and experiments).
 func (s *System) Pipeline() *clause.Pipeline { return s.pipe }
 
-// BuildStats is a run-time accounting of one BuildKB call.
-type BuildStats struct {
-	Documents     int
-	Sentences     int
-	Clauses       int
-	EdgesRemoved  int
-	Elapsed       time.Duration
-	PerDocElapsed []time.Duration
+// BuildStats is the run-time accounting of one build: document, sentence
+// and clause counts, per-document wall times, and per-stage timings from
+// the execution engine.
+type BuildStats = engine.BuildStats
+
+// Option tunes one BuildKBContext call (worker-pool size, co-reference
+// window) without reconfiguring the System.
+type Option = engine.Option
+
+// WithParallelism sets the worker-pool size for one call (n <= 0 means
+// one worker per CPU).
+func WithParallelism(n int) Option { return engine.WithParallelism(n) }
+
+// WithCorefWindow overrides the pronoun co-reference window for one call
+// (the paper fixes 5 backward sentences; the ablation study varies it).
+func WithCorefWindow(w int) Option { return engine.WithCorefWindow(w) }
+
+// BuildKBContext runs the full four-stage pipeline over the documents on
+// the concurrent staged engine and returns the on-the-fly KB. The result
+// is deterministic: any parallelism level produces the same KB as a
+// serial run. Cancelling the context stops the build early; the KB over
+// the already-processed document prefix is returned with ctx.Err().
+//
+// Facts below the configured τ are still stored; use FilterTau or
+// store.Query.MinConf to distill.
+func (s *System) BuildKBContext(ctx context.Context, docs []*nlp.Document, opts ...Option) (*store.KB, *BuildStats, error) {
+	return engine.New(s.engineConfig(), opts...).Run(ctx, docs)
 }
 
-// BuildKB runs the full three-stage pipeline over the documents and
-// returns the on-the-fly KB. Facts below the configured τ are still
-// stored; use FilterTau or store.Query.MinConf to distill.
+// BuildKB is BuildKBContext with a background context — the original
+// blocking API, kept as a thin wrapper.
 func (s *System) BuildKB(docs []*nlp.Document) (*store.KB, *BuildStats) {
-	return s.buildKB(docs, -1)
-}
-
-// BuildKBWithCorefWindow is BuildKB with a custom pronoun co-reference
-// window (the paper fixes 5 backward sentences; this exists for the
-// ablation study).
-func (s *System) BuildKBWithCorefWindow(docs []*nlp.Document, window int) (*store.KB, *BuildStats) {
-	return s.buildKB(docs, window)
-}
-
-func (s *System) buildKB(docs []*nlp.Document, corefWindow int) (*store.KB, *BuildStats) {
-	kb := store.New()
-	bs := &BuildStats{}
-	start := time.Now()
-	for _, doc := range docs {
-		t0 := time.Now()
-		s.processDocument(kb, doc, bs, corefWindow)
-		bs.PerDocElapsed = append(bs.PerDocElapsed, time.Since(t0))
-		bs.Documents++
-	}
-	bs.Elapsed = time.Since(start)
+	kb, bs, _ := s.BuildKBContext(context.Background(), docs)
 	return kb, bs
 }
 
-func (s *System) processDocument(kb *store.KB, doc *nlp.Document, bs *BuildStats, corefWindow int) {
-	// Stage 0: linguistic pre-processing and clause detection.
-	clausesBySent := s.pipe.AnnotateDocument(doc)
-	bs.Sentences += len(doc.Sentences)
-	for _, cs := range clausesBySent {
-		bs.Clauses += len(cs)
-	}
-	// Stage 1: semantic graph (§3).
-	builder := graph.NewBuilder(s.res.Repo)
-	builder.IncludePronouns = s.cfg.Mode != NounOnly
-	if corefWindow >= 0 {
-		builder.CorefWindow = corefWindow
-	}
-	g := builder.Build(doc, clausesBySent)
+// BuildKBWithCorefWindow is BuildKB with a custom pronoun co-reference
+// window, kept for the ablation study; new code should pass
+// WithCorefWindow to BuildKBContext.
+func (s *System) BuildKBWithCorefWindow(docs []*nlp.Document, window int) (*store.KB, *BuildStats) {
+	kb, bs, _ := s.BuildKBContext(context.Background(), docs, WithCorefWindow(window))
+	return kb, bs
+}
 
-	// Stage 2: graph algorithm (§4 / Appendix A).
+// engineConfig resolves the System's Mode/Algorithm configuration into
+// the engine's plain execution config.
+func (s *System) engineConfig() engine.Config {
 	params := s.cfg.Params
 	if s.cfg.Mode == Pipeline {
 		params.PipelineMode = true
 		params.UseTypeSignatures = false
 	}
-	scorer := densify.NewScorer(s.res.Stats, s.res.Repo, params, doc)
-	var res *densify.Result
-	if s.cfg.Algorithm == ILP && s.cfg.Mode == Joint {
-		res, _ = ilp.Solve(g, scorer, s.cfg.ILPMaxNodes)
-	} else {
-		res = densify.Densify(g, scorer)
+	return engine.Config{
+		Repo:            s.res.Repo,
+		Patterns:        s.res.Patterns,
+		Stats:           s.res.Stats,
+		Pipe:            s.pipe,
+		Params:          params,
+		UseILP:          s.cfg.Algorithm == ILP && s.cfg.Mode == Joint,
+		ILPMaxNodes:     s.cfg.ILPMaxNodes,
+		IncludePronouns: s.cfg.Mode != NounOnly,
+		CorefWindow:     -1,
+		Parallelism:     s.cfg.Parallelism,
 	}
-	bs.EdgesRemoved += res.Removed
-
-	// Stage 3: canonicalization (§5).
-	c := canon.New(s.res.Patterns, s.res.Repo)
-	c.Populate(kb, doc, g, res)
 }
 
-// BuildKBForQuery retrieves documents for the query from the index and
-// builds the on-the-fly KB from them — the end-to-end query-driven flow of
-// §6. source restricts retrieval ("wikipedia", "news" or ""); size is the
-// number of documents.
-func (s *System) BuildKBForQuery(query string, source string, size int) (*store.KB, []*nlp.Document, *BuildStats) {
+// BuildKBForQueryContext retrieves documents for the query from the index
+// and builds the on-the-fly KB from them — the end-to-end query-driven
+// flow of §6. source restricts retrieval ("wikipedia", "news" or "");
+// size is the number of documents.
+func (s *System) BuildKBForQueryContext(ctx context.Context, query string, source string, size int, opts ...Option) (*store.KB, []*nlp.Document, *BuildStats, error) {
 	if s.res.Index == nil {
-		kb, bs := s.BuildKB(nil)
-		return kb, nil, bs
+		kb, bs, err := s.BuildKBContext(ctx, nil, opts...)
+		return kb, nil, bs, err
 	}
 	hits := s.res.Index.Search(query, size, source)
 	docs := make([]*nlp.Document, 0, len(hits))
 	for _, h := range hits {
 		docs = append(docs, cloneDoc(h.Doc))
 	}
-	kb, bs := s.BuildKB(docs)
+	kb, bs, err := s.BuildKBContext(ctx, docs, opts...)
+	return kb, docs, bs, err
+}
+
+// BuildKBForQuery is BuildKBForQueryContext with a background context.
+func (s *System) BuildKBForQuery(query string, source string, size int) (*store.KB, []*nlp.Document, *BuildStats) {
+	kb, docs, bs, _ := s.BuildKBForQueryContext(context.Background(), query, source, size)
 	return kb, docs, bs
 }
 
