@@ -13,6 +13,7 @@ import (
 	"qkbfly"
 	"qkbfly/internal/corpus"
 	"qkbfly/internal/experiments"
+	"qkbfly/internal/serve"
 )
 
 var benchEnv *experiments.Env
@@ -129,6 +130,84 @@ func BenchmarkBuildKBSerial(b *testing.B) { benchBuildKBAtParallelism(b, 1) }
 
 // BenchmarkBuildKBParallel runs the same batch with one worker per CPU.
 func BenchmarkBuildKBParallel(b *testing.B) { benchBuildKBAtParallelism(b, runtime.NumCPU()) }
+
+// ---------------------------------------------------------------------------
+// Serving-layer benchmarks: the cost of a query through serve.Server cold
+// (full retrieval + pipeline) versus warm (query-cache hit). The gap is
+// the speedup a long-lived daemon buys on repeated queries; the roadmap
+// target is warm ≥ 10× faster than cold.
+// ---------------------------------------------------------------------------
+
+func benchServeQuery(b *testing.B) (*experiments.Env, string) {
+	env := getBenchEnv(b)
+	id := env.World.EntitiesOfType("ACTOR")[0]
+	return env, env.World.Entity(id).Name
+}
+
+// BenchmarkServeCold serves the query on a fresh server every iteration:
+// every request pays retrieval, the four-stage pipeline and the merge.
+func BenchmarkServeCold(b *testing.B) {
+	env, query := benchServeQuery(b)
+	sys := env.System(qkbfly.Joint, qkbfly.Greedy)
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		srv := serve.New(sys, serve.Options{})
+		if _, err := srv.KB(ctx, query, "wikipedia", 4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkServeWarm primes one long-lived server and then serves the
+// same query from the cache; the identity of warm and cold results is
+// asserted (fingerprints) before timing starts.
+func BenchmarkServeWarm(b *testing.B) {
+	env, query := benchServeQuery(b)
+	sys := env.System(qkbfly.Joint, qkbfly.Greedy)
+	ctx := context.Background()
+	srv := serve.New(sys, serve.Options{})
+	cold, err := srv.KB(ctx, query, "wikipedia", 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	warm, err := srv.KB(ctx, query, "wikipedia", 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if !warm.CacheHit || warm.KB.Fingerprint() != cold.KB.Fingerprint() {
+		b.Fatalf("warm result invalid: hit=%t", warm.CacheHit)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := srv.KB(ctx, query, "wikipedia", 4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkServeShardReuse measures the middle ground: a query whose
+// documents are all shard-cached but whose merged KB is not — the serve
+// path re-merges cached shards instead of running the pipeline.
+func BenchmarkServeShardReuse(b *testing.B) {
+	env, query := benchServeQuery(b)
+	sys := env.System(qkbfly.Joint, qkbfly.Greedy)
+	ctx := context.Background()
+	srv := serve.New(sys, serve.Options{})
+	docs := sys.Retrieve(query, "wikipedia", 4)
+	if len(docs) == 0 {
+		b.Fatal("no documents retrieved")
+	}
+	if _, _, err := srv.KBForDocs(ctx, docs); err != nil {
+		b.Fatal(err) // primes the shard cache
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := srv.KBForDocs(ctx, docs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
 
 // ---------------------------------------------------------------------------
 // Component benchmarks: the per-document cost the paper reports in

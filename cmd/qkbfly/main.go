@@ -13,9 +13,11 @@ import (
 	"qkbfly"
 	"qkbfly/internal/corpus"
 	"qkbfly/internal/kb/store"
+	"qkbfly/internal/nlp"
 	"qkbfly/internal/nlp/clause"
 	"qkbfly/internal/nlp/depparse"
 	"qkbfly/internal/search"
+	"qkbfly/internal/serve"
 	"qkbfly/internal/stats"
 )
 
@@ -32,6 +34,8 @@ func main() {
 		seed    = flag.Int64("seed", 1, "world seed")
 		par     = flag.Int("parallelism", 0, "engine worker-pool size (0 = one per CPU)")
 		timings = flag.Bool("timings", false, "print per-stage engine timings")
+		cache   = flag.Bool("cache", false, "route the build through the serving layer (query + shard cache); repeat with -repeat to see warm hits")
+		repeat  = flag.Int("repeat", 1, "number of times to serve the query (with -cache, runs 2+ hit the cache)")
 	)
 	flag.Parse()
 
@@ -58,8 +62,31 @@ func main() {
 		*query = w.Entities[w.EntitiesOfType("ACTOR")[0]].Name
 		fmt.Fprintf(os.Stderr, "no -query given; using %q\n", *query)
 	}
-	kb, docs, bs, err := sys.BuildKBForQueryContext(ctx, *query, *source, *size,
-		qkbfly.WithParallelism(*par))
+	var (
+		kb   *store.KB
+		docs []*nlp.Document
+		bs   *qkbfly.BuildStats
+		err  error
+	)
+	if *cache {
+		srv := serve.New(sys, serve.Options{})
+		var res *serve.Result
+		for i := 0; i < max(*repeat, 1); i++ {
+			res, err = srv.KB(ctx, *query, *source, *size, qkbfly.WithParallelism(*par))
+			if res != nil {
+				fmt.Fprintf(os.Stderr, "serve pass %d: cache_hit=%t elapsed=%v\n",
+					i+1, res.CacheHit, res.Stats.Elapsed)
+			}
+		}
+		kb, docs, bs = res.KB, res.Docs, res.Stats
+		if *timings {
+			snap := srv.Stats()
+			fmt.Fprintf(os.Stderr, "serving counters: %v\n", snap.Counters)
+		}
+	} else {
+		kb, docs, bs, err = sys.BuildKBForQueryContext(ctx, *query, *source, *size,
+			qkbfly.WithParallelism(*par))
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "build interrupted (%v); showing partial KB\n", err)
 	}

@@ -1,0 +1,105 @@
+// Command qkbflyd is the long-lived QKBfly serving daemon: the §6 demo as
+// an HTTP/JSON service. It keeps the background repositories, retrieval
+// index and serving-layer caches (query cache, singleflight, per-document
+// shard cache) resident between queries, so repeated and overlapping
+// queries skip the construction pipeline.
+//
+// Endpoints:
+//
+//	GET /kb?q=...&source=&size=&subject=&predicate=&object=&tau=&limit=
+//	GET /answer?q=...
+//	GET /stats
+//	GET /healthz
+//
+// SIGINT/SIGTERM drains in-flight requests before exiting.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"qkbfly"
+	"qkbfly/internal/corpus"
+	"qkbfly/internal/nlp/clause"
+	"qkbfly/internal/nlp/depparse"
+	"qkbfly/internal/qa"
+	"qkbfly/internal/search"
+	"qkbfly/internal/serve"
+	"qkbfly/internal/stats"
+)
+
+func main() {
+	var (
+		addr          = flag.String("addr", ":8080", "listen address")
+		seed          = flag.Int64("seed", 1, "world seed")
+		news          = flag.Int("news", 3, "news articles per event in the index")
+		par           = flag.Int("parallelism", 0, "engine worker-pool size (0 = one per CPU)")
+		capacity      = flag.Int("cache-capacity", 128, "query-cache entries")
+		shardCapacity = flag.Int("shard-capacity", 1024, "per-document shard-cache entries")
+		ttl           = flag.Duration("ttl", 5*time.Minute, "cache entry TTL (0 = no expiry)")
+		drain         = flag.Duration("shutdown-timeout", 10*time.Second, "graceful-shutdown drain window")
+	)
+	flag.Parse()
+
+	cfg := corpus.DefaultConfig()
+	cfg.Seed = *seed
+	fmt.Fprintln(os.Stderr, "generating world and background statistics...")
+	w := corpus.NewWorld(cfg)
+	bg := w.BackgroundCorpus()
+	pipe := clause.NewPipeline(w.Repo, depparse.Malt)
+	st := stats.Build(corpus.Docs(bg), w.Repo, pipe)
+	idx := search.New(corpus.Docs(append(bg, w.NewsDataset(*news)...)))
+
+	qcfg := qkbfly.DefaultConfig()
+	qcfg.Parallelism = *par
+	sys := qkbfly.New(qkbfly.Resources{
+		Repo: w.Repo, Patterns: w.Patterns, Stats: st, Index: idx,
+	}, qcfg)
+
+	server := serve.New(sys, serve.Options{
+		Capacity:      *capacity,
+		ShardCapacity: *shardCapacity,
+		TTL:           *ttl,
+	})
+	answerer := &qa.System{
+		QKB:     sys,
+		Repo:    w.Repo,
+		Index:   idx,
+		Builder: server, // per-question KBs go through the shard cache
+	}
+	handler := serve.NewHandler(server, serve.HandlerOptions{
+		DefaultSource: "wikipedia",
+		Answerer:      answerer,
+	})
+
+	httpSrv := &http.Server{Addr: *addr, Handler: handler}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "qkbflyd listening on %s\n", *addr)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errc:
+		fmt.Fprintf(os.Stderr, "server error: %v\n", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+
+	fmt.Fprintln(os.Stderr, "shutting down: draining in-flight requests...")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintf(os.Stderr, "shutdown: %v\n", err)
+	}
+	snap := server.Stats()
+	fmt.Fprintf(os.Stderr, "bye: %d query entries, %d shards, counters %v\n",
+		snap.QueryEntries, snap.ShardEntries, snap.Counters)
+}

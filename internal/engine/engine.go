@@ -94,7 +94,9 @@ type StageTimings struct {
 	Merge        time.Duration
 }
 
-func (t *StageTimings) add(o StageTimings) {
+// Add accumulates another accounting into t (the serving layer sums the
+// timings of partial shard builds the same way the engine sums workers).
+func (t *StageTimings) Add(o StageTimings) {
 	t.Annotate += o.Annotate
 	t.Graph += o.Graph
 	t.Densify += o.Densify
@@ -142,6 +144,46 @@ func New(cfg Config, opts ...Option) *Engine {
 // stops workers from claiming further documents; the already-processed
 // prefix of shards is still merged and returned alongside ctx.Err().
 func (e *Engine) Run(ctx context.Context, docs []*nlp.Document) (*store.KB, *BuildStats, error) {
+	start := time.Now()
+	shards, bs, err := e.RunShards(ctx, docs)
+	if len(docs) == 0 {
+		// Empty batch: a usable empty KB with zeroed stage timings — no
+		// merge pass is timed, so BuildStats is consistent whether the
+		// retrieval came back empty or the caller passed no documents.
+		return store.New(), bs, err
+	}
+
+	// Compact the document-aligned accounting to processed documents only
+	// and merge their shards in document order.
+	perDoc := bs.PerDocElapsed
+	bs.PerDocElapsed = make([]time.Duration, 0, bs.Documents)
+	mergeStart := time.Now()
+	kb := store.New()
+	for i, shard := range shards {
+		if shard == nil {
+			continue // not reached before cancellation
+		}
+		kb.Merge(shard)
+		bs.PerDocElapsed = append(bs.PerDocElapsed, perDoc[i])
+	}
+	bs.StageElapsed.Merge = time.Since(mergeStart)
+	bs.Elapsed = time.Since(start)
+	return kb, bs, err
+}
+
+// RunShards is the first half of Run: it processes the documents on the
+// worker pool and returns one canonicalized KB shard per document without
+// merging them. shards[i] is nil when document i was not reached before
+// cancellation. BuildStats.PerDocElapsed is aligned with docs (zero for
+// unreached documents) and BuildStats.Documents counts processed ones.
+//
+// Shards are deterministic per document — the same document always yields
+// the same shard regardless of worker count or batch composition — which
+// is what makes them safe to cache and re-merge across queries.
+func (e *Engine) RunShards(ctx context.Context, docs []*nlp.Document) ([]*store.KB, *BuildStats, error) {
+	if len(docs) == 0 {
+		return nil, &BuildStats{Parallelism: 1, PerDocElapsed: []time.Duration{}}, ctx.Err()
+	}
 	n := e.cfg.Parallelism
 	if n <= 0 {
 		n = runtime.GOMAXPROCS(0)
@@ -178,27 +220,34 @@ func (e *Engine) Run(ctx context.Context, docs []*nlp.Document) (*store.KB, *Bui
 	}
 	wg.Wait()
 
-	bs := &BuildStats{Parallelism: n}
+	bs := &BuildStats{Parallelism: n, PerDocElapsed: perDoc}
 	for w := range locals {
 		bs.Sentences += locals[w].Sentences
 		bs.Clauses += locals[w].Clauses
 		bs.EdgesRemoved += locals[w].EdgesRemoved
-		bs.StageElapsed.add(locals[w].StageElapsed)
+		bs.StageElapsed.Add(locals[w].StageElapsed)
 	}
-
-	mergeStart := time.Now()
-	kb := store.New()
-	for i, shard := range shards {
-		if shard == nil {
-			continue // not reached before cancellation
+	for _, shard := range shards {
+		if shard != nil {
+			bs.Documents++
 		}
-		kb.Merge(shard)
-		bs.Documents++
-		bs.PerDocElapsed = append(bs.PerDocElapsed, perDoc[i])
 	}
-	bs.StageElapsed.Merge = time.Since(mergeStart)
 	bs.Elapsed = time.Since(start)
-	return kb, bs, ctx.Err()
+	return shards, bs, ctx.Err()
+}
+
+// MergeShards merges per-document shards in slice order into a fresh KB,
+// skipping nil entries — exactly the deterministic merge Run performs, so
+// interleaving cached shards with freshly-built ones reproduces the KB a
+// cold build would have produced.
+func MergeShards(shards []*store.KB) *store.KB {
+	kb := store.New()
+	for _, shard := range shards {
+		if shard != nil {
+			kb.Merge(shard)
+		}
+	}
+	return kb
 }
 
 // worker holds the reusable per-worker stage state.

@@ -30,6 +30,16 @@ type Answerer interface {
 	Answer(question string) []string
 }
 
+// KBBuilder builds an on-the-fly KB for an already-retrieved document
+// set. The serving layer's *serve.Server implements it; when a System's
+// Builder is set, per-question KB construction goes through the server's
+// per-document shard cache instead of a direct engine run, so questions
+// about overlapping documents reuse each other's work. The shard merge is
+// deterministic, so answers are identical on either path.
+type KBBuilder interface {
+	KBForDocs(ctx context.Context, docs []*nlp.Document, opts ...qkbfly.Option) (*store.KB, *qkbfly.BuildStats, error)
+}
+
 // System is the QKBfly-based QA pipeline (Appendix B).
 type System struct {
 	SystemName string
@@ -49,6 +59,9 @@ type System struct {
 	// Parallelism is the engine worker-pool size for the per-question KB
 	// build; 0 means one worker per CPU.
 	Parallelism int
+	// Builder, when non-nil, routes the per-question KB build through a
+	// long-lived serving layer (shard cache + counters).
+	Builder KBBuilder
 }
 
 // Name implements Answerer.
@@ -61,6 +74,13 @@ func (s *System) Name() string {
 
 // Answer implements Answerer: the four steps of Appendix B.
 func (s *System) Answer(question string) []string {
+	return s.AnswerContext(context.Background(), question)
+}
+
+// AnswerContext is Answer under a caller context: cancelling it aborts
+// the per-question KB build (the serving daemon passes the request
+// context, so a disconnected client stops paying for the pipeline).
+func (s *System) AnswerContext(ctx context.Context, question string) []string {
 	// Step 1: detect question entities, retrieve documents.
 	qents := s.questionEntities(question)
 	docs := s.retrieve(question, qents)
@@ -73,7 +93,16 @@ func (s *System) Answer(question string) []string {
 	if s.Parallelism > 0 {
 		opts = append(opts, qkbfly.WithParallelism(s.Parallelism))
 	}
-	kb, _, _ := s.QKB.BuildKBContext(context.Background(), docs, opts...)
+	var kb *store.KB
+	var err error
+	if s.Builder != nil {
+		kb, _, err = s.Builder.KBForDocs(ctx, docs, opts...)
+	} else {
+		kb, _, err = s.QKB.BuildKBContext(ctx, docs, opts...)
+	}
+	if err != nil {
+		return nil // cancelled mid-build: no answers from a partial KB
+	}
 	// Steps 3-4: candidates, type filter, classification.
 	cands := s.Candidates(question, qents, kb)
 	return s.rank(cands)

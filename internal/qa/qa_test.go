@@ -1,6 +1,7 @@
 package qa
 
 import (
+	"reflect"
 	"testing"
 
 	"qkbfly"
@@ -10,6 +11,7 @@ import (
 	"qkbfly/internal/nlp/clause"
 	"qkbfly/internal/nlp/depparse"
 	"qkbfly/internal/search"
+	"qkbfly/internal/serve"
 	"qkbfly/internal/stats"
 )
 
@@ -229,4 +231,44 @@ func staticStore(w *corpus.World) *store.KB {
 		}
 	}
 	return kb
+}
+
+// TestAnswerViaServeBuilderMatchesDirect: routing the per-question KB
+// build through the serving layer (System.Builder) must change nothing
+// about the answers — the shard merge is deterministic — while repeated
+// questions reuse cached shards instead of re-running the engine.
+func TestAnswerViaServeBuilderMatchesDirect(t *testing.T) {
+	f := getFixture(t)
+	server := serve.New(f.base.QKB, serve.Options{})
+	served := *f.base
+	served.Builder = server
+
+	questions := f.world.QABenchmark()
+	if len(questions) > 4 {
+		questions = questions[:4]
+	}
+	for _, q := range questions {
+		direct := f.base.Answer(q.Text)
+		viaServe := served.Answer(q.Text)
+		if !reflect.DeepEqual(direct, viaServe) {
+			t.Errorf("%q: direct answers %v != served answers %v", q.Text, direct, viaServe)
+		}
+	}
+	runsAfterFirstPass := server.Counters().Get(serve.CounterEngineRuns)
+
+	// Second pass: every document shard is already cached, so the serving
+	// path answers without any additional engine run.
+	for _, q := range questions {
+		direct := f.base.Answer(q.Text)
+		viaServe := served.Answer(q.Text)
+		if !reflect.DeepEqual(direct, viaServe) {
+			t.Errorf("repeat %q: direct answers %v != served answers %v", q.Text, direct, viaServe)
+		}
+	}
+	if got := server.Counters().Get(serve.CounterEngineRuns); got != runsAfterFirstPass {
+		t.Errorf("repeat questions ran the engine: %d runs, want %d", got, runsAfterFirstPass)
+	}
+	if server.Counters().Get(serve.CounterShardHits) == 0 {
+		t.Error("repeat questions reused no shards")
+	}
 }

@@ -1,0 +1,214 @@
+package serve_test
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"qkbfly"
+	"qkbfly/internal/serve"
+)
+
+// fakeClock is the injected time source of the cache-policy tests: TTL
+// behaviour is driven by Advance, never by time.Sleep.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Unix(1_700_000_000, 0)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+// TestCacheLRUCapacityEviction walks the query cache through a
+// least-recently-used trace at capacity 2: refreshed entries survive,
+// cold ones fall out, and every eviction is counted.
+func TestCacheLRUCapacityEviction(t *testing.T) {
+	fb := &fakeBackend{}
+	srv := serve.New(fb, serve.Options{Capacity: 2, Clock: newFakeClock().Now})
+	ctx := context.Background()
+
+	steps := []struct {
+		query   string
+		wantHit bool
+		note    string
+	}{
+		{"q1", false, "cold"},
+		{"q2", false, "cold"},
+		{"q1", true, "both fit"},
+		{"q3", false, "evicts q2 (LRU; q1 was refreshed)"},
+		{"q2", false, "was evicted; re-build evicts q1"},
+		{"q3", true, "still resident"},
+		{"q1", false, "was evicted by q2's return"},
+	}
+	for i, step := range steps {
+		res, err := srv.KB(ctx, step.query, "", 1)
+		if err != nil {
+			t.Fatalf("step %d (%s): %v", i, step.query, err)
+		}
+		if res.CacheHit != step.wantHit {
+			t.Errorf("step %d: query %s hit = %t, want %t (%s)",
+				i, step.query, res.CacheHit, step.wantHit, step.note)
+		}
+	}
+	c := srv.Counters()
+	if got := c.Get(serve.CounterQueryEvictions); got != 3 {
+		t.Errorf("query_evictions = %d, want 3", got)
+	}
+	if got := c.Get(serve.CounterQueryTTLEvictions); got != 0 {
+		t.Errorf("query_ttl_evictions = %d, want 0 (no TTL configured)", got)
+	}
+	if snap := srv.Stats(); snap.QueryEntries != 2 {
+		t.Errorf("query entries = %d, want capacity 2", snap.QueryEntries)
+	}
+}
+
+// TestCacheTTLEviction drives TTL expiry with the fake clock: entries
+// expire a fixed time after insertion (a hit does not refresh the stamp),
+// and expiry is counted separately from capacity eviction — for the query
+// cache and the shard cache alike.
+func TestCacheTTLEviction(t *testing.T) {
+	clk := newFakeClock()
+	fb := &fakeBackend{}
+	srv := serve.New(fb, serve.Options{Capacity: 8, TTL: time.Minute, Clock: clk.Now})
+	ctx := context.Background()
+
+	steps := []struct {
+		advance time.Duration
+		wantHit bool
+		note    string
+	}{
+		{0, false, "cold build at t0"},
+		{30 * time.Second, true, "within TTL"},
+		{31 * time.Second, false, "61s after insertion: expired (hit did not refresh)"},
+		{59 * time.Second, true, "59s after the re-build"},
+		{60 * time.Second, false, "exactly TTL later: expired again"},
+	}
+	for i, step := range steps {
+		clk.Advance(step.advance)
+		res, err := srv.KB(ctx, "q1", "", 2)
+		if err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+		if res.CacheHit != step.wantHit {
+			t.Errorf("step %d: hit = %t, want %t (%s)", i, res.CacheHit, step.wantHit, step.note)
+		}
+	}
+	c := srv.Counters()
+	if got := c.Get(serve.CounterQueryTTLEvictions); got != 2 {
+		t.Errorf("query_ttl_evictions = %d, want 2", got)
+	}
+	if got := c.Get(serve.CounterQueryEvictions); got != 0 {
+		t.Errorf("query_evictions = %d, want 0 (capacity never exceeded)", got)
+	}
+	// The rebuilds also found their cached shards expired: both documents
+	// of q1 were rebuilt each time the query entry expired.
+	if got := c.Get(serve.CounterShardTTLEvictions); got != 4 {
+		t.Errorf("shard_ttl_evictions = %d, want 4 (2 docs × 2 expiries)", got)
+	}
+	if got := int(fb.runs.Load()); got != 3 {
+		t.Errorf("engine build calls = %d, want 3 (cold + 2 TTL rebuilds)", got)
+	}
+}
+
+// TestCacheShardReuseByteIdenticalMerge is the shard-cache policy check:
+// a query overlapping an earlier query's documents builds only the
+// missing ones, and the re-merged KB is byte-identical to a cold build of
+// the same query on a fresh server.
+func TestCacheShardReuseByteIdenticalMerge(t *testing.T) {
+	newBackend := func() *fakeBackend {
+		return &fakeBackend{docsFor: map[string][]string{
+			"q1": {"d1", "d2"},
+			"q2": {"d2", "d3"},
+		}}
+	}
+	fb := newBackend()
+	srv := serve.New(fb, serve.Options{})
+	ctx := context.Background()
+
+	if _, err := srv.KB(ctx, "q1", "", 2); err != nil {
+		t.Fatal(err)
+	}
+	res2, err := srv.KB(ctx, "q2", "", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fb.mu.Lock()
+	built := fb.built
+	fb.mu.Unlock()
+	if len(built) != 2 {
+		t.Fatalf("build calls = %d, want 2", len(built))
+	}
+	if len(built[1]) != 1 || built[1][0] != "d3" {
+		t.Errorf("second build processed %v, want only the missing [d3]", built[1])
+	}
+	c := srv.Counters()
+	if got := c.Get(serve.CounterShardHits); got != 1 {
+		t.Errorf("shard_hits = %d, want 1 (d2 reused)", got)
+	}
+	if got := c.Get(serve.CounterSavedShardNS); got <= 0 {
+		t.Errorf("saved_shard_ns = %d, want > 0", got)
+	}
+
+	// Byte-identical to a cold q2 on a server that never saw q1.
+	cold, err := serve.New(newBackend(), serve.Options{}).KB(ctx, "q2", "", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.KB.Fingerprint() != cold.KB.Fingerprint() {
+		t.Error("shard-reused q2 differs from cold q2 build")
+	}
+	if res2.Stats.Documents != 2 || len(res2.Stats.PerDocElapsed) != 2 {
+		t.Errorf("reused build stats: %d docs, %d per-doc timings, want 2 and 2",
+			res2.Stats.Documents, len(res2.Stats.PerDocElapsed))
+	}
+}
+
+// TestCacheKeyIncludesBuildOptions: options that change the built KB (the
+// co-reference window) partition the cache; pure execution knobs
+// (parallelism) do not, because the engine is deterministic across worker
+// counts.
+func TestCacheKeyIncludesBuildOptions(t *testing.T) {
+	fb := &fakeBackend{}
+	srv := serve.New(fb, serve.Options{})
+	ctx := context.Background()
+
+	if _, err := srv.KB(ctx, "q1", "", 1); err != nil {
+		t.Fatal(err)
+	}
+	res, err := srv.KB(ctx, "q1", "", 1, qkbfly.WithCorefWindow(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CacheHit {
+		t.Error("different coref window served from the default-window cache entry")
+	}
+	res, err = srv.KB(ctx, "q1", "", 1, qkbfly.WithParallelism(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.CacheHit {
+		t.Error("parallelism-only option missed the cache (results are identical at any worker count)")
+	}
+	res, err = srv.KB(ctx, "  Q1 ", "", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.CacheHit {
+		t.Error("whitespace/case-normalized duplicate query missed the cache")
+	}
+}

@@ -1,0 +1,263 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"qkbfly/internal/kb/store"
+)
+
+// Answerer answers natural-language questions; internal/qa's System
+// satisfies it. It is declared here (structurally) so the HTTP layer does
+// not import the qa package.
+type Answerer interface {
+	Answer(question string) []string
+}
+
+// ContextAnswerer is the context-aware variant; when the configured
+// Answerer also implements it (qa.System does), /answer builds run under
+// the request context and a disconnecting client cancels them.
+type ContextAnswerer interface {
+	AnswerContext(ctx context.Context, question string) []string
+}
+
+// HandlerOptions tune the HTTP endpoints.
+type HandlerOptions struct {
+	// DefaultSource restricts retrieval when the request omits ?source=
+	// ("wikipedia", "news" or "" for both).
+	DefaultSource string
+	// DefaultSize and MaxSize bound the ?size= document count (defaults 1
+	// and 50).
+	DefaultSize int
+	MaxSize     int
+	// Answerer serves /answer; when nil the endpoint returns 503.
+	Answerer Answerer
+}
+
+// NewHandler exposes a Server over HTTP/JSON:
+//
+//	GET /kb?q=...&source=&size=&subject=&predicate=&object=&tau=&limit=
+//	GET /answer?q=...
+//	GET /stats
+//	GET /healthz
+//
+// Every build runs under the request context, so a disconnecting client
+// cancels its in-flight construction.
+func NewHandler(s *Server, opt HandlerOptions) http.Handler {
+	if opt.DefaultSize <= 0 {
+		opt.DefaultSize = 1
+	}
+	if opt.MaxSize <= 0 {
+		opt.MaxSize = 50
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/kb", func(w http.ResponseWriter, r *http.Request) {
+		handleKB(s, opt, w, r)
+	})
+	mux.HandleFunc("/answer", func(w http.ResponseWriter, r *http.Request) {
+		handleAnswer(opt, w, r)
+	})
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		if !getOnly(w, r) {
+			return
+		}
+		writeJSON(w, http.StatusOK, s.Stats())
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if !getOnly(w, r) {
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	return mux
+}
+
+// kbResponse is the /kb JSON shape.
+type kbResponse struct {
+	Query           string    `json:"query"`
+	Source          string    `json:"source"`
+	Size            int       `json:"size"`
+	Docs            []docRef  `json:"docs"`
+	FactCount       int       `json:"fact_count"`
+	EntityCount     int       `json:"entity_count"`
+	EmergingCount   int       `json:"emerging_count"`
+	ElapsedNS       int64     `json:"elapsed_ns"`
+	ServedFromCache bool      `json:"served_from_cache"`
+	Joined          bool      `json:"joined_inflight"`
+	Facts           []factRef `json:"facts"`
+}
+
+type docRef struct {
+	ID    string `json:"id"`
+	Title string `json:"title"`
+}
+
+type factRef struct {
+	Subject    string   `json:"subject"`
+	Relation   string   `json:"relation"`
+	Objects    []string `json:"objects"`
+	Confidence float64  `json:"confidence"`
+	DocID      string   `json:"doc_id"`
+	Sentence   int      `json:"sentence"`
+}
+
+func handleKB(s *Server, opt HandlerOptions, w http.ResponseWriter, r *http.Request) {
+	if !getOnly(w, r) {
+		return
+	}
+	q := r.URL.Query()
+	query := q.Get("q")
+	if query == "" {
+		http.Error(w, "missing required parameter q", http.StatusBadRequest)
+		return
+	}
+	source := opt.DefaultSource
+	if v, ok := q["source"]; ok {
+		source = v[0]
+	}
+	// All parameters are validated before any engine work starts.
+	size, err := intParam(q.Get("size"), opt.DefaultSize, 1)
+	if err != nil {
+		http.Error(w, "invalid size: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if size > opt.MaxSize {
+		size = opt.MaxSize
+	}
+	limit, err := intParam(q.Get("limit"), 100, 0) // an explicit limit=0 lists no facts
+	if err != nil {
+		http.Error(w, "invalid limit: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	var tau float64
+	if v := q.Get("tau"); v != "" {
+		tau, err = strconv.ParseFloat(v, 64)
+		if err != nil {
+			http.Error(w, "invalid tau: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+	}
+	res, err := s.KB(r.Context(), query, source, size)
+	if err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			// The client is gone (or gave up); nothing useful to write.
+			http.Error(w, "build cancelled: "+err.Error(), http.StatusServiceUnavailable)
+			return
+		}
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+
+	facts := res.KB.Search(store.Query{
+		Subject:   q.Get("subject"),
+		Predicate: q.Get("predicate"),
+		Object:    q.Get("object"),
+		MinConf:   tau,
+	})
+	if len(facts) > limit {
+		facts = facts[:limit]
+	}
+	resp := kbResponse{
+		Query:           query,
+		Source:          source,
+		Size:            size,
+		Docs:            []docRef{},
+		FactCount:       res.KB.Len(),
+		EntityCount:     len(res.KB.Entities()),
+		EmergingCount:   res.KB.EmergingCount(),
+		ElapsedNS:       int64(statsElapsed(res)),
+		ServedFromCache: res.CacheHit,
+		Joined:          res.Joined,
+		Facts:           []factRef{},
+	}
+	for _, d := range res.Docs {
+		resp.Docs = append(resp.Docs, docRef{ID: d.ID, Title: d.Title})
+	}
+	for _, f := range facts {
+		fr := factRef{
+			Subject:    f.Subject.String(),
+			Relation:   f.Relation,
+			Confidence: f.Confidence,
+			DocID:      f.Source.DocID,
+			Sentence:   f.Source.SentIndex,
+		}
+		for _, o := range f.Objects {
+			fr.Objects = append(fr.Objects, o.String())
+		}
+		resp.Facts = append(resp.Facts, fr)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func handleAnswer(opt HandlerOptions, w http.ResponseWriter, r *http.Request) {
+	if !getOnly(w, r) {
+		return
+	}
+	if opt.Answerer == nil {
+		http.Error(w, "no answerer configured", http.StatusServiceUnavailable)
+		return
+	}
+	question := r.URL.Query().Get("q")
+	if question == "" {
+		http.Error(w, "missing required parameter q", http.StatusBadRequest)
+		return
+	}
+	var answers []string
+	if ca, ok := opt.Answerer.(ContextAnswerer); ok {
+		answers = ca.AnswerContext(r.Context(), question)
+	} else {
+		answers = opt.Answerer.Answer(question)
+	}
+	if answers == nil {
+		answers = []string{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"question": question,
+		"answers":  answers,
+	})
+}
+
+func statsElapsed(res *Result) time.Duration {
+	if res.Stats == nil {
+		return 0
+	}
+	return res.Stats.Elapsed
+}
+
+func getOnly(w http.ResponseWriter, r *http.Request) bool {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return false
+	}
+	return true
+}
+
+// intParam parses an optional integer query parameter: absent means def,
+// and malformed or below-minimum values are errors (400), never silently
+// replaced.
+func intParam(v string, def, min int) (int, error) {
+	if v == "" {
+		return def, nil
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return 0, err
+	}
+	if n < min {
+		return 0, fmt.Errorf("%d is below the minimum %d", n, min)
+	}
+	return n, nil
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

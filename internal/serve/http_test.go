@@ -1,0 +1,314 @@
+package serve_test
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"qkbfly/internal/serve"
+)
+
+type stubAnswerer struct{ answers []string }
+
+func (s *stubAnswerer) Answer(string) []string { return s.answers }
+
+func decodeJSON(t *testing.T, r io.Reader, v any) {
+	t.Helper()
+	if err := json.NewDecoder(r).Decode(v); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+}
+
+// TestServeHTTPEndpoints covers the daemon's handlers end to end against
+// a fake backend: /healthz, /kb (cold, then served from cache), /stats
+// and /answer, plus parameter validation and method restrictions.
+func TestServeHTTPEndpoints(t *testing.T) {
+	fb := &fakeBackend{}
+	srv := serve.New(fb, serve.Options{})
+	h := serve.NewHandler(srv, serve.HandlerOptions{
+		DefaultSource: "wikipedia",
+		Answerer:      &stubAnswerer{answers: []string{"Ostfield"}},
+	})
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	get := func(path string) (*http.Response, string) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		return resp, string(body)
+	}
+
+	// Health.
+	resp, body := get("/healthz")
+	if resp.StatusCode != http.StatusOK || !strings.Contains(body, "ok") {
+		t.Errorf("/healthz: %d %q", resp.StatusCode, body)
+	}
+
+	// Validation and method restrictions.
+	if resp, _ = get("/kb"); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("/kb without q: %d, want 400", resp.StatusCode)
+	}
+	for _, bad := range []string{
+		"/kb?q=x&size=abc", "/kb?q=x&size=0", "/kb?q=x&limit=-1",
+		"/kb?q=x&limit=abc", "/kb?q=x&tau=0.9x",
+	} {
+		if resp, _ = get(bad); resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: %d, want 400 (malformed parameters are rejected, not defaulted)", bad, resp.StatusCode)
+		}
+	}
+	post, err := http.Post(ts.URL+"/kb?q=x", "text/plain", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	post.Body.Close()
+	if post.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST /kb: %d, want 405", post.StatusCode)
+	}
+
+	// Cold /kb.
+	var kb struct {
+		Docs            []struct{ ID, Title string } `json:"docs"`
+		FactCount       int                          `json:"fact_count"`
+		ServedFromCache bool                         `json:"served_from_cache"`
+		Facts           []struct {
+			Subject  string   `json:"subject"`
+			Relation string   `json:"relation"`
+			Objects  []string `json:"objects"`
+		} `json:"facts"`
+	}
+	resp, body = get("/kb?q=alpha&size=2")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/kb: %d %q", resp.StatusCode, body)
+	}
+	decodeJSON(t, strings.NewReader(body), &kb)
+	if len(kb.Docs) != 2 || kb.FactCount != 2 || len(kb.Facts) != 2 {
+		t.Errorf("/kb cold: docs=%d facts=%d listed=%d, want 2/2/2", len(kb.Docs), kb.FactCount, len(kb.Facts))
+	}
+	if kb.ServedFromCache {
+		t.Error("/kb cold claimed a cache hit")
+	}
+
+	// Warm /kb: same query, no further engine run.
+	resp, body = get("/kb?q=alpha&size=2")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/kb warm: %d", resp.StatusCode)
+	}
+	decodeJSON(t, strings.NewReader(body), &kb)
+	if !kb.ServedFromCache {
+		t.Error("/kb warm not served from cache")
+	}
+	if got := int(fb.runs.Load()); got != 1 {
+		t.Errorf("engine build calls after warm hit = %d, want 1", got)
+	}
+
+	// An explicit limit=0 lists no facts but still reports the counts.
+	resp, body = get("/kb?q=alpha&size=2&limit=0")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/kb limit=0: %d", resp.StatusCode)
+	}
+	decodeJSON(t, strings.NewReader(body), &kb)
+	if len(kb.Facts) != 0 || kb.FactCount != 2 {
+		t.Errorf("/kb limit=0: listed=%d count=%d, want 0 listed / 2 counted", len(kb.Facts), kb.FactCount)
+	}
+
+	// Stats reflect the two requests.
+	var snap serve.Snapshot
+	resp, body = get("/stats")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/stats: %d", resp.StatusCode)
+	}
+	decodeJSON(t, strings.NewReader(body), &snap)
+	// One cold build, then two warm serves (the plain warm request and
+	// the limit=0 listing).
+	if snap.Counters[serve.CounterQueryHits] != 2 || snap.Counters[serve.CounterQueryMisses] != 1 {
+		t.Errorf("/stats counters = %v, want 2 hits / 1 miss", snap.Counters)
+	}
+	if snap.QueryEntries != 1 || snap.ShardEntries != 2 {
+		t.Errorf("/stats occupancy = %d queries / %d shards, want 1/2", snap.QueryEntries, snap.ShardEntries)
+	}
+
+	// Answering.
+	var ans struct {
+		Question string   `json:"question"`
+		Answers  []string `json:"answers"`
+	}
+	resp, body = get("/answer?q=where+was+he+born")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/answer: %d %q", resp.StatusCode, body)
+	}
+	decodeJSON(t, strings.NewReader(body), &ans)
+	if len(ans.Answers) != 1 || ans.Answers[0] != "Ostfield" {
+		t.Errorf("/answer = %+v", ans)
+	}
+	if resp, _ = get("/answer"); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("/answer without q: %d, want 400", resp.StatusCode)
+	}
+
+	// No answerer configured -> 503.
+	bare := httptest.NewServer(serve.NewHandler(srv, serve.HandlerOptions{}))
+	defer bare.Close()
+	resp, err = http.Get(bare.URL + "/answer?q=x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("/answer without answerer: %d, want 503", resp.StatusCode)
+	}
+}
+
+// TestServeHTTPContextCancellationMidBuild: a client that disconnects
+// mid-build cancels the engine run through the request context, and the
+// aborted result is not cached — the next identical query rebuilds.
+func TestServeHTTPContextCancellationMidBuild(t *testing.T) {
+	fb := &fakeBackend{
+		started:   make(chan struct{}, 1),
+		release:   make(chan struct{}),
+		cancelled: make(chan struct{}, 1),
+	}
+	srv := serve.New(fb, serve.Options{})
+	ts := httptest.NewServer(serve.NewHandler(srv, serve.HandlerOptions{}))
+	defer ts.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, ts.URL+"/kb?q=alpha", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			resp.Body.Close()
+			err = fmt.Errorf("request succeeded with status %d, want cancellation", resp.StatusCode)
+		}
+		done <- err
+	}()
+
+	<-fb.started // the build is in flight
+	cancel()     // client walks away
+	if err := <-done; err == nil || !strings.Contains(err.Error(), "context canceled") {
+		t.Fatalf("client error = %v, want context cancellation", err)
+	}
+	<-fb.cancelled // the engine observed the cancellation
+
+	// The partial build must not have been cached: a fresh request (with
+	// the backend now unblocked) runs the engine again and succeeds. The
+	// retry may briefly coalesce onto the dying flight and see its error,
+	// so poll until the fresh build lands.
+	close(fb.release)
+	var (
+		kb struct {
+			ServedFromCache bool `json:"served_from_cache"`
+			FactCount       int  `json:"fact_count"`
+		}
+		status int
+	)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := http.Get(ts.URL + "/kb?q=alpha")
+		if err != nil {
+			t.Fatal(err)
+		}
+		status = resp.StatusCode
+		if status == http.StatusOK {
+			decodeJSON(t, resp.Body, &kb)
+			resp.Body.Close()
+			break
+		}
+		resp.Body.Close()
+		if time.Now().After(deadline) {
+			t.Fatalf("retry after cancellation never succeeded (last status %d)", status)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if kb.ServedFromCache || kb.FactCount == 0 {
+		t.Errorf("retry after cancellation: cached=%t facts=%d, want fresh successful build",
+			kb.ServedFromCache, kb.FactCount)
+	}
+	if got := int(fb.runs.Load()); got != 2 {
+		t.Errorf("engine build calls = %d, want 2 (cancelled + retry)", got)
+	}
+	if got := srv.Counters().Get(serve.CounterQueryHits); got != 0 {
+		t.Errorf("query_hits = %d, want 0 (nothing was cached)", got)
+	}
+}
+
+// TestServeHTTPGracefulShutdownDrains: http.Server.Shutdown must let an
+// in-flight build finish and deliver its response before the daemon
+// exits — the drain the daemon performs on SIGTERM.
+func TestServeHTTPGracefulShutdownDrains(t *testing.T) {
+	fb := &fakeBackend{
+		started: make(chan struct{}, 1),
+		release: make(chan struct{}),
+	}
+	srv := serve.New(fb, serve.Options{})
+	httpSrv := &http.Server{Handler: serve.NewHandler(srv, serve.HandlerOptions{})}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go httpSrv.Serve(ln)
+
+	client := &http.Client{Transport: &http.Transport{DisableKeepAlives: true}}
+	type reply struct {
+		status int
+		facts  int
+		err    error
+	}
+	replies := make(chan reply, 1)
+	go func() {
+		resp, err := client.Get("http://" + ln.Addr().String() + "/kb?q=alpha&size=2")
+		if err != nil {
+			replies <- reply{err: err}
+			return
+		}
+		var kb struct {
+			FactCount int `json:"fact_count"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&kb)
+		resp.Body.Close()
+		replies <- reply{status: resp.StatusCode, facts: kb.FactCount, err: err}
+	}()
+
+	<-fb.started // request is mid-build
+	shutdownDone := make(chan error, 1)
+	go func() { shutdownDone <- httpSrv.Shutdown(context.Background()) }()
+
+	// New connections are refused while the old request drains.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		_, err := client.Get("http://" + ln.Addr().String() + "/healthz")
+		if err != nil {
+			break // listener closed by Shutdown
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("listener still accepting after Shutdown began")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	close(fb.release) // let the in-flight build finish
+	r := <-replies
+	if r.err != nil {
+		t.Fatalf("drained request failed: %v", r.err)
+	}
+	if r.status != http.StatusOK || r.facts != 2 {
+		t.Errorf("drained request: status=%d facts=%d, want 200 with 2 facts", r.status, r.facts)
+	}
+	if err := <-shutdownDone; err != nil {
+		t.Errorf("Shutdown returned %v", err)
+	}
+}

@@ -1,0 +1,76 @@
+package serve
+
+import (
+	"container/list"
+	"time"
+)
+
+// lruCache is a string-keyed LRU with insertion timestamps, used for both
+// the query cache and the per-document shard cache. It is not
+// goroutine-safe; the Server serializes access under its mutex. TTL
+// expiry is the caller's policy (the Server checks the stored insertion
+// time lazily on lookup), so the cache itself only tracks recency.
+type lruCache struct {
+	capacity int
+	ll       *list.List // front = most recently used
+	items    map[string]*list.Element
+}
+
+type lruItem struct {
+	key   string
+	val   any
+	added time.Time
+}
+
+func newLRU(capacity int) *lruCache {
+	return &lruCache{
+		capacity: capacity,
+		ll:       list.New(),
+		items:    make(map[string]*list.Element),
+	}
+}
+
+// get returns the value and insertion time for key and marks it most
+// recently used.
+func (c *lruCache) get(key string) (any, time.Time, bool) {
+	el, ok := c.items[key]
+	if !ok {
+		return nil, time.Time{}, false
+	}
+	c.ll.MoveToFront(el)
+	it := el.Value.(*lruItem)
+	return it.val, it.added, true
+}
+
+// put inserts or replaces key as most recently used, stamping it with
+// now. When the cache exceeds capacity, the least recently used entry is
+// dropped and its key returned.
+func (c *lruCache) put(key string, val any, now time.Time) (evicted string, didEvict bool) {
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		it := el.Value.(*lruItem)
+		it.val = val
+		it.added = now
+		return "", false
+	}
+	c.items[key] = c.ll.PushFront(&lruItem{key: key, val: val, added: now})
+	if c.capacity > 0 && c.ll.Len() > c.capacity {
+		back := c.ll.Back()
+		it := back.Value.(*lruItem)
+		c.ll.Remove(back)
+		delete(c.items, it.key)
+		return it.key, true
+	}
+	return "", false
+}
+
+// remove drops key if present.
+func (c *lruCache) remove(key string) {
+	if el, ok := c.items[key]; ok {
+		c.ll.Remove(el)
+		delete(c.items, key)
+	}
+}
+
+// len returns the number of live entries.
+func (c *lruCache) len() int { return c.ll.Len() }

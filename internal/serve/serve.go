@@ -1,0 +1,402 @@
+// Package serve is the long-lived serving layer over QKBfly: the process
+// that survives between queries so on-the-fly KB construction (Nguyen et
+// al., PVLDB 2017) does not start from scratch every time.
+//
+// A Server wraps a qkbfly.System behind three reuse mechanisms:
+//
+//   - a query cache: finished KBs keyed by normalized query + build
+//     options, with LRU capacity and TTL eviction, each entry stamped
+//     with its KB.Fingerprint();
+//   - a singleflight group: concurrent identical queries collapse onto
+//     one engine run and share its result;
+//   - a shard cache: the engine's per-document KB shards are
+//     deterministic, so a query whose retrieved documents were already
+//     processed (by any earlier query) skips the pipeline for them and
+//     goes straight to the deterministic document-order merge.
+//
+// Because the engine's shard merge is order-deterministic, every path —
+// cold build, query-cache hit, singleflight join, shard-cache re-merge —
+// yields a byte-identical KB for the same query.
+//
+// Reuse is accounted through a stats.CounterSet (hits, misses,
+// inflight joins, shard reuses, evictions, time saved); KBs handed out
+// by the Server are shared across callers and must be treated read-only.
+package serve
+
+import (
+	"context"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"qkbfly"
+	"qkbfly/internal/engine"
+	"qkbfly/internal/kb/store"
+	"qkbfly/internal/nlp"
+	"qkbfly/internal/stats"
+)
+
+// Counter names exposed through Server.Stats.
+const (
+	// CounterQueryHits / CounterQueryMisses count query-cache lookups;
+	// CounterInflightJoins counts requests coalesced onto an in-flight
+	// duplicate build by the singleflight group.
+	CounterQueryHits     = "query_hits"
+	CounterQueryMisses   = "query_misses"
+	CounterInflightJoins = "inflight_joins"
+	// CounterShardHits counts per-document shards reused from earlier
+	// queries; CounterShardMisses counts shards that had to be built.
+	CounterShardHits   = "shard_hits"
+	CounterShardMisses = "shard_misses"
+	// CounterEngineRuns counts invocations of the construction pipeline
+	// (a warm query performs zero); CounterEngineDocs the documents those
+	// runs processed.
+	CounterEngineRuns = "engine_runs"
+	CounterEngineDocs = "engine_docs"
+	// Eviction counters, split by cache and by cause.
+	CounterQueryEvictions    = "query_evictions"
+	CounterQueryTTLEvictions = "query_ttl_evictions"
+	CounterShardEvictions    = "shard_evictions"
+	CounterShardTTLEvictions = "shard_ttl_evictions"
+	// Saved-time counters (nanoseconds). Query-cache hits credit the full
+	// per-stage cost of the cached build; shard reuses credit the per-doc
+	// build time of each reused shard.
+	CounterSavedTotalNS        = "saved_total_ns"
+	CounterSavedAnnotateNS     = "saved_annotate_ns"
+	CounterSavedGraphNS        = "saved_graph_ns"
+	CounterSavedDensifyNS      = "saved_densify_ns"
+	CounterSavedCanonicalizeNS = "saved_canonicalize_ns"
+	CounterSavedShardNS        = "saved_shard_ns"
+)
+
+// Backend is the slice of qkbfly.System the Server is built on: document
+// retrieval and per-document shard construction. Tests substitute fakes
+// to control latency and blocking.
+type Backend interface {
+	// Retrieve returns the documents for a query; see qkbfly.System.Retrieve.
+	Retrieve(query, source string, size int) []*nlp.Document
+	// BuildShardsContext builds one deterministic KB shard per document;
+	// see qkbfly.System.BuildShardsContext.
+	BuildShardsContext(ctx context.Context, docs []*nlp.Document, opts ...qkbfly.Option) ([]*store.KB, *qkbfly.BuildStats, error)
+}
+
+// Options tune a Server's caches.
+type Options struct {
+	// Capacity is the maximum number of query-cache entries (finished
+	// KBs); <= 0 means 128.
+	Capacity int
+	// ShardCapacity is the maximum number of cached per-document shards;
+	// <= 0 means 1024.
+	ShardCapacity int
+	// TTL expires cache entries (query and shard) this long after
+	// insertion; 0 means no time-based expiry.
+	TTL time.Duration
+	// Clock supplies the time used for TTL bookkeeping; nil means
+	// time.Now. Tests inject a fake clock so eviction is exercised
+	// without sleeping. (Elapsed-time measurements always use the real
+	// monotonic clock.)
+	Clock func() time.Time
+}
+
+// Result is one served KB build.
+type Result struct {
+	KB   *store.KB
+	Docs []*nlp.Document
+	// Stats is the accounting of the engine work behind this result. For
+	// a query-cache hit it is a copy of the cold build's stats; for a
+	// shard-reuse build, PerDocElapsed reports each reused shard's
+	// original build time at its document position.
+	Stats *qkbfly.BuildStats
+	// CacheHit reports the result came straight from the query cache;
+	// Joined that it was coalesced onto another request's in-flight build.
+	CacheHit bool
+	Joined   bool
+}
+
+// queryEntry is one finished KB in the query cache.
+type queryEntry struct {
+	kb          *store.KB
+	docs        []*nlp.Document
+	bs          *qkbfly.BuildStats
+	fingerprint string // KB.Fingerprint() at insertion, for identity checks
+}
+
+// shardEntry is one cached per-document shard.
+type shardEntry struct {
+	kb        *store.KB
+	buildTime time.Duration // the per-doc pipeline time the reuse saves
+}
+
+// Server is the long-lived serving layer. It is safe for concurrent use.
+type Server struct {
+	backend  Backend
+	opt      Options
+	counters *stats.CounterSet
+
+	mu      sync.Mutex // guards queries and shards
+	queries *lruCache  // query key -> *queryEntry
+	shards  *lruCache  // doc key  -> *shardEntry
+	flight  *flightGroup
+}
+
+// New returns a Server over the backend (normally a *qkbfly.System).
+func New(backend Backend, opt Options) *Server {
+	if opt.Capacity <= 0 {
+		opt.Capacity = 128
+	}
+	if opt.ShardCapacity <= 0 {
+		opt.ShardCapacity = 1024
+	}
+	if opt.Clock == nil {
+		opt.Clock = time.Now
+	}
+	return &Server{
+		backend:  backend,
+		opt:      opt,
+		counters: stats.NewCounterSet(),
+		queries:  newLRU(opt.Capacity),
+		shards:   newLRU(opt.ShardCapacity),
+		flight:   newFlightGroup(),
+	}
+}
+
+// Counters exposes the serving counters (read with Get/Snapshot).
+func (s *Server) Counters() *stats.CounterSet { return s.counters }
+
+// Snapshot is a point-in-time view of the serving state for /stats.
+type Snapshot struct {
+	Counters     map[string]int64 `json:"counters"`
+	QueryEntries int              `json:"query_entries"`
+	ShardEntries int              `json:"shard_entries"`
+}
+
+// Stats returns the current counters and cache occupancy.
+func (s *Server) Stats() Snapshot {
+	s.mu.Lock()
+	q, sh := s.queries.len(), s.shards.len()
+	s.mu.Unlock()
+	return Snapshot{Counters: s.counters.Snapshot(), QueryEntries: q, ShardEntries: sh}
+}
+
+// KB serves the on-the-fly KB for a query: query cache, then
+// singleflight, then shard-cache-assisted construction. On error (e.g. a
+// cancelled build) the Result still carries the KB over the processed
+// prefix, and nothing is cached at the query level.
+//
+// Coalesced duplicates run under the leader's context (the usual
+// singleflight tradeoff): if the leading request is cancelled mid-build,
+// joiners receive its error too — nothing is cached, so their retry
+// rebuilds. A joiner's own cancellation only detaches that joiner.
+func (s *Server) KB(ctx context.Context, query, source string, size int, opts ...qkbfly.Option) (*Result, error) {
+	key := queryKey(query, source, size, opts)
+	if e := s.lookupQuery(key); e != nil {
+		s.recordQueryHit(e)
+		return &Result{KB: e.kb, Docs: e.docs, Stats: copyStats(e.bs), CacheHit: true}, nil
+	}
+	fr, joined, err := s.flight.do(ctx, key, func() *flightResult {
+		// Double-check: a previous leader may have filled the cache
+		// between our miss and acquiring the flight.
+		if e := s.lookupQuery(key); e != nil {
+			s.recordQueryHit(e)
+			return &flightResult{res: &Result{KB: e.kb, Docs: e.docs, Stats: copyStats(e.bs), CacheHit: true}}
+		}
+		s.counters.Add(CounterQueryMisses, 1)
+		docs := s.backend.Retrieve(query, source, size)
+		kb, bs, err := s.buildFromShards(ctx, docs, opts)
+		res := &Result{KB: kb, Docs: docs, Stats: bs}
+		if err == nil {
+			// The cached entry keeps its own copy of the accounting so a
+			// caller mutating res.Stats cannot corrupt later hits.
+			s.storeQuery(key, &queryEntry{kb: kb, docs: docs, bs: copyStats(bs), fingerprint: kb.Fingerprint()})
+		}
+		return &flightResult{res: res, err: err}
+	})
+	if err != nil {
+		// The joiner's own context was cancelled while waiting.
+		return &Result{KB: store.New(), Stats: &qkbfly.BuildStats{PerDocElapsed: []time.Duration{}}, Joined: true}, err
+	}
+	if joined {
+		s.counters.Add(CounterInflightJoins, 1)
+		res := *fr.res
+		if res.Stats != nil {
+			// Each joiner gets its own accounting copy; the KB and docs
+			// are shared read-only like on the cache-hit path.
+			res.Stats = copyStats(res.Stats)
+		}
+		res.Joined = true
+		return &res, fr.err
+	}
+	return fr.res, fr.err
+}
+
+// KBForDocs builds the KB for an already-retrieved document set through
+// the shard cache: cached shards are reused, only missing documents go
+// through the pipeline, and everything merges in document order. This is
+// the path internal/qa plugs into (qa retrieves its own documents).
+func (s *Server) KBForDocs(ctx context.Context, docs []*nlp.Document, opts ...qkbfly.Option) (*store.KB, *qkbfly.BuildStats, error) {
+	return s.buildFromShards(ctx, docs, opts)
+}
+
+// buildFromShards assembles the KB for docs, reusing cached per-document
+// shards and building only the missing ones. Freshly built shards are
+// cached even when the run was cancelled mid-batch (each processed shard
+// is complete and deterministic); the query-level entry is the caller's
+// decision.
+func (s *Server) buildFromShards(ctx context.Context, docs []*nlp.Document, opts []qkbfly.Option) (*store.KB, *qkbfly.BuildStats, error) {
+	start := time.Now()
+	okey := optionKey(opts)
+	shards := make([]*store.KB, len(docs))
+	times := make([]time.Duration, len(docs))
+	var missing []*nlp.Document
+	var missingIdx []int
+	for i, d := range docs {
+		if se := s.lookupShard(shardKey(d.ID, okey)); se != nil {
+			shards[i] = se.kb
+			times[i] = se.buildTime
+			s.counters.Add(CounterShardHits, 1)
+			s.counters.Add(CounterSavedShardNS, int64(se.buildTime))
+		} else {
+			s.counters.Add(CounterShardMisses, 1)
+			missing = append(missing, d)
+			missingIdx = append(missingIdx, i)
+		}
+	}
+
+	bs := &qkbfly.BuildStats{Parallelism: 1, PerDocElapsed: []time.Duration{}}
+	var buildErr error
+	if len(missing) > 0 {
+		s.counters.Add(CounterEngineRuns, 1)
+		built, mbs, err := s.backend.BuildShardsContext(ctx, missing, opts...)
+		buildErr = err
+		if mbs != nil {
+			bs.Sentences = mbs.Sentences
+			bs.Clauses = mbs.Clauses
+			bs.EdgesRemoved = mbs.EdgesRemoved
+			bs.Parallelism = mbs.Parallelism
+			bs.StageElapsed.Add(mbs.StageElapsed)
+			s.counters.Add(CounterEngineDocs, int64(mbs.Documents))
+		}
+		for j, shard := range built {
+			if shard == nil {
+				continue // not reached before cancellation
+			}
+			i := missingIdx[j]
+			shards[i] = shard
+			if mbs != nil && j < len(mbs.PerDocElapsed) {
+				times[i] = mbs.PerDocElapsed[j]
+			}
+			s.storeShard(shardKey(docs[i].ID, okey), &shardEntry{kb: shard, buildTime: times[i]})
+		}
+	}
+
+	mergeStart := time.Now()
+	kb := engine.MergeShards(shards)
+	bs.StageElapsed.Merge = time.Since(mergeStart)
+	for i, shard := range shards {
+		if shard == nil {
+			continue
+		}
+		bs.Documents++
+		bs.PerDocElapsed = append(bs.PerDocElapsed, times[i])
+	}
+	bs.Elapsed = time.Since(start)
+	return kb, bs, buildErr
+}
+
+// recordQueryHit credits the saved engine work of one query-cache hit.
+func (s *Server) recordQueryHit(e *queryEntry) {
+	s.counters.Add(CounterQueryHits, 1)
+	st := e.bs.StageElapsed
+	s.counters.Add(CounterSavedTotalNS, int64(e.bs.Elapsed))
+	s.counters.Add(CounterSavedAnnotateNS, int64(st.Annotate))
+	s.counters.Add(CounterSavedGraphNS, int64(st.Graph))
+	s.counters.Add(CounterSavedDensifyNS, int64(st.Densify))
+	s.counters.Add(CounterSavedCanonicalizeNS, int64(st.Canonicalize))
+}
+
+// lookupQuery returns the live query entry for key, lazily expiring it
+// when the TTL has passed.
+func (s *Server) lookupQuery(key string) *queryEntry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, added, ok := s.queries.get(key)
+	if !ok {
+		return nil
+	}
+	if s.expired(added) {
+		s.queries.remove(key)
+		s.counters.Add(CounterQueryTTLEvictions, 1)
+		return nil
+	}
+	return v.(*queryEntry)
+}
+
+func (s *Server) storeQuery(key string, e *queryEntry) {
+	s.mu.Lock()
+	if _, evicted := s.queries.put(key, e, s.opt.Clock()); evicted {
+		s.counters.Add(CounterQueryEvictions, 1)
+	}
+	s.mu.Unlock()
+}
+
+func (s *Server) lookupShard(key string) *shardEntry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, added, ok := s.shards.get(key)
+	if !ok {
+		return nil
+	}
+	if s.expired(added) {
+		s.shards.remove(key)
+		s.counters.Add(CounterShardTTLEvictions, 1)
+		return nil
+	}
+	return v.(*shardEntry)
+}
+
+func (s *Server) storeShard(key string, e *shardEntry) {
+	s.mu.Lock()
+	if _, evicted := s.shards.put(key, e, s.opt.Clock()); evicted {
+		s.counters.Add(CounterShardEvictions, 1)
+	}
+	s.mu.Unlock()
+}
+
+// expired reports whether an entry stamped at added has outlived the TTL.
+func (s *Server) expired(added time.Time) bool {
+	return s.opt.TTL > 0 && s.opt.Clock().Sub(added) >= s.opt.TTL
+}
+
+// queryKey normalizes the request into the cache key. Whitespace and case
+// differences in the query collapse (mirroring index normalization);
+// options that change the built KB (the co-reference window) are part of
+// the key, while pure execution knobs (parallelism) are not — the engine
+// guarantees the same KB at any worker count.
+func queryKey(query, source string, size int, opts []qkbfly.Option) string {
+	q := strings.Join(strings.Fields(strings.ToLower(query)), " ")
+	return q + "\x00" + source + "\x00" + strconv.Itoa(size) + "\x00" + optionKey(opts)
+}
+
+// optionKey renders the result-affecting per-call options.
+func optionKey(opts []qkbfly.Option) string {
+	cfg := engine.Config{CorefWindow: -1}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return "cw=" + strconv.Itoa(cfg.CorefWindow)
+}
+
+// shardKey identifies a cached per-document shard: the document plus the
+// options its build depended on.
+func shardKey(docID, optKey string) string {
+	return docID + "\x00" + optKey
+}
+
+// copyStats returns a shallow copy with its own PerDocElapsed, so callers
+// of a cache hit cannot disturb the cached accounting.
+func copyStats(bs *qkbfly.BuildStats) *qkbfly.BuildStats {
+	cp := *bs
+	cp.PerDocElapsed = append([]time.Duration(nil), bs.PerDocElapsed...)
+	return &cp
+}

@@ -1,0 +1,72 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// errFlightAborted is delivered to waiters whose leader died (panicked)
+// without producing a result.
+var errFlightAborted = errors.New("serve: in-flight build aborted")
+
+// flightResult is what one build delivers to every request coalesced onto
+// it. kb/docs/stats may be partially filled alongside a non-nil err (a
+// cancelled build still yields the KB over its processed prefix).
+type flightResult struct {
+	res *Result
+	err error
+}
+
+// flightCall is one in-flight build; done is closed after res is set.
+type flightCall struct {
+	done chan struct{}
+	res  *flightResult
+}
+
+// flightGroup collapses concurrent duplicate work: for each key, the
+// first caller becomes the leader and runs fn; callers arriving while the
+// leader is still running wait and share its result, so N simultaneous
+// identical queries cost one engine run.
+type flightGroup struct {
+	mu    sync.Mutex
+	calls map[string]*flightCall
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{calls: make(map[string]*flightCall)}
+}
+
+// do executes fn once per key among concurrent callers. joined reports
+// whether this caller waited on another caller's execution. A joiner
+// whose own context is cancelled stops waiting and returns ctx.Err()
+// without affecting the leader.
+func (g *flightGroup) do(ctx context.Context, key string, fn func() *flightResult) (res *flightResult, joined bool, err error) {
+	g.mu.Lock()
+	if c, ok := g.calls[key]; ok {
+		g.mu.Unlock()
+		select {
+		case <-c.done:
+			if c.res == nil { // the leader panicked before delivering
+				return nil, true, errFlightAborted
+			}
+			return c.res, true, nil
+		case <-ctx.Done():
+			return nil, true, ctx.Err()
+		}
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.calls[key] = c
+	g.mu.Unlock()
+
+	// Clean up even if fn panics: the key must not stay poisoned (waiters
+	// would block forever and the query could never be served again).
+	defer func() {
+		g.mu.Lock()
+		delete(g.calls, key) // before close: late arrivals start a fresh call
+		g.mu.Unlock()
+		close(c.done)
+	}()
+	c.res = fn()
+	return c.res, false, nil
+}

@@ -1,0 +1,58 @@
+package stats
+
+import (
+	"sort"
+	"sync"
+)
+
+// CounterSet is a set of named monotonic counters for run-time accounting
+// — the serving layer's cache hits, misses, evictions and saved work are
+// reported through one. Unlike the corpus statistics in the rest of this
+// package (precomputed once, read-only), a CounterSet is written on the
+// request path, so every method is safe for concurrent use.
+type CounterSet struct {
+	mu     sync.RWMutex
+	counts map[string]int64
+}
+
+// NewCounterSet returns an empty counter set.
+func NewCounterSet() *CounterSet {
+	return &CounterSet{counts: make(map[string]int64)}
+}
+
+// Add increments the named counter by delta.
+func (c *CounterSet) Add(name string, delta int64) {
+	c.mu.Lock()
+	c.counts[name] += delta
+	c.mu.Unlock()
+}
+
+// Get returns the current value of the named counter (0 if never added).
+func (c *CounterSet) Get(name string) int64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.counts[name]
+}
+
+// Snapshot returns a point-in-time copy of every counter.
+func (c *CounterSet) Snapshot() map[string]int64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make(map[string]int64, len(c.counts))
+	for k, v := range c.counts {
+		out[k] = v
+	}
+	return out
+}
+
+// Names returns the counter names in sorted order (for stable rendering).
+func (c *CounterSet) Names() []string {
+	c.mu.RLock()
+	names := make([]string, 0, len(c.counts))
+	for k := range c.counts {
+		names = append(names, k)
+	}
+	c.mu.RUnlock()
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,40 @@
+package stats
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+)
+
+func TestCounterSetConcurrentAdds(t *testing.T) {
+	c := NewCounterSet()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Add("hits", 1)
+				c.Add("saved_ns", 3)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Get("hits"); got != 8000 {
+		t.Errorf("hits = %d, want 8000", got)
+	}
+	if got := c.Get("saved_ns"); got != 24000 {
+		t.Errorf("saved_ns = %d, want 24000", got)
+	}
+	if got := c.Get("never-touched"); got != 0 {
+		t.Errorf("unknown counter = %d, want 0", got)
+	}
+	if names := c.Names(); !reflect.DeepEqual(names, []string{"hits", "saved_ns"}) {
+		t.Errorf("names = %v", names)
+	}
+	snap := c.Snapshot()
+	c.Add("hits", 1)
+	if snap["hits"] != 8000 {
+		t.Errorf("snapshot mutated by later Add: %d", snap["hits"])
+	}
+}

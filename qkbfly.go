@@ -194,20 +194,43 @@ func (s *System) engineConfig() engine.Config {
 	}
 }
 
-// BuildKBForQueryContext retrieves documents for the query from the index
-// and builds the on-the-fly KB from them — the end-to-end query-driven
-// flow of §6. source restricts retrieval ("wikipedia", "news" or "");
-// size is the number of documents.
-func (s *System) BuildKBForQueryContext(ctx context.Context, query string, source string, size int, opts ...Option) (*store.KB, []*nlp.Document, *BuildStats, error) {
+// Retrieve returns the documents the index yields for the query — the §6
+// retrieval step of the query-driven flow, exposed so the serving layer
+// can consult its shard cache before deciding what to build. Documents
+// are deep copies (annotation mutates them); a system without an index
+// retrieves nothing. source restricts retrieval ("wikipedia", "news" or
+// ""); size is the number of documents.
+func (s *System) Retrieve(query string, source string, size int) []*nlp.Document {
 	if s.res.Index == nil {
-		kb, bs, err := s.BuildKBContext(ctx, nil, opts...)
-		return kb, nil, bs, err
+		return nil
 	}
 	hits := s.res.Index.Search(query, size, source)
 	docs := make([]*nlp.Document, 0, len(hits))
 	for _, h := range hits {
 		docs = append(docs, cloneDoc(h.Doc))
 	}
+	return docs
+}
+
+// BuildShardsContext runs the four-stage pipeline but returns one KB
+// shard per document instead of the merged KB — the reusable half of
+// BuildKBContext. Shards are deterministic per document, so a serving
+// layer can cache them and re-merge (engine.MergeShards order) with
+// shards of other batches; shards[i] is nil for documents not reached
+// before cancellation.
+func (s *System) BuildShardsContext(ctx context.Context, docs []*nlp.Document, opts ...Option) ([]*store.KB, *BuildStats, error) {
+	return engine.New(s.engineConfig(), opts...).RunShards(ctx, docs)
+}
+
+// BuildKBForQueryContext retrieves documents for the query from the index
+// and builds the on-the-fly KB from them — the end-to-end query-driven
+// flow of §6. source restricts retrieval ("wikipedia", "news" or "");
+// size is the number of documents. Empty retrievals (no index, or no
+// hits) return a usable empty KB with consistent BuildStats: zeroed stage
+// timings and an empty, non-nil PerDocElapsed, with per-call options
+// applied the same way as on the non-empty path.
+func (s *System) BuildKBForQueryContext(ctx context.Context, query string, source string, size int, opts ...Option) (*store.KB, []*nlp.Document, *BuildStats, error) {
+	docs := s.Retrieve(query, source, size)
 	kb, bs, err := s.BuildKBContext(ctx, docs, opts...)
 	return kb, docs, bs, err
 }
