@@ -1,0 +1,255 @@
+// Command qkbfly-bench is the repo's perf harness: it measures the cold
+// on-the-fly KB construction path (full annotate → graph → densify →
+// canonicalize → merge pipeline over the sample corpus) and the warm
+// serving path (query-cache hit), and writes the numbers as JSON so PRs
+// can be diffed against the committed baseline (BENCH_PR3.json).
+//
+// Reported per cold build: wall-clock ns, allocations and bytes (from
+// runtime.MemStats deltas), and the per-stage CPU breakdown from the
+// engine's StageTimings. Before timing starts, the harness asserts the
+// engine's correctness invariant: the pooled parallel build fingerprints
+// identically to a serial build.
+//
+// Usage:
+//
+//	go run ./cmd/qkbfly-bench [-docs 24] [-iters 20] [-parallelism 0] \
+//	    [-seed 1] [-out BENCH.json]
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"qkbfly"
+	"qkbfly/internal/corpus"
+	"qkbfly/internal/engine"
+	"qkbfly/internal/nlp/clause"
+	"qkbfly/internal/nlp/depparse"
+	"qkbfly/internal/search"
+	"qkbfly/internal/serve"
+	"qkbfly/internal/stats"
+)
+
+// Report is the JSON document the harness emits.
+type Report struct {
+	Config  ConfigInfo  `json:"config"`
+	Cold    ColdResult  `json:"cold"`
+	Warm    WarmResult  `json:"warm"`
+	Machine MachineInfo `json:"machine"`
+}
+
+// ConfigInfo records what was measured.
+type ConfigInfo struct {
+	Docs        int   `json:"docs"`
+	Iters       int   `json:"iters"`
+	Parallelism int   `json:"parallelism"`
+	Seed        int64 `json:"seed"`
+}
+
+// StageNS is the per-stage CPU breakdown of one average cold build.
+type StageNS struct {
+	Annotate     int64 `json:"annotate"`
+	Graph        int64 `json:"graph"`
+	Densify      int64 `json:"densify"`
+	Canonicalize int64 `json:"canonicalize"`
+	Merge        int64 `json:"merge"`
+}
+
+// ColdResult summarizes the cold-build measurements.
+type ColdResult struct {
+	NsPerBuild            int64   `json:"ns_per_build"`
+	AllocsPerBuild        uint64  `json:"allocs_per_build"`
+	BytesPerBuild         uint64  `json:"bytes_per_build"`
+	NsPerDoc              int64   `json:"ns_per_doc"`
+	Facts                 int     `json:"facts"`
+	StageNS               StageNS `json:"stage_ns"`
+	FingerprintIdentical  bool    `json:"fingerprint_identical"`
+	FingerprintParallel   int     `json:"fingerprint_parallelism"`
+	FingerprintComparedTo string  `json:"fingerprint_compared_to"`
+}
+
+// WarmResult summarizes the query-cache-hit measurements.
+type WarmResult struct {
+	Query         string  `json:"query"`
+	NsPerQuery    int64   `json:"ns_per_query"`
+	SpeedupVsCold float64 `json:"speedup_vs_cold"`
+}
+
+// MachineInfo pins the environment the numbers came from.
+type MachineInfo struct {
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	NumCPU     int    `json:"num_cpu"`
+	GoVersion  string `json:"go_version"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+}
+
+func main() {
+	var (
+		nDocs = flag.Int("docs", 24, "documents per cold build")
+		iters = flag.Int("iters", 20, "cold-build iterations to average")
+		par   = flag.Int("parallelism", 0, "engine worker-pool size (0 = one per CPU)")
+		seed  = flag.Int64("seed", 1, "world seed")
+		out   = flag.String("out", "BENCH.json", "output JSON path")
+	)
+	flag.Parse()
+	if *nDocs < 1 || *iters < 1 {
+		fatal(fmt.Errorf("-docs and -iters must be >= 1 (got %d, %d)", *nDocs, *iters))
+	}
+
+	fmt.Fprintln(os.Stderr, "generating world and background statistics...")
+	cfg := corpus.SmallConfig()
+	cfg.Seed = *seed
+	w := corpus.NewWorld(cfg)
+	bg := w.BackgroundCorpus()
+	pipe := clause.NewPipeline(w.Repo, depparse.Malt)
+	st := stats.Build(corpus.Docs(bg), w.Repo, pipe)
+	idx := search.New(corpus.Docs(append(bg, w.NewsDataset(2)...)))
+
+	qcfg := qkbfly.DefaultConfig()
+	qcfg.Parallelism = *par
+	sys := qkbfly.New(qkbfly.Resources{
+		Repo: w.Repo, Patterns: w.Patterns, Stats: st, Index: idx,
+	}, qcfg)
+	ctx := context.Background()
+
+	// Correctness invariant first: pooled parallel == serial, byte for byte.
+	effPar := *par
+	if effPar <= 0 {
+		effPar = runtime.NumCPU()
+	}
+	serialKB, _, err := sys.BuildKBContext(ctx, corpus.Docs(w.WikiDataset(*nDocs)), qkbfly.WithParallelism(1))
+	if err != nil {
+		fatal(err)
+	}
+	parKB, _, err := sys.BuildKBContext(ctx, corpus.Docs(w.WikiDataset(*nDocs)), qkbfly.WithParallelism(effPar))
+	if err != nil {
+		fatal(err)
+	}
+	identical := serialKB.Fingerprint() == parKB.Fingerprint()
+	if !identical {
+		fatal(fmt.Errorf("pooled parallel KB (p=%d) differs from serial KB", effPar))
+	}
+
+	// Cold builds: wall time + allocation deltas + stage CPU breakdown.
+	fmt.Fprintf(os.Stderr, "cold: %d iterations × %d docs (p=%d)...\n", *iters, *nDocs, effPar)
+	var (
+		totalNS     int64
+		stageTotals engine.StageTimings
+		ms0, ms1    runtime.MemStats
+		allocs      uint64
+		bytes       uint64
+		facts       int
+	)
+	for i := 0; i < *iters; i++ {
+		docs := corpus.Docs(w.WikiDataset(*nDocs)) // outside the measured region
+		runtime.GC()
+		runtime.ReadMemStats(&ms0)
+		t0 := time.Now()
+		kb, bs, err := sys.BuildKBContext(ctx, docs, qkbfly.WithParallelism(effPar))
+		elapsed := time.Since(t0)
+		runtime.ReadMemStats(&ms1)
+		if err != nil {
+			fatal(err)
+		}
+		totalNS += elapsed.Nanoseconds()
+		allocs += ms1.Mallocs - ms0.Mallocs
+		bytes += ms1.TotalAlloc - ms0.TotalAlloc
+		stageTotals.Add(bs.StageElapsed)
+		facts = kb.Len()
+	}
+	n := int64(*iters)
+	cold := ColdResult{
+		NsPerBuild:     totalNS / n,
+		AllocsPerBuild: allocs / uint64(n),
+		BytesPerBuild:  bytes / uint64(n),
+		NsPerDoc:       totalNS / n / int64(*nDocs),
+		Facts:          facts,
+		StageNS: StageNS{
+			Annotate:     stageTotals.Annotate.Nanoseconds() / n,
+			Graph:        stageTotals.Graph.Nanoseconds() / n,
+			Densify:      stageTotals.Densify.Nanoseconds() / n,
+			Canonicalize: stageTotals.Canonicalize.Nanoseconds() / n,
+			Merge:        stageTotals.Merge.Nanoseconds() / n,
+		},
+		FingerprintIdentical:  identical,
+		FingerprintParallel:   effPar,
+		FingerprintComparedTo: "serial (parallelism=1)",
+	}
+
+	// Warm path: a long-lived server answering the same query from cache.
+	actors := w.EntitiesOfType("ACTOR")
+	if len(actors) == 0 {
+		fatal(fmt.Errorf("sample world has no ACTOR entities"))
+	}
+	query := w.Entity(actors[0]).Name
+	srv := serve.New(sys, serve.Options{})
+	coldRes, err := srv.KB(ctx, query, "wikipedia", 4)
+	if err != nil {
+		fatal(err)
+	}
+	first, err := srv.KB(ctx, query, "wikipedia", 4)
+	if err != nil {
+		fatal(err)
+	}
+	if !first.CacheHit || first.KB.Fingerprint() != coldRes.KB.Fingerprint() {
+		fatal(fmt.Errorf("warm result invalid (hit=%t)", first.CacheHit))
+	}
+	const warmIters = 2000
+	t0 := time.Now()
+	for i := 0; i < warmIters; i++ {
+		if _, err := srv.KB(ctx, query, "wikipedia", 4); err != nil {
+			fatal(err)
+		}
+	}
+	warmNS := time.Since(t0).Nanoseconds() / warmIters
+	warm := WarmResult{
+		Query:      query,
+		NsPerQuery: warmNS,
+	}
+	if warmNS > 0 {
+		warm.SpeedupVsCold = float64(cold.NsPerBuild) / float64(warmNS)
+	}
+
+	report := Report{
+		Config: ConfigInfo{Docs: *nDocs, Iters: *iters, Parallelism: effPar, Seed: *seed},
+		Cold:   cold,
+		Warm:   warm,
+		Machine: MachineInfo{
+			GOOS: runtime.GOOS, GOARCH: runtime.GOARCH,
+			NumCPU: runtime.NumCPU(), GoVersion: runtime.Version(),
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+		},
+	}
+	blob, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	blob = append(blob, '\n')
+	if err := os.WriteFile(*out, blob, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "cold %.2fms/build (%d allocs, %s), warm %.1fµs/query (%.0f× cold) -> %s\n",
+		float64(cold.NsPerBuild)/1e6, cold.AllocsPerBuild, humanBytes(cold.BytesPerBuild),
+		float64(warmNS)/1e3, warm.SpeedupVsCold, *out)
+}
+
+func humanBytes(b uint64) string {
+	switch {
+	case b >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(b)/(1<<10))
+	}
+	return fmt.Sprintf("%dB", b)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "qkbfly-bench:", err)
+	os.Exit(1)
+}

@@ -20,6 +20,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the DefaultServeMux, served only on -pprof
 	"os"
 	"os/signal"
 	"syscall"
@@ -45,8 +46,21 @@ func main() {
 		shardCapacity = flag.Int("shard-capacity", 1024, "per-document shard-cache entries")
 		ttl           = flag.Duration("ttl", 5*time.Minute, "cache entry TTL (0 = no expiry)")
 		drain         = flag.Duration("shutdown-timeout", 10*time.Second, "graceful-shutdown drain window")
+		pprofAddr     = flag.String("pprof", "", "net/http/pprof listen address (e.g. localhost:6060; empty = disabled)")
 	)
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		// Profiles on a separate listener so production traffic and the
+		// debug surface never share a port; enabled by flag so capturing a
+		// CPU/heap profile never requires a rebuild.
+		go func() {
+			fmt.Fprintf(os.Stderr, "pprof listening on %s (/debug/pprof/)\n", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "pprof server error: %v\n", err)
+			}
+		}()
+	}
 
 	cfg := corpus.DefaultConfig()
 	cfg.Seed = *seed

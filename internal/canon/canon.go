@@ -6,11 +6,9 @@
 package canon
 
 import (
-	"sort"
-	"strings"
-
 	"qkbfly/internal/densify"
 	"qkbfly/internal/graph"
+	"qkbfly/internal/intern"
 	"qkbfly/internal/kb/entityrepo"
 	"qkbfly/internal/kb/patterns"
 	"qkbfly/internal/kb/store"
@@ -38,11 +36,35 @@ type nodeValue struct {
 	confidence float64
 	types      []string
 	resolved   bool
+	set        bool // whether this node has been assigned a value at all
 }
+
+// Scratch holds the reusable canonicalization state of one worker: the
+// union-find buffers over sameAs groups, the node-value table, and the
+// mention/argument assembly buffers. Not safe for concurrent use.
+type Scratch struct {
+	uf       graph.GroupFinder
+	npIDs    []int
+	values   []nodeValue
+	mentions []string
+	args     []clause.Constituent
+	objs     []store.Value
+	byteBuf  []byte
+}
+
+// NewScratch returns an empty canonicalization scratch.
+func NewScratch() *Scratch { return &Scratch{} }
 
 // Populate canonicalizes one document's densified graph into the KB.
 func (c *Canonicalizer) Populate(kb *store.KB, doc *nlp.Document, g *graph.Graph, res *densify.Result) {
-	values := c.resolveNodes(kb, doc, g, res)
+	c.PopulateScratch(kb, doc, g, res, NewScratch())
+}
+
+// PopulateScratch is Populate with caller-owned scratch buffers, making
+// steady-state canonicalization allocation-lean (only the fact/entity
+// records that escape into the KB are freshly allocated).
+func (c *Canonicalizer) PopulateScratch(kb *store.KB, doc *nlp.Document, g *graph.Graph, res *densify.Result, sc *Scratch) {
+	values := c.resolveNodes(kb, doc, g, res, sc)
 
 	// Facts from clause nodes: subject plus all arguments that depend on
 	// the same clause node merge into one (possibly higher-arity) fact.
@@ -50,7 +72,7 @@ func (c *Canonicalizer) Populate(kb *store.KB, doc *nlp.Document, g *graph.Graph
 		if n.Kind != graph.ClauseNode || n.Clause == nil {
 			continue
 		}
-		c.clauseFact(kb, doc, g, n, values)
+		c.clauseFact(kb, doc, g, n, values, sc)
 	}
 	// Standalone binary facts from heuristic relation edges (possessives
 	// and "is the <noun> of" complements).
@@ -58,9 +80,8 @@ func (c *Canonicalizer) Populate(kb *store.KB, doc *nlp.Document, g *graph.Graph
 		if e.Kind != graph.RelationEdge || !e.Aux || e.Removed {
 			continue
 		}
-		sv, ok1 := values[e.From]
-		ov, ok2 := values[e.To]
-		if !ok1 || !ok2 || !sv.resolved || !ov.resolved {
+		sv, ov := values[e.From], values[e.To]
+		if !sv.set || !ov.set || !sv.resolved || !ov.resolved {
 			continue
 		}
 		rel, _ := c.Patterns.Canonicalize(e.Label, sv.types, ov.types)
@@ -74,24 +95,32 @@ func (c *Canonicalizer) Populate(kb *store.KB, doc *nlp.Document, g *graph.Graph
 }
 
 // resolveNodes turns every NP/pronoun node into a store.Value, creating
-// entity records (linked and emerging) along the way.
-func (c *Canonicalizer) resolveNodes(kb *store.KB, doc *nlp.Document, g *graph.Graph, res *densify.Result) map[int]nodeValue {
-	values := map[int]nodeValue{}
+// entity records (linked and emerging) along the way. The returned table
+// is indexed by node ID and owned by the scratch.
+func (c *Canonicalizer) resolveNodes(kb *store.KB, doc *nlp.Document, g *graph.Graph, res *densify.Result, sc *Scratch) []nodeValue {
+	n := len(g.Nodes)
+	if cap(sc.values) < n {
+		sc.values = make([]nodeValue, n)
+	} else {
+		sc.values = sc.values[:n]
+		clear(sc.values)
+	}
+	values := sc.values
 
-	// Union-find over alive NP-NP sameAs edges.
-	parent := map[int]int{}
-	var find func(int) int
-	find = func(x int) int {
-		if parent[x] != x {
-			parent[x] = find(parent[x])
+	// Union-find over alive NP-NP sameAs edges. Groups resolve by root
+	// ascending, members in node order — entity-record insertion order
+	// must not vary run to run, which the deterministic parallel merge
+	// cannot tolerate (see graph.GroupFinder's determinism contract).
+	uf := &sc.uf
+	uf.Reset(n)
+	npIDs := sc.npIDs[:0]
+	for _, gn := range g.Nodes {
+		if gn.Kind == graph.NounPhraseNode {
+			uf.Add(gn.ID)
+			npIDs = append(npIDs, gn.ID)
 		}
-		return parent[x]
 	}
-	for _, n := range g.Nodes {
-		if n.Kind == graph.NounPhraseNode {
-			parent[n.ID] = n.ID
-		}
-	}
+	sc.npIDs = npIDs
 	for _, e := range g.Edges {
 		if e.Kind != graph.SameAsEdge || e.Removed {
 			continue
@@ -99,48 +128,38 @@ func (c *Canonicalizer) resolveNodes(kb *store.KB, doc *nlp.Document, g *graph.G
 		if g.Nodes[e.From].Kind != graph.NounPhraseNode || g.Nodes[e.To].Kind != graph.NounPhraseNode {
 			continue
 		}
-		ra, rb := find(e.From), find(e.To)
-		if ra != rb {
-			parent[ra] = rb
-		}
+		uf.Union(e.From, e.To)
 	}
-	groups := map[int][]int{}
-	for _, n := range g.Nodes {
-		if n.Kind == graph.NounPhraseNode {
-			groups[find(n.ID)] = append(groups[find(n.ID)], n.ID)
-		}
-	}
-
-	// Resolve groups in sorted-root order: map iteration order would make
-	// entity-record insertion order (and thus Entities()) vary run to run,
-	// which the deterministic parallel merge cannot tolerate.
-	roots := make([]int, 0, len(groups))
-	for r := range groups {
-		roots = append(roots, r)
-	}
-	sort.Ints(roots)
-	for _, r := range roots {
-		c.resolveGroup(kb, g, groups[r], res, values)
+	for _, grp := range uf.Groups(npIDs) {
+		c.resolveGroup(kb, g, grp, res, values, sc)
 	}
 	// Pronouns take their antecedent's value.
-	for _, n := range g.Nodes {
-		if n.Kind != graph.PronounNode {
+	for _, gn := range g.Nodes {
+		if gn.Kind != graph.PronounNode {
 			continue
 		}
-		if ant, ok := res.Antecedent[n.ID]; ok && ant >= 0 {
-			if v, ok2 := values[ant]; ok2 {
-				values[n.ID] = v
+		if ant, ok := res.Antecedent[gn.ID]; ok && ant >= 0 {
+			if v := values[ant]; v.set {
+				values[gn.ID] = v
 			}
 		}
 	}
 	return values
 }
 
+// Shared type-tag slices for literal values; read-only downstream (they
+// only feed Patterns.Canonicalize type matching).
+var (
+	timeTypes    = []string{"TIME"}
+	literalTypes = []string{"LITERAL"}
+)
+
 // resolveGroup decides whether a sameAs group is a repository entity or an
 // emerging entity and registers it.
-func (c *Canonicalizer) resolveGroup(kb *store.KB, g *graph.Graph, grp []int, res *densify.Result, values map[int]nodeValue) {
-	// Collect mention surfaces and the (single) assignment.
-	var mentions []string
+func (c *Canonicalizer) resolveGroup(kb *store.KB, g *graph.Graph, grp []int, res *densify.Result, values []nodeValue, sc *Scratch) {
+	// Collect mention surfaces and the (single) assignment. The mentions
+	// buffer is scratch-owned; AddEntity copies what it keeps.
+	mentions := sc.mentions[:0]
 	entityID := ""
 	conf := 1.0
 	for _, id := range grp {
@@ -155,6 +174,7 @@ func (c *Canonicalizer) resolveGroup(kb *store.KB, g *graph.Graph, grp []int, re
 			}
 		}
 	}
+	sc.mentions = mentions
 
 	// TIME nodes are literals, never entities.
 	if len(grp) == 1 {
@@ -162,7 +182,7 @@ func (c *Canonicalizer) resolveGroup(kb *store.KB, g *graph.Graph, grp []int, re
 		if n.NER == nlp.NERTime {
 			values[n.ID] = nodeValue{
 				value:      store.Value{Literal: n.TimeValue, IsTime: true},
-				confidence: 1, types: []string{"TIME"}, resolved: true,
+				confidence: 1, types: timeTypes, resolved: true, set: true,
 			}
 			return
 		}
@@ -178,7 +198,7 @@ func (c *Canonicalizer) resolveGroup(kb *store.KB, g *graph.Graph, grp []int, re
 		for _, id := range grp {
 			values[id] = nodeValue{
 				value:      store.Value{EntityID: entityID},
-				confidence: conf, types: types, resolved: true,
+				confidence: conf, types: types, resolved: true, set: true,
 			}
 		}
 		return
@@ -200,13 +220,22 @@ func (c *Canonicalizer) resolveGroup(kb *store.KB, g *graph.Graph, grp []int, re
 			n := g.Nodes[id]
 			values[id] = nodeValue{
 				value:      store.Value{Literal: n.Text},
-				confidence: 1, types: []string{"LITERAL"}, resolved: n.Text != "",
+				confidence: 1, types: literalTypes, resolved: n.Text != "", set: true,
 			}
 		}
 		return
 	}
 	name := longest(mentions)
-	newID := "new:" + strings.ReplaceAll(name, " ", "_")
+	buf := append(sc.byteBuf[:0], "new:"...)
+	for i := 0; i < len(name); i++ {
+		b := name[i]
+		if b == ' ' {
+			b = '_'
+		}
+		buf = append(buf, b)
+	}
+	sc.byteBuf = buf
+	newID := intern.Default.InternBytes(buf)
 	types := nerTypes(nerType)
 	kb.AddEntity(store.EntityRecord{
 		ID: newID, Name: name, Mentions: mentions, Types: types, Emerging: true,
@@ -214,13 +243,13 @@ func (c *Canonicalizer) resolveGroup(kb *store.KB, g *graph.Graph, grp []int, re
 	for _, id := range grp {
 		values[id] = nodeValue{
 			value:      store.Value{EntityID: newID},
-			confidence: 1, types: types, resolved: true,
+			confidence: 1, types: types, resolved: true, set: true,
 		}
 	}
 }
 
 // clauseFact assembles the (possibly higher-arity) fact of one clause.
-func (c *Canonicalizer) clauseFact(kb *store.KB, doc *nlp.Document, g *graph.Graph, cn *graph.Node, values map[int]nodeValue) {
+func (c *Canonicalizer) clauseFact(kb *store.KB, doc *nlp.Document, g *graph.Graph, cn *graph.Node, values []nodeValue, sc *Scratch) {
 	cl := cn.Clause
 	if cl.Subject == nil || cl.Negated {
 		return
@@ -230,15 +259,16 @@ func (c *Canonicalizer) clauseFact(kb *store.KB, doc *nlp.Document, g *graph.Gra
 	if subjNode == nil {
 		return
 	}
-	sv, ok := values[subjNode.ID]
-	if !ok || !sv.resolved || !sv.value.IsEntity() {
+	sv := values[subjNode.ID]
+	if !sv.set || !sv.resolved || !sv.value.IsEntity() {
 		return // unresolved pronoun subjects and literal subjects are dropped
 	}
 	sent := &doc.Sentences[si]
-	var objs []store.Value
+	objBuf := sc.objs[:0]
 	var objTypes []string
 	conf := sv.confidence
-	for _, arg := range cl.Args() {
+	sc.args = cl.AppendArgs(sc.args[:0])
+	for _, arg := range sc.args {
 		if arg.Role == clause.RoleSubject {
 			continue
 		}
@@ -253,11 +283,11 @@ func (c *Canonicalizer) clauseFact(kb *store.KB, doc *nlp.Document, g *graph.Gra
 		if an == nil {
 			continue
 		}
-		av, ok := values[an.ID]
-		if !ok || !av.resolved {
+		av := values[an.ID]
+		if !av.set || !av.resolved {
 			continue
 		}
-		objs = append(objs, av.value)
+		objBuf = append(objBuf, av.value)
 		if av.value.IsEntity() && objTypes == nil {
 			objTypes = av.types
 		}
@@ -265,9 +295,13 @@ func (c *Canonicalizer) clauseFact(kb *store.KB, doc *nlp.Document, g *graph.Gra
 			conf = minConf(conf, av.confidence)
 		}
 	}
-	if len(objs) == 0 {
+	sc.objs = objBuf
+	if len(objBuf) == 0 {
 		return
 	}
+	// The fact's object slice escapes into the KB: one exact-size copy.
+	objs := make([]store.Value, len(objBuf))
+	copy(objs, objBuf)
 	rel, _ := c.Patterns.Canonicalize(cl.Pattern, sv.types, objTypes)
 	kb.AddFact(store.Fact{
 		Subject: sv.value, Relation: rel, Pattern: cl.Pattern,

@@ -27,59 +27,114 @@ type Result struct {
 	Objective float64
 }
 
+// Reset clears a Result for reuse, keeping map capacity; callers that
+// pool results (the engine scratch, the ILP translation) use it to avoid
+// reallocating the three maps per document.
+func (r *Result) Reset() {
+	if r.Assignment == nil {
+		r.Assignment = map[int]string{}
+		r.Antecedent = map[int]int{}
+		r.Confidence = map[int]float64{}
+	}
+	clear(r.Assignment)
+	clear(r.Antecedent)
+	clear(r.Confidence)
+	r.Removed = 0
+	r.Objective = 0
+}
+
 // debugExtract, when non-nil, observes each group and its intersection at
 // extraction time (test hook).
 var debugExtract func(grp []int, inter map[int]bool)
 
-// state is the mutable solver state over the semantic graph.
+// state is the mutable solver state over the semantic graph. Its tables
+// are indexed by node ID (dense) and all of its buffers are retained
+// across documents when the state is reused through a Scratch.
 type state struct {
 	g      *graph.Graph
 	scorer *Scorer
 
 	// cand[np] holds alive means edges: entity node -> edge ID.
-	cand map[int]map[int]int
+	cand []map[int]int
 	// pron[p] holds alive pronoun sameAs edges: NP node -> edge ID.
-	pron map[int]map[int]int
+	pron []map[int]int
 	// npSame holds alive NP-NP sameAs edge IDs.
 	npSame map[int]bool
 	// relEdges are the relation edges (never removed; weights change).
 	relEdges []int
 	// relAt[node] lists relation edge IDs incident to the node.
-	relAt map[int][]int
+	relAt [][]int
 
 	npNodes   []int
 	pronNodes []int
+
+	// Reusable buffers (reset per document, capacity retained).
+	freeMaps []map[int]int     // recycled cand/pron inner maps, cleared
+	uf       graph.GroupFinder // union-find over NP nodes for groups()
+	interBuf map[int]bool      // groupIntersection result buffer
+	entBufA  map[int]bool      // entSet buffers (relWeight needs two at once)
+	entBufB  map[int]bool
+	remBuf   []removable
+	candsBuf []int
 }
+
+// Scratch owns a reusable solver state (and result), so a worker that
+// densifies many documents stops allocating once its buffers have grown
+// to a typical document's size. The *Result returned by DensifyScratch is
+// valid until the next call with the same Scratch.
+type Scratch struct {
+	st  state
+	res Result
+}
+
+// NewScratch returns an empty densification scratch.
+func NewScratch() *Scratch { return &Scratch{} }
 
 // Densify runs the greedy constrained densest-subgraph algorithm
 // (Algorithm 1) and returns the assignment, antecedents and confidences.
 func Densify(g *graph.Graph, scorer *Scorer) *Result {
-	st := newState(g, scorer)
+	return DensifyScratch(g, scorer, NewScratch())
+}
+
+// DensifyScratch is Densify with caller-owned scratch state; the returned
+// Result is recycled on the next call with the same Scratch.
+func DensifyScratch(g *graph.Graph, scorer *Scorer, sc *Scratch) *Result {
+	st := sc.st.reset(g, scorer)
 	st.initIntersect()
 	st.initGenderFilter()
+	res := &sc.res
+	res.Reset()
 	if scorer.Params.PipelineMode {
-		return st.solvePipeline()
+		st.solvePipeline(res)
+		return res
 	}
 	removed := st.greedyLoop()
-	res := st.extract()
+	st.extract(res)
 	res.Removed = removed
 	return res
 }
 
-func newState(g *graph.Graph, scorer *Scorer) *state {
-	st := &state{
-		g: g, scorer: scorer,
-		cand:   map[int]map[int]int{},
-		pron:   map[int]map[int]int{},
-		npSame: map[int]bool{},
-		relAt:  map[int][]int{},
+// reset rebuilds the state for a new document, recycling every buffer.
+func (st *state) reset(g *graph.Graph, scorer *Scorer) *state {
+	st.g, st.scorer = g, scorer
+	n := len(g.Nodes)
+	st.cand = recycleMapTable(st.cand, &st.freeMaps, n)
+	st.pron = recycleMapTable(st.pron, &st.freeMaps, n)
+	if st.npSame == nil {
+		st.npSame = map[int]bool{}
 	}
-	for _, n := range g.Nodes {
-		switch n.Kind {
+	clear(st.npSame)
+	st.relEdges = st.relEdges[:0]
+	st.relAt = resizeIntLists(st.relAt, n)
+	st.npNodes = st.npNodes[:0]
+	st.pronNodes = st.pronNodes[:0]
+
+	for _, gn := range g.Nodes {
+		switch gn.Kind {
 		case graph.NounPhraseNode:
-			st.npNodes = append(st.npNodes, n.ID)
+			st.npNodes = append(st.npNodes, gn.ID)
 		case graph.PronounNode:
-			st.pronNodes = append(st.pronNodes, n.ID)
+			st.pronNodes = append(st.pronNodes, gn.ID)
 		}
 	}
 	for _, e := range g.Edges {
@@ -87,23 +142,23 @@ func newState(g *graph.Graph, scorer *Scorer) *state {
 		case graph.MeansEdge:
 			m := st.cand[e.From]
 			if m == nil {
-				m = map[int]int{}
+				m = st.innerMap()
 				st.cand[e.From] = m
 			}
 			m[e.To] = e.ID
 		case graph.SameAsEdge:
 			from, to := g.Nodes[e.From], g.Nodes[e.To]
 			if from.Kind == graph.PronounNode || to.Kind == graph.PronounNode {
-				p, n := e.From, e.To
+				p, pn := e.From, e.To
 				if to.Kind == graph.PronounNode {
-					p, n = e.To, e.From
+					p, pn = e.To, e.From
 				}
 				m := st.pron[p]
 				if m == nil {
-					m = map[int]int{}
+					m = st.innerMap()
 					st.pron[p] = m
 				}
-				m[n] = e.ID
+				m[pn] = e.ID
 			} else {
 				st.npSame[e.ID] = true
 			}
@@ -116,44 +171,66 @@ func newState(g *graph.Graph, scorer *Scorer) *state {
 	return st
 }
 
-// groups returns the connected components of NPs over alive NP-NP sameAs
-// edges.
-func (st *state) groups() [][]int {
-	parent := map[int]int{}
-	var find func(int) int
-	find = func(x int) int {
-		if parent[x] != x {
-			parent[x] = find(parent[x])
-		}
-		return parent[x]
+// innerMap pops a cleared map from the freelist (or allocates one).
+func (st *state) innerMap() map[int]int {
+	if n := len(st.freeMaps); n > 0 {
+		m := st.freeMaps[n-1]
+		st.freeMaps = st.freeMaps[:n-1]
+		return m
 	}
+	return map[int]int{}
+}
+
+// recycleMapTable clears a node-indexed table of maps for reuse: the
+// inner maps are cleared and parked on the freelist, and the table is
+// re-sized to n nil slots.
+func recycleMapTable(t []map[int]int, free *[]map[int]int, n int) []map[int]int {
+	for i, m := range t {
+		if m != nil {
+			clear(m)
+			*free = append(*free, m)
+			t[i] = nil
+		}
+	}
+	if cap(t) < n {
+		return make([]map[int]int, n)
+	}
+	t = t[:n]
+	for i := range t {
+		t[i] = nil
+	}
+	return t
+}
+
+// resizeIntLists re-sizes a node-indexed table of int lists to n entries,
+// truncating (but keeping) previously allocated inner lists.
+func resizeIntLists(t [][]int, n int) [][]int {
+	if cap(t) < n {
+		grown := make([][]int, n)
+		copy(grown, t)
+		t = grown
+	} else {
+		t = t[:n]
+	}
+	for i := range t {
+		t[i] = t[i][:0]
+	}
+	return t
+}
+
+// groups returns the connected components of NPs over alive NP-NP sameAs
+// edges: members ascending within a group, groups ordered by root ID. The
+// returned slices are scratch buffers, valid until the next groups call.
+func (st *state) groups() [][]int {
+	st.uf.Reset(len(st.g.Nodes))
 	for _, id := range st.npNodes {
-		parent[id] = id
+		st.uf.Add(id)
 	}
 	for eid := range st.npSame {
 		e := st.g.Edges[eid]
-		ra, rb := find(e.From), find(e.To)
-		if ra != rb {
-			parent[ra] = rb
-		}
+		st.uf.Union(e.From, e.To)
 	}
-	byRoot := map[int][]int{}
-	for _, id := range st.npNodes {
-		r := find(id)
-		byRoot[r] = append(byRoot[r], id)
-	}
-	var out [][]int
-	var roots []int
-	for r := range byRoot {
-		roots = append(roots, r)
-	}
-	sort.Ints(roots)
-	for _, r := range roots {
-		g := byRoot[r]
-		sort.Ints(g)
-		out = append(out, g)
-	}
-	return out
+	return st.uf.Groups(st.npNodes)
 }
 
 // initIntersect applies the candidate-set intersection of Algorithm 1:
@@ -181,15 +258,21 @@ func (st *state) initIntersect() {
 // It returns nil when the intersection is empty but at least two members
 // had (disjoint) non-empty sets — a conflict the greedy loop must resolve
 // by pruning sameAs edges — or when no member has candidates.
+// The returned map is a scratch buffer, valid until the next call.
 func (st *state) groupIntersection(grp []int) map[int]bool {
-	var inter map[int]bool
+	if st.interBuf == nil {
+		st.interBuf = map[int]bool{}
+	}
+	inter := st.interBuf
+	clear(inter)
+	first := true
 	for _, np := range grp {
 		c := st.cand[np]
 		if len(c) == 0 {
 			continue
 		}
-		if inter == nil {
-			inter = map[int]bool{}
+		if first {
+			first = false
 			for ent := range c {
 				inter[ent] = true
 			}
@@ -201,7 +284,7 @@ func (st *state) groupIntersection(grp []int) map[int]bool {
 			}
 		}
 	}
-	if len(inter) == 0 {
+	if first || len(inter) == 0 {
 		return nil
 	}
 	return inter
@@ -245,10 +328,17 @@ func (st *state) pronText(p int) string {
 func (st *state) removeEdge(eid int) { st.g.Edges[eid].Removed = true }
 
 // entSet returns ent(node, S): for NPs the alive candidates; for pronouns
-// the union over their alive antecedents (§4).
+// the union over their alive antecedents (§4). The result is one of two
+// rotating scratch buffers — valid until the second-next entSet call
+// (relWeight needs both sides of an edge simultaneously).
 func (st *state) entSet(node int) map[int]bool {
+	if st.entBufA == nil {
+		st.entBufA, st.entBufB = map[int]bool{}, map[int]bool{}
+	}
+	out := st.entBufA
+	st.entBufA, st.entBufB = st.entBufB, st.entBufA
+	clear(out)
 	n := st.g.Nodes[node]
-	out := map[int]bool{}
 	switch n.Kind {
 	case graph.NounPhraseNode:
 		for ent := range st.cand[node] {
@@ -334,7 +424,8 @@ func (st *state) greedyLoop() int {
 // removableEdges lists edges whose removal is required to reach a
 // consistent assignment, with their contributions.
 func (st *state) removableEdges() []removable {
-	var out []removable
+	out := st.remBuf[:0]
+	defer func() { st.remBuf = out[:0] }()
 	// Means edges of NPs with more than one candidate.
 	for _, np := range st.npNodes {
 		if len(st.cand[np]) <= 1 {
@@ -551,18 +642,14 @@ func (st *state) apply(r removable) {
 // solvePipeline is the QKBfly-pipeline configuration: each mention is
 // disambiguated independently by its means weight (no joint inference),
 // and pronouns resolve to the nearest compatible antecedent.
-func (st *state) solvePipeline() *Result {
-	res := &Result{
-		Assignment: map[int]string{},
-		Antecedent: map[int]int{},
-		Confidence: map[int]float64{},
-	}
+func (st *state) solvePipeline(res *Result) {
 	for _, np := range st.npNodes {
 		bestEnt, bestW, total := -1, 0.0, 0.0
-		var ents []int
+		ents := st.candsBuf[:0]
 		for ent := range st.cand[np] {
 			ents = append(ents, ent)
 		}
+		st.candsBuf = ents
 		sort.Ints(ents)
 		for _, ent := range ents {
 			w := st.scorer.MeansWeight(st.g.Nodes[np], st.g.Nodes[ent].EntityID)
@@ -594,17 +681,11 @@ func (st *state) solvePipeline() *Result {
 		}
 	}
 	res.Objective = st.objective()
-	return res
 }
 
 // extract reads the final assignment out of a consistent state and
 // computes the §4 confidence scores.
-func (st *state) extract() *Result {
-	res := &Result{
-		Assignment: map[int]string{},
-		Antecedent: map[int]int{},
-		Confidence: map[int]float64{},
-	}
+func (st *state) extract(res *Result) {
 	// Group assignment: the intersection is now a single entity (or none).
 	for _, grp := range st.groups() {
 		inter := st.groupIntersection(grp)
@@ -630,7 +711,6 @@ func (st *state) extract() *Result {
 		}
 	}
 	res.Objective = st.objective()
-	return res
 }
 
 // confidence implements the normalized confidence score of §4:
@@ -638,13 +718,14 @@ func (st *state) extract() *Result {
 // original candidate.
 func (st *state) confidence(np, chosen int) float64 {
 	// Original candidates: every means edge of np in the full graph.
-	var cands []int
+	cands := st.candsBuf[:0]
 	for _, eid := range st.g.EdgesAt(np) {
 		e := st.g.Edges[eid]
 		if e.Kind == graph.MeansEdge && e.From == np {
 			cands = append(cands, e.To)
 		}
 	}
+	st.candsBuf = cands
 	if len(cands) <= 1 {
 		return 1
 	}

@@ -64,13 +64,25 @@ func NewScorer(st *stats.Stats, repo *entityrepo.Repo, p Params, doc *nlp.Docume
 // context vectors. The entity-level caches (pairwise coherence, type
 // closures) depend only on the background statistics and repository, so
 // they survive the reset — a worker that processes many documents reuses
-// them across its whole batch.
+// them across its whole batch. The sentence-vector maps themselves are
+// recycled (cleared and refilled) instead of reallocated.
 func (s *Scorer) Reset(doc *nlp.Document) {
 	s.Doc = doc
-	s.sentVec = make([]map[string]float64, len(doc.Sentences))
-	s.sentVecSum = make([]float64, len(doc.Sentences))
+	n := len(doc.Sentences)
+	if cap(s.sentVec) < n {
+		grown := make([]map[string]float64, n)
+		copy(grown, s.sentVec[:cap(s.sentVec)])
+		s.sentVec = grown
+	} else {
+		s.sentVec = s.sentVec[:cap(s.sentVec)][:n]
+	}
+	if cap(s.sentVecSum) < n {
+		s.sentVecSum = make([]float64, n)
+	} else {
+		s.sentVecSum = s.sentVecSum[:n]
+	}
 	for i := range doc.Sentences {
-		s.sentVec[i], s.sentVecSum[i] = s.Stats.SentenceVector(&doc.Sentences[i])
+		s.sentVec[i], s.sentVecSum[i] = s.Stats.SentenceVectorInto(s.sentVec[i], &doc.Sentences[i])
 	}
 }
 

@@ -31,6 +31,7 @@ import (
 	"qkbfly/internal/kb/store"
 	"qkbfly/internal/nlp"
 	"qkbfly/internal/nlp/clause"
+	"qkbfly/internal/pipeline"
 	"qkbfly/internal/stats"
 )
 
@@ -207,6 +208,7 @@ func (e *Engine) RunShards(ctx context.Context, docs []*nlp.Document) ([]*store.
 		go func(w int) {
 			defer wg.Done()
 			wk := newWorker(&e.cfg)
+			defer wk.release()
 			for ctx.Err() == nil {
 				i := int(next.Add(1)) - 1
 				if i >= len(docs) {
@@ -250,13 +252,25 @@ func MergeShards(shards []*store.KB) *store.KB {
 	return kb
 }
 
-// worker holds the reusable per-worker stage state.
+// worker holds the reusable per-worker stage state: the stage objects
+// (builder, canonicalizer, lazily-created scorer) plus the pipeline
+// scratch arena that pools every stage's allocations across the worker's
+// documents (reset-not-reallocate; the shard itself is the only output
+// that escapes).
 type worker struct {
 	cfg     *Config
 	builder *graph.Builder
 	canon   *canon.Canonicalizer
 	scorer  *densify.Scorer // lazily created, Reset per document
+	scratch *pipeline.Scratch
 }
+
+// scratchPool carries pipeline scratch arenas across engine runs (and
+// across Engine instances — scratches hold no configuration, only
+// buffers), so a long-lived server whose queries each build a small
+// batch keeps reusing the same warmed CKY charts, graph arenas, solver
+// tables and canon buffers instead of re-growing them per query.
+var scratchPool = sync.Pool{New: func() any { return pipeline.NewScratch() }}
 
 func newWorker(cfg *Config) *worker {
 	b := graph.NewBuilder(cfg.Repo)
@@ -268,14 +282,18 @@ func newWorker(cfg *Config) *worker {
 		cfg:     cfg,
 		builder: b,
 		canon:   canon.New(cfg.Patterns, cfg.Repo),
+		scratch: scratchPool.Get().(*pipeline.Scratch),
 	}
 }
+
+// release returns the worker's scratch arena to the pool.
+func (w *worker) release() { scratchPool.Put(w.scratch); w.scratch = nil }
 
 // process runs the four stages over one document and returns its KB shard.
 func (w *worker) process(doc *nlp.Document, bs *BuildStats) *store.KB {
 	// Stage 1: linguistic pre-processing and clause detection.
 	t := time.Now()
-	clausesBySent := w.cfg.Pipe.AnnotateDocument(doc)
+	clausesBySent := w.cfg.Pipe.AnnotateDocumentScratch(doc, w.scratch.Annotate)
 	bs.StageElapsed.Annotate += time.Since(t)
 	bs.Sentences += len(doc.Sentences)
 	for _, cs := range clausesBySent {
@@ -284,7 +302,7 @@ func (w *worker) process(doc *nlp.Document, bs *BuildStats) *store.KB {
 
 	// Stage 2: semantic graph (§3).
 	t = time.Now()
-	g := w.builder.Build(doc, clausesBySent)
+	g := w.builder.BuildScratch(doc, clausesBySent, w.scratch.Graph)
 	bs.StageElapsed.Graph += time.Since(t)
 
 	// Stage 3: densification — joint NED + CR (§4 / Appendix A).
@@ -296,9 +314,9 @@ func (w *worker) process(doc *nlp.Document, bs *BuildStats) *store.KB {
 	}
 	var res *densify.Result
 	if w.cfg.UseILP {
-		res, _ = ilp.Solve(g, w.scorer, w.cfg.ILPMaxNodes)
+		res, _ = ilp.SolveScratch(g, w.scorer, w.cfg.ILPMaxNodes, w.scratch.ILP)
 	} else {
-		res = densify.Densify(g, w.scorer)
+		res = densify.DensifyScratch(g, w.scorer, w.scratch.Densify)
 	}
 	bs.EdgesRemoved += res.Removed
 	bs.StageElapsed.Densify += time.Since(t)
@@ -306,7 +324,7 @@ func (w *worker) process(doc *nlp.Document, bs *BuildStats) *store.KB {
 	// Stage 4: canonicalization into this document's shard (§5).
 	t = time.Now()
 	shard := store.New()
-	w.canon.Populate(shard, doc, g, res)
+	w.canon.PopulateScratch(shard, doc, g, res, w.scratch.Canon)
 	bs.StageElapsed.Canonicalize += time.Since(t)
 	return shard
 }

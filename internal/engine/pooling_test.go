@@ -1,0 +1,77 @@
+package engine_test
+
+import (
+	"context"
+	"testing"
+
+	"qkbfly/internal/engine"
+)
+
+// TestPooledBuildMatchesUnpooledReference is the correctness invariant of
+// the per-worker scratch arena: a pooled parallel build (p=4, workers
+// recycling annotation buffers, graph arenas, solver state and canon
+// union-find across documents) must be byte-identical to a fresh serial
+// reference that allocates all stage state anew for every document.
+// Repeated runs keep asserting against the same fingerprint, so state
+// leaking across a worker's documents (a stale buffer, an unreset map)
+// shows up as a fingerprint mismatch.
+func TestPooledBuildMatchesUnpooledReference(t *testing.T) {
+	f := getFixture(t)
+	const nDocs = 16
+	want := f.serialReference(f.docs(nDocs)).Fingerprint()
+	if want == "" {
+		t.Fatal("unpooled reference produced an empty KB")
+	}
+	eng := engine.New(f.config(), engine.WithParallelism(4))
+	for run := 0; run < 3; run++ {
+		kb, _, err := eng.Run(context.Background(), f.docs(nDocs))
+		if err != nil {
+			t.Fatalf("run %d: %v", run, err)
+		}
+		if got := kb.Fingerprint(); got != want {
+			t.Fatalf("run %d: pooled p=4 build differs from unpooled serial reference", run)
+		}
+	}
+}
+
+// TestPooledShardsIndependentOfProcessingOrder guards the shard cache's
+// assumption under pooling: the shard built for a document must not depend
+// on which documents the worker's scratch processed before it. A single
+// worker processes the batch forward and backward; the per-document shard
+// fingerprints must agree.
+func TestPooledShardsIndependentOfProcessingOrder(t *testing.T) {
+	f := getFixture(t)
+	const nDocs = 10
+	eng := engine.New(f.config(), engine.WithParallelism(1))
+
+	forward := f.docs(nDocs)
+	shardsFwd, _, err := eng.RunShards(context.Background(), forward)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byID := make(map[string]string, nDocs)
+	for i, d := range forward {
+		if shardsFwd[i] == nil {
+			t.Fatalf("nil shard for doc %d", i)
+		}
+		byID[d.ID] = shardsFwd[i].Fingerprint()
+	}
+
+	backward := f.docs(nDocs)
+	for i, j := 0, len(backward)-1; i < j; i, j = i+1, j-1 {
+		backward[i], backward[j] = backward[j], backward[i]
+	}
+	shardsBwd, _, err := eng.RunShards(context.Background(), backward)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, d := range backward {
+		want, ok := byID[d.ID]
+		if !ok {
+			t.Fatalf("doc %s missing from forward run", d.ID)
+		}
+		if got := shardsBwd[i].Fingerprint(); got != want {
+			t.Errorf("doc %s: shard differs between forward and backward processing order", d.ID)
+		}
+	}
+}

@@ -6,8 +6,8 @@ package graph
 
 import (
 	"fmt"
-	"strings"
 
+	"qkbfly/internal/intern"
 	"qkbfly/internal/kb/entityrepo"
 	"qkbfly/internal/nlp"
 	"qkbfly/internal/nlp/clause"
@@ -100,6 +100,28 @@ type Edge struct {
 	Aux bool
 }
 
+// arenaBlock is the allocation granularity of the node/edge arenas. Node
+// and Edge values are handed out as pointers into fixed-size blocks, so a
+// block never reallocates (pointer stability) and a reused graph recycles
+// its blocks instead of re-allocating every node and edge individually.
+const arenaBlock = 128
+
+type arena[T any] struct {
+	blocks [][]T
+	n      int
+}
+
+func (a *arena[T]) alloc() *T {
+	bi, off := a.n/arenaBlock, a.n%arenaBlock
+	if bi == len(a.blocks) {
+		a.blocks = append(a.blocks, make([]T, arenaBlock))
+	}
+	a.n++
+	return &a.blocks[bi][off]
+}
+
+func (a *arena[T]) reset() { a.n = 0 }
+
 // Graph is the semantic graph G = (N, R) of one document.
 type Graph struct {
 	DocID string
@@ -108,7 +130,10 @@ type Graph struct {
 
 	entityNode map[string]int // entity ID -> node ID
 	npAt       map[[2]int]int // (sentence, head token) -> node ID
-	adj        map[int][]int  // node ID -> edge IDs
+	adj        [][]int        // node ID -> edge IDs
+
+	nodes arena[Node]
+	edges arena[Edge]
 }
 
 // New returns an empty graph for a document.
@@ -117,21 +142,46 @@ func New(docID string) *Graph {
 		DocID:      docID,
 		entityNode: make(map[string]int),
 		npAt:       make(map[[2]int]int),
-		adj:        make(map[int][]int),
 	}
+}
+
+// Reset empties the graph for a new document while retaining all of its
+// allocated capacity: node/edge arena blocks, adjacency lists and map
+// buckets survive, so a per-worker graph stops allocating once it has
+// seen a typical document. Previously returned *Node/*Edge pointers are
+// invalidated.
+func (g *Graph) Reset(docID string) {
+	g.DocID = docID
+	g.Nodes = g.Nodes[:0]
+	g.Edges = g.Edges[:0]
+	clear(g.entityNode)
+	clear(g.npAt)
+	g.adj = g.adj[:0]
+	g.nodes.reset()
+	g.edges.reset()
 }
 
 // AddNode appends a node and returns it.
 func (g *Graph) AddNode(n Node) *Node {
 	n.ID = len(g.Nodes)
-	p := &n
+	p := g.nodes.alloc()
+	*p = n
 	g.Nodes = append(g.Nodes, p)
+	// Grow the adjacency table alongside, reusing a previously allocated
+	// inner slice when the graph has been Reset.
+	if cap(g.adj) > len(g.adj) {
+		g.adj = g.adj[:len(g.adj)+1]
+		g.adj[len(g.adj)-1] = g.adj[len(g.adj)-1][:0]
+	} else {
+		g.adj = append(g.adj, nil)
+	}
 	return p
 }
 
 // AddEdge appends an edge and returns it.
 func (g *Graph) AddEdge(kind EdgeKind, from, to int, label string) *Edge {
-	e := &Edge{ID: len(g.Edges), Kind: kind, From: from, To: to, Label: label}
+	e := g.edges.alloc()
+	*e = Edge{ID: len(g.Edges), Kind: kind, From: from, To: to, Label: label}
 	g.Edges = append(g.Edges, e)
 	g.adj[from] = append(g.adj[from], e.ID)
 	g.adj[to] = append(g.adj[to], e.ID)
@@ -139,7 +189,12 @@ func (g *Graph) AddEdge(kind EdgeKind, from, to int, label string) *Edge {
 }
 
 // EdgesAt returns the IDs of all edges incident to the node.
-func (g *Graph) EdgesAt(node int) []int { return g.adj[node] }
+func (g *Graph) EdgesAt(node int) []int {
+	if node < 0 || node >= len(g.adj) {
+		return nil
+	}
+	return g.adj[node]
+}
 
 // NodeForEntity returns (creating on demand) the entity node for entityID.
 func (g *Graph) NodeForEntity(entityID string) *Node {
@@ -206,21 +261,50 @@ func NewBuilder(repo *entityrepo.Repo) *Builder {
 	return &Builder{Repo: repo, MaxCandidates: 8, CorefWindow: 5, IncludePronouns: true, IncludeNPSameAs: true}
 }
 
+// Scratch holds the reusable graph-construction state of one worker: the
+// arena-backed graph itself plus the buffers of candidate lookup, mention
+// rendering and sameAs matching. A Scratch (and the *Graph returned from
+// BuildScratch) must not be shared between goroutines, and each
+// BuildScratch call invalidates the previous call's graph.
+type Scratch struct {
+	g       *Graph
+	tried   map[string]bool
+	cands   []string
+	byteBuf []byte
+	npBuf   []*Node
+	pronBuf []*Node
+	fields  [][]string
+	args    []clause.Constituent
+}
+
+// NewScratch returns an empty graph-construction scratch.
+func NewScratch() *Scratch {
+	return &Scratch{g: New(""), tried: make(map[string]bool)}
+}
+
 // Build constructs the semantic graph of a document whose sentences have
 // been annotated and whose clauses have been detected.
 func (b *Builder) Build(doc *nlp.Document, clausesBySent [][]clause.Clause) *Graph {
-	g := New(doc.ID)
+	return b.BuildScratch(doc, clausesBySent, NewScratch())
+}
+
+// BuildScratch is Build with caller-owned scratch state: the returned
+// graph and all buffers are recycled on the next call with the same
+// scratch, making steady-state graph construction allocation-free.
+func (b *Builder) BuildScratch(doc *nlp.Document, clausesBySent [][]clause.Clause, sc *Scratch) *Graph {
+	g := sc.g
+	g.Reset(doc.ID)
 	for si := range doc.Sentences {
-		b.buildSentence(g, doc, si, clausesBySent[si])
+		b.buildSentence(g, doc, si, clausesBySent[si], sc)
 	}
-	b.addSameAsEdges(g, doc)
+	b.addSameAsEdges(g, doc, sc)
 	return g
 }
 
 // npNode returns (creating if needed) the NP or pronoun node for the
 // constituent with the given head token. It returns nil for pronouns when
 // the builder excludes them (the QKBfly-noun configuration).
-func (b *Builder) npNode(g *Graph, doc *nlp.Document, si int, cons clause.Constituent) *Node {
+func (b *Builder) npNode(g *Graph, doc *nlp.Document, si int, cons clause.Constituent, sc *Scratch) *Node {
 	if n := g.NPAt(si, cons.Head); n != nil {
 		return n
 	}
@@ -236,14 +320,14 @@ func (b *Builder) npNode(g *Graph, doc *nlp.Document, si int, cons clause.Consti
 	n := g.AddNode(Node{
 		Kind: kind, SentIndex: si, Head: cons.Head,
 		Start: cons.Start, End: cons.End,
-		Text: mentionText(sent, cons.Start, cons.End),
+		Text: mentionText(sent, cons.Start, cons.End, sc),
 		NER:  tok.NER, TimeValue: tok.TimeValue,
 	})
 	g.npAt[[2]int{si, cons.Head}] = n.ID
 	// Means edges to entity candidates (noun phrases only; pronouns get
 	// their candidates through sameAs edges).
 	if kind == NounPhraseNode && b.Repo != nil && tok.NER != nlp.NERTime {
-		for _, cand := range b.candidates(sent, n) {
+		for _, cand := range b.candidates(sent, n, sc) {
 			en := g.NodeForEntity(cand)
 			g.AddEdge(MeansEdge, n.ID, en.ID, "")
 		}
@@ -254,16 +338,18 @@ func (b *Builder) npNode(g *Graph, doc *nlp.Document, si int, cons clause.Consti
 // candidates looks up entity candidates for a noun-phrase node by matching
 // alias names in the entity repository: the full span (minus leading
 // determiner), the NER mention covering the head, and the head token.
-func (b *Builder) candidates(sent *nlp.Sentence, n *Node) []string {
-	tried := map[string]bool{}
-	var out []string
+// The returned slice is scratch-owned and valid until the next call.
+func (b *Builder) candidates(sent *nlp.Sentence, n *Node, sc *Scratch) []string {
+	tried := sc.tried
+	clear(tried)
+	out := sc.cands[:0]
 	add := func(alias string) {
 		key := entityrepo.Normalize(alias)
 		if key == "" || tried[key] {
 			return
 		}
 		tried[key] = true
-		for _, id := range b.Repo.Candidates(alias) {
+		for _, id := range b.Repo.CandidatesShared(alias) {
 			dup := false
 			for _, x := range out {
 				if x == id {
@@ -280,7 +366,8 @@ func (b *Builder) candidates(sent *nlp.Sentence, n *Node) []string {
 	var mention string
 	for _, m := range sent.Mentions {
 		if n.Head >= m.Start && n.Head < m.End {
-			mention = sent.TokenText(m.Start, m.End)
+			sc.byteBuf = sent.AppendTokenText(sc.byteBuf[:0], m.Start, m.End)
+			mention = intern.Default.InternBytes(sc.byteBuf)
 			add(mention)
 		}
 	}
@@ -295,39 +382,54 @@ func (b *Builder) candidates(sent *nlp.Sentence, n *Node) []string {
 	if len(out) > b.MaxCandidates {
 		out = out[:b.MaxCandidates]
 	}
+	sc.cands = out
 	return out
 }
 
-func countFields(s string) int { return len(strings.Fields(s)) }
+// countFields counts whitespace-separated fields without allocating.
+func countFields(s string) int {
+	n := 0
+	inField := false
+	for i := 0; i < len(s); i++ {
+		if s[i] == ' ' || s[i] == '\t' {
+			inField = false
+		} else if !inField {
+			inField = true
+			n++
+		}
+	}
+	return n
+}
 
 // buildSentence adds clause nodes, their argument NP/pronoun nodes,
 // depends edges and relation edges for one sentence.
-func (b *Builder) buildSentence(g *Graph, doc *nlp.Document, si int, clauses []clause.Clause) {
+func (b *Builder) buildSentence(g *Graph, doc *nlp.Document, si int, clauses []clause.Clause, sc *Scratch) {
 	sent := &doc.Sentences[si]
-	clauseNodes := make([]*Node, len(clauses))
+	clauseNodes := sc.npBuf[:0] // reused across sentences; repurposed below
 	for ci := range clauses {
 		c := &clauses[ci]
 		cn := g.AddNode(Node{
 			Kind: ClauseNode, SentIndex: si, Head: c.Verb,
 			Text: c.Pattern, Clause: c,
 		})
-		clauseNodes[ci] = cn
+		clauseNodes = append(clauseNodes, cn)
 		if c.Parent >= 0 && c.Parent < ci {
 			g.AddEdge(DependsEdge, clauseNodes[c.Parent].ID, cn.ID, "")
 		}
 		var subjNode *Node
 		if c.Subject != nil {
-			subjNode = b.npNode(g, doc, si, *c.Subject)
+			subjNode = b.npNode(g, doc, si, *c.Subject, sc)
 			if subjNode != nil {
 				g.AddEdge(DependsEdge, cn.ID, subjNode.ID, "S")
 			}
 		}
 		verbLemma := sent.Tokens[c.Verb].Lemma
-		for _, arg := range c.Args() {
+		sc.args = c.AppendArgs(sc.args[:0])
+		for _, arg := range sc.args {
 			if c.Subject != nil && arg.Head == c.Subject.Head && arg.Role == clause.RoleSubject {
 				continue
 			}
-			an := b.npNode(g, doc, si, arg)
+			an := b.npNode(g, doc, si, arg, sc)
 			if an == nil {
 				continue
 			}
@@ -335,7 +437,8 @@ func (b *Builder) buildSentence(g *Graph, doc *nlp.Document, si int, clauses []c
 			if subjNode != nil {
 				label := verbLemma
 				if arg.Prep != "" {
-					label += " " + arg.Prep
+					sc.byteBuf = append(append(append(sc.byteBuf[:0], verbLemma...), ' '), arg.Prep...)
+					label = intern.Default.InternBytes(sc.byteBuf)
 				}
 				g.AddEdge(RelationEdge, subjNode.ID, an.ID, label)
 			}
@@ -343,29 +446,34 @@ func (b *Builder) buildSentence(g *Graph, doc *nlp.Document, si int, clauses []c
 		// SVC with a prepositional complement: "X is the son of Y" yields a
 		// relation edge X -> Y labeled "be son of".
 		if c.Complement != nil && subjNode != nil {
-			b.addComplementRelation(g, doc, si, c, subjNode)
+			b.addComplementRelation(g, doc, si, c, subjNode, sc)
 		}
 	}
+	sc.npBuf = clauseNodes[:0]
 	// The "'s <noun>" heuristic of §3: "Pitt 's ex-wife Angelina Jolie"
 	// yields a relation edge Pitt -> Jolie labeled "ex-wife".
-	b.addPossessiveRelations(g, doc, si)
+	b.addPossessiveRelations(g, doc, si, sc)
 }
 
 // addComplementRelation handles "X is the <noun> of Y" constructions.
-func (b *Builder) addComplementRelation(g *Graph, doc *nlp.Document, si int, c *clause.Clause, subjNode *Node) {
+func (b *Builder) addComplementRelation(g *Graph, doc *nlp.Document, si int, c *clause.Clause, subjNode *Node, sc *Scratch) {
 	sent := &doc.Sentences[si]
 	complHead := c.Complement.Head
 	for _, pi := range sent.ChildrenByRel(complHead, nlp.DepPrep) {
 		for _, oi := range sent.ChildrenByRel(pi, nlp.DepPobj) {
-			obj := b.npNode(g, doc, si, clause.Constituent{Head: oi, Start: oi, End: oi + 1})
+			obj := b.npNode(g, doc, si, clause.Constituent{Head: oi, Start: oi, End: oi + 1}, sc)
 			if cov := coveringChunk(sent, oi); cov != nil {
-				obj = b.npNode(g, doc, si, clause.Constituent{Head: cov.Head, Start: cov.Start, End: cov.End})
+				obj = b.npNode(g, doc, si, clause.Constituent{Head: cov.Head, Start: cov.Start, End: cov.End}, sc)
 			}
 			if obj == nil {
 				continue
 			}
-			label := fmt.Sprintf("be %s %s", sent.Tokens[complHead].Lemma, strings.ToLower(sent.Tokens[pi].Text))
-			g.AddEdge(RelationEdge, subjNode.ID, obj.ID, label).Aux = true
+			buf := append(sc.byteBuf[:0], "be "...)
+			buf = append(buf, sent.Tokens[complHead].Lemma...)
+			buf = append(buf, ' ')
+			buf = intern.AppendLower(buf, sent.Tokens[pi].Text)
+			sc.byteBuf = buf
+			g.AddEdge(RelationEdge, subjNode.ID, obj.ID, intern.Default.InternBytes(buf)).Aux = true
 			// The clause's object list gains this argument through the
 			// canonicalization stage via the relation edge.
 		}
@@ -373,7 +481,7 @@ func (b *Builder) addComplementRelation(g *Graph, doc *nlp.Document, si int, c *
 }
 
 // addPossessiveRelations scans for possessor structures.
-func (b *Builder) addPossessiveRelations(g *Graph, doc *nlp.Document, si int) {
+func (b *Builder) addPossessiveRelations(g *Graph, doc *nlp.Document, si int, sc *Scratch) {
 	sent := &doc.Sentences[si]
 	for i := range sent.Tokens {
 		if sent.Tokens[i].DepRel != nlp.DepPoss {
@@ -398,15 +506,15 @@ func (b *Builder) addPossessiveRelations(g *Graph, doc *nlp.Document, si int) {
 		}
 		poss := g.NPAt(si, i)
 		if poss == nil {
-			poss = b.npNode(g, doc, si, clause.Constituent{Head: i, Start: i, End: i + 1})
+			poss = b.npNode(g, doc, si, clause.Constituent{Head: i, Start: i, End: i + 1}, sc)
 		}
 		owned := g.NPAt(si, head)
 		if owned == nil {
 			cov := coveringChunk(sent, head)
 			if cov != nil {
-				owned = b.npNode(g, doc, si, clause.Constituent{Head: cov.Head, Start: cov.Start, End: cov.End})
+				owned = b.npNode(g, doc, si, clause.Constituent{Head: cov.Head, Start: cov.Start, End: cov.End}, sc)
 			} else {
-				owned = b.npNode(g, doc, si, clause.Constituent{Head: head, Start: head, End: head + 1})
+				owned = b.npNode(g, doc, si, clause.Constituent{Head: head, Start: head, End: head + 1}, sc)
 			}
 		}
 		if poss == nil || owned == nil {
@@ -426,19 +534,25 @@ func coveringChunk(sent *nlp.Sentence, tok int) *nlp.Chunk {
 	return nil
 }
 
-// mentionText renders a constituent, dropping a leading determiner.
-func mentionText(sent *nlp.Sentence, start, end int) string {
+// mentionText renders a constituent, dropping a leading determiner. The
+// text is interned: mention surfaces recur constantly across documents,
+// so steady state is a table hit instead of a join allocation.
+func mentionText(sent *nlp.Sentence, start, end int, sc *Scratch) string {
 	if start < end && (sent.Tokens[start].POS == nlp.DT) {
 		start++
 	}
-	return sent.TokenText(start, end)
+	if start >= end {
+		return ""
+	}
+	sc.byteBuf = sent.AppendTokenText(sc.byteBuf[:0], start, end)
+	return intern.Default.InternBytes(sc.byteBuf)
 }
 
 // addSameAsEdges creates the initial co-reference edges (§3, following
 // [3]): string-matching noun phrases with the same NER label, and pronoun
 // edges to all noun phrases within the backward window.
-func (b *Builder) addSameAsEdges(g *Graph, doc *nlp.Document) {
-	var nps, pronouns []*Node
+func (b *Builder) addSameAsEdges(g *Graph, doc *nlp.Document, sc *Scratch) {
+	nps, pronouns := sc.npBuf[:0], sc.pronBuf[:0]
 	for _, n := range g.Nodes {
 		switch n.Kind {
 		case NounPhraseNode:
@@ -449,15 +563,23 @@ func (b *Builder) addSameAsEdges(g *Graph, doc *nlp.Document) {
 			pronouns = append(pronouns, n)
 		}
 	}
-	// NP-NP string matches.
+	sc.npBuf, sc.pronBuf = nps, pronouns
+	// NP-NP string matches. The lowercase token fields of every NP are
+	// computed once up front instead of once per pair inside the O(n²)
+	// matching loop.
 	if b.IncludeNPSameAs {
+		fields := sc.fields[:0]
+		for _, n := range nps {
+			fields = appendFieldsLower(fields, n.Text)
+		}
+		sc.fields = fields
 		for i := 0; i < len(nps); i++ {
 			for j := i + 1; j < len(nps); j++ {
 				a, bn := nps[i], nps[j]
 				if a.NER != bn.NER {
 					continue
 				}
-				if namesMatch(a.Text, bn.Text) {
+				if namesMatchFields(fields[i], fields[j]) {
 					g.AddEdge(SameAsEdge, a.ID, bn.ID, "")
 				}
 			}
@@ -489,24 +611,59 @@ func (b *Builder) addSameAsEdges(g *Graph, doc *nlp.Document) {
 	}
 }
 
-// namesMatch implements the string matching used for initial co-reference:
-// one name's token set must be a subset of the other's ("Pitt" matches
-// "Brad Pitt"), case-insensitively.
+// appendFieldsLower appends the lowercase whitespace-separated fields of
+// text as one entry of fields. Individual words go through the intern
+// lower-cache, so repeated names cost no allocations.
+func appendFieldsLower(fields [][]string, text string) [][]string {
+	var entry []string
+	if n := len(fields); n < cap(fields) {
+		entry = fields[:n+1][n][:0]
+	}
+	start := -1
+	flush := func(end int) {
+		if start >= 0 {
+			entry = append(entry, intern.Lower(text[start:end]))
+			start = -1
+		}
+	}
+	for i := 0; i < len(text); i++ {
+		if text[i] == ' ' || text[i] == '\t' {
+			flush(i)
+		} else if start < 0 {
+			start = i
+		}
+	}
+	flush(len(text))
+	return append(fields, entry)
+}
+
+// namesMatch reports whether two mention surfaces string-match for
+// initial co-reference (the one-off convenience form of namesMatchFields).
 func namesMatch(a, b string) bool {
-	ta := strings.Fields(strings.ToLower(a))
-	tb := strings.Fields(strings.ToLower(b))
+	fields := appendFieldsLower(appendFieldsLower(nil, a), b)
+	return namesMatchFields(fields[0], fields[1])
+}
+
+// namesMatchFields implements the string matching used for initial
+// co-reference on precomputed lowercase token fields: one name's token
+// set must be a subset of the other's ("Pitt" matches "Brad Pitt").
+// Names are a handful of tokens, so the subset test is a nested scan.
+func namesMatchFields(ta, tb []string) bool {
 	if len(ta) == 0 || len(tb) == 0 {
 		return false
 	}
 	if len(ta) > len(tb) {
 		ta, tb = tb, ta
 	}
-	set := map[string]bool{}
-	for _, w := range tb {
-		set[w] = true
-	}
 	for _, w := range ta {
-		if !set[w] {
+		found := false
+		for _, x := range tb {
+			if x == w {
+				found = true
+				break
+			}
+		}
+		if !found {
 			return false
 		}
 	}

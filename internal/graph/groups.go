@@ -1,0 +1,89 @@
+package graph
+
+import "sort"
+
+// GroupFinder is a reusable union-find over dense node IDs, shared by the
+// densification and canonicalization stages to extract sameAs groups. Its
+// buffers (parent table, pair buffer, group slices) are retained across
+// Reset calls, so a per-worker finder stops allocating once sized.
+//
+// Determinism contract: after identical Add/Union sequences, Groups
+// returns the same partition in the same order — groups ordered by root
+// ID ascending, members ascending within each group. Callers rely on this
+// for byte-identical parallel/serial builds.
+type GroupFinder struct {
+	parent []int32
+	pairs  []rootedNode
+	groups [][]int
+}
+
+type rootedNode struct{ root, id int32 }
+
+// Reset prepares the finder for a graph with n nodes; no node is a member
+// until Add is called for it.
+func (u *GroupFinder) Reset(n int) {
+	if cap(u.parent) < n {
+		u.parent = make([]int32, n)
+	}
+	u.parent = u.parent[:n]
+	for i := range u.parent {
+		u.parent[i] = -1
+	}
+}
+
+// Add makes id a member (a singleton set).
+func (u *GroupFinder) Add(id int) { u.parent[id] = int32(id) }
+
+func (u *GroupFinder) find(x int32) int32 {
+	if u.parent[x] != x {
+		u.parent[x] = u.find(u.parent[x])
+	}
+	return u.parent[x]
+}
+
+// Union merges the sets of members a and b (the root of a's set is
+// re-parented onto b's — the orientation both stages historically used,
+// kept so root identities stay stable).
+func (u *GroupFinder) Union(a, b int) {
+	ra, rb := u.find(int32(a)), u.find(int32(b))
+	if ra != rb {
+		u.parent[ra] = rb
+	}
+}
+
+// Groups partitions the given members (which must be ascending, the order
+// they were discovered in node order) into their sets: members ascending
+// within a group, groups ordered by root ID. The returned slices are the
+// finder's buffers, valid until the next Groups call.
+func (u *GroupFinder) Groups(members []int) [][]int {
+	pairs := u.pairs[:0]
+	for _, id := range members {
+		pairs = append(pairs, rootedNode{root: u.find(int32(id)), id: int32(id)})
+	}
+	u.pairs = pairs
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].root != pairs[j].root {
+			return pairs[i].root < pairs[j].root
+		}
+		return pairs[i].id < pairs[j].id
+	})
+	out := u.groups[:0]
+	for i := 0; i < len(pairs); {
+		j := i
+		for j < len(pairs) && pairs[j].root == pairs[i].root {
+			j++
+		}
+		// Reuse the inner slice a previous call left at this position.
+		var grp []int
+		if n := len(out); n < cap(out) {
+			grp = out[:n+1][n][:0]
+		}
+		for k := i; k < j; k++ {
+			grp = append(grp, int(pairs[k].id))
+		}
+		out = append(out, grp)
+		i = j
+	}
+	u.groups = out
+	return out
+}

@@ -52,6 +52,15 @@ type Solution struct {
 // NewProgram returns an empty program.
 func NewProgram() *Program { return &Program{} }
 
+// Reset empties the program for reuse, retaining slice capacity.
+func (p *Program) Reset() {
+	p.Groups = p.Groups[:0]
+	p.Unary = p.Unary[:0]
+	p.Pairwise = p.Pairwise[:0]
+	p.Forbidden = p.Forbidden[:0]
+	p.Equal = p.Equal[:0]
+}
+
 // AddVar appends a variable with the given unary weight and returns its ID.
 func (p *Program) AddVar(w float64) int {
 	p.Unary = append(p.Unary, w)

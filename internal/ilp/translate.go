@@ -23,13 +23,36 @@ type mentionVars struct {
 	null  int // variable ID of the out-of-KB option
 }
 
+// Scratch pools the ILP solver state that survives across documents: the
+// translated program's slices, the result maps, and the mention index.
+// Not safe for concurrent use.
+type Scratch struct {
+	prog      Program
+	res       densify.Result
+	mentions  []*mentionVars
+	mentionOf map[int]*mentionVars
+}
+
+// NewScratch returns an empty ILP scratch.
+func NewScratch() *Scratch {
+	return &Scratch{mentionOf: map[int]*mentionVars{}}
+}
+
 // Solve performs exact joint NED+CR on the semantic graph via the ILP and
 // returns the same result type as the greedy algorithm. maxNodes bounds
 // the branch-and-bound search.
 func Solve(g *graph.Graph, scorer *densify.Scorer, maxNodes int) (*densify.Result, *Solution) {
-	p := NewProgram()
-	var mentions []*mentionVars
-	mentionOf := map[int]*mentionVars{}
+	return SolveScratch(g, scorer, maxNodes, NewScratch())
+}
+
+// SolveScratch is Solve with caller-owned scratch state; the returned
+// Result is recycled on the next call with the same Scratch.
+func SolveScratch(g *graph.Graph, scorer *densify.Scorer, maxNodes int, sc *Scratch) (*densify.Result, *Solution) {
+	p := &sc.prog
+	p.Reset()
+	mentions := sc.mentions[:0]
+	mentionOf := sc.mentionOf
+	clear(mentionOf)
 
 	// Collect NP mentions with their candidates.
 	for _, n := range g.Nodes {
@@ -204,13 +227,11 @@ func Solve(g *graph.Graph, scorer *densify.Scorer, maxNodes int) (*densify.Resul
 		}
 	}
 
+	sc.mentions = mentions
 	sol, _ := p.Solve(maxNodes)
 
-	res := &densify.Result{
-		Assignment: map[int]string{},
-		Antecedent: map[int]int{},
-		Confidence: map[int]float64{},
-	}
+	res := &sc.res
+	res.Reset()
 	for _, mv := range mentions {
 		total, bestW := 0.0, 0.0
 		chosen := -1

@@ -1,0 +1,246 @@
+// Package intern implements a concurrent string interner for the
+// construction hot path. Tokens, lemmas, POS-normalized forms, entity
+// names and relation phrases recur constantly across documents; interning
+// them makes every repeated occurrence share one backing array, shrinks
+// the live heap the GC has to scan, and turns the equality checks inside
+// the graph/densify/store/canon maps into pointer comparisons (Go's
+// runtime string compare short-circuits on equal data pointers).
+//
+// The table is sharded to keep the read-mostly workload uncontended: a
+// lookup takes one FNV-1a hash, one RLock on a single shard, and one map
+// probe. Misses upgrade to a write lock and store the string once.
+package intern
+
+import (
+	"strings"
+	"sync"
+)
+
+const shardCount = 64 // power of two; see shardFor
+
+// maxPerShard bounds each shard (so a table holds at most
+// shardCount×maxPerShard strings, a few tens of MB worst case). The
+// construction vocabulary — corpus tokens, lemmas, mention surfaces,
+// relation patterns — is far smaller and gets interned early, so the
+// bound only kicks in when a long-lived server is fed unbounded novel
+// strings (diverse or adversarial query text): those are then returned
+// uncached instead of growing the process forever.
+const maxPerShard = 1 << 13
+
+// Table is a concurrent string intern table. The zero value is not usable;
+// construct with NewTable.
+type Table struct {
+	shards [shardCount]shard
+}
+
+type shard struct {
+	mu sync.RWMutex
+	m  map[string]string
+}
+
+// NewTable returns an empty intern table.
+func NewTable() *Table {
+	t := &Table{}
+	for i := range t.shards {
+		t.shards[i].m = make(map[string]string)
+	}
+	return t
+}
+
+// fnv1a is the 32-bit FNV-1a hash, inlined to avoid the hash.Hash32
+// interface allocation.
+func fnv1a(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}
+
+// fnv1aBytes is fnv1a over a byte slice — a separate twin so InternBytes
+// never converts to string just to hash (the conversion's stack buffer
+// only covers 32 bytes; longer inputs would heap-allocate per call).
+func fnv1aBytes(b []byte) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(b); i++ {
+		h ^= uint32(b[i])
+		h *= 16777619
+	}
+	return h
+}
+
+func (t *Table) shardFor(s string) *shard {
+	return &t.shards[fnv1a(s)&(shardCount-1)]
+}
+
+// Intern returns the canonical copy of s. The first caller's string is
+// stored and every later caller with an equal string receives the stored
+// copy, so equal interned strings share one data pointer.
+func (t *Table) Intern(s string) string {
+	if s == "" {
+		return ""
+	}
+	sh := t.shardFor(s)
+	sh.mu.RLock()
+	c, ok := sh.m[s]
+	sh.mu.RUnlock()
+	if ok {
+		return c
+	}
+	sh.mu.Lock()
+	if c, ok = sh.m[s]; !ok {
+		// strings.Clone detaches s from any larger backing array (token
+		// substrings would otherwise pin their whole sentence).
+		c = strings.Clone(s)
+		if len(sh.m) < maxPerShard {
+			sh.m[c] = c
+		}
+	}
+	sh.mu.Unlock()
+	return c
+}
+
+// InternBytes interns the string represented by b without allocating on
+// the hit path (the map probe converts without copying; only a miss
+// materializes the string).
+func (t *Table) InternBytes(b []byte) string {
+	if len(b) == 0 {
+		return ""
+	}
+	sh := &t.shards[fnv1aBytes(b)&(shardCount-1)]
+	sh.mu.RLock()
+	c, ok := sh.m[string(b)] // no alloc: map probe with temporary key
+	sh.mu.RUnlock()
+	if ok {
+		return c
+	}
+	sh.mu.Lock()
+	if c, ok = sh.m[string(b)]; !ok {
+		c = string(b)
+		if len(sh.m) < maxPerShard {
+			sh.m[c] = c
+		}
+	}
+	sh.mu.Unlock()
+	return c
+}
+
+// Len returns the number of interned strings (for tests and stats).
+func (t *Table) Len() int {
+	n := 0
+	for i := range t.shards {
+		t.shards[i].mu.RLock()
+		n += len(t.shards[i].m)
+		t.shards[i].mu.RUnlock()
+	}
+	return n
+}
+
+// Default is the process-wide table used by the package-level helpers.
+// It is append-only up to the per-shard bound; see maxPerShard.
+var Default = NewTable()
+
+// S interns s in the Default table.
+func S(s string) string { return Default.Intern(s) }
+
+// ---------------------------------------------------------------------------
+// Lower-casing cache
+// ---------------------------------------------------------------------------
+
+// lowerTable caches the lowercase form of each distinct input string, so
+// the annotators' pervasive strings.ToLower(tok.Text) calls allocate only
+// the first time a surface form is seen.
+var lowerTable = func() *lowerCache {
+	c := &lowerCache{}
+	for i := range c.shards {
+		c.shards[i].m = make(map[string]string)
+	}
+	return c
+}()
+
+type lowerCache struct {
+	shards [shardCount]shard
+}
+
+// Lower returns the strings.ToLower of s, cached. Already-lowercase ASCII
+// strings are returned as-is without touching the cache.
+func Lower(s string) string {
+	if isLowerASCII(s) {
+		return s
+	}
+	sh := &lowerTable.shards[fnv1a(s)&(shardCount-1)]
+	sh.mu.RLock()
+	c, ok := sh.m[s]
+	sh.mu.RUnlock()
+	if ok {
+		return c
+	}
+	c = Default.Intern(strings.ToLower(s))
+	// The cased key belongs to the lower-cache only; cloning (rather than
+	// interning) keeps single-use cased forms out of the shared table.
+	key := strings.Clone(s)
+	sh.mu.Lock()
+	if len(sh.m) < maxPerShard {
+		sh.m[key] = c
+	}
+	sh.mu.Unlock()
+	return c
+}
+
+// isLowerASCII reports whether s is pure ASCII with no upper-case letters,
+// i.e. strings.ToLower(s) == s without needing the call.
+func isLowerASCII(s string) bool {
+	for i := 0; i < len(s); i++ {
+		b := s[i]
+		if b >= 'A' && b <= 'Z' || b >= 0x80 {
+			return false
+		}
+	}
+	return true
+}
+
+// IsNormalized reports whether s is already in collapsed-lowercase form:
+// ASCII with no upper-case letters, no leading/trailing/doubled spaces,
+// and no non-space whitespace. With rejectDot, a '.' also disqualifies
+// (entity-alias normalization strips periods). It is the shared fast-path
+// test for "Normalize(s) == s" used by the alias, mention and pattern
+// normalizers.
+func IsNormalized(s string, rejectDot bool) bool {
+	prevSpace := true // disallow a leading space
+	for i := 0; i < len(s); i++ {
+		b := s[i]
+		switch {
+		case b >= 0x80 || (b >= 'A' && b <= 'Z') || (rejectDot && b == '.') ||
+			b == '\t' || b == '\n' || b == '\r' || b == '\f' || b == '\v':
+			return false
+		case b == ' ':
+			if prevSpace {
+				return false
+			}
+			prevSpace = true
+		default:
+			prevSpace = false
+		}
+	}
+	return !prevSpace || s == "" // disallow a trailing space
+}
+
+// AppendLower appends the strings.ToLower of s to dst and returns the
+// extended slice, allocating only when dst lacks capacity. Non-ASCII input
+// falls back to strings.ToLower for exact Unicode semantics.
+func AppendLower(dst []byte, s string) []byte {
+	for i := 0; i < len(s); i++ {
+		if s[i] >= 0x80 {
+			return append(dst, strings.ToLower(s)...)
+		}
+	}
+	for i := 0; i < len(s); i++ {
+		b := s[i]
+		if b >= 'A' && b <= 'Z' {
+			b += 'a' - 'A'
+		}
+		dst = append(dst, b)
+	}
+	return dst
+}

@@ -1,0 +1,171 @@
+package intern
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"unsafe"
+)
+
+func dataPtr(s string) uintptr {
+	return uintptr(unsafe.Pointer(unsafe.StringData(s)))
+}
+
+func TestInternCanonicalizes(t *testing.T) {
+	tab := NewTable()
+	a := tab.Intern("brad pitt")
+	b := tab.Intern(strings.Join([]string{"brad", "pitt"}, " "))
+	if a != b {
+		t.Fatalf("equal strings interned differently: %q vs %q", a, b)
+	}
+	if dataPtr(a) != dataPtr(b) {
+		t.Fatal("interned copies do not share backing storage")
+	}
+	if tab.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", tab.Len())
+	}
+	if tab.Intern("") != "" {
+		t.Fatal("empty string must intern to itself")
+	}
+}
+
+func TestInternDetachesFromLargeBacking(t *testing.T) {
+	tab := NewTable()
+	big := strings.Repeat("x", 1<<16) + "needle"
+	sub := big[1<<16:]
+	got := tab.Intern(sub)
+	if got != "needle" {
+		t.Fatalf("got %q", got)
+	}
+	if dataPtr(got) == dataPtr(sub) {
+		t.Fatal("interned string still aliases the large backing array")
+	}
+}
+
+func TestInternBytes(t *testing.T) {
+	tab := NewTable()
+	s := tab.Intern("relation phrase")
+	b := tab.InternBytes([]byte("relation phrase"))
+	if dataPtr(s) != dataPtr(b) {
+		t.Fatal("InternBytes did not return the canonical copy")
+	}
+	if tab.InternBytes(nil) != "" {
+		t.Fatal("nil bytes must intern to the empty string")
+	}
+}
+
+func TestLower(t *testing.T) {
+	cases := map[string]string{
+		"Brad Pitt": "brad pitt",
+		"already":   "already",
+		"ALLCAPS":   "allcaps",
+		"Émile":     "émile", // non-ASCII falls back to strings.ToLower
+		"":          "",
+	}
+	for in, want := range cases {
+		if got := Lower(in); got != want {
+			t.Errorf("Lower(%q) = %q, want %q", in, got, want)
+		}
+	}
+	// The lowercase of an already-lower ASCII string is the input itself.
+	s := "no-alloc path"
+	if got := Lower(s); dataPtr(got) != dataPtr(s) {
+		t.Error("Lower allocated for an already-lowercase ASCII string")
+	}
+	// Repeated calls return the same canonical copy.
+	if dataPtr(Lower("Angelina Jolie")) != dataPtr(Lower("Angelina Jolie")) {
+		t.Error("Lower cache returned distinct copies")
+	}
+}
+
+func TestAppendLower(t *testing.T) {
+	buf := make([]byte, 0, 64)
+	buf = AppendLower(buf, "MiXeD 123")
+	if string(buf) != "mixed 123" {
+		t.Fatalf("got %q", buf)
+	}
+	buf = AppendLower(buf[:0], "Łódź")
+	if string(buf) != strings.ToLower("Łódź") {
+		t.Fatalf("unicode fallback: got %q", buf)
+	}
+}
+
+// TestInternConcurrentHammer drives many goroutines through a shared table
+// with overlapping vocabularies; run under -race this exercises the shard
+// locking. Every goroutine must observe exactly one canonical pointer per
+// distinct string.
+func TestInternConcurrentHammer(t *testing.T) {
+	tab := NewTable()
+	const (
+		goroutines = 16
+		words      = 256
+		rounds     = 200
+	)
+	vocab := make([]string, words)
+	for i := range vocab {
+		vocab[i] = fmt.Sprintf("word-%03d", i)
+	}
+	ptrs := make([][]uintptr, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			seen := make([]uintptr, words)
+			for r := 0; r < rounds; r++ {
+				for i, w := range vocab {
+					// Rebuild the string so distinct allocations race to
+					// intern the same content.
+					got := tab.Intern(w[:5] + w[5:])
+					if got != w {
+						t.Errorf("intern corrupted %q -> %q", w, got)
+						return
+					}
+					p := dataPtr(got)
+					if seen[i] == 0 {
+						seen[i] = p
+					} else if seen[i] != p {
+						t.Errorf("canonical pointer for %q changed", w)
+						return
+					}
+					if r%3 == 0 {
+						_ = Lower(strings.ToUpper(w))
+					}
+				}
+			}
+			ptrs[g] = seen
+		}(g)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	if tab.Len() != words {
+		t.Fatalf("table has %d entries, want %d", tab.Len(), words)
+	}
+	for g := 1; g < goroutines; g++ {
+		for i := range vocab {
+			if ptrs[0][i] != ptrs[g][i] {
+				t.Fatalf("goroutines 0 and %d disagree on canonical copy of %q", g, vocab[i])
+			}
+		}
+	}
+}
+
+func BenchmarkInternHit(b *testing.B) {
+	tab := NewTable()
+	tab.Intern("Brad Pitt")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tab.Intern("Brad Pitt")
+	}
+}
+
+func BenchmarkLowerHit(b *testing.B) {
+	Lower("Angelina Jolie")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Lower("Angelina Jolie")
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"sort"
 	"strings"
 
+	"qkbfly/internal/intern"
 	"qkbfly/internal/nlp"
 )
 
@@ -60,7 +61,11 @@ func (r *Repo) Add(e *Entity) {
 			}
 		}
 		if !found {
-			r.byAlias[key] = append(ids, e.ID)
+			ids = append(ids, e.ID)
+			// Keep alias lists sorted at insertion time so lookups on the
+			// (concurrent, read-only) hot path can share them directly.
+			sort.Strings(ids)
+			r.byAlias[key] = ids
 		}
 	}
 }
@@ -77,10 +82,15 @@ func (r *Repo) IDs() []string { return append([]string(nil), r.order...) }
 // Candidates returns the IDs of all entities having the given surface form
 // as an alias, sorted for determinism.
 func (r *Repo) Candidates(alias string) []string {
-	ids := r.byAlias[Normalize(alias)]
-	out := append([]string(nil), ids...)
-	sort.Strings(out)
-	return out
+	ids := r.CandidatesShared(alias)
+	return append([]string(nil), ids...) // Add keeps alias lists sorted
+}
+
+// CandidatesShared is the allocation-free variant of Candidates used on
+// the graph-construction hot path: it returns the repository's internal
+// sorted slice (Add keeps alias lists sorted). Callers must not modify it.
+func (r *Repo) CandidatesShared(alias string) []string {
+	return r.byAlias[Normalize(alias)]
 }
 
 // LookupType implements ner.Gazetteer: it returns the coarse NER type of
@@ -106,9 +116,17 @@ func (r *Repo) Gender(id string) nlp.Gender {
 // Normalize lower-cases, collapses whitespace and drops periods for alias
 // matching ("Margate F.C." and "Margate FC" normalize identically; the
 // initial in "Petra G." survives tokenization differences).
+//
+// Alias lookups dominate graph construction, so already-normalized input
+// (lower-case ASCII, single-spaced, no periods) is detected in one scan
+// and returned without allocating; everything else goes through the
+// intern table so repeated aliases share one normalized copy.
 func Normalize(alias string) string {
-	alias = strings.ReplaceAll(alias, ".", "")
-	return strings.Join(strings.Fields(strings.ToLower(alias)), " ")
+	if intern.IsNormalized(alias, true) {
+		return alias
+	}
+	norm := strings.Join(strings.Fields(strings.ToLower(strings.ReplaceAll(alias, ".", ""))), " ")
+	return intern.S(norm)
 }
 
 // ---------------------------------------------------------------------------
@@ -170,28 +188,65 @@ var parents = map[string]string{
 	TypeSeries: TypeWork,
 }
 
-// Supertypes returns the type and all of its ancestors, most specific
-// first.
-func Supertypes(t string) []string {
-	out := []string{t}
-	for {
-		p, ok := parents[t]
-		if !ok {
-			return out
-		}
-		out = append(out, p)
-		t = p
+// chains precompiles the supertype chain of every type in the hierarchy
+// (the type itself first) once at startup, so closure computation on the
+// hot path is a map probe instead of a per-call walk-and-append.
+var chains = func() map[string][]string {
+	all := map[string]bool{}
+	for c, p := range parents {
+		all[c] = true
+		all[p] = true
 	}
+	m := make(map[string][]string, len(all))
+	for t := range all {
+		chain := []string{t}
+		for {
+			p, ok := parents[t]
+			if !ok {
+				break
+			}
+			chain = append(chain, p)
+			t = p
+		}
+		m[chain[0]] = chain
+	}
+	return m
+}()
+
+// chainOf returns the precompiled supertype chain of t, or nil when t is
+// outside the hierarchy (its chain is then just [t]).
+func chainOf(t string) []string { return chains[t] }
+
+// Supertypes returns the type and all of its ancestors, most specific
+// first. The returned slice is owned by the caller.
+func Supertypes(t string) []string {
+	if c := chainOf(t); c != nil {
+		return append(make([]string, 0, len(c)), c...)
+	}
+	return []string{t}
 }
 
-// TypeClosure returns the union of supertypes of all given types.
+// TypeClosure returns the union of supertypes of all given types. The
+// returned slice is owned by the caller (closures are tiny, so dedup is a
+// linear scan instead of a map).
 func TypeClosure(types []string) []string {
-	seen := map[string]bool{}
-	var out []string
+	if len(types) == 0 {
+		return nil
+	}
+	if len(types) == 1 {
+		return Supertypes(types[0])
+	}
+	out := make([]string, 0, 3*len(types))
 	for _, t := range types {
-		for _, s := range Supertypes(t) {
-			if !seen[s] {
-				seen[s] = true
+		c := chainOf(t)
+		if c == nil {
+			if !containsStr(out, t) {
+				out = append(out, t)
+			}
+			continue
+		}
+		for _, s := range c {
+			if !containsStr(out, s) {
 				out = append(out, s)
 			}
 		}
@@ -199,26 +254,62 @@ func TypeClosure(types []string) []string {
 	return out
 }
 
-// Subsumes reports whether ancestor subsumes (or equals) t.
-func Subsumes(ancestor, t string) bool {
-	for _, s := range Supertypes(t) {
-		if s == ancestor {
+// VisitClosure calls fn for every element of TypeClosure(types) without
+// allocating; fn may be called with duplicates (callers that test
+// set-membership are unaffected).
+func VisitClosure(types []string, fn func(string)) {
+	for _, t := range types {
+		c := chainOf(t)
+		if c == nil {
+			fn(t)
+			continue
+		}
+		for _, s := range c {
+			fn(s)
+		}
+	}
+}
+
+func containsStr(xs []string, x string) bool {
+	for _, v := range xs {
+		if v == x {
 			return true
 		}
 	}
 	return false
 }
 
+// Subsumes reports whether ancestor subsumes (or equals) t.
+func Subsumes(ancestor, t string) bool {
+	for {
+		if t == ancestor {
+			return true
+		}
+		p, ok := parents[t]
+		if !ok {
+			return false
+		}
+		t = p
+	}
+}
+
 // CoarseType maps fine-grained types to the paper's five NER types.
 func CoarseType(types []string) nlp.NERType {
-	for _, t := range TypeClosure(types) {
-		switch t {
-		case TypePerson:
-			return nlp.NERPerson
-		case TypeOrganization:
-			return nlp.NEROrganization
-		case TypeLocation:
-			return nlp.NERLocation
+	for _, t := range types {
+		for {
+			switch t {
+			case TypePerson:
+				return nlp.NERPerson
+			case TypeOrganization:
+				return nlp.NEROrganization
+			case TypeLocation:
+				return nlp.NERLocation
+			}
+			p, ok := parents[t]
+			if !ok {
+				break
+			}
+			t = p
 		}
 	}
 	return nlp.NERMisc

@@ -12,6 +12,7 @@ import (
 	"sort"
 	"strings"
 
+	"qkbfly/internal/intern"
 	"qkbfly/internal/kb/entityrepo"
 )
 
@@ -126,7 +127,10 @@ func typesMatch(types []string, want string) bool {
 }
 
 func normalize(p string) string {
-	return strings.Join(strings.Fields(strings.ToLower(p)), " ")
+	if intern.IsNormalized(p, false) {
+		return p
+	}
+	return intern.S(strings.Join(strings.Fields(strings.ToLower(p)), " "))
 }
 
 // Default returns the built-in paraphrase dictionary used by the synthetic

@@ -8,10 +8,12 @@ package store
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 	"strconv"
 	"strings"
 
+	"qkbfly/internal/intern"
 	"qkbfly/internal/kb/entityrepo"
 )
 
@@ -82,7 +84,11 @@ type KB struct {
 	bySubject map[string][]int
 	byObject  map[string][]int
 	byRel     map[string][]int
-	nextID    int
+	// byKey indexes facts by their full dedup key, so AddFact is one map
+	// probe instead of re-deriving keys for every same-subject fact.
+	byKey  map[string]int
+	keyBuf []byte // scratch for building keys without intermediate garbage
+	nextID int
 }
 
 // New returns an empty on-the-fly KB.
@@ -92,6 +98,7 @@ func New() *KB {
 		bySubject: make(map[string][]int),
 		byObject:  make(map[string][]int),
 		byRel:     make(map[string][]int),
+		byKey:     make(map[string]int),
 	}
 }
 
@@ -113,11 +120,13 @@ func (kb *KB) AddEntity(rec EntityRecord) *EntityRecord {
 			e.Mentions = append(e.Mentions, m)
 		}
 	}
-	for _, t := range entityrepo.TypeClosure(rec.Types) {
+	// VisitClosure walks the closure without materializing it; duplicate
+	// visits are harmless because the contains check is idempotent.
+	entityrepo.VisitClosure(rec.Types, func(t string) {
 		if !contains(e.Types, t) {
 			e.Types = append(e.Types, t)
 		}
-	}
+	})
 	return e
 }
 
@@ -150,39 +159,63 @@ func (kb *KB) EmergingCount() int {
 // so the surviving fact does not depend on insertion order (shards merged
 // in any partitioning converge on the same record). It returns the fact ID,
 // which is always the fact's index in Facts().
+//
+// The dedup key is assembled once into a reused scratch buffer and probed
+// against the byKey index; only a genuinely new fact materializes the key
+// string, and the per-field index keys are substrings of that single
+// allocation.
 func (kb *KB) AddFact(f Fact) int {
-	key := f.dedupKey()
-	for _, i := range kb.bySubject[subjectKey(f.Subject)] {
-		if kb.facts[i].dedupKey() == key {
-			if f.Confidence > kb.facts[i].Confidence ||
-				(f.Confidence == kb.facts[i].Confidence && provLess(f.Source, kb.facts[i].Source)) {
-				kb.facts[i].Confidence = f.Confidence
-				kb.facts[i].Source = f.Source
-				// The surface pattern travels with its provenance: the
-				// stored fact must cite a sentence that contains it.
-				kb.facts[i].Pattern = f.Pattern
-			}
-			return kb.facts[i].ID
+	// Key layout: <subject>|<lower(relation)>|<object>|<object>...
+	buf := appendValueKey(kb.keyBuf[:0], f.Subject)
+	subjLen := len(buf)
+	buf = append(buf, '|')
+	buf = intern.AppendLower(buf, f.Relation)
+	relEnd := len(buf)
+	objEnds := make([]int, 0, 8)
+	for _, o := range f.Objects {
+		buf = append(buf, '|')
+		buf = appendValueKey(buf, o)
+		objEnds = append(objEnds, len(buf))
+	}
+	kb.keyBuf = buf
+
+	if i, ok := kb.byKey[string(buf)]; ok { // no alloc: map probe with temporary
+		if f.Confidence > kb.facts[i].Confidence ||
+			(f.Confidence == kb.facts[i].Confidence && provLess(f.Source, kb.facts[i].Source)) {
+			kb.facts[i].Confidence = f.Confidence
+			kb.facts[i].Source = f.Source
+			// The surface pattern travels with its provenance: the
+			// stored fact must cite a sentence that contains it.
+			kb.facts[i].Pattern = f.Pattern
 		}
+		return kb.facts[i].ID
 	}
 	f.ID = kb.nextID
 	kb.nextID++
 	idx := len(kb.facts)
 	kb.facts = append(kb.facts, f)
-	kb.bySubject[subjectKey(f.Subject)] = append(kb.bySubject[subjectKey(f.Subject)], idx)
-	kb.byRel[strings.ToLower(f.Relation)] = append(kb.byRel[strings.ToLower(f.Relation)], idx)
-	for _, o := range f.Objects {
-		kb.byObject[subjectKey(o)] = append(kb.byObject[subjectKey(o)], idx)
+	key := string(buf) // the one allocation; index keys slice into it
+	kb.byKey[key] = idx
+	kb.bySubject[key[:subjLen]] = append(kb.bySubject[key[:subjLen]], idx)
+	kb.byRel[key[subjLen+1:relEnd]] = append(kb.byRel[key[subjLen+1:relEnd]], idx)
+	prev := relEnd
+	for _, end := range objEnds {
+		okey := key[prev+1 : end]
+		kb.byObject[okey] = append(kb.byObject[okey], idx)
+		prev = end
 	}
 	return f.ID
 }
 
-func (f *Fact) dedupKey() string {
-	parts := []string{subjectKey(f.Subject), strings.ToLower(f.Relation)}
-	for _, o := range f.Objects {
-		parts = append(parts, subjectKey(o))
+// appendValueKey appends the canonical index key of a value ("e:<id>" or
+// "l:<lowered literal>") to buf.
+func appendValueKey(buf []byte, v Value) []byte {
+	if v.IsEntity() {
+		buf = append(buf, 'e', ':')
+		return append(buf, v.EntityID...)
 	}
-	return strings.Join(parts, "|")
+	buf = append(buf, 'l', ':')
+	return intern.AppendLower(buf, v.Literal)
 }
 
 // provLess orders provenances by (DocID, SentIndex).
@@ -191,13 +224,6 @@ func provLess(a, b Provenance) bool {
 		return a.DocID < b.DocID
 	}
 	return a.SentIndex < b.SentIndex
-}
-
-func subjectKey(v Value) string {
-	if v.IsEntity() {
-		return "e:" + v.EntityID
-	}
-	return "l:" + strings.ToLower(v.Literal)
 }
 
 // Facts returns all facts.
@@ -328,11 +354,20 @@ func (kb *KB) Relations() []string {
 // object slices are copied so the shard can be discarded or mutated
 // afterwards without aliasing the merged KB.
 func (kb *KB) Merge(other *KB) {
-	for _, e := range other.Entities() {
-		kb.AddEntity(*e)
+	// Pre-size for the incoming shard: the common case (serving-layer
+	// shard re-merge, engine doc-order merge) appends mostly-new facts and
+	// entities, so grow once instead of element-by-element.
+	if n := len(other.order); n > 0 {
+		kb.order = slices.Grow(kb.order, n)
+	}
+	if n := len(other.facts); n > 0 {
+		kb.facts = slices.Grow(kb.facts, n)
+	}
+	for _, id := range other.order {
+		kb.AddEntity(*other.entities[id])
 	}
 	for _, f := range other.Facts() {
-		f.Objects = append([]Value(nil), f.Objects...)
+		f.Objects = append(make([]Value, 0, len(f.Objects)), f.Objects...)
 		kb.AddFact(f)
 	}
 }

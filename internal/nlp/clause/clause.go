@@ -11,8 +11,9 @@
 package clause
 
 import (
-	"strings"
+	"sync"
 
+	"qkbfly/internal/intern"
 	"qkbfly/internal/nlp"
 	"qkbfly/internal/nlp/chunk"
 	"qkbfly/internal/nlp/depparse"
@@ -75,23 +76,119 @@ type Clause struct {
 // Args returns all nominal constituents of the clause in linear order:
 // subject, objects, complement, adverbial objects.
 func (c *Clause) Args() []Constituent {
-	var out []Constituent
+	return c.AppendArgs(nil)
+}
+
+// AppendArgs appends the clause's nominal constituents to dst in the same
+// order as Args — the allocation-free variant for hot paths with a
+// reusable buffer.
+func (c *Clause) AppendArgs(dst []Constituent) []Constituent {
 	if c.Subject != nil {
-		out = append(out, *c.Subject)
+		dst = append(dst, *c.Subject)
 	}
-	out = append(out, c.Objects...)
+	dst = append(dst, c.Objects...)
 	if c.Complement != nil {
-		out = append(out, *c.Complement)
+		dst = append(dst, *c.Complement)
 	}
-	out = append(out, c.Adverbials...)
-	return out
+	return append(dst, c.Adverbials...)
+}
+
+// Scratch holds the reusable annotation/detection state of one worker:
+// the dependency-parser chart, the per-sentence child index, and the
+// clause buffers that AnnotateDocumentScratch recycles across documents.
+// Not safe for concurrent use.
+type Scratch struct {
+	Dep depparse.Scratch
+
+	// child index of the current sentence (counting sort by Head)
+	childStart []int32
+	childBuf   []int32
+
+	verbs      []int
+	verbClause map[int]int
+	byteBuf    []byte
+
+	// clause storage pooled per sentence position across documents
+	bySent [][]Clause
+}
+
+// NewScratch returns an empty annotation scratch.
+func NewScratch() *Scratch {
+	return &Scratch{verbClause: map[int]int{}}
+}
+
+var detectPool = sync.Pool{New: func() any { return NewScratch() }}
+
+// buildChildIndex builds the token->children index of the sentence with a
+// counting sort over Head (children emerge in token order, matching
+// Sentence.ChildrenByRel's scan order).
+func (sc *Scratch) buildChildIndex(sent *nlp.Sentence) {
+	n := len(sent.Tokens)
+	if cap(sc.childStart) < n+2 {
+		sc.childStart = make([]int32, n+2)
+	}
+	start := sc.childStart[:n+2]
+	sc.childStart = start
+	for i := range start {
+		start[i] = 0
+	}
+	if cap(sc.childBuf) < n {
+		sc.childBuf = make([]int32, n)
+	}
+	buf := sc.childBuf[:n]
+	sc.childBuf = buf
+	// start is offset by one so heads in [-1, n) index at head+1; the
+	// extra slot makes start[h+2] the end of h's run after prefix sums.
+	for j := 0; j < n; j++ {
+		h := sent.Tokens[j].Head
+		if h >= -1 && h < n {
+			start[h+1]++
+		}
+	}
+	for i := 1; i < len(start); i++ {
+		start[i] += start[i-1]
+	}
+	// Fill backwards so each run fills back-to-front yet stays ascending.
+	for j := n - 1; j >= 0; j-- {
+		h := sent.Tokens[j].Head
+		if h >= -1 && h < n {
+			start[h+1]--
+			buf[start[h+1]] = int32(j)
+		}
+	}
+}
+
+// children returns the token indices whose Head is i, ascending.
+func (sc *Scratch) children(i int) []int32 {
+	return sc.childBuf[sc.childStart[i+1]:sc.childStart[i+2]]
+}
+
+// firstChildByRel returns the first child of i with relation rel, or -1.
+func (sc *Scratch) firstChildByRel(sent *nlp.Sentence, i int, rel string) int {
+	for _, j := range sc.children(i) {
+		if sent.Tokens[j].DepRel == rel {
+			return int(j)
+		}
+	}
+	return -1
 }
 
 // Detect extracts the clauses of a parsed sentence.
 func Detect(sent *nlp.Sentence) []Clause {
+	sc := detectPool.Get().(*Scratch)
+	out := detectScratch(sent, nil, sc)
+	detectPool.Put(sc)
+	return out
+}
+
+// detectScratch appends the clauses of the sentence to buf using the
+// scratch's buffers.
+func detectScratch(sent *nlp.Sentence, buf []Clause, sc *Scratch) []Clause {
 	toks := sent.Tokens
-	var verbs []int
-	verbClause := map[int]int{}
+	sc.buildChildIndex(sent)
+	verbs := sc.verbs[:0]
+	verbClause := sc.verbClause
+	clear(verbClause)
 	for i := range toks {
 		if !toks[i].POS.IsVerb() {
 			continue
@@ -101,9 +198,10 @@ func Detect(sent *nlp.Sentence) []Clause {
 			verbs = append(verbs, i)
 		}
 	}
-	clauses := make([]Clause, 0, len(verbs))
+	sc.verbs = verbs
+	clauses := buf
 	for _, v := range verbs {
-		c := buildClause(sent, v)
+		c := buildClause(sent, v, sc)
 		verbClause[v] = len(clauses)
 		clauses = append(clauses, c)
 	}
@@ -138,56 +236,68 @@ func Detect(sent *nlp.Sentence) []Clause {
 	return clauses
 }
 
-// buildClause assembles the clause for main verb v.
-func buildClause(sent *nlp.Sentence, v int) Clause {
+// buildClause assembles the clause for main verb v, reading dependents
+// from the scratch's child index.
+func buildClause(sent *nlp.Sentence, v int, sc *Scratch) Clause {
 	toks := sent.Tokens
 	c := Clause{Verb: v, Parent: -1}
 
-	if subj := sent.ChildrenByRel(v, nlp.DepNsubj); len(subj) > 0 {
-		cons := constituentAt(sent, subj[0])
+	if subj := sc.firstChildByRel(sent, v, nlp.DepNsubj); subj >= 0 {
+		cons := constituentAt(sent, subj)
 		cons.Role = RoleSubject
 		c.Subject = &cons
 	}
-	for _, j := range sent.ChildrenByRel(v, nlp.DepIobj) {
-		cons := constituentAt(sent, j)
-		cons.Role = RoleIndirectObject
-		c.Objects = append(c.Objects, cons)
-	}
-	for _, j := range sent.ChildrenByRel(v, nlp.DepDobj) {
-		cons := constituentAt(sent, j)
-		cons.Role = RoleObject
-		c.Objects = append(c.Objects, cons)
-	}
-	for _, rel := range []string{nlp.DepAttr, nlp.DepAcomp} {
-		if kids := sent.ChildrenByRel(v, rel); kids != nil {
-			cons := constituentAt(sent, kids[0])
-			cons.Role = RoleComplement
-			c.Complement = &cons
-			break
+	for _, j := range sc.children(v) {
+		if toks[j].DepRel == nlp.DepIobj {
+			cons := constituentAt(sent, int(j))
+			cons.Role = RoleIndirectObject
+			c.Objects = append(c.Objects, cons)
 		}
+	}
+	for _, j := range sc.children(v) {
+		if toks[j].DepRel == nlp.DepDobj {
+			cons := constituentAt(sent, int(j))
+			cons.Role = RoleObject
+			c.Objects = append(c.Objects, cons)
+		}
+	}
+	compl := sc.firstChildByRel(sent, v, nlp.DepAttr)
+	if compl < 0 {
+		compl = sc.firstChildByRel(sent, v, nlp.DepAcomp)
+	}
+	if compl >= 0 {
+		cons := constituentAt(sent, compl)
+		cons.Role = RoleComplement
+		c.Complement = &cons
 	}
 	// Adverbials: prepositional objects and time modifiers. A preposition
 	// without an object of its own is a verb particle ("grew up in X"):
-	// it joins the relation pattern directly.
+	// it joins the relation pattern directly. Particles and prepositions
+	// go straight into the pattern buffer in encounter order, which is
+	// exactly the old particles-then-preps concatenation order because the
+	// pattern appends particles first, then preps.
 	var preps []string
 	var particles []string
-	for _, j := range sent.Children(v) {
+	for _, j := range sc.children(v) {
 		switch toks[j].DepRel {
 		case nlp.DepPrep:
-			pobjs := sent.ChildrenByRel(j, nlp.DepPobj)
-			if len(pobjs) == 0 {
-				particles = append(particles, strings.ToLower(toks[j].Text))
-				continue
-			}
-			for _, o := range pobjs {
-				cons := constituentAt(sent, o)
+			hasPobj := false
+			for _, o := range sc.children(int(j)) {
+				if toks[o].DepRel != nlp.DepPobj {
+					continue
+				}
+				hasPobj = true
+				cons := constituentAt(sent, int(o))
 				cons.Role = RoleAdverbial
-				cons.Prep = strings.ToLower(toks[j].Text)
+				cons.Prep = intern.Lower(toks[j].Text)
 				c.Adverbials = append(c.Adverbials, cons)
 				preps = append(preps, cons.Prep)
 			}
+			if !hasPobj {
+				particles = append(particles, intern.Lower(toks[j].Text))
+			}
 		case nlp.DepTmod:
-			cons := constituentAt(sent, j)
+			cons := constituentAt(sent, int(j))
 			cons.Role = RoleAdverbial
 			c.Adverbials = append(c.Adverbials, cons)
 		case nlp.DepNeg:
@@ -195,16 +305,22 @@ func buildClause(sent *nlp.Sentence, v int) Clause {
 		}
 	}
 	// Relation pattern: lemmatized verb plus the prepositions of its
-	// oblique arguments in order ("donate to", "born in on").
+	// oblique arguments in order ("donate to", "born in on"). Patterns
+	// recur constantly, so the assembled form is interned.
 	pattern := toks[v].Lemma
 	if pattern == "" {
-		pattern = strings.ToLower(toks[v].Text)
+		pattern = intern.Lower(toks[v].Text)
 	}
-	if len(particles) > 0 {
-		pattern += " " + strings.Join(particles, " ")
-	}
-	if len(preps) > 0 {
-		pattern += " " + strings.Join(preps, " ")
+	if len(particles) > 0 || len(preps) > 0 {
+		buf := append(sc.byteBuf[:0], pattern...)
+		for _, w := range particles {
+			buf = append(append(buf, ' '), w...)
+		}
+		for _, w := range preps {
+			buf = append(append(buf, ' '), w...)
+		}
+		sc.byteBuf = buf
+		pattern = intern.Default.InternBytes(buf)
 	}
 	c.Pattern = pattern
 	c.Type = classify(&c)
@@ -282,6 +398,32 @@ func (p *Pipeline) AnnotateDocument(doc *nlp.Document) [][]Clause {
 	return out
 }
 
+// AnnotateDocumentScratch is AnnotateDocument with caller-owned scratch:
+// the returned [][]Clause (and every Clause in it) is recycled on the next
+// call with the same Scratch, so per-worker annotation stops allocating
+// clause storage once the buffers have grown. The document itself
+// (sentences, tokens, annotations) is owned by the caller as usual.
+func (p *Pipeline) AnnotateDocumentScratch(doc *nlp.Document, sc *Scratch) [][]Clause {
+	if len(doc.Sentences) == 0 {
+		doc.Sentences = token.TokenizeSentences(doc.Text)
+	}
+	n := len(doc.Sentences)
+	out := sc.bySent
+	if cap(out) < n {
+		grown := make([][]Clause, n)
+		copy(grown, out[:len(out)])
+		out = grown
+	} else {
+		out = out[:cap(out)][:n]
+	}
+	for i := range doc.Sentences {
+		p.annotateScratch(&doc.Sentences[i], sc)
+		out[i] = detectScratch(&doc.Sentences[i], out[i][:0], sc)
+	}
+	sc.bySent = out
+	return out
+}
+
 func (p *Pipeline) annotate(sent *nlp.Sentence) {
 	pos.Tag(sent)
 	lemma.Annotate(sent)
@@ -289,4 +431,13 @@ func (p *Pipeline) annotate(sent *nlp.Sentence) {
 	p.ner.Annotate(sent)
 	chunk.Chunk(sent)
 	depparse.Parse(sent, p.mode)
+}
+
+func (p *Pipeline) annotateScratch(sent *nlp.Sentence, sc *Scratch) {
+	pos.Tag(sent)
+	lemma.Annotate(sent)
+	sutime.Annotate(sent)
+	p.ner.Annotate(sent)
+	chunk.Chunk(sent)
+	depparse.ParseScratch(sent, p.mode, &sc.Dep)
 }

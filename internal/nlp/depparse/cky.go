@@ -178,23 +178,43 @@ type cell struct {
 }
 
 // parseCKY runs the chart parser; returns false if no S spans the sentence.
-func parseCKY(sent *nlp.Sentence) bool {
+//
+// The chart is the documented O(n³) hot spot of Stanford mode; its n(n+1)/2
+// cells live in the scratch's flat buffer, whose capacity is retained
+// across sentences, so steady-state parsing re-initializes cells instead of
+// allocating ~n²/2 of them per sentence.
+func parseCKY(sent *nlp.Sentence, sc *Scratch) bool {
 	toks := sent.Tokens
 	n := len(toks)
 	if n == 0 || n > 120 {
 		return false
 	}
 	// chart[i][j] covers tokens [i, i+j+1)
-	chart := make([][]cell, n)
-	for i := range chart {
-		chart[i] = make([]cell, n-i)
-		for j := range chart[i] {
-			for s := 0; s < nSyms; s++ {
-				chart[i][j].logp[s] = math.Inf(-1)
-			}
+	total := n * (n + 1) / 2
+	if cap(sc.cells) < total {
+		sc.cells = make([]cell, total)
+	}
+	cells := sc.cells[:total]
+	sc.cells = cells
+	negInf := math.Inf(-1)
+	for ci := range cells {
+		c := &cells[ci]
+		for s := 0; s < nSyms; s++ {
+			c.logp[s] = negInf
 		}
 	}
-	classes := make([]posClass, n)
+	chart := sc.rows[:0]
+	off := 0
+	for i := 0; i < n; i++ {
+		chart = append(chart, cells[off:off+(n-i)])
+		off += n - i
+	}
+	sc.rows = chart
+	if cap(sc.classes) < n {
+		sc.classes = make([]posClass, n)
+	}
+	classes := sc.classes[:n]
+	sc.classes = classes
 	for i := range toks {
 		classes[i] = classOf(toks[i].POS)
 	}

@@ -17,6 +17,7 @@ package depparse
 
 import (
 	"strings"
+	"sync"
 
 	"qkbfly/internal/nlp"
 	"qkbfly/internal/nlp/chunk"
@@ -31,14 +32,37 @@ const (
 	Stanford             // CKY PCFG parser, slower, for Table 5
 )
 
+// Scratch holds the reusable parser state: the CKY chart buffer (flat
+// cells plus row headers) and the terminal-class buffer. Capacity is
+// retained across sentences; a Scratch must not be shared between
+// goroutines.
+type Scratch struct {
+	cells   []cell
+	rows    [][]cell
+	classes []posClass
+}
+
+// NewScratch returns an empty parser scratch.
+func NewScratch() *Scratch { return &Scratch{} }
+
+var scratchPool = sync.Pool{New: func() any { return NewScratch() }}
+
 // Parse parses the sentence in the given mode. The sentence must be
 // POS-tagged; chunks are (re)computed as needed.
 func Parse(sent *nlp.Sentence, mode Mode) {
+	sc := scratchPool.Get().(*Scratch)
+	ParseScratch(sent, mode, sc)
+	scratchPool.Put(sc)
+}
+
+// ParseScratch is Parse with a caller-owned scratch, so a worker parsing
+// many sentences reuses one chart allocation for all of them.
+func ParseScratch(sent *nlp.Sentence, mode Mode, sc *Scratch) {
 	if len(sent.Chunks) == 0 {
 		chunk.Chunk(sent)
 	}
 	if mode == Stanford {
-		if parseCKY(sent) {
+		if parseCKY(sent, sc) {
 			return
 		}
 		// fall through to the cascade if the grammar rejects the sentence

@@ -7,6 +7,7 @@ package lemma
 import (
 	"strings"
 
+	"qkbfly/internal/intern"
 	"qkbfly/internal/nlp"
 )
 
@@ -75,7 +76,7 @@ func esStem(word string) (string, bool) {
 
 // Lemma returns the lemma of a word given its POS tag.
 func Lemma(word string, tag nlp.POSTag) string {
-	lower := strings.ToLower(word)
+	lower := intern.Lower(word)
 	if lem, ok := irregular[lower]; ok {
 		return lem
 	}

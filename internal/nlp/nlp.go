@@ -165,11 +165,41 @@ func (s *Sentence) TokenText(start, end int) string {
 	if start >= end {
 		return ""
 	}
-	parts := make([]string, 0, end-start)
-	for i := start; i < end; i++ {
-		parts = append(parts, s.Tokens[i].Text)
+	if end-start == 1 {
+		return s.Tokens[start].Text
 	}
-	return strings.Join(parts, " ")
+	n := end - start - 1 // separators
+	for i := start; i < end; i++ {
+		n += len(s.Tokens[i].Text)
+	}
+	var b strings.Builder
+	b.Grow(n)
+	for i := start; i < end; i++ {
+		if i > start {
+			b.WriteByte(' ')
+		}
+		b.WriteString(s.Tokens[i].Text)
+	}
+	return b.String()
+}
+
+// AppendTokenText appends the surface text of tokens [start, end) joined
+// by spaces to buf — the allocation-free counterpart of TokenText for hot
+// paths that intern or hash the result.
+func (s *Sentence) AppendTokenText(buf []byte, start, end int) []byte {
+	if start < 0 {
+		start = 0
+	}
+	if end > len(s.Tokens) {
+		end = len(s.Tokens)
+	}
+	for i := start; i < end; i++ {
+		if i > start {
+			buf = append(buf, ' ')
+		}
+		buf = append(buf, s.Tokens[i].Text...)
+	}
+	return buf
 }
 
 // Children returns the indices of the direct dependents of token i.

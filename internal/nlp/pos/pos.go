@@ -10,6 +10,7 @@ import (
 	"strings"
 	"unicode"
 
+	"qkbfly/internal/intern"
 	"qkbfly/internal/nlp"
 )
 
@@ -31,7 +32,7 @@ func TagAll(doc *nlp.Document) {
 
 // initialTag performs lexicon lookup and unknown-word guessing.
 func initialTag(text string, sentenceInitial bool) nlp.POSTag {
-	lower := strings.ToLower(text)
+	lower := intern.Lower(text)
 	if tag, ok := lexicon[lower]; ok {
 		// A capitalized open-class lexicon word mid-sentence is a proper
 		// noun use (the city "Reading", the film "Star Wars"); closed-class
@@ -61,7 +62,7 @@ func initialTag(text string, sentenceInitial bool) nlp.POSTag {
 	// sentence-initially we still prefer NNP for unknown words since known
 	// words were caught by the lexicon).
 	if isCapitalized(text) {
-		if strings.HasSuffix(text, "s") && len(text) > 3 && isCapitalized(text[:len(text)-1]) && strings.HasSuffix(strings.ToLower(text), "ings") {
+		if strings.HasSuffix(text, "s") && len(text) > 3 && isCapitalized(text[:len(text)-1]) && strings.HasSuffix(lower, "ings") {
 			return nlp.NNPS
 		}
 		return nlp.NNP
@@ -122,7 +123,7 @@ func contextualRepair(toks []nlp.Token) {
 			}
 		// TO/MD + anything verbal -> base verb ("to play", "will star").
 		case (prev(i) == nlp.TO || prev(i) == nlp.MD) && (t.POS.IsVerb() || t.POS == nlp.NN):
-			if _, known := lexicon[strings.ToLower(t.Text)]; known && t.POS == nlp.NN {
+			if _, known := lexicon[intern.Lower(t.Text)]; known && t.POS == nlp.NN {
 				// keep known nouns ("to Paris" won't reach here: NNP)
 			} else {
 				t.POS = nlp.VB
@@ -156,7 +157,7 @@ func contextualRepair(toks []nlp.Token) {
 }
 
 func isHave(text string) bool {
-	switch strings.ToLower(text) {
+	switch intern.Lower(text) {
 	case "have", "has", "had", "having", "'ve":
 		return true
 	}
@@ -164,7 +165,7 @@ func isHave(text string) bool {
 }
 
 func isBe(text string) bool {
-	switch strings.ToLower(text) {
+	switch intern.Lower(text) {
 	case "be", "is", "am", "are", "was", "were", "been", "being", "'re", "'m":
 		return true
 	}

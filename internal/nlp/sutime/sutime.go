@@ -14,9 +14,9 @@ package sutime
 
 import (
 	"fmt"
-	"strconv"
 	"strings"
 
+	"qkbfly/internal/intern"
 	"qkbfly/internal/nlp"
 )
 
@@ -59,26 +59,26 @@ func Annotate(sent *nlp.Sentence) {
 // match tries to match a time expression starting at token i and returns
 // the end index (exclusive), the normalized value, and success.
 func match(toks []nlp.Token, i int) (int, string, bool) {
-	lower := strings.ToLower(toks[i].Text)
+	lower := intern.Lower(toks[i].Text)
 
 	// "<Month> <day>, <year>" | "<Month> <day>" | "<Month> <year>" | "<Month>"
 	if m, ok := months[lower]; ok && isCapitalizedOrAbbrev(toks[i].Text) {
 		j := i + 1
 		day, year := 0, 0
 		if j < len(toks) && isDayNumber(toks[j].Text) {
-			day, _ = strconv.Atoi(toks[j].Text)
+			day, _ = parseInt(toks[j].Text)
 			j++
 			if j < len(toks) && toks[j].Text == "," {
 				j++
 			}
 			if j < len(toks) && isYear(toks[j].Text) {
-				year, _ = strconv.Atoi(toks[j].Text)
+				year, _ = parseInt(toks[j].Text)
 				j++
 			}
 			return j, normalize(year, m, day), true
 		}
 		if j < len(toks) && isYear(toks[j].Text) {
-			year, _ = strconv.Atoi(toks[j].Text)
+			year, _ = parseInt(toks[j].Text)
 			j++
 			return j, normalize(year, m, 0), true
 		}
@@ -91,12 +91,12 @@ func match(toks []nlp.Token, i int) (int, string, bool) {
 
 	// "<day> <Month> <year>" | "<day> <Month>"
 	if isDayNumber(toks[i].Text) && i+1 < len(toks) {
-		if m, ok := months[strings.ToLower(toks[i+1].Text)]; ok {
-			day, _ := strconv.Atoi(toks[i].Text)
+		if m, ok := months[intern.Lower(toks[i+1].Text)]; ok {
+			day, _ := parseInt(toks[i].Text)
 			j := i + 2
 			year := 0
 			if j < len(toks) && isYear(toks[j].Text) {
-				year, _ = strconv.Atoi(toks[j].Text)
+				year, _ = parseInt(toks[j].Text)
 				j++
 			}
 			return j, normalize(year, m, day), true
@@ -127,7 +127,7 @@ func match(toks []nlp.Token, i int) (int, string, bool) {
 		return i + 1, strings.ToUpper(lower), true
 	}
 	if (lower == "last" || lower == "next") && i+1 < len(toks) {
-		nxt := strings.ToLower(toks[i+1].Text)
+		nxt := intern.Lower(toks[i+1].Text)
 		if nxt == "year" || nxt == "month" || nxt == "week" || weekdays[nxt] {
 			return i + 2, strings.ToUpper(lower + "_" + nxt), true
 		}
@@ -148,14 +148,32 @@ func normalize(year, month, day int) string {
 	}
 }
 
+// parseInt is a zero-allocation decimal parser for short all-digit token
+// texts; unlike strconv.Atoi it never materializes an error value, which
+// matters because it runs on every token of every sentence.
+func parseInt(text string) (int, bool) {
+	if text == "" || len(text) > 9 {
+		return 0, false
+	}
+	n := 0
+	for i := 0; i < len(text); i++ {
+		b := text[i]
+		if b < '0' || b > '9' {
+			return 0, false
+		}
+		n = n*10 + int(b-'0')
+	}
+	return n, true
+}
+
 func isDayNumber(text string) bool {
-	n, err := strconv.Atoi(text)
-	return err == nil && n >= 1 && n <= 31 && len(text) <= 2
+	n, ok := parseInt(text)
+	return ok && n >= 1 && n <= 31 && len(text) <= 2
 }
 
 func isYear(text string) bool {
-	n, err := strconv.Atoi(text)
-	return err == nil && n >= 1000 && n <= 2999 && len(text) == 4
+	n, ok := parseInt(text)
+	return ok && n >= 1000 && n <= 2999 && len(text) == 4
 }
 
 func isCapitalizedOrAbbrev(text string) bool {

@@ -8,6 +8,7 @@ package token
 
 import (
 	"strings"
+	"sync"
 	"unicode"
 
 	"qkbfly/internal/nlp"
@@ -96,10 +97,38 @@ func lastWord(runes []rune, end int) string {
 	return string(runes[i+1 : end])
 }
 
+// tokScratch holds the intermediate token buffers of one Tokenize call;
+// pooled because the raw and comma-fixed passes are discarded once the
+// exact-size result slice is built.
+type tokScratch struct{ raw, fixed []nlp.Token }
+
+var tokPool = sync.Pool{New: func() any {
+	return &tokScratch{raw: make([]nlp.Token, 0, 64), fixed: make([]nlp.Token, 0, 64)}
+}}
+
 // Tokenize splits a single sentence into tokens with byte offsets.
 // POS, lemma, NER and dependency fields are left for later stages.
+//
+// The intermediate buffers are pooled; the returned slice is a single
+// exact-size allocation owned by the caller (it outlives the call as part
+// of the annotated document).
 func Tokenize(sentence string) []nlp.Token {
-	var tokens []nlp.Token
+	sc := tokPool.Get().(*tokScratch)
+	raw := tokenizeInto(sc.raw[:0], sentence)
+	fixed := fixCommaTokens(sc.fixed[:0], raw)
+	var out []nlp.Token
+	if len(fixed) > 0 {
+		out = make([]nlp.Token, len(fixed))
+		copy(out, fixed)
+	}
+	sc.raw, sc.fixed = raw, fixed
+	tokPool.Put(sc)
+	return out
+}
+
+// tokenizeInto appends the raw tokens of the sentence to dst.
+func tokenizeInto(dst []nlp.Token, sentence string) []nlp.Token {
+	tokens := dst
 	add := func(text string, start, end int) {
 		if text == "" {
 			return
@@ -167,7 +196,7 @@ func Tokenize(sentence string) []nlp.Token {
 			i = j
 		}
 	}
-	return fixCommaTokens(tokens)
+	return tokens
 }
 
 // emitWithClitics splits clitics like "'s" and "n't" off a word.
@@ -200,9 +229,10 @@ func TokenizeSentences(text string) []nlp.Sentence {
 }
 
 // fixCommaTokens repairs tokens where a ',' was glued to a word but is not
-// a thousands separator (e.g. "Paris," -> "Paris" + ",").
-func fixCommaTokens(toks []nlp.Token) []nlp.Token {
-	var out []nlp.Token
+// a thousands separator (e.g. "Paris," -> "Paris" + ","), appending the
+// repaired stream to dst.
+func fixCommaTokens(dst []nlp.Token, toks []nlp.Token) []nlp.Token {
+	out := dst
 	for _, t := range toks {
 		text := t.Text
 		start := t.Start

@@ -1,0 +1,42 @@
+// Package pipeline holds the per-worker scratch arena of the staged
+// construction pipeline. One Scratch aggregates the reusable state of
+// every stage — annotation (tokenizer buffers, CKY chart, clause
+// storage), graph construction (arena-backed graph, candidate and
+// matching buffers), densification (solver state, result), exact ILP
+// (program, result), and canonicalization (union-find, node values) — so
+// an engine worker resets instead of reallocating between documents.
+//
+// A Scratch is owned by exactly one worker goroutine; nothing in it is
+// safe for concurrent use. The correctness invariant is that pooled and
+// fresh builds are byte-identical: every stage's scratch variant produces
+// exactly the output of its allocating counterpart (the engine's
+// determinism tests assert fingerprint identity).
+package pipeline
+
+import (
+	"qkbfly/internal/canon"
+	"qkbfly/internal/densify"
+	"qkbfly/internal/graph"
+	"qkbfly/internal/ilp"
+	"qkbfly/internal/nlp/clause"
+)
+
+// Scratch is the per-worker arena over all pipeline stages.
+type Scratch struct {
+	Annotate *clause.Scratch
+	Graph    *graph.Scratch
+	Densify  *densify.Scratch
+	ILP      *ilp.Scratch
+	Canon    *canon.Scratch
+}
+
+// NewScratch returns a fresh scratch arena.
+func NewScratch() *Scratch {
+	return &Scratch{
+		Annotate: clause.NewScratch(),
+		Graph:    graph.NewScratch(),
+		Densify:  densify.NewScratch(),
+		ILP:      ilp.NewScratch(),
+		Canon:    canon.NewScratch(),
+	}
+}

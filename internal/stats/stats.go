@@ -13,6 +13,7 @@ import (
 	"math"
 	"strings"
 
+	"qkbfly/internal/intern"
 	"qkbfly/internal/kb/entityrepo"
 	"qkbfly/internal/nlp"
 	"qkbfly/internal/nlp/clause"
@@ -65,7 +66,7 @@ func Build(docs []*nlp.Document, repo *entityrepo.Repo, pipe *clause.Pipeline) *
 		counts := map[string]int{}
 		for i := range doc.Sentences {
 			for _, t := range doc.Sentences[i].Tokens {
-				w := strings.ToLower(t.Text)
+				w := intern.Lower(t.Text)
 				if stopwords[w] || len(w) < 2 || !isWordLike(w) {
 					continue
 				}
@@ -201,10 +202,21 @@ func (s *Stats) ContextVector(entityID string) map[string]float64 {
 // SentenceVector builds the TF-IDF context vector of a sentence (the
 // context of a noun-phrase occurrence, §4).
 func (s *Stats) SentenceVector(sent *nlp.Sentence) (map[string]float64, float64) {
-	vec := map[string]float64{}
+	return s.SentenceVectorInto(nil, sent)
+}
+
+// SentenceVectorInto is SentenceVector filling a caller-recycled map
+// (allocated when nil, cleared otherwise), so per-document scorer resets
+// reuse their vector maps instead of reallocating them.
+func (s *Stats) SentenceVectorInto(vec map[string]float64, sent *nlp.Sentence) (map[string]float64, float64) {
+	if vec == nil {
+		vec = map[string]float64{}
+	} else {
+		clear(vec)
+	}
 	sum := 0.0
 	for _, t := range sent.Tokens {
-		w := strings.ToLower(t.Text)
+		w := intern.Lower(t.Text)
 		if stopwords[w] || len(w) < 2 || !isWordLike(w) {
 			continue
 		}
@@ -295,7 +307,10 @@ func (s *Stats) TypeSignature(subjTypes, objTypes []string, pattern string) floa
 func (s *Stats) HasPattern(pattern string) bool { return s.typeSigTotal[pattern] > 0 }
 
 func normalizeMention(m string) string {
-	return strings.Join(strings.Fields(strings.ToLower(m)), " ")
+	if intern.IsNormalized(m, false) {
+		return m
+	}
+	return intern.S(strings.Join(strings.Fields(strings.ToLower(m)), " "))
 }
 
 func isWordLike(w string) bool {
