@@ -1,19 +1,31 @@
 // Command qkbfly-bench is the repo's perf harness: it measures the cold
 // on-the-fly KB construction path (full annotate → graph → densify →
-// canonicalize → merge pipeline over the sample corpus) and the warm
-// serving path (query-cache hit), and writes the numbers as JSON so PRs
-// can be diffed against the committed baseline (BENCH_PR3.json).
+// canonicalize → merge pipeline over the sample corpus), the warm serving
+// path (query-cache hit), and the incremental session-ingest path
+// (IngestIncrement: per-increment wall/allocs of a session fed the corpus
+// in chunks, against the full-rebuild cost), and writes the numbers as
+// JSON so PRs can be diffed against the committed baselines
+// (BENCH_PR3.json, BENCH_PR4.json).
 //
 // Reported per cold build: wall-clock ns, allocations and bytes (from
 // runtime.MemStats deltas), and the per-stage CPU breakdown from the
-// engine's StageTimings. Before timing starts, the harness asserts the
-// engine's correctness invariant: the pooled parallel build fingerprints
-// identically to a serial build.
+// engine's StageTimings. Before timing starts, the harness asserts two
+// correctness invariants: the pooled parallel build fingerprints
+// identically to a serial build, and a session fed the same documents
+// incrementally fingerprints identically to the one-shot batch build.
+//
+// With -baseline, the run is additionally diffed against a committed
+// baseline JSON (either this harness's flat format or the PR3 wrapper
+// with a top-level "harness" key): allocations and bytes per cold build
+// regressing by more than -tolerance fail the run (exit 1). Wall-clock
+// comparison is informational unless -check-ns is set, because ns/op is
+// not comparable across machines.
 //
 // Usage:
 //
 //	go run ./cmd/qkbfly-bench [-docs 24] [-iters 20] [-parallelism 0] \
-//	    [-seed 1] [-out BENCH.json]
+//	    [-increments 8] [-seed 1] [-out BENCH.json] \
+//	    [-baseline BENCH_PR3.json] [-tolerance 0.2] [-check-ns]
 package main
 
 import (
@@ -37,10 +49,11 @@ import (
 
 // Report is the JSON document the harness emits.
 type Report struct {
-	Config  ConfigInfo  `json:"config"`
-	Cold    ColdResult  `json:"cold"`
-	Warm    WarmResult  `json:"warm"`
-	Machine MachineInfo `json:"machine"`
+	Config  ConfigInfo   `json:"config"`
+	Cold    ColdResult   `json:"cold"`
+	Warm    WarmResult   `json:"warm"`
+	Ingest  IngestResult `json:"ingest"`
+	Machine MachineInfo  `json:"machine"`
 }
 
 // ConfigInfo records what was measured.
@@ -48,6 +61,7 @@ type ConfigInfo struct {
 	Docs        int   `json:"docs"`
 	Iters       int   `json:"iters"`
 	Parallelism int   `json:"parallelism"`
+	Increments  int   `json:"increments"`
 	Seed        int64 `json:"seed"`
 }
 
@@ -80,6 +94,22 @@ type WarmResult struct {
 	SpeedupVsCold float64 `json:"speedup_vs_cold"`
 }
 
+// IngestResult summarizes the IngestIncrement measurements: a session fed
+// the corpus in k increments, versus rebuilding the whole corpus from
+// scratch on every update (what the batch-only API forces a live workload
+// to do). SpeedupVsRebuild > 1 means per-increment ingest cost is
+// sublinear in total corpus size.
+type IngestResult struct {
+	Docs                    int     `json:"docs"`
+	Increments              int     `json:"increments"`
+	NsPerIncrement          int64   `json:"ns_per_increment"`
+	AllocsPerIncrement      uint64  `json:"allocs_per_increment"`
+	BytesPerIncrement       uint64  `json:"bytes_per_increment"`
+	NsFullRebuild           int64   `json:"ns_full_rebuild"`
+	SpeedupVsRebuild        float64 `json:"speedup_vs_rebuild"`
+	FingerprintMatchesBatch bool    `json:"fingerprint_matches_batch"`
+}
+
 // MachineInfo pins the environment the numbers came from.
 type MachineInfo struct {
 	GOOS       string `json:"goos"`
@@ -91,15 +121,22 @@ type MachineInfo struct {
 
 func main() {
 	var (
-		nDocs = flag.Int("docs", 24, "documents per cold build")
-		iters = flag.Int("iters", 20, "cold-build iterations to average")
-		par   = flag.Int("parallelism", 0, "engine worker-pool size (0 = one per CPU)")
-		seed  = flag.Int64("seed", 1, "world seed")
-		out   = flag.String("out", "BENCH.json", "output JSON path")
+		nDocs      = flag.Int("docs", 24, "documents per cold build")
+		iters      = flag.Int("iters", 20, "cold-build iterations to average")
+		par        = flag.Int("parallelism", 0, "engine worker-pool size (0 = one per CPU)")
+		increments = flag.Int("increments", 8, "session increments for the IngestIncrement benchmark")
+		seed       = flag.Int64("seed", 1, "world seed")
+		out        = flag.String("out", "BENCH.json", "output JSON path")
+		baseline   = flag.String("baseline", "", "baseline JSON to diff against (e.g. BENCH_PR3.json); regressions beyond -tolerance fail the run")
+		tolerance  = flag.Float64("tolerance", 0.20, "allowed relative regression vs -baseline on cold allocs/bytes")
+		checkNS    = flag.Bool("check-ns", false, "also fail on cold ns_per_build regressions (off by default: not comparable across machines)")
 	)
 	flag.Parse()
 	if *nDocs < 1 || *iters < 1 {
 		fatal(fmt.Errorf("-docs and -iters must be >= 1 (got %d, %d)", *nDocs, *iters))
+	}
+	if *increments < 1 || *increments > *nDocs {
+		fatal(fmt.Errorf("-increments must be in [1, -docs] (got %d)", *increments))
 	}
 
 	fmt.Fprintln(os.Stderr, "generating world and background statistics...")
@@ -182,6 +219,57 @@ func main() {
 		FingerprintComparedTo: "serial (parallelism=1)",
 	}
 
+	// IngestIncrement: a session fed the same corpus in k chunks. The
+	// correctness invariant first — the incrementally-built KB must
+	// fingerprint-identically match the serial batch reference.
+	chunks := chunkBounds(*nDocs, *increments)
+	checkSess := sys.OpenSession(qkbfly.SessionOptions{BuildOptions: []qkbfly.Option{qkbfly.WithParallelism(effPar)}})
+	checkDocs := corpus.Docs(w.WikiDataset(*nDocs))
+	for _, c := range chunks {
+		if _, _, err := checkSess.Ingest(ctx, checkDocs[c[0]:c[1]]); err != nil {
+			fatal(err)
+		}
+	}
+	ingestMatches := checkSess.Snapshot().Fingerprint() == serialKB.Fingerprint()
+	checkSess.Close()
+	if !ingestMatches {
+		fatal(fmt.Errorf("incremental session KB (k=%d) differs from batch build", *increments))
+	}
+
+	fmt.Fprintf(os.Stderr, "ingest: %d iterations × %d docs in %d increments...\n", *iters, *nDocs, *increments)
+	var ingestNS int64
+	var ingestAllocs, ingestBytes uint64
+	for i := 0; i < *iters; i++ {
+		docs := corpus.Docs(w.WikiDataset(*nDocs)) // outside the measured region
+		sess := sys.OpenSession(qkbfly.SessionOptions{BuildOptions: []qkbfly.Option{qkbfly.WithParallelism(effPar)}})
+		for _, c := range chunks {
+			runtime.GC()
+			runtime.ReadMemStats(&ms0)
+			t0 := time.Now()
+			if _, _, err := sess.Ingest(ctx, docs[c[0]:c[1]]); err != nil {
+				fatal(err)
+			}
+			ingestNS += time.Since(t0).Nanoseconds()
+			runtime.ReadMemStats(&ms1)
+			ingestAllocs += ms1.Mallocs - ms0.Mallocs
+			ingestBytes += ms1.TotalAlloc - ms0.TotalAlloc
+		}
+		sess.Close()
+	}
+	nInc := int64(*iters) * int64(len(chunks))
+	ingest := IngestResult{
+		Docs:                    *nDocs,
+		Increments:              len(chunks),
+		NsPerIncrement:          ingestNS / nInc,
+		AllocsPerIncrement:      ingestAllocs / uint64(nInc),
+		BytesPerIncrement:       ingestBytes / uint64(nInc),
+		NsFullRebuild:           cold.NsPerBuild,
+		FingerprintMatchesBatch: ingestMatches,
+	}
+	if ingest.NsPerIncrement > 0 {
+		ingest.SpeedupVsRebuild = float64(cold.NsPerBuild) / float64(ingest.NsPerIncrement)
+	}
+
 	// Warm path: a long-lived server answering the same query from cache.
 	actors := w.EntitiesOfType("ACTOR")
 	if len(actors) == 0 {
@@ -217,9 +305,10 @@ func main() {
 	}
 
 	report := Report{
-		Config: ConfigInfo{Docs: *nDocs, Iters: *iters, Parallelism: effPar, Seed: *seed},
+		Config: ConfigInfo{Docs: *nDocs, Iters: *iters, Parallelism: effPar, Increments: len(chunks), Seed: *seed},
 		Cold:   cold,
 		Warm:   warm,
+		Ingest: ingest,
 		Machine: MachineInfo{
 			GOOS: runtime.GOOS, GOARCH: runtime.GOARCH,
 			NumCPU: runtime.NumCPU(), GoVersion: runtime.Version(),
@@ -234,9 +323,88 @@ func main() {
 	if err := os.WriteFile(*out, blob, 0o644); err != nil {
 		fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "cold %.2fms/build (%d allocs, %s), warm %.1fµs/query (%.0f× cold) -> %s\n",
+	fmt.Fprintf(os.Stderr, "cold %.2fms/build (%d allocs, %s), ingest %.2fms/increment (%.1f× rebuild), warm %.1fµs/query (%.0f× cold) -> %s\n",
 		float64(cold.NsPerBuild)/1e6, cold.AllocsPerBuild, humanBytes(cold.BytesPerBuild),
+		float64(ingest.NsPerIncrement)/1e6, ingest.SpeedupVsRebuild,
 		float64(warmNS)/1e3, warm.SpeedupVsCold, *out)
+
+	if *baseline != "" {
+		if err := compareBaseline(*baseline, *tolerance, *checkNS, cold); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// chunkBounds splits n documents into k near-equal [start, end) chunks.
+func chunkBounds(n, k int) [][2]int {
+	var out [][2]int
+	for i := 0; i < k; i++ {
+		start, end := i*n/k, (i+1)*n/k
+		if start < end {
+			out = append(out, [2]int{start, end})
+		}
+	}
+	return out
+}
+
+// baselineCold extracts the cold-build metrics from a baseline JSON: the
+// harness's flat Report, or the PR3 wrapper with a top-level "harness".
+func baselineCold(path string) (ColdResult, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return ColdResult{}, err
+	}
+	var wrapper struct {
+		Harness *struct {
+			Cold ColdResult `json:"cold"`
+		} `json:"harness"`
+		Cold *ColdResult `json:"cold"`
+	}
+	if err := json.Unmarshal(blob, &wrapper); err != nil {
+		return ColdResult{}, fmt.Errorf("%s: %w", path, err)
+	}
+	switch {
+	case wrapper.Cold != nil && wrapper.Cold.NsPerBuild > 0:
+		return *wrapper.Cold, nil
+	case wrapper.Harness != nil && wrapper.Harness.Cold.NsPerBuild > 0:
+		return wrapper.Harness.Cold, nil
+	}
+	return ColdResult{}, fmt.Errorf("%s: no cold-build metrics found", path)
+}
+
+// compareBaseline diffs this run's cold-build metrics against a committed
+// baseline and errors on regressions beyond tol. Allocation and byte
+// counts are deterministic per build, so they gate unconditionally;
+// wall-clock gates only with checkNS (machine-dependent) and is reported
+// as information otherwise.
+func compareBaseline(path string, tol float64, checkNS bool, cold ColdResult) error {
+	base, err := baselineCold(path)
+	if err != nil {
+		return err
+	}
+	check := func(name string, now, then float64, gate bool) error {
+		if then <= 0 {
+			return nil
+		}
+		delta := (now - then) / then
+		status := "info"
+		if gate {
+			status = "gate"
+		}
+		fmt.Fprintf(os.Stderr, "baseline %s [%s]: %.0f -> %.0f (%+.1f%%, tolerance %.0f%%)\n",
+			name, status, then, now, delta*100, tol*100)
+		if gate && delta > tol {
+			return fmt.Errorf("%s regressed %.1f%% vs %s (tolerance %.0f%%)", name, delta*100, path, tol*100)
+		}
+		return nil
+	}
+	if err := check("cold allocs/build", float64(cold.AllocsPerBuild), float64(base.AllocsPerBuild), true); err != nil {
+		return err
+	}
+	if err := check("cold bytes/build", float64(cold.BytesPerBuild), float64(base.BytesPerBuild), true); err != nil {
+		return err
+	}
+	return check("cold ns/build", float64(cold.NsPerBuild), float64(base.NsPerBuild), checkNS)
 }
 
 func humanBytes(b uint64) string {

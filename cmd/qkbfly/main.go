@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"time"
 
 	"qkbfly"
 	"qkbfly/internal/corpus"
@@ -36,6 +37,7 @@ func main() {
 		timings = flag.Bool("timings", false, "print per-stage engine timings")
 		cache   = flag.Bool("cache", false, "route the build through the serving layer (query + shard cache); repeat with -repeat to see warm hits")
 		repeat  = flag.Int("repeat", 1, "number of times to serve the query (with -cache, runs 2+ hit the cache)")
+		incs    = flag.Int("increments", 1, "feed the retrieved documents through a session in k increments (shows versioned incremental ingestion)")
 	)
 	flag.Parse()
 
@@ -83,6 +85,43 @@ func main() {
 			snap := srv.Stats()
 			fmt.Fprintf(os.Stderr, "serving counters: %v\n", snap.Counters)
 		}
+	} else if *incs > 1 {
+		// Incremental ingestion demo: retrieve once, then feed the
+		// documents through a session in k increments, printing each
+		// version as it lands — the same final KB as a one-shot build.
+		docs = sys.Retrieve(*query, *source, *size)
+		sess := sys.OpenSession(qkbfly.SessionOptions{
+			BuildOptions: []qkbfly.Option{qkbfly.WithParallelism(*par)},
+		})
+		total := &qkbfly.BuildStats{Parallelism: 1, PerDocElapsed: []time.Duration{}}
+		var snap *qkbfly.Snapshot
+		for i := 0; i < *incs && err == nil; i++ {
+			start, end := i*len(docs)/(*incs), (i+1)*len(docs)/(*incs)
+			if start == end {
+				continue
+			}
+			var ibs *qkbfly.BuildStats
+			snap, ibs, err = sess.Ingest(ctx, docs[start:end])
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "ingest %d: interrupted after %d of %d docs (%v)\n",
+					i+1, len(ibs.PerDocElapsed), end-start, err)
+			} else {
+				fmt.Fprintf(os.Stderr, "ingest %d: +%d docs -> version %d, %d facts (%v)\n",
+					i+1, len(ibs.PerDocElapsed), snap.Version(), snap.KB().Len(), ibs.Elapsed)
+			}
+			total.Documents += ibs.Documents
+			total.Sentences += ibs.Sentences
+			total.Clauses += ibs.Clauses
+			total.StageElapsed.Add(ibs.StageElapsed)
+			total.PerDocElapsed = append(total.PerDocElapsed, ibs.PerDocElapsed...)
+			total.Elapsed += ibs.Elapsed
+			total.Parallelism = ibs.Parallelism
+		}
+		if snap == nil { // empty retrieval: no increment ever folded
+			snap = sess.Snapshot()
+		}
+		kb, bs = snap.KB(), total
+		sess.Close()
 	} else {
 		kb, docs, bs, err = sys.BuildKBForQueryContext(ctx, *query, *source, *size,
 			qkbfly.WithParallelism(*par))

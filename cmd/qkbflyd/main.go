@@ -6,12 +6,20 @@
 //
 // Endpoints:
 //
-//	GET /kb?q=...&source=&size=&subject=&predicate=&object=&tau=&limit=
-//	GET /answer?q=...
-//	GET /stats
-//	GET /healthz
+//	GET  /kb?q=...&source=&size=&subject=&predicate=&object=&tau=&limit=
+//	GET  /answer?q=...
+//	POST /ingest        feed documents into the live session incrementally
+//	POST /evict         drop documents from the live session
+//	GET  /facts?since=  NDJSON stream of facts added since a version
+//	GET  /session       live-session version and document window
+//	GET  /stats
+//	GET  /healthz
 //
-// SIGINT/SIGTERM drains in-flight requests before exiting.
+// The live session is opened on the serving layer, so incrementally
+// ingested documents and query-driven builds share the per-document shard
+// cache. -session-window bounds the session to a rolling window of the
+// most recent documents. SIGINT/SIGTERM drains in-flight requests before
+// exiting.
 package main
 
 import (
@@ -47,6 +55,8 @@ func main() {
 		ttl           = flag.Duration("ttl", 5*time.Minute, "cache entry TTL (0 = no expiry)")
 		drain         = flag.Duration("shutdown-timeout", 10*time.Second, "graceful-shutdown drain window")
 		pprofAddr     = flag.String("pprof", "", "net/http/pprof listen address (e.g. localhost:6060; empty = disabled)")
+		window        = flag.Int("session-window", 0, "live-session rolling window in documents (0 = unbounded)")
+		history       = flag.Int("session-history", 0, "live-session versions retained for /facts?since= (0 = default 1024)")
 	)
 	flag.Parse()
 
@@ -88,9 +98,19 @@ func main() {
 		Index:   idx,
 		Builder: server, // per-question KBs go through the shard cache
 	}
+	// The live session shares the server's shard cache: a document ingested
+	// here is already built when a /kb query retrieves it, and vice versa.
+	// Tau is left 0 so /facts and watchers see every fact; clients filter
+	// with their own ?tau=.
+	session := server.OpenSession(qkbfly.SessionOptions{
+		MaxDocuments: *window,
+		HistoryLimit: *history,
+	})
+	defer session.Close()
 	handler := serve.NewHandler(server, serve.HandlerOptions{
 		DefaultSource: "wikipedia",
 		Answerer:      answerer,
+		Session:       session,
 	})
 
 	httpSrv := &http.Server{Addr: *addr, Handler: handler}
@@ -108,6 +128,10 @@ func main() {
 	}
 
 	fmt.Fprintln(os.Stderr, "shutting down: draining in-flight requests...")
+	// Close the session first: it ends every /facts?follow= stream (their
+	// watch channels close), so the drain below is not held open for the
+	// full timeout by long-lived followers.
+	session.Close()
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {

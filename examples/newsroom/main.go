@@ -1,16 +1,22 @@
 // Newsroom: the journalist workflow the paper motivates (§1, §6) — monitor
 // emerging events, build a KB over fresh news stories, and surface facts
 // about entities that no static knowledge base knows yet.
+//
+// This version uses the session API: the newsroom holds one long-lived
+// qkbfly.Session with a rolling document window, feeds each event's
+// stories in as they "arrive", watches new facts stream out, and queries
+// immutable snapshots while ingestion continues — instead of rebuilding a
+// KB from scratch per query.
 package main
 
 import (
 	"context"
 	"fmt"
 	"runtime"
-	"time"
 
 	"qkbfly"
 	"qkbfly/internal/corpus"
+	"qkbfly/internal/kb/store"
 	"qkbfly/internal/nlp/clause"
 	"qkbfly/internal/nlp/depparse"
 	"qkbfly/internal/search"
@@ -31,39 +37,72 @@ func main() {
 		Repo: world.Repo, Patterns: world.Patterns, Stats: st, Index: index,
 	}, qkbfly.DefaultConfig())
 
-	// A journalist scans the emerging events and queries each one. Each
-	// query gets a deadline — a newsroom dashboard cannot wait on a slow
-	// batch, and a cancelled build still returns the KB over the
-	// already-processed stories.
+	// One long-lived session for the whole newsroom. The rolling window
+	// keeps the KB focused on the freshest stories; τ comes from the
+	// system config (0.5), so the watcher only sees distilled facts.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sess := sys.OpenSession(qkbfly.SessionOptions{
+		BuildOptions: []qkbfly.Option{qkbfly.WithParallelism(runtime.NumCPU())},
+		MaxDocuments: 9, // three events' worth of stories
+	})
+	defer sess.Close()
+
+	// A background watcher counts the live feed — the same facts the
+	// per-event replay below prints deterministically.
+	live := sess.Watch(ctx)
+	watched := make(chan int)
+	go func() {
+		n := 0
+		for range live {
+			n++
+		}
+		watched <- n
+	}()
+
+	// Stories arrive event by event; each ingest folds only the new
+	// documents and bumps the version.
 	for i := range world.Events {
 		ev := &world.Events[i]
 		if i >= 5 {
 			break
 		}
 		query := ev.Queries[0]
-		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
-		kb, docs, _, err := sys.BuildKBForQueryContext(ctx, query, "news", 5,
-			qkbfly.WithParallelism(runtime.NumCPU()))
-		cancel()
+		docs := sys.Retrieve(query, "news", 3)
+		before := sess.Version()
+		snap, bs, err := sess.Ingest(ctx, docs)
 		if err != nil {
-			fmt.Printf("== event %d (%s): query %q timed out; partial KB with %d facts\n",
-				ev.ID, ev.Kind, query, kb.Len())
+			fmt.Printf("== event %d (%s): ingest failed: %v\n", ev.ID, ev.Kind, err)
 			continue
 		}
-		fmt.Printf("== event %d (%s): query %q -> %d stories, %d facts\n",
-			ev.ID, ev.Kind, query, len(docs), kb.Len())
-		// Highlight the up-to-date knowledge: facts involving emerging
-		// entities, which a static KB cannot contain.
-		for _, f := range kb.Facts() {
-			emergingSubject := kb.Entity(f.Subject.EntityID) != nil &&
-				kb.Entity(f.Subject.EntityID).Emerging
-			if emergingSubject {
-				fmt.Printf("   EMERGING %s\n", f.String())
-				continue
-			}
-			if f.Confidence >= 0.5 {
-				fmt.Printf("   %.2f %s\n", f.Confidence, f.String())
+		fmt.Printf("== event %d (%s): %q +%d stories -> version %d, %d docs in window, %d facts (%v)\n",
+			ev.ID, ev.Kind, query, len(bs.PerDocElapsed), snap.Version(),
+			len(sess.Docs()), snap.KB().Len(), bs.Elapsed)
+
+		// Replay exactly what this event added (versions after `before`),
+		// highlighting emerging entities a static KB cannot contain.
+		events, _, ok := sess.FactsSince(before)
+		if !ok {
+			events = nil // horizon passed (not with default history limits)
+		}
+		for _, e := range events {
+			rec := snap.KB().Entity(e.Fact.Subject.EntityID)
+			switch {
+			case rec != nil && rec.Emerging:
+				fmt.Printf("   v%d EMERGING %s\n", e.Version, e.Fact.String())
+			case e.Fact.Confidence >= 0.5:
+				fmt.Printf("   v%d %.2f %s\n", e.Version, e.Fact.Confidence, e.Fact.String())
 			}
 		}
 	}
+
+	// The dashboard can keep querying old snapshots while new stories
+	// land; the final snapshot answers the cross-event question.
+	snap := sess.Snapshot()
+	persons := snap.KB().Search(store.Query{Subject: "Type:PERSON", MinConf: 0.5})
+	fmt.Printf("== window now at version %d: %d facts, %d about persons\n",
+		snap.Version(), snap.KB().Len(), len(persons))
+
+	sess.Close() // closes the watcher's channel
+	fmt.Printf("== watcher saw %d distilled facts stream in live\n", <-watched)
 }

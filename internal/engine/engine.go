@@ -244,12 +244,24 @@ func (e *Engine) RunShards(ctx context.Context, docs []*nlp.Document) ([]*store.
 // cold build would have produced.
 func MergeShards(shards []*store.KB) *store.KB {
 	kb := store.New()
+	MergeShardsInto(kb, shards)
+	return kb
+}
+
+// MergeShardsInto folds per-document shards in slice order into an
+// existing KB, skipping nil entries — the incremental half of MergeShards.
+// Because store.KB.Merge is sequentially composable (merging shards
+// s1..sk and then sk+1..sn into the same KB yields the state of merging
+// s1..sn in one pass), appending a batch of new shards to a KB that
+// already holds the merge of earlier shards reproduces exactly the KB a
+// one-shot merge of all shards would have produced. Sessions rely on this
+// to fold each ingest increment into a clone of the previous version.
+func MergeShardsInto(dst *store.KB, shards []*store.KB) {
 	for _, shard := range shards {
 		if shard != nil {
-			kb.Merge(shard)
+			dst.Merge(shard)
 		}
 	}
-	return kb
 }
 
 // worker holds the reusable per-worker stage state: the stage objects

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -74,15 +75,16 @@ func RunAblation(env *Env, nDocs, sampleSize int) *AblationResult {
 	return res
 }
 
-// buildWithWindow runs the pipeline with a custom co-reference window by
-// driving the stages directly (the window is a graph-builder knob).
+// buildWithWindow runs the pipeline with a custom co-reference window
+// (the paper's default of 5 uses the stock configuration).
 func buildWithWindow(env *Env, nDocs, window int) *store.KB {
 	sys := env.System(qkbfly.Joint, qkbfly.Greedy)
 	if window == 5 {
 		kb, _ := sys.BuildKB(corpus.Docs(env.World.WikiDataset(nDocs)))
 		return kb
 	}
-	kb, _ := sys.BuildKBWithCorefWindow(corpus.Docs(env.World.WikiDataset(nDocs)), window)
+	kb, _, _ := sys.BuildKBContext(context.Background(),
+		corpus.Docs(env.World.WikiDataset(nDocs)), qkbfly.WithCorefWindow(window))
 	return kb
 }
 

@@ -1,0 +1,145 @@
+package store
+
+import "testing"
+
+// sampleKB builds a small KB with entities, multi-object facts and a
+// duplicate-key update, exercising every piece of state Clone must copy.
+func cloneSampleKB() *KB {
+	kb := New()
+	kb.AddEntity(EntityRecord{ID: "E1", Name: "Alpha", Mentions: []string{"Alpha", "A."}, Types: []string{"PERSON"}})
+	kb.AddEntity(EntityRecord{ID: "E2", Name: "Beta", Mentions: []string{"Beta"}, Types: []string{"COMPANY"}, Emerging: true})
+	kb.AddFact(Fact{
+		Subject:    Value{EntityID: "E1"},
+		Relation:   "work_for",
+		Pattern:    "works for",
+		Objects:    []Value{{EntityID: "E2"}, {Literal: "2016", IsTime: true}},
+		Confidence: 0.8,
+		Source:     Provenance{DocID: "d1", SentIndex: 0},
+	})
+	kb.AddFact(Fact{
+		Subject:    Value{EntityID: "E2"},
+		Relation:   "locate_in",
+		Objects:    []Value{{Literal: "Paris"}},
+		Confidence: 0.4,
+		Source:     Provenance{DocID: "d1", SentIndex: 2},
+	})
+	// A duplicate with higher confidence updates in place.
+	kb.AddFact(Fact{
+		Subject:    Value{EntityID: "E2"},
+		Relation:   "locate_in",
+		Objects:    []Value{{Literal: "Paris"}},
+		Confidence: 0.9,
+		Source:     Provenance{DocID: "d2", SentIndex: 1},
+	})
+	return kb
+}
+
+// extraShard is content partially overlapping sampleKB, for merge tests.
+func cloneExtraShard() *KB {
+	sh := New()
+	sh.AddEntity(EntityRecord{ID: "E1", Name: "Alpha", Mentions: []string{"Alpha Prime"}, Types: []string{"PERSON"}})
+	sh.AddEntity(EntityRecord{ID: "E3", Name: "Gamma", Mentions: []string{"Gamma"}, Types: []string{"LOCATION"}})
+	sh.AddFact(Fact{
+		Subject:    Value{EntityID: "E1"},
+		Relation:   "bear_in",
+		Objects:    []Value{{EntityID: "E3"}},
+		Confidence: 0.7,
+		Source:     Provenance{DocID: "d3", SentIndex: 0},
+	})
+	sh.AddFact(Fact{ // exact duplicate of a sampleKB fact, lower confidence
+		Subject:    Value{EntityID: "E2"},
+		Relation:   "locate_in",
+		Objects:    []Value{{Literal: "Paris"}},
+		Confidence: 0.3,
+		Source:     Provenance{DocID: "d3", SentIndex: 4},
+	})
+	return sh
+}
+
+// TestCloneFingerprintIdentical: a clone carries exactly the original's
+// semantic content.
+func TestCloneFingerprintIdentical(t *testing.T) {
+	kb := cloneSampleKB()
+	cp := kb.Clone()
+	if cp.Fingerprint() != kb.Fingerprint() {
+		t.Error("clone fingerprint differs from original")
+	}
+	if cp.Len() != kb.Len() {
+		t.Errorf("clone has %d facts, original %d", cp.Len(), kb.Len())
+	}
+}
+
+// TestCloneIsolation: mutating the clone (new facts, entity extensions,
+// duplicate-confidence updates) must leave the original untouched, and
+// vice versa.
+func TestCloneIsolation(t *testing.T) {
+	kb := cloneSampleKB()
+	before := kb.Fingerprint()
+	cp := kb.Clone()
+
+	cp.AddEntity(EntityRecord{ID: "E1", Mentions: []string{"MUTATED"}, Types: []string{"ACTOR"}})
+	cp.AddFact(Fact{
+		Subject:    Value{EntityID: "E9"},
+		Relation:   "new_rel",
+		Objects:    []Value{{Literal: "x"}},
+		Confidence: 1,
+	})
+	// In-place confidence update through the dedup path.
+	cp.AddFact(Fact{
+		Subject:    Value{EntityID: "E1"},
+		Relation:   "work_for",
+		Objects:    []Value{{EntityID: "E2"}, {Literal: "2016", IsTime: true}},
+		Confidence: 0.99,
+		Source:     Provenance{DocID: "zz", SentIndex: 9},
+	})
+	// Direct writes into returned storage.
+	cp.Facts()[0].Objects[0] = Value{Literal: "CORRUPTED"}
+	cp.Entity("E2").Mentions[0] = "CORRUPTED"
+
+	if kb.Fingerprint() != before {
+		t.Fatal("mutating the clone changed the original")
+	}
+
+	cpBefore := cp.Fingerprint()
+	kb.AddFact(Fact{
+		Subject:    Value{EntityID: "E1"},
+		Relation:   "other",
+		Objects:    []Value{{Literal: "y"}},
+		Confidence: 0.1,
+	})
+	if cp.Fingerprint() != cpBefore {
+		t.Fatal("mutating the original changed the clone")
+	}
+}
+
+// TestCloneMergeContinuation: merging further shards into a clone yields
+// exactly the KB that one uninterrupted merge sequence produces — the
+// property sessions use to fold increments into copies.
+func TestCloneMergeContinuation(t *testing.T) {
+	s1, s2 := cloneSampleKB(), cloneExtraShard()
+
+	batch := New()
+	batch.Merge(s1)
+	batch.Merge(s2)
+
+	incremental := New()
+	incremental.Merge(s1)
+	step := incremental.Clone()
+	step.Merge(s2)
+
+	if step.Fingerprint() != batch.Fingerprint() {
+		t.Error("merge into clone differs from uninterrupted merge")
+	}
+	// IDs must continue compactly, exactly as the batch assigned them.
+	for i := range batch.Facts() {
+		if batch.Facts()[i].ID != step.Facts()[i].ID {
+			t.Errorf("fact %d: ID %d vs %d", i, batch.Facts()[i].ID, step.Facts()[i].ID)
+		}
+	}
+	// The pre-clone state must be unaffected by the continuation.
+	solo := New()
+	solo.Merge(s1)
+	if incremental.Fingerprint() != solo.Fingerprint() {
+		t.Error("continuing on a clone mutated the base KB")
+	}
+}

@@ -372,6 +372,50 @@ func (kb *KB) Merge(other *KB) {
 	}
 }
 
+// Clone returns an independent deep copy of the KB: facts (with their
+// object slices), entity records, insertion order, dedup and field
+// indices, and the fact-ID counter. Continuing to Merge into the clone
+// produces exactly the KB that continuing on the original would have —
+// which is what lets a session fold new shards into a copy while
+// snapshots of the previous version stay immutable (copy-on-write at the
+// ingest boundary).
+func (kb *KB) Clone() *KB {
+	cp := &KB{
+		facts:     make([]Fact, len(kb.facts)),
+		entities:  make(map[string]*EntityRecord, len(kb.entities)),
+		order:     append([]string(nil), kb.order...),
+		bySubject: cloneIndex(kb.bySubject),
+		byObject:  cloneIndex(kb.byObject),
+		byRel:     cloneIndex(kb.byRel),
+		byKey:     make(map[string]int, len(kb.byKey)),
+		nextID:    kb.nextID,
+	}
+	for i := range kb.facts {
+		f := kb.facts[i]
+		f.Objects = append([]Value(nil), f.Objects...)
+		cp.facts[i] = f
+	}
+	for id, e := range kb.entities {
+		ec := *e
+		ec.Mentions = append([]string(nil), e.Mentions...)
+		ec.Types = append([]string(nil), e.Types...)
+		cp.entities[id] = &ec
+	}
+	for k, v := range kb.byKey {
+		cp.byKey[k] = v
+	}
+	return cp
+}
+
+// cloneIndex copies a field index including its posting slices.
+func cloneIndex(idx map[string][]int) map[string][]int {
+	out := make(map[string][]int, len(idx))
+	for k, v := range idx {
+		out[k] = append([]int(nil), v...)
+	}
+	return out
+}
+
 // Fingerprint renders the KB's semantic content — facts with confidences
 // and provenance, entity records with mentions and types — as a sorted,
 // insertion-order-independent string. Two KBs built from the same

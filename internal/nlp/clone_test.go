@@ -1,4 +1,4 @@
-package qkbfly
+package nlp_test
 
 import (
 	"reflect"
@@ -11,7 +11,7 @@ import (
 )
 
 // snapshotDoc makes an independent deep copy for later comparison, without
-// using cloneDoc itself (the function under test).
+// using Document.Clone itself (the method under test).
 func snapshotDoc(d *nlp.Document) *nlp.Document {
 	cp := *d
 	cp.Sentences = make([]nlp.Sentence, len(d.Sentences))
@@ -26,10 +26,10 @@ func snapshotDoc(d *nlp.Document) *nlp.Document {
 	return &cp
 }
 
-// TestCloneDocIsolation: annotating a cloned document (what every
+// TestCloneIsolation: annotating a cloned document (what every
 // query-driven build does to indexed documents) must not mutate the
 // original in any field — tokens, chunks, mentions or anchors.
-func TestCloneDocIsolation(t *testing.T) {
+func TestCloneIsolation(t *testing.T) {
 	world := corpus.NewWorld(corpus.SmallConfig())
 	pipe := clause.NewPipeline(world.Repo, depparse.Malt)
 
@@ -39,7 +39,7 @@ func TestCloneDocIsolation(t *testing.T) {
 	pipe.AnnotateDocument(orig)
 	before := snapshotDoc(orig)
 
-	cl := cloneDoc(orig)
+	cl := orig.Clone()
 	pipe.AnnotateDocument(cl)
 	if !reflect.DeepEqual(before, orig) {
 		t.Fatal("annotating a clone mutated the original document")
@@ -65,15 +65,15 @@ func TestCloneDocIsolation(t *testing.T) {
 	}
 }
 
-// TestCloneDocIndependentAnnotation: two clones of the same indexed
+// TestCloneIndependentAnnotation: two clones of the same indexed
 // document annotate to identical results — re-annotation is reproducible.
-func TestCloneDocIndependentAnnotation(t *testing.T) {
+func TestCloneIndependentAnnotation(t *testing.T) {
 	world := corpus.NewWorld(corpus.SmallConfig())
 	pipe := clause.NewPipeline(world.Repo, depparse.Malt)
 	orig := corpus.Docs(world.WikiDataset(1))[0]
 	pipe.AnnotateDocument(orig)
 
-	c1, c2 := cloneDoc(orig), cloneDoc(orig)
+	c1, c2 := orig.Clone(), orig.Clone()
 	pipe.AnnotateDocument(c1)
 	pipe.AnnotateDocument(c2)
 	if !reflect.DeepEqual(c1, c2) {

@@ -269,6 +269,25 @@ type Document struct {
 	Anchors   []Anchor
 }
 
+// Clone deep-copies the document so annotation (which mutates sentences,
+// tokens and mentions in place) does not touch the original — every
+// query-driven build clones indexed documents before annotating them.
+// Sentence, token, chunk, mention and anchor storage is copied; the
+// immutable text fields are shared.
+func (d *Document) Clone() *Document {
+	cp := *d
+	cp.Sentences = make([]Sentence, len(d.Sentences))
+	for i := range d.Sentences {
+		s := d.Sentences[i]
+		s.Tokens = append([]Token(nil), s.Tokens...)
+		s.Chunks = append([]Chunk(nil), s.Chunks...)
+		s.Mentions = append([]Mention(nil), s.Mentions...)
+		cp.Sentences[i] = s
+	}
+	cp.Anchors = append([]Anchor(nil), d.Anchors...)
+	return &cp
+}
+
 // Tokens returns all tokens of the document in order.
 func (d *Document) Tokens() []Token {
 	var out []Token

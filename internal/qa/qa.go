@@ -153,7 +153,7 @@ func (s *System) retrieve(question string, qents []string) []*nlp.Document {
 	add := func(d *nlp.Document) {
 		if d != nil && !seen[d.ID] {
 			seen[d.ID] = true
-			docs = append(docs, cloneDoc(d))
+			docs = append(docs, d.Clone())
 		}
 	}
 	if s.Sources != "news" {
@@ -420,19 +420,6 @@ func valueKey(v store.Value) string {
 		return v.EntityID
 	}
 	return v.Literal
-}
-
-func cloneDoc(d *nlp.Document) *nlp.Document {
-	cp := *d
-	cp.Sentences = make([]nlp.Sentence, len(d.Sentences))
-	for i := range d.Sentences {
-		s := d.Sentences[i]
-		s.Tokens = append([]nlp.Token(nil), s.Tokens...)
-		s.Chunks = append([]nlp.Chunk(nil), s.Chunks...)
-		s.Mentions = append([]nlp.Mention(nil), s.Mentions...)
-		cp.Sentences[i] = s
-	}
-	return &cp
 }
 
 func min(a, b int) int {

@@ -9,7 +9,9 @@ import (
 	"strconv"
 	"time"
 
+	"qkbfly"
 	"qkbfly/internal/kb/store"
+	"qkbfly/internal/nlp"
 )
 
 // Answerer answers natural-language questions; internal/qa's System
@@ -37,17 +39,28 @@ type HandlerOptions struct {
 	MaxSize     int
 	// Answerer serves /answer; when nil the endpoint returns 503.
 	Answerer Answerer
+	// Session is the daemon's live ingestion session, serving POST /ingest,
+	// POST /evict, GET /session and GET /facts. When nil those endpoints
+	// return 503.
+	Session *qkbfly.Session
+	// MaxIngestBytes bounds a POST /ingest body (default 8 MiB).
+	MaxIngestBytes int64
 }
 
 // NewHandler exposes a Server over HTTP/JSON:
 //
-//	GET /kb?q=...&source=&size=&subject=&predicate=&object=&tau=&limit=
-//	GET /answer?q=...
-//	GET /stats
-//	GET /healthz
+//	GET  /kb?q=...&source=&size=&subject=&predicate=&object=&tau=&limit=
+//	GET  /answer?q=...
+//	POST /ingest                      {"docs":[{"id","title","source","text"}]}
+//	POST /evict                       {"doc_ids":["..."]}
+//	GET  /facts?since=&tau=&follow=   NDJSON stream of added facts
+//	GET  /session                     live-session version + document window
+//	GET  /stats
+//	GET  /healthz
 //
 // Every build runs under the request context, so a disconnecting client
-// cancels its in-flight construction.
+// cancels its in-flight construction. The session endpoints serve the
+// live-updating KB of HandlerOptions.Session.
 func NewHandler(s *Server, opt HandlerOptions) http.Handler {
 	if opt.DefaultSize <= 0 {
 		opt.DefaultSize = 1
@@ -55,12 +68,27 @@ func NewHandler(s *Server, opt HandlerOptions) http.Handler {
 	if opt.MaxSize <= 0 {
 		opt.MaxSize = 50
 	}
+	if opt.MaxIngestBytes <= 0 {
+		opt.MaxIngestBytes = 8 << 20
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/kb", func(w http.ResponseWriter, r *http.Request) {
 		handleKB(s, opt, w, r)
 	})
 	mux.HandleFunc("/answer", func(w http.ResponseWriter, r *http.Request) {
 		handleAnswer(opt, w, r)
+	})
+	mux.HandleFunc("/ingest", func(w http.ResponseWriter, r *http.Request) {
+		handleIngest(opt, w, r)
+	})
+	mux.HandleFunc("/evict", func(w http.ResponseWriter, r *http.Request) {
+		handleEvict(s, opt, w, r)
+	})
+	mux.HandleFunc("/facts", func(w http.ResponseWriter, r *http.Request) {
+		handleFacts(opt, w, r)
+	})
+	mux.HandleFunc("/session", func(w http.ResponseWriter, r *http.Request) {
+		handleSession(opt, w, r)
 	})
 	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
 		if !getOnly(w, r) {
@@ -222,6 +250,255 @@ func handleAnswer(opt HandlerOptions, w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// ingestDoc is one raw document in a POST /ingest body. Text is
+// sentence-split and annotated by the pipeline on ingest.
+type ingestDoc struct {
+	ID     string `json:"id"`
+	Title  string `json:"title"`
+	Source string `json:"source"`
+	Text   string `json:"text"`
+}
+
+// ingestResponse reports the outcome of one /ingest call.
+type ingestResponse struct {
+	Version   uint64 `json:"version"`
+	Ingested  int    `json:"ingested"`  // documents built and folded by this call
+	Skipped   int    `json:"skipped"`   // documents already in the session
+	Docs      int    `json:"docs"`      // documents now in the session window
+	Facts     int    `json:"facts"`     // facts in the current snapshot
+	ElapsedNS int64  `json:"elapsed_ns"`
+}
+
+func handleIngest(opt HandlerOptions, w http.ResponseWriter, r *http.Request) {
+	if !postOnly(w, r) {
+		return
+	}
+	if opt.Session == nil {
+		http.Error(w, "no ingestion session configured", http.StatusServiceUnavailable)
+		return
+	}
+	var req struct {
+		Docs []ingestDoc `json:"docs"`
+	}
+	body := http.MaxBytesReader(w, r.Body, opt.MaxIngestBytes)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		http.Error(w, "invalid body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if len(req.Docs) == 0 {
+		http.Error(w, "body must carry at least one document", http.StatusBadRequest)
+		return
+	}
+	docs := make([]*nlp.Document, 0, len(req.Docs))
+	for i, d := range req.Docs {
+		if d.ID == "" || d.Text == "" {
+			http.Error(w, fmt.Sprintf("doc %d: id and text are required", i), http.StatusBadRequest)
+			return
+		}
+		src := d.Source
+		if src == "" {
+			src = "news"
+		}
+		docs = append(docs, &nlp.Document{ID: d.ID, Title: d.Title, Source: src, Text: d.Text})
+	}
+	snap, bs, err := opt.Session.Ingest(r.Context(), docs)
+	if err != nil {
+		// A closed session (daemon draining) and a cancelled build are both
+		// service conditions, not server faults.
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) ||
+			errors.Is(err, qkbfly.ErrSessionClosed) {
+			http.Error(w, "ingest unavailable: "+err.Error(), http.StatusServiceUnavailable)
+			return
+		}
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	ingested := len(bs.PerDocElapsed)
+	writeJSON(w, http.StatusOK, ingestResponse{
+		Version:   snap.Version(),
+		Ingested:  ingested,
+		Skipped:   len(docs) - ingested,
+		Docs:      len(opt.Session.Docs()),
+		Facts:     snap.KB().Len(),
+		ElapsedNS: int64(bs.Elapsed),
+	})
+}
+
+func handleEvict(s *Server, opt HandlerOptions, w http.ResponseWriter, r *http.Request) {
+	if !postOnly(w, r) {
+		return
+	}
+	if opt.Session == nil {
+		http.Error(w, "no ingestion session configured", http.StatusServiceUnavailable)
+		return
+	}
+	var req struct {
+		DocIDs []string `json:"doc_ids"`
+	}
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+		http.Error(w, "invalid body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	// Drop the cached shards too, so re-ingesting one of these IDs with
+	// different content rebuilds instead of folding the stale shard.
+	s.InvalidateShards(req.DocIDs...)
+	snap, removed := opt.Session.Evict(req.DocIDs...)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"version": snap.Version(),
+		"removed": removed,
+		"docs":    len(opt.Session.Docs()),
+		"facts":   snap.KB().Len(),
+	})
+}
+
+func handleSession(opt HandlerOptions, w http.ResponseWriter, r *http.Request) {
+	if !getOnly(w, r) {
+		return
+	}
+	if opt.Session == nil {
+		http.Error(w, "no ingestion session configured", http.StatusServiceUnavailable)
+		return
+	}
+	snap := opt.Session.Snapshot()
+	resp := map[string]any{
+		"version":  snap.Version(),
+		"docs":     opt.Session.Docs(),
+		"facts":    snap.KB().Len(),
+		"entities": len(snap.KB().Entities()),
+	}
+	if r.URL.Query().Get("fingerprint") != "" {
+		resp["fingerprint"] = snap.Fingerprint()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// factLine is one NDJSON line of GET /facts.
+type factLine struct {
+	Version    uint64   `json:"version"`
+	Subject    string   `json:"subject"`
+	Relation   string   `json:"relation"`
+	Objects    []string `json:"objects"`
+	Confidence float64  `json:"confidence"`
+	DocID      string   `json:"doc_id"`
+	Sentence   int      `json:"sentence"`
+}
+
+func lineFor(v uint64, f *store.Fact) factLine {
+	l := factLine{
+		Version:    v,
+		Subject:    f.Subject.String(),
+		Relation:   f.Relation,
+		Objects:    []string{},
+		Confidence: f.Confidence,
+		DocID:      f.Source.DocID,
+		Sentence:   f.Source.SentIndex,
+	}
+	for _, o := range f.Objects {
+		l.Objects = append(l.Objects, o.String())
+	}
+	return l
+}
+
+// handleFacts streams the facts the session added after ?since= as NDJSON
+// (one JSON object per line), newest version stamped in the
+// X-QKBfly-Version header. When since predates the retained history
+// horizon, a {"reset":true} line is emitted followed by a full dump of
+// the current snapshot — the client re-bases and resumes from the header
+// version. With ?follow=1 the response then stays open, streaming facts
+// as further ingests land, until the client disconnects.
+func handleFacts(opt HandlerOptions, w http.ResponseWriter, r *http.Request) {
+	if !getOnly(w, r) {
+		return
+	}
+	sess := opt.Session
+	if sess == nil {
+		http.Error(w, "no ingestion session configured", http.StatusServiceUnavailable)
+		return
+	}
+	q := r.URL.Query()
+	var since uint64
+	if v := q.Get("since"); v != "" {
+		n, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			http.Error(w, "invalid since: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		since = n
+	}
+	var tau float64
+	if v := q.Get("tau"); v != "" {
+		n, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			http.Error(w, "invalid tau: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		tau = n
+	}
+	follow := q.Get("follow") != ""
+
+	// Attach the live tail before replaying history so no version can fall
+	// between the two; replayed versions are skipped on the live channel.
+	// The tail uses the request's own tau (not the session τ), matching
+	// the replay filter.
+	var live <-chan qkbfly.FactEvent
+	if follow {
+		live = sess.WatchMin(r.Context(), tau)
+	}
+	events, cur, ok := sess.FactsSince(since)
+	var snap *qkbfly.Snapshot
+	if !ok {
+		// History behind since is gone: re-base on a full snapshot. The
+		// snapshot may already be newer than the FactsSince horizon (an
+		// ingest can land between the two calls); the header, the dump
+		// stamps and the live-tail skip all use the snapshot's version so
+		// the client never sees a fact twice.
+		snap = sess.Snapshot()
+		cur = snap.Version()
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-QKBfly-Version", strconv.FormatUint(cur, 10))
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	flusher, _ := w.(http.Flusher)
+	flush := func() {
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+
+	if snap != nil {
+		_ = enc.Encode(map[string]any{"reset": true, "version": cur})
+		facts := snap.KB().Facts()
+		for i := range facts {
+			if facts[i].Confidence < tau {
+				continue
+			}
+			_ = enc.Encode(lineFor(cur, &facts[i]))
+		}
+	} else {
+		for i := range events {
+			if events[i].Fact.Confidence < tau {
+				continue
+			}
+			_ = enc.Encode(lineFor(events[i].Version, &events[i].Fact))
+		}
+	}
+	flush()
+	if !follow {
+		return
+	}
+	for ev := range live {
+		if ev.Version <= cur {
+			continue // already replayed above
+		}
+		if err := enc.Encode(lineFor(ev.Version, &ev.Fact)); err != nil {
+			return // client gone
+		}
+		flush()
+	}
+}
+
 func statsElapsed(res *Result) time.Duration {
 	if res.Stats == nil {
 		return 0
@@ -231,6 +508,14 @@ func statsElapsed(res *Result) time.Duration {
 
 func getOnly(w http.ResponseWriter, r *http.Request) bool {
 	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return false
+	}
+	return true
+}
+
+func postOnly(w http.ResponseWriter, r *http.Request) bool {
+	if r.Method != http.MethodPost {
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 		return false
 	}

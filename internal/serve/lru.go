@@ -2,6 +2,7 @@ package serve
 
 import (
 	"container/list"
+	"strings"
 	"time"
 )
 
@@ -74,3 +75,15 @@ func (c *lruCache) remove(key string) {
 
 // len returns the number of live entries.
 func (c *lruCache) len() int { return c.ll.Len() }
+
+// keysWithPrefix returns the keys starting with prefix (an O(n) scan —
+// used only by explicit invalidation, never on the serving path).
+func (c *lruCache) keysWithPrefix(prefix string) []string {
+	var out []string
+	for k := range c.items {
+		if strings.HasPrefix(k, prefix) {
+			out = append(out, k)
+		}
+	}
+	return out
+}

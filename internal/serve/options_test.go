@@ -1,0 +1,52 @@
+package serve
+
+import (
+	"testing"
+
+	"qkbfly"
+)
+
+// TestResolveOptionsEquivalentSetsShareKeys: cache keys derive from the
+// resolved option values, so option sets that build the same KB — any
+// order, duplicates (last wins, as in the engine), or differing only in
+// execution knobs like parallelism — collapse onto one key.
+func TestResolveOptionsEquivalentSetsShareKeys(t *testing.T) {
+	base := resolveOptions([]qkbfly.Option{qkbfly.WithCorefWindow(3)}).key()
+	equivalent := [][]qkbfly.Option{
+		{qkbfly.WithCorefWindow(3), qkbfly.WithParallelism(8)},
+		{qkbfly.WithParallelism(8), qkbfly.WithCorefWindow(3)},
+		{qkbfly.WithCorefWindow(1), qkbfly.WithCorefWindow(3)}, // last wins
+		{qkbfly.WithParallelism(1), qkbfly.WithCorefWindow(3), qkbfly.WithParallelism(16)},
+	}
+	for i, opts := range equivalent {
+		if got := resolveOptions(opts).key(); got != base {
+			t.Errorf("set %d: key %q, want %q", i, got, base)
+		}
+	}
+
+	// Result-affecting differences must split.
+	if got := resolveOptions([]qkbfly.Option{qkbfly.WithCorefWindow(5)}).key(); got == base {
+		t.Error("different coref windows share a cache key")
+	}
+	if got := resolveOptions(nil).key(); got == base {
+		t.Error("default options share a key with an explicit coref window")
+	}
+
+	// No options and parallelism-only must agree (parallelism never
+	// changes the built KB).
+	if a, b := resolveOptions(nil).key(), resolveOptions([]qkbfly.Option{qkbfly.WithParallelism(4)}).key(); a != b {
+		t.Errorf("parallelism-only options split the key: %q vs %q", a, b)
+	}
+}
+
+// TestResolveOptionsCapturesValues: the resolved struct reflects the
+// actual engine configuration the options produce.
+func TestResolveOptionsCapturesValues(t *testing.T) {
+	r := resolveOptions([]qkbfly.Option{qkbfly.WithCorefWindow(7), qkbfly.WithParallelism(3)})
+	if r.corefWindow != 7 || r.parallelism != 3 {
+		t.Errorf("resolved %+v, want cw=7 par=3", r)
+	}
+	if r := resolveOptions(nil); r.corefWindow != -1 || r.parallelism != 0 {
+		t.Errorf("defaults resolved to %+v, want cw=-1 par=0", r)
+	}
+}

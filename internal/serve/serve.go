@@ -238,20 +238,98 @@ func (s *Server) KBForDocs(ctx context.Context, docs []*nlp.Document, opts ...qk
 	return s.buildFromShards(ctx, docs, opts)
 }
 
-// buildFromShards assembles the KB for docs, reusing cached per-document
-// shards and building only the missing ones. Freshly built shards are
-// cached even when the run was cancelled mid-batch (each processed shard
-// is complete and deterministic); the query-level entry is the caller's
-// decision.
+// buildFromShards assembles the merged KB for docs through the shard
+// cache and compacts the accounting to processed documents.
 func (s *Server) buildFromShards(ctx context.Context, docs []*nlp.Document, opts []qkbfly.Option) (*store.KB, *qkbfly.BuildStats, error) {
 	start := time.Now()
-	okey := optionKey(opts)
+	shards, times, bs, buildErr := s.assembleShards(ctx, docs, opts)
+	mergeStart := time.Now()
+	kb := engine.MergeShards(shards)
+	bs.StageElapsed.Merge = time.Since(mergeStart)
+	for i, shard := range shards {
+		if shard == nil {
+			continue
+		}
+		bs.PerDocElapsed = append(bs.PerDocElapsed, times[i])
+	}
+	bs.Elapsed = time.Since(start)
+	return kb, bs, buildErr
+}
+
+// BuildShardsContext is the server-side implementation of
+// qkbfly.ShardBuilder: one deterministic KB shard per document, served
+// from the per-document shard cache when possible and built (and cached)
+// otherwise. shards[i] is nil for documents not reached before
+// cancellation; PerDocElapsed is doc-aligned, reporting a cached shard's
+// original build time at its position — the same contract as
+// engine.RunShards.
+//
+// This is what lets a qkbfly.Session opened on the server (OpenSession)
+// share work with every query and every other session: a document
+// processed anywhere under the same build options folds straight from
+// cache on ingest, and an ingested document warms the cache for later
+// queries.
+func (s *Server) BuildShardsContext(ctx context.Context, docs []*nlp.Document, opts ...qkbfly.Option) ([]*store.KB, *qkbfly.BuildStats, error) {
+	if len(docs) == 0 {
+		return nil, &qkbfly.BuildStats{Parallelism: 1, PerDocElapsed: []time.Duration{}}, ctx.Err()
+	}
+	start := time.Now()
+	shards, times, bs, err := s.assembleShards(ctx, docs, opts)
+	bs.PerDocElapsed = times
+	bs.Elapsed = time.Since(start)
+	return shards, bs, err
+}
+
+// OpenSession opens an incremental ingestion session whose shard builds
+// go through this server's per-document shard cache (see
+// BuildShardsContext). The server does not track the session beyond that:
+// close it with Session.Close when done.
+//
+// The shard cache assumes a document ID identifies immutable content. To
+// replace a document's content under the same ID, call InvalidateShards
+// alongside Session.Evict before re-ingesting (the daemon's /evict does).
+func (s *Server) OpenSession(opts qkbfly.SessionOptions) *qkbfly.Session {
+	return qkbfly.Open(s, opts)
+}
+
+// InvalidateShards drops every cached shard of the given document IDs
+// (across all build-option variants) and returns how many entries were
+// removed — the cache-coherence hook for replacing a document's content
+// under a reused ID.
+func (s *Server) InvalidateShards(docIDs ...string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	removed := 0
+	for _, id := range docIDs {
+		for _, key := range s.shards.keysWithPrefix(id + "\x00") {
+			s.shards.remove(key)
+			removed++
+		}
+	}
+	return removed
+}
+
+// assembleShards resolves one shard per document — cache hits first, one
+// backend build for the misses — returning doc-aligned shards and
+// per-document times plus the accounting of the engine work performed.
+// Freshly built shards are cached even when the run was cancelled
+// mid-batch (each processed shard is complete and deterministic); the
+// query-level entry is the caller's decision.
+func (s *Server) assembleShards(ctx context.Context, docs []*nlp.Document, opts []qkbfly.Option) ([]*store.KB, []time.Duration, *qkbfly.BuildStats, error) {
+	okey := resolveOptions(opts).key()
 	shards := make([]*store.KB, len(docs))
 	times := make([]time.Duration, len(docs))
 	var missing []*nlp.Document
 	var missingIdx []int
 	for i, d := range docs {
-		if se := s.lookupShard(shardKey(d.ID, okey)); se != nil {
+		// Anonymous documents bypass the cache entirely: an empty ID
+		// cannot identify a shard across requests, and two distinct
+		// anonymous documents must never collide on one cache key.
+		var se *shardEntry
+		if d.ID != "" {
+			se = s.lookupShard(shardKey(d.ID, okey))
+		}
+		if se != nil {
 			shards[i] = se.kb
 			times[i] = se.buildTime
 			s.counters.Add(CounterShardHits, 1)
@@ -286,22 +364,17 @@ func (s *Server) buildFromShards(ctx context.Context, docs []*nlp.Document, opts
 			if mbs != nil && j < len(mbs.PerDocElapsed) {
 				times[i] = mbs.PerDocElapsed[j]
 			}
-			s.storeShard(shardKey(docs[i].ID, okey), &shardEntry{kb: shard, buildTime: times[i]})
+			if docs[i].ID != "" {
+				s.storeShard(shardKey(docs[i].ID, okey), &shardEntry{kb: shard, buildTime: times[i]})
+			}
 		}
 	}
-
-	mergeStart := time.Now()
-	kb := engine.MergeShards(shards)
-	bs.StageElapsed.Merge = time.Since(mergeStart)
-	for i, shard := range shards {
-		if shard == nil {
-			continue
+	for _, shard := range shards {
+		if shard != nil {
+			bs.Documents++
 		}
-		bs.Documents++
-		bs.PerDocElapsed = append(bs.PerDocElapsed, times[i])
 	}
-	bs.Elapsed = time.Since(start)
-	return kb, bs, buildErr
+	return shards, times, bs, buildErr
 }
 
 // recordQueryHit credits the saved engine work of one query-cache hit.
@@ -375,16 +448,35 @@ func (s *Server) expired(added time.Time) bool {
 // guarantees the same KB at any worker count.
 func queryKey(query, source string, size int, opts []qkbfly.Option) string {
 	q := strings.Join(strings.Fields(strings.ToLower(query)), " ")
-	return q + "\x00" + source + "\x00" + strconv.Itoa(size) + "\x00" + optionKey(opts)
+	return q + "\x00" + source + "\x00" + strconv.Itoa(size) + "\x00" + resolveOptions(opts).key()
 }
 
-// optionKey renders the result-affecting per-call options.
-func optionKey(opts []qkbfly.Option) string {
+// resolvedOptions are the concrete per-call option values after folding
+// the opaque option closures into a canonical engine configuration. Cache
+// keys derive from these resolved values — never from formatting the
+// option slice itself — so equivalent option sets (reordered, duplicated,
+// or differing only in execution knobs) collapse onto one cache entry.
+type resolvedOptions struct {
+	corefWindow int // -1 = builder default; changes the built KB
+	parallelism int // worker-pool size; never changes the built KB
+}
+
+// resolveOptions applies the options to the engine's canonical defaults
+// (the same way qkbfly.System does when it runs a build) and captures the
+// resulting values.
+func resolveOptions(opts []qkbfly.Option) resolvedOptions {
 	cfg := engine.Config{CorefWindow: -1}
 	for _, o := range opts {
 		o(&cfg)
 	}
-	return "cw=" + strconv.Itoa(cfg.CorefWindow)
+	return resolvedOptions{corefWindow: cfg.CorefWindow, parallelism: cfg.Parallelism}
+}
+
+// key renders only the result-affecting resolved values. Parallelism is
+// deliberately excluded: the engine produces a byte-identical KB at any
+// worker count, so keying on it would split equivalent cache entries.
+func (r resolvedOptions) key() string {
+	return "cw=" + strconv.Itoa(r.corefWindow)
 }
 
 // shardKey identifies a cached per-document shard: the document plus the

@@ -1,0 +1,164 @@
+package serve_test
+
+import (
+	"context"
+	"testing"
+
+	"qkbfly"
+	"qkbfly/internal/corpus"
+	"qkbfly/internal/nlp"
+	"qkbfly/internal/serve"
+)
+
+// TestServerSessionSharesShardCache: a session opened on the server and
+// the server's query paths draw from the same per-document shard cache —
+// in both directions — and a server-backed session still matches the
+// one-shot batch build byte for byte.
+func TestServerSessionSharesShardCache(t *testing.T) {
+	w, sys := realSystem(t)
+	srv := serve.New(sys, serve.Options{})
+	ctx := context.Background()
+	docs := func() []*nlp.Document { return corpus.Docs(w.WikiDataset(6)) }
+
+	// Warm the shard cache through the query path for the first 3 docs.
+	if _, _, err := srv.KBForDocs(ctx, docs()[:3]); err != nil {
+		t.Fatal(err)
+	}
+	c := srv.Counters()
+	if got := c.Get(serve.CounterEngineRuns); got != 1 {
+		t.Fatalf("engine_runs after warmup = %d, want 1", got)
+	}
+
+	// A session ingesting all 6 docs must reuse the 3 cached shards and
+	// build only the other 3.
+	sess := srv.OpenSession(qkbfly.SessionOptions{})
+	defer sess.Close()
+	snap, bs, err := sess.Ingest(ctx, docs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Get(serve.CounterShardHits); got != 3 {
+		t.Errorf("shard_hits = %d, want 3 (session reusing query-built shards)", got)
+	}
+	if got := c.Get(serve.CounterEngineDocs); got != 6 {
+		t.Errorf("engine_docs = %d, want 6 (3 warmup + 3 session-built)", got)
+	}
+	if len(bs.PerDocElapsed) != 6 {
+		t.Errorf("ingest folded %d docs, want 6", len(bs.PerDocElapsed))
+	}
+
+	// Identity with the one-shot batch build.
+	wantKB, _, err := sys.BuildKBContext(ctx, docs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Fingerprint() != wantKB.Fingerprint() {
+		t.Error("server-backed session KB differs from batch build")
+	}
+
+	// Reverse direction: a query over the session's documents is fully
+	// shard-served — no further engine run.
+	runsBefore := c.Get(serve.CounterEngineRuns)
+	kb, _, err := srv.KBForDocs(ctx, docs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Get(serve.CounterEngineRuns); got != runsBefore {
+		t.Errorf("engine_runs grew %d -> %d; want query served from session-warmed shards", runsBefore, got)
+	}
+	if kb.Fingerprint() != wantKB.Fingerprint() {
+		t.Error("query over session-warmed shards differs from batch build")
+	}
+}
+
+// TestServerSessionAnonymousDocsDoNotCollide: distinct documents without
+// IDs must never share a shard-cache entry — the cache is bypassed for
+// them, and a server-backed session still matches the direct batch build.
+func TestServerSessionAnonymousDocsDoNotCollide(t *testing.T) {
+	w, sys := realSystem(t)
+	srv := serve.New(sys, serve.Options{})
+	ctx := context.Background()
+	anonDocs := func() []*nlp.Document {
+		docs := corpus.Docs(w.WikiDataset(2))
+		for _, d := range docs {
+			d.ID = ""
+		}
+		return docs
+	}
+
+	wantKB, _, err := sys.BuildKBContext(ctx, anonDocs())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sess := srv.OpenSession(qkbfly.SessionOptions{})
+	defer sess.Close()
+	snap, bs, err := sess.Ingest(ctx, anonDocs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bs.PerDocElapsed) != 2 {
+		t.Fatalf("folded %d docs, want 2", len(bs.PerDocElapsed))
+	}
+	if snap.Fingerprint() != wantKB.Fingerprint() {
+		t.Error("anonymous docs through the server collided or were dropped")
+	}
+	// A second server pass must rebuild (nothing cacheable), not reuse.
+	if hits := srv.Counters().Get(serve.CounterShardHits); hits != 0 {
+		t.Errorf("shard_hits = %d for anonymous docs, want 0", hits)
+	}
+	kb2, _, err := srv.KBForDocs(ctx, anonDocs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kb2.Fingerprint() != wantKB.Fingerprint() {
+		t.Error("second anonymous pass differs from batch build")
+	}
+	if hits := srv.Counters().Get(serve.CounterShardHits); hits != 0 {
+		t.Errorf("shard_hits = %d after second anonymous pass, want 0", hits)
+	}
+}
+
+// TestServerSessionOptionsKeyShards: session shard reuse respects build
+// options — a session with a different coref window must not reuse shards
+// built under the default, and equivalent option spellings must.
+func TestServerSessionOptionsKeyShards(t *testing.T) {
+	w, sys := realSystem(t)
+	srv := serve.New(sys, serve.Options{})
+	ctx := context.Background()
+	c := srv.Counters()
+	docs := func() []*nlp.Document { return corpus.Docs(w.WikiDataset(2)) }
+
+	s1 := srv.OpenSession(qkbfly.SessionOptions{
+		BuildOptions: []qkbfly.Option{qkbfly.WithCorefWindow(2)},
+	})
+	defer s1.Close()
+	if _, _, err := s1.Ingest(ctx, docs()); err != nil {
+		t.Fatal(err)
+	}
+	missesAfterS1 := c.Get(serve.CounterShardMisses)
+
+	// Same result-affecting options, different spelling: full reuse.
+	s2 := srv.OpenSession(qkbfly.SessionOptions{
+		BuildOptions: []qkbfly.Option{qkbfly.WithParallelism(2), qkbfly.WithCorefWindow(2)},
+	})
+	defer s2.Close()
+	if _, _, err := s2.Ingest(ctx, docs()); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Get(serve.CounterShardMisses); got != missesAfterS1 {
+		t.Errorf("equivalent options missed the shard cache (%d -> %d)", missesAfterS1, got)
+	}
+
+	// Different coref window: must rebuild, not reuse.
+	s3 := srv.OpenSession(qkbfly.SessionOptions{
+		BuildOptions: []qkbfly.Option{qkbfly.WithCorefWindow(9)},
+	})
+	defer s3.Close()
+	if _, _, err := s3.Ingest(ctx, docs()); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Get(serve.CounterShardMisses); got != missesAfterS1+2 {
+		t.Errorf("different coref window reused shards (misses %d, want %d)", got, missesAfterS1+2)
+	}
+}

@@ -145,16 +145,24 @@ func WithParallelism(n int) Option { return engine.WithParallelism(n) }
 // (the paper fixes 5 backward sentences; the ablation study varies it).
 func WithCorefWindow(w int) Option { return engine.WithCorefWindow(w) }
 
-// BuildKBContext runs the full four-stage pipeline over the documents on
-// the concurrent staged engine and returns the on-the-fly KB. The result
-// is deterministic: any parallelism level produces the same KB as a
-// serial run. Cancelling the context stops the build early; the KB over
+// BuildKBContext builds the on-the-fly KB over the documents as a
+// one-shot session: open, ingest the whole batch, hand back the final
+// snapshot's KB. The result is deterministic — any parallelism level, and
+// any partitioning of the same documents into ingest increments, produces
+// the same KB. Cancelling the context stops the build early; the KB over
 // the already-processed document prefix is returned with ctx.Err().
 //
-// Facts below the configured τ are still stored; use FilterTau or
+// Long-lived callers that feed documents incrementally should hold a
+// Session (OpenSession) instead of re-running one-shot builds. Facts
+// below the configured τ are still stored; use FilterTau or
 // store.Query.MinConf to distill.
 func (s *System) BuildKBContext(ctx context.Context, docs []*nlp.Document, opts ...Option) (*store.KB, *BuildStats, error) {
-	return engine.New(s.engineConfig(), opts...).Run(ctx, docs)
+	// HistoryLimit < 0: a one-shot session has no watchers and no replay
+	// readers, so delta bookkeeping is skipped on this hot path.
+	sess := Open(s, SessionOptions{BuildOptions: opts, HistoryLimit: -1})
+	defer sess.Close()
+	snap, bs, err := sess.Ingest(ctx, docs)
+	return snap.KB(), bs, err
 }
 
 // BuildKB is BuildKBContext with a background context — the original
@@ -165,8 +173,10 @@ func (s *System) BuildKB(docs []*nlp.Document) (*store.KB, *BuildStats) {
 }
 
 // BuildKBWithCorefWindow is BuildKB with a custom pronoun co-reference
-// window, kept for the ablation study; new code should pass
-// WithCorefWindow to BuildKBContext.
+// window, kept for the ablation study.
+//
+// Deprecated: pass WithCorefWindow to BuildKBContext (or set it in
+// SessionOptions.BuildOptions for incremental ingestion).
 func (s *System) BuildKBWithCorefWindow(docs []*nlp.Document, window int) (*store.KB, *BuildStats) {
 	kb, bs, _ := s.BuildKBContext(context.Background(), docs, WithCorefWindow(window))
 	return kb, bs
@@ -207,7 +217,7 @@ func (s *System) Retrieve(query string, source string, size int) []*nlp.Document
 	hits := s.res.Index.Search(query, size, source)
 	docs := make([]*nlp.Document, 0, len(hits))
 	for _, h := range hits {
-		docs = append(docs, cloneDoc(h.Doc))
+		docs = append(docs, h.Doc.Clone())
 	}
 	return docs
 }
@@ -244,20 +254,4 @@ func (s *System) BuildKBForQuery(query string, source string, size int) (*store.
 // FilterTau returns the facts meeting the configured confidence threshold.
 func (s *System) FilterTau(kb *store.KB) []store.Fact {
 	return kb.Search(store.Query{MinConf: s.cfg.Tau})
-}
-
-// cloneDoc deep-copies a document so annotation does not mutate the
-// indexed original (documents are re-annotated per query).
-func cloneDoc(d *nlp.Document) *nlp.Document {
-	cp := *d
-	cp.Sentences = make([]nlp.Sentence, len(d.Sentences))
-	for i := range d.Sentences {
-		s := d.Sentences[i]
-		s.Tokens = append([]nlp.Token(nil), s.Tokens...)
-		s.Chunks = append([]nlp.Chunk(nil), s.Chunks...)
-		s.Mentions = append([]nlp.Mention(nil), s.Mentions...)
-		cp.Sentences[i] = s
-	}
-	cp.Anchors = append([]nlp.Anchor(nil), d.Anchors...)
-	return &cp
 }

@@ -1,0 +1,487 @@
+package qkbfly
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"qkbfly/internal/engine"
+	"qkbfly/internal/kb/store"
+	"qkbfly/internal/nlp"
+)
+
+// ErrSessionClosed is returned by Ingest and Evict after Close.
+var ErrSessionClosed = errors.New("qkbfly: session closed")
+
+// ShardBuilder builds one deterministic KB shard per document — the
+// substrate a Session folds increments through. *System implements it
+// directly (every ingest is an engine run); *serve.Server implements it
+// through its per-document shard cache, so a session opened on a server
+// shares shards with every query and every other session the server
+// handles.
+type ShardBuilder interface {
+	BuildShardsContext(ctx context.Context, docs []*nlp.Document, opts ...Option) ([]*store.KB, *BuildStats, error)
+}
+
+// SessionOptions configure an ingestion session.
+type SessionOptions struct {
+	// BuildOptions are applied to every Ingest's shard build (co-reference
+	// window, parallelism). They are fixed at Open so every increment is
+	// built under the same configuration — mixing coref windows across
+	// increments would break the batch-equivalence guarantee.
+	BuildOptions []Option
+	// MaxDocuments bounds the rolling window: when an ingest pushes the
+	// session past this many documents, the oldest are evicted (arrival
+	// order) and the KB is deterministically re-merged. 0 means unlimited.
+	// A window slide re-merges all surviving shards — O(window) merge work
+	// per sliding ingest, which is cheap relative to the pipeline (merging
+	// a shard costs ~10% of building it) but not free; size the window to
+	// the corpus you actually query.
+	MaxDocuments int
+	// Tau is the confidence threshold for Watch delivery: watchers receive
+	// facts with Confidence >= Tau. System.OpenSession defaults it to the
+	// system's configured τ; 0 delivers everything.
+	Tau float64
+	// HistoryLimit caps how many versions of added-fact deltas are kept
+	// for FactsSince; 0 means 1024. A negative limit disables history
+	// entirely (FactsSince always reports the horizon; Watch still works)
+	// — the one-shot BuildKB* wrappers use that to skip delta bookkeeping.
+	// Readers older than the horizon are told to restart from a full
+	// snapshot.
+	HistoryLimit int
+	// WatchBuffer is each watcher channel's capacity; <= 0 means 256. A
+	// watcher that falls more than a full buffer behind is dropped (its
+	// channel closes), like a lagging changefeed consumer.
+	WatchBuffer int
+}
+
+// FactEvent is one fact landing in (or being replayed from) a session,
+// stamped with the version that introduced it.
+type FactEvent struct {
+	Version uint64     `json:"version"`
+	Fact    store.Fact `json:"fact"`
+}
+
+// Snapshot is an immutable view of a session's KB at one version. The KB
+// is never mutated after the snapshot is taken — subsequent ingests fold
+// into a copy — so it is safe to query concurrently with ongoing
+// ingestion, for as long as the caller likes. Treat it as read-only; it
+// is shared with the session's history and other snapshot holders.
+type Snapshot struct {
+	kb      *store.KB
+	version uint64
+	fpOnce  sync.Once
+	fp      string
+}
+
+// KB returns the snapshot's knowledge base (read-only by convention).
+func (s *Snapshot) KB() *store.KB { return s.kb }
+
+// Version returns the monotonic session version this snapshot captures.
+// Version 0 is the empty pre-ingest state.
+func (s *Snapshot) Version() uint64 { return s.version }
+
+// Fingerprint returns the KB's content fingerprint (store.KB.Fingerprint),
+// computed once per snapshot and cached — the identity a one-shot
+// BuildKBContext over the same surviving documents would produce.
+func (s *Snapshot) Fingerprint() string {
+	s.fpOnce.Do(func() { s.fp = s.kb.Fingerprint() })
+	return s.fp
+}
+
+// versionDelta records the facts a version added, for FactsSince replay.
+type versionDelta struct {
+	version uint64
+	facts   []store.Fact
+}
+
+// watcher is one Watch subscription.
+type watcher struct {
+	ch     chan FactEvent
+	min    float64     // per-subscription confidence threshold
+	cancel func() bool // detaches the context watchdog, if any
+}
+
+// Session is a long-lived handle for incremental on-the-fly KB
+// construction: documents stream in through Ingest, every increment folds
+// the new documents' shards into a fresh immutable version, old documents
+// roll out through Evict (or the MaxDocuments window), and Snapshot hands
+// out any-time-consistent views that remain valid while ingestion
+// continues. It is safe for concurrent use; shard builds run outside the
+// session lock, so queries against snapshots never wait on the pipeline.
+//
+// The invariant tying it to the batch API: after any sequence of ingests
+// and evictions, the session KB is fingerprint-identical to one
+// BuildKBContext over the surviving documents in arrival order — both
+// paths merge the same deterministic per-document shards in the same
+// order.
+type Session struct {
+	builder ShardBuilder
+	opt     SessionOptions
+
+	mu       sync.Mutex
+	docIDs   []string             // arrival order (session keys)
+	shards   map[string]*store.KB // session key -> deterministic shard
+	cur      *Snapshot            // current version; immutable once set
+	history  []versionDelta       // added facts per version, newest last
+	watchers map[int]*watcher
+	nextW    int
+	anonSeq  int // synthetic keys for documents without IDs
+	closed   bool
+}
+
+// Open starts a session over a shard builder (a *System, or a
+// *serve.Server for cache-shared shards). The zero SessionOptions give an
+// unbounded, un-thresholded session.
+func Open(b ShardBuilder, opts SessionOptions) *Session {
+	if opts.HistoryLimit == 0 {
+		opts.HistoryLimit = 1024
+	}
+	if opts.WatchBuffer <= 0 {
+		opts.WatchBuffer = 256
+	}
+	return &Session{
+		builder:  b,
+		opt:      opts,
+		shards:   make(map[string]*store.KB),
+		cur:      &Snapshot{kb: store.New(), version: 0},
+		watchers: make(map[int]*watcher),
+	}
+}
+
+// OpenSession opens an incremental ingestion session on the system,
+// defaulting the Watch threshold to the system's configured τ.
+func (s *System) OpenSession(opts SessionOptions) *Session {
+	if opts.Tau == 0 {
+		opts.Tau = s.cfg.Tau
+	}
+	return Open(s, opts)
+}
+
+// sessionKey returns the retention/dedup key for a document: its ID, or a
+// synthetic unique key for anonymous documents (so documents without IDs
+// are never spuriously collapsed). Callers hold s.mu.
+func (s *Session) sessionKey(d *nlp.Document) string {
+	if d.ID != "" {
+		return d.ID
+	}
+	s.anonSeq++
+	return fmt.Sprintf("\x00anon:%d", s.anonSeq)
+}
+
+// Ingest feeds documents into the session: only documents not already
+// present (by ID) are built — through the session's ShardBuilder, so a
+// server-backed session reuses cached shards — and their shards fold into
+// a fresh version in arrival order. Documents are annotated in place, as
+// in BuildKBContext; pass doc.Clone() to keep originals pristine.
+//
+// The returned Snapshot is the post-fold version (after window eviction,
+// when MaxDocuments is set) and the BuildStats account the engine work of
+// this increment, with the fold time in StageElapsed.Merge. Cancelling
+// the context stops the build early: the already-processed prefix still
+// folds, unprocessed documents are not registered, and ctx.Err() is
+// returned. Re-ingesting a present document is a no-op. To replace a
+// document's content under the same ID, Evict it first — and if the
+// session's builder caches shards (a *serve.Server), also invalidate
+// them (Server.InvalidateShards; the daemon's /evict does both), since
+// the shard cache assumes an ID identifies immutable content.
+func (s *Session) Ingest(ctx context.Context, docs []*nlp.Document) (*Snapshot, *BuildStats, error) {
+	// Select the documents that need building. Keys for anonymous docs are
+	// assigned here; presence is re-checked at fold time (a concurrent
+	// Ingest may land the same ID between the two lockings).
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return s.cur, &BuildStats{Parallelism: 1, PerDocElapsed: []time.Duration{}}, ErrSessionClosed
+	}
+	var (
+		newDocs []*nlp.Document
+		newKeys []string
+		inBatch = make(map[string]bool, len(docs))
+	)
+	for _, d := range docs {
+		key := s.sessionKey(d)
+		if _, present := s.shards[key]; present {
+			continue // already in the session: re-ingest is a no-op
+		}
+		if inBatch[key] {
+			// Two documents sharing an ID within one batch keep the engine's
+			// batch semantics — both are built and merged in order — by
+			// giving the repeat its own synthetic session key (it appears in
+			// Docs() under that key and is not reachable by Evict(id)).
+			s.anonSeq++
+			key = fmt.Sprintf("\x00dup:%s:%d", d.ID, s.anonSeq)
+		} else {
+			inBatch[key] = true
+		}
+		newDocs = append(newDocs, d)
+		newKeys = append(newKeys, key)
+	}
+	s.mu.Unlock()
+
+	start := time.Now()
+	shards, bs, err := s.builder.BuildShardsContext(ctx, newDocs, s.opt.BuildOptions...)
+	if bs == nil {
+		bs = &BuildStats{Parallelism: 1, PerDocElapsed: []time.Duration{}}
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return s.cur, bs, ErrSessionClosed
+	}
+
+	// Fold the built shards into a clone of the current version
+	// (copy-on-write at the ingest boundary: handed-out snapshots stay
+	// immutable), compacting the accounting to processed documents —
+	// exactly what engine.Run does for a batch.
+	perDoc := bs.PerDocElapsed
+	bs.PerDocElapsed = make([]time.Duration, 0, len(newDocs))
+	// Select the shards that will actually fold before paying for the
+	// copy-on-write clone: an empty increment, a cancelled build (all-nil
+	// shards) or a batch fully raced away by a concurrent Ingest must not
+	// deep-copy the KB (and keeps zeroed stage timings, matching the
+	// engine's empty-batch short-circuit).
+	var foldIdx []int
+	for i, shard := range shards {
+		if shard == nil {
+			continue // not reached before cancellation
+		}
+		if _, present := s.shards[newKeys[i]]; present {
+			continue // a concurrent Ingest won the race for this document
+		}
+		foldIdx = append(foldIdx, i)
+	}
+	if len(foldIdx) > 0 {
+		mergeStart := time.Now()
+		base := s.cur.kb.Clone()
+		oldLen := base.Len()
+		oldFacts := s.cur.kb.Facts() // pre-merge view, for in-place-update detection
+		for _, i := range foldIdx {
+			base.Merge(shards[i])
+			s.shards[newKeys[i]] = shards[i]
+			s.docIDs = append(s.docIDs, newKeys[i])
+			if i < len(perDoc) {
+				bs.PerDocElapsed = append(bs.PerDocElapsed, perDoc[i])
+			}
+		}
+		bs.StageElapsed.Merge = time.Since(mergeStart)
+		// The version delta — the appended facts plus every pre-existing
+		// fact the merge updated in place (the dedup path raises
+		// confidence or replaces provenance on a key hit; without the
+		// update scan a fact upgraded across a watcher's threshold by a
+		// later increment would never be delivered) — is only computed
+		// when someone can observe it, so the one-shot wrappers (history
+		// disabled, no watchers) skip the copy entirely.
+		var added []store.Fact
+		if s.opt.HistoryLimit > 0 || len(s.watchers) > 0 {
+			added = append([]store.Fact(nil), base.Facts()[oldLen:]...)
+			merged := base.Facts()
+			for i := 0; i < oldLen; i++ {
+				if merged[i].Confidence != oldFacts[i].Confidence || merged[i].Source != oldFacts[i].Source {
+					added = append(added, merged[i])
+				}
+			}
+		}
+		s.advanceLocked(base, added)
+		if s.opt.MaxDocuments > 0 && len(s.docIDs) > s.opt.MaxDocuments {
+			s.evictLocked(s.docIDs[:len(s.docIDs)-s.opt.MaxDocuments])
+		}
+	}
+	bs.Elapsed = time.Since(start)
+	return s.cur, bs, err
+}
+
+// advanceLocked publishes kb as the next version, recording and fanning
+// out the facts it added. Callers hold s.mu.
+func (s *Session) advanceLocked(kb *store.KB, added []store.Fact) {
+	v := s.cur.version + 1
+	s.cur = &Snapshot{kb: kb, version: v}
+	if s.opt.HistoryLimit > 0 {
+		s.history = append(s.history, versionDelta{version: v, facts: added})
+		if over := len(s.history) - s.opt.HistoryLimit; over > 0 {
+			s.history = append([]versionDelta(nil), s.history[over:]...)
+		}
+	}
+	if len(added) == 0 || len(s.watchers) == 0 {
+		return
+	}
+watchers:
+	for id, w := range s.watchers {
+		for _, f := range added {
+			if f.Confidence < w.min {
+				continue
+			}
+			select {
+			case w.ch <- FactEvent{Version: v, Fact: f}:
+			default:
+				// The watcher is a full buffer behind: drop it rather than
+				// blocking ingestion (lagging-consumer semantics).
+				s.removeWatcherLocked(id)
+				continue watchers
+			}
+		}
+	}
+}
+
+// Evict removes documents from the session (by document ID) and
+// deterministically re-merges the surviving shards in arrival order into
+// a fresh version. Unknown IDs are ignored; the removed count is
+// returned. Eviction can only narrow the fact set (a subset of shards
+// yields a subset of fact keys), so no Watch events are emitted.
+func (s *Session) Evict(docIDs ...string) (*Snapshot, int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return s.cur, 0
+	}
+	removed := s.evictLocked(docIDs) // must run before s.cur is read
+	return s.cur, removed
+}
+
+// evictLocked removes the given session keys and republishes the re-merge
+// of the survivors, returning how many documents were removed. It is a
+// no-op (no version bump) when nothing matched. Callers hold s.mu.
+func (s *Session) evictLocked(victims []string) int {
+	removed := 0
+	gone := make(map[string]bool, len(victims))
+	for _, id := range victims {
+		if _, ok := s.shards[id]; ok && !gone[id] {
+			gone[id] = true
+			delete(s.shards, id)
+			removed++
+		}
+	}
+	if removed == 0 {
+		return 0
+	}
+	survivors := s.docIDs[:0]
+	ordered := make([]*store.KB, 0, len(s.docIDs)-removed)
+	for _, id := range s.docIDs {
+		if gone[id] {
+			continue
+		}
+		survivors = append(survivors, id)
+		ordered = append(ordered, s.shards[id])
+	}
+	s.docIDs = survivors
+	kb := store.New()
+	engine.MergeShardsInto(kb, ordered)
+	s.advanceLocked(kb, nil)
+	return removed
+}
+
+// Snapshot returns the current immutable version. It never blocks on an
+// in-flight build (folding is brief; the pipeline runs outside the lock).
+func (s *Session) Snapshot() *Snapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cur
+}
+
+// Version returns the current session version.
+func (s *Session) Version() uint64 { return s.Snapshot().version }
+
+// Docs returns the IDs of the documents currently in the session, in
+// arrival order (anonymous documents appear under synthetic keys).
+func (s *Session) Docs() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]string(nil), s.docIDs...)
+}
+
+// FactsSince replays the facts added after version v, in version order,
+// unfiltered (callers apply their own confidence threshold). cur is the
+// session version the replay is complete up to: combined with a Watch
+// subscription attached beforehand, skipping live events with
+// Version <= cur resumes the stream without gaps or duplicates. ok is
+// false when v predates the retained history horizon — the caller should
+// restart from a full Snapshot instead.
+func (s *Session) FactsSince(v uint64) (events []FactEvent, cur uint64, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if v >= s.cur.version {
+		return nil, s.cur.version, true
+	}
+	horizon := s.cur.version
+	if len(s.history) > 0 {
+		horizon = s.history[0].version - 1
+	}
+	if v < horizon {
+		return nil, s.cur.version, false
+	}
+	for _, d := range s.history {
+		if d.version <= v {
+			continue
+		}
+		for _, f := range d.facts {
+			events = append(events, FactEvent{Version: d.version, Fact: f})
+		}
+	}
+	return events, s.cur.version, true
+}
+
+// Watch subscribes to facts with Confidence >= the session τ as they
+// land, stamped with the version that introduced them. The channel closes
+// when ctx is cancelled, the session closes, or the subscriber lags a
+// full buffer behind ingestion. Events replay nothing: use FactsSince to
+// catch up, then Watch for the live tail. An ingest that upgrades an
+// existing fact in place (higher confidence from new evidence) delivers
+// that fact again at its new confidence.
+func (s *Session) Watch(ctx context.Context) <-chan FactEvent {
+	return s.WatchMin(ctx, s.opt.Tau)
+}
+
+// WatchMin is Watch with a per-subscription confidence threshold
+// overriding the session τ (<= 0 delivers everything) — the HTTP /facts
+// stream uses it so the live tail honors the request's own filter.
+func (s *Session) WatchMin(ctx context.Context, minConf float64) <-chan FactEvent {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ch := make(chan FactEvent, s.opt.WatchBuffer)
+	if s.closed {
+		close(ch)
+		return ch
+	}
+	id := s.nextW
+	s.nextW++
+	w := &watcher{ch: ch, min: minConf}
+	s.watchers[id] = w
+	w.cancel = context.AfterFunc(ctx, func() {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		s.removeWatcherLocked(id)
+	})
+	return ch
+}
+
+// removeWatcherLocked closes and forgets one watcher, detaching its
+// context watchdog so a lag-dropped subscriber does not pin the watcher
+// (and its buffer) to a long-lived context. Callers hold s.mu.
+func (s *Session) removeWatcherLocked(id int) {
+	if w, ok := s.watchers[id]; ok {
+		delete(s.watchers, id)
+		if w.cancel != nil {
+			w.cancel()
+		}
+		close(w.ch)
+	}
+}
+
+// Close ends the session: watchers' channels close, and further Ingest
+// and Evict calls return ErrSessionClosed. Snapshots (including the final
+// one, still available via Snapshot) remain valid.
+func (s *Session) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	for id := range s.watchers {
+		s.removeWatcherLocked(id)
+	}
+	return nil
+}

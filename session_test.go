@@ -1,0 +1,617 @@
+package qkbfly_test
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"qkbfly"
+	"qkbfly/internal/corpus"
+	"qkbfly/internal/kb/store"
+	"qkbfly/internal/nlp"
+)
+
+// TestSessionIncrementalMatchesBatch: a session fed the corpus in k
+// randomized increments must produce a KB fingerprint-identical to one
+// BuildKBContext over the same documents — the acceptance invariant of
+// the session API. Randomization covers chunk boundaries and feed order
+// across seeds.
+func TestSessionIncrementalMatchesBatch(t *testing.T) {
+	f := getFixture(t)
+	sys := qkbfly.New(f.res, qkbfly.DefaultConfig())
+	ctx := context.Background()
+	const nDocs = 12
+
+	for _, seed := range []int64{1, 7, 42} {
+		rng := rand.New(rand.NewSource(seed))
+		perm := rng.Perm(nDocs)
+
+		// Batch reference over the permuted order.
+		batch := pick(corpus.Docs(f.world.WikiDataset(nDocs)), perm)
+		wantKB, _, err := sys.BuildKBContext(ctx, batch)
+		if err != nil {
+			t.Fatalf("seed %d: batch build: %v", seed, err)
+		}
+		want := wantKB.Fingerprint()
+
+		// Session fed the same order in random-sized increments.
+		sess := sys.OpenSession(qkbfly.SessionOptions{})
+		incDocs := pick(corpus.Docs(f.world.WikiDataset(nDocs)), perm)
+		lastVersion := uint64(0)
+		for start := 0; start < len(incDocs); {
+			end := start + 1 + rng.Intn(4)
+			if end > len(incDocs) {
+				end = len(incDocs)
+			}
+			snap, bs, err := sess.Ingest(ctx, incDocs[start:end])
+			if err != nil {
+				t.Fatalf("seed %d: ingest [%d:%d): %v", seed, start, end, err)
+			}
+			if snap.Version() <= lastVersion {
+				t.Fatalf("seed %d: version did not advance: %d -> %d", seed, lastVersion, snap.Version())
+			}
+			if got := len(bs.PerDocElapsed); got != end-start {
+				t.Errorf("seed %d: increment folded %d docs, want %d", seed, got, end-start)
+			}
+			lastVersion = snap.Version()
+			start = end
+		}
+		snap := sess.Snapshot()
+		if snap.Fingerprint() != want {
+			t.Errorf("seed %d: incremental KB differs from batch build", seed)
+		}
+		if snap.KB().Len() != wantKB.Len() {
+			t.Errorf("seed %d: fact counts differ: %d vs %d", seed, snap.KB().Len(), wantKB.Len())
+		}
+		sess.Close()
+	}
+}
+
+// TestSessionEvictionMatchesBatch: after randomized ingests and
+// evictions, the session KB must fingerprint-identically match a one-shot
+// build over the surviving documents in arrival order.
+func TestSessionEvictionMatchesBatch(t *testing.T) {
+	f := getFixture(t)
+	sys := qkbfly.New(f.res, qkbfly.DefaultConfig())
+	ctx := context.Background()
+	const nDocs = 10
+
+	for _, seed := range []int64{3, 11} {
+		rng := rand.New(rand.NewSource(seed))
+		sess := sys.OpenSession(qkbfly.SessionOptions{})
+		docs := corpus.Docs(f.world.WikiDataset(nDocs))
+		for start := 0; start < len(docs); {
+			end := start + 1 + rng.Intn(3)
+			if end > len(docs) {
+				end = len(docs)
+			}
+			if _, _, err := sess.Ingest(ctx, docs[start:end]); err != nil {
+				t.Fatalf("seed %d: ingest: %v", seed, err)
+			}
+			start = end
+		}
+
+		// Evict a random subset (by document ID), keeping at least one.
+		ids := sess.Docs()
+		var victims []string
+		for _, id := range ids[1:] {
+			if rng.Intn(3) == 0 {
+				victims = append(victims, id)
+			}
+		}
+		_, removed := sess.Evict(victims...)
+		if removed != len(victims) {
+			t.Fatalf("seed %d: evicted %d, want %d", seed, removed, len(victims))
+		}
+		surviving := sess.Docs()
+		if len(surviving) != nDocs-len(victims) {
+			t.Fatalf("seed %d: %d survivors, want %d", seed, len(surviving), nDocs-len(victims))
+		}
+
+		// One-shot reference over the survivors in arrival order.
+		fresh := corpus.Docs(f.world.WikiDataset(nDocs))
+		byID := make(map[string]int, len(fresh))
+		for i, d := range fresh {
+			byID[d.ID] = i
+		}
+		var refIdx []int
+		for _, id := range surviving {
+			refIdx = append(refIdx, byID[id])
+		}
+		wantKB, _, err := sys.BuildKBContext(ctx, pick(fresh, refIdx))
+		if err != nil {
+			t.Fatalf("seed %d: reference build: %v", seed, err)
+		}
+		if got, want := sess.Snapshot().Fingerprint(), wantKB.Fingerprint(); got != want {
+			t.Errorf("seed %d: post-eviction KB differs from batch over survivors", seed)
+		}
+		sess.Close()
+	}
+}
+
+// TestSessionRollingWindow: MaxDocuments keeps only the newest documents,
+// and the windowed KB matches a one-shot build over exactly that window.
+func TestSessionRollingWindow(t *testing.T) {
+	f := getFixture(t)
+	sys := qkbfly.New(f.res, qkbfly.DefaultConfig())
+	ctx := context.Background()
+	const nDocs, window = 9, 4
+
+	sess := sys.OpenSession(qkbfly.SessionOptions{MaxDocuments: window})
+	defer sess.Close()
+	docs := corpus.Docs(f.world.WikiDataset(nDocs))
+	for _, d := range docs {
+		if _, _, err := sess.Ingest(ctx, []*nlp.Document{d}); err != nil {
+			t.Fatalf("ingest %s: %v", d.ID, err)
+		}
+	}
+	ids := sess.Docs()
+	if len(ids) != window {
+		t.Fatalf("window holds %d docs, want %d", len(ids), window)
+	}
+	for i, id := range ids {
+		if want := docs[nDocs-window+i].ID; id != want {
+			t.Errorf("window[%d] = %s, want %s", i, id, want)
+		}
+	}
+	fresh := corpus.Docs(f.world.WikiDataset(nDocs))
+	wantKB, _, err := sys.BuildKBContext(ctx, fresh[nDocs-window:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sess.Snapshot().Fingerprint() != wantKB.Fingerprint() {
+		t.Error("windowed session KB differs from batch over the window")
+	}
+}
+
+// TestSessionSnapshotImmutable: a snapshot taken before further ingests
+// and evictions must not change underneath its holder.
+func TestSessionSnapshotImmutable(t *testing.T) {
+	f := getFixture(t)
+	sys := qkbfly.New(f.res, qkbfly.DefaultConfig())
+	ctx := context.Background()
+
+	sess := sys.OpenSession(qkbfly.SessionOptions{})
+	defer sess.Close()
+	docs := corpus.Docs(f.world.WikiDataset(6))
+	if _, _, err := sess.Ingest(ctx, docs[:3]); err != nil {
+		t.Fatal(err)
+	}
+	old := sess.Snapshot()
+	oldFP := old.Fingerprint()
+	oldLen := old.KB().Len()
+
+	if _, _, err := sess.Ingest(ctx, docs[3:]); err != nil {
+		t.Fatal(err)
+	}
+	sess.Evict(docs[0].ID)
+
+	if old.KB().Len() != oldLen {
+		t.Errorf("snapshot fact count changed: %d -> %d", oldLen, old.KB().Len())
+	}
+	if old.KB().Fingerprint() != oldFP {
+		t.Error("snapshot content changed under later ingest/evict")
+	}
+	if cur := sess.Snapshot(); cur.Version() <= old.Version() {
+		t.Errorf("version not monotonic: %d then %d", old.Version(), cur.Version())
+	}
+}
+
+// TestSessionWatchAndFactsSince: watchers receive exactly the facts that
+// ingests add, stamped with their version, in the same order FactsSince
+// replays them for late joiners.
+func TestSessionWatchAndFactsSince(t *testing.T) {
+	f := getFixture(t)
+	sys := qkbfly.New(f.res, qkbfly.DefaultConfig())
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	sess := sys.OpenSession(qkbfly.SessionOptions{Tau: -1}) // deliver everything
+	defer sess.Close()
+	events := sess.Watch(ctx)
+
+	docs := corpus.Docs(f.world.WikiDataset(4))
+	v0 := sess.Version()
+	if _, _, err := sess.Ingest(ctx, docs[:2]); err != nil {
+		t.Fatal(err)
+	}
+	snap2, _, err := sess.Ingest(ctx, docs[2:])
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The watcher stream must equal the FactsSince replay: same facts,
+	// same version stamps, same order.
+	replay, cur, ok := sess.FactsSince(v0)
+	if !ok {
+		t.Fatal("history unexpectedly truncated")
+	}
+	if cur != snap2.Version() {
+		t.Errorf("FactsSince cur = %d, want %d", cur, snap2.Version())
+	}
+	if len(replay) == 0 {
+		t.Fatal("no events to replay")
+	}
+	got := make([]qkbfly.FactEvent, 0, len(replay))
+	timeout := time.After(5 * time.Second)
+	for len(got) < len(replay) {
+		select {
+		case ev, okCh := <-events:
+			if !okCh {
+				t.Fatal("watch channel closed early")
+			}
+			got = append(got, ev)
+		case <-timeout:
+			t.Fatalf("watcher delivered %d/%d events", len(got), len(replay))
+		}
+	}
+	for i := range got {
+		if got[i].Version != replay[i].Version || got[i].Fact.String() != replay[i].Fact.String() {
+			t.Fatalf("event %d: watch %v@%d != replay %v@%d", i,
+				got[i].Fact.String(), got[i].Version, replay[i].Fact.String(), replay[i].Version)
+		}
+	}
+
+	// Nothing to replay since the current version.
+	if evs, _, ok := sess.FactsSince(snap2.Version()); !ok || len(evs) != 0 {
+		t.Errorf("FactsSince(cur) = %d events, ok=%t; want 0, true", len(evs), ok)
+	}
+
+	// Cancelling the watch context closes the channel.
+	cancel()
+	deadline := time.After(5 * time.Second)
+	for {
+		select {
+		case _, okCh := <-events:
+			if !okCh {
+				return
+			}
+		case <-deadline:
+			t.Fatal("watch channel not closed after context cancel")
+		}
+	}
+}
+
+// TestSessionWatchRespectsTau: watchers only see facts at or above the
+// session τ. The threshold is derived from the sample data: the maximum
+// confidence in a reference build, so every lower-confidence fact must be
+// filtered.
+func TestSessionWatchRespectsTau(t *testing.T) {
+	f := getFixture(t)
+	sys := qkbfly.New(f.res, qkbfly.DefaultConfig())
+	ctx := context.Background()
+
+	refKB, _, err := sys.BuildKBContext(ctx, corpus.Docs(f.world.WikiDataset(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tau := 0.0
+	for _, fact := range refKB.Facts() {
+		if fact.Confidence > tau {
+			tau = fact.Confidence
+		}
+	}
+	want := len(refKB.Search(store.Query{MinConf: tau}))
+	if want == 0 || want == refKB.Len() {
+		t.Skipf("sample build cannot discriminate (%d of %d facts at max confidence %f)",
+			want, refKB.Len(), tau)
+	}
+
+	sess := sys.OpenSession(qkbfly.SessionOptions{Tau: tau})
+	defer sess.Close()
+	events := sess.Watch(ctx)
+	if _, _, err := sess.Ingest(ctx, corpus.Docs(f.world.WikiDataset(4))); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < want; i++ {
+		select {
+		case ev := <-events:
+			if ev.Fact.Confidence < tau {
+				t.Fatalf("watcher got sub-tau fact %v (conf %f < %f)", ev.Fact.String(), ev.Fact.Confidence, tau)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("watcher delivered %d/%d events", i, want)
+		}
+	}
+	select {
+	case ev := <-events:
+		t.Fatalf("unexpected extra event %v", ev.Fact.String())
+	case <-time.After(50 * time.Millisecond):
+	}
+}
+
+// TestSessionHistoryHorizon: a reader older than the retained history is
+// told to restart (ok=false) instead of silently missing facts.
+func TestSessionHistoryHorizon(t *testing.T) {
+	f := getFixture(t)
+	sys := qkbfly.New(f.res, qkbfly.DefaultConfig())
+	ctx := context.Background()
+
+	sess := sys.OpenSession(qkbfly.SessionOptions{HistoryLimit: 1})
+	defer sess.Close()
+	docs := corpus.Docs(f.world.WikiDataset(3))
+	for _, d := range docs {
+		if _, _, err := sess.Ingest(ctx, []*nlp.Document{d}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, ok := sess.FactsSince(0); ok {
+		t.Error("FactsSince(0) should report the horizon with HistoryLimit=1")
+	}
+	// The newest version is still replayable.
+	if _, _, ok := sess.FactsSince(sess.Version() - 1); !ok {
+		t.Error("FactsSince(cur-1) should succeed with HistoryLimit=1")
+	}
+}
+
+// TestSessionDuplicateIngestIsNoOp: re-ingesting documents already in the
+// session builds nothing and does not advance the version.
+func TestSessionDuplicateIngestIsNoOp(t *testing.T) {
+	f := getFixture(t)
+	sys := qkbfly.New(f.res, qkbfly.DefaultConfig())
+	ctx := context.Background()
+
+	sess := sys.OpenSession(qkbfly.SessionOptions{})
+	defer sess.Close()
+	docs := corpus.Docs(f.world.WikiDataset(3))
+	snap1, _, err := sess.Ingest(ctx, docs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap2, bs, err := sess.Ingest(ctx, corpus.Docs(f.world.WikiDataset(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap2.Version() != snap1.Version() {
+		t.Errorf("duplicate ingest advanced version %d -> %d", snap1.Version(), snap2.Version())
+	}
+	if len(bs.PerDocElapsed) != 0 || bs.Documents != 0 {
+		t.Errorf("duplicate ingest built %d docs", bs.Documents)
+	}
+	if snap2.KB().Fingerprint() != snap1.Fingerprint() {
+		t.Error("duplicate ingest changed the KB")
+	}
+}
+
+// TestSessionCloseSemantics: ingesting after Close fails with
+// ErrSessionClosed and watchers' channels close; the last snapshot stays
+// queryable.
+func TestSessionCloseSemantics(t *testing.T) {
+	f := getFixture(t)
+	sys := qkbfly.New(f.res, qkbfly.DefaultConfig())
+	ctx := context.Background()
+
+	sess := sys.OpenSession(qkbfly.SessionOptions{})
+	docs := corpus.Docs(f.world.WikiDataset(2))
+	if _, _, err := sess.Ingest(ctx, docs); err != nil {
+		t.Fatal(err)
+	}
+	events := sess.Watch(ctx)
+	snap := sess.Snapshot()
+	if err := sess.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := <-events; ok {
+		t.Error("watch channel still open after Close")
+	}
+	if _, _, err := sess.Ingest(ctx, docs); !errors.Is(err, qkbfly.ErrSessionClosed) {
+		t.Errorf("Ingest after Close: %v, want ErrSessionClosed", err)
+	}
+	if snap.KB().Len() == 0 {
+		t.Error("snapshot unusable after Close")
+	}
+	if sess.Snapshot() != snap {
+		t.Error("Snapshot changed after Close")
+	}
+}
+
+// TestSessionConcurrentQueriesDuringIngest: snapshots taken while other
+// goroutines ingest must stay internally consistent (run with -race).
+func TestSessionConcurrentQueriesDuringIngest(t *testing.T) {
+	f := getFixture(t)
+	sys := qkbfly.New(f.res, qkbfly.DefaultConfig())
+	ctx := context.Background()
+
+	sess := sys.OpenSession(qkbfly.SessionOptions{})
+	defer sess.Close()
+	docs := corpus.Docs(f.world.WikiDataset(8))
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var lastV uint64
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				snap := sess.Snapshot()
+				if snap.Version() < lastV {
+					t.Error("version went backwards")
+					return
+				}
+				lastV = snap.Version()
+				// Query the snapshot; Search walks all facts and entities.
+				_ = snap.KB().Search(store.Query{MinConf: 0.5})
+			}
+		}()
+	}
+	for i := 0; i < len(docs); i += 2 {
+		if _, _, err := sess.Ingest(ctx, docs[i:i+2]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	fresh := corpus.Docs(f.world.WikiDataset(8))
+	wantKB, _, err := sys.BuildKBContext(ctx, fresh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sess.Snapshot().Fingerprint() != wantKB.Fingerprint() {
+		t.Error("concurrently-queried session KB differs from batch build")
+	}
+}
+
+// stubShardBuilder returns canned shards by document ID — for session
+// behaviors the real pipeline cannot stage precisely (confidence
+// upgrades across increments).
+type stubShardBuilder struct {
+	shards map[string]*store.KB
+}
+
+func (b *stubShardBuilder) BuildShardsContext(ctx context.Context, docs []*nlp.Document, opts ...qkbfly.Option) ([]*store.KB, *qkbfly.BuildStats, error) {
+	if len(docs) == 0 {
+		return nil, &qkbfly.BuildStats{Parallelism: 1, PerDocElapsed: []time.Duration{}}, ctx.Err()
+	}
+	out := make([]*store.KB, len(docs))
+	for i, d := range docs {
+		out[i] = b.shards[d.ID]
+	}
+	return out, &qkbfly.BuildStats{
+		Documents: len(docs), Parallelism: 1,
+		PerDocElapsed: make([]time.Duration, len(docs)),
+	}, ctx.Err()
+}
+
+func confShard(doc string, conf float64) *store.KB {
+	kb := store.New()
+	kb.AddEntity(store.EntityRecord{ID: "E", Name: "E", Mentions: []string{"E"}})
+	kb.AddFact(store.Fact{
+		Subject:    store.Value{EntityID: "E"},
+		Relation:   "be",
+		Objects:    []store.Value{{Literal: "thing"}},
+		Confidence: conf,
+		Source:     store.Provenance{DocID: doc},
+	})
+	return kb
+}
+
+// TestSessionWatchSeesConfidenceUpgrades: a fact first ingested below a
+// watcher's threshold and later upgraded in place (same dedup key, higher
+// confidence from new evidence) must be delivered once it crosses the
+// threshold, and must appear in FactsSince replay. Regression test: the
+// version delta used to contain only appended facts, so in-place dedup
+// upgrades were invisible to watchers and replays forever.
+func TestSessionWatchSeesConfidenceUpgrades(t *testing.T) {
+	b := &stubShardBuilder{shards: map[string]*store.KB{
+		"low":  confShard("low", 0.4),
+		"high": confShard("high", 0.6),
+	}}
+	sess := qkbfly.Open(b, qkbfly.SessionOptions{Tau: 0.5})
+	defer sess.Close()
+	ctx := context.Background()
+	events := sess.Watch(ctx)
+
+	if _, _, err := sess.Ingest(ctx, []*nlp.Document{{ID: "low"}}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case ev := <-events:
+		t.Fatalf("sub-tau fact delivered: %v (conf %f)", ev.Fact.String(), ev.Fact.Confidence)
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	snap, _, err := sess.Ingest(ctx, []*nlp.Document{{ID: "high"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case ev := <-events:
+		if ev.Fact.Confidence != 0.6 || ev.Version != snap.Version() {
+			t.Fatalf("upgrade event = %v conf %f @v%d, want conf 0.6 @v%d",
+				ev.Fact.String(), ev.Fact.Confidence, ev.Version, snap.Version())
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("confidence upgrade across tau never delivered to watcher")
+	}
+	replay, _, ok := sess.FactsSince(snap.Version() - 1)
+	if !ok || len(replay) != 1 || replay[0].Fact.Confidence != 0.6 {
+		t.Fatalf("FactsSince missed the upgrade: %v ok=%t", replay, ok)
+	}
+}
+
+// TestSessionHistoryDisabled: a negative HistoryLimit turns off replay
+// bookkeeping (FactsSince always reports the horizon) without affecting
+// watchers or snapshots.
+func TestSessionHistoryDisabled(t *testing.T) {
+	b := &stubShardBuilder{shards: map[string]*store.KB{"d": confShard("d", 0.9)}}
+	sess := qkbfly.Open(b, qkbfly.SessionOptions{HistoryLimit: -1})
+	defer sess.Close()
+	ctx := context.Background()
+	events := sess.Watch(ctx)
+
+	snap, _, err := sess.Ingest(ctx, []*nlp.Document{{ID: "d"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Version() != 1 || snap.KB().Len() != 1 {
+		t.Fatalf("snapshot = v%d, %d facts", snap.Version(), snap.KB().Len())
+	}
+	if _, _, ok := sess.FactsSince(0); ok {
+		t.Error("FactsSince should report the horizon with history disabled")
+	}
+	select {
+	case ev := <-events:
+		if ev.Fact.Confidence != 0.9 {
+			t.Fatalf("watcher event %v", ev)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("watcher starved with history disabled")
+	}
+}
+
+// TestBuildKBDuplicateIDsInBatch: the one-shot wrappers must keep the
+// engine's batch semantics for duplicate document IDs — every document in
+// the batch is built and merged in order, none silently dropped.
+func TestBuildKBDuplicateIDsInBatch(t *testing.T) {
+	f := getFixture(t)
+	sys := qkbfly.New(f.res, qkbfly.DefaultConfig())
+	ctx := context.Background()
+
+	makeBatch := func() []*nlp.Document {
+		docs := corpus.Docs(f.world.WikiDataset(2))
+		docs[1].ID = docs[0].ID // distinct content, clashing ID
+		return docs
+	}
+	// Reference: per-document shards merged in order (what engine.Run did).
+	shards1, _, err := sys.BuildShardsContext(ctx, makeBatch()[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards2, _, err := sys.BuildShardsContext(ctx, makeBatch()[1:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := store.New()
+	want.Merge(shards1[0])
+	want.Merge(shards2[0])
+
+	kb, bs, err := sys.BuildKBContext(ctx, makeBatch())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bs.Documents != 2 {
+		t.Errorf("Documents = %d, want 2 (duplicate ID dropped?)", bs.Documents)
+	}
+	if kb.Fingerprint() != want.Fingerprint() {
+		t.Error("duplicate-ID batch differs from ordered shard merge of both documents")
+	}
+}
+
+// pick projects docs through an index selection.
+func pick[T any](xs []T, idx []int) []T {
+	out := make([]T, 0, len(idx))
+	for _, i := range idx {
+		out = append(out, xs[i])
+	}
+	return out
+}
