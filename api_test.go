@@ -35,14 +35,38 @@ func TestBuildKBContextMatchesWrappers(t *testing.T) {
 		}
 	}
 
-	winKB, _ := sys.BuildKBWithCorefWindow(corpus.Docs(f.world.WikiDataset(nDocs)), 2)
+	winKB, _, err := sys.BuildKBContext(ctx, corpus.Docs(f.world.WikiDataset(nDocs)),
+		qkbfly.WithCorefWindow(2))
+	if err != nil {
+		t.Fatal(err)
+	}
 	optKB, _, err := sys.BuildKBContext(ctx, corpus.Docs(f.world.WikiDataset(nDocs)),
 		qkbfly.WithCorefWindow(2), qkbfly.WithParallelism(3))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if winKB.Fingerprint() != optKB.Fingerprint() {
-		t.Error("WithCorefWindow option differs from BuildKBWithCorefWindow")
+		t.Error("WithCorefWindow result depends on parallelism")
+	}
+}
+
+// TestDeprecatedCorefWindowWrapperIsShim: BuildKBWithCorefWindow has no
+// internal callers left — examples and experiments pass WithCorefWindow —
+// and survives purely as a compatibility shim, so it must stay
+// byte-equivalent to the option it wraps.
+func TestDeprecatedCorefWindowWrapperIsShim(t *testing.T) {
+	f := getFixture(t)
+	sys := qkbfly.New(f.res, qkbfly.DefaultConfig())
+	const nDocs = 3
+
+	wrapKB, _ := sys.BuildKBWithCorefWindow(corpus.Docs(f.world.WikiDataset(nDocs)), 2)
+	optKB, _, err := sys.BuildKBContext(context.Background(),
+		corpus.Docs(f.world.WikiDataset(nDocs)), qkbfly.WithCorefWindow(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wrapKB.Fingerprint() != optKB.Fingerprint() {
+		t.Error("deprecated BuildKBWithCorefWindow shim differs from WithCorefWindow option")
 	}
 }
 

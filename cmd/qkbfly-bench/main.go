@@ -35,11 +35,14 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	"qkbfly"
 	"qkbfly/internal/corpus"
 	"qkbfly/internal/engine"
+	"qkbfly/internal/kb/store"
+	"qkbfly/internal/nlp"
 	"qkbfly/internal/nlp/clause"
 	"qkbfly/internal/nlp/depparse"
 	"qkbfly/internal/search"
@@ -49,11 +52,12 @@ import (
 
 // Report is the JSON document the harness emits.
 type Report struct {
-	Config  ConfigInfo   `json:"config"`
-	Cold    ColdResult   `json:"cold"`
-	Warm    WarmResult   `json:"warm"`
-	Ingest  IngestResult `json:"ingest"`
-	Machine MachineInfo  `json:"machine"`
+	Config  ConfigInfo    `json:"config"`
+	Cold    ColdResult    `json:"cold"`
+	Warm    WarmResult    `json:"warm"`
+	Ingest  IngestResult  `json:"ingest"`
+	Sliding SlidingResult `json:"sliding_window"`
+	Machine MachineInfo   `json:"machine"`
 }
 
 // ConfigInfo records what was measured.
@@ -62,6 +66,8 @@ type ConfigInfo struct {
 	Iters       int   `json:"iters"`
 	Parallelism int   `json:"parallelism"`
 	Increments  int   `json:"increments"`
+	Window      int   `json:"window"`
+	Slides      int   `json:"slides"`
 	Seed        int64 `json:"seed"`
 }
 
@@ -110,6 +116,32 @@ type IngestResult struct {
 	FingerprintMatchesBatch bool    `json:"fingerprint_matches_batch"`
 }
 
+// SlidingResult summarizes the SlidingWindowIngest measurements: a
+// session with MaxDocuments = window in steady state, one document
+// sliding in (and one out) per ingest over prebuilt shards, so the
+// numbers isolate the versioning/merge path from the NLP pipeline. The
+// baseline is the flat re-merge of all window shards — what the
+// monolithic store paid on every sliding ingest before the segmented
+// merge tree. The harness enforces the acceptance criteria: per-slide
+// cost at the full window must be >= 3x cheaper than the flat re-merge,
+// must grow sub-linearly in the window size (ratio vs the window/4
+// run), and every published version must fingerprint-match the one-shot
+// merge over the surviving shards.
+type SlidingResult struct {
+	Window                int     `json:"window"`
+	Slides                int     `json:"slides"`
+	NsPerSlide            int64   `json:"ns_per_slide"`
+	AllocsPerSlide        uint64  `json:"allocs_per_slide"`
+	BytesPerSlide         uint64  `json:"bytes_per_slide"`
+	NsFlatRemerge         int64   `json:"ns_flat_remerge"`
+	SpeedupVsRemerge      float64 `json:"speedup_vs_remerge"`
+	SmallWindow           int     `json:"small_window"`
+	NsPerSlideSmall       int64   `json:"ns_per_slide_small"`
+	WindowGrowthRatio     float64 `json:"window_growth_ratio"` // per-slide cost big/small window; linear would be window/small_window
+	FingerprintsChecked   int     `json:"fingerprints_checked"`
+	FingerprintsIdentical bool    `json:"fingerprints_identical"`
+}
+
 // MachineInfo pins the environment the numbers came from.
 type MachineInfo struct {
 	GOOS       string `json:"goos"`
@@ -125,6 +157,8 @@ func main() {
 		iters      = flag.Int("iters", 20, "cold-build iterations to average")
 		par        = flag.Int("parallelism", 0, "engine worker-pool size (0 = one per CPU)")
 		increments = flag.Int("increments", 8, "session increments for the IngestIncrement benchmark")
+		window     = flag.Int("window", 64, "session window for the SlidingWindowIngest benchmark (0 = skip)")
+		slides     = flag.Int("slides", 32, "measured steady-state slides for the SlidingWindowIngest benchmark")
 		seed       = flag.Int64("seed", 1, "world seed")
 		out        = flag.String("out", "BENCH.json", "output JSON path")
 		baseline   = flag.String("baseline", "", "baseline JSON to diff against (e.g. BENCH_PR3.json); regressions beyond -tolerance fail the run")
@@ -270,6 +304,61 @@ func main() {
 		ingest.SpeedupVsRebuild = float64(cold.NsPerBuild) / float64(ingest.NsPerIncrement)
 	}
 
+	// SlidingWindowIngest: steady-state sliding-window sessions over
+	// prebuilt shards, at the full window and at window/4 to expose the
+	// growth law; acceptance criteria asserted below.
+	var sliding SlidingResult
+	if *window > 0 {
+		if *slides < 1 {
+			fatal(fmt.Errorf("-slides must be >= 1 (got %d)", *slides))
+		}
+		small := *window / 4
+		if small < 1 {
+			small = 1
+		}
+		fmt.Fprintf(os.Stderr, "sliding: %d slides at window %d (and %d)...\n", *slides, *window, small)
+		big, err := measureSliding(ctx, sys, w, *window, *slides, effPar)
+		if err != nil {
+			fatal(err)
+		}
+		sm, err := measureSliding(ctx, sys, w, small, *slides, effPar)
+		if err != nil {
+			fatal(err)
+		}
+		sliding = SlidingResult{
+			Window:                *window,
+			Slides:                *slides,
+			NsPerSlide:            big.nsPerSlide,
+			AllocsPerSlide:        big.allocsPerSlide,
+			BytesPerSlide:         big.bytesPerSlide,
+			NsFlatRemerge:         big.nsFlatRemerge,
+			SmallWindow:           small,
+			NsPerSlideSmall:       sm.nsPerSlide,
+			FingerprintsChecked:   big.fpChecked + sm.fpChecked,
+			FingerprintsIdentical: big.fpIdentical && sm.fpIdentical,
+		}
+		if sliding.NsPerSlide > 0 {
+			sliding.SpeedupVsRemerge = float64(sliding.NsFlatRemerge) / float64(sliding.NsPerSlide)
+		}
+		if sliding.NsPerSlideSmall > 0 {
+			sliding.WindowGrowthRatio = float64(sliding.NsPerSlide) / float64(sliding.NsPerSlideSmall)
+		}
+		// Acceptance gates: fingerprint identity is hard; the perf gates
+		// hold with wide margins on any machine (the compared quantities
+		// come from the same run).
+		if !sliding.FingerprintsIdentical {
+			fatal(fmt.Errorf("sliding-window session diverged from the one-shot merge over survivors"))
+		}
+		if sliding.SpeedupVsRemerge < 3 {
+			fatal(fmt.Errorf("per-slide cost at window %d is only %.2fx cheaper than the flat re-merge (need >= 3x)",
+				*window, sliding.SpeedupVsRemerge))
+		}
+		if linear := float64(*window) / float64(small); sliding.WindowGrowthRatio >= 0.75*linear {
+			fatal(fmt.Errorf("per-slide cost grew %.2fx from window %d to %d (linear would be %.0fx; need sub-linear)",
+				sliding.WindowGrowthRatio, small, *window, linear))
+		}
+	}
+
 	// Warm path: a long-lived server answering the same query from cache.
 	actors := w.EntitiesOfType("ACTOR")
 	if len(actors) == 0 {
@@ -305,10 +394,14 @@ func main() {
 	}
 
 	report := Report{
-		Config: ConfigInfo{Docs: *nDocs, Iters: *iters, Parallelism: effPar, Increments: len(chunks), Seed: *seed},
-		Cold:   cold,
-		Warm:   warm,
-		Ingest: ingest,
+		Config: ConfigInfo{
+			Docs: *nDocs, Iters: *iters, Parallelism: effPar,
+			Increments: len(chunks), Window: *window, Slides: *slides, Seed: *seed,
+		},
+		Cold:    cold,
+		Warm:    warm,
+		Ingest:  ingest,
+		Sliding: sliding,
 		Machine: MachineInfo{
 			GOOS: runtime.GOOS, GOARCH: runtime.GOARCH,
 			NumCPU: runtime.NumCPU(), GoVersion: runtime.Version(),
@@ -323,9 +416,11 @@ func main() {
 	if err := os.WriteFile(*out, blob, 0o644); err != nil {
 		fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "cold %.2fms/build (%d allocs, %s), ingest %.2fms/increment (%.1f× rebuild), warm %.1fµs/query (%.0f× cold) -> %s\n",
+	fmt.Fprintf(os.Stderr, "cold %.2fms/build (%d allocs, %s), ingest %.2fms/increment (%.1f× rebuild), slide %.1fµs @W=%d (%.1f× re-merge, growth %.2fx vs %.0fx linear), warm %.1fµs/query (%.0f× cold) -> %s\n",
 		float64(cold.NsPerBuild)/1e6, cold.AllocsPerBuild, humanBytes(cold.BytesPerBuild),
 		float64(ingest.NsPerIncrement)/1e6, ingest.SpeedupVsRebuild,
+		float64(sliding.NsPerSlide)/1e3, sliding.Window, sliding.SpeedupVsRemerge,
+		sliding.WindowGrowthRatio, float64(sliding.Window)/float64(max(sliding.SmallWindow, 1)),
 		float64(warmNS)/1e3, warm.SpeedupVsCold, *out)
 
 	if *baseline != "" {
@@ -333,6 +428,146 @@ func main() {
 			fatal(err)
 		}
 	}
+}
+
+// slidingStats is one window size's SlidingWindowIngest measurement.
+type slidingStats struct {
+	nsPerSlide     int64
+	allocsPerSlide uint64
+	bytesPerSlide  uint64
+	nsFlatRemerge  int64
+	fpChecked      int
+	fpIdentical    bool
+}
+
+// prebuiltBuilder hands a session pre-sealed segments by document ID, so
+// sliding-ingest measurements isolate the versioning and merge path from
+// the NLP pipeline (whose cost is identical under both strategies).
+type prebuiltBuilder struct {
+	segs   map[string]*store.Segment
+	shards map[string]*store.KB
+}
+
+func (b *prebuiltBuilder) BuildShardsContext(ctx context.Context, docs []*nlp.Document, opts ...qkbfly.Option) ([]*store.KB, *qkbfly.BuildStats, error) {
+	out := make([]*store.KB, len(docs))
+	for i, d := range docs {
+		out[i] = b.shards[d.ID]
+	}
+	return out, &qkbfly.BuildStats{Documents: len(docs), Parallelism: 1, PerDocElapsed: make([]time.Duration, len(docs))}, ctx.Err()
+}
+
+func (b *prebuiltBuilder) BuildSegmentsContext(ctx context.Context, docs []*nlp.Document, opts ...qkbfly.Option) ([]*store.Segment, *qkbfly.BuildStats, error) {
+	out := make([]*store.Segment, len(docs))
+	for i, d := range docs {
+		out[i] = b.segs[d.ID]
+	}
+	return out, &qkbfly.BuildStats{Documents: len(docs), Parallelism: 1, PerDocElapsed: make([]time.Duration, len(docs))}, ctx.Err()
+}
+
+// measureSliding drives a MaxDocuments=window session to steady state
+// over prebuilt shards and measures `slides` single-document slides:
+// per-slide wall/allocs/bytes, the flat re-merge baseline over the same
+// surviving shards (the pre-segmented cost of each slide), and the
+// fingerprint identity of every published version against the one-shot
+// merge over the survivors.
+func measureSliding(ctx context.Context, sys *qkbfly.System, w *corpus.World, window, slides, effPar int) (slidingStats, error) {
+	total := window + slides
+	docs, err := slidingDocs(w, total)
+	if err != nil {
+		return slidingStats{}, err
+	}
+	shards, _, err := sys.BuildShardsContext(ctx, docs, qkbfly.WithParallelism(effPar))
+	if err != nil {
+		return slidingStats{}, err
+	}
+	for i, shard := range shards {
+		if shard == nil {
+			return slidingStats{}, fmt.Errorf("sliding: shard %d missing", i)
+		}
+	}
+	ids := make([]string, len(docs))
+	for i, d := range docs {
+		ids[i] = d.ID
+	}
+	segs := engine.SealShards(shards, ids, nil)
+	builder := &prebuiltBuilder{
+		segs:   make(map[string]*store.Segment, total),
+		shards: make(map[string]*store.KB, total),
+	}
+	for i, id := range ids {
+		builder.segs[id] = segs[i]
+		builder.shards[id] = shards[i]
+	}
+
+	sess := qkbfly.Open(builder, qkbfly.SessionOptions{MaxDocuments: window})
+	defer sess.Close()
+	ingest := func(i int) error {
+		_, _, err := sess.Ingest(ctx, []*nlp.Document{{ID: ids[i]}})
+		return err
+	}
+	for i := 0; i < window; i++ {
+		if err := ingest(i); err != nil {
+			return slidingStats{}, err
+		}
+	}
+
+	st := slidingStats{fpIdentical: true}
+	var ms0, ms1 runtime.MemStats
+	for i := window; i < total; i++ {
+		runtime.GC()
+		runtime.ReadMemStats(&ms0)
+		t0 := time.Now()
+		if err := ingest(i); err != nil {
+			return slidingStats{}, err
+		}
+		st.nsPerSlide += time.Since(t0).Nanoseconds()
+		runtime.ReadMemStats(&ms1)
+		st.allocsPerSlide += ms1.Mallocs - ms0.Mallocs
+		st.bytesPerSlide += ms1.TotalAlloc - ms0.TotalAlloc
+
+		// Baseline and invariant, both outside the timed region: the flat
+		// re-merge over the surviving shards is exactly what every slide
+		// cost before the merge tree, and its fingerprint is the one-shot
+		// reference for this published version.
+		surviving := shards[i-window+1 : i+1]
+		t1 := time.Now()
+		flat := engine.MergeShards(surviving)
+		st.nsFlatRemerge += time.Since(t1).Nanoseconds()
+		st.fpChecked++
+		if sess.Snapshot().Fingerprint() != flat.Fingerprint() {
+			st.fpIdentical = false
+		}
+	}
+	n := int64(slides)
+	st.nsPerSlide /= n
+	st.nsFlatRemerge /= n
+	st.allocsPerSlide /= uint64(n)
+	st.bytesPerSlide /= uint64(n)
+	return st, nil
+}
+
+// slidingDocs returns `total` distinct documents for the sliding stream:
+// the wiki dataset first, then further realization variants of the same
+// entities under unique IDs once the dataset runs out (the synthetic
+// world has a bounded census; a sliding stream just needs volume).
+func slidingDocs(w *corpus.World, total int) ([]*nlp.Document, error) {
+	base := w.WikiDataset(total)
+	docs := corpus.Docs(base)
+	for variant := 2000; len(docs) < total; variant++ {
+		for _, gd := range base {
+			// Wiki article IDs are "wiki:<entityID>".
+			v := w.ArticleVariant(strings.TrimPrefix(gd.Doc.ID, "wiki:"), variant, false)
+			v.Doc.ID = fmt.Sprintf("%s#v%d", v.Doc.ID, variant)
+			docs = append(docs, v.Doc)
+			if len(docs) == total {
+				break
+			}
+		}
+		if len(base) == 0 {
+			return nil, fmt.Errorf("sliding: world yields no documents")
+		}
+	}
+	return docs, nil
 }
 
 // chunkBounds splits n documents into k near-equal [start, end) chunks.

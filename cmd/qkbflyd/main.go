@@ -1,8 +1,9 @@
 // Command qkbflyd is the long-lived QKBfly serving daemon: the §6 demo as
 // an HTTP/JSON service. It keeps the background repositories, retrieval
 // index and serving-layer caches (query cache, singleflight, per-document
-// shard cache) resident between queries, so repeated and overlapping
-// queries skip the construction pipeline.
+// segment cache, partial-merge run cache) resident between queries, so
+// repeated and overlapping queries skip both the construction pipeline
+// and the shard merges.
 //
 // Endpoints:
 //
@@ -52,6 +53,7 @@ func main() {
 		par           = flag.Int("parallelism", 0, "engine worker-pool size (0 = one per CPU)")
 		capacity      = flag.Int("cache-capacity", 128, "query-cache entries")
 		shardCapacity = flag.Int("shard-capacity", 1024, "per-document shard-cache entries")
+		runCapacity   = flag.Int("run-capacity", 256, "partial-merge run-cache entries shared by sessions and queries")
 		ttl           = flag.Duration("ttl", 5*time.Minute, "cache entry TTL (0 = no expiry)")
 		drain         = flag.Duration("shutdown-timeout", 10*time.Second, "graceful-shutdown drain window")
 		pprofAddr     = flag.String("pprof", "", "net/http/pprof listen address (e.g. localhost:6060; empty = disabled)")
@@ -90,6 +92,7 @@ func main() {
 	server := serve.New(sys, serve.Options{
 		Capacity:      *capacity,
 		ShardCapacity: *shardCapacity,
+		RunCapacity:   *runCapacity,
 		TTL:           *ttl,
 	})
 	answerer := &qa.System{
@@ -98,10 +101,13 @@ func main() {
 		Index:   idx,
 		Builder: server, // per-question KBs go through the shard cache
 	}
-	// The live session shares the server's shard cache: a document ingested
-	// here is already built when a /kb query retrieves it, and vice versa.
-	// Tau is left 0 so /facts and watchers see every fact; clients filter
-	// with their own ?tau=.
+	// The live session shares the server's segment cache (a document
+	// ingested here is already built when a /kb query retrieves it, and
+	// vice versa) and its run cache (the session merge tree's partial
+	// merges are reusable by query folds over the same documents). A
+	// -session-window slide publishes exactly one version whose /facts
+	// delta is the increment's diff. Tau is left 0 so /facts and watchers
+	// see every fact; clients filter with their own ?tau=.
 	session := server.OpenSession(qkbfly.SessionOptions{
 		MaxDocuments: *window,
 		HistoryLimit: *history,

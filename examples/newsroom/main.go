@@ -60,8 +60,11 @@ func main() {
 		watched <- n
 	}()
 
-	// Stories arrive event by event; each ingest folds only the new
-	// documents and bumps the version.
+	// Stories arrive event by event; each ingest pushes only the new
+	// documents' segments into the session's merge tree and publishes
+	// exactly one version — even when the window slides, the survivors
+	// and the increment land together, and the version's key-based diff
+	// (store.Diff classes) says precisely what changed.
 	for i := range world.Events {
 		ev := &world.Events[i]
 		if i >= 5 {
@@ -78,6 +81,17 @@ func main() {
 		fmt.Printf("== event %d (%s): %q +%d stories -> version %d, %d docs in window, %d facts (%v)\n",
 			ev.ID, ev.Kind, query, len(bs.PerDocElapsed), snap.Version(),
 			len(sess.Docs()), snap.KB().Len(), bs.Elapsed)
+		if snap.Version() != before+1 {
+			fmt.Printf("   BUG: sliding ingest published %d versions\n", snap.Version()-before)
+		}
+		if deltas, _, ok := sess.DeltaSince(before); ok {
+			for _, d := range deltas {
+				if len(d.Removed) > 0 || len(d.Upgraded) > 0 {
+					fmt.Printf("   window slid: +%d facts, -%d rolled out, %d winners changed\n",
+						len(d.Added), len(d.Removed), len(d.Upgraded))
+				}
+			}
+		}
 
 		// Replay exactly what this event added (versions after `before`),
 		// highlighting emerging entities a static KB cannot contain.

@@ -242,6 +242,15 @@ func (e *Engine) RunShards(ctx context.Context, docs []*nlp.Document) ([]*store.
 // skipping nil entries — exactly the deterministic merge Run performs, so
 // interleaving cached shards with freshly-built ones reproduces the KB a
 // cold build would have produced.
+//
+// This is the flat, one-shot expression of the shard merge; the
+// segmented expression of the same fold is store.Tree over SealShards
+// output, which re-brackets the merge into O(log n) partial runs with
+// identical materialized layout (same facts, IDs and entity records —
+// see store.MaterializeRuns). One-shot builds use the flat form because
+// they materialize exactly once; sessions and the serving layer use the
+// tree so increments and evictions touch O(log W) runs instead of
+// re-merging the window.
 func MergeShards(shards []*store.KB) *store.KB {
 	kb := store.New()
 	MergeShardsInto(kb, shards)
@@ -254,14 +263,38 @@ func MergeShards(shards []*store.KB) *store.KB {
 // s1..sk and then sk+1..sn into the same KB yields the state of merging
 // s1..sn in one pass), appending a batch of new shards to a KB that
 // already holds the merge of earlier shards reproduces exactly the KB a
-// one-shot merge of all shards would have produced. Sessions rely on this
-// to fold each ingest increment into a clone of the previous version.
+// one-shot merge of all shards would have produced.
 func MergeShardsInto(dst *store.KB, shards []*store.KB) {
 	for _, shard := range shards {
 		if shard != nil {
 			dst.Merge(shard)
 		}
 	}
+}
+
+// SealShards seals per-document KB shards into immutable store.Segments
+// — the bridge from RunShards output to the segmented substrate sessions
+// and the serving layer merge through. ids supplies each segment's cache
+// identity (use "" for uncacheable shards); times, when non-nil, stamps
+// each segment's pipeline cost for saved-time accounting. Nil shards
+// (not reached before cancellation) yield nil segments at the same
+// positions.
+func SealShards(shards []*store.KB, ids []string, times []time.Duration) []*store.Segment {
+	segs := make([]*store.Segment, len(shards))
+	for i, shard := range shards {
+		if shard == nil {
+			continue
+		}
+		id := ""
+		if i < len(ids) {
+			id = ids[i]
+		}
+		segs[i] = store.SealSegment(shard, id)
+		if times != nil && i < len(times) {
+			segs[i].SetBuildTime(times[i])
+		}
+	}
+	return segs
 }
 
 // worker holds the reusable per-worker stage state: the stage objects

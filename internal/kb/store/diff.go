@@ -1,0 +1,255 @@
+// Key-based fact diffs between KB versions. A Delta captures how one
+// version's content differs from another at dedup-key granularity:
+// facts whose key appears only in the new version (Added), facts whose
+// key disappeared (Removed), and facts present in both whose winning
+// record changed in place (Upgraded — a confidence raise from new
+// evidence, or, after an eviction, the surviving lower-confidence
+// record). Entity records diff the same way.
+//
+// Deltas are the session layer's delta plumbing: watchers receive
+// Added+Upgraded facts, FactsSince replays them, and Apply reconstructs
+// the newer version from the older one — apply(a, Diff(a, b)) is
+// fingerprint-identical to b.
+package store
+
+import "sort"
+
+// Delta is the key-based difference between two KB versions (old → new).
+// All slices are sorted by dedup key (facts) or entity ID, so a delta is
+// deterministic regardless of how the versions were assembled.
+//
+// Delta facts are identified by their content (subject, relation,
+// objects), not by Fact.ID: a fact's ID is local to one materialized
+// KB, so every fact a Delta carries has ID -1. Consumers correlating
+// events across versions should key on the fact's content.
+type Delta struct {
+	// Added holds the new version's facts whose keys the old version did
+	// not contain.
+	Added []Fact
+	// Upgraded holds the new version's record for every key present in
+	// both versions whose Confidence, Source or Pattern changed in place
+	// (including downgrades caused by evicting the previously winning
+	// evidence).
+	Upgraded []Fact
+	// Removed holds the old version's record for every key the new
+	// version no longer contains.
+	Removed []Fact
+
+	// Entity-level changes, keyed by entity ID: records only in the new
+	// version, records whose name/mentions/types/emerging flag changed
+	// (new state), and records only in the old version (old state).
+	AddedEntities   []EntityRecord
+	ChangedEntities []EntityRecord
+	RemovedEntities []EntityRecord
+}
+
+// Empty reports whether the delta carries no changes.
+func (d *Delta) Empty() bool {
+	return len(d.Added) == 0 && len(d.Upgraded) == 0 && len(d.Removed) == 0 &&
+		len(d.AddedEntities) == 0 && len(d.ChangedEntities) == 0 && len(d.RemovedEntities) == 0
+}
+
+// factChanged reports whether the winning record under one key differs
+// between two versions. Key equality already pins the subject, the
+// lowered relation and the objects; only the fields AddFact updates in
+// place can differ.
+func factChanged(old, new *Fact) bool {
+	return old.Confidence != new.Confidence || old.Source != new.Source || old.Pattern != new.Pattern
+}
+
+// entityChanged reports whether two records for the same entity ID
+// differ semantically (mention/type comparison is order-insensitive,
+// matching Fingerprint).
+func entityChanged(old, new *EntityRecord) bool {
+	return old.Name != new.Name || old.Emerging != new.Emerging ||
+		!sameStringSet(old.Mentions, new.Mentions) || !sameStringSet(old.Types, new.Types)
+}
+
+func sameStringSet(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	as := append([]string(nil), a...)
+	bs := append([]string(nil), b...)
+	sort.Strings(as)
+	sort.Strings(bs)
+	for i := range as {
+		if as[i] != bs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Diff computes the key-based delta from old to new. It walks the two
+// KBs' byKey indices directly — O(|old| + |new|) map probes, no key
+// re-derivation — and sorts the result for determinism.
+func Diff(old, new *KB) Delta {
+	var d Delta
+	type keyed struct {
+		key string
+		f   Fact
+	}
+	var added, upgraded, removed []keyed
+	for k, ni := range new.byKey {
+		oi, ok := old.byKey[k]
+		if !ok {
+			added = append(added, keyed{k, new.facts[ni]})
+			continue
+		}
+		if factChanged(&old.facts[oi], &new.facts[ni]) {
+			upgraded = append(upgraded, keyed{k, new.facts[ni]})
+		}
+	}
+	for k, oi := range old.byKey {
+		if _, ok := new.byKey[k]; !ok {
+			removed = append(removed, keyed{k, old.facts[oi]})
+		}
+	}
+	take := func(ks []keyed) []Fact {
+		if len(ks) == 0 {
+			return nil
+		}
+		sort.Slice(ks, func(i, j int) bool { return ks[i].key < ks[j].key })
+		out := make([]Fact, len(ks))
+		for i, kf := range ks {
+			out[i] = kf.f
+			out[i].ID = -1 // deltas identify facts by content, not KB-local ID
+		}
+		return out
+	}
+	d.Added, d.Upgraded, d.Removed = take(added), take(upgraded), take(removed)
+
+	for _, id := range new.order {
+		ne := new.entities[id]
+		oe, ok := old.entities[id]
+		switch {
+		case !ok:
+			d.AddedEntities = append(d.AddedEntities, *ne)
+		case entityChanged(oe, ne):
+			d.ChangedEntities = append(d.ChangedEntities, *ne)
+		}
+	}
+	for _, id := range old.order {
+		if _, ok := new.entities[id]; !ok {
+			d.RemovedEntities = append(d.RemovedEntities, *old.entities[id])
+		}
+	}
+	sortEnts := func(es []EntityRecord) {
+		sort.Slice(es, func(i, j int) bool { return es[i].ID < es[j].ID })
+	}
+	sortEnts(d.AddedEntities)
+	sortEnts(d.ChangedEntities)
+	sortEnts(d.RemovedEntities)
+	return d
+}
+
+// DiffTrees computes the same delta as Diff over the two trees'
+// materialized KBs, without materializing either. changed must contain
+// every leaf segment added to or removed from old to obtain new: only
+// keys (and entity IDs) those segments mention can change winners, so
+// the walk is O(|changed| · log W) point lookups instead of O(window).
+// The session layer uses this to stamp each published version's delta at
+// sliding-ingest cost.
+func DiffTrees(old, new *Tree, changed []*Segment) Delta {
+	var d Delta
+	anon := func(f *Fact) Fact { // segment-local IDs are meaningless; see Delta
+		cp := *f
+		cp.ID = -1
+		return cp
+	}
+	for _, key := range candidateKeys(changed) {
+		of, oldOK := old.Lookup(key)
+		nf, newOK := new.Lookup(key)
+		switch {
+		case newOK && !oldOK:
+			d.Added = append(d.Added, anon(nf))
+		case oldOK && !newOK:
+			d.Removed = append(d.Removed, anon(of))
+		case oldOK && newOK && factChanged(of, nf):
+			d.Upgraded = append(d.Upgraded, anon(nf))
+		}
+	}
+	for _, id := range candidateEntities(changed) {
+		oe, oldOK := old.LookupEntity(id)
+		ne, newOK := new.LookupEntity(id)
+		switch {
+		case newOK && !oldOK:
+			d.AddedEntities = append(d.AddedEntities, ne)
+		case oldOK && !newOK:
+			d.RemovedEntities = append(d.RemovedEntities, oe)
+		case oldOK && newOK && entityChanged(&oe, &ne):
+			d.ChangedEntities = append(d.ChangedEntities, ne)
+		}
+	}
+	return d
+}
+
+// Apply reconstructs the newer version from base: base's facts minus
+// Removed keys, with Upgraded records substituted in place and Added
+// facts appended; entities likewise. apply(a, Diff(a, b)) is
+// fingerprint-identical to b for any two KBs. base is not mutated.
+func (d *Delta) Apply(base *KB) *KB {
+	removed := make(map[string]struct{}, len(d.Removed))
+	for i := range d.Removed {
+		removed[base.factKeyOf(&d.Removed[i])] = struct{}{}
+	}
+	upgraded := make(map[string]*Fact, len(d.Upgraded))
+	for i := range d.Upgraded {
+		upgraded[base.factKeyOf(&d.Upgraded[i])] = &d.Upgraded[i]
+	}
+
+	out := New()
+	keyOf := make([]string, len(base.facts))
+	for k, i := range base.byKey {
+		keyOf[i] = k
+	}
+	removedEnts := make(map[string]struct{}, len(d.RemovedEntities))
+	for i := range d.RemovedEntities {
+		removedEnts[d.RemovedEntities[i].ID] = struct{}{}
+	}
+	changedEnts := make(map[string]*EntityRecord, len(d.ChangedEntities))
+	for i := range d.ChangedEntities {
+		changedEnts[d.ChangedEntities[i].ID] = &d.ChangedEntities[i]
+	}
+	for _, id := range base.order {
+		if _, gone := removedEnts[id]; gone {
+			continue
+		}
+		if ce, ok := changedEnts[id]; ok {
+			out.AddEntity(*ce)
+			continue
+		}
+		out.AddEntity(*base.entities[id])
+	}
+	for i := range d.AddedEntities {
+		out.AddEntity(d.AddedEntities[i])
+	}
+	for i := range base.facts {
+		if _, gone := removed[keyOf[i]]; gone {
+			continue
+		}
+		f := base.facts[i]
+		if uf, ok := upgraded[keyOf[i]]; ok {
+			f.Confidence = uf.Confidence
+			f.Source = uf.Source
+			f.Pattern = uf.Pattern
+		}
+		f.Objects = append([]Value(nil), f.Objects...)
+		out.AddFact(f)
+	}
+	for i := range d.Added {
+		f := d.Added[i]
+		f.Objects = append([]Value(nil), f.Objects...)
+		out.AddFact(f)
+	}
+	return out
+}
+
+// factKeyOf derives a fact's dedup key using the KB's scratch buffer —
+// the same layout AddFact indexes by.
+func (kb *KB) factKeyOf(f *Fact) string {
+	buf := appendFactKey(kb.keyBuf[:0], f)
+	kb.keyBuf = buf
+	return string(buf)
+}

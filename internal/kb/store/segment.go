@@ -1,0 +1,327 @@
+// Segmented substrate of the on-the-fly KB: a Segment is an immutable,
+// sealed unit of KB content — one document's canonicalized shard, or the
+// merge of several adjacent ones. Segments are what the session layer's
+// merge tree (tree.go) is built from: because they are immutable they can
+// be shared freely between versions, sessions and the serving layer's
+// caches, and because their facts carry precomputed dedup keys, merging
+// two segments is a linear sorted join instead of per-fact map probing.
+//
+// The crucial ordering property: a merged segment keeps facts in
+// first-occurrence order (all of the left input's facts, with in-place
+// winner upgrades applied, then the right input's novel facts in their
+// original order) and entities in first-seen order with left-first
+// mention/type unions. That makes segment merging associative in content
+// *and* in layout over an ordered sequence of document shards: folding
+// any adjacency-preserving merge tree over shards s1..sn and then
+// materializing produces exactly the KB that kb.Merge(s1), ...,
+// kb.Merge(sn) produces — same facts in the same slice order with the
+// same IDs, same entity records — which is what keeps every session
+// version fingerprint-identical to a one-shot batch build.
+package store
+
+import (
+	"hash/fnv"
+	"slices"
+	"sort"
+	"time"
+)
+
+// Segment is an immutable, sealed span of KB content. All fields are
+// read-only after sealing; Segments may be shared between goroutines,
+// sessions and caches without synchronization.
+type Segment struct {
+	// id identifies the segment's content for partial-merge caching:
+	// leaf segments are stamped by their builder (document ID + build
+	// options), merged segments derive theirs from their inputs. Empty
+	// means "not cacheable" (e.g. anonymous documents).
+	id string
+	// docs counts the document shards folded into this segment.
+	docs int
+	// buildTime is the pipeline time behind this segment (the sum over
+	// merged inputs) — carried for the serving layer's saved-time
+	// accounting.
+	buildTime time.Duration
+
+	facts []Fact   // first-occurrence order; Objects owned by the segment
+	keys  []string // keys[i] is the dedup key of facts[i]
+	// sorted holds fact indices ordered by key — the join index for
+	// merging and the binary-search index for Lookup.
+	sorted []int32
+
+	ents []EntityRecord // first-seen order; Mentions/Types owned
+}
+
+// SealSegment freezes a KB shard into an immutable Segment. The shard's
+// facts, dedup keys and entity records are deep-copied, so the source KB
+// can keep being mutated (or discarded) afterwards. id is the segment's
+// cache identity ("" = uncacheable).
+func SealSegment(kb *KB, id string) *Segment {
+	s := &Segment{
+		id:     id,
+		docs:   1,
+		facts:  make([]Fact, len(kb.facts)),
+		keys:   make([]string, len(kb.facts)),
+		sorted: make([]int32, len(kb.facts)),
+		ents:   make([]EntityRecord, 0, len(kb.order)),
+	}
+	for i := range kb.facts {
+		f := kb.facts[i]
+		f.Objects = append([]Value(nil), f.Objects...)
+		s.facts[i] = f
+	}
+	// The shard's byKey index already holds every fact's dedup key.
+	for k, i := range kb.byKey {
+		s.keys[i] = k
+	}
+	for i := range s.sorted {
+		s.sorted[i] = int32(i)
+	}
+	sort.Slice(s.sorted, func(a, b int) bool { return s.keys[s.sorted[a]] < s.keys[s.sorted[b]] })
+	for _, eid := range kb.order {
+		e := kb.entities[eid]
+		ec := *e
+		ec.Mentions = append([]string(nil), e.Mentions...)
+		ec.Types = append([]string(nil), e.Types...)
+		s.ents = append(s.ents, ec)
+	}
+	return s
+}
+
+// ID returns the segment's cache identity ("" when uncacheable).
+func (s *Segment) ID() string { return s.id }
+
+// Docs returns the number of document shards folded into the segment.
+func (s *Segment) Docs() int { return s.docs }
+
+// Len returns the number of (deduplicated) facts in the segment.
+func (s *Segment) Len() int { return len(s.facts) }
+
+// BuildTime returns the accumulated pipeline time behind the segment.
+func (s *Segment) BuildTime() time.Duration { return s.buildTime }
+
+// SetBuildTime stamps the pipeline cost the segment represents. It is the
+// one post-seal mutation allowed, intended for the builder that sealed
+// the segment before sharing it; the stamp only feeds saved-time
+// accounting, never content.
+func (s *Segment) SetBuildTime(d time.Duration) { s.buildTime = d }
+
+// Lookup returns the fact stored under a dedup key, if any. The returned
+// pointer aliases the segment's immutable storage — read-only.
+func (s *Segment) Lookup(key string) (*Fact, bool) {
+	i := sort.Search(len(s.sorted), func(i int) bool { return s.keys[s.sorted[i]] >= key })
+	if i < len(s.sorted) && s.keys[s.sorted[i]] == key {
+		return &s.facts[s.sorted[i]], true
+	}
+	return nil, false
+}
+
+// Keys returns the segment's dedup keys in fact order. The slice is the
+// segment's immutable storage — read-only.
+func (s *Segment) Keys() []string { return s.keys }
+
+// Entities returns the segment's entity records in first-seen order. The
+// slice is the segment's immutable storage — read-only.
+func (s *Segment) Entities() []EntityRecord { return s.ents }
+
+// MergeFunc merges two adjacent segments (older left). The serving layer
+// substitutes a caching implementation so partial merges are shared
+// across sessions and queries; MergeSegments is the plain default.
+type MergeFunc func(a, b *Segment) *Segment
+
+// MergeSegments merges two segments, a older than b, into a new immutable
+// segment. Duplicate fact keys resolve exactly like KB.AddFact: the
+// higher confidence wins and a tie breaks toward the lexicographically
+// smaller provenance, with the surviving record keeping the first
+// occurrence's position (and its Relation/Objects spelling — only
+// Confidence, Source and Pattern travel with the winner). The join runs
+// over the precomputed sorted key indices, so the cost is linear in the
+// two segments' sizes with no map probing.
+func MergeSegments(a, b *Segment) *Segment {
+	out := &Segment{
+		id:        combineSegmentIDs(a.id, b.id),
+		docs:      a.docs + b.docs,
+		buildTime: a.buildTime + b.buildTime,
+		facts:     make([]Fact, len(a.facts), len(a.facts)+len(b.facts)),
+		keys:      make([]string, len(a.facts), len(a.facts)+len(b.facts)),
+		sorted:    make([]int32, 0, len(a.facts)+len(b.facts)),
+	}
+	for i := range a.facts {
+		f := a.facts[i]
+		f.Objects = append([]Value(nil), f.Objects...)
+		out.facts[i] = f
+	}
+	copy(out.keys, a.keys)
+
+	// One pass over both sorted key sequences: duplicates resolve in
+	// place at a's position, novel b facts are appended afterwards in
+	// their first-occurrence (b slice) order; the merged sorted index
+	// falls out of the same walk.
+	novel := make([]int32, 0, len(b.facts)) // b fact index -> out fact index, filled below
+	bOut := make([]int32, len(b.facts))     // out index per b fact (novel or dup target)
+	ai, bi := 0, 0
+	for ai < len(a.sorted) && bi < len(b.sorted) {
+		ak, bk := a.keys[a.sorted[ai]], b.keys[b.sorted[bi]]
+		switch {
+		case ak < bk:
+			out.sorted = append(out.sorted, a.sorted[ai])
+			ai++
+		case ak > bk:
+			bOut[b.sorted[bi]] = -1 // novel; out index assigned in append pass
+			bi++
+		default:
+			i, j := a.sorted[ai], b.sorted[bi]
+			af, bf := &out.facts[i], &b.facts[j]
+			if bf.Confidence > af.Confidence ||
+				(bf.Confidence == af.Confidence && provLess(bf.Source, af.Source)) {
+				af.Confidence = bf.Confidence
+				af.Source = bf.Source
+				af.Pattern = bf.Pattern
+			}
+			bOut[j] = i
+			out.sorted = append(out.sorted, i)
+			ai++
+			bi++
+		}
+	}
+	for ; ai < len(a.sorted); ai++ {
+		out.sorted = append(out.sorted, a.sorted[ai])
+	}
+	for ; bi < len(b.sorted); bi++ {
+		bOut[b.sorted[bi]] = -1
+	}
+	// Append b's novel facts in their original order, then splice their
+	// out indices into the sorted walk (the sorted positions of novel
+	// keys are already known from the join: re-walk is O(n) and simpler
+	// than tracking splice points).
+	for j := range b.facts {
+		if bOut[j] != -1 {
+			continue
+		}
+		f := b.facts[j]
+		f.Objects = append([]Value(nil), f.Objects...)
+		bOut[j] = int32(len(out.facts))
+		out.facts = append(out.facts, f)
+		out.keys = append(out.keys, b.keys[j])
+		novel = append(novel, int32(j))
+	}
+	if len(novel) > 0 {
+		// Rebuild the sorted index by merging the existing sorted walk
+		// (which covers a's facts) with the sorted novel keys.
+		sort.Slice(novel, func(x, y int) bool { return b.keys[novel[x]] < b.keys[novel[y]] })
+		merged := make([]int32, 0, len(out.facts))
+		si, ni := 0, 0
+		for si < len(out.sorted) && ni < len(novel) {
+			if out.keys[out.sorted[si]] <= b.keys[novel[ni]] {
+				merged = append(merged, out.sorted[si])
+				si++
+			} else {
+				merged = append(merged, bOut[novel[ni]])
+				ni++
+			}
+		}
+		merged = append(merged, out.sorted[si:]...)
+		for ; ni < len(novel); ni++ {
+			merged = append(merged, bOut[novel[ni]])
+		}
+		out.sorted = merged
+	}
+
+	// Entities: a's records first (deep copies), b's unioned in with
+	// first-seen mention/type order preserved — AddEntity semantics.
+	out.ents = make([]EntityRecord, len(a.ents), len(a.ents)+len(b.ents))
+	idx := make(map[string]int, len(a.ents)+len(b.ents))
+	for i := range a.ents {
+		ec := a.ents[i]
+		ec.Mentions = append([]string(nil), ec.Mentions...)
+		ec.Types = append([]string(nil), ec.Types...)
+		out.ents[i] = ec
+		idx[ec.ID] = i
+	}
+	for i := range b.ents {
+		be := &b.ents[i]
+		j, ok := idx[be.ID]
+		if !ok {
+			ec := *be
+			ec.Mentions = append([]string(nil), be.Mentions...)
+			ec.Types = append([]string(nil), be.Types...)
+			idx[be.ID] = len(out.ents)
+			out.ents = append(out.ents, ec)
+			continue
+		}
+		e := &out.ents[j]
+		for _, m := range be.Mentions {
+			if !contains(e.Mentions, m) {
+				e.Mentions = append(e.Mentions, m)
+			}
+		}
+		for _, t := range be.Types {
+			if !contains(e.Types, t) {
+				e.Types = append(e.Types, t)
+			}
+		}
+	}
+	return out
+}
+
+// CombinedSegmentID returns the cache identity MergeSegments(a, b) would
+// stamp on its result ("" when either input is uncacheable) — what a
+// caching MergeFunc keys its lookups by before paying for the merge.
+func CombinedSegmentID(a, b *Segment) string { return combineSegmentIDs(a.id, b.id) }
+
+// combineSegmentIDs derives a merged segment's cache identity from its
+// inputs. Either input being uncacheable poisons the merge; long
+// identities collapse to a fixed-size content hash so deep merge trees
+// keep O(1)-sized keys.
+func combineSegmentIDs(a, b string) string {
+	if a == "" || b == "" {
+		return ""
+	}
+	id := a + "\x01" + b
+	if len(id) <= 128 {
+		return id
+	}
+	h := fnv.New128a()
+	h.Write([]byte(id))
+	return "h\x02" + string(h.Sum(nil))
+}
+
+// MergeSegment folds a segment into the KB — the materialization step of
+// the segmented store, equivalent to Merge with a KB holding the same
+// content. Object slices are copied; the segment stays immutable.
+func (kb *KB) MergeSegment(s *Segment) {
+	if n := len(s.ents); n > 0 {
+		kb.order = slices.Grow(kb.order, n)
+	}
+	if n := len(s.facts); n > 0 {
+		kb.facts = slices.Grow(kb.facts, n)
+	}
+	for i := range s.ents {
+		kb.AddEntity(s.ents[i])
+	}
+	for i := range s.facts {
+		f := s.facts[i]
+		f.Objects = append(make([]Value, 0, len(f.Objects)), f.Objects...)
+		kb.AddFact(f)
+	}
+}
+
+// MaterializeRuns merges an ordered sequence of segments (oldest first)
+// into a flat KB. Over the runs of a session's merge tree this
+// reproduces, fact for fact and ID for ID, the KB a one-shot
+// document-order Merge over the underlying shards would have built.
+func MaterializeRuns(runs []*Segment) *KB {
+	kb := New()
+	total := 0
+	for _, s := range runs {
+		if s != nil {
+			total += len(s.facts)
+		}
+	}
+	kb.facts = make([]Fact, 0, total)
+	for _, s := range runs {
+		if s != nil {
+			kb.MergeSegment(s)
+		}
+	}
+	return kb
+}

@@ -207,6 +207,21 @@ func (kb *KB) AddFact(f Fact) int {
 	return f.ID
 }
 
+// appendFactKey appends a fact's full dedup key to buf — the same
+// <subject>|<lower(relation)>|<object>... layout AddFact assembles (and
+// must stay in sync with it); AddFact builds the key inline because it
+// also needs the per-field boundaries for the secondary indices.
+func appendFactKey(buf []byte, f *Fact) []byte {
+	buf = appendValueKey(buf, f.Subject)
+	buf = append(buf, '|')
+	buf = intern.AppendLower(buf, f.Relation)
+	for _, o := range f.Objects {
+		buf = append(buf, '|')
+		buf = appendValueKey(buf, o)
+	}
+	return buf
+}
+
 // appendValueKey appends the canonical index key of a value ("e:<id>" or
 // "l:<lowered literal>") to buf.
 func appendValueKey(buf []byte, v Value) []byte {
@@ -375,10 +390,10 @@ func (kb *KB) Merge(other *KB) {
 // Clone returns an independent deep copy of the KB: facts (with their
 // object slices), entity records, insertion order, dedup and field
 // indices, and the fact-ID counter. Continuing to Merge into the clone
-// produces exactly the KB that continuing on the original would have —
-// which is what lets a session fold new shards into a copy while
-// snapshots of the previous version stay immutable (copy-on-write at the
-// ingest boundary).
+// produces exactly the KB that continuing on the original would have.
+// (Session versioning no longer clones — versions are persistent merge
+// trees of immutable segments sharing structure; Clone remains for
+// callers that need a mutable private copy of a shared KB.)
 func (kb *KB) Clone() *KB {
 	cp := &KB{
 		facts:     make([]Fact, len(kb.facts)),

@@ -1,0 +1,251 @@
+// The merge tree: a log-structured, persistent arrangement of segments
+// that makes sliding-window ingestion amortized O(log W) instead of the
+// O(W) flat re-merge a monolithic KB forces.
+//
+// A Tree is an ordered sequence of *runs* (partial merges) over the live
+// per-document segments, oldest first. Appending a document pushes a
+// fresh leaf run and then compacts the tail LSM-style — two adjacent
+// runs of equal leaf count merge into their parent — so a window of W
+// documents is always covered by O(log W) runs and the merge work per
+// push amortizes to O(log W) segment-sized joins. Evicting a document
+// never re-merges anything: the run containing it is *split* back into
+// the retained children along the path to that leaf (O(log W) pointer
+// work), re-exposing already-computed partial merges as runs.
+//
+// Trees are persistent: Push and Remove return a new Tree sharing every
+// unchanged node with the old one, so a session can publish each version
+// as an immutable snapshot with structural sharing instead of deep
+// copies. Because segment merging is associative in content and layout
+// (see segment.go), materializing any tree over live segments yields
+// exactly the flat document-order merge of those segments.
+package store
+
+import "sort"
+
+// treeNode is one run of the merge tree. Leaves hold a single document's
+// segment; internal nodes hold the merge of their two children and
+// retain the children so eviction can split instead of re-merge.
+type treeNode struct {
+	seg    *Segment
+	lo, hi uint64 // arrival-sequence span (inclusive); gaps may be dead
+	leaves int    // live leaf count — the LSM merge weight
+	left   *treeNode
+	right  *treeNode
+}
+
+// Tree is a persistent merge tree over live document segments. The zero
+// value is empty and usable; all methods are read-only on the receiver
+// and return derived trees, so a *Tree (and every snapshot holding one)
+// is safe for concurrent readers without synchronization.
+type Tree struct {
+	runs  []*treeNode // oldest first; spans are disjoint and ascending
+	merge MergeFunc   // nil = MergeSegments
+}
+
+// NewTree returns an empty merge tree whose compactions use merge (nil
+// means the plain MergeSegments). A caching MergeFunc is how the serving
+// layer shares partial merges across sessions and queries.
+func NewTree(merge MergeFunc) *Tree { return &Tree{merge: merge} }
+
+// mergeFn resolves the tree's merge function.
+func (t *Tree) mergeFn() MergeFunc {
+	if t.merge != nil {
+		return t.merge
+	}
+	return MergeSegments
+}
+
+// Len returns the number of live documents in the tree.
+func (t *Tree) Len() int {
+	n := 0
+	for _, r := range t.runs {
+		n += r.leaves
+	}
+	return n
+}
+
+// Runs returns the tree's current partial merges, oldest first.
+func (t *Tree) Runs() []*Segment {
+	out := make([]*Segment, len(t.runs))
+	for i, r := range t.runs {
+		out[i] = r.seg
+	}
+	return out
+}
+
+// FactCount returns the total fact count across runs — an upper bound on
+// the materialized KB's Len (duplicate keys across runs collapse).
+func (t *Tree) FactCount() int {
+	n := 0
+	for _, r := range t.runs {
+		n += len(r.seg.facts)
+	}
+	return n
+}
+
+// Push appends a document segment as the newest leaf under arrival
+// sequence seq (which must exceed every sequence already in the tree)
+// and compacts the tail: while the two newest runs have equal leaf
+// counts they merge into their parent. Returns the derived tree.
+func (t *Tree) Push(seg *Segment, seq uint64) *Tree {
+	runs := make([]*treeNode, len(t.runs), len(t.runs)+1)
+	copy(runs, t.runs)
+	runs = append(runs, &treeNode{seg: seg, lo: seq, hi: seq, leaves: 1})
+	merge := t.mergeFn()
+	for len(runs) >= 2 && runs[len(runs)-2].leaves == runs[len(runs)-1].leaves {
+		a, b := runs[len(runs)-2], runs[len(runs)-1]
+		runs = runs[:len(runs)-2]
+		runs = append(runs, &treeNode{
+			seg:    merge(a.seg, b.seg),
+			lo:     a.lo,
+			hi:     b.hi,
+			leaves: a.leaves + b.leaves,
+			left:   a,
+			right:  b,
+		})
+	}
+	return &Tree{runs: runs, merge: t.merge}
+}
+
+// Remove evicts the leaf with arrival sequence seq. No merging happens:
+// the run containing the leaf is split back into its retained children
+// along the path to the leaf, re-exposing the sibling partial merges as
+// runs in order. Returns the derived tree and whether seq was found.
+func (t *Tree) Remove(seq uint64) (*Tree, bool) {
+	for i, r := range t.runs {
+		if r.lo > seq || seq > r.hi {
+			continue
+		}
+		repl, ok := splitOut(r, seq)
+		if !ok {
+			return t, false // seq fell in a dead gap of this span
+		}
+		runs := make([]*treeNode, 0, len(t.runs)-1+len(repl))
+		runs = append(runs, t.runs[:i]...)
+		runs = append(runs, repl...)
+		runs = append(runs, t.runs[i+1:]...)
+		return &Tree{runs: runs, merge: t.merge}, true
+	}
+	return t, false
+}
+
+// splitOut removes the leaf with sequence seq from the subtree rooted at
+// n, returning the ordered runs that replace n (the siblings along the
+// path to the leaf).
+func splitOut(n *treeNode, seq uint64) ([]*treeNode, bool) {
+	if n.left == nil { // leaf
+		if n.lo == seq {
+			return nil, true
+		}
+		return nil, false
+	}
+	if seq <= n.left.hi {
+		repl, ok := splitOut(n.left, seq)
+		if !ok {
+			return nil, false
+		}
+		return append(repl, n.right), true
+	}
+	repl, ok := splitOut(n.right, seq)
+	if !ok {
+		return nil, false
+	}
+	return append([]*treeNode{n.left}, repl...), true
+}
+
+// Lookup returns the winning fact stored under a dedup key across the
+// tree's runs — the record the materialized KB would hold — resolved by
+// the same rule as KB.AddFact (higher confidence, then smaller
+// provenance). The pointer aliases immutable segment storage.
+func (t *Tree) Lookup(key string) (*Fact, bool) {
+	var win *Fact
+	for _, r := range t.runs {
+		f, ok := r.seg.Lookup(key)
+		if !ok {
+			continue
+		}
+		if win == nil || f.Confidence > win.Confidence ||
+			(f.Confidence == win.Confidence && provLess(f.Source, win.Source)) {
+			win = f
+		}
+	}
+	return win, win != nil
+}
+
+// LookupEntity returns the merged entity record for id across the tree's
+// runs (mention and type unions in first-seen order), as the
+// materialized KB would hold it.
+func (t *Tree) LookupEntity(id string) (EntityRecord, bool) {
+	var out EntityRecord
+	found := false
+	for _, r := range t.runs {
+		for i := range r.seg.ents {
+			e := &r.seg.ents[i]
+			if e.ID != id {
+				continue
+			}
+			if !found {
+				out = *e
+				out.Mentions = append([]string(nil), e.Mentions...)
+				out.Types = append([]string(nil), e.Types...)
+				found = true
+				break
+			}
+			for _, m := range e.Mentions {
+				if !contains(out.Mentions, m) {
+					out.Mentions = append(out.Mentions, m)
+				}
+			}
+			for _, ty := range e.Types {
+				if !contains(out.Types, ty) {
+					out.Types = append(out.Types, ty)
+				}
+			}
+			break
+		}
+	}
+	return out, found
+}
+
+// Materialize flattens the tree into a KB: the runs merge oldest-first,
+// which reproduces the one-shot document-order merge of the underlying
+// shards exactly (same facts, IDs, entities — see segment.go).
+func (t *Tree) Materialize() *KB {
+	return MaterializeRuns(t.Runs())
+}
+
+// candidateKeys collects the distinct fact keys of the given segments in
+// sorted order — the only keys whose winning record can differ between
+// two trees that differ by exactly those segments.
+func candidateKeys(segs []*Segment) []string {
+	seen := make(map[string]struct{})
+	var keys []string
+	for _, s := range segs {
+		for _, k := range s.keys {
+			if _, ok := seen[k]; !ok {
+				seen[k] = struct{}{}
+				keys = append(keys, k)
+			}
+		}
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// candidateEntities collects the distinct entity IDs of the given
+// segments in sorted order.
+func candidateEntities(segs []*Segment) []string {
+	seen := make(map[string]struct{})
+	var ids []string
+	for _, s := range segs {
+		for i := range s.ents {
+			id := s.ents[i].ID
+			if _, ok := seen[id]; !ok {
+				seen[id] = struct{}{}
+				ids = append(ids, id)
+			}
+		}
+	}
+	sort.Strings(ids)
+	return ids
+}

@@ -1,0 +1,158 @@
+package serve_test
+
+import (
+	"context"
+	"testing"
+
+	"qkbfly"
+	"qkbfly/internal/nlp"
+	"qkbfly/internal/serve"
+)
+
+// docsByID builds named fake documents.
+func docsByID(ids ...string) []*nlp.Document {
+	out := make([]*nlp.Document, len(ids))
+	for i, id := range ids {
+		out[i] = &nlp.Document{ID: id, Title: id}
+	}
+	return out
+}
+
+// TestRunCacheSharesPartialMerges: two KBForDocs calls over the same
+// document set share every partial merge — the second call performs zero
+// new merges — and a call over an overlapping set reuses the shared
+// pairwise runs. Content stays identical to a cold fold.
+func TestRunCacheSharesPartialMerges(t *testing.T) {
+	f := &fakeBackend{}
+	srv := serve.New(f, serve.Options{})
+	ctx := context.Background()
+	c := srv.Counters()
+
+	kb1, _, err := srv.KBForDocs(ctx, docsByID("a", "b", "c", "d"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pairwise fold of 4 docs: (a+b), (c+d), (ab+cd) = 3 misses.
+	if got := c.Get(serve.CounterRunMisses); got != 3 {
+		t.Fatalf("run_misses after cold fold = %d, want 3", got)
+	}
+	if got := c.Get(serve.CounterRunHits); got != 0 {
+		t.Fatalf("run_hits after cold fold = %d, want 0", got)
+	}
+
+	kb2, _, err := srv.KBForDocs(ctx, docsByID("a", "b", "c", "d"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Get(serve.CounterRunMisses); got != 3 {
+		t.Errorf("repeat fold missed the run cache (misses %d, want 3)", got)
+	}
+	if got := c.Get(serve.CounterRunHits); got != 3 {
+		t.Errorf("repeat fold run_hits = %d, want 3 (every pair served from cache)", got)
+	}
+	if kb2.Fingerprint() != kb1.Fingerprint() {
+		t.Error("run-cache-served fold differs from cold fold")
+	}
+
+	// Overlapping prefix: (a+b) is shared, (c+e) and the top are new.
+	kb3, _, err := srv.KBForDocs(ctx, docsByID("a", "b", "c", "e"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Get(serve.CounterRunHits); got != 4 {
+		t.Errorf("overlapping fold run_hits = %d, want 4 ((a+b) reused)", got)
+	}
+	if got := c.Get(serve.CounterRunMisses); got != 5 {
+		t.Errorf("overlapping fold run_misses = %d, want 5", got)
+	}
+	if kb3.Fingerprint() == kb1.Fingerprint() {
+		t.Error("distinct document sets folded to the same KB")
+	}
+}
+
+// TestRunCacheSharedWithSessions: the partial merges a server-backed
+// session's merge tree performs land in (and are served from) the same
+// run cache the query path uses.
+func TestRunCacheSharedWithSessions(t *testing.T) {
+	f := &fakeBackend{}
+	srv := serve.New(f, serve.Options{})
+	ctx := context.Background()
+	c := srv.Counters()
+
+	// The session pushes a,b,c,d one by one: its LSM tail compaction
+	// merges (a+b), (c+d) and (ab+cd) — the same runs a pairwise query
+	// fold needs.
+	sess := srv.OpenSession(qkbfly.SessionOptions{})
+	defer sess.Close()
+	for _, id := range []string{"a", "b", "c", "d"} {
+		if _, _, err := sess.Ingest(ctx, docsByID(id)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	misses := c.Get(serve.CounterRunMisses)
+	if misses != 3 {
+		t.Fatalf("session tree compaction run_misses = %d, want 3", misses)
+	}
+
+	kb, _, err := srv.KBForDocs(ctx, docsByID("a", "b", "c", "d"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Get(serve.CounterRunMisses); got != misses {
+		t.Errorf("query after session re-merged (misses %d -> %d); want full run reuse", misses, got)
+	}
+	if got := c.Get(serve.CounterRunHits); got != 3 {
+		t.Errorf("query after session run_hits = %d, want 3 (all session runs reused)", got)
+	}
+	if kb.Fingerprint() != sess.Snapshot().Fingerprint() {
+		t.Error("query fold differs from session version over the same docs")
+	}
+}
+
+// TestInvalidateShardsClearsRuns: invalidating a document also drops the
+// partial merges containing it, so a re-ingest under the same ID cannot
+// fold stale content out of the run cache.
+func TestInvalidateShardsClearsRuns(t *testing.T) {
+	f := &fakeBackend{}
+	srv := serve.New(f, serve.Options{})
+	ctx := context.Background()
+
+	if _, _, err := srv.KBForDocs(ctx, docsByID("a", "b")); err != nil {
+		t.Fatal(err)
+	}
+	if srv.Stats().RunEntries == 0 {
+		t.Fatal("no runs cached by the fold")
+	}
+	if removed := srv.InvalidateShards("a"); removed != 1 {
+		t.Fatalf("InvalidateShards removed %d, want 1", removed)
+	}
+	if got := srv.Stats().RunEntries; got != 0 {
+		t.Errorf("run cache holds %d entries after invalidation, want 0", got)
+	}
+}
+
+// TestInvalidateShardsClearsRunsWithoutLeaf: the run cache must clear
+// even when the document's own leaf segment is no longer in the shard
+// cache (LRU/TTL-evicted after the run was cached) — a stale partial
+// merge under the document's unchanged identity would otherwise serve
+// replaced content.
+func TestInvalidateShardsClearsRunsWithoutLeaf(t *testing.T) {
+	f := &fakeBackend{}
+	// ShardCapacity 1: caching shard "b" evicts leaf "a", but the run
+	// (a+b) stays cached.
+	srv := serve.New(f, serve.Options{ShardCapacity: 1})
+	ctx := context.Background()
+
+	if _, _, err := srv.KBForDocs(ctx, docsByID("a", "b")); err != nil {
+		t.Fatal(err)
+	}
+	if srv.Stats().RunEntries == 0 {
+		t.Fatal("no runs cached by the fold")
+	}
+	if removed := srv.InvalidateShards("a"); removed != 0 {
+		t.Fatalf("leaf unexpectedly still cached (removed %d)", removed)
+	}
+	if got := srv.Stats().RunEntries; got != 0 {
+		t.Errorf("run cache holds %d stale entries after invalidating an evicted leaf, want 0", got)
+	}
+}

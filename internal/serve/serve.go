@@ -9,14 +9,20 @@
 //     with its KB.Fingerprint();
 //   - a singleflight group: concurrent identical queries collapse onto
 //     one engine run and share its result;
-//   - a shard cache: the engine's per-document KB shards are
-//     deterministic, so a query whose retrieved documents were already
-//     processed (by any earlier query) skips the pipeline for them and
-//     goes straight to the deterministic document-order merge.
+//   - a shard cache: the engine's per-document shards are deterministic,
+//     so a query whose retrieved documents were already processed (by
+//     any earlier query, or by a session) skips the pipeline for them.
+//     Shards are cached as sealed, immutable store.Segments — the same
+//     representation session merge trees are made of;
+//   - a run cache: partial merges of adjacent segments are
+//     content-addressed and reused, so overlapping queries, sessions
+//     sliding over the same documents, and repeated KBForDocs calls
+//     share merge work, not just per-document pipeline work.
 //
-// Because the engine's shard merge is order-deterministic, every path —
-// cold build, query-cache hit, singleflight join, shard-cache re-merge —
-// yields a byte-identical KB for the same query.
+// Because segment merging is order- and bracketing-deterministic, every
+// path — cold build, query-cache hit, singleflight join, segment
+// re-merge through any run-cache hit pattern — yields a byte-identical
+// KB for the same query.
 //
 // Reuse is accounted through a stats.CounterSet (hits, misses,
 // inflight joins, shard reuses, evictions, time saved); KBs handed out
@@ -49,6 +55,10 @@ const (
 	// queries; CounterShardMisses counts shards that had to be built.
 	CounterShardHits   = "shard_hits"
 	CounterShardMisses = "shard_misses"
+	// CounterRunHits / CounterRunMisses count partial-merge (multi-shard
+	// run) reuses across sessions and queries.
+	CounterRunHits   = "run_hits"
+	CounterRunMisses = "run_misses"
 	// CounterEngineRuns counts invocations of the construction pipeline
 	// (a warm query performs zero); CounterEngineDocs the documents those
 	// runs processed.
@@ -89,6 +99,9 @@ type Options struct {
 	// ShardCapacity is the maximum number of cached per-document shards;
 	// <= 0 means 1024.
 	ShardCapacity int
+	// RunCapacity is the maximum number of cached partial merges
+	// (multi-shard runs); <= 0 means 256.
+	RunCapacity int
 	// TTL expires cache entries (query and shard) this long after
 	// insertion; 0 means no time-based expiry.
 	TTL time.Duration
@@ -122,21 +135,16 @@ type queryEntry struct {
 	fingerprint string // KB.Fingerprint() at insertion, for identity checks
 }
 
-// shardEntry is one cached per-document shard.
-type shardEntry struct {
-	kb        *store.KB
-	buildTime time.Duration // the per-doc pipeline time the reuse saves
-}
-
 // Server is the long-lived serving layer. It is safe for concurrent use.
 type Server struct {
 	backend  Backend
 	opt      Options
 	counters *stats.CounterSet
 
-	mu      sync.Mutex // guards queries and shards
-	queries *lruCache  // query key -> *queryEntry
-	shards  *lruCache  // doc key  -> *shardEntry
+	mu      sync.Mutex // guards queries, shards and runs
+	queries *lruCache  // query key   -> *queryEntry
+	shards  *lruCache  // doc key     -> *store.Segment (sealed shard)
+	runs    *lruCache  // combined id -> *store.Segment (partial merge)
 	flight  *flightGroup
 }
 
@@ -148,6 +156,9 @@ func New(backend Backend, opt Options) *Server {
 	if opt.ShardCapacity <= 0 {
 		opt.ShardCapacity = 1024
 	}
+	if opt.RunCapacity <= 0 {
+		opt.RunCapacity = 256
+	}
 	if opt.Clock == nil {
 		opt.Clock = time.Now
 	}
@@ -157,6 +168,7 @@ func New(backend Backend, opt Options) *Server {
 		counters: stats.NewCounterSet(),
 		queries:  newLRU(opt.Capacity),
 		shards:   newLRU(opt.ShardCapacity),
+		runs:     newLRU(opt.RunCapacity),
 		flight:   newFlightGroup(),
 	}
 }
@@ -169,14 +181,15 @@ type Snapshot struct {
 	Counters     map[string]int64 `json:"counters"`
 	QueryEntries int              `json:"query_entries"`
 	ShardEntries int              `json:"shard_entries"`
+	RunEntries   int              `json:"run_entries"`
 }
 
 // Stats returns the current counters and cache occupancy.
 func (s *Server) Stats() Snapshot {
 	s.mu.Lock()
-	q, sh := s.queries.len(), s.shards.len()
+	q, sh, rn := s.queries.len(), s.shards.len(), s.runs.len()
 	s.mu.Unlock()
-	return Snapshot{Counters: s.counters.Snapshot(), QueryEntries: q, ShardEntries: sh}
+	return Snapshot{Counters: s.counters.Snapshot(), QueryEntries: q, ShardEntries: sh, RunEntries: rn}
 }
 
 // KB serves the on-the-fly KB for a query: query cache, then
@@ -238,16 +251,26 @@ func (s *Server) KBForDocs(ctx context.Context, docs []*nlp.Document, opts ...qk
 	return s.buildFromShards(ctx, docs, opts)
 }
 
-// buildFromShards assembles the merged KB for docs through the shard
-// cache and compacts the accounting to processed documents.
+// buildFromShards assembles the merged KB for docs through the segment
+// and run caches and compacts the accounting to processed documents.
+// Segments fold by pairwise reduction through the caching merge, so
+// overlapping document sets reuse partial merges, and the final run
+// materializes into the same flat KB a document-order engine merge
+// produces.
 func (s *Server) buildFromShards(ctx context.Context, docs []*nlp.Document, opts []qkbfly.Option) (*store.KB, *qkbfly.BuildStats, error) {
 	start := time.Now()
-	shards, times, bs, buildErr := s.assembleShards(ctx, docs, opts)
+	segs, times, bs, buildErr := s.assembleSegments(ctx, docs, opts)
 	mergeStart := time.Now()
-	kb := engine.MergeShards(shards)
+	live := make([]*store.Segment, 0, len(segs))
+	for _, seg := range segs {
+		if seg != nil {
+			live = append(live, seg)
+		}
+	}
+	kb := store.MaterializeRuns([]*store.Segment{s.foldSegments(live)})
 	bs.StageElapsed.Merge = time.Since(mergeStart)
-	for i, shard := range shards {
-		if shard == nil {
+	for i, seg := range segs {
+		if seg == nil {
 			continue
 		}
 		bs.PerDocElapsed = append(bs.PerDocElapsed, times[i])
@@ -256,28 +279,86 @@ func (s *Server) buildFromShards(ctx context.Context, docs []*nlp.Document, opts
 	return kb, bs, buildErr
 }
 
+// foldSegments reduces an ordered run of segments to one by pairwise
+// merging through the run cache (nil for an empty input). Any bracketing
+// yields identical content; pairwise reduction maximizes sharing with
+// other folds over overlapping subsequences.
+func (s *Server) foldSegments(segs []*store.Segment) *store.Segment {
+	if len(segs) == 0 {
+		return nil
+	}
+	for len(segs) > 1 {
+		next := make([]*store.Segment, 0, (len(segs)+1)/2)
+		for i := 0; i+1 < len(segs); i += 2 {
+			next = append(next, s.MergeSegments(segs[i], segs[i+1]))
+		}
+		if len(segs)%2 == 1 {
+			next = append(next, segs[len(segs)-1])
+		}
+		segs = next
+	}
+	return segs[0]
+}
+
+// MergeSegments is the caching segment merge (qkbfly.SegmentMerger):
+// partial merges are content-addressed by their combined segment
+// identity and reused across sessions and queries. Uncacheable inputs
+// (anonymous documents) merge without touching the cache.
+func (s *Server) MergeSegments(a, b *store.Segment) *store.Segment {
+	key := store.CombinedSegmentID(a, b)
+	if key == "" {
+		return store.MergeSegments(a, b)
+	}
+	if run := s.lookupRun(key); run != nil {
+		s.counters.Add(CounterRunHits, 1)
+		return run
+	}
+	s.counters.Add(CounterRunMisses, 1)
+	m := store.MergeSegments(a, b)
+	s.storeRun(key, m)
+	return m
+}
+
 // BuildShardsContext is the server-side implementation of
-// qkbfly.ShardBuilder: one deterministic KB shard per document, served
-// from the per-document shard cache when possible and built (and cached)
-// otherwise. shards[i] is nil for documents not reached before
-// cancellation; PerDocElapsed is doc-aligned, reporting a cached shard's
-// original build time at its position — the same contract as
+// qkbfly.ShardBuilder: one deterministic KB shard per document,
+// materialized from the segment cache. Sessions prefer
+// BuildSegmentsContext (qkbfly.SegmentBuilder), which hands out the
+// sealed segments directly; this form exists for callers that still
+// want flat per-document KBs and pays one materialization per shard.
+func (s *Server) BuildShardsContext(ctx context.Context, docs []*nlp.Document, opts ...qkbfly.Option) ([]*store.KB, *qkbfly.BuildStats, error) {
+	segs, bs, err := s.BuildSegmentsContext(ctx, docs, opts...)
+	shards := make([]*store.KB, len(segs))
+	for i, seg := range segs {
+		if seg != nil {
+			shards[i] = store.MaterializeRuns([]*store.Segment{seg})
+		}
+	}
+	return shards, bs, err
+}
+
+// BuildSegmentsContext is the server-side implementation of
+// qkbfly.SegmentBuilder: one sealed, immutable segment per document,
+// served from the per-document segment cache when possible and built
+// (and cached) otherwise. segs[i] is nil for documents not reached
+// before cancellation; PerDocElapsed is doc-aligned, reporting a cached
+// segment's original build time at its position — the same contract as
 // engine.RunShards.
 //
 // This is what lets a qkbfly.Session opened on the server (OpenSession)
 // share work with every query and every other session: a document
 // processed anywhere under the same build options folds straight from
-// cache on ingest, and an ingested document warms the cache for later
-// queries.
-func (s *Server) BuildShardsContext(ctx context.Context, docs []*nlp.Document, opts ...qkbfly.Option) ([]*store.KB, *qkbfly.BuildStats, error) {
+// cache on ingest, an ingested document warms the cache for later
+// queries, and the session merge tree's partial merges flow through the
+// server's run cache (MergeSegments).
+func (s *Server) BuildSegmentsContext(ctx context.Context, docs []*nlp.Document, opts ...qkbfly.Option) ([]*store.Segment, *qkbfly.BuildStats, error) {
 	if len(docs) == 0 {
 		return nil, &qkbfly.BuildStats{Parallelism: 1, PerDocElapsed: []time.Duration{}}, ctx.Err()
 	}
 	start := time.Now()
-	shards, times, bs, err := s.assembleShards(ctx, docs, opts)
+	segs, times, bs, err := s.assembleSegments(ctx, docs, opts)
 	bs.PerDocElapsed = times
 	bs.Elapsed = time.Since(start)
-	return shards, bs, err
+	return segs, bs, err
 }
 
 // OpenSession opens an incremental ingestion session whose shard builds
@@ -292,10 +373,13 @@ func (s *Server) OpenSession(opts qkbfly.SessionOptions) *qkbfly.Session {
 	return qkbfly.Open(s, opts)
 }
 
-// InvalidateShards drops every cached shard of the given document IDs
+// InvalidateShards drops every cached segment of the given document IDs
 // (across all build-option variants) and returns how many entries were
 // removed — the cache-coherence hook for replacing a document's content
-// under a reused ID.
+// under a reused ID. Partial merges are content-addressed by their leaf
+// identities, and a deep run's identity may be hashed, so the run cache
+// cannot be invalidated per document: any removal clears it wholesale
+// (it re-warms on the next folds).
 func (s *Server) InvalidateShards(docIDs ...string) int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -306,18 +390,25 @@ func (s *Server) InvalidateShards(docIDs ...string) int {
 			removed++
 		}
 	}
+	// The run cache clears even when no leaf was found: the leaf may have
+	// been LRU- or TTL-evicted after a run containing it was cached, and
+	// a stale run under the document's unchanged identity would otherwise
+	// serve the replaced content.
+	if len(docIDs) > 0 {
+		s.runs = newLRU(s.opt.RunCapacity)
+	}
 	return removed
 }
 
-// assembleShards resolves one shard per document — cache hits first, one
-// backend build for the misses — returning doc-aligned shards and
-// per-document times plus the accounting of the engine work performed.
-// Freshly built shards are cached even when the run was cancelled
-// mid-batch (each processed shard is complete and deterministic); the
-// query-level entry is the caller's decision.
-func (s *Server) assembleShards(ctx context.Context, docs []*nlp.Document, opts []qkbfly.Option) ([]*store.KB, []time.Duration, *qkbfly.BuildStats, error) {
+// assembleSegments resolves one sealed segment per document — cache hits
+// first, one backend build for the misses — returning doc-aligned
+// segments and per-document times plus the accounting of the engine work
+// performed. Freshly built shards are sealed and cached even when the
+// run was cancelled mid-batch (each processed shard is complete and
+// deterministic); the query-level entry is the caller's decision.
+func (s *Server) assembleSegments(ctx context.Context, docs []*nlp.Document, opts []qkbfly.Option) ([]*store.Segment, []time.Duration, *qkbfly.BuildStats, error) {
 	okey := resolveOptions(opts).key()
-	shards := make([]*store.KB, len(docs))
+	segs := make([]*store.Segment, len(docs))
 	times := make([]time.Duration, len(docs))
 	var missing []*nlp.Document
 	var missingIdx []int
@@ -325,15 +416,15 @@ func (s *Server) assembleShards(ctx context.Context, docs []*nlp.Document, opts 
 		// Anonymous documents bypass the cache entirely: an empty ID
 		// cannot identify a shard across requests, and two distinct
 		// anonymous documents must never collide on one cache key.
-		var se *shardEntry
+		var se *store.Segment
 		if d.ID != "" {
 			se = s.lookupShard(shardKey(d.ID, okey))
 		}
 		if se != nil {
-			shards[i] = se.kb
-			times[i] = se.buildTime
+			segs[i] = se
+			times[i] = se.BuildTime()
 			s.counters.Add(CounterShardHits, 1)
-			s.counters.Add(CounterSavedShardNS, int64(se.buildTime))
+			s.counters.Add(CounterSavedShardNS, int64(se.BuildTime()))
 		} else {
 			s.counters.Add(CounterShardMisses, 1)
 			missing = append(missing, d)
@@ -360,21 +451,30 @@ func (s *Server) assembleShards(ctx context.Context, docs []*nlp.Document, opts 
 				continue // not reached before cancellation
 			}
 			i := missingIdx[j]
-			shards[i] = shard
 			if mbs != nil && j < len(mbs.PerDocElapsed) {
 				times[i] = mbs.PerDocElapsed[j]
 			}
+			// Anonymous documents seal with an empty identity: their
+			// segment is usable (and mergeable) but never cached, and
+			// never poisons a run-cache key.
+			id := ""
 			if docs[i].ID != "" {
-				s.storeShard(shardKey(docs[i].ID, okey), &shardEntry{kb: shard, buildTime: times[i]})
+				id = shardKey(docs[i].ID, okey)
+			}
+			seg := store.SealSegment(shard, id)
+			seg.SetBuildTime(times[i])
+			segs[i] = seg
+			if id != "" {
+				s.storeShard(id, seg)
 			}
 		}
 	}
-	for _, shard := range shards {
-		if shard != nil {
+	for _, seg := range segs {
+		if seg != nil {
 			bs.Documents++
 		}
 	}
-	return shards, times, bs, buildErr
+	return segs, times, bs, buildErr
 }
 
 // recordQueryHit credits the saved engine work of one query-cache hit.
@@ -413,7 +513,7 @@ func (s *Server) storeQuery(key string, e *queryEntry) {
 	s.mu.Unlock()
 }
 
-func (s *Server) lookupShard(key string) *shardEntry {
+func (s *Server) lookupShard(key string) *store.Segment {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	v, added, ok := s.shards.get(key)
@@ -425,14 +525,37 @@ func (s *Server) lookupShard(key string) *shardEntry {
 		s.counters.Add(CounterShardTTLEvictions, 1)
 		return nil
 	}
-	return v.(*shardEntry)
+	return v.(*store.Segment)
 }
 
-func (s *Server) storeShard(key string, e *shardEntry) {
+func (s *Server) storeShard(key string, seg *store.Segment) {
 	s.mu.Lock()
-	if _, evicted := s.shards.put(key, e, s.opt.Clock()); evicted {
+	if _, evicted := s.shards.put(key, seg, s.opt.Clock()); evicted {
 		s.counters.Add(CounterShardEvictions, 1)
 	}
+	s.mu.Unlock()
+}
+
+// lookupRun / storeRun mirror the shard accessors for cached partial
+// merges (no dedicated TTL-eviction counter: runs rebuild cheaply from
+// live segments and expire under the same TTL).
+func (s *Server) lookupRun(key string) *store.Segment {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, added, ok := s.runs.get(key)
+	if !ok {
+		return nil
+	}
+	if s.expired(added) {
+		s.runs.remove(key)
+		return nil
+	}
+	return v.(*store.Segment)
+}
+
+func (s *Server) storeRun(key string, seg *store.Segment) {
+	s.mu.Lock()
+	s.runs.put(key, seg, s.opt.Clock())
 	s.mu.Unlock()
 }
 

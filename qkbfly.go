@@ -145,24 +145,22 @@ func WithParallelism(n int) Option { return engine.WithParallelism(n) }
 // (the paper fixes 5 backward sentences; the ablation study varies it).
 func WithCorefWindow(w int) Option { return engine.WithCorefWindow(w) }
 
-// BuildKBContext builds the on-the-fly KB over the documents as a
-// one-shot session: open, ingest the whole batch, hand back the final
-// snapshot's KB. The result is deterministic — any parallelism level, and
-// any partitioning of the same documents into ingest increments, produces
-// the same KB. Cancelling the context stops the build early; the KB over
-// the already-processed document prefix is returned with ctx.Err().
+// BuildKBContext builds the on-the-fly KB over the documents in one
+// shot: the staged engine runs the batch and merges the per-document
+// shards flat, in document order. The result is deterministic — any
+// parallelism level, and any partitioning of the same documents into
+// Session ingest increments, produces the same KB (the session's merge
+// tree is an associative re-bracketing of the same shard merge).
+// Cancelling the context stops the build early; the KB over the
+// already-processed document prefix is returned with ctx.Err().
 //
 // Long-lived callers that feed documents incrementally should hold a
-// Session (OpenSession) instead of re-running one-shot builds. Facts
-// below the configured τ are still stored; use FilterTau or
+// Session (OpenSession) instead of re-running one-shot builds: a session
+// pays O(log W) merge work per increment where a rebuild pays O(W).
+// Facts below the configured τ are still stored; use FilterTau or
 // store.Query.MinConf to distill.
 func (s *System) BuildKBContext(ctx context.Context, docs []*nlp.Document, opts ...Option) (*store.KB, *BuildStats, error) {
-	// HistoryLimit < 0: a one-shot session has no watchers and no replay
-	// readers, so delta bookkeeping is skipped on this hot path.
-	sess := Open(s, SessionOptions{BuildOptions: opts, HistoryLimit: -1})
-	defer sess.Close()
-	snap, bs, err := sess.Ingest(ctx, docs)
-	return snap.KB(), bs, err
+	return engine.New(s.engineConfig(), opts...).Run(ctx, docs)
 }
 
 // BuildKB is BuildKBContext with a background context — the original

@@ -25,6 +25,23 @@ type ShardBuilder interface {
 	BuildShardsContext(ctx context.Context, docs []*nlp.Document, opts ...Option) ([]*store.KB, *BuildStats, error)
 }
 
+// SegmentBuilder is the sealed-shard variant of ShardBuilder: one
+// immutable store.Segment per document. A Session prefers this interface
+// when its builder implements it (a *serve.Server does), so sealing work
+// is shared through the server's segment cache; otherwise the session
+// seals the ShardBuilder's KB shards itself.
+type SegmentBuilder interface {
+	BuildSegmentsContext(ctx context.Context, docs []*nlp.Document, opts ...Option) ([]*store.Segment, *BuildStats, error)
+}
+
+// SegmentMerger lets a builder supply the merge function for the
+// session's merge tree. A *serve.Server implements it with a caching
+// merge, so the partial merges of one session's tree are shared with
+// other sessions and with query-path re-merges over the same documents.
+type SegmentMerger interface {
+	MergeSegments(a, b *store.Segment) *store.Segment
+}
+
 // SessionOptions configure an ingestion session.
 type SessionOptions struct {
 	// BuildOptions are applied to every Ingest's shard build (co-reference
@@ -34,20 +51,18 @@ type SessionOptions struct {
 	BuildOptions []Option
 	// MaxDocuments bounds the rolling window: when an ingest pushes the
 	// session past this many documents, the oldest are evicted (arrival
-	// order) and the KB is deterministically re-merged. 0 means unlimited.
-	// A window slide re-merges all surviving shards — O(window) merge work
-	// per sliding ingest, which is cheap relative to the pipeline (merging
-	// a shard costs ~10% of building it) but not free; size the window to
-	// the corpus you actually query.
+	// order) in the same published version as the increment. A window
+	// slide touches only the O(log W) merge-tree runs on the eviction and
+	// insertion paths — not the whole window — so per-ingest cost grows
+	// sub-linearly in the window size. 0 means unlimited.
 	MaxDocuments int
 	// Tau is the confidence threshold for Watch delivery: watchers receive
 	// facts with Confidence >= Tau. System.OpenSession defaults it to the
 	// system's configured τ; 0 delivers everything.
 	Tau float64
-	// HistoryLimit caps how many versions of added-fact deltas are kept
-	// for FactsSince; 0 means 1024. A negative limit disables history
-	// entirely (FactsSince always reports the horizon; Watch still works)
-	// — the one-shot BuildKB* wrappers use that to skip delta bookkeeping.
+	// HistoryLimit caps how many versions of fact diffs are kept for
+	// FactsSince; 0 means 1024. A negative limit disables history
+	// entirely (FactsSince always reports the horizon; Watch still works).
 	// Readers older than the horizon are told to restart from a full
 	// snapshot.
 	HistoryLimit int
@@ -58,26 +73,38 @@ type SessionOptions struct {
 }
 
 // FactEvent is one fact landing in (or being replayed from) a session,
-// stamped with the version that introduced it.
+// stamped with the version that introduced it. The fact is identified
+// by its content — Fact.ID is -1, since IDs are local to one
+// materialized KB (see store.Delta).
 type FactEvent struct {
 	Version uint64     `json:"version"`
 	Fact    store.Fact `json:"fact"`
 }
 
-// Snapshot is an immutable view of a session's KB at one version. The KB
-// is never mutated after the snapshot is taken — subsequent ingests fold
-// into a copy — so it is safe to query concurrently with ongoing
-// ingestion, for as long as the caller likes. Treat it as read-only; it
-// is shared with the session's history and other snapshot holders.
+// Snapshot is an immutable view of a session's KB at one version: a
+// merge tree of immutable segments sharing structure with neighboring
+// versions. It is safe to query concurrently with ongoing ingestion, for
+// as long as the caller likes. The flat KB view is materialized lazily
+// on first use and cached, so holding (or fingerprinting) snapshots of
+// versions nobody queries costs no merge work.
 type Snapshot struct {
-	kb      *store.KB
+	tree    *store.Tree
 	version uint64
+	kbOnce  sync.Once
+	kb      *store.KB
 	fpOnce  sync.Once
 	fp      string
 }
 
-// KB returns the snapshot's knowledge base (read-only by convention).
-func (s *Snapshot) KB() *store.KB { return s.kb }
+// KB returns the snapshot's knowledge base (read-only by convention; it
+// is shared with every other caller of this snapshot's KB). The first
+// call materializes the version's merge tree into a flat KB — exactly
+// the KB a one-shot BuildKBContext over the surviving documents in
+// arrival order would build.
+func (s *Snapshot) KB() *store.KB {
+	s.kbOnce.Do(func() { s.kb = s.tree.Materialize() })
+	return s.kb
+}
 
 // Version returns the monotonic session version this snapshot captures.
 // Version 0 is the empty pre-ingest state.
@@ -87,14 +114,15 @@ func (s *Snapshot) Version() uint64 { return s.version }
 // computed once per snapshot and cached — the identity a one-shot
 // BuildKBContext over the same surviving documents would produce.
 func (s *Snapshot) Fingerprint() string {
-	s.fpOnce.Do(func() { s.fp = s.kb.Fingerprint() })
+	s.fpOnce.Do(func() { s.fp = s.KB().Fingerprint() })
 	return s.fp
 }
 
-// versionDelta records the facts a version added, for FactsSince replay.
+// versionDelta records the key-based diff a version introduced, for
+// FactsSince replay.
 type versionDelta struct {
 	version uint64
-	facts   []store.Fact
+	delta   store.Delta
 }
 
 // watcher is one Watch subscription.
@@ -105,27 +133,37 @@ type watcher struct {
 }
 
 // Session is a long-lived handle for incremental on-the-fly KB
-// construction: documents stream in through Ingest, every increment folds
-// the new documents' shards into a fresh immutable version, old documents
-// roll out through Evict (or the MaxDocuments window), and Snapshot hands
-// out any-time-consistent views that remain valid while ingestion
-// continues. It is safe for concurrent use; shard builds run outside the
-// session lock, so queries against snapshots never wait on the pipeline.
+// construction: documents stream in through Ingest, every increment
+// pushes the new documents' segments into the version's merge tree, old
+// documents roll out through Evict (or the MaxDocuments window), and
+// Snapshot hands out any-time-consistent views that remain valid while
+// ingestion continues. It is safe for concurrent use; shard builds run
+// outside the session lock, so queries against snapshots never wait on
+// the pipeline.
+//
+// Versions are a merge tree of immutable per-document segments
+// (store.Tree): consecutive versions share all unchanged partial merges,
+// an ingest or eviction touches only O(log W) runs, and a sliding-window
+// ingest (increment + eviction) publishes exactly one version whose
+// watcher delta is the key-based diff between the two trees.
 //
 // The invariant tying it to the batch API: after any sequence of ingests
 // and evictions, the session KB is fingerprint-identical to one
-// BuildKBContext over the surviving documents in arrival order — both
-// paths merge the same deterministic per-document shards in the same
-// order.
+// BuildKBContext over the surviving documents in arrival order — the
+// merge tree is an associative re-bracketing of the same deterministic
+// per-document shards.
 type Session struct {
-	builder ShardBuilder
-	opt     SessionOptions
+	builder    ShardBuilder
+	segBuilder SegmentBuilder // non-nil when builder implements it
+	opt        SessionOptions
 
 	mu       sync.Mutex
-	docIDs   []string             // arrival order (session keys)
-	shards   map[string]*store.KB // session key -> deterministic shard
-	cur      *Snapshot            // current version; immutable once set
-	history  []versionDelta       // added facts per version, newest last
+	docIDs   []string                  // arrival order (session keys)
+	segs     map[string]*store.Segment // session key -> sealed segment
+	seqs     map[string]uint64         // session key -> tree arrival sequence
+	nextSeq  uint64
+	cur      *Snapshot      // current version; immutable once set
+	history  []versionDelta // per-version diffs, newest last
 	watchers map[int]*watcher
 	nextW    int
 	anonSeq  int // synthetic keys for documents without IDs
@@ -133,8 +171,8 @@ type Session struct {
 }
 
 // Open starts a session over a shard builder (a *System, or a
-// *serve.Server for cache-shared shards). The zero SessionOptions give an
-// unbounded, un-thresholded session.
+// *serve.Server for cache-shared shards and partial merges). The zero
+// SessionOptions give an unbounded, un-thresholded session.
 func Open(b ShardBuilder, opts SessionOptions) *Session {
 	if opts.HistoryLimit == 0 {
 		opts.HistoryLimit = 1024
@@ -142,13 +180,22 @@ func Open(b ShardBuilder, opts SessionOptions) *Session {
 	if opts.WatchBuffer <= 0 {
 		opts.WatchBuffer = 256
 	}
-	return &Session{
+	var merge store.MergeFunc
+	if m, ok := b.(SegmentMerger); ok {
+		merge = m.MergeSegments
+	}
+	s := &Session{
 		builder:  b,
 		opt:      opts,
-		shards:   make(map[string]*store.KB),
-		cur:      &Snapshot{kb: store.New(), version: 0},
+		segs:     make(map[string]*store.Segment),
+		seqs:     make(map[string]uint64),
+		cur:      &Snapshot{tree: store.NewTree(merge), version: 0},
 		watchers: make(map[int]*watcher),
 	}
+	if sb, ok := b.(SegmentBuilder); ok {
+		s.segBuilder = sb
+	}
+	return s
 }
 
 // OpenSession opens an incremental ingestion session on the system,
@@ -171,22 +218,48 @@ func (s *Session) sessionKey(d *nlp.Document) string {
 	return fmt.Sprintf("\x00anon:%d", s.anonSeq)
 }
 
-// Ingest feeds documents into the session: only documents not already
-// present (by ID) are built — through the session's ShardBuilder, so a
-// server-backed session reuses cached shards — and their shards fold into
-// a fresh version in arrival order. Documents are annotated in place, as
-// in BuildKBContext; pass doc.Clone() to keep originals pristine.
+// buildSegments runs the session's builder over the new documents and
+// returns one sealed segment per document (nil where the build was
+// cancelled first). Outside the session lock.
 //
-// The returned Snapshot is the post-fold version (after window eviction,
-// when MaxDocuments is set) and the BuildStats account the engine work of
-// this increment, with the fold time in StageElapsed.Merge. Cancelling
-// the context stops the build early: the already-processed prefix still
-// folds, unprocessed documents are not registered, and ctx.Err() is
-// returned. Re-ingesting a present document is a no-op. To replace a
-// document's content under the same ID, Evict it first — and if the
-// session's builder caches shards (a *serve.Server), also invalidate
-// them (Server.InvalidateShards; the daemon's /evict does both), since
-// the shard cache assumes an ID identifies immutable content.
+// Fallback-sealed segments carry no cache identity: a correct identity
+// must encode both immutable content (anonymous documents have none)
+// and the build options, which only a SegmentBuilder like *serve.Server
+// knows how to key. An empty identity keeps a caching SegmentMerger
+// from ever content-addressing runs by ambiguous session keys.
+func (s *Session) buildSegments(ctx context.Context, docs []*nlp.Document) ([]*store.Segment, *BuildStats, error) {
+	if s.segBuilder != nil {
+		return s.segBuilder.BuildSegmentsContext(ctx, docs, s.opt.BuildOptions...)
+	}
+	shards, bs, err := s.builder.BuildShardsContext(ctx, docs, s.opt.BuildOptions...)
+	var times []time.Duration
+	if bs != nil {
+		times = bs.PerDocElapsed
+	}
+	return engine.SealShards(shards, nil, times), bs, err
+}
+
+// Ingest feeds documents into the session: only documents not already
+// present (by ID) are built — through the session's builder, so a
+// server-backed session reuses cached segments — and their segments are
+// pushed into the merge tree in arrival order. When MaxDocuments is set
+// and the batch overflows the window, the oldest documents are evicted
+// in the same step: survivors + increment publish as exactly one
+// version, and watchers receive the increment's facts (plus any in-place
+// winner changes) as that version's diff. Documents are annotated in
+// place, as in BuildKBContext; pass doc.Clone() to keep originals
+// pristine.
+//
+// The returned Snapshot is the post-fold version and the BuildStats
+// account the engine work of this increment, with the tree fold time in
+// StageElapsed.Merge. Cancelling the context stops the build early: the
+// already-processed prefix still folds, unprocessed documents are not
+// registered, and ctx.Err() is returned. Re-ingesting a present document
+// is a no-op. To replace a document's content under the same ID, Evict
+// it first — and if the session's builder caches shards (a
+// *serve.Server), also invalidate them (Server.InvalidateShards; the
+// daemon's /evict does both), since the cache assumes an ID identifies
+// immutable content.
 func (s *Session) Ingest(ctx context.Context, docs []*nlp.Document) (*Snapshot, *BuildStats, error) {
 	// Select the documents that need building. Keys for anonymous docs are
 	// assigned here; presence is re-checked at fold time (a concurrent
@@ -203,7 +276,7 @@ func (s *Session) Ingest(ctx context.Context, docs []*nlp.Document) (*Snapshot, 
 	)
 	for _, d := range docs {
 		key := s.sessionKey(d)
-		if _, present := s.shards[key]; present {
+		if _, present := s.segs[key]; present {
 			continue // already in the session: re-ingest is a no-op
 		}
 		if inBatch[key] {
@@ -222,7 +295,7 @@ func (s *Session) Ingest(ctx context.Context, docs []*nlp.Document) (*Snapshot, 
 	s.mu.Unlock()
 
 	start := time.Now()
-	shards, bs, err := s.builder.BuildShardsContext(ctx, newDocs, s.opt.BuildOptions...)
+	segs, bs, err := s.buildSegments(ctx, newDocs)
 	if bs == nil {
 		bs = &BuildStats{Parallelism: 1, PerDocElapsed: []time.Duration{}}
 	}
@@ -233,104 +306,124 @@ func (s *Session) Ingest(ctx context.Context, docs []*nlp.Document) (*Snapshot, 
 		return s.cur, bs, ErrSessionClosed
 	}
 
-	// Fold the built shards into a clone of the current version
-	// (copy-on-write at the ingest boundary: handed-out snapshots stay
-	// immutable), compacting the accounting to processed documents —
-	// exactly what engine.Run does for a batch.
+	// Fold the sealed segments into the merge tree, compacting the
+	// accounting to processed documents — exactly what engine.Run does
+	// for a batch. An empty increment, a cancelled build (all-nil
+	// segments) or a batch fully raced away by a concurrent Ingest does
+	// not publish a version (and keeps zeroed stage timings, matching the
+	// engine's empty-batch short-circuit).
 	perDoc := bs.PerDocElapsed
 	bs.PerDocElapsed = make([]time.Duration, 0, len(newDocs))
-	// Select the shards that will actually fold before paying for the
-	// copy-on-write clone: an empty increment, a cancelled build (all-nil
-	// shards) or a batch fully raced away by a concurrent Ingest must not
-	// deep-copy the KB (and keeps zeroed stage timings, matching the
-	// engine's empty-batch short-circuit).
 	var foldIdx []int
-	for i, shard := range shards {
-		if shard == nil {
+	for i, seg := range segs {
+		if seg == nil {
 			continue // not reached before cancellation
 		}
-		if _, present := s.shards[newKeys[i]]; present {
+		if _, present := s.segs[newKeys[i]]; present {
 			continue // a concurrent Ingest won the race for this document
 		}
 		foldIdx = append(foldIdx, i)
 	}
 	if len(foldIdx) > 0 {
 		mergeStart := time.Now()
-		base := s.cur.kb.Clone()
-		oldLen := base.Len()
-		oldFacts := s.cur.kb.Facts() // pre-merge view, for in-place-update detection
+		oldTree := s.cur.tree
+		tree := oldTree
+		changed := make([]*store.Segment, 0, len(foldIdx))
 		for _, i := range foldIdx {
-			base.Merge(shards[i])
-			s.shards[newKeys[i]] = shards[i]
-			s.docIDs = append(s.docIDs, newKeys[i])
+			key := newKeys[i]
+			seq := s.nextSeq
+			s.nextSeq++
+			tree = tree.Push(segs[i], seq)
+			s.segs[key] = segs[i]
+			s.seqs[key] = seq
+			s.docIDs = append(s.docIDs, key)
+			changed = append(changed, segs[i])
 			if i < len(perDoc) {
 				bs.PerDocElapsed = append(bs.PerDocElapsed, perDoc[i])
 			}
 		}
-		bs.StageElapsed.Merge = time.Since(mergeStart)
-		// The version delta — the appended facts plus every pre-existing
-		// fact the merge updated in place (the dedup path raises
-		// confidence or replaces provenance on a key hit; without the
-		// update scan a fact upgraded across a watcher's threshold by a
-		// later increment would never be delivered) — is only computed
-		// when someone can observe it, so the one-shot wrappers (history
-		// disabled, no watchers) skip the copy entirely.
-		var added []store.Fact
-		if s.opt.HistoryLimit > 0 || len(s.watchers) > 0 {
-			added = append([]store.Fact(nil), base.Facts()[oldLen:]...)
-			merged := base.Facts()
-			for i := 0; i < oldLen; i++ {
-				if merged[i].Confidence != oldFacts[i].Confidence || merged[i].Source != oldFacts[i].Source {
-					added = append(added, merged[i])
-				}
-			}
-		}
-		s.advanceLocked(base, added)
+		// Window overflow evicts inside the same version: survivors +
+		// increment publish once, and the diff below carries exactly what
+		// this sliding ingest changed.
 		if s.opt.MaxDocuments > 0 && len(s.docIDs) > s.opt.MaxDocuments {
-			s.evictLocked(s.docIDs[:len(s.docIDs)-s.opt.MaxDocuments])
+			over := len(s.docIDs) - s.opt.MaxDocuments
+			tree, changed = s.dropLocked(tree, s.docIDs[:over], changed)
+			s.docIDs = append([]string(nil), s.docIDs[over:]...)
 		}
+		bs.StageElapsed.Merge = time.Since(mergeStart)
+		// The version's diff is only computed when someone can observe it,
+		// so sessions with history disabled and no watchers skip it.
+		var delta store.Delta
+		if s.opt.HistoryLimit > 0 || len(s.watchers) > 0 {
+			delta = store.DiffTrees(oldTree, tree, changed)
+		}
+		s.advanceLocked(tree, delta)
 	}
 	bs.Elapsed = time.Since(start)
 	return s.cur, bs, err
 }
 
-// advanceLocked publishes kb as the next version, recording and fanning
-// out the facts it added. Callers hold s.mu.
-func (s *Session) advanceLocked(kb *store.KB, added []store.Fact) {
+// dropLocked removes the given session keys from the tree and the
+// session maps, appending their segments to changed. Callers hold s.mu
+// and fix up s.docIDs themselves.
+func (s *Session) dropLocked(tree *store.Tree, victims []string, changed []*store.Segment) (*store.Tree, []*store.Segment) {
+	for _, id := range victims {
+		seg, ok := s.segs[id]
+		if !ok {
+			continue
+		}
+		tree, _ = tree.Remove(s.seqs[id])
+		changed = append(changed, seg)
+		delete(s.segs, id)
+		delete(s.seqs, id)
+	}
+	return tree, changed
+}
+
+// advanceLocked publishes tree as the next version, recording its diff
+// and fanning the added and in-place-changed facts out to watchers.
+// Callers hold s.mu.
+func (s *Session) advanceLocked(tree *store.Tree, delta store.Delta) {
 	v := s.cur.version + 1
-	s.cur = &Snapshot{kb: kb, version: v}
+	s.cur = &Snapshot{tree: tree, version: v}
 	if s.opt.HistoryLimit > 0 {
-		s.history = append(s.history, versionDelta{version: v, facts: added})
+		s.history = append(s.history, versionDelta{version: v, delta: delta})
 		if over := len(s.history) - s.opt.HistoryLimit; over > 0 {
 			s.history = append([]versionDelta(nil), s.history[over:]...)
 		}
 	}
-	if len(added) == 0 || len(s.watchers) == 0 {
+	if len(s.watchers) == 0 || (len(delta.Added) == 0 && len(delta.Upgraded) == 0) {
 		return
 	}
 watchers:
 	for id, w := range s.watchers {
-		for _, f := range added {
-			if f.Confidence < w.min {
-				continue
-			}
-			select {
-			case w.ch <- FactEvent{Version: v, Fact: f}:
-			default:
-				// The watcher is a full buffer behind: drop it rather than
-				// blocking ingestion (lagging-consumer semantics).
-				s.removeWatcherLocked(id)
-				continue watchers
+		for _, facts := range [2][]store.Fact{delta.Added, delta.Upgraded} {
+			for _, f := range facts {
+				if f.Confidence < w.min {
+					continue
+				}
+				select {
+				case w.ch <- FactEvent{Version: v, Fact: f}:
+				default:
+					// The watcher is a full buffer behind: drop it rather than
+					// blocking ingestion (lagging-consumer semantics).
+					s.removeWatcherLocked(id)
+					continue watchers
+				}
 			}
 		}
 	}
 }
 
 // Evict removes documents from the session (by document ID) and
-// deterministically re-merges the surviving shards in arrival order into
-// a fresh version. Unknown IDs are ignored; the removed count is
-// returned. Eviction can only narrow the fact set (a subset of shards
-// yields a subset of fact keys), so no Watch events are emitted.
+// publishes the surviving window as a fresh version. No re-merge
+// happens: the merge tree splits the affected runs back into their
+// retained partial merges (O(log W) pointer work). Unknown IDs are
+// ignored; the removed count is returned. Watchers receive no events for
+// removed facts, but a surviving fact whose winning confidence or
+// provenance changes because its better evidence was evicted is
+// delivered at its new state (it appears in the version's diff as
+// Upgraded).
 func (s *Session) Evict(docIDs ...string) (*Snapshot, int) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -341,36 +434,42 @@ func (s *Session) Evict(docIDs ...string) (*Snapshot, int) {
 	return s.cur, removed
 }
 
-// evictLocked removes the given session keys and republishes the re-merge
-// of the survivors, returning how many documents were removed. It is a
-// no-op (no version bump) when nothing matched. Callers hold s.mu.
+// evictLocked removes the given session keys and publishes the derived
+// tree, returning how many documents were removed. It is a no-op (no
+// version bump) when nothing matched. Callers hold s.mu.
 func (s *Session) evictLocked(victims []string) int {
-	removed := 0
 	gone := make(map[string]bool, len(victims))
 	for _, id := range victims {
-		if _, ok := s.shards[id]; ok && !gone[id] {
+		if _, ok := s.segs[id]; ok {
 			gone[id] = true
-			delete(s.shards, id)
-			removed++
 		}
 	}
-	if removed == 0 {
+	if len(gone) == 0 {
 		return 0
 	}
-	survivors := s.docIDs[:0]
-	ordered := make([]*store.KB, 0, len(s.docIDs)-removed)
+	oldTree := s.cur.tree
+	tree := oldTree
+	var changed []*store.Segment
+	survivors := make([]string, 0, len(s.docIDs)-len(gone))
+	for _, id := range s.docIDs {
+		if !gone[id] {
+			survivors = append(survivors, id)
+		}
+	}
+	victimKeys := make([]string, 0, len(gone))
 	for _, id := range s.docIDs {
 		if gone[id] {
-			continue
+			victimKeys = append(victimKeys, id)
 		}
-		survivors = append(survivors, id)
-		ordered = append(ordered, s.shards[id])
 	}
+	tree, changed = s.dropLocked(tree, victimKeys, changed)
 	s.docIDs = survivors
-	kb := store.New()
-	engine.MergeShardsInto(kb, ordered)
-	s.advanceLocked(kb, nil)
-	return removed
+	var delta store.Delta
+	if s.opt.HistoryLimit > 0 || len(s.watchers) > 0 {
+		delta = store.DiffTrees(oldTree, tree, changed)
+	}
+	s.advanceLocked(tree, delta)
+	return len(gone)
 }
 
 // Snapshot returns the current immutable version. It never blocks on an
@@ -392,13 +491,15 @@ func (s *Session) Docs() []string {
 	return append([]string(nil), s.docIDs...)
 }
 
-// FactsSince replays the facts added after version v, in version order,
-// unfiltered (callers apply their own confidence threshold). cur is the
-// session version the replay is complete up to: combined with a Watch
-// subscription attached beforehand, skipping live events with
-// Version <= cur resumes the stream without gaps or duplicates. ok is
-// false when v predates the retained history horizon — the caller should
-// restart from a full Snapshot instead.
+// FactsSince replays the fact diffs of the versions after v, in version
+// order: each version contributes its added facts followed by its
+// in-place-changed facts (at their new state), unfiltered — callers
+// apply their own confidence threshold. cur is the session version the
+// replay is complete up to: combined with a Watch subscription attached
+// beforehand, skipping live events with Version <= cur resumes the
+// stream without gaps or duplicates. ok is false when v predates the
+// retained history horizon — the caller should restart from a full
+// Snapshot instead.
 func (s *Session) FactsSince(v uint64) (events []FactEvent, cur uint64, ok bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -416,20 +517,48 @@ func (s *Session) FactsSince(v uint64) (events []FactEvent, cur uint64, ok bool)
 		if d.version <= v {
 			continue
 		}
-		for _, f := range d.facts {
+		for _, f := range d.delta.Added {
+			events = append(events, FactEvent{Version: d.version, Fact: f})
+		}
+		for _, f := range d.delta.Upgraded {
 			events = append(events, FactEvent{Version: d.version, Fact: f})
 		}
 	}
 	return events, s.cur.version, true
 }
 
+// DeltaSince returns the full key-based diffs (including removals and
+// entity changes) of the versions after v, newest last, under the same
+// horizon contract as FactsSince — the raw material for consumers that
+// mirror the KB rather than append to it.
+func (s *Session) DeltaSince(v uint64) (deltas []store.Delta, cur uint64, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if v >= s.cur.version {
+		return nil, s.cur.version, true
+	}
+	horizon := s.cur.version
+	if len(s.history) > 0 {
+		horizon = s.history[0].version - 1
+	}
+	if v < horizon {
+		return nil, s.cur.version, false
+	}
+	for _, d := range s.history {
+		if d.version > v {
+			deltas = append(deltas, d.delta)
+		}
+	}
+	return deltas, s.cur.version, true
+}
+
 // Watch subscribes to facts with Confidence >= the session τ as they
 // land, stamped with the version that introduced them. The channel closes
 // when ctx is cancelled, the session closes, or the subscriber lags a
 // full buffer behind ingestion. Events replay nothing: use FactsSince to
-// catch up, then Watch for the live tail. An ingest that upgrades an
-// existing fact in place (higher confidence from new evidence) delivers
-// that fact again at its new confidence.
+// catch up, then Watch for the live tail. An ingest (or eviction) that
+// changes an existing fact's winning record in place delivers that fact
+// again at its new state.
 func (s *Session) Watch(ctx context.Context) <-chan FactEvent {
 	return s.WatchMin(ctx, s.opt.Tau)
 }

@@ -167,6 +167,198 @@ func TestSessionRollingWindow(t *testing.T) {
 	}
 }
 
+// TestSessionSlidingIngestSinglePublish: an Ingest that overflows the
+// MaxDocuments window must publish exactly one version — survivors +
+// increment in one step — and watchers must receive the increment's
+// facts as that version's delta. Regression test: the sliding path used
+// to publish two versions (fold, then evict re-merge), double-counting
+// version bumps and splitting the delta.
+func TestSessionSlidingIngestSinglePublish(t *testing.T) {
+	b := &stubShardBuilder{shards: map[string]*store.KB{}}
+	for _, id := range []string{"d0", "d1", "d2", "d3", "d4"} {
+		kb := store.New()
+		kb.AddEntity(store.EntityRecord{ID: "E_" + id, Name: id, Mentions: []string{id}})
+		kb.AddFact(store.Fact{
+			Subject:    store.Value{EntityID: "E_" + id},
+			Relation:   "mentions",
+			Objects:    []store.Value{{Literal: id}},
+			Confidence: 0.9,
+			Source:     store.Provenance{DocID: id},
+		})
+		b.shards[id] = kb
+	}
+	sess := qkbfly.Open(b, qkbfly.SessionOptions{MaxDocuments: 2, Tau: -1})
+	defer sess.Close()
+	ctx := context.Background()
+	events := sess.Watch(ctx)
+
+	mkDocs := func(ids ...string) []*nlp.Document {
+		out := make([]*nlp.Document, len(ids))
+		for i, id := range ids {
+			out[i] = &nlp.Document{ID: id}
+		}
+		return out
+	}
+	// Fill the window: v1.
+	snap, _, err := sess.Ingest(ctx, mkDocs("d0", "d1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Version() != 1 {
+		t.Fatalf("fill published version %d, want 1", snap.Version())
+	}
+	drain := func(n int) []qkbfly.FactEvent {
+		t.Helper()
+		got := make([]qkbfly.FactEvent, 0, n)
+		for len(got) < n {
+			select {
+			case ev := <-events:
+				got = append(got, ev)
+			case <-time.After(5 * time.Second):
+				t.Fatalf("watcher delivered %d/%d events", len(got), n)
+			}
+		}
+		return got
+	}
+	drain(2)
+
+	// Sliding ingest: d2 arrives, d0 must roll out — exactly ONE version.
+	snap, _, err = sess.Ingest(ctx, mkDocs("d2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Version() != 2 {
+		t.Fatalf("sliding ingest published version %d, want 2 (exactly one bump)", snap.Version())
+	}
+	if got := sess.Docs(); len(got) != 2 || got[0] != "d1" || got[1] != "d2" {
+		t.Fatalf("window = %v, want [d1 d2]", got)
+	}
+	// The watcher delta is the increment's fact, stamped with the single
+	// published version.
+	ev := drain(1)[0]
+	if ev.Version != 2 || ev.Fact.Source.DocID != "d2" {
+		t.Fatalf("delta event = %v@v%d, want d2's fact @v2", ev.Fact.String(), ev.Version)
+	}
+	select {
+	case extra := <-events:
+		t.Fatalf("unexpected extra event %v@v%d (double publish?)", extra.Fact.String(), extra.Version)
+	case <-time.After(50 * time.Millisecond):
+	}
+	// FactsSince sees the same single-version delta.
+	replay, _, ok := sess.FactsSince(1)
+	if !ok || len(replay) != 1 || replay[0].Version != 2 || replay[0].Fact.Source.DocID != "d2" {
+		t.Fatalf("FactsSince(1) = %v ok=%t, want exactly d2's fact @v2", replay, ok)
+	}
+
+	// A multi-document sliding ingest also publishes once.
+	snap, _, err = sess.Ingest(ctx, mkDocs("d3", "d4"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Version() != 3 {
+		t.Fatalf("multi-doc sliding ingest published version %d, want 3", snap.Version())
+	}
+	evs := drain(2)
+	for _, ev := range evs {
+		if ev.Version != 3 {
+			t.Fatalf("multi-doc delta stamped v%d, want 3", ev.Version)
+		}
+	}
+}
+
+// TestSessionSlidingWindowEveryVersionMatchesBatch: under a sliding
+// MaxDocuments window, EVERY published version must fingerprint-match a
+// one-shot BuildKBContext over exactly the surviving documents in
+// arrival order — not just the final state (run with -race).
+func TestSessionSlidingWindowEveryVersionMatchesBatch(t *testing.T) {
+	f := getFixture(t)
+	sys := qkbfly.New(f.res, qkbfly.DefaultConfig())
+	ctx := context.Background()
+	const nDocs, window = 12, 4
+
+	sess := sys.OpenSession(qkbfly.SessionOptions{MaxDocuments: window})
+	defer sess.Close()
+	docs := corpus.Docs(f.world.WikiDataset(nDocs))
+	lastVersion := uint64(0)
+	for i, d := range docs {
+		snap, _, err := sess.Ingest(ctx, []*nlp.Document{d})
+		if err != nil {
+			t.Fatalf("ingest %s: %v", d.ID, err)
+		}
+		if snap.Version() != lastVersion+1 {
+			t.Fatalf("ingest %d published version %d, want %d (single publish per slide)",
+				i, snap.Version(), lastVersion+1)
+		}
+		lastVersion = snap.Version()
+		lo := 0
+		if i+1 > window {
+			lo = i + 1 - window
+		}
+		fresh := corpus.Docs(f.world.WikiDataset(nDocs))
+		wantKB, _, err := sys.BuildKBContext(ctx, fresh[lo:i+1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if snap.Fingerprint() != wantKB.Fingerprint() {
+			t.Fatalf("version %d differs from one-shot build over window [%d:%d]",
+				snap.Version(), lo, i+1)
+		}
+	}
+}
+
+// TestSessionRandomizedScheduleEveryVersionMatchesBatch: randomized
+// ingest/evict schedules, checked per published version against one-shot
+// builds over the survivors (run with -race) — the segmented store's
+// fingerprint invariant.
+func TestSessionRandomizedSchedule(t *testing.T) {
+	f := getFixture(t)
+	sys := qkbfly.New(f.res, qkbfly.DefaultConfig())
+	ctx := context.Background()
+	const nDocs = 10
+
+	for _, seed := range []int64{5, 21} {
+		rng := rand.New(rand.NewSource(seed))
+		sess := sys.OpenSession(qkbfly.SessionOptions{MaxDocuments: 5})
+		var surviving []string
+		next := 0
+		for step := 0; step < 8; step++ {
+			if next < nDocs && (len(surviving) == 0 || rng.Intn(3) > 0) {
+				k := 1 + rng.Intn(2)
+				if next+k > nDocs {
+					k = nDocs - next
+				}
+				docs := corpus.Docs(f.world.WikiDataset(nDocs))[next : next+k]
+				if _, _, err := sess.Ingest(ctx, docs); err != nil {
+					t.Fatalf("seed %d: ingest: %v", seed, err)
+				}
+				next += k
+			} else {
+				victims := []string{surviving[rng.Intn(len(surviving))]}
+				sess.Evict(victims...)
+			}
+			surviving = sess.Docs()
+			// Reference build over the survivors in arrival order.
+			fresh := corpus.Docs(f.world.WikiDataset(nDocs))
+			byID := make(map[string]*nlp.Document, len(fresh))
+			for _, d := range fresh {
+				byID[d.ID] = d
+			}
+			var ref []*nlp.Document
+			for _, id := range surviving {
+				ref = append(ref, byID[id])
+			}
+			wantKB, _, err := sys.BuildKBContext(ctx, ref)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sess.Snapshot().Fingerprint() != wantKB.Fingerprint() {
+				t.Fatalf("seed %d step %d: session differs from one-shot over %v", seed, step, surviving)
+			}
+		}
+		sess.Close()
+	}
+}
+
 // TestSessionSnapshotImmutable: a snapshot taken before further ingests
 // and evictions must not change underneath its holder.
 func TestSessionSnapshotImmutable(t *testing.T) {
