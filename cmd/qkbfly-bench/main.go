@@ -3,9 +3,14 @@
 // canonicalize → merge pipeline over the sample corpus), the warm serving
 // path (query-cache hit), and the incremental session-ingest path
 // (IngestIncrement: per-increment wall/allocs of a session fed the corpus
-// in chunks, against the full-rebuild cost), and writes the numbers as
-// JSON so PRs can be diffed against the committed baselines
-// (BENCH_PR3.json, BENCH_PR4.json).
+// in chunks, against the full-rebuild cost), the sliding-window fold
+// (SlidingWindowIngest), and the streaming pattern-query engine
+// (PatternQuery: a data-derived 3-clause join at the full window — cold
+// stream vs materialize-then-scan, self-gated at >= 10x with the rows
+// checked against the scan reference, plus warm result-cache hits and
+// per-delta standing-watch evaluation), and writes the numbers as JSON
+// so PRs can be diffed against the committed baselines (BENCH_PR3.json
+// through BENCH_PR6.json).
 //
 // Reported per cold build: wall-clock ns, allocations and bytes (from
 // runtime.MemStats deltas), and the per-stage CPU breakdown from the
@@ -35,6 +40,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
 	"strings"
 	"time"
 
@@ -45,6 +51,7 @@ import (
 	"qkbfly/internal/nlp"
 	"qkbfly/internal/nlp/clause"
 	"qkbfly/internal/nlp/depparse"
+	"qkbfly/internal/query"
 	"qkbfly/internal/search"
 	"qkbfly/internal/serve"
 	"qkbfly/internal/stats"
@@ -57,6 +64,7 @@ type Report struct {
 	Warm    WarmResult    `json:"warm"`
 	Ingest  IngestResult  `json:"ingest"`
 	Sliding SlidingResult `json:"sliding_window"`
+	Pattern PatternResult `json:"pattern_query"`
 	Machine MachineInfo   `json:"machine"`
 }
 
@@ -140,6 +148,28 @@ type SlidingResult struct {
 	WindowGrowthRatio     float64 `json:"window_growth_ratio"` // per-slide cost big/small window; linear would be window/small_window
 	FingerprintsChecked   int     `json:"fingerprints_checked"`
 	FingerprintsIdentical bool    `json:"fingerprints_identical"`
+}
+
+// PatternResult summarizes the PatternQuery measurements: a 3-clause
+// pattern (derived at runtime from the session's KB, since the
+// synthetic world's canonical relations vary by seed) evaluated three
+// ways against a steady-state window-W session. The streaming engine
+// (cold: plan + execute over the merge tree's sorted runs) is gated
+// against the pre-engine query path — materialize the tree, then scan
+// the flat KB — at >= 10x; the warm path measures a serve-layer
+// (pattern, content-identity) cache hit, and the delta path measures
+// the standing-query incremental evaluation of one sliding ingest.
+type PatternResult struct {
+	Window            int     `json:"window"`
+	Pattern           string  `json:"pattern"`
+	Rows              int     `json:"rows"`
+	NsColdStream      int64   `json:"ns_cold_stream"`
+	NsScanMaterialize int64   `json:"ns_scan_materialize"`
+	SpeedupVsScan     float64 `json:"speedup_vs_scan"`
+	NsWarmCacheHit    int64   `json:"ns_warm_cache_hit"`
+	DeltaSlides       int     `json:"delta_slides"`
+	NsDeltaEval       int64   `json:"ns_delta_eval"`
+	RowsMatchScan     bool    `json:"rows_match_scan"`
 }
 
 // MachineInfo pins the environment the numbers came from.
@@ -393,6 +423,27 @@ func main() {
 		warm.SpeedupVsCold = float64(cold.NsPerBuild) / float64(warmNS)
 	}
 
+	// PatternQuery: the streaming engine vs scan-after-materialize at the
+	// full session window, plus the cached and incremental paths.
+	var pattern PatternResult
+	if *window > 0 {
+		fmt.Fprintf(os.Stderr, "pattern: 3-clause query at window %d...\n", *window)
+		pattern, err = measurePattern(ctx, sys, srv, w, *window, effPar)
+		if err != nil {
+			fatal(err)
+		}
+		// Acceptance gates: the streamed rows must match the
+		// materialize-then-scan reference exactly, and streaming must beat
+		// it by >= 10x (both sides measured in this same run).
+		if !pattern.RowsMatchScan {
+			fatal(fmt.Errorf("pattern query rows diverge from the materialize-then-scan reference"))
+		}
+		if pattern.SpeedupVsScan < 10 {
+			fatal(fmt.Errorf("streaming pattern query is only %.2fx faster than scan-after-materialize at window %d (need >= 10x)",
+				pattern.SpeedupVsScan, *window))
+		}
+	}
+
 	report := Report{
 		Config: ConfigInfo{
 			Docs: *nDocs, Iters: *iters, Parallelism: effPar,
@@ -402,6 +453,7 @@ func main() {
 		Warm:    warm,
 		Ingest:  ingest,
 		Sliding: sliding,
+		Pattern: pattern,
 		Machine: MachineInfo{
 			GOOS: runtime.GOOS, GOARCH: runtime.GOARCH,
 			NumCPU: runtime.NumCPU(), GoVersion: runtime.Version(),
@@ -416,12 +468,14 @@ func main() {
 	if err := os.WriteFile(*out, blob, 0o644); err != nil {
 		fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "cold %.2fms/build (%d allocs, %s), ingest %.2fms/increment (%.1f× rebuild), slide %.1fµs @W=%d (%.1f× re-merge, growth %.2fx vs %.0fx linear), warm %.1fµs/query (%.0f× cold) -> %s\n",
+	fmt.Fprintf(os.Stderr, "cold %.2fms/build (%d allocs, %s), ingest %.2fms/increment (%.1f× rebuild), slide %.1fµs @W=%d (%.1f× re-merge, growth %.2fx vs %.0fx linear), warm %.1fµs/query (%.0f× cold), pattern %.1fµs stream (%.0f× scan+materialize, hit %.1fµs, delta %.1fµs) -> %s\n",
 		float64(cold.NsPerBuild)/1e6, cold.AllocsPerBuild, humanBytes(cold.BytesPerBuild),
 		float64(ingest.NsPerIncrement)/1e6, ingest.SpeedupVsRebuild,
 		float64(sliding.NsPerSlide)/1e3, sliding.Window, sliding.SpeedupVsRemerge,
 		sliding.WindowGrowthRatio, float64(sliding.Window)/float64(max(sliding.SmallWindow, 1)),
-		float64(warmNS)/1e3, warm.SpeedupVsCold, *out)
+		float64(warmNS)/1e3, warm.SpeedupVsCold,
+		float64(pattern.NsColdStream)/1e3, pattern.SpeedupVsScan,
+		float64(pattern.NsWarmCacheHit)/1e3, float64(pattern.NsDeltaEval)/1e3, *out)
 
 	if *baseline != "" {
 		if err := compareBaseline(*baseline, *tolerance, *checkNS, cold); err != nil {
@@ -544,6 +598,244 @@ func measureSliding(ctx context.Context, sys *qkbfly.System, w *corpus.World, wi
 	st.allocsPerSlide /= uint64(n)
 	st.bytesPerSlide /= uint64(n)
 	return st, nil
+}
+
+// measurePattern benchmarks the pattern-query engine against a
+// steady-state window-W session over prebuilt shards: cold plan+stream
+// per call, the scan-after-materialize reference (what answering the
+// same query cost before the engine: materialize the merge tree, then
+// scan the flat KB), a serve-layer result-cache hit, and the
+// incremental EvalDelta cost of single-document slides.
+func measurePattern(ctx context.Context, sys *qkbfly.System, srv *serve.Server, w *corpus.World, window, effPar int) (PatternResult, error) {
+	const deltaSlides = 8
+	total := window + deltaSlides
+	docs, err := slidingDocs(w, total)
+	if err != nil {
+		return PatternResult{}, err
+	}
+	shards, _, err := sys.BuildShardsContext(ctx, docs, qkbfly.WithParallelism(effPar))
+	if err != nil {
+		return PatternResult{}, err
+	}
+	ids := make([]string, len(docs))
+	for i, d := range docs {
+		ids[i] = d.ID
+	}
+	segs := engine.SealShards(shards, ids, nil)
+	builder := &prebuiltBuilder{
+		segs:   make(map[string]*store.Segment, total),
+		shards: make(map[string]*store.KB, total),
+	}
+	for i, id := range ids {
+		builder.segs[id] = segs[i]
+		builder.shards[id] = shards[i]
+	}
+	sess := qkbfly.Open(builder, qkbfly.SessionOptions{MaxDocuments: window})
+	defer sess.Close()
+	for i := 0; i < window; i++ {
+		if _, _, err := sess.Ingest(ctx, []*nlp.Document{{ID: ids[i]}}); err != nil {
+			return PatternResult{}, err
+		}
+	}
+	snap := sess.Snapshot()
+	tree := snap.Tree()
+
+	p, err := derivePattern(snap.KB()) // materializes once, outside every timed region
+	if err != nil {
+		return PatternResult{}, err
+	}
+	res := PatternResult{Window: window, Pattern: p.String(), DeltaSlides: deltaSlides}
+
+	// Correctness before speed: the streamed answer must equal the
+	// materialize-then-scan reference (same bindings, any order).
+	it, err := query.Run(tree, p)
+	if err != nil {
+		return PatternResult{}, err
+	}
+	streamed := it.Collect()
+	res.Rows = len(streamed)
+	res.RowsMatchScan = sameRowKeys(streamed, query.ScanKB(snap.KB(), p))
+
+	// Cold: full plan + execute per call, straight off the tree's runs.
+	const coldIters = 300
+	t0 := time.Now()
+	for i := 0; i < coldIters; i++ {
+		it, err := query.Run(tree, p)
+		if err != nil {
+			return PatternResult{}, err
+		}
+		for {
+			if _, ok := it.Next(); !ok {
+				break
+			}
+		}
+	}
+	res.NsColdStream = time.Since(t0).Nanoseconds() / coldIters
+
+	// Reference: materialize the tree, scan the flat KB — the only way to
+	// answer a pattern before the engine existed.
+	const scanIters = 20
+	t0 = time.Now()
+	for i := 0; i < scanIters; i++ {
+		kb := tree.Materialize()
+		query.ScanKB(kb, p)
+	}
+	res.NsScanMaterialize = time.Since(t0).Nanoseconds() / scanIters
+	if res.NsColdStream > 0 {
+		res.SpeedupVsScan = float64(res.NsScanMaterialize) / float64(res.NsColdStream)
+	}
+
+	// Warm: the serve layer's (pattern, content identity) result cache.
+	if _, _, err := srv.QueryPattern(ctx, snap, p); err != nil { // prime
+		return PatternResult{}, err
+	}
+	const hitIters = 2000
+	t0 = time.Now()
+	for i := 0; i < hitIters; i++ {
+		_, cached, err := srv.QueryPattern(ctx, snap, p)
+		if err != nil {
+			return PatternResult{}, err
+		}
+		if !cached {
+			return PatternResult{}, fmt.Errorf("pattern warm path missed the result cache")
+		}
+	}
+	res.NsWarmCacheHit = time.Since(t0).Nanoseconds() / hitIters
+
+	// Incremental: what a standing watch pays per sliding ingest —
+	// EvalDelta seeded by the slide's diff, not a re-run of the query.
+	var deltaNS int64
+	for i := window; i < total; i++ {
+		prev := sess.Snapshot().Version()
+		if _, _, err := sess.Ingest(ctx, []*nlp.Document{{ID: ids[i]}}); err != nil {
+			return PatternResult{}, err
+		}
+		deltas, _, ok := sess.DeltaSince(prev)
+		if !ok {
+			return PatternResult{}, fmt.Errorf("pattern: slide %d fell behind the history horizon", i)
+		}
+		cur := sess.Snapshot().Tree()
+		t0 := time.Now()
+		for _, d := range deltas {
+			query.EvalDelta(cur, p, d)
+		}
+		deltaNS += time.Since(t0).Nanoseconds()
+	}
+	res.NsDeltaEval = deltaNS / deltaSlides
+	return res, nil
+}
+
+// derivePattern builds a 3-clause conjunctive pattern guaranteed to
+// have at least one answer in kb. The synthetic world's canonicalized
+// relation names vary with the seed, so the pattern is derived from the
+// data: preferably a join chain (an entity with an entity-valued fact
+// whose object has facts of its own), falling back to a star over one
+// subject with three distinct relations.
+func derivePattern(kb *store.KB) (*query.Pattern, error) {
+	// Per entity subject: distinct relations in first-seen order, whether
+	// each relation carries objects, and its entity objects.
+	type subjInfo struct {
+		rels    []string
+		hasObj  map[string]bool
+		entObjs map[string][]string
+	}
+	infos := map[string]*subjInfo{}
+	var order []string
+	for _, f := range kb.Facts() {
+		if !f.Subject.IsEntity() {
+			continue
+		}
+		id := f.Subject.EntityID
+		si := infos[id]
+		if si == nil {
+			si = &subjInfo{hasObj: map[string]bool{}, entObjs: map[string][]string{}}
+			infos[id] = si
+			order = append(order, id)
+		}
+		if _, seen := si.hasObj[f.Relation]; !seen {
+			si.rels = append(si.rels, f.Relation)
+		}
+		si.hasObj[f.Relation] = si.hasObj[f.Relation] || len(f.Objects) > 0
+		for _, o := range f.Objects {
+			if o.IsEntity() {
+				si.entObjs[f.Relation] = append(si.entObjs[f.Relation], o.EntityID)
+			}
+		}
+	}
+
+	// Chain: S --r1--> X (entity), X has a relation r2, and S has a second
+	// relation r3 for the third clause.
+	for _, s := range order {
+		si := infos[s]
+		if len(si.rels) < 2 {
+			continue
+		}
+		for _, r1 := range si.rels {
+			for _, x := range si.entObjs[r1] {
+				xi := infos[x]
+				if xi == nil || len(xi.rels) == 0 {
+					continue
+				}
+				r2 := xi.rels[0]
+				obj2 := query.Wildcard()
+				if xi.hasObj[r2] {
+					obj2 = query.Var("y")
+				}
+				for _, r3 := range si.rels {
+					if r3 == r1 {
+						continue
+					}
+					return &query.Pattern{Clauses: []query.Clause{
+						{Subject: query.Entity(s), Predicate: query.Literal(r1), Object: query.Var("x")},
+						{Subject: query.Var("x"), Predicate: query.Literal(r2), Object: obj2},
+						{Subject: query.Entity(s), Predicate: query.Literal(r3), Object: query.Wildcard()},
+					}}, nil
+				}
+			}
+		}
+	}
+
+	// Star fallback: one subject, three distinct relations.
+	for _, s := range order {
+		si := infos[s]
+		if len(si.rels) < 3 {
+			continue
+		}
+		obj1 := query.Wildcard()
+		if si.hasObj[si.rels[0]] {
+			obj1 = query.Var("o")
+		}
+		return &query.Pattern{Clauses: []query.Clause{
+			{Subject: query.Entity(s), Predicate: query.Literal(si.rels[0]), Object: obj1},
+			{Subject: query.Entity(s), Predicate: query.Literal(si.rels[1]), Object: query.Wildcard()},
+			{Subject: query.Entity(s), Predicate: query.Literal(si.rels[2]), Object: query.Wildcard()},
+		}}, nil
+	}
+	return nil, fmt.Errorf("pattern: no subject in the window KB supports a 3-clause query")
+}
+
+// sameRowKeys reports whether two row sets carry identical binding keys
+// (order-insensitive).
+func sameRowKeys(a, b []query.Row) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	ka := make([]string, len(a))
+	kb := make([]string, len(b))
+	for i := range a {
+		ka[i] = a[i].Key()
+	}
+	for i := range b {
+		kb[i] = b[i].Key()
+	}
+	sort.Strings(ka)
+	sort.Strings(kb)
+	for i := range ka {
+		if ka[i] != kb[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // slidingDocs returns `total` distinct documents for the sliding stream:

@@ -12,6 +12,10 @@
 //	POST /ingest        feed documents into the live session incrementally
 //	POST /evict         drop documents from the live session
 //	GET  /facts?since=  NDJSON stream of facts added since a version
+//	GET  /query?pattern=...&tau=&limit=&stream=&since=&follow=
+//	                    pattern queries over the live session: cached JSON,
+//	                    NDJSON streaming (stream=1), standing incremental
+//	                    matches (since=N, follow=1); also accepts POST JSON
 //	GET  /session       live-session version and document window
 //	GET  /stats
 //	GET  /healthz
@@ -54,6 +58,7 @@ func main() {
 		capacity      = flag.Int("cache-capacity", 128, "query-cache entries")
 		shardCapacity = flag.Int("shard-capacity", 1024, "per-document shard-cache entries")
 		runCapacity   = flag.Int("run-capacity", 256, "partial-merge run-cache entries shared by sessions and queries")
+		patCapacity   = flag.Int("pattern-capacity", 256, "pattern-query result-cache entries for /query")
 		ttl           = flag.Duration("ttl", 5*time.Minute, "cache entry TTL (0 = no expiry)")
 		drain         = flag.Duration("shutdown-timeout", 10*time.Second, "graceful-shutdown drain window")
 		pprofAddr     = flag.String("pprof", "", "net/http/pprof listen address (e.g. localhost:6060; empty = disabled)")
@@ -90,10 +95,11 @@ func main() {
 	}, qcfg)
 
 	server := serve.New(sys, serve.Options{
-		Capacity:      *capacity,
-		ShardCapacity: *shardCapacity,
-		RunCapacity:   *runCapacity,
-		TTL:           *ttl,
+		Capacity:        *capacity,
+		ShardCapacity:   *shardCapacity,
+		RunCapacity:     *runCapacity,
+		PatternCapacity: *patCapacity,
+		TTL:             *ttl,
 	})
 	answerer := &qa.System{
 		QKB:     sys,

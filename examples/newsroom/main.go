@@ -19,6 +19,7 @@ import (
 	"qkbfly/internal/kb/store"
 	"qkbfly/internal/nlp/clause"
 	"qkbfly/internal/nlp/depparse"
+	"qkbfly/internal/query"
 	"qkbfly/internal/search"
 	"qkbfly/internal/stats"
 )
@@ -60,6 +61,41 @@ func main() {
 		watched <- n
 	}()
 
+	// A standing filtered watch: the desk tracks confident fully-bound
+	// facts as a pattern query. Every published version evaluates the
+	// pattern against that version's delta only (the engine seeds the
+	// query with the changed facts), so each slide costs work
+	// proportional to what changed — the query is never re-run.
+	standing, err := query.Parse("?who ?rel ?what")
+	if err != nil {
+		panic(err)
+	}
+	standing.Tau = 0.7
+	matches := sess.WatchPattern(ctx, standing)
+	drainMatches := func() {
+		shown := 0
+		total := 0
+		for {
+			select {
+			case ev, ok := <-matches:
+				if !ok {
+					return
+				}
+				total++
+				if shown < 2 {
+					fmt.Printf("   standing v%d match: %s %s %s\n", ev.Version,
+						ev.Row.Bindings["who"], ev.Row.Bindings["rel"].Literal, ev.Row.Bindings["what"])
+					shown++
+				}
+			default:
+				if total > shown {
+					fmt.Printf("   standing watch: +%d more matches this slide\n", total-shown)
+				}
+				return
+			}
+		}
+	}
+
 	// Stories arrive event by event; each ingest pushes only the new
 	// documents' segments into the session's merge tree and publishes
 	// exactly one version — even when the window slides, the survivors
@@ -70,8 +106,8 @@ func main() {
 		if i >= 5 {
 			break
 		}
-		query := ev.Queries[0]
-		docs := sys.Retrieve(query, "news", 3)
+		q := ev.Queries[0]
+		docs := sys.Retrieve(q, "news", 3)
 		before := sess.Version()
 		snap, bs, err := sess.Ingest(ctx, docs)
 		if err != nil {
@@ -79,7 +115,7 @@ func main() {
 			continue
 		}
 		fmt.Printf("== event %d (%s): %q +%d stories -> version %d, %d docs in window, %d facts (%v)\n",
-			ev.ID, ev.Kind, query, len(bs.PerDocElapsed), snap.Version(),
+			ev.ID, ev.Kind, q, len(bs.PerDocElapsed), snap.Version(),
 			len(sess.Docs()), snap.KB().Len(), bs.Elapsed)
 		if snap.Version() != before+1 {
 			fmt.Printf("   BUG: sliding ingest published %d versions\n", snap.Version()-before)
@@ -108,6 +144,10 @@ func main() {
 				fmt.Printf("   v%d %.2f %s\n", e.Version, e.Fact.Confidence, e.Fact.String())
 			}
 		}
+
+		// The standing watch delivered this version's matches while
+		// Ingest was still returning; drain and show them.
+		drainMatches()
 	}
 
 	// The dashboard can keep querying old snapshots while new stories

@@ -1,0 +1,197 @@
+// Prefix-scan iterators over the segmented store: the read-path
+// counterpart of segment.go's merge machinery. A Segment's sorted key
+// index is an EAVT-style covering index — dedup keys start with the
+// subject's value key, then the lowered relation, then the object value
+// keys — so any query that binds a key prefix (a subject, or a subject
+// plus relation) resolves to one binary-searched contiguous range per
+// run. A TreeCursor merges those per-run ranges k-way in key order and
+// resolves cross-run duplicates to the exact record the materialized KB
+// would hold, which is what lets the query engine (internal/query)
+// stream pattern matches straight off the runs with no Materialize() on
+// the path.
+package store
+
+import (
+	"sort"
+
+	"qkbfly/internal/intern"
+)
+
+// ValueKey returns the canonical index key of a value — "e:<id>" for
+// entity references, "l:<lowered literal>" for literals — the exact form
+// dedup keys are assembled from. Query planners build scan prefixes out
+// of these.
+func ValueKey(v Value) string { return string(appendValueKey(nil, v)) }
+
+// RelKey returns a relation as it appears inside dedup keys (lowered).
+func RelKey(rel string) string { return intern.Lower(rel) }
+
+// prefixEnd returns the smallest string greater than every string with
+// the given prefix, or "" when no such bound exists (all-0xff prefix —
+// the scan runs to the end of the index).
+func prefixEnd(prefix string) string {
+	for i := len(prefix) - 1; i >= 0; i-- {
+		if prefix[i] != 0xff {
+			return prefix[:i] + string(prefix[i]+1)
+		}
+	}
+	return ""
+}
+
+// prefixRange binary-searches the segment's sorted key index for the
+// half-open position range [lo, hi) of keys starting with prefix.
+func (s *Segment) prefixRange(prefix string) (lo, hi int) {
+	lo = sort.Search(len(s.sorted), func(i int) bool { return s.keys[s.sorted[i]] >= prefix })
+	if end := prefixEnd(prefix); end != "" {
+		hi = lo + sort.Search(len(s.sorted)-lo, func(i int) bool { return s.keys[s.sorted[lo+i]] >= end })
+	} else {
+		hi = len(s.sorted)
+	}
+	return lo, hi
+}
+
+// SegmentCursor streams one segment's facts in dedup-key order over a
+// key-prefix range. Returned fact pointers alias the segment's immutable
+// storage — read-only, like Segment.Lookup.
+type SegmentCursor struct {
+	seg      *Segment
+	pos, end int
+}
+
+// ScanPrefix returns a cursor over the segment's facts whose dedup key
+// starts with prefix ("" scans the whole segment), in key order.
+func (s *Segment) ScanPrefix(prefix string) *SegmentCursor {
+	lo, hi := s.prefixRange(prefix)
+	return &SegmentCursor{seg: s, pos: lo, end: hi}
+}
+
+// Remaining returns how many facts the cursor has left to yield.
+func (c *SegmentCursor) Remaining() int { return c.end - c.pos }
+
+// Next yields the next (key, fact) in key order, or ok=false when the
+// range is exhausted.
+func (c *SegmentCursor) Next() (key string, f *Fact, ok bool) {
+	if c.pos >= c.end {
+		return "", nil, false
+	}
+	i := c.seg.sorted[c.pos]
+	c.pos++
+	return c.seg.keys[i], &c.seg.facts[i], true
+}
+
+// EstimatePrefix returns the number of facts across the tree's runs whose
+// key starts with prefix — an upper bound on the distinct keys in the
+// range (cross-run duplicates collapse), computed by binary search alone.
+// This is the statistics-free selectivity estimate the query planner
+// orders clauses by.
+func (t *Tree) EstimatePrefix(prefix string) int {
+	n := 0
+	for _, r := range t.runs {
+		lo, hi := r.seg.prefixRange(prefix)
+		n += hi - lo
+	}
+	return n
+}
+
+// TreeCursor streams the winning fact per dedup key across all of a
+// tree's runs, in key order, over a key-prefix range. Each yielded fact
+// is exactly the record the materialized KB holds for that key: the
+// oldest run's occurrence supplies the spelling (Relation, Objects,
+// Subject), and Confidence, Source and Pattern come from folding the
+// newer runs' records under the AddFact winner rule (higher confidence,
+// then smaller provenance). Fact IDs are -1 — IDs are local to one
+// materialized KB (see Delta) — and Objects alias immutable segment
+// storage, so yielded facts are read-only.
+type TreeCursor struct {
+	runs []*SegmentCursor
+	// cur holds each run's current (key, fact); valid[i] is false once
+	// run i is exhausted.
+	keys  []string
+	facts []*Fact
+	valid []bool
+}
+
+// ScanPrefix returns a merged cursor over the winning facts of every
+// dedup key starting with prefix ("" scans the whole tree), in key
+// order. The k-way merge walks the O(log W) runs' binary-searched ranges
+// directly — no materialization, no map building.
+func (t *Tree) ScanPrefix(prefix string) *TreeCursor {
+	c := &TreeCursor{
+		runs:  make([]*SegmentCursor, len(t.runs)),
+		keys:  make([]string, len(t.runs)),
+		facts: make([]*Fact, len(t.runs)),
+		valid: make([]bool, len(t.runs)),
+	}
+	for i, r := range t.runs {
+		c.runs[i] = r.seg.ScanPrefix(prefix)
+		c.advance(i)
+	}
+	return c
+}
+
+// advance pulls run i's next entry into the cursor head.
+func (c *TreeCursor) advance(i int) {
+	c.keys[i], c.facts[i], c.valid[i] = c.runs[i].Next()
+}
+
+// Next yields the next key's winning fact, or ok=false at the end of the
+// range. Runs are few (O(log W)), so the per-step minimum is a linear
+// scan over the cursor heads.
+func (c *TreeCursor) Next() (key string, f Fact, ok bool) {
+	min := -1
+	for i := range c.runs {
+		if c.valid[i] && (min < 0 || c.keys[i] < c.keys[min]) {
+			min = i
+		}
+	}
+	if min < 0 {
+		return "", Fact{}, false
+	}
+	key = c.keys[min]
+	// The oldest run holding the key supplies the base record (first
+	// occurrence — its spelling survives materialization); newer runs
+	// fold in under the winner rule and their cursors advance past the
+	// shared key.
+	f = *c.facts[min]
+	f.ID = -1
+	c.advance(min)
+	for i := min + 1; i < len(c.runs); i++ {
+		if !c.valid[i] || c.keys[i] != key {
+			continue
+		}
+		dup := c.facts[i]
+		if dup.Confidence > f.Confidence ||
+			(dup.Confidence == f.Confidence && provLess(dup.Source, f.Source)) {
+			f.Confidence = dup.Confidence
+			f.Source = dup.Source
+			f.Pattern = dup.Pattern
+		}
+		c.advance(i)
+	}
+	return key, f, true
+}
+
+// ContentID returns a compact structural identity for the tree's
+// content: the fold of its runs' segment identities, exactly the
+// identity MergeSegments would stamp on their full merge. Two trees with
+// equal ContentID materialize to byte-identical KBs, so immutable
+// snapshot results (query answers, plans) can be cached under it without
+// ever materializing. "" means uncacheable — some run contains an
+// anonymous (identity-less) segment. The empty tree has a fixed
+// non-empty identity.
+func (t *Tree) ContentID() string {
+	if len(t.runs) == 0 {
+		return "\x00empty"
+	}
+	id := t.runs[0].seg.id
+	for _, r := range t.runs[1:] {
+		id = combineSegmentIDs(id, r.seg.id)
+		if id == "" {
+			return ""
+		}
+	}
+	if id == "" {
+		return ""
+	}
+	return id
+}

@@ -1,0 +1,97 @@
+package query
+
+import "qkbfly/internal/kb/store"
+
+// Planning is greedy and statistics-free, following the shape shown to
+// beat cost-based search on pattern queries: at each step pick the
+// not-yet-placed clause with the most resolved terms (constants plus
+// variables bound by already-placed clauses), breaking ties by the
+// cheapest index estimate — a binary-searched prefix range width on the
+// tree's sorted run indexes (store.Tree.EstimatePrefix), costing
+// O(runs·log n) per clause and no maintained statistics. A clause whose
+// subject resolves scans one contiguous key range per run; anything
+// else is a full scan, so the greedy order fronts the selective clauses
+// and every later clause runs with more of its terms bound.
+
+// estBoundSubject is the stand-in range width for a clause whose
+// subject is a bound variable: the concrete value is unknown at plan
+// time, but one subject's range is expected to be small — comparable to
+// a selective constant prefix, far below a full scan.
+const estBoundSubject = 16
+
+// Plan is an execution order over a pattern's clauses.
+type Plan struct {
+	// Order holds original clause indexes in execution order.
+	Order []int
+	// Est holds the planner's range estimate for each step of Order,
+	// kept for tests and /query introspection.
+	Est []int
+}
+
+// PlanQuery orders the pattern's clauses for execution against t.
+func PlanQuery(t *store.Tree, p *Pattern) *Plan {
+	return planClauses(t, p.Clauses, nil)
+}
+
+// planClauses is the planner core: order the given clauses greedily,
+// starting from an ambient set of already-bound variable names (used by
+// delta evaluation, where a seed clause pre-binds its variables).
+func planClauses(t *store.Tree, clauses []Clause, bound map[string]bool) *Plan {
+	if bound == nil {
+		bound = map[string]bool{}
+	} else {
+		cp := make(map[string]bool, len(bound))
+		for v := range bound {
+			cp[v] = true
+		}
+		bound = cp
+	}
+	full := t.FactCount() + 1
+	resolved := func(tm Term) bool {
+		return tm.Kind == TermConst || (tm.Kind == TermVar && bound[tm.Name])
+	}
+	estimate := func(c Clause) int {
+		switch {
+		case c.Subject.Kind == TermConst:
+			prefix := store.ValueKey(c.Subject.Value) + "|"
+			if c.Predicate.Kind == TermConst {
+				prefix += store.RelKey(c.Predicate.Value.Literal)
+			}
+			return t.EstimatePrefix(prefix)
+		case resolved(c.Subject):
+			return estBoundSubject
+		default:
+			return full
+		}
+	}
+	n := len(clauses)
+	placed := make([]bool, n)
+	plan := &Plan{Order: make([]int, 0, n), Est: make([]int, 0, n)}
+	for len(plan.Order) < n {
+		best, bestScore, bestEst := -1, -1, 0
+		for i, c := range clauses {
+			if placed[i] {
+				continue
+			}
+			score := 0
+			for _, tm := range []Term{c.Subject, c.Predicate, c.Object} {
+				if resolved(tm) {
+					score++
+				}
+			}
+			est := estimate(c)
+			if best < 0 || score > bestScore || (score == bestScore && est < bestEst) {
+				best, bestScore, bestEst = i, score, est
+			}
+		}
+		placed[best] = true
+		plan.Order = append(plan.Order, best)
+		plan.Est = append(plan.Est, bestEst)
+		for _, tm := range []Term{clauses[best].Subject, clauses[best].Predicate, clauses[best].Object} {
+			if tm.Kind == TermVar {
+				bound[tm.Name] = true
+			}
+		}
+	}
+	return plan
+}

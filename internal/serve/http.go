@@ -90,6 +90,9 @@ func NewHandler(s *Server, opt HandlerOptions) http.Handler {
 	mux.HandleFunc("/session", func(w http.ResponseWriter, r *http.Request) {
 		handleSession(opt, w, r)
 	})
+	mux.HandleFunc("/query", func(w http.ResponseWriter, r *http.Request) {
+		handleQuery(s, opt, w, r)
+	})
 	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
 		if !getOnly(w, r) {
 			return
@@ -262,10 +265,10 @@ type ingestDoc struct {
 // ingestResponse reports the outcome of one /ingest call.
 type ingestResponse struct {
 	Version   uint64 `json:"version"`
-	Ingested  int    `json:"ingested"`  // documents built and folded by this call
-	Skipped   int    `json:"skipped"`   // documents already in the session
-	Docs      int    `json:"docs"`      // documents now in the session window
-	Facts     int    `json:"facts"`     // facts in the current snapshot
+	Ingested  int    `json:"ingested"` // documents built and folded by this call
+	Skipped   int    `json:"skipped"`  // documents already in the session
+	Docs      int    `json:"docs"`     // documents now in the session window
+	Facts     int    `json:"facts"`    // facts in the current snapshot
 	ElapsedNS int64  `json:"elapsed_ns"`
 }
 

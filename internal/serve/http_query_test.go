@@ -1,0 +1,327 @@
+package serve_test
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"qkbfly"
+	"qkbfly/internal/serve"
+)
+
+// queryResp mirrors the /query JSON shape for decoding.
+type queryResp struct {
+	Version         uint64  `json:"version"`
+	Pattern         string  `json:"pattern"`
+	Tau             float64 `json:"tau"`
+	Limit           int     `json:"limit"`
+	ServedFromCache bool    `json:"served_from_cache"`
+	Count           int     `json:"count"`
+	Rows            []struct {
+		Bindings map[string]struct {
+			Entity  string `json:"entity"`
+			Literal string `json:"literal"`
+		} `json:"bindings"`
+		Facts []map[string]any `json:"facts"`
+	} `json:"rows"`
+}
+
+func getQuery(t *testing.T, url string) (*http.Response, queryResp) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	var qr queryResp
+	if resp.StatusCode == http.StatusOK {
+		decodeJSON(t, resp.Body, &qr)
+	}
+	return resp, qr
+}
+
+// TestServeHTTPQuery drives the plain /query form: pattern evaluation
+// over the live session, bindings and supporting facts in the response,
+// the (pattern, content) result cache, τ/limit handling, the POST body
+// form, and parameter validation.
+func TestServeHTTPQuery(t *testing.T) {
+	ts, _ := newSessionTestServer(t)
+
+	if resp, body := postJSON(t, ts.URL+"/ingest",
+		`{"docs":[{"id":"n1","text":"one"},{"id":"n2","text":"two"}]}`); resp.StatusCode != http.StatusOK {
+		t.Fatalf("/ingest: %d %s", resp.StatusCode, body)
+	}
+
+	// Two documents, one "mentions" fact each (fake backend pipeline).
+	resp, qr := getQuery(t, ts.URL+"/query?pattern="+`%3Fd+mentions+%3Fc`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/query: %d", resp.StatusCode)
+	}
+	if qr.Version != 1 || qr.Count != 2 || len(qr.Rows) != 2 || qr.ServedFromCache {
+		t.Fatalf("/query response: %+v", qr)
+	}
+	if got := qr.Rows[0].Bindings["d"].Entity; got != "E_n1" {
+		t.Errorf("row 0 ?d = %q, want E_n1", got)
+	}
+	if got := qr.Rows[0].Bindings["c"].Literal; got != "content of n1" {
+		t.Errorf("row 0 ?c = %q, want content of n1", got)
+	}
+	if len(qr.Rows[0].Facts) != 1 || qr.Rows[0].Facts[0]["relation"] != "mentions" {
+		t.Errorf("row 0 supporting facts: %v", qr.Rows[0].Facts)
+	}
+
+	// The identical pattern answers from the result cache.
+	if _, qr := getQuery(t, ts.URL+"/query?pattern=%3Fd+mentions+%3Fc"); !qr.ServedFromCache {
+		t.Error("second identical /query was not served from cache")
+	}
+	// A different τ is a different cache key and result set.
+	if _, qr := getQuery(t, ts.URL+"/query?pattern=%3Fd+mentions+%3Fc&tau=2"); qr.ServedFromCache || qr.Count != 0 {
+		t.Errorf("tau=2 query: cached=%v count=%d, want fresh empty", qr.ServedFromCache, qr.Count)
+	}
+	// Limit truncates.
+	if _, qr := getQuery(t, ts.URL+"/query?pattern=%3Fd+mentions+%3Fc&limit=1"); qr.Count != 1 {
+		t.Errorf("limit=1 returned %d rows", qr.Count)
+	}
+	// Constant entity subject narrows to one document.
+	if _, qr := getQuery(t, ts.URL+"/query?pattern=e%3AE_n2+mentions+%3Fc"); qr.Count != 1 || qr.Rows[0].Bindings["c"].Literal != "content of n2" {
+		t.Errorf("constant-subject query: %+v", qr)
+	}
+
+	// POST body form.
+	resp2, body := postJSON(t, ts.URL+"/query", `{"pattern":"?d mentions ?c","limit":1}`)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("POST /query: %d %s", resp2.StatusCode, body)
+	}
+	var qp queryResp
+	decodeJSON(t, strings.NewReader(body), &qp)
+	if qp.Count != 1 || qp.Limit != 1 {
+		t.Errorf("POST /query response: %+v", qp)
+	}
+
+	// Validation and method handling.
+	for _, bad := range []string{
+		"/query",                        // missing pattern
+		"/query?pattern=only+two",       // clause arity
+		"/query?pattern=%3Fd+m+_&tau=x", // bad tau
+		"/query?pattern=%3Fd+m+_&limit=x" /* bad limit */} {
+		if resp, _ := http.Get(ts.URL + bad); resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("GET %s: %d, want 400", bad, resp.StatusCode)
+		} else {
+			resp.Body.Close()
+		}
+	}
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/query", nil)
+	if resp, err := http.DefaultClient.Do(req); err != nil || resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("DELETE /query: %v %d, want 405", err, resp.StatusCode)
+	} else {
+		resp.Body.Close()
+	}
+}
+
+// TestServeHTTPQueryWithoutSession: /query is a session endpoint.
+func TestServeHTTPQueryWithoutSession(t *testing.T) {
+	srv := serve.New(&fakeBackend{}, serve.Options{})
+	ts := httptest.NewServer(serve.NewHandler(srv, serve.HandlerOptions{}))
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/query?pattern=%3Fs+%3Fr+_")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("/query without session: %d, want 503", resp.StatusCode)
+	}
+}
+
+// TestServeHTTPQueryStream: stream=1 yields NDJSON rows straight from
+// the executor, stamped with the snapshot version in the header.
+func TestServeHTTPQueryStream(t *testing.T) {
+	ts, _ := newSessionTestServer(t)
+	postJSON(t, ts.URL+"/ingest", `{"docs":[{"id":"n1","text":"one"},{"id":"n2","text":"two"}]}`)
+
+	resp, err := http.Get(ts.URL + "/query?pattern=%3Fd+mentions+_&stream=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := resp.Header.Get("Content-Type"); got != "application/x-ndjson" {
+		t.Errorf("stream content type %q", got)
+	}
+	if got := resp.Header.Get("X-QKBfly-Version"); got != "1" {
+		t.Errorf("stream version header %q, want 1", got)
+	}
+	lines := readNDJSON(t, resp.Body)
+	resp.Body.Close()
+	if len(lines) != 2 {
+		t.Fatalf("stream returned %d lines: %v", len(lines), lines)
+	}
+	for i, l := range lines {
+		b := l["bindings"].(map[string]any)
+		d := b["d"].(map[string]any)
+		if want := fmt.Sprintf("E_n%d", i+1); d["entity"] != want {
+			t.Errorf("line %d binding %v, want %s", i, d, want)
+		}
+	}
+}
+
+// TestServeHTTPQuerySince covers the standing-query replay form: only
+// matches introduced after the given version are emitted, stamped with
+// the version whose delta produced them; a since past the history
+// horizon re-bases with a reset marker and the full current answer.
+func TestServeHTTPQuerySince(t *testing.T) {
+	ts, _ := newSessionTestServer(t)
+	postJSON(t, ts.URL+"/ingest", `{"docs":[{"id":"n1","text":"one"}]}`)
+	postJSON(t, ts.URL+"/ingest", `{"docs":[{"id":"n2","text":"two"}]}`)
+
+	resp, err := http.Get(ts.URL + "/query?pattern=%3Fd+mentions+%3Fc&since=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := resp.Header.Get("X-QKBfly-Version"); got != "2" {
+		t.Errorf("since stream version header %q, want 2", got)
+	}
+	lines := readNDJSON(t, resp.Body)
+	resp.Body.Close()
+	if len(lines) != 1 {
+		t.Fatalf("since=1 returned %d lines: %v", len(lines), lines)
+	}
+	if v := lines[0]["version"].(float64); v != 2 {
+		t.Errorf("incremental row stamped %v, want 2", v)
+	}
+	if d := lines[0]["bindings"].(map[string]any)["d"].(map[string]any); d["entity"] != "E_n2" {
+		t.Errorf("incremental row bindings %v, want E_n2", d)
+	}
+
+	// Caught up: nothing to replay.
+	resp, err = http.Get(ts.URL + "/query?pattern=%3Fd+mentions+%3Fc&since=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lines := readNDJSON(t, resp.Body); len(lines) != 0 {
+		t.Errorf("since=2 returned %d lines, want 0", len(lines))
+	}
+	resp.Body.Close()
+}
+
+// TestServeHTTPQuerySinceReset: a since that predates the retained
+// history re-bases: reset marker, then the full current answer.
+func TestServeHTTPQuerySinceReset(t *testing.T) {
+	srv := serve.New(&fakeBackend{}, serve.Options{})
+	sess := srv.OpenSession(qkbfly.SessionOptions{HistoryLimit: 1})
+	defer sess.Close()
+	ts := httptest.NewServer(serve.NewHandler(srv, serve.HandlerOptions{Session: sess}))
+	defer ts.Close()
+
+	for i := 0; i < 3; i++ {
+		postJSON(t, ts.URL+"/ingest", fmt.Sprintf(`{"docs":[{"id":"doc%d","text":"t"}]}`, i))
+	}
+	resp, err := http.Get(ts.URL + "/query?pattern=%3Fd+mentions+_&since=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := readNDJSON(t, resp.Body)
+	resp.Body.Close()
+	if len(lines) != 4 { // reset + 3 current rows
+		t.Fatalf("reset replay returned %d lines: %v", len(lines), lines)
+	}
+	if lines[0]["reset"] != true {
+		t.Fatalf("first line is not a reset marker: %v", lines[0])
+	}
+	for _, l := range lines[1:] {
+		if l["version"].(float64) != 3 {
+			t.Errorf("re-based row stamped %v, want 3", l["version"])
+		}
+	}
+}
+
+// TestServeHTTPQueryFollow: with follow=1 the response replays the
+// increment, then stays open and streams matches from the standing
+// session watch as later ingests land.
+func TestServeHTTPQueryFollow(t *testing.T) {
+	ts, _ := newSessionTestServer(t)
+	postJSON(t, ts.URL+"/ingest", `{"docs":[{"id":"a","text":"x"}]}`)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, ts.URL+"/query?pattern=%3Fd+mentions+%3Fc&since=0&follow=1", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+
+	readRow := func(wantVersion float64, wantEntity string) {
+		t.Helper()
+		if !sc.Scan() {
+			t.Fatalf("stream ended: %v", sc.Err())
+		}
+		var line map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			t.Fatalf("bad line %q: %v", sc.Text(), err)
+		}
+		if line["version"].(float64) != wantVersion {
+			t.Fatalf("row version %v, want %v (%v)", line["version"], wantVersion, line)
+		}
+		if d := line["bindings"].(map[string]any)["d"].(map[string]any); d["entity"] != wantEntity {
+			t.Fatalf("row bindings %v, want %s", d, wantEntity)
+		}
+	}
+	readRow(1, "E_a") // replayed increment
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		postJSON(t, ts.URL+"/ingest", `{"docs":[{"id":"b","text":"y"}]}`)
+	}()
+	readRow(2, "E_b") // live standing-watch delivery
+	<-done
+	cancel()
+}
+
+// TestServeHTTPStatsCacheSizes: /stats exposes entry counts and
+// capacities for every cache the server fronts, and the pattern cache
+// counters move with /query traffic.
+func TestServeHTTPStatsCacheSizes(t *testing.T) {
+	ts, _ := newSessionTestServer(t)
+	postJSON(t, ts.URL+"/ingest", `{"docs":[{"id":"n1","text":"one"}]}`)
+
+	getQuery(t, ts.URL+"/query?pattern=%3Fd+mentions+_") // miss
+	getQuery(t, ts.URL+"/query?pattern=%3Fd+mentions+_") // hit
+
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st struct {
+		Counters        map[string]int64 `json:"counters"`
+		QueryEntries    int              `json:"query_entries"`
+		QueryCapacity   int              `json:"query_capacity"`
+		ShardEntries    int              `json:"shard_entries"`
+		ShardCapacity   int              `json:"shard_capacity"`
+		RunEntries      int              `json:"run_entries"`
+		RunCapacity     int              `json:"run_capacity"`
+		PatternEntries  int              `json:"pattern_entries"`
+		PatternCapacity int              `json:"pattern_capacity"`
+	}
+	decodeJSON(t, resp.Body, &st)
+	resp.Body.Close()
+
+	if st.QueryCapacity <= 0 || st.ShardCapacity <= 0 || st.RunCapacity <= 0 || st.PatternCapacity <= 0 {
+		t.Fatalf("capacities not exposed: %+v", st)
+	}
+	if st.PatternEntries != 1 {
+		t.Errorf("pattern_entries = %d, want 1", st.PatternEntries)
+	}
+	if st.ShardEntries == 0 {
+		t.Errorf("shard_entries = 0 after ingest, want > 0")
+	}
+	if st.Counters["pattern_misses"] != 1 || st.Counters["pattern_hits"] != 1 {
+		t.Errorf("pattern counters: %v, want 1 miss + 1 hit", st.Counters)
+	}
+}

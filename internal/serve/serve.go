@@ -40,6 +40,7 @@ import (
 	"qkbfly/internal/engine"
 	"qkbfly/internal/kb/store"
 	"qkbfly/internal/nlp"
+	"qkbfly/internal/query"
 	"qkbfly/internal/stats"
 )
 
@@ -59,6 +60,13 @@ const (
 	// run) reuses across sessions and queries.
 	CounterRunHits   = "run_hits"
 	CounterRunMisses = "run_misses"
+	// CounterPatternHits / CounterPatternMisses count pattern-query result
+	// cache lookups (keyed by normalized pattern + snapshot content
+	// identity); CounterPatternJoins counts requests coalesced onto an
+	// in-flight identical evaluation.
+	CounterPatternHits   = "pattern_hits"
+	CounterPatternMisses = "pattern_misses"
+	CounterPatternJoins  = "pattern_joins"
 	// CounterEngineRuns counts invocations of the construction pipeline
 	// (a warm query performs zero); CounterEngineDocs the documents those
 	// runs processed.
@@ -102,6 +110,9 @@ type Options struct {
 	// RunCapacity is the maximum number of cached partial merges
 	// (multi-shard runs); <= 0 means 256.
 	RunCapacity int
+	// PatternCapacity is the maximum number of cached pattern-query
+	// results (QueryPattern); <= 0 means 256.
+	PatternCapacity int
 	// TTL expires cache entries (query and shard) this long after
 	// insertion; 0 means no time-based expiry.
 	TTL time.Duration
@@ -141,11 +152,13 @@ type Server struct {
 	opt      Options
 	counters *stats.CounterSet
 
-	mu      sync.Mutex // guards queries, shards and runs
-	queries *lruCache  // query key   -> *queryEntry
-	shards  *lruCache  // doc key     -> *store.Segment (sealed shard)
-	runs    *lruCache  // combined id -> *store.Segment (partial merge)
-	flight  *flightGroup
+	mu       sync.Mutex // guards queries, shards, runs and patterns
+	queries  *lruCache  // query key   -> *queryEntry
+	shards   *lruCache  // doc key     -> *store.Segment (sealed shard)
+	runs     *lruCache  // combined id -> *store.Segment (partial merge)
+	patterns *lruCache  // pattern key -> []query.Row (see serve_query.go)
+	flight   *flightGroup[*Result]
+	pflight  *flightGroup[[]query.Row]
 }
 
 // New returns a Server over the backend (normally a *qkbfly.System).
@@ -159,6 +172,9 @@ func New(backend Backend, opt Options) *Server {
 	if opt.RunCapacity <= 0 {
 		opt.RunCapacity = 256
 	}
+	if opt.PatternCapacity <= 0 {
+		opt.PatternCapacity = 256
+	}
 	if opt.Clock == nil {
 		opt.Clock = time.Now
 	}
@@ -169,7 +185,9 @@ func New(backend Backend, opt Options) *Server {
 		queries:  newLRU(opt.Capacity),
 		shards:   newLRU(opt.ShardCapacity),
 		runs:     newLRU(opt.RunCapacity),
-		flight:   newFlightGroup(),
+		patterns: newLRU(opt.PatternCapacity),
+		flight:   newFlightGroup[*Result](),
+		pflight:  newFlightGroup[[]query.Row](),
 	}
 }
 
@@ -177,19 +195,37 @@ func New(backend Backend, opt Options) *Server {
 func (s *Server) Counters() *stats.CounterSet { return s.counters }
 
 // Snapshot is a point-in-time view of the serving state for /stats.
+// Each cache reports occupancy alongside its configured capacity, so
+// operators can read cache pressure (entries at capacity means the LRU
+// is cycling), not just hit ratios.
 type Snapshot struct {
-	Counters     map[string]int64 `json:"counters"`
-	QueryEntries int              `json:"query_entries"`
-	ShardEntries int              `json:"shard_entries"`
-	RunEntries   int              `json:"run_entries"`
+	Counters        map[string]int64 `json:"counters"`
+	QueryEntries    int              `json:"query_entries"`
+	QueryCapacity   int              `json:"query_capacity"`
+	ShardEntries    int              `json:"shard_entries"`
+	ShardCapacity   int              `json:"shard_capacity"`
+	RunEntries      int              `json:"run_entries"`
+	RunCapacity     int              `json:"run_capacity"`
+	PatternEntries  int              `json:"pattern_entries"`
+	PatternCapacity int              `json:"pattern_capacity"`
 }
 
 // Stats returns the current counters and cache occupancy.
 func (s *Server) Stats() Snapshot {
 	s.mu.Lock()
-	q, sh, rn := s.queries.len(), s.shards.len(), s.runs.len()
+	q, sh, rn, pt := s.queries.len(), s.shards.len(), s.runs.len(), s.patterns.len()
 	s.mu.Unlock()
-	return Snapshot{Counters: s.counters.Snapshot(), QueryEntries: q, ShardEntries: sh, RunEntries: rn}
+	return Snapshot{
+		Counters:        s.counters.Snapshot(),
+		QueryEntries:    q,
+		QueryCapacity:   s.opt.Capacity,
+		ShardEntries:    sh,
+		ShardCapacity:   s.opt.ShardCapacity,
+		RunEntries:      rn,
+		RunCapacity:     s.opt.RunCapacity,
+		PatternEntries:  pt,
+		PatternCapacity: s.opt.PatternCapacity,
+	}
 }
 
 // KB serves the on-the-fly KB for a query: query cache, then
@@ -207,12 +243,12 @@ func (s *Server) KB(ctx context.Context, query, source string, size int, opts ..
 		s.recordQueryHit(e)
 		return &Result{KB: e.kb, Docs: e.docs, Stats: copyStats(e.bs), CacheHit: true}, nil
 	}
-	fr, joined, err := s.flight.do(ctx, key, func() *flightResult {
+	fr, joined, err := s.flight.do(ctx, key, func() *flightResult[*Result] {
 		// Double-check: a previous leader may have filled the cache
 		// between our miss and acquiring the flight.
 		if e := s.lookupQuery(key); e != nil {
 			s.recordQueryHit(e)
-			return &flightResult{res: &Result{KB: e.kb, Docs: e.docs, Stats: copyStats(e.bs), CacheHit: true}}
+			return &flightResult[*Result]{res: &Result{KB: e.kb, Docs: e.docs, Stats: copyStats(e.bs), CacheHit: true}}
 		}
 		s.counters.Add(CounterQueryMisses, 1)
 		docs := s.backend.Retrieve(query, source, size)
@@ -223,7 +259,7 @@ func (s *Server) KB(ctx context.Context, query, source string, size int, opts ..
 			// caller mutating res.Stats cannot corrupt later hits.
 			s.storeQuery(key, &queryEntry{kb: kb, docs: docs, bs: copyStats(bs), fingerprint: kb.Fingerprint()})
 		}
-		return &flightResult{res: res, err: err}
+		return &flightResult[*Result]{res: res, err: err}
 	})
 	if err != nil {
 		// The joiner's own context was cancelled while waiting.

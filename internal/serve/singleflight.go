@@ -10,38 +10,42 @@ import (
 // without producing a result.
 var errFlightAborted = errors.New("serve: in-flight build aborted")
 
-// flightResult is what one build delivers to every request coalesced onto
-// it. kb/docs/stats may be partially filled alongside a non-nil err (a
-// cancelled build still yields the KB over its processed prefix).
-type flightResult struct {
-	res *Result
+// flightResult is what one execution delivers to every request
+// coalesced onto it. res may be partially filled alongside a non-nil
+// err (a cancelled KB build still yields the KB over its processed
+// prefix). hit marks a leader that was satisfied straight from a cache
+// double-check rather than doing the work.
+type flightResult[T any] struct {
+	res T
 	err error
+	hit bool
 }
 
-// flightCall is one in-flight build; done is closed after res is set.
-type flightCall struct {
+// flightCall is one in-flight execution; done is closed after res is set.
+type flightCall[T any] struct {
 	done chan struct{}
-	res  *flightResult
+	res  *flightResult[T]
 }
 
 // flightGroup collapses concurrent duplicate work: for each key, the
 // first caller becomes the leader and runs fn; callers arriving while the
 // leader is still running wait and share its result, so N simultaneous
-// identical queries cost one engine run.
-type flightGroup struct {
+// identical requests cost one execution. The result type is fixed per
+// group (the Server keeps one group per cache it fronts).
+type flightGroup[T any] struct {
 	mu    sync.Mutex
-	calls map[string]*flightCall
+	calls map[string]*flightCall[T]
 }
 
-func newFlightGroup() *flightGroup {
-	return &flightGroup{calls: make(map[string]*flightCall)}
+func newFlightGroup[T any]() *flightGroup[T] {
+	return &flightGroup[T]{calls: make(map[string]*flightCall[T])}
 }
 
 // do executes fn once per key among concurrent callers. joined reports
 // whether this caller waited on another caller's execution. A joiner
 // whose own context is cancelled stops waiting and returns ctx.Err()
 // without affecting the leader.
-func (g *flightGroup) do(ctx context.Context, key string, fn func() *flightResult) (res *flightResult, joined bool, err error) {
+func (g *flightGroup[T]) do(ctx context.Context, key string, fn func() *flightResult[T]) (res *flightResult[T], joined bool, err error) {
 	g.mu.Lock()
 	if c, ok := g.calls[key]; ok {
 		g.mu.Unlock()
@@ -55,7 +59,7 @@ func (g *flightGroup) do(ctx context.Context, key string, fn func() *flightResul
 			return nil, true, ctx.Err()
 		}
 	}
-	c := &flightCall{done: make(chan struct{})}
+	c := &flightCall[T]{done: make(chan struct{})}
 	g.calls[key] = c
 	g.mu.Unlock()
 

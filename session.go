@@ -157,17 +157,19 @@ type Session struct {
 	segBuilder SegmentBuilder // non-nil when builder implements it
 	opt        SessionOptions
 
-	mu       sync.Mutex
-	docIDs   []string                  // arrival order (session keys)
-	segs     map[string]*store.Segment // session key -> sealed segment
-	seqs     map[string]uint64         // session key -> tree arrival sequence
-	nextSeq  uint64
-	cur      *Snapshot      // current version; immutable once set
-	history  []versionDelta // per-version diffs, newest last
-	watchers map[int]*watcher
-	nextW    int
-	anonSeq  int // synthetic keys for documents without IDs
-	closed   bool
+	mu        sync.Mutex
+	docIDs    []string                  // arrival order (session keys)
+	segs      map[string]*store.Segment // session key -> sealed segment
+	seqs      map[string]uint64         // session key -> tree arrival sequence
+	nextSeq   uint64
+	cur       *Snapshot      // current version; immutable once set
+	history   []versionDelta // per-version diffs, newest last
+	watchers  map[int]*watcher
+	nextW     int
+	pwatchers map[int]*patternWatcher // standing filtered watches (session_query.go)
+	nextPW    int
+	anonSeq   int // synthetic keys for documents without IDs
+	closed    bool
 }
 
 // Open starts a session over a shard builder (a *System, or a
@@ -185,12 +187,13 @@ func Open(b ShardBuilder, opts SessionOptions) *Session {
 		merge = m.MergeSegments
 	}
 	s := &Session{
-		builder:  b,
-		opt:      opts,
-		segs:     make(map[string]*store.Segment),
-		seqs:     make(map[string]uint64),
-		cur:      &Snapshot{tree: store.NewTree(merge), version: 0},
-		watchers: make(map[int]*watcher),
+		builder:   b,
+		opt:       opts,
+		segs:      make(map[string]*store.Segment),
+		seqs:      make(map[string]uint64),
+		cur:       &Snapshot{tree: store.NewTree(merge), version: 0},
+		watchers:  make(map[int]*watcher),
+		pwatchers: make(map[int]*patternWatcher),
 	}
 	if sb, ok := b.(SegmentBuilder); ok {
 		s.segBuilder = sb
@@ -354,7 +357,7 @@ func (s *Session) Ingest(ctx context.Context, docs []*nlp.Document) (*Snapshot, 
 		// The version's diff is only computed when someone can observe it,
 		// so sessions with history disabled and no watchers skip it.
 		var delta store.Delta
-		if s.opt.HistoryLimit > 0 || len(s.watchers) > 0 {
+		if s.opt.HistoryLimit > 0 || len(s.watchers) > 0 || len(s.pwatchers) > 0 {
 			delta = store.DiffTrees(oldTree, tree, changed)
 		}
 		s.advanceLocked(tree, delta)
@@ -392,7 +395,16 @@ func (s *Session) advanceLocked(tree *store.Tree, delta store.Delta) {
 			s.history = append([]versionDelta(nil), s.history[over:]...)
 		}
 	}
-	if len(s.watchers) == 0 || (len(delta.Added) == 0 && len(delta.Upgraded) == 0) {
+	if len(delta.Added) == 0 && len(delta.Upgraded) == 0 {
+		return
+	}
+	if len(s.pwatchers) > 0 {
+		// Standing patterns see the increment before plain watchers can
+		// shed them: evaluation is delta-seeded (cost scales with the
+		// increment) and runs under the lock like the fan-out itself.
+		s.notifyPatternsLocked(v, tree, delta)
+	}
+	if len(s.watchers) == 0 {
 		return
 	}
 watchers:
@@ -465,7 +477,7 @@ func (s *Session) evictLocked(victims []string) int {
 	tree, changed = s.dropLocked(tree, victimKeys, changed)
 	s.docIDs = survivors
 	var delta store.Delta
-	if s.opt.HistoryLimit > 0 || len(s.watchers) > 0 {
+	if s.opt.HistoryLimit > 0 || len(s.watchers) > 0 || len(s.pwatchers) > 0 {
 		delta = store.DiffTrees(oldTree, tree, changed)
 	}
 	s.advanceLocked(tree, delta)
@@ -611,6 +623,9 @@ func (s *Session) Close() error {
 	s.closed = true
 	for id := range s.watchers {
 		s.removeWatcherLocked(id)
+	}
+	for id := range s.pwatchers {
+		s.removePatternWatcherLocked(id)
 	}
 	return nil
 }

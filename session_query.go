@@ -1,0 +1,127 @@
+package qkbfly
+
+import (
+	"context"
+
+	"qkbfly/internal/kb/store"
+	"qkbfly/internal/query"
+)
+
+// This file is the session surface of the streaming pattern-query
+// engine (internal/query): point-in-time queries against any pinned
+// snapshot, and standing filtered watches that evaluate a pattern
+// incrementally against each published version's delta instead of
+// re-running the query.
+
+// Query streams the pattern's answer rows against this snapshot's merge
+// tree — planning and execution run on the sorted segment runs
+// directly, without materializing the snapshot, so querying a version
+// is cheap even if nobody ever calls KB(). The returned iterator stays
+// valid for as long as the snapshot is held, concurrently with ongoing
+// ingestion.
+func (s *Snapshot) Query(p *query.Pattern) (*query.Rows, error) {
+	return query.Run(s.tree, p)
+}
+
+// ContentID returns a compact structural identity for the snapshot's
+// content (store.Tree.ContentID): equal IDs guarantee byte-identical
+// KBs, without the materialization that Fingerprint costs. It returns
+// "" when the content is not identifiable (some segment carries no
+// cache identity) — callers must then treat the snapshot as uncacheable.
+func (s *Snapshot) ContentID() string { return s.tree.ContentID() }
+
+// Tree exposes the snapshot's immutable merge tree for callers composing
+// their own scans or incremental evaluation (query.EvalDelta against
+// replayed deltas, as /query?since= does). The tree must be treated
+// read-only.
+func (s *Snapshot) Tree() *store.Tree { return s.tree }
+
+// Query evaluates the pattern against the session's current version.
+// It is shorthand for Snapshot().Query(p); pin a Snapshot instead to
+// query one consistent version repeatedly.
+func (s *Session) Query(ctx context.Context, p *query.Pattern) (*query.Rows, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return s.Snapshot().Query(p)
+}
+
+// PatternEvent is one incremental match of a standing pattern: a full
+// answer row (bindings plus supporting facts) stamped with the version
+// whose delta produced it.
+type PatternEvent struct {
+	Version uint64    `json:"version"`
+	Row     query.Row `json:"row"`
+}
+
+// patternWatcher is one WatchPattern subscription.
+type patternWatcher struct {
+	ch     chan PatternEvent
+	pat    *query.Pattern
+	cancel func() bool
+}
+
+// WatchPattern registers a standing filtered watch: from now on, every
+// published version evaluates the pattern against its delta
+// (query.EvalDelta — only clauses seeded by the version's added or
+// upgraded facts run, not the whole query) and the resulting rows are
+// delivered on the returned channel. The pattern's τ applies; its limit
+// caps rows per version. Rows replay nothing — combine with Query for
+// the current state, as /query?since= does. The channel closes when ctx
+// is cancelled, the session closes, or the subscriber lags a full
+// buffer behind, matching Watch semantics.
+//
+// The pattern must not be mutated after registration. A version may
+// re-deliver a row it delivered before when later evidence touches the
+// same facts (e.g. a confidence upgrade re-matches); consumers needing
+// exactly-once keyed state should dedup by Row.Key.
+func (s *Session) WatchPattern(ctx context.Context, p *query.Pattern) <-chan PatternEvent {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ch := make(chan PatternEvent, s.opt.WatchBuffer)
+	if s.closed {
+		close(ch)
+		return ch
+	}
+	id := s.nextPW
+	s.nextPW++
+	w := &patternWatcher{ch: ch, pat: p}
+	s.pwatchers[id] = w
+	w.cancel = context.AfterFunc(ctx, func() {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		s.removePatternWatcherLocked(id)
+	})
+	return ch
+}
+
+// notifyPatternsLocked evaluates every standing pattern against the
+// just-published version's delta and fans the matches out. Callers hold
+// s.mu; the evaluation is incremental (seeded by the delta's changed
+// facts), so its cost scales with the increment, not the window.
+func (s *Session) notifyPatternsLocked(v uint64, tree *store.Tree, delta store.Delta) {
+pwatchers:
+	for id, w := range s.pwatchers {
+		for _, row := range query.EvalDelta(tree, w.pat, delta) {
+			select {
+			case w.ch <- PatternEvent{Version: v, Row: row}:
+			default:
+				// Same lagging-consumer contract as plain watchers.
+				s.removePatternWatcherLocked(id)
+				continue pwatchers
+			}
+		}
+	}
+}
+
+// removePatternWatcherLocked closes and forgets one pattern watcher,
+// detaching its context watchdog. Callers hold s.mu.
+func (s *Session) removePatternWatcherLocked(id int) {
+	if w, ok := s.pwatchers[id]; ok {
+		delete(s.pwatchers, id)
+		if w.cancel != nil {
+			w.cancel()
+		}
+		close(w.ch)
+	}
+}
