@@ -8,9 +8,13 @@
 // (PatternQuery: a data-derived 3-clause join at the full window — cold
 // stream vs materialize-then-scan, self-gated at >= 10x with the rows
 // checked against the scan reference, plus warm result-cache hits and
-// per-delta standing-watch evaluation), and writes the numbers as JSON
+// per-delta standing-watch evaluation), and the durable-store restart
+// path (ColdRestart: reopen a sealed data directory and restore the
+// session from demoted segments vs rebuilding the same KB from raw
+// documents, self-gated at >= 5x with the restored fingerprint checked
+// against the pre-shutdown session), and writes the numbers as JSON
 // so PRs can be diffed against the committed baselines (BENCH_PR3.json
-// through BENCH_PR6.json).
+// through BENCH_PR7.json).
 //
 // Reported per cold build: wall-clock ns, allocations and bytes (from
 // runtime.MemStats deltas), and the per-stage CPU breakdown from the
@@ -35,10 +39,13 @@ package main
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"sort"
 	"strings"
@@ -48,6 +55,7 @@ import (
 	"qkbfly/internal/corpus"
 	"qkbfly/internal/engine"
 	"qkbfly/internal/kb/store"
+	"qkbfly/internal/kb/store/persist"
 	"qkbfly/internal/nlp"
 	"qkbfly/internal/nlp/clause"
 	"qkbfly/internal/nlp/depparse"
@@ -59,13 +67,14 @@ import (
 
 // Report is the JSON document the harness emits.
 type Report struct {
-	Config  ConfigInfo    `json:"config"`
-	Cold    ColdResult    `json:"cold"`
-	Warm    WarmResult    `json:"warm"`
-	Ingest  IngestResult  `json:"ingest"`
-	Sliding SlidingResult `json:"sliding_window"`
-	Pattern PatternResult `json:"pattern_query"`
-	Machine MachineInfo   `json:"machine"`
+	Config  ConfigInfo        `json:"config"`
+	Cold    ColdResult        `json:"cold"`
+	Warm    WarmResult        `json:"warm"`
+	Ingest  IngestResult      `json:"ingest"`
+	Sliding SlidingResult     `json:"sliding_window"`
+	Pattern PatternResult     `json:"pattern_query"`
+	Restart ColdRestartResult `json:"cold_restart"`
+	Machine MachineInfo       `json:"machine"`
 }
 
 // ConfigInfo records what was measured.
@@ -172,6 +181,24 @@ type PatternResult struct {
 	RowsMatchScan     bool    `json:"rows_match_scan"`
 }
 
+// ColdRestartResult summarizes the durable-store restart measurements:
+// a session over the sample corpus is persisted to a data directory,
+// sealed, and closed; the reopen side then measures persist.Open +
+// session restore + full KB materialization from demoted segments (the
+// daemon's warm-restart boot), against rebuilding the same KB from raw
+// documents through the full NLP pipeline (what a restart cost before
+// the durable store existed). The restored fingerprint must match the
+// pre-shutdown session exactly, and reopen must be >= 5x cheaper than
+// the rebuild — both sides measured in this same run.
+type ColdRestartResult struct {
+	Docs                 int     `json:"docs"`
+	NsReopen             int64   `json:"ns_reopen"`
+	NsRebuild            int64   `json:"ns_rebuild"`
+	SpeedupVsRebuild     float64 `json:"speedup_vs_rebuild"`
+	BlobBytes            int64   `json:"blob_bytes"`
+	FingerprintIdentical bool    `json:"fingerprint_identical"`
+}
+
 // MachineInfo pins the environment the numbers came from.
 type MachineInfo struct {
 	GOOS       string `json:"goos"`
@@ -194,6 +221,7 @@ func main() {
 		baseline   = flag.String("baseline", "", "baseline JSON to diff against (e.g. BENCH_PR3.json); regressions beyond -tolerance fail the run")
 		tolerance  = flag.Float64("tolerance", 0.20, "allowed relative regression vs -baseline on cold allocs/bytes")
 		checkNS    = flag.Bool("check-ns", false, "also fail on cold ns_per_build regressions (off by default: not comparable across machines)")
+		sweep      = flag.Int("sweep", 0, "determinism sweep: repeat the serial-vs-pooled fingerprint invariant N times (cycling pool sizes), print per-document diagnostics on any mismatch, then exit without benchmarking")
 	)
 	flag.Parse()
 	if *nDocs < 1 || *iters < 1 {
@@ -224,6 +252,11 @@ func main() {
 	if effPar <= 0 {
 		effPar = runtime.NumCPU()
 	}
+
+	if *sweep > 0 {
+		os.Exit(sweepFingerprints(ctx, sys, w, *nDocs, effPar, *sweep))
+	}
+
 	serialKB, _, err := sys.BuildKBContext(ctx, corpus.Docs(w.WikiDataset(*nDocs)), qkbfly.WithParallelism(1))
 	if err != nil {
 		fatal(err)
@@ -234,6 +267,7 @@ func main() {
 	}
 	identical := serialKB.Fingerprint() == parKB.Fingerprint()
 	if !identical {
+		dumpFingerprintDiagnostics(ctx, sys, w, *nDocs, 1, effPar)
 		fatal(fmt.Errorf("pooled parallel KB (p=%d) differs from serial KB", effPar))
 	}
 
@@ -389,6 +423,26 @@ func main() {
 		}
 	}
 
+	// ColdRestart: reopen a sealed data directory vs rebuild from raw
+	// documents; acceptance gates (fingerprint identity, >= 5x) below.
+	// 8x the cold-build corpus — a long-lived session window's worth of
+	// state, the regime restart durability exists for — so the reopen
+	// path's fixed costs (manifest replay, pack read) amortize the way
+	// they do in the daemon.
+	restartDocs := 8 * *nDocs
+	fmt.Fprintf(os.Stderr, "restart: reopen %d docs from disk vs rebuild...\n", restartDocs)
+	restart, err := measureColdRestart(ctx, sys, w, restartDocs, effPar)
+	if err != nil {
+		fatal(err)
+	}
+	if !restart.FingerprintIdentical {
+		fatal(fmt.Errorf("restored session fingerprint differs from the pre-shutdown session"))
+	}
+	if restart.SpeedupVsRebuild < 5 {
+		fatal(fmt.Errorf("reopening the durable store is only %.2fx faster than rebuilding %d docs from scratch (need >= 5x)",
+			restart.SpeedupVsRebuild, restartDocs))
+	}
+
 	// Warm path: a long-lived server answering the same query from cache.
 	actors := w.EntitiesOfType("ACTOR")
 	if len(actors) == 0 {
@@ -454,6 +508,7 @@ func main() {
 		Ingest:  ingest,
 		Sliding: sliding,
 		Pattern: pattern,
+		Restart: restart,
 		Machine: MachineInfo{
 			GOOS: runtime.GOOS, GOARCH: runtime.GOARCH,
 			NumCPU: runtime.NumCPU(), GoVersion: runtime.Version(),
@@ -468,14 +523,15 @@ func main() {
 	if err := os.WriteFile(*out, blob, 0o644); err != nil {
 		fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "cold %.2fms/build (%d allocs, %s), ingest %.2fms/increment (%.1f× rebuild), slide %.1fµs @W=%d (%.1f× re-merge, growth %.2fx vs %.0fx linear), warm %.1fµs/query (%.0f× cold), pattern %.1fµs stream (%.0f× scan+materialize, hit %.1fµs, delta %.1fµs) -> %s\n",
+	fmt.Fprintf(os.Stderr, "cold %.2fms/build (%d allocs, %s), ingest %.2fms/increment (%.1f× rebuild), slide %.1fµs @W=%d (%.1f× re-merge, growth %.2fx vs %.0fx linear), warm %.1fµs/query (%.0f× cold), pattern %.1fµs stream (%.0f× scan+materialize, hit %.1fµs, delta %.1fµs), restart %.2fms reopen (%.1f× rebuild, %s on disk) -> %s\n",
 		float64(cold.NsPerBuild)/1e6, cold.AllocsPerBuild, humanBytes(cold.BytesPerBuild),
 		float64(ingest.NsPerIncrement)/1e6, ingest.SpeedupVsRebuild,
 		float64(sliding.NsPerSlide)/1e3, sliding.Window, sliding.SpeedupVsRemerge,
 		sliding.WindowGrowthRatio, float64(sliding.Window)/float64(max(sliding.SmallWindow, 1)),
 		float64(warmNS)/1e3, warm.SpeedupVsCold,
 		float64(pattern.NsColdStream)/1e3, pattern.SpeedupVsScan,
-		float64(pattern.NsWarmCacheHit)/1e3, float64(pattern.NsDeltaEval)/1e3, *out)
+		float64(pattern.NsWarmCacheHit)/1e3, float64(pattern.NsDeltaEval)/1e3,
+		float64(restart.NsReopen)/1e6, restart.SpeedupVsRebuild, humanBytes(uint64(restart.BlobBytes)), *out)
 
 	if *baseline != "" {
 		if err := compareBaseline(*baseline, *tolerance, *checkNS, cold); err != nil {
@@ -932,6 +988,238 @@ func compareBaseline(path string, tol float64, checkNS bool, cold ColdResult) er
 		return err
 	}
 	return check("cold ns/build", float64(cold.NsPerBuild), float64(base.NsPerBuild), checkNS)
+}
+
+// measureColdRestart persists a session over a sliding-stream corpus
+// into a sealed data directory, then measures the daemon's warm-restart
+// boot — persist.Open (manifest replay, blob verification, decode) +
+// session restore — against what recovering the same serving-ready
+// state cost before the durable store existed: re-ingesting every raw
+// document through the full NLP pipeline. Both sides end in the same
+// place (a live session at the recovered version; materialization stays
+// lazy in both), and the restored fingerprint is checked against the
+// pre-shutdown session outside the timed regions.
+func measureColdRestart(ctx context.Context, sys *qkbfly.System, w *corpus.World, nDocs, effPar int) (ColdRestartResult, error) {
+	dir, err := os.MkdirTemp("", "qkbfly-bench-restart-")
+	if err != nil {
+		return ColdRestartResult{}, err
+	}
+	defer os.RemoveAll(dir)
+
+	// Rebuild baseline first: a fresh session re-ingesting the raw
+	// documents, each iteration over its own copy of the stream (builds
+	// annotate documents in place).
+	const rebuildIters = 3
+	var rebuildNS int64
+	for i := 0; i < rebuildIters; i++ {
+		docs, err := slidingDocs(w, nDocs)
+		if err != nil {
+			return ColdRestartResult{}, err
+		}
+		sess := sys.OpenSession(qkbfly.SessionOptions{BuildOptions: []qkbfly.Option{qkbfly.WithParallelism(effPar)}})
+		t0 := time.Now()
+		if _, _, err := sess.Ingest(ctx, docs); err != nil {
+			return ColdRestartResult{}, err
+		}
+		rebuildNS += time.Since(t0).Nanoseconds()
+		sess.Close()
+	}
+	rebuildNS /= rebuildIters
+
+	p, _, err := persist.Open(dir, persist.Options{})
+	if err != nil {
+		return ColdRestartResult{}, err
+	}
+	sess := sys.OpenSession(qkbfly.SessionOptions{
+		Persist:      p,
+		BuildOptions: []qkbfly.Option{qkbfly.WithParallelism(effPar)},
+	})
+	docs, err := slidingDocs(w, nDocs)
+	if err != nil {
+		return ColdRestartResult{}, err
+	}
+	if _, _, err := sess.Ingest(ctx, docs); err != nil {
+		return ColdRestartResult{}, err
+	}
+	want := sess.Snapshot().Fingerprint()
+	sess.Close()
+	p.Flush()
+	p.Seal(want)
+	if err := p.Close(); err != nil {
+		return ColdRestartResult{}, err
+	}
+
+	var blobBytes int64
+	entries, err := os.ReadDir(filepath.Join(dir, "blobs"))
+	if err != nil {
+		return ColdRestartResult{}, err
+	}
+	for _, e := range entries {
+		if info, err := e.Info(); err == nil {
+			blobBytes += info.Size()
+		}
+	}
+
+	// Each iteration reopens the store from scratch: fresh manifest
+	// replay, fresh blob verification, fresh segments, fresh tree.
+	const iters = 5
+	identical := true
+	var reopenNS int64
+	for i := 0; i < iters; i++ {
+		t0 := time.Now()
+		p2, rec, err := persist.Open(dir, persist.Options{})
+		if err != nil {
+			return ColdRestartResult{}, err
+		}
+		st := qkbfly.SessionState{Version: rec.Version, NextSeq: rec.NextSeq}
+		for _, d := range rec.Docs {
+			st.Docs = append(st.Docs, qkbfly.DocState{Key: d.Key, Seq: d.Seq, Seg: d.Seg})
+		}
+		sess2, err := qkbfly.Restore(sys, qkbfly.SessionOptions{Persist: p2}, st)
+		if err != nil {
+			return ColdRestartResult{}, err
+		}
+		reopenNS += time.Since(t0).Nanoseconds()
+		// Verification outside the timed region: the restored session must
+		// reproduce the pre-shutdown KB byte for byte.
+		if sess2.Snapshot().Fingerprint() != want {
+			identical = false
+		}
+		sess2.Close()
+		if err := p2.Close(); err != nil {
+			return ColdRestartResult{}, err
+		}
+	}
+	res := ColdRestartResult{
+		Docs:                 nDocs,
+		NsReopen:             reopenNS / iters,
+		NsRebuild:            rebuildNS,
+		BlobBytes:            blobBytes,
+		FingerprintIdentical: identical,
+	}
+	if res.NsReopen > 0 {
+		res.SpeedupVsRebuild = float64(res.NsRebuild) / float64(res.NsReopen)
+	}
+	return res, nil
+}
+
+// sweepFingerprints repeats the serial-vs-pooled fingerprint invariant
+// `rounds` times, cycling the pool size through {1, 2, effPar}, and
+// prints per-document shard diagnostics on any mismatch. It exists to
+// chase the rare CI flake where a pooled build diverges from the serial
+// reference: a mismatch here pinpoints the offending documents (or the
+// merge stage) instead of just failing the invariant.
+func sweepFingerprints(ctx context.Context, sys *qkbfly.System, w *corpus.World, nDocs, effPar, rounds int) int {
+	pools := []int{1}
+	for _, p := range []int{2, effPar} {
+		if p > pools[len(pools)-1] {
+			pools = append(pools, p)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "sweep: %d rounds x %d docs, pool sizes %v vs serial...\n", rounds, nDocs, pools)
+	bad := 0
+	for r := 0; r < rounds; r++ {
+		pp := pools[r%len(pools)]
+		serial, _, err := sys.BuildKBContext(ctx, corpus.Docs(w.WikiDataset(nDocs)), qkbfly.WithParallelism(1))
+		if err != nil {
+			fatal(err)
+		}
+		pooled, _, err := sys.BuildKBContext(ctx, corpus.Docs(w.WikiDataset(nDocs)), qkbfly.WithParallelism(pp))
+		if err != nil {
+			fatal(err)
+		}
+		if serial.Fingerprint() != pooled.Fingerprint() {
+			bad++
+			fmt.Fprintf(os.Stderr, "sweep round %d: pooled KB (p=%d) differs from serial KB\n", r, pp)
+			printFingerprintDiff(serial.Fingerprint(), pooled.Fingerprint(), "serial", fmt.Sprintf("p=%d", pp))
+			dumpFingerprintDiagnostics(ctx, sys, w, nDocs, 1, pp)
+		}
+		if (r+1)%25 == 0 {
+			fmt.Fprintf(os.Stderr, "sweep: %d/%d rounds, %d mismatches\n", r+1, rounds, bad)
+		}
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "sweep: %d of %d rounds mismatched\n", bad, rounds)
+		return 1
+	}
+	fmt.Fprintf(os.Stderr, "sweep clean: %d rounds, serial == pooled every time\n", rounds)
+	return 0
+}
+
+// dumpFingerprintDiagnostics localizes a fingerprint divergence between
+// two parallelism settings: it rebuilds the per-document shards under
+// both and prints a short hash of every diverging document's shard —
+// or, if all shards match, attributes the divergence to the merge
+// stage. Runs only on the failure path, so cost is irrelevant.
+func dumpFingerprintDiagnostics(ctx context.Context, sys *qkbfly.System, w *corpus.World, nDocs, pa, pb int) {
+	short := func(kb *store.KB) string {
+		if kb == nil {
+			return "<nil shard>"
+		}
+		sum := sha256.Sum256([]byte(kb.Fingerprint()))
+		return hex.EncodeToString(sum[:8])
+	}
+	docs := corpus.Docs(w.WikiDataset(nDocs))
+	a, _, errA := sys.BuildShardsContext(ctx, docs, qkbfly.WithParallelism(pa))
+	b, _, errB := sys.BuildShardsContext(ctx, corpus.Docs(w.WikiDataset(nDocs)), qkbfly.WithParallelism(pb))
+	if errA != nil || errB != nil {
+		fmt.Fprintf(os.Stderr, "diagnostics: shard rebuild failed (p=%d: %v, p=%d: %v)\n", pa, errA, pb, errB)
+		return
+	}
+	mismatched := 0
+	for i := range docs {
+		fa, fb := short(a[i]), short(b[i])
+		if fa != fb {
+			mismatched++
+			fmt.Fprintf(os.Stderr, "  doc %-28s shard diverges: p=%d %s, p=%d %s\n", docs[i].ID, pa, fa, pb, fb)
+			printFingerprintDiff(a[i].Fingerprint(), b[i].Fingerprint(),
+				fmt.Sprintf("p=%d", pa), fmt.Sprintf("p=%d", pb))
+		}
+	}
+	ma, mb := engine.MergeShards(a), engine.MergeShards(b)
+	switch {
+	case mismatched > 0:
+		fmt.Fprintf(os.Stderr, "diagnostics: %d of %d per-document shards diverge (above); divergence originates in the per-document build pipeline\n",
+			mismatched, len(docs))
+	case ma.Fingerprint() != mb.Fingerprint():
+		fmt.Fprintf(os.Stderr, "diagnostics: all %d per-document shards identical, but merged KBs diverge (%s vs %s): divergence originates in the merge stage\n",
+			len(docs), short(ma), short(mb))
+	default:
+		fmt.Fprintf(os.Stderr, "diagnostics: all %d shards and the merged KBs are identical on re-build; the original divergence did not reproduce (state carried across builds?)\n",
+			len(docs))
+	}
+}
+
+// printFingerprintDiff prints the canonical-fingerprint lines present on
+// only one side of a divergence (capped per side) — the actual facts or
+// entity records that differ, not just hashes.
+func printFingerprintDiff(fa, fb, labelA, labelB string) {
+	count := func(s string) map[string]int {
+		m := map[string]int{}
+		for _, l := range strings.Split(s, "\n") {
+			if l != "" {
+				m[l]++
+			}
+		}
+		return m
+	}
+	ca, cb := count(fa), count(fb)
+	dump := func(label string, have, other map[string]int) {
+		shown := 0
+		for l, n := range have {
+			if other[l] >= n {
+				continue
+			}
+			if shown == 6 {
+				fmt.Fprintf(os.Stderr, "    %s only: ... (more)\n", label)
+				break
+			}
+			fmt.Fprintf(os.Stderr, "    %s only: %s\n", label, l)
+			shown++
+		}
+	}
+	dump(labelA, ca, cb)
+	dump(labelB, cb, ca)
 }
 
 func humanBytes(b uint64) string {

@@ -29,6 +29,8 @@ package main
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"errors"
 	"flag"
 	"fmt"
@@ -41,6 +43,7 @@ import (
 
 	"qkbfly"
 	"qkbfly/internal/corpus"
+	"qkbfly/internal/kb/store/persist"
 	"qkbfly/internal/nlp/clause"
 	"qkbfly/internal/nlp/depparse"
 	"qkbfly/internal/qa"
@@ -64,6 +67,8 @@ func main() {
 		pprofAddr     = flag.String("pprof", "", "net/http/pprof listen address (e.g. localhost:6060; empty = disabled)")
 		window        = flag.Int("session-window", 0, "live-session rolling window in documents (0 = unbounded)")
 		history       = flag.Int("session-history", 0, "live-session versions retained for /facts?since= (0 = default 1024)")
+		dataDir       = flag.String("data-dir", "", "durable segment-store directory: session state survives restarts (empty = in-memory only)")
+		memBudget     = flag.Int64("mem-budget", 0, "resident segment-payload byte budget with -data-dir; cold segments demote to disk (0 = keep everything resident)")
 	)
 	flag.Parse()
 
@@ -114,10 +119,61 @@ func main() {
 	// -session-window slide publishes exactly one version whose /facts
 	// delta is the increment's diff. Tau is left 0 so /facts and watchers
 	// see every fact; clients filter with their own ?tau=.
-	session := server.OpenSession(qkbfly.SessionOptions{
+	sessOpts := qkbfly.SessionOptions{
 		MaxDocuments: *window,
 		HistoryLimit: *history,
-	})
+	}
+
+	// With -data-dir the session is durable: every published version's
+	// leaf segments are written back as content-addressed blobs and the
+	// manifest replayed on the next boot, so a restart resumes at the
+	// exact pre-restart version instead of an empty session.
+	var (
+		pstore  *persist.Store
+		session *qkbfly.Session
+	)
+	if *dataDir != "" {
+		var rec *persist.Recovered
+		var err error
+		pstore, rec, err = persist.Open(*dataDir, persist.Options{MemoryBudget: int(*memBudget)})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "opening -data-dir %s: %v\n", *dataDir, err)
+			os.Exit(1)
+		}
+		sessOpts.Persist = pstore
+		server.SetPersistStats(pstore.Counters)
+		if rec.Version > 0 {
+			st := qkbfly.SessionState{Version: rec.Version, NextSeq: rec.NextSeq}
+			for _, d := range rec.Docs {
+				st.Docs = append(st.Docs, qkbfly.DocState{Key: d.Key, Seq: d.Seq, Seg: d.Seg})
+			}
+			session, err = qkbfly.Restore(server, sessOpts, st)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "restoring session from %s: %v\n", *dataDir, err)
+				os.Exit(1)
+			}
+			if rec.Sealed {
+				// A sealed manifest pins the KB fingerprint the previous
+				// process shut down with: verify the restored session
+				// reproduces it exactly before serving anything.
+				sum := sha256.Sum256([]byte(session.Snapshot().Fingerprint()))
+				if got := hex.EncodeToString(sum[:]); got != rec.FingerprintSHA {
+					fmt.Fprintf(os.Stderr, "restored KB fingerprint does not match the sealed manifest (data corruption?): refusing to serve\n")
+					os.Exit(1)
+				}
+				fmt.Fprintf(os.Stderr, "warm restart: version %d, %d documents, fingerprint verified\n",
+					rec.Version, len(rec.Docs))
+			} else {
+				fmt.Fprintf(os.Stderr, "recovering from unclean shutdown: resumed at last complete version %d, %d documents\n",
+					rec.Version, len(rec.Docs))
+			}
+		} else {
+			fmt.Fprintf(os.Stderr, "durable store initialized at %s\n", *dataDir)
+		}
+	}
+	if session == nil {
+		session = server.OpenSession(sessOpts)
+	}
 	defer session.Close()
 	handler := serve.NewHandler(server, serve.HandlerOptions{
 		DefaultSource: "wikipedia",
@@ -148,6 +204,17 @@ func main() {
 	defer cancel()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fmt.Fprintf(os.Stderr, "shutdown: %v\n", err)
+	}
+	if pstore != nil {
+		// Drain the writeback queue, then seal the manifest with the final
+		// KB fingerprint so the next boot can verify its warm restart.
+		pstore.Flush()
+		pstore.Seal(session.Snapshot().Fingerprint())
+		if err := pstore.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "closing durable store: %v\n", err)
+		} else {
+			fmt.Fprintf(os.Stderr, "durable store sealed at version %d\n", session.Snapshot().Version())
+		}
 	}
 	snap := server.Stats()
 	fmt.Fprintf(os.Stderr, "bye: %d query entries, %d shards, counters %v\n",

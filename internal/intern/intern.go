@@ -144,6 +144,10 @@ var Default = NewTable()
 // S interns s in the Default table.
 func S(s string) string { return Default.Intern(s) }
 
+// B interns the string represented by b in the Default table without
+// allocating on the hit path — the decode-side twin of S.
+func B(b []byte) string { return Default.InternBytes(b) }
+
 // ---------------------------------------------------------------------------
 // Lower-casing cache
 // ---------------------------------------------------------------------------

@@ -1,0 +1,210 @@
+package store
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+// blobMap is an in-memory stand-in for the persistence layer's blob
+// store: leaf segments round-trip through the codec on fault-in, exactly
+// as a disk-backed loader would.
+type blobMap struct {
+	mu    sync.Mutex
+	blobs map[string][]byte
+	loads int
+}
+
+func (m *blobMap) put(key string, seg *Segment) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.blobs == nil {
+		m.blobs = make(map[string][]byte)
+	}
+	m.blobs[key] = EncodeSegment(seg)
+}
+
+func (m *blobMap) loader(key string) func() (*Segment, error) {
+	return func() (*Segment, error) {
+		m.mu.Lock()
+		blob, ok := m.blobs[key]
+		m.loads++
+		m.mu.Unlock()
+		if !ok {
+			return nil, fmt.Errorf("no blob %q", key)
+		}
+		return DecodeSegment(blob)
+	}
+}
+
+// demoteAll drops every demotable payload reachable from the tree,
+// returning how many segments were demoted.
+func demoteAll(t *Tree) int {
+	n := 0
+	for _, s := range t.AllSegments() {
+		if s.Demote() > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// buildDemotableTree pushes nDocs random shards (evicting a few along the
+// way), persists each leaf into blobs and arms its loader. Returns the
+// tree and a reference tree built from always-resident copies of the same
+// shards under the identical push/remove schedule.
+func buildDemotableTree(t *testing.T, seed int64, nDocs int) (tree, ref *Tree, blobs *blobMap) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	blobs = &blobMap{}
+	tree, ref = NewTree(nil), NewTree(nil)
+	live := []uint64{}
+	for i := 0; i < nDocs; i++ {
+		doc := fmt.Sprintf("doc-%d", i)
+		shard := randShard(rng, doc)
+		leaf := SealSegment(shard, "blob:"+doc)
+		refLeaf := SealSegment(shard, "blob:"+doc)
+		blobs.put(doc, leaf)
+		leaf.AttachLoader(blobs.loader(doc))
+		seq := uint64(i)
+		tree = tree.Push(leaf, seq)
+		ref = ref.Push(refLeaf, seq)
+		live = append(live, seq)
+		if len(live) > 3 && rng.Intn(3) == 0 {
+			victim := live[rng.Intn(len(live)-1)] // never the newest
+			var ok bool
+			if tree, ok = tree.Remove(victim); !ok {
+				t.Fatalf("remove %d not found", victim)
+			}
+			ref, _ = ref.Remove(victim)
+			for j, s := range live {
+				if s == victim {
+					live = append(live[:j], live[j+1:]...)
+					break
+				}
+			}
+		}
+	}
+	return tree, ref, blobs
+}
+
+// TestDemoteFaultBackMaterialize demotes every segment of a tree (leaves
+// to their blobs, merges to their re-merge loaders) and asserts the
+// faulted-back materialization is byte-identical to the always-resident
+// reference.
+func TestDemoteFaultBackMaterialize(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		tree, ref, blobs := buildDemotableTree(t, seed, 24)
+		if n := demoteAll(tree); n == 0 {
+			t.Fatal("nothing demoted")
+		}
+		for _, s := range tree.AllSegments() {
+			if s.Resident() {
+				t.Fatalf("segment %q still resident after demote", s.ID())
+			}
+		}
+		sameKB(t, tree.Materialize(), ref.Materialize(), fmt.Sprintf("seed %d", seed))
+		if blobs.loads == 0 {
+			t.Fatal("materialize never faulted a leaf blob")
+		}
+		// Fingerprints must match an all-resident build too.
+		if tree.Materialize().Fingerprint() != ref.Materialize().Fingerprint() {
+			t.Fatalf("seed %d: fingerprint mismatch after fault-back", seed)
+		}
+	}
+}
+
+// TestDemoteFaultBackScan demotes everything and asserts ScanPrefix (the
+// pattern-query substrate), Lookup and EstimatePrefix agree with the
+// resident reference for every key.
+func TestDemoteFaultBackScan(t *testing.T) {
+	tree, ref, _ := buildDemotableTree(t, 42, 24)
+	demoteAll(tree)
+
+	collect := func(tr *Tree, prefix string) []string {
+		var out []string
+		c := tr.ScanPrefix(prefix)
+		for {
+			k, f, ok := c.Next()
+			if !ok {
+				return out
+			}
+			out = append(out, fmt.Sprintf("%s=%s|%.3f|%v|%s", k, f.String(), f.Confidence, f.Source, f.Pattern))
+		}
+	}
+	if got, want := collect(tree, ""), collect(ref, ""); len(got) != len(want) {
+		t.Fatalf("full scan: %d rows vs %d", len(got), len(want))
+	} else {
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("full scan row %d:\n got %s\nwant %s", i, got[i], want[i])
+			}
+		}
+	}
+
+	demoteAll(tree) // drop again: per-prefix scans fault independently
+	kb := ref.Materialize()
+	for _, f := range kb.Facts() {
+		prefix := ValueKey(f.Subject)
+		got, want := collect(tree, prefix), collect(ref, prefix)
+		if fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Fatalf("prefix %q: scans differ\n got %v\nwant %v", prefix, got, want)
+		}
+		if g, w := tree.EstimatePrefix(prefix), ref.EstimatePrefix(prefix); g != w {
+			t.Fatalf("prefix %q: estimate %d vs %d", prefix, g, w)
+		}
+	}
+	for i := range kb.Facts() {
+		k := string(appendFactKey(nil, &kb.Facts()[i]))
+		gf, gok := tree.Lookup(k)
+		wf, wok := ref.Lookup(k)
+		if gok != wok || gf.String() != wf.String() || gf.Confidence != wf.Confidence || gf.Source != wf.Source {
+			t.Fatalf("lookup %q differs", k)
+		}
+	}
+}
+
+// TestDemoteConcurrentReaders demotes segments while readers scan and
+// materialize — cursors pin the payload they opened over, fresh accesses
+// fault back in; run under -race this is the aliasing safety net.
+func TestDemoteConcurrentReaders(t *testing.T) {
+	tree, ref, _ := buildDemotableTree(t, 7, 16)
+	want := ref.Materialize().Fingerprint()
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				demoteAll(tree)
+			}
+		}
+	}()
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 20; j++ {
+				if got := tree.Materialize().Fingerprint(); got != want {
+					t.Errorf("reader saw wrong fingerprint")
+					return
+				}
+				c := tree.ScanPrefix("")
+				for {
+					if _, _, ok := c.Next(); !ok {
+						break
+					}
+				}
+			}
+		}()
+	}
+	time.Sleep(10 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+}

@@ -1,0 +1,113 @@
+// The pack file is a warm-boot accelerator: Seal concatenates every live
+// blob into <dir>/pack so the next boot's recovery streams one
+// sequential file instead of opening one content-addressed blob file
+// per document. The pack is purely a cache — recovery verifies every
+// pack slice against its content address before trusting it, falls back
+// to the per-blob files on any mismatch or miss, and a stale pack (from
+// an older seal) simply misses newer hashes. It is written via
+// temp+rename, so a crash mid-write leaves either the complete previous
+// pack or none at all; correctness never depends on it.
+//
+// Layout: magic "qpak" | format version (1 byte) | entries until EOF,
+// each entry being the 64-byte hex content hash, a uvarint blob length,
+// and the blob bytes.
+package persist
+
+import (
+	"encoding/binary"
+	"os"
+	"path/filepath"
+)
+
+var packMagic = []byte("qpak")
+
+const packFormatVersion = 1
+
+func (s *Store) packPath() string { return filepath.Join(s.dir, "pack") }
+
+// writePack rewrites the pack from the given live document set, reading
+// each referenced blob back from the blob store. Failures only warn: the
+// pack is an accelerator, never a correctness dependency.
+func (s *Store) writePack(docs []docRef) {
+	seen := make(map[string]bool, len(docs))
+	buf := append([]byte(nil), packMagic...)
+	buf = append(buf, packFormatVersion)
+	for _, d := range docs {
+		if seen[d.Hash] {
+			continue
+		}
+		seen[d.Hash] = true
+		blob, err := os.ReadFile(s.blobPath(d.Hash))
+		if err != nil {
+			s.opt.Logf("persist: pack: reading blob %s: %v (pack not written)", d.Hash[:12], err)
+			return
+		}
+		buf = append(buf, d.Hash...)
+		buf = binary.AppendUvarint(buf, uint64(len(blob)))
+		buf = append(buf, blob...)
+	}
+	tmp, err := os.CreateTemp(s.dir, ".tmp-pack-*")
+	if err != nil {
+		s.opt.Logf("persist: pack: %v (pack not written)", err)
+		return
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(buf); err != nil {
+		tmp.Close()
+		s.opt.Logf("persist: pack: %v (pack not written)", err)
+		return
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		s.opt.Logf("persist: pack: %v (pack not written)", err)
+		return
+	}
+	if err := tmp.Close(); err != nil {
+		s.opt.Logf("persist: pack: %v (pack not written)", err)
+		return
+	}
+	if err := os.Rename(tmp.Name(), s.packPath()); err != nil {
+		s.opt.Logf("persist: pack: %v (pack not written)", err)
+		return
+	}
+	if err := syncDir(s.dir); err != nil {
+		s.opt.Logf("persist: pack: syncing directory: %v", err)
+		return
+	}
+	s.packBytes.Store(int64(len(buf)))
+}
+
+// loadPack reads the pack into a hash → blob-bytes map for recovery to
+// consult. Any structural damage truncates the map at the last intact
+// entry with a warning — the per-blob files remain authoritative. A
+// missing pack (cold directory, unclean shutdown) returns nil silently.
+func (s *Store) loadPack() map[string][]byte {
+	buf, err := os.ReadFile(s.packPath())
+	if err != nil {
+		return nil
+	}
+	hdr := len(packMagic) + 1
+	if len(buf) < hdr || string(buf[:len(packMagic)]) != string(packMagic) || buf[len(packMagic)] != packFormatVersion {
+		s.opt.Logf("persist: ignoring unrecognized pack file")
+		return nil
+	}
+	m := make(map[string][]byte)
+	pos := hdr
+	for pos < len(buf) {
+		if pos+64 > len(buf) {
+			s.opt.Logf("persist: pack truncated mid-entry; using %d intact entries", len(m))
+			break
+		}
+		h := string(buf[pos : pos+64])
+		pos += 64
+		n, w := binary.Uvarint(buf[pos:])
+		if w <= 0 || n > uint64(len(buf)-pos-w) {
+			s.opt.Logf("persist: pack truncated mid-entry; using %d intact entries", len(m))
+			break
+		}
+		pos += w
+		m[h] = buf[pos : pos+int(n)]
+		pos += int(n)
+	}
+	return m
+}

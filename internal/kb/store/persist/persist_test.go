@@ -1,0 +1,517 @@
+package persist
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"qkbfly/internal/kb/store"
+)
+
+// sim drives a Store the way a session would: pushing leaf segments into
+// a merge tree and publishing each version, so tests can crash it at any
+// point and compare recovery against the in-memory truth.
+type sim struct {
+	t       *testing.T
+	store   *Store
+	tree    *store.Tree
+	version uint64
+	nextSeq uint64
+	docs    []string // live keys, arrival order
+	seqs    map[string]uint64
+	rng     *rand.Rand
+}
+
+func newSim(t *testing.T, s *Store, seed int64) *sim {
+	return &sim{t: t, store: s, tree: store.NewTree(nil),
+		seqs: map[string]uint64{}, rng: rand.New(rand.NewSource(seed))}
+}
+
+// shardKB builds a deterministic tiny KB for a document key.
+func shardKB(key string, flavor int) *store.KB {
+	kb := store.New()
+	kb.AddEntity(store.EntityRecord{ID: "E" + key, Name: "entity " + key,
+		Mentions: []string{key}, Types: []string{fmt.Sprintf("T%d", flavor%3)}})
+	for i := 0; i <= flavor%3; i++ {
+		kb.AddFact(store.Fact{
+			Subject:    store.Value{EntityID: fmt.Sprintf("E%d", (flavor+i)%5)},
+			Relation:   fmt.Sprintf("rel%d", i),
+			Objects:    []store.Value{{Literal: "v-" + key}},
+			Confidence: 0.5 + float64(flavor%5)/10,
+			Source:     store.Provenance{DocID: key, SentIndex: i},
+		})
+	}
+	return kb
+}
+
+// ingest publishes one version adding the given docs (and optionally
+// evicting the oldest), mirroring Session.Ingest's Publish call.
+func (m *sim) ingest(keys ...string) {
+	var addKeys []string
+	var addSeqs []uint64
+	var addSegs []*store.Segment
+	for _, k := range keys {
+		seg := store.SealSegment(shardKB(k, int(m.nextSeq)), "blob:"+k)
+		m.tree = m.tree.Push(seg, m.nextSeq)
+		m.seqs[k] = m.nextSeq
+		m.docs = append(m.docs, k)
+		addKeys = append(addKeys, k)
+		addSeqs = append(addSeqs, m.nextSeq)
+		addSegs = append(addSegs, seg)
+		m.nextSeq++
+	}
+	m.version++
+	m.store.Publish(m.version, m.nextSeq, addKeys, addSeqs, addSegs, nil, m.tree)
+}
+
+// evict publishes one version removing the given docs.
+func (m *sim) evict(keys ...string) {
+	var dels []uint64
+	for _, k := range keys {
+		seq, ok := m.seqs[k]
+		if !ok {
+			m.t.Fatalf("evict %q: not live", k)
+		}
+		m.tree, _ = m.tree.Remove(seq)
+		dels = append(dels, seq)
+		delete(m.seqs, k)
+		for i, d := range m.docs {
+			if d == k {
+				m.docs = append(m.docs[:i], m.docs[i+1:]...)
+				break
+			}
+		}
+	}
+	m.version++
+	m.store.Publish(m.version, m.nextSeq, nil, nil, nil, dels, m.tree)
+}
+
+// replayTree rebuilds a tree from recovered docs by pushing in arrival
+// order — what qkbfly.Restore does.
+func replayTree(rec *Recovered) *store.Tree {
+	t := store.NewTree(nil)
+	for _, d := range rec.Docs {
+		t = t.Push(d.Seg, d.Seq)
+	}
+	return t
+}
+
+func docKeys(rec *Recovered) []string {
+	out := make([]string, len(rec.Docs))
+	for i, d := range rec.Docs {
+		out[i] = d.Key
+	}
+	return out
+}
+
+func mustOpen(t *testing.T, dir string, opt Options) (*Store, *Recovered) {
+	t.Helper()
+	if opt.Logf == nil {
+		opt.Logf = t.Logf
+	}
+	s, rec, err := Open(dir, opt)
+	if err != nil {
+		t.Fatalf("Open(%s): %v", dir, err)
+	}
+	return s, rec
+}
+
+func TestPersistRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, rec := mustOpen(t, dir, Options{})
+	if rec.Version != 0 || len(rec.Docs) != 0 {
+		t.Fatalf("fresh dir recovered %+v", rec)
+	}
+	m := newSim(t, s, 1)
+	m.ingest("a", "b", "c")
+	m.ingest("d")
+	m.evict("b")
+	m.ingest("e", "f")
+	want := m.tree.Materialize().Fingerprint()
+	s.Flush()
+	s.Seal(want)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, rec2 := mustOpen(t, dir, Options{})
+	defer s2.Close()
+	if rec2.Version != m.version || rec2.NextSeq != m.nextSeq {
+		t.Fatalf("recovered version=%d nextSeq=%d, want %d/%d", rec2.Version, rec2.NextSeq, m.version, m.nextSeq)
+	}
+	if got, wantDocs := fmt.Sprint(docKeys(rec2)), fmt.Sprint(m.docs); got != wantDocs {
+		t.Fatalf("recovered docs %s, want %s", got, wantDocs)
+	}
+	if !rec2.Sealed {
+		t.Fatal("sealed manifest not reported as sealed")
+	}
+	sum := sha256.Sum256([]byte(want))
+	if rec2.FingerprintSHA != hex.EncodeToString(sum[:]) {
+		t.Fatal("seal fingerprint SHA mismatch")
+	}
+	// Without a memory budget recovery hands back resident segments (it
+	// read and verified every blob anyway); each must still be demotable
+	// and fault back to identical content.
+	for _, d := range rec2.Docs {
+		if !d.Seg.Resident() {
+			t.Fatalf("recovered segment %q not resident (no memory budget set)", d.Key)
+		}
+		if d.Seg.Demote() <= 0 {
+			t.Fatalf("recovered segment %q not demotable", d.Key)
+		}
+	}
+	if got := replayTree(rec2).Materialize().Fingerprint(); got != want {
+		t.Fatalf("restored fingerprint differs\n got %s\nwant %s", got, want)
+	}
+
+	// A budgeted reopen must come up lean: boot demotion holds the
+	// recovered corpus under the budget instead of loading it all.
+	s3, rec3 := mustOpen(t, dir, Options{MemoryBudget: 1})
+	defer s3.Close()
+	resident := 0
+	for _, d := range rec3.Docs {
+		resident += d.Seg.MemBytes()
+	}
+	if resident > 1 {
+		t.Fatalf("budgeted reopen kept %d resident payload bytes (budget 1)", resident)
+	}
+	if got := replayTree(rec3).Materialize().Fingerprint(); got != want {
+		t.Fatalf("budgeted restore fingerprint differs")
+	}
+}
+
+func TestPersistRestartEquivalenceRandomized(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		dir := t.TempDir()
+		s, _ := mustOpen(t, dir, Options{CheckpointEvery: 3})
+		m := newSim(t, s, seed)
+		n := 0
+		for step := 0; step < 40; step++ {
+			if len(m.docs) > 2 && m.rng.Intn(3) == 0 {
+				m.evict(m.docs[m.rng.Intn(len(m.docs))])
+			} else {
+				batch := []string{}
+				for k := 0; k <= m.rng.Intn(2); k++ {
+					batch = append(batch, fmt.Sprintf("doc-%d", n))
+					n++
+				}
+				m.ingest(batch...)
+			}
+		}
+		want := m.tree.Materialize().Fingerprint()
+		s.Flush()
+		s.Close()
+
+		s2, rec := mustOpen(t, dir, Options{})
+		if rec.Sealed {
+			t.Fatalf("seed %d: unsealed close reported sealed", seed)
+		}
+		if rec.Version != m.version {
+			t.Fatalf("seed %d: recovered version %d, want %d", seed, rec.Version, m.version)
+		}
+		if got := replayTree(rec).Materialize().Fingerprint(); got != want {
+			t.Fatalf("seed %d: fingerprint mismatch after restart", seed)
+		}
+		s2.Close()
+	}
+}
+
+// corruptTail simulates the classic torn writes against a closed store's
+// directory and asserts recovery lands exactly on wantVersion.
+func reopenExpect(t *testing.T, dir string, wantVersion uint64, wantDocs int) *Recovered {
+	t.Helper()
+	s, rec := mustOpen(t, dir, Options{})
+	defer s.Close()
+	if rec.Version != wantVersion {
+		t.Fatalf("recovered version %d, want %d", rec.Version, wantVersion)
+	}
+	if len(rec.Docs) != wantDocs {
+		t.Fatalf("recovered %d docs, want %d", len(rec.Docs), wantDocs)
+	}
+	// The recovered state must always be loadable end to end.
+	if replayTree(rec).Materialize() == nil {
+		t.Fatal("materialize failed")
+	}
+	return rec
+}
+
+func TestPersistTornManifestRecord(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := mustOpen(t, dir, Options{})
+	m := newSim(t, s, 2)
+	m.ingest("a", "b")
+	m.ingest("c")
+	s.Flush()
+	s.Close()
+
+	// Tear the last record mid-frame: recovery must land on version 1.
+	path := filepath.Join(dir, "manifest.log")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)-5], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	reopenExpect(t, dir, 1, 2)
+
+	// And the truncation must have cleaned the tail: a fresh reopen after
+	// the recovery sees a whole manifest again.
+	reopenExpect(t, dir, 1, 2)
+}
+
+func TestPersistCrashBetweenBlobAndRecord(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := mustOpen(t, dir, Options{})
+	m := newSim(t, s, 3)
+	m.ingest("a")
+	s.Flush()
+	s.Close()
+
+	// Simulate "blob written, record never appended": drop an orphan blob
+	// in. Recovery must ignore it entirely.
+	orphan := store.EncodeSegment(store.SealSegment(shardKB("orphan", 1), "blob:orphan"))
+	sum := sha256.Sum256(orphan)
+	if err := os.WriteFile(filepath.Join(dir, "blobs", hex.EncodeToString(sum[:])), orphan, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	reopenExpect(t, dir, 1, 1)
+}
+
+func TestPersistMissingBlobDropsVersion(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := mustOpen(t, dir, Options{})
+	m := newSim(t, s, 4)
+	m.ingest("a")
+	m.ingest("b")
+	m.ingest("c")
+	s.Flush()
+	s.Close()
+
+	// Delete c's blob: versions referencing it must be dropped, recovery
+	// lands on version 2 with docs a, b.
+	var victim string
+	blobs, _ := os.ReadDir(filepath.Join(dir, "blobs"))
+	for _, e := range blobs {
+		blob, _ := os.ReadFile(filepath.Join(dir, "blobs", e.Name()))
+		if strings.Contains(string(blob), "v-c") {
+			victim = e.Name()
+		}
+	}
+	if victim == "" {
+		t.Fatal("c's blob not found")
+	}
+	if err := os.Remove(filepath.Join(dir, "blobs", victim)); err != nil {
+		t.Fatal(err)
+	}
+	rec := reopenExpect(t, dir, 2, 2)
+	if got := fmt.Sprint(docKeys(rec)); got != "[a b]" {
+		t.Fatalf("recovered docs %s, want [a b]", got)
+	}
+}
+
+func TestPersistCorruptBlobQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	var warnings []string
+	logf := func(format string, args ...any) { warnings = append(warnings, fmt.Sprintf(format, args...)) }
+	s, _ := mustOpen(t, dir, Options{})
+	m := newSim(t, s, 5)
+	m.ingest("a")
+	m.ingest("b")
+	s.Flush()
+	s.Close()
+
+	// Corrupt b's blob header region: recovery must quarantine it with a
+	// warning (no panic) and land on version 1.
+	var victim string
+	blobs, _ := os.ReadDir(filepath.Join(dir, "blobs"))
+	for _, e := range blobs {
+		blob, _ := os.ReadFile(filepath.Join(dir, "blobs", e.Name()))
+		if strings.Contains(string(blob), "v-b") {
+			victim = e.Name()
+			blob[20] ^= 0xff
+			os.WriteFile(filepath.Join(dir, "blobs", e.Name()), blob, 0o644)
+		}
+	}
+	if victim == "" {
+		t.Fatal("b's blob not found")
+	}
+	s2, rec, err := Open(dir, Options{Logf: logf})
+	if err != nil {
+		t.Fatalf("recovery errored instead of quarantining: %v", err)
+	}
+	defer s2.Close()
+	if rec.Version != 1 || len(rec.Docs) != 1 {
+		t.Fatalf("recovered version=%d docs=%d, want 1/1", rec.Version, len(rec.Docs))
+	}
+	if _, err := os.Stat(filepath.Join(dir, "quarantine", victim)); err != nil {
+		t.Fatalf("corrupt blob not quarantined: %v", err)
+	}
+	found := false
+	for _, w := range warnings {
+		if strings.Contains(w, "quarantined") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no quarantine warning logged; warnings: %v", warnings)
+	}
+}
+
+func TestPersistCheckpointBoundsReplay(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := mustOpen(t, dir, Options{CheckpointEvery: 2})
+	m := newSim(t, s, 6)
+	for i := 0; i < 9; i++ {
+		m.ingest(fmt.Sprintf("d%d", i))
+		if i%4 == 3 {
+			m.evict(m.docs[0])
+		}
+	}
+	want := m.tree.Materialize().Fingerprint()
+	s.Flush()
+	if got := s.Counters()["checkpoints"]; got == 0 {
+		t.Fatal("no checkpoints written")
+	}
+	s.Close()
+
+	_, rec := mustOpen(t, dir, Options{})
+	if got := replayTree(rec).Materialize().Fingerprint(); got != want {
+		t.Fatal("fingerprint mismatch after checkpointed restart")
+	}
+}
+
+func TestPersistDemotionBudget(t *testing.T) {
+	dir := t.TempDir()
+	// A tiny budget forces everything cold after each writeback.
+	s, _ := mustOpen(t, dir, Options{MemoryBudget: 1})
+	m := newSim(t, s, 7)
+	for i := 0; i < 8; i++ {
+		m.ingest(fmt.Sprintf("d%d", i))
+	}
+	want := m.tree.Materialize().Fingerprint() // faults everything back
+	s.Flush()
+	c := s.Counters()
+	if c["demoted_segments"] == 0 {
+		t.Fatalf("no demotions under a 1-byte budget: %v", c)
+	}
+	s.Flush() // barrier: the demotion sweep after the last version ran
+	if got := m.tree.Materialize().Fingerprint(); got != want {
+		t.Fatal("fingerprint changed after demotion")
+	}
+	if s.Counters()["blobs_loaded"] == 0 {
+		t.Fatal("no faults recorded despite demotion")
+	}
+	s.Close()
+}
+
+func TestPersistContentAddressingDedups(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := mustOpen(t, dir, Options{})
+	m := newSim(t, s, 8)
+	m.ingest("x")
+	m.evict("x")
+	// Same key re-ingested at the same flavor seq parity may differ; use a
+	// fresh sim seq — instead publish an identical segment directly.
+	seg := store.SealSegment(shardKB("x", 0), "blob:x")
+	seg2 := store.SealSegment(shardKB("x", 0), "blob:x")
+	m.version++
+	m.store.Publish(m.version, m.nextSeq+1, []string{"x1"}, []uint64{m.nextSeq}, []*store.Segment{seg}, nil, m.tree)
+	m.version++
+	m.store.Publish(m.version, m.nextSeq+2, []string{"x2"}, []uint64{m.nextSeq + 1}, []*store.Segment{seg2}, nil, m.tree)
+	s.Flush()
+	c := s.Counters()
+	if c["blobs_reused"] == 0 {
+		t.Fatalf("identical content not deduped: %v", c)
+	}
+	s.Close()
+}
+
+func TestPersistPackAcceleratesAndSurvivesCorruption(t *testing.T) {
+	dir := t.TempDir()
+	var warnings []string
+	logf := func(format string, args ...any) { warnings = append(warnings, fmt.Sprintf(format, args...)) }
+	s, _ := mustOpen(t, dir, Options{})
+	m := newSim(t, s, 7)
+	m.ingest("a", "b", "c")
+	m.ingest("d")
+	want := m.tree.Materialize().Fingerprint()
+	s.Flush()
+	s.Seal(want)
+	s.Close()
+
+	// A sealed shutdown wrote the pack; recovery must serve every blob
+	// from it without touching the per-blob files.
+	if _, err := os.Stat(filepath.Join(dir, "pack")); err != nil {
+		t.Fatalf("seal did not write a pack: %v", err)
+	}
+	s2, rec := mustOpen(t, dir, Options{})
+	if got := s2.Counters()["pack_hits"]; got != int64(len(rec.Docs)) {
+		t.Fatalf("pack served %d blobs, want %d", got, len(rec.Docs))
+	}
+	if got := replayTree(rec).Materialize().Fingerprint(); got != want {
+		t.Fatal("pack-backed recovery fingerprint differs")
+	}
+	s2.Close()
+
+	// Corrupt one pack entry: recovery warns, falls back to the per-blob
+	// file for that entry, and still restores the full state.
+	pack, err := os.ReadFile(filepath.Join(dir, "pack"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pack[len(pack)-3] ^= 0xff
+	if err := os.WriteFile(filepath.Join(dir, "pack"), pack, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s3, rec3, err := Open(dir, Options{Logf: logf})
+	if err != nil {
+		t.Fatalf("recovery with corrupt pack entry errored: %v", err)
+	}
+	if len(rec3.Docs) != len(rec.Docs) || !rec3.Sealed {
+		t.Fatalf("corrupt pack entry lost state: %d docs sealed=%v", len(rec3.Docs), rec3.Sealed)
+	}
+	if got := replayTree(rec3).Materialize().Fingerprint(); got != want {
+		t.Fatal("fallback recovery fingerprint differs")
+	}
+	s3.Close()
+	found := false
+	for _, w := range warnings {
+		if strings.Contains(w, "pack entry") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no pack-fallback warning; warnings: %v", warnings)
+	}
+
+	// The reverse failure: a blob file rots but the pack copy is intact —
+	// recovery proceeds from the pack (the redundancy goes both ways).
+	// The victim is a, whose pack entry is NOT the one corrupted above.
+	var victim string
+	blobs, _ := os.ReadDir(filepath.Join(dir, "blobs"))
+	for _, e := range blobs {
+		blob, _ := os.ReadFile(filepath.Join(dir, "blobs", e.Name()))
+		if strings.Contains(string(blob), "v-a") {
+			victim = e.Name()
+			blob[20] ^= 0xff
+			os.WriteFile(filepath.Join(dir, "blobs", e.Name()), blob, 0o644)
+		}
+	}
+	if victim == "" {
+		t.Fatal("a's blob not found")
+	}
+	s4, rec4 := mustOpen(t, dir, Options{})
+	defer s4.Close()
+	if len(rec4.Docs) != len(rec.Docs) {
+		t.Fatalf("pack did not cover rotted blob file: %d docs", len(rec4.Docs))
+	}
+	if got := replayTree(rec4).Materialize().Fingerprint(); got != want {
+		t.Fatal("pack-covered recovery fingerprint differs")
+	}
+}

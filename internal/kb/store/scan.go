@@ -38,31 +38,33 @@ func prefixEnd(prefix string) string {
 	return ""
 }
 
-// prefixRange binary-searches the segment's sorted key index for the
+// prefixRange binary-searches a payload's sorted key index for the
 // half-open position range [lo, hi) of keys starting with prefix.
-func (s *Segment) prefixRange(prefix string) (lo, hi int) {
-	lo = sort.Search(len(s.sorted), func(i int) bool { return s.keys[s.sorted[i]] >= prefix })
+func (d *segData) prefixRange(prefix string) (lo, hi int) {
+	lo = sort.Search(len(d.sorted), func(i int) bool { return d.keys[d.sorted[i]] >= prefix })
 	if end := prefixEnd(prefix); end != "" {
-		hi = lo + sort.Search(len(s.sorted)-lo, func(i int) bool { return s.keys[s.sorted[lo+i]] >= end })
+		hi = lo + sort.Search(len(d.sorted)-lo, func(i int) bool { return d.keys[d.sorted[lo+i]] >= end })
 	} else {
-		hi = len(s.sorted)
+		hi = len(d.sorted)
 	}
 	return lo, hi
 }
 
 // SegmentCursor streams one segment's facts in dedup-key order over a
 // key-prefix range. Returned fact pointers alias the segment's immutable
-// storage — read-only, like Segment.Lookup.
+// storage — read-only, like Segment.Lookup. The cursor pins the payload
+// it was opened over, so a concurrent demotion never invalidates it.
 type SegmentCursor struct {
-	seg      *Segment
+	data     *segData
 	pos, end int
 }
 
 // ScanPrefix returns a cursor over the segment's facts whose dedup key
 // starts with prefix ("" scans the whole segment), in key order.
 func (s *Segment) ScanPrefix(prefix string) *SegmentCursor {
-	lo, hi := s.prefixRange(prefix)
-	return &SegmentCursor{seg: s, pos: lo, end: hi}
+	d := s.payload()
+	lo, hi := d.prefixRange(prefix)
+	return &SegmentCursor{data: d, pos: lo, end: hi}
 }
 
 // Remaining returns how many facts the cursor has left to yield.
@@ -74,9 +76,9 @@ func (c *SegmentCursor) Next() (key string, f *Fact, ok bool) {
 	if c.pos >= c.end {
 		return "", nil, false
 	}
-	i := c.seg.sorted[c.pos]
+	i := c.data.sorted[c.pos]
 	c.pos++
-	return c.seg.keys[i], &c.seg.facts[i], true
+	return c.data.keys[i], &c.data.facts[i], true
 }
 
 // EstimatePrefix returns the number of facts across the tree's runs whose
@@ -87,7 +89,7 @@ func (c *SegmentCursor) Next() (key string, f *Fact, ok bool) {
 func (t *Tree) EstimatePrefix(prefix string) int {
 	n := 0
 	for _, r := range t.runs {
-		lo, hi := r.seg.prefixRange(prefix)
+		lo, hi := r.seg.payload().prefixRange(prefix)
 		n += hi - lo
 	}
 	return n

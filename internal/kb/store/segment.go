@@ -20,14 +20,39 @@
 package store
 
 import (
+	"fmt"
 	"hash/fnv"
 	"slices"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 )
 
-// Segment is an immutable, sealed span of KB content. All fields are
-// read-only after sealing; Segments may be shared between goroutines,
+// segData is a segment's resident payload. It is immutable once built
+// and shared by pointer; a demoted segment drops its pointer and faults
+// a fresh one back in from the persistence layer on next access.
+type segData struct {
+	facts []Fact   // first-occurrence order; Objects owned by the segment
+	keys  []string // keys[i] is the dedup key of facts[i]
+	// sorted holds fact indices ordered by key — the join index for
+	// merging and the binary-search index for Lookup.
+	sorted []int32
+
+	ents []EntityRecord // first-seen order; Mentions/Types owned
+
+	bytes int // approximate resident heap footprint
+}
+
+// segClock is a process-wide access tick used to order segments for LRU
+// demotion (see Segment.LastUse).
+var segClock atomic.Uint64
+
+// Segment is an immutable, sealed span of KB content. Its metadata
+// (identity, document count, fact count) is plain read-only state; its
+// payload (facts, keys, entities) lives behind an atomic pointer so the
+// persistence layer can demote cold segments to disk and fault them back
+// transparently on access. Segments may be shared between goroutines,
 // sessions and caches without synchronization.
 type Segment struct {
 	// id identifies the segment's content for partial-merge caching:
@@ -41,14 +66,155 @@ type Segment struct {
 	// merged inputs) — carried for the serving layer's saved-time
 	// accounting.
 	buildTime time.Duration
+	// factCount and entCount mirror the payload's lengths so size
+	// queries (Len, Tree.FactCount) never fault a demoted segment in.
+	factCount int
+	entCount  int
 
-	facts []Fact   // first-occurrence order; Objects owned by the segment
-	keys  []string // keys[i] is the dedup key of facts[i]
-	// sorted holds fact indices ordered by key — the join index for
-	// merging and the binary-search index for Lookup.
-	sorted []int32
+	data    atomic.Pointer[segData]
+	lastUse atomic.Uint64 // segClock tick of the most recent payload access
 
-	ents []EntityRecord // first-seen order; Mentions/Types owned
+	// loadMu serializes faults and guards load.
+	loadMu sync.Mutex
+	// load rehydrates the payload of a demoted segment (attached by the
+	// persistence layer; nil for purely in-memory segments, which are
+	// never demoted).
+	load func() (*Segment, error)
+}
+
+// payload returns the segment's resident data, faulting it back in from
+// the attached loader when demoted.
+func (s *Segment) payload() *segData {
+	if d := s.data.Load(); d != nil {
+		s.lastUse.Store(segClock.Add(1))
+		return d
+	}
+	return s.faultIn()
+}
+
+// faultIn reloads a demoted segment's payload under loadMu. The loader is
+// responsible for recovery (checksum quarantine, rebuild from children);
+// a loader that still fails indicates the backing store was lost at
+// runtime, which is unrecoverable here.
+func (s *Segment) faultIn() *segData {
+	s.loadMu.Lock()
+	defer s.loadMu.Unlock()
+	if d := s.data.Load(); d != nil {
+		return d
+	}
+	if s.load == nil {
+		panic("store: segment demoted without a loader")
+	}
+	loaded, err := s.load()
+	if err != nil {
+		panic(fmt.Sprintf("store: segment %q fault failed: %v", s.id, err))
+	}
+	d := loaded.payload()
+	if len(d.facts) != s.factCount || len(d.ents) != s.entCount {
+		panic(fmt.Sprintf("store: segment %q fault returned %d facts / %d entities, want %d / %d",
+			s.id, len(d.facts), len(d.ents), s.factCount, s.entCount))
+	}
+	s.data.Store(d)
+	s.lastUse.Store(segClock.Add(1))
+	return d
+}
+
+// AttachLoader arms the segment for demotion: load must rehydrate an
+// equivalent resident segment (normally by reading the segment's blob
+// back from disk). The persistence layer attaches loaders only after a
+// segment's blob is durably written and verified.
+func (s *Segment) AttachLoader(load func() (*Segment, error)) {
+	s.loadMu.Lock()
+	s.load = load
+	s.loadMu.Unlock()
+}
+
+// Demote drops the resident payload of a loader-armed segment, returning
+// the approximate bytes released (0 when the segment has no loader or is
+// already demoted). Readers holding the old payload keep using it —
+// payloads are immutable — and the next fresh access faults it back in.
+func (s *Segment) Demote() int {
+	s.loadMu.Lock()
+	defer s.loadMu.Unlock()
+	if s.load == nil {
+		return 0
+	}
+	d := s.data.Load()
+	if d == nil {
+		return 0
+	}
+	s.data.Store(nil)
+	return d.bytes
+}
+
+// Resident reports whether the segment's payload is currently in memory.
+func (s *Segment) Resident() bool { return s.data.Load() != nil }
+
+// MemBytes returns the approximate heap footprint of the resident
+// payload (0 when demoted).
+func (s *Segment) MemBytes() int {
+	if d := s.data.Load(); d != nil {
+		return d.bytes
+	}
+	return 0
+}
+
+// LastUse returns the global access tick of the segment's most recent
+// payload access — the LRU ordering key for demotion policies.
+func (s *Segment) LastUse() uint64 { return s.lastUse.Load() }
+
+// NewDemotedSegment constructs a segment whose payload is not resident:
+// metadata comes from the on-disk blob header, and the first access
+// faults the full payload in through load. This is how a restart exposes
+// a persisted corpus without reading any fact data up front.
+func NewDemotedSegment(id string, docs int, buildTime time.Duration, factCount, entCount int, load func() (*Segment, error)) *Segment {
+	return &Segment{
+		id:        id,
+		docs:      docs,
+		buildTime: buildTime,
+		factCount: factCount,
+		entCount:  entCount,
+		load:      load,
+	}
+}
+
+// segDataBytes approximates a payload's heap footprint: string bytes plus
+// fixed per-record overheads. It is a demotion-accounting estimate, not
+// an exact measure.
+func segDataBytes(d *segData) int {
+	n := 0
+	for i := range d.facts {
+		f := &d.facts[i]
+		n += 96 + len(f.Relation) + len(f.Pattern) + len(f.Subject.EntityID) + len(f.Subject.Literal) + len(f.Source.DocID)
+		for _, o := range f.Objects {
+			n += 40 + len(o.EntityID) + len(o.Literal)
+		}
+	}
+	for _, k := range d.keys {
+		n += 16 + len(k)
+	}
+	n += 4 * len(d.sorted)
+	for i := range d.ents {
+		e := &d.ents[i]
+		n += 80 + len(e.ID) + len(e.Name)
+		for _, m := range e.Mentions {
+			n += 16 + len(m)
+		}
+		for _, t := range e.Types {
+			n += 16 + len(t)
+		}
+	}
+	return n
+}
+
+// seal finalizes a payload into the segment: counts and footprint are
+// derived, and the payload pointer published.
+func (s *Segment) seal(d *segData) *Segment {
+	d.bytes = segDataBytes(d)
+	s.factCount = len(d.facts)
+	s.entCount = len(d.ents)
+	s.data.Store(d)
+	return s
 }
 
 // SealSegment freezes a KB shard into an immutable Segment. The shard's
@@ -56,9 +222,7 @@ type Segment struct {
 // can keep being mutated (or discarded) afterwards. id is the segment's
 // cache identity ("" = uncacheable).
 func SealSegment(kb *KB, id string) *Segment {
-	s := &Segment{
-		id:     id,
-		docs:   1,
+	d := &segData{
 		facts:  make([]Fact, len(kb.facts)),
 		keys:   make([]string, len(kb.facts)),
 		sorted: make([]int32, len(kb.facts)),
@@ -67,24 +231,24 @@ func SealSegment(kb *KB, id string) *Segment {
 	for i := range kb.facts {
 		f := kb.facts[i]
 		f.Objects = append([]Value(nil), f.Objects...)
-		s.facts[i] = f
+		d.facts[i] = f
 	}
 	// The shard's byKey index already holds every fact's dedup key.
 	for k, i := range kb.byKey {
-		s.keys[i] = k
+		d.keys[i] = k
 	}
-	for i := range s.sorted {
-		s.sorted[i] = int32(i)
+	for i := range d.sorted {
+		d.sorted[i] = int32(i)
 	}
-	sort.Slice(s.sorted, func(a, b int) bool { return s.keys[s.sorted[a]] < s.keys[s.sorted[b]] })
+	sort.Slice(d.sorted, func(a, b int) bool { return d.keys[d.sorted[a]] < d.keys[d.sorted[b]] })
 	for _, eid := range kb.order {
 		e := kb.entities[eid]
 		ec := *e
 		ec.Mentions = append([]string(nil), e.Mentions...)
 		ec.Types = append([]string(nil), e.Types...)
-		s.ents = append(s.ents, ec)
+		d.ents = append(d.ents, ec)
 	}
-	return s
+	return (&Segment{id: id, docs: 1}).seal(d)
 }
 
 // ID returns the segment's cache identity ("" when uncacheable).
@@ -93,8 +257,9 @@ func (s *Segment) ID() string { return s.id }
 // Docs returns the number of document shards folded into the segment.
 func (s *Segment) Docs() int { return s.docs }
 
-// Len returns the number of (deduplicated) facts in the segment.
-func (s *Segment) Len() int { return len(s.facts) }
+// Len returns the number of (deduplicated) facts in the segment. It is
+// metadata: calling it never faults a demoted payload back in.
+func (s *Segment) Len() int { return s.factCount }
 
 // BuildTime returns the accumulated pipeline time behind the segment.
 func (s *Segment) BuildTime() time.Duration { return s.buildTime }
@@ -108,20 +273,21 @@ func (s *Segment) SetBuildTime(d time.Duration) { s.buildTime = d }
 // Lookup returns the fact stored under a dedup key, if any. The returned
 // pointer aliases the segment's immutable storage — read-only.
 func (s *Segment) Lookup(key string) (*Fact, bool) {
-	i := sort.Search(len(s.sorted), func(i int) bool { return s.keys[s.sorted[i]] >= key })
-	if i < len(s.sorted) && s.keys[s.sorted[i]] == key {
-		return &s.facts[s.sorted[i]], true
+	d := s.payload()
+	i := sort.Search(len(d.sorted), func(i int) bool { return d.keys[d.sorted[i]] >= key })
+	if i < len(d.sorted) && d.keys[d.sorted[i]] == key {
+		return &d.facts[d.sorted[i]], true
 	}
 	return nil, false
 }
 
 // Keys returns the segment's dedup keys in fact order. The slice is the
 // segment's immutable storage — read-only.
-func (s *Segment) Keys() []string { return s.keys }
+func (s *Segment) Keys() []string { return s.payload().keys }
 
 // Entities returns the segment's entity records in first-seen order. The
 // slice is the segment's immutable storage — read-only.
-func (s *Segment) Entities() []EntityRecord { return s.ents }
+func (s *Segment) Entities() []EntityRecord { return s.payload().ents }
 
 // MergeFunc merges two adjacent segments (older left). The serving layer
 // substitutes a caching implementation so partial merges are shared
@@ -137,40 +303,38 @@ type MergeFunc func(a, b *Segment) *Segment
 // over the precomputed sorted key indices, so the cost is linear in the
 // two segments' sizes with no map probing.
 func MergeSegments(a, b *Segment) *Segment {
-	out := &Segment{
-		id:        combineSegmentIDs(a.id, b.id),
-		docs:      a.docs + b.docs,
-		buildTime: a.buildTime + b.buildTime,
-		facts:     make([]Fact, len(a.facts), len(a.facts)+len(b.facts)),
-		keys:      make([]string, len(a.facts), len(a.facts)+len(b.facts)),
-		sorted:    make([]int32, 0, len(a.facts)+len(b.facts)),
+	ad, bd := a.payload(), b.payload()
+	out := &segData{
+		facts:  make([]Fact, len(ad.facts), len(ad.facts)+len(bd.facts)),
+		keys:   make([]string, len(ad.facts), len(ad.facts)+len(bd.facts)),
+		sorted: make([]int32, 0, len(ad.facts)+len(bd.facts)),
 	}
-	for i := range a.facts {
-		f := a.facts[i]
+	for i := range ad.facts {
+		f := ad.facts[i]
 		f.Objects = append([]Value(nil), f.Objects...)
 		out.facts[i] = f
 	}
-	copy(out.keys, a.keys)
+	copy(out.keys, ad.keys)
 
 	// One pass over both sorted key sequences: duplicates resolve in
 	// place at a's position, novel b facts are appended afterwards in
 	// their first-occurrence (b slice) order; the merged sorted index
 	// falls out of the same walk.
-	novel := make([]int32, 0, len(b.facts)) // b fact index -> out fact index, filled below
-	bOut := make([]int32, len(b.facts))     // out index per b fact (novel or dup target)
+	novel := make([]int32, 0, len(bd.facts)) // b fact index -> out fact index, filled below
+	bOut := make([]int32, len(bd.facts))     // out index per b fact (novel or dup target)
 	ai, bi := 0, 0
-	for ai < len(a.sorted) && bi < len(b.sorted) {
-		ak, bk := a.keys[a.sorted[ai]], b.keys[b.sorted[bi]]
+	for ai < len(ad.sorted) && bi < len(bd.sorted) {
+		ak, bk := ad.keys[ad.sorted[ai]], bd.keys[bd.sorted[bi]]
 		switch {
 		case ak < bk:
-			out.sorted = append(out.sorted, a.sorted[ai])
+			out.sorted = append(out.sorted, ad.sorted[ai])
 			ai++
 		case ak > bk:
-			bOut[b.sorted[bi]] = -1 // novel; out index assigned in append pass
+			bOut[bd.sorted[bi]] = -1 // novel; out index assigned in append pass
 			bi++
 		default:
-			i, j := a.sorted[ai], b.sorted[bi]
-			af, bf := &out.facts[i], &b.facts[j]
+			i, j := ad.sorted[ai], bd.sorted[bi]
+			af, bf := &out.facts[i], &bd.facts[j]
 			if bf.Confidence > af.Confidence ||
 				(bf.Confidence == af.Confidence && provLess(bf.Source, af.Source)) {
 				af.Confidence = bf.Confidence
@@ -183,35 +347,35 @@ func MergeSegments(a, b *Segment) *Segment {
 			bi++
 		}
 	}
-	for ; ai < len(a.sorted); ai++ {
-		out.sorted = append(out.sorted, a.sorted[ai])
+	for ; ai < len(ad.sorted); ai++ {
+		out.sorted = append(out.sorted, ad.sorted[ai])
 	}
-	for ; bi < len(b.sorted); bi++ {
-		bOut[b.sorted[bi]] = -1
+	for ; bi < len(bd.sorted); bi++ {
+		bOut[bd.sorted[bi]] = -1
 	}
 	// Append b's novel facts in their original order, then splice their
 	// out indices into the sorted walk (the sorted positions of novel
 	// keys are already known from the join: re-walk is O(n) and simpler
 	// than tracking splice points).
-	for j := range b.facts {
+	for j := range bd.facts {
 		if bOut[j] != -1 {
 			continue
 		}
-		f := b.facts[j]
+		f := bd.facts[j]
 		f.Objects = append([]Value(nil), f.Objects...)
 		bOut[j] = int32(len(out.facts))
 		out.facts = append(out.facts, f)
-		out.keys = append(out.keys, b.keys[j])
+		out.keys = append(out.keys, bd.keys[j])
 		novel = append(novel, int32(j))
 	}
 	if len(novel) > 0 {
 		// Rebuild the sorted index by merging the existing sorted walk
 		// (which covers a's facts) with the sorted novel keys.
-		sort.Slice(novel, func(x, y int) bool { return b.keys[novel[x]] < b.keys[novel[y]] })
+		sort.Slice(novel, func(x, y int) bool { return bd.keys[novel[x]] < bd.keys[novel[y]] })
 		merged := make([]int32, 0, len(out.facts))
 		si, ni := 0, 0
 		for si < len(out.sorted) && ni < len(novel) {
-			if out.keys[out.sorted[si]] <= b.keys[novel[ni]] {
+			if out.keys[out.sorted[si]] <= bd.keys[novel[ni]] {
 				merged = append(merged, out.sorted[si])
 				si++
 			} else {
@@ -228,17 +392,17 @@ func MergeSegments(a, b *Segment) *Segment {
 
 	// Entities: a's records first (deep copies), b's unioned in with
 	// first-seen mention/type order preserved — AddEntity semantics.
-	out.ents = make([]EntityRecord, len(a.ents), len(a.ents)+len(b.ents))
-	idx := make(map[string]int, len(a.ents)+len(b.ents))
-	for i := range a.ents {
-		ec := a.ents[i]
+	out.ents = make([]EntityRecord, len(ad.ents), len(ad.ents)+len(bd.ents))
+	idx := make(map[string]int, len(ad.ents)+len(bd.ents))
+	for i := range ad.ents {
+		ec := ad.ents[i]
 		ec.Mentions = append([]string(nil), ec.Mentions...)
 		ec.Types = append([]string(nil), ec.Types...)
 		out.ents[i] = ec
 		idx[ec.ID] = i
 	}
-	for i := range b.ents {
-		be := &b.ents[i]
+	for i := range bd.ents {
+		be := &bd.ents[i]
 		j, ok := idx[be.ID]
 		if !ok {
 			ec := *be
@@ -260,7 +424,118 @@ func MergeSegments(a, b *Segment) *Segment {
 			}
 		}
 	}
-	return out
+	m := (&Segment{
+		id:        combineSegmentIDs(a.id, b.id),
+		docs:      a.docs + b.docs,
+		buildTime: a.buildTime + b.buildTime,
+	}).seal(out)
+	// A merged segment is born demotable: it can always rehydrate by
+	// re-merging its inputs, which fault themselves back recursively —
+	// intermediate merges re-merge their own children, leaves reload from
+	// their blobs. Merging is deterministic in content and layout, so the
+	// rebuilt payload is identical to the dropped one. This is why the
+	// persistence layer only ever writes *leaf* blobs.
+	m.load = func() (*Segment, error) { return MergeSegments(a, b), nil }
+	return m
+}
+
+// LazyMergeSegments returns the merge of a and b as a born-demoted
+// segment: identity metadata travels from the inputs as usual, but the
+// merged payload is built by the self-heal loader on first access
+// instead of eagerly. factCount and entCount must be the exact counts
+// MergeSegments(a, b) would produce — faultIn verifies them — so callers
+// derive them from the inputs' key and entity-ID sets (see
+// RestoreMergeFunc). Merging is deterministic in content and layout, so
+// the deferred payload is identical to the eager one.
+func LazyMergeSegments(a, b *Segment, factCount, entCount int) *Segment {
+	return NewDemotedSegment(
+		combineSegmentIDs(a.id, b.id),
+		a.docs+b.docs,
+		a.buildTime+b.buildTime,
+		factCount, entCount,
+		func() (*Segment, error) { return MergeSegments(a, b), nil },
+	)
+}
+
+// restoreAux is the side state RestoreMergeFunc threads up a replayed
+// tree: a segment's sorted dedup-key and entity-ID sets, enough to
+// compute the exact fact/entity counts of a merge without building its
+// payload.
+type restoreAux struct {
+	keys []string // sorted, unique
+	ents []string // sorted, unique
+}
+
+func auxFromPayload(d *segData) *restoreAux {
+	keys := make([]string, len(d.sorted))
+	for i, j := range d.sorted {
+		keys[i] = d.keys[j]
+	}
+	ents := make([]string, len(d.ents))
+	for i := range d.ents {
+		ents[i] = d.ents[i].ID
+	}
+	sort.Strings(ents)
+	return &restoreAux{keys: keys, ents: ents}
+}
+
+// mergeSortedUnique unions two sorted unique string slices.
+func mergeSortedUnique(a, b []string) []string {
+	out := make([]string, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case a[i] > b[j]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	return append(out, b[j:]...)
+}
+
+// RestoreMergeFunc returns a MergeFunc for replaying a persisted session
+// into a merge tree at restart: every compaction defers its payload (see
+// LazyMergeSegments), so rebuilding a W-document tree is O(W) set walks
+// and pointer work instead of O(W log W) fact-copying merges. Payloads
+// materialize on first access — a query fold, Materialize, or the boot
+// fingerprint check — and are byte-identical to eager merges. A demoted
+// input whose key set is unavailable (a memory-budget boot) falls back
+// to the eager MergeSegments, which would fault it in regardless.
+//
+// The returned function keeps per-segment state and is not safe for
+// concurrent use; replay pushes are single-threaded.
+func RestoreMergeFunc() MergeFunc {
+	aux := make(map[*Segment]*restoreAux)
+	get := func(s *Segment) *restoreAux {
+		if x, ok := aux[s]; ok {
+			return x
+		}
+		if d := s.data.Load(); d != nil {
+			x := auxFromPayload(d)
+			aux[s] = x
+			return x
+		}
+		return nil
+	}
+	return func(a, b *Segment) *Segment {
+		ax, bx := get(a), get(b)
+		if ax == nil || bx == nil {
+			return MergeSegments(a, b)
+		}
+		keys := mergeSortedUnique(ax.keys, bx.keys)
+		ents := mergeSortedUnique(ax.ents, bx.ents)
+		m := LazyMergeSegments(a, b, len(keys), len(ents))
+		aux[m] = &restoreAux{keys: keys, ents: ents}
+		return m
+	}
 }
 
 // CombinedSegmentID returns the cache identity MergeSegments(a, b) would
@@ -289,17 +564,18 @@ func combineSegmentIDs(a, b string) string {
 // the segmented store, equivalent to Merge with a KB holding the same
 // content. Object slices are copied; the segment stays immutable.
 func (kb *KB) MergeSegment(s *Segment) {
-	if n := len(s.ents); n > 0 {
+	d := s.payload()
+	if n := len(d.ents); n > 0 {
 		kb.order = slices.Grow(kb.order, n)
 	}
-	if n := len(s.facts); n > 0 {
+	if n := len(d.facts); n > 0 {
 		kb.facts = slices.Grow(kb.facts, n)
 	}
-	for i := range s.ents {
-		kb.AddEntity(s.ents[i])
+	for i := range d.ents {
+		kb.AddEntity(d.ents[i])
 	}
-	for i := range s.facts {
-		f := s.facts[i]
+	for i := range d.facts {
+		f := d.facts[i]
 		f.Objects = append(make([]Value, 0, len(f.Objects)), f.Objects...)
 		kb.AddFact(f)
 	}
@@ -314,7 +590,7 @@ func MaterializeRuns(runs []*Segment) *KB {
 	total := 0
 	for _, s := range runs {
 		if s != nil {
-			total += len(s.facts)
+			total += s.factCount
 		}
 	}
 	kb.facts = make([]Fact, 0, total)

@@ -113,7 +113,7 @@ func TestSegmentLookup(t *testing.T) {
 	seg := SealSegment(kb, "d1")
 	for i, k := range seg.Keys() {
 		f, ok := seg.Lookup(k)
-		if !ok || f.Pattern != seg.facts[i].Pattern {
+		if !ok || f.Pattern != seg.payload().facts[i].Pattern {
 			t.Fatalf("Lookup(%q) = %+v, %t", k, f, ok)
 		}
 	}

@@ -55,6 +55,14 @@ func (t *Tree) mergeFn() MergeFunc {
 	return MergeSegments
 }
 
+// WithMergeFunc returns a tree over the same runs whose future
+// compactions use merge (nil = MergeSegments). Session restore replays
+// leaves through a deferred-merge function and then rebinds the normal
+// (possibly caching) merge for subsequent pushes.
+func (t *Tree) WithMergeFunc(merge MergeFunc) *Tree {
+	return &Tree{runs: t.runs, merge: merge}
+}
+
 // Len returns the number of live documents in the tree.
 func (t *Tree) Len() int {
 	n := 0
@@ -73,12 +81,36 @@ func (t *Tree) Runs() []*Segment {
 	return out
 }
 
+// AllSegments returns every distinct segment reachable from the tree's
+// runs, including the retained children of partial merges (eviction can
+// re-expose those as runs, so they stay resident until demoted). Each
+// segment appears once. This is the candidate set a memory-budget
+// demotion policy sweeps.
+func (t *Tree) AllSegments() []*Segment {
+	var out []*Segment
+	seen := make(map[*Segment]bool)
+	var walk func(n *treeNode)
+	walk = func(n *treeNode) {
+		if n == nil || seen[n.seg] {
+			return
+		}
+		seen[n.seg] = true
+		out = append(out, n.seg)
+		walk(n.left)
+		walk(n.right)
+	}
+	for _, r := range t.runs {
+		walk(r)
+	}
+	return out
+}
+
 // FactCount returns the total fact count across runs — an upper bound on
 // the materialized KB's Len (duplicate keys across runs collapse).
 func (t *Tree) FactCount() int {
 	n := 0
 	for _, r := range t.runs {
-		n += len(r.seg.facts)
+		n += r.seg.factCount
 	}
 	return n
 }
@@ -179,8 +211,9 @@ func (t *Tree) LookupEntity(id string) (EntityRecord, bool) {
 	var out EntityRecord
 	found := false
 	for _, r := range t.runs {
-		for i := range r.seg.ents {
-			e := &r.seg.ents[i]
+		ents := r.seg.payload().ents
+		for i := range ents {
+			e := &ents[i]
 			if e.ID != id {
 				continue
 			}
@@ -221,7 +254,7 @@ func candidateKeys(segs []*Segment) []string {
 	seen := make(map[string]struct{})
 	var keys []string
 	for _, s := range segs {
-		for _, k := range s.keys {
+		for _, k := range s.payload().keys {
 			if _, ok := seen[k]; !ok {
 				seen[k] = struct{}{}
 				keys = append(keys, k)
@@ -238,8 +271,9 @@ func candidateEntities(segs []*Segment) []string {
 	seen := make(map[string]struct{})
 	var ids []string
 	for _, s := range segs {
-		for i := range s.ents {
-			id := s.ents[i].ID
+		ents := s.payload().ents
+		for i := range ents {
+			id := ents[i].ID
 			if _, ok := seen[id]; !ok {
 				seen[id] = struct{}{}
 				ids = append(ids, id)

@@ -159,6 +159,11 @@ type Server struct {
 	patterns *lruCache  // pattern key -> []query.Row (see serve_query.go)
 	flight   *flightGroup[*Result]
 	pflight  *flightGroup[[]query.Row]
+
+	// persistStats, when set (SetPersistStats), supplies the durable
+	// segment store's counters for /stats — blob writeback, fault-ins,
+	// demotions, recovery. Guarded by mu.
+	persistStats func() map[string]int64
 }
 
 // New returns a Server over the backend (normally a *qkbfly.System).
@@ -208,15 +213,33 @@ type Snapshot struct {
 	RunCapacity     int              `json:"run_capacity"`
 	PatternEntries  int              `json:"pattern_entries"`
 	PatternCapacity int              `json:"pattern_capacity"`
+	// Persist carries the durable segment store's counters when the
+	// daemon runs with -data-dir (blobs written/loaded, demotions,
+	// resident bytes, recovery figures); absent otherwise.
+	Persist map[string]int64 `json:"persist,omitempty"`
+}
+
+// SetPersistStats wires the durable store's counter snapshot into
+// Stats/(/stats). Pass nil to detach.
+func (s *Server) SetPersistStats(fn func() map[string]int64) {
+	s.mu.Lock()
+	s.persistStats = fn
+	s.mu.Unlock()
 }
 
 // Stats returns the current counters and cache occupancy.
 func (s *Server) Stats() Snapshot {
 	s.mu.Lock()
 	q, sh, rn, pt := s.queries.len(), s.shards.len(), s.runs.len(), s.patterns.len()
+	ps := s.persistStats
 	s.mu.Unlock()
+	var persist map[string]int64
+	if ps != nil {
+		persist = ps()
+	}
 	return Snapshot{
 		Counters:        s.counters.Snapshot(),
+		Persist:         persist,
 		QueryEntries:    q,
 		QueryCapacity:   s.opt.Capacity,
 		ShardEntries:    sh,

@@ -11,6 +11,7 @@ package stats
 
 import (
 	"math"
+	"sort"
 	"strings"
 
 	"qkbfly/internal/intern"
@@ -235,17 +236,37 @@ func (s *Stats) Similarity(vec map[string]float64, vecSum float64, entityID stri
 	if evec == nil || vecSum == 0 {
 		return 0
 	}
-	overlap := 0.0
-	for w, v := range vec {
-		if ev, ok := evec[w]; ok {
-			overlap += math.Min(v, ev)
-		}
-	}
+	overlap := mapOverlap(vec, evec)
 	den := math.Min(vecSum, s.ctxSum[entityID])
 	if den == 0 {
 		return 0
 	}
 	return clamp01(overlap / den)
+}
+
+// mapOverlap returns sum_w min(a[w], b[w]) with the terms summed in
+// sorted order. Float addition is not associative, and Go randomizes map
+// iteration order, so accumulating directly over the range loop makes
+// the overlap — and every confidence derived from it — differ by an ULP
+// between otherwise identical builds. Sorting the term multiset first
+// makes the sum a pure function of the two vectors.
+func mapOverlap(a, b map[string]float64) float64 {
+	if len(b) < len(a) {
+		a, b = b, a
+	}
+	var buf [128]float64
+	terms := buf[:0]
+	for w, av := range a {
+		if bv, ok := b[w]; ok {
+			terms = append(terms, math.Min(av, bv))
+		}
+	}
+	sort.Float64s(terms)
+	overlap := 0.0
+	for _, t := range terms {
+		overlap += t
+	}
+	return overlap
 }
 
 // clamp01 guards against floating-point accumulation pushing an overlap
@@ -271,12 +292,7 @@ func (s *Stats) Coherence(e1, e2 string) float64 {
 		v1, v2 = v2, v1
 		e1, e2 = e2, e1
 	}
-	overlap := 0.0
-	for w, a := range v1 {
-		if b, ok := v2[w]; ok {
-			overlap += math.Min(a, b)
-		}
-	}
+	overlap := mapOverlap(v1, v2)
 	den := math.Min(s.ctxSum[e1], s.ctxSum[e2])
 	if den == 0 {
 		return 0

@@ -4,6 +4,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -42,6 +44,19 @@ type SegmentMerger interface {
 	MergeSegments(a, b *store.Segment) *store.Segment
 }
 
+// Persistence receives every published session version, under the
+// session lock, for durable writeback — implemented by
+// internal/kb/store/persist.Store. addKeys/addSeqs/addSegs are the leaf
+// segments this version pushed (parallel slices, push order), delSeqs
+// the arrival sequences it removed, tree the published merge tree, and
+// nextSeq the session's arrival-sequence watermark after the version.
+// Implementations must only enqueue (writeback runs off the ingest
+// path); a restored session does not re-publish its restored state.
+type Persistence interface {
+	Publish(version, nextSeq uint64, addKeys []string, addSeqs []uint64,
+		addSegs []*store.Segment, delSeqs []uint64, tree *store.Tree)
+}
+
 // SessionOptions configure an ingestion session.
 type SessionOptions struct {
 	// BuildOptions are applied to every Ingest's shard build (co-reference
@@ -70,6 +85,10 @@ type SessionOptions struct {
 	// watcher that falls more than a full buffer behind is dropped (its
 	// channel closes), like a lagging changefeed consumer.
 	WatchBuffer int
+	// Persist, when non-nil, receives every published version for durable
+	// writeback (see Persistence). Restart with Restore over the
+	// persistence layer's recovered state.
+	Persist Persistence
 }
 
 // FactEvent is one fact landing in (or being replayed from) a session,
@@ -199,6 +218,86 @@ func Open(b ShardBuilder, opts SessionOptions) *Session {
 		s.segBuilder = sb
 	}
 	return s
+}
+
+// DocState is one live document of a persisted session: its session key,
+// tree arrival sequence, and (typically demoted) sealed segment.
+type DocState struct {
+	Key string
+	Seq uint64
+	Seg *store.Segment
+}
+
+// SessionState is the inventory a persistence layer recovered: the raw
+// material for Restore. Docs are in arrival order with strictly
+// ascending sequences, all below NextSeq.
+type SessionState struct {
+	Version uint64
+	NextSeq uint64
+	Docs    []DocState
+}
+
+// Restore warm-starts a session from persisted state: the recovered leaf
+// segments are replayed through the merge tree in arrival order, and the
+// session resumes at st.Version with an empty diff history. Because
+// segment merging is associative in content and layout, the restored
+// KB is fingerprint-identical to the pre-restart session even though the
+// tree's internal bracketing may differ (evictions before the restart
+// left splits the replay does not reproduce).
+//
+// The history horizon restarts at st.Version: FactsSince/DeltaSince with
+// an older version report ok=false, telling consumers to re-baseline
+// from a full Snapshot — exactly the lagging-consumer contract.
+//
+// Restore does not call opts.Persist for the restored state (it is
+// already durable); subsequent versions publish normally.
+func Restore(b ShardBuilder, opts SessionOptions, st SessionState) (*Session, error) {
+	s := Open(b, opts)
+	// Replay with deferred merges: the tree's layout (and exact run
+	// counts) is rebuilt in pointer work, while every compacted payload
+	// materializes lazily on first access. A restart is ready to serve
+	// without repeating the merge work the previous process already did.
+	tree := s.cur.tree.WithMergeFunc(store.RestoreMergeFunc())
+	var prev uint64
+	for i, d := range st.Docs {
+		if d.Seg == nil {
+			return nil, fmt.Errorf("qkbfly: restore: document %q has no segment", d.Key)
+		}
+		if i > 0 && d.Seq <= prev {
+			return nil, fmt.Errorf("qkbfly: restore: arrival sequences not ascending at %q", d.Key)
+		}
+		if d.Seq >= st.NextSeq {
+			return nil, fmt.Errorf("qkbfly: restore: document %q sequence %d >= next sequence %d", d.Key, d.Seq, st.NextSeq)
+		}
+		if _, dup := s.segs[d.Key]; dup {
+			return nil, fmt.Errorf("qkbfly: restore: duplicate session key %q", d.Key)
+		}
+		prev = d.Seq
+		tree = tree.Push(d.Seg, d.Seq)
+		s.segs[d.Key] = d.Seg
+		s.seqs[d.Key] = d.Seq
+		s.docIDs = append(s.docIDs, d.Key)
+		// Keep synthetic-key counters ahead of any restored anonymous or
+		// duplicate-ID keys so new ones never collide.
+		var n int
+		if _, err := fmt.Sscanf(d.Key, "\x00anon:%d", &n); err == nil && n > s.anonSeq {
+			s.anonSeq = n
+		}
+		if i := strings.LastIndexByte(d.Key, ':'); strings.HasPrefix(d.Key, "\x00dup:") && i >= 0 {
+			if n, err := strconv.Atoi(d.Key[i+1:]); err == nil && n > s.anonSeq {
+				s.anonSeq = n
+			}
+		}
+	}
+	s.nextSeq = st.NextSeq
+	// Rebind the session's normal merge (the serving layer's caching one
+	// when the builder provides it) for everything pushed after restore.
+	var merge store.MergeFunc
+	if m, ok := b.(SegmentMerger); ok {
+		merge = m.MergeSegments
+	}
+	s.cur = &Snapshot{tree: tree.WithMergeFunc(merge), version: st.Version}
+	return s, nil
 }
 
 // OpenSession opens an incremental ingestion session on the system,
@@ -332,6 +431,7 @@ func (s *Session) Ingest(ctx context.Context, docs []*nlp.Document) (*Snapshot, 
 		oldTree := s.cur.tree
 		tree := oldTree
 		changed := make([]*store.Segment, 0, len(foldIdx))
+		ops := &pubOps{}
 		for _, i := range foldIdx {
 			key := newKeys[i]
 			seq := s.nextSeq
@@ -341,6 +441,9 @@ func (s *Session) Ingest(ctx context.Context, docs []*nlp.Document) (*Snapshot, 
 			s.seqs[key] = seq
 			s.docIDs = append(s.docIDs, key)
 			changed = append(changed, segs[i])
+			ops.addKeys = append(ops.addKeys, key)
+			ops.addSeqs = append(ops.addSeqs, seq)
+			ops.addSegs = append(ops.addSegs, segs[i])
 			if i < len(perDoc) {
 				bs.PerDocElapsed = append(bs.PerDocElapsed, perDoc[i])
 			}
@@ -350,7 +453,7 @@ func (s *Session) Ingest(ctx context.Context, docs []*nlp.Document) (*Snapshot, 
 		// this sliding ingest changed.
 		if s.opt.MaxDocuments > 0 && len(s.docIDs) > s.opt.MaxDocuments {
 			over := len(s.docIDs) - s.opt.MaxDocuments
-			tree, changed = s.dropLocked(tree, s.docIDs[:over], changed)
+			tree, changed = s.dropLocked(tree, s.docIDs[:over], changed, ops)
 			s.docIDs = append([]string(nil), s.docIDs[over:]...)
 		}
 		bs.StageElapsed.Merge = time.Since(mergeStart)
@@ -360,16 +463,26 @@ func (s *Session) Ingest(ctx context.Context, docs []*nlp.Document) (*Snapshot, 
 		if s.opt.HistoryLimit > 0 || len(s.watchers) > 0 || len(s.pwatchers) > 0 {
 			delta = store.DiffTrees(oldTree, tree, changed)
 		}
-		s.advanceLocked(tree, delta)
+		s.advanceLocked(tree, delta, ops)
 	}
 	bs.Elapsed = time.Since(start)
 	return s.cur, bs, err
 }
 
+// pubOps collects what one version changed, for the Persistence hook:
+// the leaf segments pushed (parallel slices, push order) and the arrival
+// sequences removed.
+type pubOps struct {
+	addKeys []string
+	addSeqs []uint64
+	addSegs []*store.Segment
+	delSeqs []uint64
+}
+
 // dropLocked removes the given session keys from the tree and the
-// session maps, appending their segments to changed. Callers hold s.mu
-// and fix up s.docIDs themselves.
-func (s *Session) dropLocked(tree *store.Tree, victims []string, changed []*store.Segment) (*store.Tree, []*store.Segment) {
+// session maps, appending their segments to changed and their arrival
+// sequences to ops. Callers hold s.mu and fix up s.docIDs themselves.
+func (s *Session) dropLocked(tree *store.Tree, victims []string, changed []*store.Segment, ops *pubOps) (*store.Tree, []*store.Segment) {
 	for _, id := range victims {
 		seg, ok := s.segs[id]
 		if !ok {
@@ -377,18 +490,22 @@ func (s *Session) dropLocked(tree *store.Tree, victims []string, changed []*stor
 		}
 		tree, _ = tree.Remove(s.seqs[id])
 		changed = append(changed, seg)
+		ops.delSeqs = append(ops.delSeqs, s.seqs[id])
 		delete(s.segs, id)
 		delete(s.seqs, id)
 	}
 	return tree, changed
 }
 
-// advanceLocked publishes tree as the next version, recording its diff
-// and fanning the added and in-place-changed facts out to watchers.
-// Callers hold s.mu.
-func (s *Session) advanceLocked(tree *store.Tree, delta store.Delta) {
+// advanceLocked publishes tree as the next version, recording its diff,
+// handing the version to the persistence sink (if any), and fanning the
+// added and in-place-changed facts out to watchers. Callers hold s.mu.
+func (s *Session) advanceLocked(tree *store.Tree, delta store.Delta, ops *pubOps) {
 	v := s.cur.version + 1
 	s.cur = &Snapshot{tree: tree, version: v}
+	if s.opt.Persist != nil {
+		s.opt.Persist.Publish(v, s.nextSeq, ops.addKeys, ops.addSeqs, ops.addSegs, ops.delSeqs, tree)
+	}
 	if s.opt.HistoryLimit > 0 {
 		s.history = append(s.history, versionDelta{version: v, delta: delta})
 		if over := len(s.history) - s.opt.HistoryLimit; over > 0 {
@@ -474,13 +591,14 @@ func (s *Session) evictLocked(victims []string) int {
 			victimKeys = append(victimKeys, id)
 		}
 	}
-	tree, changed = s.dropLocked(tree, victimKeys, changed)
+	ops := &pubOps{}
+	tree, changed = s.dropLocked(tree, victimKeys, changed, ops)
 	s.docIDs = survivors
 	var delta store.Delta
 	if s.opt.HistoryLimit > 0 || len(s.watchers) > 0 || len(s.pwatchers) > 0 {
 		delta = store.DiffTrees(oldTree, tree, changed)
 	}
-	s.advanceLocked(tree, delta)
+	s.advanceLocked(tree, delta, ops)
 	return len(gone)
 }
 
