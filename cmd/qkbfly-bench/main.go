@@ -12,9 +12,12 @@
 // path (ColdRestart: reopen a sealed data directory and restore the
 // session from demoted segments vs rebuilding the same KB from raw
 // documents, self-gated at >= 5x with the restored fingerprint checked
-// against the pre-shutdown session), and writes the numbers as JSON
-// so PRs can be diffed against the committed baselines (BENCH_PR3.json
-// through BENCH_PR7.json).
+// against the pre-shutdown session), and the replication catch-up path
+// (ReplicaCatchup: apply-and-verify the leader's fingerprint-stamped
+// delta chain from version zero vs re-ingesting the same corpus,
+// self-gated at >= 5x with every intermediate stamp verified), and
+// writes the numbers as JSON so PRs can be diffed against the committed
+// baselines (BENCH_PR3.json through BENCH_PR8.json).
 //
 // Reported per cold build: wall-clock ns, allocations and bytes (from
 // runtime.MemStats deltas), and the per-stage CPU breakdown from the
@@ -74,6 +77,7 @@ type Report struct {
 	Sliding SlidingResult     `json:"sliding_window"`
 	Pattern PatternResult     `json:"pattern_query"`
 	Restart ColdRestartResult `json:"cold_restart"`
+	Replica ReplicaResult     `json:"replica_catchup"`
 	Machine MachineInfo       `json:"machine"`
 }
 
@@ -197,6 +201,33 @@ type ColdRestartResult struct {
 	SpeedupVsRebuild     float64 `json:"speedup_vs_rebuild"`
 	BlobBytes            int64   `json:"blob_bytes"`
 	FingerprintIdentical bool    `json:"fingerprint_identical"`
+}
+
+// ReplicaResult summarizes the ReplicaCatchup measurements: a follower
+// replaying the leader's stamped delta chain from version zero — the
+// exact work internal/replica does on a resync. The gated comparison
+// is per published version, mirroring the sliding-window gate: a
+// replicating mirror pays one delta apply per version
+// (ns_apply_per_version: the finished facts fold in, the NLP pipeline
+// runs zero times), where a mirror without replication re-ingests the
+// whole corpus through the pipeline on every update (ns_rebuild, the
+// cold build measured in this same run over the same documents) —
+// apply must be >= 5x cheaper. Per-version fingerprint verification
+// renders the full canonical KB each version; that deliberate
+// robustness tax is reported (ns_verify_per_version) but not gated —
+// against the real NLP stack it is noise, against this harness's
+// microseconds-per-document synthetic pipeline it is not. Hard gates:
+// every intermediate stamp must verify, and the fully applied chain
+// must fingerprint-match the leader head.
+type ReplicaResult struct {
+	Versions             int     `json:"versions"`
+	NsCatchup            int64   `json:"ns_catchup"` // full from-zero chain, apply + verify
+	NsApplyPerVersion    int64   `json:"ns_apply_per_version"`
+	NsVerifyPerVersion   int64   `json:"ns_verify_per_version"`
+	NsRebuild            int64   `json:"ns_rebuild"` // full-corpus cold build (per-update cost of a rebuild mirror)
+	SpeedupVsRebuild     float64 `json:"speedup_vs_rebuild"` // ns_rebuild / ns_apply_per_version
+	FingerprintsChecked  int     `json:"fingerprints_checked"`
+	FingerprintsVerified bool    `json:"fingerprints_verified"`
 }
 
 // MachineInfo pins the environment the numbers came from.
@@ -443,6 +474,21 @@ func main() {
 			restart.SpeedupVsRebuild, restartDocs))
 	}
 
+	// ReplicaCatchup: apply-and-verify the leader's stamped delta chain
+	// vs re-ingesting the same corpus; gates (fingerprints, >= 5x) below.
+	fmt.Fprintf(os.Stderr, "replica: catch up %d versions by delta vs rebuild...\n", *nDocs)
+	replicaRes, err := measureReplicaCatchup(ctx, sys, w, *nDocs, effPar, cold.NsPerBuild)
+	if err != nil {
+		fatal(err)
+	}
+	if !replicaRes.FingerprintsVerified {
+		fatal(fmt.Errorf("replica catchup: an applied version's fingerprint diverged from the leader's stamp"))
+	}
+	if replicaRes.SpeedupVsRebuild < 5 {
+		fatal(fmt.Errorf("replica per-version delta apply is only %.2fx cheaper than a per-update full rebuild (need >= 5x)",
+			replicaRes.SpeedupVsRebuild))
+	}
+
 	// Warm path: a long-lived server answering the same query from cache.
 	actors := w.EntitiesOfType("ACTOR")
 	if len(actors) == 0 {
@@ -509,6 +555,7 @@ func main() {
 		Sliding: sliding,
 		Pattern: pattern,
 		Restart: restart,
+		Replica: replicaRes,
 		Machine: MachineInfo{
 			GOOS: runtime.GOOS, GOARCH: runtime.GOARCH,
 			NumCPU: runtime.NumCPU(), GoVersion: runtime.Version(),
@@ -523,7 +570,7 @@ func main() {
 	if err := os.WriteFile(*out, blob, 0o644); err != nil {
 		fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "cold %.2fms/build (%d allocs, %s), ingest %.2fms/increment (%.1f× rebuild), slide %.1fµs @W=%d (%.1f× re-merge, growth %.2fx vs %.0fx linear), warm %.1fµs/query (%.0f× cold), pattern %.1fµs stream (%.0f× scan+materialize, hit %.1fµs, delta %.1fµs), restart %.2fms reopen (%.1f× rebuild, %s on disk) -> %s\n",
+	fmt.Fprintf(os.Stderr, "cold %.2fms/build (%d allocs, %s), ingest %.2fms/increment (%.1f× rebuild), slide %.1fµs @W=%d (%.1f× re-merge, growth %.2fx vs %.0fx linear), warm %.1fµs/query (%.0f× cold), pattern %.1fµs stream (%.0f× scan+materialize, hit %.1fµs, delta %.1fµs), restart %.2fms reopen (%.1f× rebuild, %s on disk), replica %.1fµs apply/version (%.0f× per-update rebuild, verify +%.1fµs) -> %s\n",
 		float64(cold.NsPerBuild)/1e6, cold.AllocsPerBuild, humanBytes(cold.BytesPerBuild),
 		float64(ingest.NsPerIncrement)/1e6, ingest.SpeedupVsRebuild,
 		float64(sliding.NsPerSlide)/1e3, sliding.Window, sliding.SpeedupVsRemerge,
@@ -531,7 +578,8 @@ func main() {
 		float64(warmNS)/1e3, warm.SpeedupVsCold,
 		float64(pattern.NsColdStream)/1e3, pattern.SpeedupVsScan,
 		float64(pattern.NsWarmCacheHit)/1e3, float64(pattern.NsDeltaEval)/1e3,
-		float64(restart.NsReopen)/1e6, restart.SpeedupVsRebuild, humanBytes(uint64(restart.BlobBytes)), *out)
+		float64(restart.NsReopen)/1e6, restart.SpeedupVsRebuild, humanBytes(uint64(restart.BlobBytes)),
+		float64(replicaRes.NsApplyPerVersion)/1e3, replicaRes.SpeedupVsRebuild, float64(replicaRes.NsVerifyPerVersion)/1e3, *out)
 
 	if *baseline != "" {
 		if err := compareBaseline(*baseline, *tolerance, *checkNS, cold); err != nil {
@@ -1099,6 +1147,83 @@ func measureColdRestart(ctx context.Context, sys *qkbfly.System, w *corpus.World
 	}
 	if res.NsReopen > 0 {
 		res.SpeedupVsRebuild = float64(res.NsRebuild) / float64(res.NsReopen)
+	}
+	return res, nil
+}
+
+// measureReplicaCatchup measures a follower's from-zero catchup: a
+// leader session (real NLP pipeline) publishes one version per wiki
+// document; the timed region is what internal/replica then does with
+// the exported chain — apply each key-based delta onto the growing KB
+// and verify the applied fingerprint against the version's stamp. The
+// rebuild baseline is the cold full-corpus build measured earlier in
+// this same run over the same document set (what a second node pays to
+// reach the same head without replication). Record export and the
+// leader's own build cost stay outside the timed region.
+func measureReplicaCatchup(ctx context.Context, sys *qkbfly.System, w *corpus.World, versions, effPar int, nsRebuild int64) (ReplicaResult, error) {
+	sess := sys.OpenSession(qkbfly.SessionOptions{
+		HistoryLimit: versions + 8,
+		BuildOptions: []qkbfly.Option{qkbfly.WithParallelism(effPar)},
+	})
+	defer sess.Close()
+	docs := corpus.Docs(w.WikiDataset(versions))
+	for _, d := range docs {
+		if _, _, err := sess.Ingest(ctx, []*nlp.Document{d}); err != nil {
+			return ReplicaResult{}, err
+		}
+	}
+	recs, cur, ok := sess.DeltaRecordsSince(0)
+	if !ok || len(recs) != len(docs) {
+		return ReplicaResult{}, fmt.Errorf("replica: exported %d records (ok=%t), want %d", len(recs), ok, len(docs))
+	}
+	wantHead := sess.Snapshot().Fingerprint()
+
+	const iters = 10
+	res := ReplicaResult{Versions: int(cur), NsRebuild: nsRebuild, FingerprintsVerified: true}
+
+	// Head identity first, outside every timed region.
+	refKB := store.New()
+	for _, rec := range recs {
+		refKB = rec.Delta.Apply(refKB)
+	}
+	if refKB.Fingerprint() != wantHead {
+		res.FingerprintsVerified = false
+	}
+
+	// Apply-only: the delta chain folded onto the growing KB, no
+	// verification — the marginal per-version cost of shipping finished
+	// facts instead of re-running the pipeline.
+	t0 := time.Now()
+	for i := 0; i < iters; i++ {
+		kb := store.New()
+		for _, rec := range recs {
+			kb = rec.Delta.Apply(kb)
+		}
+	}
+	applyChainNS := time.Since(t0).Nanoseconds() / iters
+
+	// Apply + per-version verification: what a follower actually runs.
+	t0 = time.Now()
+	for i := 0; i < iters; i++ {
+		kb := store.New()
+		for _, rec := range recs {
+			kb = rec.Delta.Apply(kb)
+			if qkbfly.FingerprintSHAHex(kb.Fingerprint()) != rec.FingerprintSHA {
+				res.FingerprintsVerified = false
+			}
+			res.FingerprintsChecked++
+		}
+	}
+	res.NsCatchup = time.Since(t0).Nanoseconds() / iters
+	if cur > 0 {
+		res.NsApplyPerVersion = applyChainNS / int64(cur)
+		res.NsVerifyPerVersion = (res.NsCatchup - applyChainNS) / int64(cur)
+		if res.NsVerifyPerVersion < 0 {
+			res.NsVerifyPerVersion = 0
+		}
+	}
+	if res.NsApplyPerVersion > 0 {
+		res.SpeedupVsRebuild = float64(res.NsRebuild) / float64(res.NsApplyPerVersion)
 	}
 	return res, nil
 }

@@ -25,6 +25,16 @@
 // cache. -session-window bounds the session to a rolling window of the
 // most recent documents. SIGINT/SIGTERM drains in-flight requests before
 // exiting.
+//
+// With -follow <leader-url> the daemon runs as a read-only replication
+// follower instead: it skips world generation entirely, subscribes to
+// the leader's GET /deltas stream, applies each version's delta and
+// verifies its KB fingerprint against the leader's stamp before serving
+// it. Reads (/facts, /query, /session) come from the last verified
+// version; /healthz and /stats report role, lag and quarantines. A
+// -data-dir names a blob-store directory (seeded from the leader's) to
+// bootstrap from, so a follower far behind the leader's retained history
+// replays only the versions after its bootstrap.
 package main
 
 import (
@@ -47,6 +57,7 @@ import (
 	"qkbfly/internal/nlp/clause"
 	"qkbfly/internal/nlp/depparse"
 	"qkbfly/internal/qa"
+	"qkbfly/internal/replica"
 	"qkbfly/internal/search"
 	"qkbfly/internal/serve"
 	"qkbfly/internal/stats"
@@ -67,10 +78,17 @@ func main() {
 		pprofAddr     = flag.String("pprof", "", "net/http/pprof listen address (e.g. localhost:6060; empty = disabled)")
 		window        = flag.Int("session-window", 0, "live-session rolling window in documents (0 = unbounded)")
 		history       = flag.Int("session-history", 0, "live-session versions retained for /facts?since= (0 = default 1024)")
-		dataDir       = flag.String("data-dir", "", "durable segment-store directory: session state survives restarts (empty = in-memory only)")
+		dataDir       = flag.String("data-dir", "", "durable segment-store directory: session state survives restarts; with -follow, a blob store seeded from the leader to bootstrap from (empty = in-memory only)")
 		memBudget     = flag.Int64("mem-budget", 0, "resident segment-payload byte budget with -data-dir; cold segments demote to disk (0 = keep everything resident)")
+		follow        = flag.String("follow", "", "leader base URL (e.g. http://leader:8080): run as a read-only replication follower")
+		retryBudget   = flag.Int("retry-budget", 10, "with -follow, consecutive failed leader connects before /healthz reports degraded (0 = never)")
 	)
 	flag.Parse()
+
+	if *follow != "" {
+		runFollower(*addr, *follow, *dataDir, *retryBudget, *drain)
+		return
+	}
 
 	if *pprofAddr != "" {
 		// Profiles on a separate listener so production traffic and the
@@ -219,4 +237,66 @@ func main() {
 	snap := server.Stats()
 	fmt.Fprintf(os.Stderr, "bye: %d query entries, %d shards, counters %v\n",
 		snap.QueryEntries, snap.ShardEntries, snap.Counters)
+}
+
+// runFollower is the -follow mode: no world, no engine, no ingestion —
+// just a replication follower serving verified reads.
+func runFollower(addr, leader, dataDir string, retryBudget int, drain time.Duration) {
+	logf := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, format+"\n", args...)
+	}
+	f := replica.New(replica.Options{
+		Leader:      leader,
+		RetryBudget: retryBudget,
+		Logf:        logf,
+	})
+	if dataDir != "" {
+		kb, ver, sha, err := replica.Bootstrap(dataDir, logf)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bootstrapping from %s: %v\n", dataDir, err)
+			os.Exit(1)
+		}
+		f.Seed(kb, ver, sha)
+		fmt.Fprintf(os.Stderr, "bootstrapped from %s: version %d, %d facts, fingerprint verified\n",
+			dataDir, ver, kb.Len())
+	}
+
+	// The serving layer runs without a construction backend: /kb and
+	// /answer answer 503, everything else reads the replica.
+	server := serve.New(nil, serve.Options{})
+	handler := serve.NewHandler(server, serve.HandlerOptions{Replica: f})
+
+	rctx, rcancel := context.WithCancel(context.Background())
+	defer rcancel()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = f.Run(rctx)
+	}()
+
+	httpSrv := &http.Server{Addr: addr, Handler: handler}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "qkbflyd following %s, listening on %s\n", leader, addr)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errc:
+		fmt.Fprintf(os.Stderr, "server error: %v\n", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+
+	fmt.Fprintln(os.Stderr, "shutting down follower...")
+	rcancel()
+	<-done
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintf(os.Stderr, "shutdown: %v\n", err)
+	}
+	st := f.Status()
+	fmt.Fprintf(os.Stderr, "bye: verified through v%d (leader head v%d), counters %v\n",
+		st.Version, st.LeaderHead, st.Counters)
 }

@@ -1,0 +1,560 @@
+package replica_test
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strconv"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"qkbfly"
+	"qkbfly/internal/kb/store"
+	"qkbfly/internal/kb/store/persist"
+	"qkbfly/internal/nlp"
+	"qkbfly/internal/replica"
+	"qkbfly/internal/serve"
+)
+
+func persistOpen(dir string) (*persist.Store, *persist.Recovered, error) {
+	return persist.Open(dir, persist.Options{Logf: discardLogf})
+}
+
+// ---------------------------------------------------------------------------
+// Stub builder: deterministic synthetic shards, no NLP pipeline — the
+// replication protocol is exercised against real sessions and real
+// serve handlers, but per-document build cost is microseconds.
+// ---------------------------------------------------------------------------
+
+type stubBuilder struct{}
+
+func (stubBuilder) BuildShardsContext(ctx context.Context, docs []*nlp.Document, opts ...qkbfly.Option) ([]*store.KB, *qkbfly.BuildStats, error) {
+	shards := make([]*store.KB, len(docs))
+	perDoc := make([]time.Duration, len(docs))
+	for i, d := range docs {
+		kb := store.New()
+		kb.AddEntity(store.EntityRecord{ID: "E_" + d.ID, Name: d.ID, Mentions: []string{d.ID}, Types: []string{"DOC"}})
+		for j := 0; j < 3; j++ {
+			kb.AddFact(store.Fact{
+				Subject:    store.Value{EntityID: "E_" + d.ID},
+				Relation:   "rel_" + strconv.Itoa(j),
+				Pattern:    "rel_" + strconv.Itoa(j),
+				Objects:    []store.Value{{Literal: d.Text + "#" + strconv.Itoa(j)}},
+				Confidence: 0.5 + 0.1*float64(j),
+				Source:     store.Provenance{DocID: d.ID, SentIndex: j},
+			})
+		}
+		shards[i] = kb
+		perDoc[i] = time.Microsecond
+	}
+	return shards, &qkbfly.BuildStats{Documents: len(docs), Parallelism: 1, PerDocElapsed: perDoc}, nil
+}
+
+func doc(id string) *nlp.Document {
+	return &nlp.Document{ID: id, Title: id, Source: "news", Text: "text of " + id}
+}
+
+// newLeader opens a session over the stub builder and serves it over a
+// real HTTP handler (the exact /deltas path followers use in prod).
+func newLeader(t *testing.T, opts qkbfly.SessionOptions) (*qkbfly.Session, *httptest.Server) {
+	t.Helper()
+	sess := qkbfly.Open(stubBuilder{}, opts)
+	t.Cleanup(func() { sess.Close() })
+	ts := httptest.NewServer(serve.NewHandler(serve.New(nil, serve.Options{}),
+		serve.HandlerOptions{Session: sess}))
+	t.Cleanup(ts.Close)
+	return sess, ts
+}
+
+// httpDial is the plain HTTP transport the fault injector wraps.
+func httpDial(client *http.Client) replica.DialFunc {
+	return func(ctx context.Context, rawURL string) (io.ReadCloser, error) {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, rawURL, nil)
+		if err != nil {
+			return nil, err
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			return nil, err
+		}
+		if resp.StatusCode != http.StatusOK {
+			resp.Body.Close()
+			return nil, fmt.Errorf("status %s", resp.Status)
+		}
+		return resp.Body, nil
+	}
+}
+
+func discardLogf(string, ...any) {}
+
+// ---------------------------------------------------------------------------
+// Fault-injecting transport: drops, duplicates, reorders, delays and
+// truncates stream records between a real leader and a real follower.
+// ---------------------------------------------------------------------------
+
+type faultyTransport struct {
+	base                                  replica.DialFunc
+	seed                                  int64
+	dials                                 atomic.Int64
+	pDrop, pDup, pReorder, pDelay, pTrunc float64
+}
+
+func (ft *faultyTransport) dial(ctx context.Context, rawURL string) (io.ReadCloser, error) {
+	rc, err := ft.base(ctx, rawURL)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(ft.seed + ft.dials.Add(1)))
+	pr, pw := io.Pipe()
+	go func() {
+		defer rc.Close()
+		br := bufio.NewReader(rc)
+		var held []byte // one record delayed past its successor (reorder)
+		write := func(b []byte) bool {
+			_, werr := pw.Write(b)
+			return werr == nil
+		}
+		for {
+			line, rerr := br.ReadBytes('\n')
+			if rerr != nil {
+				if held != nil {
+					write(held)
+				}
+				pw.CloseWithError(rerr)
+				return
+			}
+			r := rng.Float64()
+			p := ft.pDrop
+			switch {
+			case r < p: // drop this record
+				continue
+			case r < p+ft.pDup: // deliver twice
+				if !write(line) || !write(line) {
+					return
+				}
+			case r < p+ft.pDup+ft.pReorder: // hold until after the next record
+				if held == nil {
+					held = append([]byte(nil), line...)
+					continue
+				}
+				if !write(line) {
+					return
+				}
+			case r < p+ft.pDup+ft.pReorder+ft.pTrunc: // cut mid-record, close
+				if len(line) > 2 {
+					write(line[:len(line)/2])
+				}
+				pw.CloseWithError(io.EOF)
+				return
+			case r < p+ft.pDup+ft.pReorder+ft.pTrunc+ft.pDelay:
+				time.Sleep(time.Duration(rng.Intn(3)) * time.Millisecond)
+				if !write(line) {
+					return
+				}
+			default:
+				if !write(line) {
+					return
+				}
+			}
+			if held != nil {
+				h := held
+				held = nil
+				if !write(h) {
+					return
+				}
+			}
+		}
+	}()
+	return pr, nil
+}
+
+// corruptingTransport flips one fact inside the first applicable delta
+// record — valid JSON, valid version, the leader's fingerprint stamp
+// intact — so only fingerprint verification can catch it.
+type corruptingTransport struct {
+	base      replica.DialFunc
+	corrupted atomic.Bool
+}
+
+func (ct *corruptingTransport) dial(ctx context.Context, rawURL string) (io.ReadCloser, error) {
+	rc, err := ct.base(ctx, rawURL)
+	if err != nil {
+		return nil, err
+	}
+	pr, pw := io.Pipe()
+	go func() {
+		defer rc.Close()
+		br := bufio.NewReader(rc)
+		for {
+			line, rerr := br.ReadBytes('\n')
+			if len(line) > 0 {
+				out := line
+				var rec replica.Record
+				if !ct.corrupted.Load() && json.Unmarshal(line, &rec) == nil &&
+					!rec.Reset && rec.Delta != nil && len(rec.Delta.Added) > 0 {
+					rec.Delta.Added[0].Objects = []store.Value{{Literal: "silently corrupted in transit"}}
+					if b, merr := json.Marshal(&rec); merr == nil {
+						out = append(b, '\n')
+						ct.corrupted.Store(true)
+					}
+				}
+				if _, werr := pw.Write(out); werr != nil {
+					return
+				}
+			}
+			if rerr != nil {
+				pw.CloseWithError(rerr)
+				return
+			}
+		}
+	}()
+	return pr, nil
+}
+
+// ---------------------------------------------------------------------------
+// Follower harness: start/stop incarnations the way crash-restart would.
+// ---------------------------------------------------------------------------
+
+type runningFollower struct {
+	f      *replica.Follower
+	cancel context.CancelFunc
+	done   chan struct{}
+}
+
+func startFollower(f *replica.Follower) *runningFollower {
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = f.Run(ctx)
+	}()
+	return &runningFollower{f: f, cancel: cancel, done: done}
+}
+
+func (rf *runningFollower) stop() {
+	rf.cancel()
+	<-rf.done
+}
+
+func waitConverged(t *testing.T, rf *runningFollower, wantVersion uint64, wantSHA string, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		_, v := rf.f.KB()
+		st := rf.f.Status()
+		if v == wantVersion && st.FingerprintSHA == wantSHA {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("follower stuck at v%d (sha %.12s), want v%d (sha %.12s); counters %v",
+				v, st.FingerprintSHA, wantVersion, wantSHA, st.Counters)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Tests
+// ---------------------------------------------------------------------------
+
+// TestFollowerConvergesUnderFaults is the acceptance test of the
+// replication protocol: a leader publishing a sliding window of
+// versions (ingests and explicit evictions), two followers behind a
+// transport that drops, duplicates, reorders, delays and truncates
+// records, plus crash-restarts — one follower cold-restarting as fresh
+// incarnations, the other warm-restarting from its last verified state
+// the way -data-dir resume does. Every follower must converge to a
+// fingerprint-identical KB, and the history checker must confirm each
+// incarnation's observed versions form a prefix of the leader's chain.
+// REPLICA_SOAK_VERSIONS scales it up for the CI soak.
+func TestFollowerConvergesUnderFaults(t *testing.T) {
+	versions := 30
+	if v := os.Getenv("REPLICA_SOAK_VERSIONS"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			versions = n
+		}
+	}
+	// A small history keeps reconnecting followers falling behind the
+	// horizon, so snapshot re-baselines are exercised too; the document
+	// window makes every late version carry evictions.
+	sess, ts := newLeader(t, qkbfly.SessionOptions{MaxDocuments: 8, HistoryLimit: 6})
+	checker := replica.NewHistoryChecker()
+	ft := &faultyTransport{
+		base: httpDial(ts.Client()), seed: 42,
+		pDrop: 0.08, pDup: 0.08, pReorder: 0.06, pDelay: 0.08, pTrunc: 0.05,
+	}
+	newF := func(name string) *replica.Follower {
+		return replica.New(replica.Options{
+			Leader:      ts.URL,
+			Dial:        ft.dial,
+			BackoffBase: 2 * time.Millisecond,
+			BackoffMax:  20 * time.Millisecond,
+			ReadTimeout: 2 * time.Second,
+			Logf:        discardLogf,
+			OnVerified:  checker.Observer(name),
+		})
+	}
+	cold := startFollower(newF("cold-gen1"))
+	warm := startFollower(newF("warm-gen1"))
+	defer func() { cold.stop(); warm.stop() }()
+
+	ctx := context.Background()
+	coldGen, warmGen := 1, 1
+	for i := 0; i < versions; i++ {
+		snap, _, err := sess.Ingest(ctx, []*nlp.Document{doc(fmt.Sprintf("d%04d", i))})
+		if err != nil {
+			t.Fatalf("ingest %d: %v", i, err)
+		}
+		checker.RecordLeader(snap.Version(), sess.FingerprintSHA(snap))
+		if i%13 == 12 {
+			// A removal-only version: delta subscribers must see it too.
+			if snap, n := sess.Evict(fmt.Sprintf("d%04d", i)); n == 1 {
+				checker.RecordLeader(snap.Version(), sess.FingerprintSHA(snap))
+			}
+		}
+		if i%10 == 9 {
+			// Crash: the replacement starts cold (since 0) under a new
+			// incarnation name — its fresh history must again be a prefix.
+			cold.stop()
+			coldGen++
+			cold = startFollower(newF(fmt.Sprintf("cold-gen%d", coldGen)))
+		}
+		if i%7 == 6 {
+			// Warm restart: carry the verified state across the crash, as a
+			// blob-store bootstrap would, and resume from that version.
+			warm.stop()
+			kb, ver := warm.f.KB()
+			sha := warm.f.Status().FingerprintSHA
+			warmGen++
+			nf := newF(fmt.Sprintf("warm-gen%d", warmGen))
+			if ver > 0 {
+				nf.Seed(kb, ver, sha)
+			}
+			warm = startFollower(nf)
+		}
+	}
+
+	head := sess.Snapshot()
+	wantSHA := sess.FingerprintSHA(head)
+	waitConverged(t, cold, head.Version(), wantSHA, 30*time.Second)
+	waitConverged(t, warm, head.Version(), wantSHA, 30*time.Second)
+	cold.stop()
+	warm.stop()
+
+	if err := checker.Check(); err != nil {
+		t.Fatalf("history checker: %v", err)
+	}
+	// The transport really was hostile: the follower had to reconnect.
+	c := cold.f.Counters()
+	if c.Get(replica.CounterReconnects) < 2 {
+		t.Errorf("expected multiple reconnects under faults, got %d", c.Get(replica.CounterReconnects))
+	}
+	t.Logf("cold follower counters: %v", cold.f.Status().Counters)
+	t.Logf("warm follower counters: %v", warm.f.Status().Counters)
+}
+
+// TestFollowerQuarantinesCorruptDelta injects a bit-flipped (but
+// JSON-valid, correctly versioned, leader-stamped) delta: fingerprint
+// verification must catch it, quarantine the version without ever
+// serving it, resync from a leader snapshot, and converge; the history
+// checker confirms the corrupt state never entered any served history.
+func TestFollowerQuarantinesCorruptDelta(t *testing.T) {
+	sess, ts := newLeader(t, qkbfly.SessionOptions{HistoryLimit: 64})
+	ctx := context.Background()
+	checker := replica.NewHistoryChecker()
+	for i := 0; i < 4; i++ {
+		snap, _, err := sess.Ingest(ctx, []*nlp.Document{doc(fmt.Sprintf("c%02d", i))})
+		if err != nil {
+			t.Fatalf("ingest %d: %v", i, err)
+		}
+		checker.RecordLeader(snap.Version(), sess.FingerprintSHA(snap))
+	}
+	ct := &corruptingTransport{base: httpDial(ts.Client())}
+	f := replica.New(replica.Options{
+		Leader:      ts.URL,
+		Dial:        ct.dial,
+		BackoffBase: 2 * time.Millisecond,
+		BackoffMax:  20 * time.Millisecond,
+		Logf:        discardLogf,
+		OnVerified:  checker.Observer("f"),
+	})
+	rf := startFollower(f)
+	defer rf.stop()
+
+	head := sess.Snapshot()
+	waitConverged(t, rf, head.Version(), sess.FingerprintSHA(head), 15*time.Second)
+	rf.stop()
+
+	if !ct.corrupted.Load() {
+		t.Fatal("transport never injected the corrupt record")
+	}
+	c := f.Counters()
+	if c.Get(replica.CounterQuarantines) < 1 {
+		t.Errorf("corrupt delta was not quarantined (quarantines=0); counters %v", c.Snapshot())
+	}
+	if c.Get(replica.CounterResyncs) < 1 {
+		t.Errorf("no snapshot resync after quarantine; counters %v", c.Snapshot())
+	}
+	st := f.Status()
+	if len(st.Quarantined) == 0 {
+		t.Error("Status.Quarantined is empty")
+	} else {
+		q := st.Quarantined[0]
+		if q.LeaderSHA == q.LocalSHA {
+			t.Errorf("quarantine recorded identical SHAs: %+v", q)
+		}
+	}
+	if err := checker.Check(); err != nil {
+		t.Fatalf("history checker: %v", err)
+	}
+}
+
+// TestFollowerBootstrapFromBlobStore seeds a follower from a copy of
+// the leader's persist directory (the PR 7 blob store + manifest),
+// verifies the sealed fingerprint, and resumes the delta stream from
+// the bootstrapped version — no snapshot re-baseline, only the
+// post-bootstrap versions travel the wire.
+func TestFollowerBootstrapFromBlobStore(t *testing.T) {
+	leaderDir := t.TempDir()
+	pstore, rec, err := persistOpen(leaderDir)
+	if err != nil {
+		t.Fatalf("open leader store: %v", err)
+	}
+	if rec.Version != 0 {
+		t.Fatalf("fresh store recovered v%d", rec.Version)
+	}
+	sess := qkbfly.Open(stubBuilder{}, qkbfly.SessionOptions{Persist: pstore, HistoryLimit: 64})
+	ctx := context.Background()
+	for i := 0; i < 5; i++ {
+		if _, _, err := sess.Ingest(ctx, []*nlp.Document{doc(fmt.Sprintf("b%02d", i))}); err != nil {
+			t.Fatalf("ingest %d: %v", i, err)
+		}
+	}
+	leaderFP := sess.Snapshot().Fingerprint()
+	leaderVer := sess.Snapshot().Version()
+	sess.Close()
+	pstore.Flush()
+	pstore.Seal(leaderFP)
+	if err := pstore.Close(); err != nil {
+		t.Fatalf("close leader store: %v", err)
+	}
+
+	// The follower bootstraps from its own copy (a Store owns its dir).
+	followerDir := t.TempDir()
+	if err := os.CopyFS(followerDir, os.DirFS(leaderDir)); err != nil {
+		t.Fatalf("copy blob store: %v", err)
+	}
+	kb, ver, sha, err := replica.Bootstrap(followerDir, discardLogf)
+	if err != nil {
+		t.Fatalf("bootstrap: %v", err)
+	}
+	if ver != leaderVer {
+		t.Fatalf("bootstrapped v%d, want v%d", ver, leaderVer)
+	}
+	if want := qkbfly.FingerprintSHAHex(leaderFP); sha != want {
+		t.Fatalf("bootstrap sha %s, want %s", sha, want)
+	}
+
+	// Warm-boot the leader from its own store and publish more versions.
+	pstore2, rec2, err := persistOpen(leaderDir)
+	if err != nil {
+		t.Fatalf("reopen leader store: %v", err)
+	}
+	state := qkbfly.SessionState{Version: rec2.Version, NextSeq: rec2.NextSeq}
+	for _, d := range rec2.Docs {
+		state.Docs = append(state.Docs, qkbfly.DocState{Key: d.Key, Seq: d.Seq, Seg: d.Seg})
+	}
+	sess2, err := qkbfly.Restore(stubBuilder{}, qkbfly.SessionOptions{Persist: pstore2, HistoryLimit: 64}, state)
+	if err != nil {
+		t.Fatalf("restore leader: %v", err)
+	}
+	t.Cleanup(func() { sess2.Close(); pstore2.Close() })
+	ts := httptest.NewServer(serve.NewHandler(serve.New(nil, serve.Options{}),
+		serve.HandlerOptions{Session: sess2}))
+	t.Cleanup(ts.Close)
+
+	checker := replica.NewHistoryChecker()
+	f := replica.New(replica.Options{
+		Leader:      ts.URL,
+		Dial:        httpDial(ts.Client()),
+		BackoffBase: 2 * time.Millisecond,
+		BackoffMax:  20 * time.Millisecond,
+		Logf:        discardLogf,
+		OnVerified:  checker.Observer("f"),
+	})
+	f.Seed(kb, ver, sha)
+	rf := startFollower(f)
+	defer rf.stop()
+
+	for i := 5; i < 8; i++ {
+		snap, _, err := sess2.Ingest(ctx, []*nlp.Document{doc(fmt.Sprintf("b%02d", i))})
+		if err != nil {
+			t.Fatalf("ingest %d: %v", i, err)
+		}
+		checker.RecordLeader(snap.Version(), sess2.FingerprintSHA(snap))
+	}
+	head := sess2.Snapshot()
+	waitConverged(t, rf, head.Version(), sess2.FingerprintSHA(head), 15*time.Second)
+	rf.stop()
+
+	c := f.Counters()
+	if c.Get(replica.CounterResets) != 0 {
+		t.Errorf("bootstrapped follower needed %d snapshot resets; should have resumed by delta alone",
+			c.Get(replica.CounterResets))
+	}
+	if err := checker.Check(); err != nil {
+		t.Fatalf("history checker: %v", err)
+	}
+}
+
+// TestHistoryCheckerDetectsDivergence covers the oracle itself: a
+// consistent prefix passes; diverging fingerprints, rewinds, and
+// never-published versions fail.
+func TestHistoryCheckerDetectsDivergence(t *testing.T) {
+	mk := func() *replica.HistoryChecker {
+		h := replica.NewHistoryChecker()
+		h.RecordLeader(1, "aaa")
+		h.RecordLeader(2, "bbb")
+		h.RecordLeader(3, "ccc")
+		return h
+	}
+
+	h := mk()
+	h.RecordReplica("r", 1, "aaa")
+	h.RecordReplica("r", 3, "ccc") // skipping v2 (snapshot re-baseline) is fine
+	if err := h.Check(); err != nil {
+		t.Errorf("consistent prefix rejected: %v", err)
+	}
+
+	h = mk()
+	h.RecordReplica("r", 2, "XXX")
+	if err := h.Check(); err == nil {
+		t.Error("diverged fingerprint not detected")
+	}
+
+	h = mk()
+	h.RecordReplica("r", 2, "bbb")
+	h.RecordReplica("r", 1, "aaa")
+	if err := h.Check(); err == nil {
+		t.Error("version rewind not detected")
+	}
+
+	h = mk()
+	h.RecordReplica("r", 4, "ddd")
+	if err := h.Check(); err == nil {
+		t.Error("observation beyond leader head not detected")
+	}
+
+	h = mk()
+	h.RecordLeader(2, "MUTATED")
+	if err := h.Check(); err == nil {
+		t.Error("leader chain conflict not detected")
+	}
+}

@@ -1,0 +1,49 @@
+// Package replica implements delta-shipped leader/follower replication
+// for multi-node read scaling. A follower subscribes to a leader's
+// NDJSON version stream (GET /deltas?since=N&follow=1), applies each
+// version's key-based store.Delta locally, and verifies every applied
+// version's KB fingerprint against the leader's stamp before serving it
+// — self-checking replication: a follower can never silently serve a
+// state the leader never had. On a fingerprint mismatch the divergent
+// version is quarantined (kept for inspection, never published) and the
+// follower resyncs from a full leader snapshot. Followers behind the
+// leader's retained-history horizon re-baseline the same way, or
+// bootstrap offline from a persist blob store directory (Bootstrap).
+package replica
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+
+	"qkbfly/internal/kb/store"
+)
+
+// Record is one NDJSON line of the /deltas replication stream: a single
+// published leader version. Delta carries the full key-based diff from
+// the previous version — fact additions, in-place upgrades, removals,
+// and entity changes. FingerprintSHA is the hex SHA-256 of the leader's
+// KB fingerprint AT this version; a follower that chain-applies records
+// from a verified base must reproduce it exactly, or the version is
+// quarantined.
+//
+// A Reset record re-baselines the subscriber: its delta is the full
+// diff from an empty KB, applied to store.New() regardless of prior
+// state. The leader sends one when the subscriber's since= predates the
+// retained history horizon, or when the subscriber asks (snapshot=1)
+// after quarantining a divergent version.
+type Record struct {
+	Version        uint64       `json:"version"`
+	FingerprintSHA string       `json:"fingerprint_sha256"`
+	Reset          bool         `json:"reset,omitempty"`
+	Delta          *store.Delta `json:"delta"`
+}
+
+// FingerprintSHA is the stamp scheme both ends of the protocol share:
+// the hex SHA-256 of the KB's canonical fingerprint string. It is the
+// same digest the persist manifest's seal record carries, so a
+// blob-store bootstrap verifies against the identical value a live
+// stream would have stamped.
+func FingerprintSHA(kb *store.KB) string {
+	sum := sha256.Sum256([]byte(kb.Fingerprint()))
+	return hex.EncodeToString(sum[:])
+}

@@ -12,6 +12,7 @@ import (
 	"qkbfly"
 	"qkbfly/internal/kb/store"
 	"qkbfly/internal/nlp"
+	"qkbfly/internal/replica"
 )
 
 // Answerer answers natural-language questions; internal/qa's System
@@ -40,11 +41,21 @@ type HandlerOptions struct {
 	// Answerer serves /answer; when nil the endpoint returns 503.
 	Answerer Answerer
 	// Session is the daemon's live ingestion session, serving POST /ingest,
-	// POST /evict, GET /session and GET /facts. When nil those endpoints
-	// return 503.
+	// POST /evict, GET /session, GET /facts and GET /deltas. When nil
+	// those endpoints return 503.
 	Session *qkbfly.Session
 	// MaxIngestBytes bounds a POST /ingest body (default 8 MiB).
 	MaxIngestBytes int64
+	// Replica, on a following daemon (-follow), serves reads — /facts,
+	// /query, /session — from the follower's last fingerprint-verified
+	// KB instead of a Session, and surfaces role/lag through /healthz
+	// and /stats. Mutually exclusive with Session.
+	Replica *replica.Follower
+	// StreamWriteTimeout bounds every single NDJSON record write on the
+	// streaming endpoints (/facts, /query, /deltas); a consumer that
+	// stops reading is disconnected after one timeout instead of pinning
+	// the connection through drain. Default 15s.
+	StreamWriteTimeout time.Duration
 }
 
 // NewHandler exposes a Server over HTTP/JSON:
@@ -54,13 +65,18 @@ type HandlerOptions struct {
 //	POST /ingest                      {"docs":[{"id","title","source","text"}]}
 //	POST /evict                       {"doc_ids":["..."]}
 //	GET  /facts?since=&tau=&follow=   NDJSON stream of added facts
+//	GET  /deltas?since=&follow=&snapshot=  replication stream: one
+//	                                  fingerprint-stamped store.Delta per version
 //	GET  /session                     live-session version + document window
-//	GET  /stats
-//	GET  /healthz
+//	GET  /stats                       caches, counters, replication role
+//	GET  /healthz                     role, version, staleness/lag
 //
 // Every build runs under the request context, so a disconnecting client
 // cancels its in-flight construction. The session endpoints serve the
-// live-updating KB of HandlerOptions.Session.
+// live-updating KB of HandlerOptions.Session; on a follower
+// (HandlerOptions.Replica) reads come from the last fingerprint-verified
+// replicated version, and ?min_version=N pins read-your-writes (412 when
+// the replica is still behind N).
 func NewHandler(s *Server, opt HandlerOptions) http.Handler {
 	if opt.DefaultSize <= 0 {
 		opt.DefaultSize = 1
@@ -93,17 +109,20 @@ func NewHandler(s *Server, opt HandlerOptions) http.Handler {
 	mux.HandleFunc("/query", func(w http.ResponseWriter, r *http.Request) {
 		handleQuery(s, opt, w, r)
 	})
+	mux.HandleFunc("/deltas", func(w http.ResponseWriter, r *http.Request) {
+		handleDeltas(s, opt, w, r)
+	})
 	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
 		if !getOnly(w, r) {
 			return
 		}
-		writeJSON(w, http.StatusOK, s.Stats())
+		writeJSON(w, http.StatusOK, statsFor(s, opt))
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		if !getOnly(w, r) {
 			return
 		}
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+		writeJSON(w, http.StatusOK, healthFor(s, opt))
 	})
 	return mux
 }
@@ -139,6 +158,12 @@ type factRef struct {
 
 func handleKB(s *Server, opt HandlerOptions, w http.ResponseWriter, r *http.Request) {
 	if !getOnly(w, r) {
+		return
+	}
+	if s == nil || !s.HasBackend() {
+		// A follower daemon carries no construction pipeline; on-the-fly
+		// builds happen on the leader.
+		http.Error(w, "no construction backend configured", http.StatusServiceUnavailable)
 		return
 	}
 	q := r.URL.Query()
@@ -276,6 +301,10 @@ func handleIngest(opt HandlerOptions, w http.ResponseWriter, r *http.Request) {
 	if !postOnly(w, r) {
 		return
 	}
+	if opt.Replica != nil {
+		http.Error(w, "read-only follower: ingest on the leader", http.StatusForbidden)
+		return
+	}
 	if opt.Session == nil {
 		http.Error(w, "no ingestion session configured", http.StatusServiceUnavailable)
 		return
@@ -331,6 +360,10 @@ func handleEvict(s *Server, opt HandlerOptions, w http.ResponseWriter, r *http.R
 	if !postOnly(w, r) {
 		return
 	}
+	if opt.Replica != nil {
+		http.Error(w, "read-only follower: evict on the leader", http.StatusForbidden)
+		return
+	}
 	if opt.Session == nil {
 		http.Error(w, "no ingestion session configured", http.StatusServiceUnavailable)
 		return
@@ -356,6 +389,10 @@ func handleEvict(s *Server, opt HandlerOptions, w http.ResponseWriter, r *http.R
 
 func handleSession(opt HandlerOptions, w http.ResponseWriter, r *http.Request) {
 	if !getOnly(w, r) {
+		return
+	}
+	if opt.Session == nil && opt.Replica != nil {
+		handleSessionReplica(opt, w, r)
 		return
 	}
 	if opt.Session == nil {
@@ -414,6 +451,10 @@ func handleFacts(opt HandlerOptions, w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	sess := opt.Session
+	if sess == nil && opt.Replica != nil {
+		handleFactsReplica(opt, w, r)
+		return
+	}
 	if sess == nil {
 		http.Error(w, "no ingestion session configured", http.StatusServiceUnavailable)
 		return
@@ -437,7 +478,14 @@ func handleFacts(opt HandlerOptions, w http.ResponseWriter, r *http.Request) {
 		}
 		tau = n
 	}
+	min, okMin := minVersionParam(w, r)
+	if !okMin {
+		return
+	}
 	follow := q.Get("follow") != ""
+	if min > 0 && !checkMinVersion(w, sess.Snapshot().Version(), min) {
+		return
+	}
 
 	// Attach the live tail before replaying history so no version can fall
 	// between the two; replayed versions are skipped on the live channel.
@@ -462,32 +510,31 @@ func handleFacts(opt HandlerOptions, w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.Header().Set("X-QKBfly-Version", strconv.FormatUint(cur, 10))
 	w.WriteHeader(http.StatusOK)
-	enc := json.NewEncoder(w)
-	flusher, _ := w.(http.Flusher)
-	flush := func() {
-		if flusher != nil {
-			flusher.Flush()
-		}
-	}
+	sw := newStreamWriter(w, opt.StreamWriteTimeout)
 
 	if snap != nil {
-		_ = enc.Encode(map[string]any{"reset": true, "version": cur})
+		if sw.encode(map[string]any{"reset": true, "version": cur}) != nil {
+			return
+		}
 		facts := snap.KB().Facts()
 		for i := range facts {
 			if facts[i].Confidence < tau {
 				continue
 			}
-			_ = enc.Encode(lineFor(cur, &facts[i]))
+			if sw.encode(lineFor(cur, &facts[i])) != nil {
+				return
+			}
 		}
 	} else {
 		for i := range events {
 			if events[i].Fact.Confidence < tau {
 				continue
 			}
-			_ = enc.Encode(lineFor(events[i].Version, &events[i].Fact))
+			if sw.encode(lineFor(events[i].Version, &events[i].Fact)) != nil {
+				return
+			}
 		}
 	}
-	flush()
 	if !follow {
 		return
 	}
@@ -495,10 +542,9 @@ func handleFacts(opt HandlerOptions, w http.ResponseWriter, r *http.Request) {
 		if ev.Version <= cur {
 			continue // already replayed above
 		}
-		if err := enc.Encode(lineFor(ev.Version, &ev.Fact)); err != nil {
-			return // client gone
+		if sw.encode(lineFor(ev.Version, &ev.Fact)) != nil {
+			return // client gone or write deadline hit
 		}
-		flush()
 	}
 }
 

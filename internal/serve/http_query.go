@@ -40,6 +40,10 @@ type queryRequest struct {
 	Stream  bool    `json:"stream"`
 	Since   *uint64 `json:"since"`
 	Follow  bool    `json:"follow"`
+	// MinVersion pins read-your-writes: a server whose serving version is
+	// still behind answers 412 instead of silently returning stale rows
+	// (matters on followers; a leader session is always current).
+	MinVersion uint64 `json:"min_version"`
 }
 
 // valueRef is a bound value in a /query response.
@@ -128,6 +132,14 @@ func parseQueryRequest(w http.ResponseWriter, r *http.Request) (req queryRequest
 			}
 			req.Since = &n
 		}
+		if v := q.Get("min_version"); v != "" {
+			n, err := strconv.ParseUint(v, 10, 64)
+			if err != nil {
+				http.Error(w, "invalid min_version: "+err.Error(), http.StatusBadRequest)
+				return req, false
+			}
+			req.MinVersion = n
+		}
 	case http.MethodPost:
 		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
 			http.Error(w, "invalid body: "+err.Error(), http.StatusBadRequest)
@@ -150,6 +162,10 @@ func parseQueryRequest(w http.ResponseWriter, r *http.Request) (req queryRequest
 
 func handleQuery(s *Server, opt HandlerOptions, w http.ResponseWriter, r *http.Request) {
 	sess := opt.Session
+	if sess == nil && opt.Replica != nil {
+		handleQueryReplica(opt, w, r)
+		return
+	}
 	if sess == nil {
 		http.Error(w, "no ingestion session configured", http.StatusServiceUnavailable)
 		return
@@ -168,6 +184,9 @@ func handleQuery(s *Server, opt HandlerOptions, w http.ResponseWriter, r *http.R
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
+	if req.MinVersion > 0 && !checkMinVersion(w, sess.Snapshot().Version(), req.MinVersion) {
+		return
+	}
 	if req.Since != nil {
 		streamIncremental(opt, w, r, p, *req.Since, req.Follow)
 		return
@@ -182,14 +201,14 @@ func handleQuery(s *Server, opt HandlerOptions, w http.ResponseWriter, r *http.R
 		w.Header().Set("Content-Type", "application/x-ndjson")
 		w.Header().Set("X-QKBfly-Version", strconv.FormatUint(snap.Version(), 10))
 		w.WriteHeader(http.StatusOK)
-		enc := json.NewEncoder(w)
+		sw := newStreamWriter(w, opt.StreamWriteTimeout)
 		for {
 			row, ok := rows.Next()
 			if !ok {
 				return
 			}
-			if err := enc.Encode(rowFor(snap.Version(), row)); err != nil {
-				return // client gone
+			if sw.encode(rowFor(snap.Version(), row)) != nil {
+				return // client gone or write deadline hit
 			}
 		}
 	}
@@ -231,17 +250,13 @@ func streamIncremental(opt HandlerOptions, w http.ResponseWriter, r *http.Reques
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.Header().Set("X-QKBfly-Version", strconv.FormatUint(cur, 10))
 	w.WriteHeader(http.StatusOK)
-	enc := json.NewEncoder(w)
-	flusher, _ := w.(http.Flusher)
-	flush := func() {
-		if flusher != nil {
-			flusher.Flush()
-		}
-	}
+	sw := newStreamWriter(w, opt.StreamWriteTimeout)
 
 	if !ok {
 		// History behind since is gone: re-base on the full current answer.
-		_ = enc.Encode(map[string]any{"reset": true, "version": cur})
+		if sw.encode(map[string]any{"reset": true, "version": cur}) != nil {
+			return
+		}
 		rows, err := snap.Query(p)
 		if err == nil {
 			for {
@@ -249,7 +264,9 @@ func streamIncremental(opt HandlerOptions, w http.ResponseWriter, r *http.Reques
 				if !more {
 					break
 				}
-				_ = enc.Encode(rowFor(cur, row))
+				if sw.encode(rowFor(cur, row)) != nil {
+					return
+				}
 			}
 		}
 	} else {
@@ -259,11 +276,12 @@ func streamIncremental(opt HandlerOptions, w http.ResponseWriter, r *http.Reques
 		for i, d := range deltas {
 			v := since + 1 + uint64(i)
 			for _, row := range query.EvalDelta(snap.Tree(), p, d) {
-				_ = enc.Encode(rowFor(v, row))
+				if sw.encode(rowFor(v, row)) != nil {
+					return
+				}
 			}
 		}
 	}
-	flush()
 	if !follow {
 		return
 	}
@@ -271,9 +289,8 @@ func streamIncremental(opt HandlerOptions, w http.ResponseWriter, r *http.Reques
 		if ev.Version <= cur {
 			continue // already replayed above
 		}
-		if err := enc.Encode(rowFor(ev.Version, ev.Row)); err != nil {
-			return // client gone
+		if sw.encode(rowFor(ev.Version, ev.Row)) != nil {
+			return // client gone or write deadline hit
 		}
-		flush()
 	}
 }

@@ -1,0 +1,243 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"qkbfly/internal/query"
+	"qkbfly/internal/replica"
+)
+
+// Follower read path: when a daemon runs with -follow, HandlerOptions
+// .Replica replaces the Session as the source of truth for /facts,
+// /query and /session. Reads always come from the follower's last
+// fingerprint-verified KB — never a partially applied version — and
+// clients that need read-your-writes after posting to the leader pin
+// ?min_version=N: a replica still behind N answers 412 Precondition
+// Failed instead of silently serving stale data, and the client retries
+// or falls back to the leader.
+
+// minVersionParam parses ?min_version= (0 when absent).
+func minVersionParam(w http.ResponseWriter, r *http.Request) (uint64, bool) {
+	v := r.URL.Query().Get("min_version")
+	if v == "" {
+		return 0, true
+	}
+	n, err := strconv.ParseUint(v, 10, 64)
+	if err != nil {
+		http.Error(w, "invalid min_version: "+err.Error(), http.StatusBadRequest)
+		return 0, false
+	}
+	return n, true
+}
+
+// checkMinVersion enforces a client's pinned floor against the version
+// actually being served; false means the 412 was already written.
+func checkMinVersion(w http.ResponseWriter, serving, min uint64) bool {
+	if serving >= min {
+		return true
+	}
+	w.Header().Set("X-QKBfly-Version", strconv.FormatUint(serving, 10))
+	http.Error(w, fmt.Sprintf("serving version %d is behind pinned min_version %d", serving, min),
+		http.StatusPreconditionFailed)
+	return false
+}
+
+// handleFactsReplica is /facts on a follower. A follower keeps no
+// version history (it serves exactly one verified version), so every
+// since= behind the current version behaves like the leader's
+// horizon-miss contract: a reset line, then a full dump at the served
+// version. follow= is not supported — follow the leader's stream.
+func handleFactsReplica(opt HandlerOptions, w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	if q.Get("follow") != "" {
+		http.Error(w, "followers do not stream /facts; follow=1 against the leader", http.StatusBadRequest)
+		return
+	}
+	var since uint64
+	if v := q.Get("since"); v != "" {
+		n, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			http.Error(w, "invalid since: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		since = n
+	}
+	var tau float64
+	if v := q.Get("tau"); v != "" {
+		n, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			http.Error(w, "invalid tau: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		tau = n
+	}
+	min, ok := minVersionParam(w, r)
+	if !ok {
+		return
+	}
+	kb, cur := opt.Replica.KB()
+	if !checkMinVersion(w, cur, min) {
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-QKBfly-Version", strconv.FormatUint(cur, 10))
+	w.WriteHeader(http.StatusOK)
+	sw := newStreamWriter(w, opt.StreamWriteTimeout)
+	if since >= cur {
+		return // caller is current; nothing newer here
+	}
+	if sw.encode(map[string]any{"reset": true, "version": cur}) != nil {
+		return
+	}
+	facts := kb.Facts()
+	for i := range facts {
+		if facts[i].Confidence < tau {
+			continue
+		}
+		if sw.encode(lineFor(cur, &facts[i])) != nil {
+			return
+		}
+	}
+}
+
+// handleQueryReplica is /query on a follower: the pattern is evaluated
+// directly over the verified KB. Standing queries (since=/follow=) need
+// the leader's version history and are rejected here.
+func handleQueryReplica(opt HandlerOptions, w http.ResponseWriter, r *http.Request) {
+	req, ok := parseQueryRequest(w, r)
+	if !ok {
+		return
+	}
+	if req.Since != nil || req.Follow {
+		http.Error(w, "followers do not serve standing queries; use since=/follow= against the leader", http.StatusBadRequest)
+		return
+	}
+	if req.MinVersion > 0 {
+		if _, cur := opt.Replica.KB(); !checkMinVersion(w, cur, req.MinVersion) {
+			return
+		}
+	}
+	p, err := query.Parse(req.Pattern)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	p.Tau, p.Limit = req.Tau, req.Limit
+	if err := p.Validate(); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	kb, cur := opt.Replica.KB()
+	rows := query.ScanKB(kb, p)
+	if req.Stream {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.Header().Set("X-QKBfly-Version", strconv.FormatUint(cur, 10))
+		w.WriteHeader(http.StatusOK)
+		sw := newStreamWriter(w, opt.StreamWriteTimeout)
+		for _, row := range rows {
+			if sw.encode(rowFor(cur, row)) != nil {
+				return
+			}
+		}
+		return
+	}
+	resp := queryResponse{
+		Version: cur,
+		Pattern: p.String(),
+		Tau:     p.Tau,
+		Limit:   p.Limit,
+		Count:   len(rows),
+		Rows:    []rowRef{},
+	}
+	for _, row := range rows {
+		resp.Rows = append(resp.Rows, rowFor(0, row))
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleSessionReplica is /session on a follower: the replica's served
+// state instead of an ingestion session.
+func handleSessionReplica(opt HandlerOptions, w http.ResponseWriter, r *http.Request) {
+	st := opt.Replica.Status()
+	kb, cur := opt.Replica.KB()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"role":         st.Role,
+		"leader":       st.Leader,
+		"version":      cur,
+		"facts":        kb.Len(),
+		"entities":     len(kb.Entities()),
+		"lag_versions": st.LagVersions,
+		"degraded":     st.Degraded,
+	})
+}
+
+// healthResponse is the /healthz shape: role and staleness at a glance,
+// so load balancers can route around degraded or lagging replicas.
+type healthResponse struct {
+	Status             string `json:"status"`
+	Role               string `json:"role"`
+	Version            uint64 `json:"version"`
+	Leader             string `json:"leader,omitempty"`
+	LeaderHead         uint64 `json:"leader_head,omitempty"`
+	LagVersions        uint64 `json:"lag_versions,omitempty"`
+	LagMS              int64  `json:"lag_ms,omitempty"`
+	LastVerifiedUnixMS int64  `json:"last_verified_unix_ms,omitempty"`
+	Quarantined        int    `json:"quarantined,omitempty"`
+	Degraded           bool   `json:"degraded,omitempty"`
+}
+
+// roleFor classifies the process: follower when replicating, leader
+// once any replication stream has been served, standalone otherwise.
+func roleFor(s *Server, opt HandlerOptions) string {
+	if opt.Replica != nil {
+		return "follower"
+	}
+	if s != nil && s.counters.Get(CounterDeltaStreams) > 0 {
+		return "leader"
+	}
+	return "standalone"
+}
+
+func healthFor(s *Server, opt HandlerOptions) healthResponse {
+	h := healthResponse{Status: "ok", Role: roleFor(s, opt)}
+	switch {
+	case opt.Replica != nil:
+		st := opt.Replica.Status()
+		h.Version = st.Version
+		h.Leader = st.Leader
+		h.LeaderHead = st.LeaderHead
+		h.LagVersions = st.LagVersions
+		h.LagMS = st.LagMS
+		h.LastVerifiedUnixMS = st.LastVerifiedUnixMS
+		h.Quarantined = len(st.Quarantined)
+		h.Degraded = st.Degraded
+		if st.Degraded {
+			h.Status = "degraded"
+		}
+	case opt.Session != nil:
+		h.Version = opt.Session.Snapshot().Version()
+	}
+	return h
+}
+
+// statsResponse wraps the server's cache/counter snapshot with the
+// replication role and, on a follower, the full replica status.
+type statsResponse struct {
+	Snapshot
+	Role    string          `json:"role"`
+	Replica *replica.Status `json:"replica,omitempty"`
+}
+
+func statsFor(s *Server, opt HandlerOptions) statsResponse {
+	resp := statsResponse{Role: roleFor(s, opt)}
+	if s != nil {
+		resp.Snapshot = s.Stats()
+	}
+	if opt.Replica != nil {
+		st := opt.Replica.Status()
+		resp.Replica = &st
+	}
+	return resp
+}

@@ -86,6 +86,14 @@ const (
 	CounterSavedDensifyNS      = "saved_densify_ns"
 	CounterSavedCanonicalizeNS = "saved_canonicalize_ns"
 	CounterSavedShardNS        = "saved_shard_ns"
+	// Replication (leader side): CounterDeltaStreams counts /deltas
+	// subscriptions ever served (a non-zero value marks the process a
+	// leader in /healthz); CounterDeltaStreamsActive is the live-stream
+	// gauge (+1/-1 around each follow loop); CounterDeltaRecords the
+	// fingerprint-stamped records shipped.
+	CounterDeltaStreams       = "delta_streams"
+	CounterDeltaStreamsActive = "delta_streams_active"
+	CounterDeltaRecords       = "delta_records"
 )
 
 // Backend is the slice of qkbfly.System the Server is built on: document
@@ -198,6 +206,10 @@ func New(backend Backend, opt Options) *Server {
 
 // Counters exposes the serving counters (read with Get/Snapshot).
 func (s *Server) Counters() *stats.CounterSet { return s.counters }
+
+// HasBackend reports whether this server can run the construction
+// pipeline (false on a follower daemon, which only replicates).
+func (s *Server) HasBackend() bool { return s.backend != nil }
 
 // Snapshot is a point-in-time view of the serving state for /stats.
 // Each cache reports occupancy alongside its configured capacity, so

@@ -1,0 +1,55 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"time"
+)
+
+// defaultStreamWriteTimeout bounds a single NDJSON record write when
+// HandlerOptions.StreamWriteTimeout is unset.
+const defaultStreamWriteTimeout = 15 * time.Second
+
+// streamWriter writes NDJSON records with a per-record write deadline
+// and a flush after every record. Every streaming endpoint (/facts,
+// /query, /deltas) goes through one, so a single stalled consumer — a
+// follower that stopped reading but kept the connection open — hits the
+// deadline and is disconnected instead of pinning the handler (and a
+// draining server) indefinitely. The deadline applies per write, not
+// per stream: a healthy slow reader that keeps draining never trips it.
+type streamWriter struct {
+	rc      *http.ResponseController
+	enc     *json.Encoder
+	timeout time.Duration
+}
+
+// newStreamWriter prepares a writer over w. Transports that cannot set
+// write deadlines (test recorders) degrade to plain flushed writes.
+func newStreamWriter(w http.ResponseWriter, timeout time.Duration) *streamWriter {
+	if timeout <= 0 {
+		timeout = defaultStreamWriteTimeout
+	}
+	return &streamWriter{
+		rc:      http.NewResponseController(w),
+		enc:     json.NewEncoder(w),
+		timeout: timeout,
+	}
+}
+
+// encode writes one record and flushes it to the peer. A deadline
+// overrun surfaces as a write error; the handler treats it exactly like
+// a vanished client and ends the stream.
+func (sw *streamWriter) encode(v any) error {
+	if err := sw.rc.SetWriteDeadline(time.Now().Add(sw.timeout)); err != nil &&
+		!errors.Is(err, http.ErrNotSupported) {
+		return err
+	}
+	if err := sw.enc.Encode(v); err != nil {
+		return err
+	}
+	if err := sw.rc.Flush(); err != nil && !errors.Is(err, http.ErrNotSupported) {
+		return err
+	}
+	return nil
+}

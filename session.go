@@ -138,10 +138,16 @@ func (s *Snapshot) Fingerprint() string {
 }
 
 // versionDelta records the key-based diff a version introduced, for
-// FactsSince replay.
+// FactsSince replay, along with the version's merge tree so a
+// replication stream can stamp the record with the version's KB
+// fingerprint on demand. The tree shares structure with its neighbors
+// (persistent merge tree), so retaining it costs pointer work, not
+// copies; the fingerprint SHA is computed at most once per version
+// (fps cache) and never pins a materialized KB.
 type versionDelta struct {
 	version uint64
 	delta   store.Delta
+	tree    *store.Tree
 }
 
 // watcher is one Watch subscription.
@@ -181,12 +187,15 @@ type Session struct {
 	segs      map[string]*store.Segment // session key -> sealed segment
 	seqs      map[string]uint64         // session key -> tree arrival sequence
 	nextSeq   uint64
-	cur       *Snapshot      // current version; immutable once set
-	history   []versionDelta // per-version diffs, newest last
+	cur       *Snapshot         // current version; immutable once set
+	history   []versionDelta    // per-version diffs, newest last
+	fps       map[uint64]string // version -> hex sha256 of the KB fingerprint, lazily filled
 	watchers  map[int]*watcher
 	nextW     int
 	pwatchers map[int]*patternWatcher // standing filtered watches (session_query.go)
 	nextPW    int
+	dwatchers map[int]*deltaWatcher // full-delta subscriptions (replication streams)
+	nextDW    int
 	anonSeq   int // synthetic keys for documents without IDs
 	closed    bool
 }
@@ -211,8 +220,10 @@ func Open(b ShardBuilder, opts SessionOptions) *Session {
 		segs:      make(map[string]*store.Segment),
 		seqs:      make(map[string]uint64),
 		cur:       &Snapshot{tree: store.NewTree(merge), version: 0},
+		fps:       make(map[uint64]string),
 		watchers:  make(map[int]*watcher),
 		pwatchers: make(map[int]*patternWatcher),
+		dwatchers: make(map[int]*deltaWatcher),
 	}
 	if sb, ok := b.(SegmentBuilder); ok {
 		s.segBuilder = sb
@@ -460,7 +471,7 @@ func (s *Session) Ingest(ctx context.Context, docs []*nlp.Document) (*Snapshot, 
 		// The version's diff is only computed when someone can observe it,
 		// so sessions with history disabled and no watchers skip it.
 		var delta store.Delta
-		if s.opt.HistoryLimit > 0 || len(s.watchers) > 0 || len(s.pwatchers) > 0 {
+		if s.needsDeltaLocked() {
 			delta = store.DiffTrees(oldTree, tree, changed)
 		}
 		s.advanceLocked(tree, delta, ops)
@@ -497,6 +508,13 @@ func (s *Session) dropLocked(tree *store.Tree, victims []string, changed []*stor
 	return tree, changed
 }
 
+// needsDeltaLocked reports whether a published version's diff has any
+// observer: retained history, plain/pattern watchers, or a delta
+// subscription (replication stream). Callers hold s.mu.
+func (s *Session) needsDeltaLocked() bool {
+	return s.opt.HistoryLimit > 0 || len(s.watchers) > 0 || len(s.pwatchers) > 0 || len(s.dwatchers) > 0
+}
+
 // advanceLocked publishes tree as the next version, recording its diff,
 // handing the version to the persistence sink (if any), and fanning the
 // added and in-place-changed facts out to watchers. Callers hold s.mu.
@@ -507,10 +525,27 @@ func (s *Session) advanceLocked(tree *store.Tree, delta store.Delta, ops *pubOps
 		s.opt.Persist.Publish(v, s.nextSeq, ops.addKeys, ops.addSeqs, ops.addSegs, ops.delSeqs, tree)
 	}
 	if s.opt.HistoryLimit > 0 {
-		s.history = append(s.history, versionDelta{version: v, delta: delta})
+		s.history = append(s.history, versionDelta{version: v, delta: delta, tree: tree})
 		if over := len(s.history) - s.opt.HistoryLimit; over > 0 {
 			s.history = append([]versionDelta(nil), s.history[over:]...)
 		}
+		// Fingerprint SHAs are only retained for versions still inside the
+		// history window (plus the current version, re-cached on demand).
+		if len(s.fps) > 0 {
+			horizon := s.history[0].version
+			for ver := range s.fps {
+				if ver < horizon {
+					delete(s.fps, ver)
+				}
+			}
+		}
+	}
+	// Delta subscribers (replication streams) see every published version
+	// — including eviction-only versions, whose delta carries removals the
+	// added/upgraded fan-out below would skip — so a follower mirrors the
+	// full version chain, not just its insertions.
+	if len(s.dwatchers) > 0 {
+		s.notifyDeltasLocked(v, delta)
 	}
 	if len(delta.Added) == 0 && len(delta.Upgraded) == 0 {
 		return
@@ -595,7 +630,7 @@ func (s *Session) evictLocked(victims []string) int {
 	tree, changed = s.dropLocked(tree, victimKeys, changed, ops)
 	s.docIDs = survivors
 	var delta store.Delta
-	if s.opt.HistoryLimit > 0 || len(s.watchers) > 0 || len(s.pwatchers) > 0 {
+	if s.needsDeltaLocked() {
 		delta = store.DiffTrees(oldTree, tree, changed)
 	}
 	s.advanceLocked(tree, delta, ops)
@@ -744,6 +779,9 @@ func (s *Session) Close() error {
 	}
 	for id := range s.pwatchers {
 		s.removePatternWatcherLocked(id)
+	}
+	for id := range s.dwatchers {
+		s.removeDeltaWatcherLocked(id)
 	}
 	return nil
 }
