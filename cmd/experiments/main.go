@@ -4,14 +4,17 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 	"time"
 
+	"qkbfly"
 	"qkbfly/internal/corpus"
 	"qkbfly/internal/experiments"
+	"qkbfly/internal/sched"
 	"qkbfly/internal/tuning"
 )
 
@@ -26,6 +29,7 @@ func main() {
 		sample   = flag.Int("sample", 200, "assessment sample size")
 		tune     = flag.Bool("tune", false, "run the §4 hyper-parameter tuning")
 		ablation = flag.Bool("ablation", false, "run the DESIGN.md ablation studies")
+		sweep    = flag.Bool("sweep", false, "run the tau sweep as scheduler jobs over a pinned session snapshot")
 		par      = flag.Int("parallelism", 0, "engine worker-pool size for KB builds (0 = one per CPU)")
 	)
 	flag.Parse()
@@ -51,6 +55,9 @@ func main() {
 	}
 	if *ablation {
 		want["ablation"] = true
+	}
+	if *sweep {
+		want["sweep"] = true
 	}
 	if len(want) == 0 {
 		fmt.Fprintln(os.Stderr, "nothing selected; use -all or -table 3,4,5,6,7,9 / -figure 5")
@@ -98,6 +105,28 @@ func main() {
 	}
 	if want["ablation"] {
 		fmt.Println(experiments.RunAblation(env, *docs/2, *sample))
+	}
+	if want["sweep"] {
+		// The sweep runs over a PINNED snapshot through the maintenance
+		// scheduler: every tau point reads the same immutable version,
+		// regardless of what the live session ingests meanwhile.
+		sys := env.System(qkbfly.Joint, qkbfly.Greedy)
+		sess := sys.OpenSession(qkbfly.SessionOptions{})
+		if _, _, err := sess.Ingest(context.Background(),
+			corpus.Docs(env.World.WikiDataset(*docs/2))); err != nil {
+			fmt.Fprintf(os.Stderr, "sweep ingest: %v\n", err)
+			os.Exit(1)
+		}
+		sc := sched.New(sched.Options{Workers: 2})
+		res, err := experiments.RunSnapshotSweep(context.Background(), sc, sess.Snapshot(),
+			experiments.SweepOptions{Assessor: env.Assessor, SampleSize: *sample})
+		sc.Close()
+		sess.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(res)
 	}
 	if want["tune"] {
 		ann := tuning.AnnotationsFromWorld(env.World, 203)

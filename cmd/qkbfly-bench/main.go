@@ -15,9 +15,13 @@
 // against the pre-shutdown session), and the replication catch-up path
 // (ReplicaCatchup: apply-and-verify the leader's fingerprint-stamped
 // delta chain from version zero vs re-ingesting the same corpus,
-// self-gated at >= 5x with every intermediate stamp verified), and
-// writes the numbers as JSON so PRs can be diffed against the committed
-// baselines (BENCH_PR3.json through BENCH_PR8.json).
+// self-gated at >= 5x with every intermediate stamp verified), and the
+// background-maintenance path (IngestUnderAnalyticsLoad: sliding-window
+// ingest p50/p99 with zero vs saturating concurrent analytics and
+// compaction load, self-gated at p99 <= 1.5x under load with the loaded
+// session fingerprint-checked against the unloaded one), and writes the
+// numbers as JSON so PRs can be diffed against the committed baselines
+// (BENCH_PR3.json through BENCH_PR9.json).
 //
 // Reported per cold build: wall-clock ns, allocations and bytes (from
 // runtime.MemStats deltas), and the per-stage CPU breakdown from the
@@ -70,15 +74,16 @@ import (
 
 // Report is the JSON document the harness emits.
 type Report struct {
-	Config  ConfigInfo        `json:"config"`
-	Cold    ColdResult        `json:"cold"`
-	Warm    WarmResult        `json:"warm"`
-	Ingest  IngestResult      `json:"ingest"`
-	Sliding SlidingResult     `json:"sliding_window"`
-	Pattern PatternResult     `json:"pattern_query"`
-	Restart ColdRestartResult `json:"cold_restart"`
-	Replica ReplicaResult     `json:"replica_catchup"`
-	Machine MachineInfo       `json:"machine"`
+	Config    ConfigInfo        `json:"config"`
+	Cold      ColdResult        `json:"cold"`
+	Warm      WarmResult        `json:"warm"`
+	Ingest    IngestResult      `json:"ingest"`
+	Sliding   SlidingResult     `json:"sliding_window"`
+	Pattern   PatternResult     `json:"pattern_query"`
+	Restart   ColdRestartResult `json:"cold_restart"`
+	Replica   ReplicaResult     `json:"replica_catchup"`
+	UnderLoad UnderLoadResult   `json:"ingest_under_load"`
+	Machine   MachineInfo       `json:"machine"`
 }
 
 // ConfigInfo records what was measured.
@@ -224,7 +229,7 @@ type ReplicaResult struct {
 	NsCatchup            int64   `json:"ns_catchup"` // full from-zero chain, apply + verify
 	NsApplyPerVersion    int64   `json:"ns_apply_per_version"`
 	NsVerifyPerVersion   int64   `json:"ns_verify_per_version"`
-	NsRebuild            int64   `json:"ns_rebuild"` // full-corpus cold build (per-update cost of a rebuild mirror)
+	NsRebuild            int64   `json:"ns_rebuild"`         // full-corpus cold build (per-update cost of a rebuild mirror)
 	SpeedupVsRebuild     float64 `json:"speedup_vs_rebuild"` // ns_rebuild / ns_apply_per_version
 	FingerprintsChecked  int     `json:"fingerprints_checked"`
 	FingerprintsVerified bool    `json:"fingerprints_verified"`
@@ -489,6 +494,22 @@ func main() {
 			replicaRes.SpeedupVsRebuild))
 	}
 
+	// IngestUnderAnalyticsLoad: sliding-window ingest tail latency with
+	// zero vs saturating background analytics + compaction load;
+	// self-gated at p99 <= 1.5x (+ fixed grace) with fingerprint identity
+	// between the loaded and unloaded sessions.
+	var underLoad UnderLoadResult
+	if *window > 0 {
+		fmt.Fprintf(os.Stderr, "under-load: %d slides at window %d, zero vs saturating background load...\n", *slides, *window)
+		underLoad, err = measureIngestUnderLoad(ctx, sys, w, *window, *slides, effPar)
+		if err != nil {
+			fatal(err)
+		}
+		if err := gateUnderLoad(underLoad); err != nil {
+			fatal(err)
+		}
+	}
+
 	// Warm path: a long-lived server answering the same query from cache.
 	actors := w.EntitiesOfType("ACTOR")
 	if len(actors) == 0 {
@@ -549,13 +570,14 @@ func main() {
 			Docs: *nDocs, Iters: *iters, Parallelism: effPar,
 			Increments: len(chunks), Window: *window, Slides: *slides, Seed: *seed,
 		},
-		Cold:    cold,
-		Warm:    warm,
-		Ingest:  ingest,
-		Sliding: sliding,
-		Pattern: pattern,
-		Restart: restart,
-		Replica: replicaRes,
+		Cold:      cold,
+		Warm:      warm,
+		Ingest:    ingest,
+		Sliding:   sliding,
+		Pattern:   pattern,
+		Restart:   restart,
+		Replica:   replicaRes,
+		UnderLoad: underLoad,
 		Machine: MachineInfo{
 			GOOS: runtime.GOOS, GOARCH: runtime.GOARCH,
 			NumCPU: runtime.NumCPU(), GoVersion: runtime.Version(),
@@ -580,6 +602,9 @@ func main() {
 		float64(pattern.NsWarmCacheHit)/1e3, float64(pattern.NsDeltaEval)/1e3,
 		float64(restart.NsReopen)/1e6, restart.SpeedupVsRebuild, humanBytes(uint64(restart.BlobBytes)),
 		float64(replicaRes.NsApplyPerVersion)/1e3, replicaRes.SpeedupVsRebuild, float64(replicaRes.NsVerifyPerVersion)/1e3, *out)
+	fmt.Fprintf(os.Stderr, "under-load: ingest p99 %.1fµs loaded vs %.1fµs unloaded (%.2fx; %d compactions adopted, %d deltas folded, %d recomputes)\n",
+		float64(underLoad.P99LoadedNs)/1e3, float64(underLoad.P99UnloadedNs)/1e3, underLoad.P99Ratio,
+		underLoad.CompactionsAdopted, underLoad.AnalyticsApplied, underLoad.LoadRecomputes)
 
 	if *baseline != "" {
 		if err := compareBaseline(*baseline, *tolerance, *checkNS, cold); err != nil {

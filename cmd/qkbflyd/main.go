@@ -17,6 +17,8 @@
 //	                    NDJSON streaming (stream=1), standing incremental
 //	                    matches (since=N, follow=1); also accepts POST JSON
 //	GET  /session       live-session version and document window
+//	GET  /analytics     incremental aggregates folded from the delta
+//	                    stream (follow=1 for the NDJSON live tail)
 //	GET  /stats
 //	GET  /healthz
 //
@@ -58,6 +60,7 @@ import (
 	"qkbfly/internal/nlp/depparse"
 	"qkbfly/internal/qa"
 	"qkbfly/internal/replica"
+	"qkbfly/internal/sched"
 	"qkbfly/internal/search"
 	"qkbfly/internal/serve"
 	"qkbfly/internal/stats"
@@ -82,8 +85,11 @@ func main() {
 		memBudget     = flag.Int64("mem-budget", 0, "resident segment-payload byte budget with -data-dir; cold segments demote to disk (0 = keep everything resident)")
 		follow        = flag.String("follow", "", "leader base URL (e.g. http://leader:8080): run as a read-only replication follower")
 		retryBudget   = flag.Int("retry-budget", 10, "with -follow, consecutive failed leader connects before /healthz reports degraded (0 = never)")
+		maintenance   = flag.Bool("maintenance", true, "run the background maintenance scheduler: ingest defers tail compaction off the publish path, a snapshot-isolated worker compacts (fingerprint-verified) and prewarms, and /analytics folds incrementally from the delta stream")
+		maintWorkers  = flag.Int("maintenance-workers", 1, "maintenance scheduler worker goroutines")
 	)
 	flag.Parse()
+	startTime := time.Now()
 
 	if *follow != "" {
 		runFollower(*addr, *follow, *dataDir, *retryBudget, *drain)
@@ -140,6 +146,11 @@ func main() {
 	sessOpts := qkbfly.SessionOptions{
 		MaxDocuments: *window,
 		HistoryLimit: *history,
+		// With -maintenance, ingest appends runs without merging and the
+		// scheduler compacts off the publish path; without it, Push
+		// compacts inline as before.
+		DeferCompaction: *maintenance,
+		Counters:        server.Counters(),
 	}
 
 	// With -data-dir the session is durable: every published version's
@@ -193,10 +204,51 @@ func main() {
 		session = server.OpenSession(sessOpts)
 	}
 	defer session.Close()
+
+	// Background maintenance: a snapshot-isolated scheduler compacts the
+	// session's deferred runs (adopted only after a fingerprint-identity
+	// check, and only if the version was not superseded mid-job) and
+	// prewarms the run cache; the analytics tracker folds every published
+	// delta so GET /analytics answers in O(1) regardless of corpus size.
+	var (
+		maintainer *qkbfly.Maintainer
+		tracker    *qkbfly.AnalyticsTracker
+		scheduler  *sched.Scheduler
+	)
+	if *maintenance {
+		scheduler = sched.New(sched.Options{
+			Workers:  *maintWorkers,
+			Counters: server.Counters(),
+		})
+		maintainer = qkbfly.NewMaintainer(session, scheduler, qkbfly.MaintainerOptions{
+			Counters: server.Counters(),
+		})
+		tracker = qkbfly.NewAnalyticsTracker(session, qkbfly.AnalyticsOptions{
+			Counters: server.Counters(),
+		})
+	}
+	closeMaintenance := func() {
+		if maintainer != nil {
+			maintainer.Close() // stop enqueuing before tearing the queue down
+			maintainer = nil
+		}
+		if scheduler != nil {
+			scheduler.Close()
+			scheduler = nil
+		}
+		if tracker != nil {
+			tracker.Close()
+			tracker = nil
+		}
+	}
+	defer closeMaintenance()
+
 	handler := serve.NewHandler(server, serve.HandlerOptions{
 		DefaultSource: "wikipedia",
 		Answerer:      answerer,
 		Session:       session,
+		Analytics:     tracker,
+		StartTime:     startTime,
 	})
 
 	httpSrv := &http.Server{Addr: *addr, Handler: handler}
@@ -214,9 +266,11 @@ func main() {
 	}
 
 	fmt.Fprintln(os.Stderr, "shutting down: draining in-flight requests...")
-	// Close the session first: it ends every /facts?follow= stream (their
-	// watch channels close), so the drain below is not held open for the
-	// full timeout by long-lived followers.
+	// Maintenance goes first (cancel running jobs, stop the analytics
+	// fold), then the session: closing it ends every /facts?follow= and
+	// /analytics?follow= stream, so the drain below is not held open for
+	// the full timeout by long-lived followers.
+	closeMaintenance()
 	session.Close()
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
@@ -242,6 +296,7 @@ func main() {
 // runFollower is the -follow mode: no world, no engine, no ingestion —
 // just a replication follower serving verified reads.
 func runFollower(addr, leader, dataDir string, retryBudget int, drain time.Duration) {
+	startTime := time.Now()
 	logf := func(format string, args ...any) {
 		fmt.Fprintf(os.Stderr, format+"\n", args...)
 	}
@@ -264,7 +319,7 @@ func runFollower(addr, leader, dataDir string, retryBudget int, drain time.Durat
 	// The serving layer runs without a construction backend: /kb and
 	// /answer answer 503, everything else reads the replica.
 	server := serve.New(nil, serve.Options{})
-	handler := serve.NewHandler(server, serve.HandlerOptions{Replica: f})
+	handler := serve.NewHandler(server, serve.HandlerOptions{Replica: f, StartTime: startTime})
 
 	rctx, rcancel := context.WithCancel(context.Background())
 	defer rcancel()

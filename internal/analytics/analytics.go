@@ -1,0 +1,350 @@
+// Package analytics maintains session-level analytical aggregates —
+// entity/fact distributions, per-predicate confidence histograms,
+// per-document contribution counts, session growth over versions —
+// incrementally from store.Delta streams instead of full scans.
+//
+// A State is a key-indexed mirror of the facts and entities a session
+// version holds, reduced to the handful of fields the aggregates need
+// (lowered relation, winning confidence, winning provenance document,
+// entity types and emerging flags). Folding one published version's
+// Delta costs O(|delta|); the mirror exists so removals and in-place
+// upgrades can decrement exactly what they previously contributed —
+// the piece of state a pure aggregate could never reconstruct.
+//
+// The correctness contract (property-tested at the session layer): after
+// folding every delta of versions 1..v, State.Summary() is byte-identical
+// to Compute over the materialized KB of version v. Both paths build the
+// same mirror and run the same summarization in sorted-key order, so
+// even the floating-point mean confidences agree exactly.
+package analytics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"qkbfly/internal/kb/store"
+)
+
+// Buckets is the number of confidence-histogram buckets: bucket i holds
+// confidences in [i/Buckets, (i+1)/Buckets), with 1.0 clamped into the
+// last bucket.
+const Buckets = 10
+
+// bucketOf clamps a confidence into its histogram bucket.
+func bucketOf(conf float64) int {
+	b := int(conf * Buckets)
+	if b < 0 {
+		return 0
+	}
+	if b >= Buckets {
+		return Buckets - 1
+	}
+	return b
+}
+
+// factMeta is what one live fact contributes to the aggregates.
+type factMeta struct {
+	rel  string  // lowered relation (the predicate group)
+	conf float64 // winning confidence
+	doc  string  // winning provenance document
+}
+
+// entMeta is what one live entity contributes.
+type entMeta struct {
+	emerging bool
+	types    []string // sorted distinct types
+}
+
+// VersionDelta is one published version's analytic delta: the change
+// counts it folded plus the running totals after it — the record the
+// /analytics?follow= NDJSON stream ships per version.
+type VersionDelta struct {
+	Version         uint64 `json:"version"`
+	Added           int    `json:"added"`
+	Upgraded        int    `json:"upgraded"`
+	Removed         int    `json:"removed"`
+	EntitiesAdded   int    `json:"entities_added"`
+	EntitiesChanged int    `json:"entities_changed"`
+	EntitiesRemoved int    `json:"entities_removed"`
+	Facts           int    `json:"facts"`
+	Entities        int    `json:"entities"`
+	Emerging        int    `json:"emerging"`
+}
+
+// State is the incremental analytics state at one session version. It is
+// not safe for concurrent use; wrap it (qkbfly.AnalyticsTracker does).
+type State struct {
+	version     uint64
+	facts       map[string]factMeta // dedup key -> contribution
+	ents        map[string]entMeta  // entity ID -> contribution
+	growth      []VersionDelta      // newest last, bounded by growthLimit
+	growthLimit int
+}
+
+// New returns an empty State at version 0. growthLimit bounds the
+// retained per-version growth records; <= 0 means 256.
+func New(growthLimit int) *State {
+	if growthLimit <= 0 {
+		growthLimit = 256
+	}
+	return &State{
+		facts:       make(map[string]factMeta),
+		ents:        make(map[string]entMeta),
+		growthLimit: growthLimit,
+	}
+}
+
+// FromKB builds the state by a full scan over a materialized KB — the
+// seed for a session restored mid-history, and the recompute a resync
+// falls back to after a dropped delta stream. Growth history starts
+// empty (it cannot be reconstructed from a single version).
+func FromKB(kb *store.KB, version uint64, growthLimit int) *State {
+	st := New(growthLimit)
+	st.version = version
+	facts := kb.Facts()
+	for i := range facts {
+		f := &facts[i]
+		st.facts[store.FactKey(f)] = metaOf(f)
+	}
+	for _, e := range kb.Entities() {
+		st.ents[e.ID] = entMetaOf(e)
+	}
+	return st
+}
+
+func metaOf(f *store.Fact) factMeta {
+	return factMeta{rel: strings.ToLower(f.Relation), conf: f.Confidence, doc: f.Source.DocID}
+}
+
+func entMetaOf(e *store.EntityRecord) entMeta {
+	types := append([]string(nil), e.Types...)
+	sort.Strings(types)
+	types = dedupSorted(types)
+	return entMeta{emerging: e.Emerging, types: types}
+}
+
+func dedupSorted(s []string) []string {
+	out := s[:0]
+	for i, v := range s {
+		if i == 0 || v != s[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Version returns the session version the state is folded up to.
+func (st *State) Version() uint64 { return st.version }
+
+// Apply folds one published version's delta. version must be exactly
+// st.Version()+1 — a gap means the caller missed a version (a lagged
+// watch channel) and must resync via FromKB. Internal inconsistencies
+// (removing an unknown key, adding a duplicate) also error: they mean
+// the state silently diverged, and continuing would bake the divergence
+// into every later summary.
+func (st *State) Apply(version uint64, d *store.Delta) (VersionDelta, error) {
+	if version != st.version+1 {
+		return VersionDelta{}, fmt.Errorf("analytics: delta for version %d cannot apply to state at %d", version, st.version)
+	}
+	for i := range d.Removed {
+		k := store.FactKey(&d.Removed[i])
+		if _, ok := st.facts[k]; !ok {
+			return VersionDelta{}, fmt.Errorf("analytics: version %d removes unknown fact key %q", version, k)
+		}
+		delete(st.facts, k)
+	}
+	for i := range d.Upgraded {
+		f := &d.Upgraded[i]
+		k := store.FactKey(f)
+		if _, ok := st.facts[k]; !ok {
+			return VersionDelta{}, fmt.Errorf("analytics: version %d upgrades unknown fact key %q", version, k)
+		}
+		st.facts[k] = metaOf(f)
+	}
+	for i := range d.Added {
+		f := &d.Added[i]
+		k := store.FactKey(f)
+		if _, ok := st.facts[k]; ok {
+			return VersionDelta{}, fmt.Errorf("analytics: version %d re-adds live fact key %q", version, k)
+		}
+		st.facts[k] = metaOf(f)
+	}
+	for i := range d.RemovedEntities {
+		id := d.RemovedEntities[i].ID
+		if _, ok := st.ents[id]; !ok {
+			return VersionDelta{}, fmt.Errorf("analytics: version %d removes unknown entity %q", version, id)
+		}
+		delete(st.ents, id)
+	}
+	for i := range d.ChangedEntities {
+		e := &d.ChangedEntities[i]
+		if _, ok := st.ents[e.ID]; !ok {
+			return VersionDelta{}, fmt.Errorf("analytics: version %d changes unknown entity %q", version, e.ID)
+		}
+		st.ents[e.ID] = entMetaOf(e)
+	}
+	for i := range d.AddedEntities {
+		e := &d.AddedEntities[i]
+		if _, ok := st.ents[e.ID]; ok {
+			return VersionDelta{}, fmt.Errorf("analytics: version %d re-adds live entity %q", version, e.ID)
+		}
+		st.ents[e.ID] = entMetaOf(e)
+	}
+	st.version = version
+	vd := VersionDelta{
+		Version:         version,
+		Added:           len(d.Added),
+		Upgraded:        len(d.Upgraded),
+		Removed:         len(d.Removed),
+		EntitiesAdded:   len(d.AddedEntities),
+		EntitiesChanged: len(d.ChangedEntities),
+		EntitiesRemoved: len(d.RemovedEntities),
+		Facts:           len(st.facts),
+		Entities:        len(st.ents),
+		Emerging:        st.emergingCount(),
+	}
+	st.growth = append(st.growth, vd)
+	if over := len(st.growth) - st.growthLimit; over > 0 {
+		st.growth = append([]VersionDelta(nil), st.growth[over:]...)
+	}
+	return vd, nil
+}
+
+func (st *State) emergingCount() int {
+	n := 0
+	for _, e := range st.ents {
+		if e.emerging {
+			n++
+		}
+	}
+	return n
+}
+
+// Growth returns the retained per-version analytic deltas, oldest first.
+func (st *State) Growth() []VersionDelta {
+	return append([]VersionDelta(nil), st.growth...)
+}
+
+// PredicateStats aggregates one predicate (lowered relation).
+type PredicateStats struct {
+	Predicate string  `json:"predicate"`
+	Count     int     `json:"count"`
+	MeanConf  float64 `json:"mean_confidence"`
+	Histogram []int   `json:"histogram"`
+}
+
+// TypeCount is the number of entities carrying one type.
+type TypeCount struct {
+	Type  string `json:"type"`
+	Count int    `json:"count"`
+}
+
+// DocCount is the number of winning facts one document contributes.
+type DocCount struct {
+	DocID string `json:"doc_id"`
+	Count int    `json:"count"`
+}
+
+// Summary is the deterministic aggregate view of one version — the
+// /analytics JSON body. Equal states marshal to equal bytes: every slice
+// is sorted and the mean confidences are summed in sorted-key order.
+type Summary struct {
+	Version    uint64           `json:"version"`
+	Facts      int              `json:"facts"`
+	Entities   int              `json:"entities"`
+	Emerging   int              `json:"emerging"`
+	Confidence []int            `json:"confidence_histogram"`
+	Predicates []PredicateStats `json:"predicates"`
+	Types      []TypeCount      `json:"types"`
+	Documents  []DocCount       `json:"documents"`
+}
+
+// Summary computes the aggregate view of the current state. Cost is
+// O(live facts + entities) over the in-memory mirror — no tree walk, no
+// materialization; cache it per version (AnalyticsTracker does).
+func (st *State) Summary() *Summary {
+	s := &Summary{
+		Version:    st.version,
+		Facts:      len(st.facts),
+		Entities:   len(st.ents),
+		Emerging:   st.emergingCount(),
+		Confidence: make([]int, Buckets),
+	}
+	// Sorted-key iteration makes the floating-point confidence sums (and
+	// every slice order) identical between the delta-folded state and a
+	// full recompute: both walk the same keys in the same order.
+	keys := make([]string, 0, len(st.facts))
+	for k := range st.facts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	type predAgg struct {
+		count int
+		sum   float64
+		hist  []int
+	}
+	preds := make(map[string]*predAgg)
+	var predNames []string
+	docs := make(map[string]int)
+	for _, k := range keys {
+		m := st.facts[k]
+		s.Confidence[bucketOf(m.conf)]++
+		p := preds[m.rel]
+		if p == nil {
+			p = &predAgg{hist: make([]int, Buckets)}
+			preds[m.rel] = p
+			predNames = append(predNames, m.rel)
+		}
+		p.count++
+		p.sum += m.conf
+		p.hist[bucketOf(m.conf)]++
+		docs[m.doc]++
+	}
+	sort.Strings(predNames)
+	for _, name := range predNames {
+		p := preds[name]
+		s.Predicates = append(s.Predicates, PredicateStats{
+			Predicate: name,
+			Count:     p.count,
+			MeanConf:  p.sum / float64(p.count),
+			Histogram: p.hist,
+		})
+	}
+	docNames := make([]string, 0, len(docs))
+	for d := range docs {
+		docNames = append(docNames, d)
+	}
+	sort.Strings(docNames)
+	for _, d := range docNames {
+		s.Documents = append(s.Documents, DocCount{DocID: d, Count: docs[d]})
+	}
+	types := make(map[string]int)
+	entIDs := make([]string, 0, len(st.ents))
+	for id := range st.ents {
+		entIDs = append(entIDs, id)
+	}
+	sort.Strings(entIDs)
+	for _, id := range entIDs {
+		for _, ty := range st.ents[id].types {
+			types[ty]++
+		}
+	}
+	typeNames := make([]string, 0, len(types))
+	for ty := range types {
+		typeNames = append(typeNames, ty)
+	}
+	sort.Strings(typeNames)
+	for _, ty := range typeNames {
+		s.Types = append(s.Types, TypeCount{Type: ty, Count: types[ty]})
+	}
+	return s
+}
+
+// Compute is the full-scan reference: the Summary of a materialized KB
+// at the given version. The delta-folded State.Summary must be
+// byte-identical to it at every published version — the property the
+// session-layer test enforces.
+func Compute(kb *store.KB, version uint64) *Summary {
+	return FromKB(kb, version, 1).Summary()
+}

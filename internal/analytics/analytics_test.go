@@ -1,0 +1,155 @@
+package analytics
+
+import (
+	"encoding/json"
+	"testing"
+
+	"qkbfly/internal/kb/store"
+)
+
+func e(id string) store.Value { return store.Value{EntityID: id} }
+func l(s string) store.Value  { return store.Value{Literal: s} }
+
+func fact(subj store.Value, rel string, conf float64, doc string, objs ...store.Value) store.Fact {
+	return store.Fact{Subject: subj, Relation: rel, Objects: objs, Confidence: conf,
+		Source: store.Provenance{DocID: doc}}
+}
+
+// summaryJSON marshals a summary for byte-identity comparison.
+func summaryJSON(t *testing.T, s *Summary) string {
+	t.Helper()
+	b, err := json.Marshal(s)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	return string(b)
+}
+
+// TestAnalyticsFoldMatchesRecompute: folding the Diff chain of a KB
+// sequence reproduces Compute over each KB byte-for-byte — additions,
+// in-place upgrades (confidence and provenance moves between documents),
+// removals, and entity add/change/remove all covered.
+func TestAnalyticsFoldMatchesRecompute(t *testing.T) {
+	mk := func(build func(kb *store.KB)) *store.KB {
+		kb := store.New()
+		build(kb)
+		return kb
+	}
+	versions := []*store.KB{
+		mk(func(kb *store.KB) {}),
+		mk(func(kb *store.KB) {
+			kb.AddEntity(store.EntityRecord{ID: "Ann", Name: "Ann", Types: []string{"person"}})
+			kb.AddFact(fact(e("Ann"), "plays_for", 0.6, "d1", e("Orion")))
+			kb.AddFact(fact(e("Ann"), "born_in", 0.7, "d1", l("Lyon")))
+		}),
+		mk(func(kb *store.KB) {
+			kb.AddEntity(store.EntityRecord{ID: "Ann", Name: "Ann", Types: []string{"person"}, Emerging: true})
+			kb.AddEntity(store.EntityRecord{ID: "Orion", Name: "Orion", Types: []string{"team"}})
+			// plays_for upgraded: higher confidence from a different doc.
+			kb.AddFact(fact(e("Ann"), "plays_for", 0.9, "d2", e("Orion")))
+			kb.AddFact(fact(e("Ann"), "born_in", 0.7, "d1", l("Lyon")))
+			kb.AddFact(fact(e("Orion"), "based_in", 1.0, "d2", l("Lyon"))) // conf 1.0 clamps into last bucket
+		}),
+		mk(func(kb *store.KB) {
+			// born_in removed, Ann's types changed, Orion removed entirely.
+			kb.AddEntity(store.EntityRecord{ID: "Ann", Name: "Ann", Types: []string{"person", "player"}, Emerging: true})
+			kb.AddFact(fact(e("Ann"), "plays_for", 0.9, "d2", e("Orion")))
+		}),
+	}
+
+	st := New(0)
+	for v := 1; v < len(versions); v++ {
+		d := store.Diff(versions[v-1], versions[v])
+		vd, err := st.Apply(uint64(v), &d)
+		if err != nil {
+			t.Fatalf("apply version %d: %v", v, err)
+		}
+		if vd.Version != uint64(v) || vd.Facts != versions[v].Len() {
+			t.Fatalf("version %d delta = %+v, want facts %d", v, vd, versions[v].Len())
+		}
+		got := summaryJSON(t, st.Summary())
+		want := summaryJSON(t, Compute(versions[v], uint64(v)))
+		if got != want {
+			t.Fatalf("version %d summary diverged:\n got %s\nwant %s", v, got, want)
+		}
+	}
+	growth := st.Growth()
+	if len(growth) != len(versions)-1 {
+		t.Fatalf("growth records = %d, want %d", len(growth), len(versions)-1)
+	}
+	if growth[0].Added != 2 || growth[1].Upgraded != 1 || growth[2].Removed != 2 {
+		t.Errorf("growth deltas = %+v", growth)
+	}
+	if growth[2].EntitiesRemoved != 1 || growth[2].EntitiesChanged != 1 {
+		t.Errorf("entity growth deltas = %+v", growth[2])
+	}
+}
+
+// TestAnalyticsApplyRejectsGapsAndDivergence: version gaps and
+// inconsistent deltas error instead of silently corrupting state — the
+// tracker's signal to resync by full recompute.
+func TestAnalyticsApplyRejectsGapsAndDivergence(t *testing.T) {
+	base := store.New()
+	base.AddFact(fact(e("Ann"), "plays_for", 0.6, "d1", e("Orion")))
+	st := FromKB(base, 3, 0)
+
+	if _, err := st.Apply(5, &store.Delta{}); err == nil {
+		t.Error("version gap accepted")
+	}
+	bad := store.Delta{Removed: []store.Fact{fact(e("Bob"), "retired", 0.5, "d9")}}
+	if _, err := st.Apply(4, &bad); err == nil {
+		t.Error("removal of unknown key accepted")
+	}
+	dup := store.Delta{Added: []store.Fact{fact(e("Ann"), "plays_for", 0.8, "d2", e("Orion"))}}
+	if _, err := st.Apply(4, &dup); err == nil {
+		t.Error("re-add of live key accepted")
+	}
+	// State must be unchanged after rejected applies.
+	if st.Version() != 3 {
+		t.Errorf("version moved to %d after rejected applies", st.Version())
+	}
+	if got, want := summaryJSON(t, st.Summary()), summaryJSON(t, Compute(base, 3)); got != want {
+		t.Error("state mutated by rejected applies")
+	}
+}
+
+// TestAnalyticsGrowthRing: the growth history is bounded by the limit,
+// keeping the newest records.
+func TestAnalyticsGrowthRing(t *testing.T) {
+	st := New(3)
+	prev := store.New()
+	for v := 1; v <= 5; v++ {
+		next := prev.Clone()
+		next.AddFact(fact(e("Ann"), "visits", float64(v)/10, "d1", l(string(rune('a'+v)))))
+		d := store.Diff(prev, next)
+		if _, err := st.Apply(uint64(v), &d); err != nil {
+			t.Fatalf("apply %d: %v", v, err)
+		}
+		prev = next
+	}
+	g := st.Growth()
+	if len(g) != 3 || g[0].Version != 3 || g[2].Version != 5 {
+		t.Fatalf("growth ring = %+v, want versions 3..5", g)
+	}
+}
+
+// TestAnalyticsHistogramBuckets: bucket edges — 0, just under an edge,
+// exactly an edge, and 1.0 — land where the schema says they do.
+func TestAnalyticsHistogramBuckets(t *testing.T) {
+	kb := store.New()
+	kb.AddFact(fact(e("A"), "r1", 0.0, "d", l("x")))
+	kb.AddFact(fact(e("B"), "r1", 0.09, "d", l("x")))
+	kb.AddFact(fact(e("C"), "r1", 0.1, "d", l("x")))
+	kb.AddFact(fact(e("D"), "r1", 0.95, "d", l("x")))
+	kb.AddFact(fact(e("E"), "r1", 1.0, "d", l("x")))
+	s := Compute(kb, 1)
+	want := make([]int, Buckets)
+	want[0] = 2 // 0.0, 0.09
+	want[1] = 1 // 0.1
+	want[9] = 2 // 0.95, 1.0 (clamped)
+	for i := range want {
+		if s.Confidence[i] != want[i] {
+			t.Fatalf("confidence histogram = %v, want %v", s.Confidence, want)
+		}
+	}
+}

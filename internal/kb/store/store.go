@@ -207,6 +207,12 @@ func (kb *KB) AddFact(f Fact) int {
 	return f.ID
 }
 
+// FactKey returns a fact's dedup key — the content identity Delta facts
+// are correlated by across versions. Consumers that mirror a session
+// from delta streams (internal/analytics, replication) key their state
+// by it.
+func FactKey(f *Fact) string { return string(appendFactKey(nil, f)) }
+
 // appendFactKey appends a fact's full dedup key to buf — the same
 // <subject>|<lower(relation)>|<object>... layout AddFact assembles (and
 // must stay in sync with it); AddFact builds the key inline because it

@@ -20,7 +20,10 @@
 // exactly the flat document-order merge of those segments.
 package store
 
-import "sort"
+import (
+	"context"
+	"sort"
+)
 
 // treeNode is one run of the merge tree. Leaves hold a single document's
 // segment; internal nodes hold the merge of their two children and
@@ -137,6 +140,73 @@ func (t *Tree) Push(seg *Segment, seq uint64) *Tree {
 		})
 	}
 	return &Tree{runs: runs, merge: t.merge}
+}
+
+// Append pushes a document segment as the newest leaf under arrival
+// sequence seq without compacting the tail — Push with the equal-weight
+// merge loop deferred. The derived tree holds the same content (every
+// read walks runs, so lookups, scans, diffs and eviction all work on
+// loose trees; only their per-run constant grows), and a later Compact
+// restores the LSM run-count invariant off the ingest path. Sessions
+// running deferred compaction use this so an ingest's critical section
+// is pure pointer work.
+func (t *Tree) Append(seg *Segment, seq uint64) *Tree {
+	runs := make([]*treeNode, len(t.runs), len(t.runs)+1)
+	copy(runs, t.runs)
+	runs = append(runs, &treeNode{seg: seg, lo: seq, hi: seq, leaves: 1})
+	return &Tree{runs: runs, merge: t.merge}
+}
+
+// RunCount returns the number of runs — the per-lookup fan-in, and the
+// measure of how much compaction debt a loose tree carries.
+func (t *Tree) RunCount() int { return len(t.runs) }
+
+// Compact merges the tail-equal runs Append deferred, returning the
+// derived tree and whether anything merged. See CompactContext.
+func (t *Tree) Compact() (*Tree, bool) { return t.CompactContext(context.Background()) }
+
+// CompactContext replays Push's equal-weight rule over the tree's runs:
+// runs are re-pushed oldest-first onto a stack, and while the two newest
+// stack entries have equal leaf counts they merge into their parent. For
+// a tree built by Append over a Push-compacted prefix this reproduces
+// exactly the run layout (and therefore the run identities and
+// ContentID) that inline compaction would have produced; after
+// evictions, whose splits Push itself never re-merges mid-sequence, it
+// may compact further. Either way the result materializes to the same
+// KB — segment merging is associative in content and layout.
+//
+// Compaction is the background maintenance job, so it is cancellable:
+// when ctx is done the original tree is returned unchanged with changed
+// = false (a superseded job abandons its partial merge work).
+func (t *Tree) CompactContext(ctx context.Context) (compacted *Tree, changed bool) {
+	if len(t.runs) < 2 {
+		return t, false
+	}
+	merge := t.mergeFn()
+	runs := make([]*treeNode, 0, len(t.runs))
+	for _, r := range t.runs {
+		runs = append(runs, r)
+		for len(runs) >= 2 && runs[len(runs)-2].leaves == runs[len(runs)-1].leaves {
+			if ctx.Err() != nil {
+				return t, false
+			}
+			a, b := runs[len(runs)-2], runs[len(runs)-1]
+			runs = runs[:len(runs)-2]
+			runs = append(runs, &treeNode{
+				seg:    merge(a.seg, b.seg),
+				lo:     a.lo,
+				hi:     b.hi,
+				leaves: a.leaves + b.leaves,
+				left:   a,
+				right:  b,
+			})
+			changed = true
+		}
+	}
+	if !changed {
+		return t, false
+	}
+	return &Tree{runs: runs, merge: t.merge}, true
 }
 
 // Remove evicts the leaf with arrival sequence seq. No merging happens:

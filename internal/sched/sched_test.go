@@ -1,0 +1,205 @@
+package sched
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"qkbfly/internal/stats"
+)
+
+// fastOpts returns options tuned so tests never wait on the pressure
+// gate unless they mean to.
+func fastOpts(c *stats.CounterSet) Options {
+	return Options{Workers: 1, Cooldown: time.Millisecond, MaxStall: 5 * time.Millisecond, Counters: c}
+}
+
+// TestSchedPriorityOrder: with a single worker held busy, queued jobs
+// run highest-priority first and FIFO within a priority.
+func TestSchedPriorityOrder(t *testing.T) {
+	s := New(fastOpts(nil))
+	defer s.Close()
+
+	gate := make(chan struct{})
+	s.Submit(Job{Name: "blocker", Run: func(ctx context.Context) error {
+		<-gate
+		return nil
+	}})
+
+	var mu sync.Mutex
+	var order []string
+	record := func(name string) Job {
+		return Job{Name: name, Priority: int(name[0] - '0'), Run: func(ctx context.Context) error {
+			mu.Lock()
+			order = append(order, name)
+			mu.Unlock()
+			return nil
+		}}
+	}
+	// Submit while the worker is blocked, out of priority order.
+	s.Submit(record("1a"))
+	s.Submit(record("3a"))
+	s.Submit(record("2a"))
+	s.Submit(record("3b"))
+	close(gate)
+	s.Drain()
+
+	want := []string{"3a", "3b", "2a", "1a"}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(order) != len(want) {
+		t.Fatalf("ran %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("ran %v, want %v", order, want)
+		}
+	}
+}
+
+// TestSchedSupersession: submitting a newer version of a Kind removes
+// the pending older job and cancels the running one.
+func TestSchedSupersession(t *testing.T) {
+	c := stats.NewCounterSet()
+	s := New(fastOpts(c))
+	defer s.Close()
+
+	started := make(chan struct{})
+	cancelled := make(chan struct{})
+	var stale atomic.Int64
+	s.Submit(Job{Name: "v1", Kind: "compact", Version: 1, Run: func(ctx context.Context) error {
+		close(started)
+		<-ctx.Done() // hold until superseded
+		close(cancelled)
+		return ctx.Err()
+	}})
+	<-started
+	// Pending older sibling that must be dropped without running.
+	s.Submit(Job{Name: "v1-pending", Kind: "other", Version: 1, Run: func(ctx context.Context) error {
+		stale.Add(1)
+		return nil
+	}})
+	// Superseding submissions for both kinds.
+	s.Submit(Job{Name: "other-v2", Kind: "other", Version: 2, Run: func(ctx context.Context) error { return nil }})
+	s.Submit(Job{Name: "compact-v2", Kind: "compact", Version: 2, Run: func(ctx context.Context) error { return nil }})
+
+	select {
+	case <-cancelled:
+	case <-time.After(5 * time.Second):
+		t.Fatal("running v1 job was not cancelled by the v2 submission")
+	}
+	s.Drain()
+	if got := c.Get(CounterSuperseded); got != 2 {
+		t.Errorf("superseded = %d, want 2 (one pending, one running)", got)
+	}
+	if stale.Load() != 0 {
+		t.Errorf("a superseded pending job still ran")
+	}
+}
+
+// TestSchedBudget: a job that overruns its budget has its context
+// cancelled with DeadlineExceeded.
+func TestSchedBudget(t *testing.T) {
+	c := stats.NewCounterSet()
+	s := New(fastOpts(c))
+	defer s.Close()
+
+	errc := make(chan error, 1)
+	s.Submit(Job{Name: "slow", Budget: 10 * time.Millisecond, Run: func(ctx context.Context) error {
+		<-ctx.Done()
+		errc <- ctx.Err()
+		return ctx.Err()
+	}})
+	select {
+	case err := <-errc:
+		if err != context.DeadlineExceeded {
+			t.Errorf("budget cancellation error = %v, want DeadlineExceeded", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("budget never expired")
+	}
+	s.Drain()
+	if got := c.Get(CounterCancelled); got != 1 {
+		t.Errorf("cancelled = %d, want 1", got)
+	}
+}
+
+// TestSchedPressureDefersButNeverStarves: constant foreground pressure
+// defers jobs past Cooldown, but MaxStall bounds the deferral.
+func TestSchedPressureDefersButNeverStarves(t *testing.T) {
+	s := New(Options{Workers: 1, Cooldown: 50 * time.Millisecond, MaxStall: 200 * time.Millisecond})
+	defer s.Close()
+
+	// Keep pressure continuously fresh from a background goroutine.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				s.NotifyPressure()
+				time.Sleep(5 * time.Millisecond)
+			}
+		}
+	}()
+
+	s.NotifyPressure()
+	start := time.Now()
+	ran := make(chan time.Duration, 1)
+	s.Submit(Job{Name: "deferred", Run: func(ctx context.Context) error {
+		ran <- time.Since(start)
+		return nil
+	}})
+	select {
+	case d := <-ran:
+		if d < 40*time.Millisecond {
+			t.Errorf("job ran after %v despite fresh pressure and 50ms cooldown", d)
+		}
+		if d > 2*time.Second {
+			t.Errorf("job stalled %v, MaxStall is 200ms", d)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("job starved: MaxStall did not bound the pressure deferral")
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestSchedCloseCancelsEverything: Close cancels the running job, drops
+// the queue, and Submit afterwards reports the scheduler closed.
+func TestSchedCloseCancelsEverything(t *testing.T) {
+	c := stats.NewCounterSet()
+	s := New(fastOpts(c))
+
+	started := make(chan struct{})
+	finished := make(chan error, 1)
+	s.Submit(Job{Name: "held", Run: func(ctx context.Context) error {
+		close(started)
+		<-ctx.Done()
+		finished <- ctx.Err()
+		return ctx.Err()
+	}})
+	<-started
+	s.Submit(Job{Name: "never-runs", Run: func(ctx context.Context) error { return nil }})
+	s.Close()
+	select {
+	case err := <-finished:
+		if err != context.Canceled {
+			t.Errorf("running job saw %v, want Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("running job was not cancelled at Close")
+	}
+	if s.Submit(Job{Name: "late", Run: func(ctx context.Context) error { return nil }}) {
+		t.Error("Submit after Close returned true")
+	}
+	if got := c.Get(CounterCancelled); got < 1 {
+		t.Errorf("cancelled = %d, want >= 1 (the dropped pending job)", got)
+	}
+}

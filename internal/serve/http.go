@@ -52,10 +52,15 @@ type HandlerOptions struct {
 	// and /stats. Mutually exclusive with Session.
 	Replica *replica.Follower
 	// StreamWriteTimeout bounds every single NDJSON record write on the
-	// streaming endpoints (/facts, /query, /deltas); a consumer that
-	// stops reading is disconnected after one timeout instead of pinning
-	// the connection through drain. Default 15s.
+	// streaming endpoints (/facts, /query, /deltas, /analytics); a
+	// consumer that stops reading is disconnected after one timeout
+	// instead of pinning the connection through drain. Default 15s.
 	StreamWriteTimeout time.Duration
+	// Analytics serves GET /analytics from an incremental tracker over
+	// the live session. When nil the endpoint returns 503.
+	Analytics *qkbfly.AnalyticsTracker
+	// StartTime stamps /stats uptime; zero means NewHandler's call time.
+	StartTime time.Time
 }
 
 // NewHandler exposes a Server over HTTP/JSON:
@@ -68,7 +73,9 @@ type HandlerOptions struct {
 //	GET  /deltas?since=&follow=&snapshot=  replication stream: one
 //	                                  fingerprint-stamped store.Delta per version
 //	GET  /session                     live-session version + document window
-//	GET  /stats                       caches, counters, replication role
+//	GET  /analytics?follow=           incremental aggregates (cached JSON);
+//	                                  follow= streams per-version analytic deltas
+//	GET  /stats                       caches, counters, uptime, build, replication role
 //	GET  /healthz                     role, version, staleness/lag
 //
 // Every build runs under the request context, so a disconnecting client
@@ -87,6 +94,10 @@ func NewHandler(s *Server, opt HandlerOptions) http.Handler {
 	if opt.MaxIngestBytes <= 0 {
 		opt.MaxIngestBytes = 8 << 20
 	}
+	if opt.StartTime.IsZero() {
+		opt.StartTime = time.Now()
+	}
+	acache := &analyticsCache{}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/kb", func(w http.ResponseWriter, r *http.Request) {
 		handleKB(s, opt, w, r)
@@ -111,6 +122,9 @@ func NewHandler(s *Server, opt HandlerOptions) http.Handler {
 	})
 	mux.HandleFunc("/deltas", func(w http.ResponseWriter, r *http.Request) {
 		handleDeltas(s, opt, w, r)
+	})
+	mux.HandleFunc("/analytics", func(w http.ResponseWriter, r *http.Request) {
+		handleAnalytics(acache, opt, w, r)
 	})
 	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
 		if !getOnly(w, r) {

@@ -3,7 +3,11 @@ package serve
 import (
 	"fmt"
 	"net/http"
+	"runtime"
+	"runtime/debug"
 	"strconv"
+	"sync"
+	"time"
 
 	"qkbfly/internal/query"
 	"qkbfly/internal/replica"
@@ -223,15 +227,48 @@ func healthFor(s *Server, opt HandlerOptions) healthResponse {
 }
 
 // statsResponse wraps the server's cache/counter snapshot with the
-// replication role and, on a follower, the full replica status.
+// replication role, process uptime and build identity and, on a
+// follower, the full replica status.
 type statsResponse struct {
 	Snapshot
-	Role    string          `json:"role"`
-	Replica *replica.Status `json:"replica,omitempty"`
+	Role          string          `json:"role"`
+	UptimeSeconds float64         `json:"uptime_seconds"`
+	Build         buildRef        `json:"build"`
+	Replica       *replica.Status `json:"replica,omitempty"`
 }
 
+// buildRef identifies the running binary: toolchain, platform, and the
+// VCS revision when the binary was built from a checkout.
+type buildRef struct {
+	GoVersion string `json:"go_version"`
+	OS        string `json:"os"`
+	Arch      string `json:"arch"`
+	Revision  string `json:"revision,omitempty"`
+	Modified  bool   `json:"modified,omitempty"`
+}
+
+// buildInfo is computed once: the binary does not change while running.
+var buildInfo = sync.OnceValue(func() buildRef {
+	b := buildRef{GoVersion: runtime.Version(), OS: runtime.GOOS, Arch: runtime.GOARCH}
+	if info, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range info.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				b.Revision = s.Value
+			case "vcs.modified":
+				b.Modified = s.Value == "true"
+			}
+		}
+	}
+	return b
+})
+
 func statsFor(s *Server, opt HandlerOptions) statsResponse {
-	resp := statsResponse{Role: roleFor(s, opt)}
+	resp := statsResponse{
+		Role:          roleFor(s, opt),
+		UptimeSeconds: time.Since(opt.StartTime).Seconds(),
+		Build:         buildInfo(),
+	}
 	if s != nil {
 		resp.Snapshot = s.Stats()
 	}

@@ -1,0 +1,251 @@
+package qkbfly
+
+// Internal tests for the deferred-compaction maintenance path: the
+// invariants that matter when compaction is asynchronous — the run-count
+// bound holds (background adoption or inline backstop), adopted trees
+// are content-identical to their sources, and a job whose snapshot was
+// superseded mid-flight can never publish into a newer version.
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"qkbfly/internal/kb/store"
+	"qkbfly/internal/nlp"
+	"qkbfly/internal/sched"
+	"qkbfly/internal/stats"
+)
+
+// maintBuilder is a deterministic, pipeline-free ShardBuilder: one tiny
+// KB shard per document, keyed by the document ID. It keeps maintenance
+// tests fast and precise — the invariants under test live entirely in
+// the tree / session / scheduler layers.
+type maintBuilder struct{}
+
+func (maintBuilder) BuildShardsContext(ctx context.Context, docs []*nlp.Document, opts ...Option) ([]*store.KB, *BuildStats, error) {
+	shards := make([]*store.KB, len(docs))
+	for i, d := range docs {
+		// Shard content must depend only on the document (determinism
+		// across batch splits), so the per-doc confidence is derived from
+		// the ID, never the batch position.
+		var n int
+		fmt.Sscanf(d.ID, "m%03d", &n)
+		kb := store.New()
+		kb.AddEntity(store.EntityRecord{ID: d.ID, Name: d.ID, Types: []string{"doc"}})
+		kb.AddFact(store.Fact{
+			Subject:    store.Value{EntityID: d.ID},
+			Relation:   "mentions",
+			Objects:    []store.Value{{Literal: d.Text}},
+			Confidence: 0.5 + float64(n%5)/10,
+			Source:     store.Provenance{DocID: d.ID},
+		})
+		// A shared key across documents so deferral also exercises
+		// cross-run winner resolution (later docs shadow earlier ones).
+		kb.AddFact(store.Fact{
+			Subject:    store.Value{EntityID: "corpus"},
+			Relation:   "latest",
+			Objects:    []store.Value{{Literal: "doc"}},
+			Confidence: 0.9,
+			Source:     store.Provenance{DocID: d.ID},
+		})
+		shards[i] = kb
+	}
+	return shards, &BuildStats{Parallelism: 1, PerDocElapsed: make([]time.Duration, len(docs))}, nil
+}
+
+func maintDocs(n, from int) []*nlp.Document {
+	docs := make([]*nlp.Document, n)
+	for i := range docs {
+		docs[i] = &nlp.Document{ID: fmt.Sprintf("m%03d", from+i), Text: fmt.Sprintf("text %d", from+i)}
+	}
+	return docs
+}
+
+// drainAdopted waits until the scheduler is idle and no compaction can
+// still be pending: after Drain returns with no new ingests, any
+// submitted compact job has run to completion (adopted or refused).
+func drainAdopted(sc *sched.Scheduler) { sc.Drain() }
+
+// TestMaintSchedCompactAdoptsAndMatchesPush: a deferred-compaction
+// session with a Maintainer converges to the same run count AND the same
+// KB fingerprint as a plain inline-compaction session over the same
+// feed — background compaction restores the O(log W) invariant without
+// changing content, and the fingerprint-identity verify gate passes.
+func TestMaintSchedCompactAdoptsAndMatchesPush(t *testing.T) {
+	ctx := context.Background()
+	counters := stats.NewCounterSet()
+	sc := sched.New(sched.Options{Cooldown: time.Millisecond, MaxStall: 10 * time.Millisecond, Counters: counters})
+	defer sc.Close()
+
+	deferred := Open(maintBuilder{}, SessionOptions{DeferCompaction: true, Counters: counters})
+	defer deferred.Close()
+	m := NewMaintainer(deferred, sc, MaintainerOptions{MinLooseRuns: 1, Counters: counters})
+	defer m.Close()
+	plain := Open(maintBuilder{}, SessionOptions{})
+	defer plain.Close()
+
+	const n = 24
+	for i := 0; i < n; i++ {
+		docs := maintDocs(1, i)
+		if _, _, err := deferred.Ingest(ctx, docs); err != nil {
+			t.Fatalf("deferred ingest %d: %v", i, err)
+		}
+		if _, _, err := plain.Ingest(ctx, maintDocs(1, i)); err != nil {
+			t.Fatalf("plain ingest %d: %v", i, err)
+		}
+	}
+	drainAdopted(sc)
+	// The last publish may have superseded the adopted layout again; one
+	// final drain after quiescence settles the tail job.
+	drainAdopted(sc)
+
+	if got := counters.Get(CounterMaintCompactions); got == 0 {
+		t.Fatal("no background compaction was ever adopted")
+	}
+	if got := counters.Get(CounterMaintVerifyFails); got != 0 {
+		t.Fatalf("verify failures = %d, want 0", got)
+	}
+	snap, want := deferred.Snapshot(), plain.Snapshot()
+	if snap.Fingerprint() != want.Fingerprint() {
+		t.Fatal("deferred+compacted KB fingerprint differs from inline-compaction session")
+	}
+	// The adopted layout obeys the same O(log W) bound Push maintains;
+	// only the loose tail past the last adoption may exceed it.
+	if got, bound := snap.Tree().RunCount(), want.Tree().RunCount()+int(counters.Get(CounterMaintSuperseded))+1; got > n/2 {
+		t.Fatalf("deferred tree still has %d runs after maintenance (plain has %d, tolerated %d)", got, want.Tree().RunCount(), bound)
+	}
+	// Cross-run winners survive deferral: the shared "latest" key must
+	// resolve identically on the loose/compacted tree and the plain one.
+	lf, ok1 := snap.Tree().Lookup(store.FactKey(&store.Fact{Subject: store.Value{EntityID: "corpus"}, Relation: "latest", Objects: []store.Value{{Literal: "doc"}}}))
+	pf, ok2 := want.Tree().Lookup(store.FactKey(&store.Fact{Subject: store.Value{EntityID: "corpus"}, Relation: "latest", Objects: []store.Value{{Literal: "doc"}}}))
+	if !ok1 || !ok2 || lf.Source != pf.Source || lf.Confidence != pf.Confidence {
+		t.Fatalf("cross-run winner diverged under deferral: %+v vs %+v", lf, pf)
+	}
+}
+
+// TestMaintCompactSupersededMidJob: a compaction computed against a
+// pinned snapshot must be refused once the session has moved on — the
+// stale layout is discarded and counted, and the newer version's content
+// is untouched.
+func TestMaintCompactSupersededMidJob(t *testing.T) {
+	ctx := context.Background()
+	counters := stats.NewCounterSet()
+	s := Open(maintBuilder{}, SessionOptions{DeferCompaction: true, Counters: counters})
+	defer s.Close()
+
+	if _, _, err := s.Ingest(ctx, maintDocs(6, 0)); err != nil {
+		t.Fatalf("ingest: %v", err)
+	}
+	snap := s.Snapshot()
+	compacted, changed := snap.Tree().CompactContext(ctx)
+	if !changed {
+		t.Fatal("six loose runs did not compact")
+	}
+
+	// The session moves on before the job can adopt.
+	if _, _, err := s.Ingest(ctx, maintDocs(1, 6)); err != nil {
+		t.Fatalf("superseding ingest: %v", err)
+	}
+	if s.adoptCompacted(snap, compacted) {
+		t.Fatal("stale compaction was adopted over a newer version")
+	}
+	if got := s.Snapshot().Tree().Len(); got != 7 {
+		t.Fatalf("live tree has %d docs after refused adoption, want 7", got)
+	}
+
+	// The Maintainer job body counts the refusal the same way.
+	m := &Maintainer{s: s, opt: MaintainerOptions{Counters: counters}}
+	if err := m.compact(ctx, snap); err != nil {
+		t.Fatalf("superseded compact job errored: %v", err)
+	}
+	if got := counters.Get(CounterMaintSuperseded); got == 0 {
+		t.Fatal("superseded adoption not counted")
+	}
+
+	// Adoption against the CURRENT snapshot still works.
+	cur := s.Snapshot()
+	curCompacted, changed := cur.Tree().Compact()
+	if changed && !s.adoptCompacted(cur, curCompacted) {
+		t.Fatal("fresh compaction refused")
+	}
+	if s.Snapshot().Version() != cur.Version() {
+		t.Fatal("adoption bumped the version")
+	}
+	if s.Snapshot().Fingerprint() != cur.Fingerprint() {
+		t.Fatal("adoption changed content")
+	}
+}
+
+// TestMaintCompactBackstopBoundsRuns: with deferral on and no Maintainer
+// attached, the inline backstop caps read fan-in at the configured debt
+// and counts itself.
+func TestMaintCompactBackstopBoundsRuns(t *testing.T) {
+	ctx := context.Background()
+	counters := stats.NewCounterSet()
+	s := Open(maintBuilder{}, SessionOptions{DeferCompaction: true, CompactionDebt: 4, Counters: counters})
+	defer s.Close()
+
+	for i := 0; i < 12; i++ {
+		if _, _, err := s.Ingest(ctx, maintDocs(1, i)); err != nil {
+			t.Fatalf("ingest %d: %v", i, err)
+		}
+		if got := s.Snapshot().Tree().RunCount(); got > 4+4 {
+			t.Fatalf("ingest %d: %d runs exceed debt bound", i, got)
+		}
+	}
+	if got := counters.Get(CounterCompactBackstops); got < 2 {
+		t.Fatalf("backstop compactions = %d, want >= 2", got)
+	}
+	plain := Open(maintBuilder{}, SessionOptions{})
+	defer plain.Close()
+	if _, _, err := plain.Ingest(ctx, maintDocs(12, 0)); err != nil {
+		t.Fatalf("plain ingest: %v", err)
+	}
+	if s.Snapshot().Fingerprint() != plain.Snapshot().Fingerprint() {
+		t.Fatal("backstop-compacted KB differs from inline-compaction build")
+	}
+}
+
+// TestMaintSchedPrewarmAndRescoreJobs: prewarm and rescore jobs run per
+// published version, observe the pinned snapshot's version, and are
+// accounted.
+func TestMaintSchedPrewarmAndRescoreJobs(t *testing.T) {
+	ctx := context.Background()
+	counters := stats.NewCounterSet()
+	sc := sched.New(sched.Options{Cooldown: time.Millisecond, MaxStall: 5 * time.Millisecond, Counters: counters})
+	defer sc.Close()
+	s := Open(maintBuilder{}, SessionOptions{DeferCompaction: true, Counters: counters})
+	defer s.Close()
+
+	rescored := make(chan uint64, 16)
+	m := NewMaintainer(s, sc, MaintainerOptions{
+		MinLooseRuns: 1,
+		Prewarm:      true,
+		Rescore: func(ctx context.Context, snap *Snapshot) {
+			rescored <- snap.Version()
+		},
+		Counters: counters,
+	})
+	defer m.Close()
+
+	if _, _, err := s.Ingest(ctx, maintDocs(3, 0)); err != nil {
+		t.Fatalf("ingest: %v", err)
+	}
+	sc.Drain()
+	if got := counters.Get(CounterMaintPrewarms); got == 0 {
+		t.Fatal("prewarm job never ran")
+	}
+	if got := counters.Get(CounterMaintRescores); got == 0 {
+		t.Fatal("rescore job never ran")
+	}
+	select {
+	case v := <-rescored:
+		if v != s.Version() {
+			t.Fatalf("rescore saw version %d, session at %d", v, s.Version())
+		}
+	default:
+		t.Fatal("rescore hook not invoked")
+	}
+}

@@ -12,10 +12,21 @@ import (
 	"qkbfly/internal/engine"
 	"qkbfly/internal/kb/store"
 	"qkbfly/internal/nlp"
+	"qkbfly/internal/stats"
 )
 
 // ErrSessionClosed is returned by Ingest and Evict after Close.
 var ErrSessionClosed = errors.New("qkbfly: session closed")
+
+// Counter names a session records into SessionOptions.Counters — the
+// previously silent lagging-consumer drops of each watcher flavor, and
+// the inline compactions the deferred-compaction backstop forced.
+const (
+	CounterWatchDrops        = "session_watch_drops"
+	CounterPatternWatchDrops = "session_pattern_watch_drops"
+	CounterDeltaWatchDrops   = "session_delta_watch_drops"
+	CounterCompactBackstops  = "session_compact_backstops"
+)
 
 // ShardBuilder builds one deterministic KB shard per document — the
 // substrate a Session folds increments through. *System implements it
@@ -89,6 +100,25 @@ type SessionOptions struct {
 	// writeback (see Persistence). Restart with Restore over the
 	// persistence layer's recovered state.
 	Persist Persistence
+	// DeferCompaction moves the merge tree's equal-weight tail compaction
+	// off the ingest path: Ingest appends loose leaf runs (pure pointer
+	// work under the lock) and a background Maintainer compacts immutable
+	// snapshots, publishing the compacted layout back through
+	// adoptCompacted with a fingerprint-identity check. Reads work
+	// unchanged on loose trees; their per-run constant grows with the
+	// compaction debt, bounded by CompactionDebt.
+	DeferCompaction bool
+	// CompactionDebt is the deferred-compaction backstop: when this many
+	// loose appends accumulate without a background compaction landing,
+	// the next ingest compacts inline (counted as CounterCompactBackstops)
+	// so read fan-in stays bounded even with no Maintainer attached.
+	// <= 0 means 64. Ignored unless DeferCompaction is set.
+	CompactionDebt int
+	// Counters, when non-nil, receives the session_* accounting: watcher
+	// fan-out drops (plain, pattern and delta subscribers shed for
+	// lagging a full buffer behind) and compaction backstops. Pass the
+	// serving layer's CounterSet to surface them through /stats.
+	Counters *stats.CounterSet
 }
 
 // FactEvent is one fact landing in (or being replayed from) a session,
@@ -198,6 +228,22 @@ type Session struct {
 	nextDW    int
 	anonSeq   int // synthetic keys for documents without IDs
 	closed    bool
+
+	// Deferred-compaction state: loose counts the leaf runs appended
+	// since the tree was last fully compacted (inline backstop or adopted
+	// background compaction); maint is the background maintenance hook
+	// notified of every published version (see Maintainer).
+	loose int
+	maint maintenanceHook
+}
+
+// maintenanceHook receives every published version, under the session
+// lock, so background maintenance can schedule snapshot-isolated work —
+// implemented by Maintainer. Like Persistence, implementations must only
+// enqueue: the jobs themselves run off the ingest path, over the
+// immutable snapshot, never the live tree.
+type maintenanceHook interface {
+	published(v uint64, snap *Snapshot, looseRuns int)
 }
 
 // Open starts a session over a shard builder (a *System, or a
@@ -447,7 +493,15 @@ func (s *Session) Ingest(ctx context.Context, docs []*nlp.Document) (*Snapshot, 
 			key := newKeys[i]
 			seq := s.nextSeq
 			s.nextSeq++
-			tree = tree.Push(segs[i], seq)
+			if s.opt.DeferCompaction {
+				// Deferred compaction: the critical section is pure pointer
+				// work; the equal-weight merges run later, over the immutable
+				// snapshot, in a background job.
+				tree = tree.Append(segs[i], seq)
+				s.loose++
+			} else {
+				tree = tree.Push(segs[i], seq)
+			}
 			s.segs[key] = segs[i]
 			s.seqs[key] = seq
 			s.docIDs = append(s.docIDs, key)
@@ -466,6 +520,17 @@ func (s *Session) Ingest(ctx context.Context, docs []*nlp.Document) (*Snapshot, 
 			over := len(s.docIDs) - s.opt.MaxDocuments
 			tree, changed = s.dropLocked(tree, s.docIDs[:over], changed, ops)
 			s.docIDs = append([]string(nil), s.docIDs[over:]...)
+		}
+		// Deferred-compaction backstop: with no background compaction
+		// landing, read fan-in would grow one run per ingest — once the
+		// debt cap is hit this ingest compacts inline so the O(log W)
+		// bound holds even without a Maintainer attached.
+		if s.opt.DeferCompaction && s.loose >= s.compactionDebtLocked() {
+			if c, ok := tree.Compact(); ok {
+				tree = c
+			}
+			s.loose = 0
+			s.count(CounterCompactBackstops, 1)
 		}
 		bs.StageElapsed.Merge = time.Since(mergeStart)
 		// The version's diff is only computed when someone can observe it,
@@ -524,6 +589,9 @@ func (s *Session) advanceLocked(tree *store.Tree, delta store.Delta, ops *pubOps
 	if s.opt.Persist != nil {
 		s.opt.Persist.Publish(v, s.nextSeq, ops.addKeys, ops.addSeqs, ops.addSegs, ops.delSeqs, tree)
 	}
+	if s.maint != nil {
+		s.maint.published(v, s.cur, s.loose)
+	}
 	if s.opt.HistoryLimit > 0 {
 		s.history = append(s.history, versionDelta{version: v, delta: delta, tree: tree})
 		if over := len(s.history) - s.opt.HistoryLimit; over > 0 {
@@ -571,6 +639,7 @@ watchers:
 				default:
 					// The watcher is a full buffer behind: drop it rather than
 					// blocking ingestion (lagging-consumer semantics).
+					s.count(CounterWatchDrops, 1)
 					s.removeWatcherLocked(id)
 					continue watchers
 				}
@@ -762,6 +831,62 @@ func (s *Session) removeWatcherLocked(id int) {
 		}
 		close(w.ch)
 	}
+}
+
+// count adds to a session counter, when accounting is attached.
+func (s *Session) count(name string, delta int64) {
+	if s.opt.Counters != nil {
+		s.opt.Counters.Add(name, delta)
+	}
+}
+
+// compactionDebtLocked resolves the deferred-compaction backstop cap.
+// Callers hold s.mu.
+func (s *Session) compactionDebtLocked() int {
+	if s.opt.CompactionDebt > 0 {
+		return s.opt.CompactionDebt
+	}
+	return 64
+}
+
+// attachMaintenance registers the background maintenance hook — at most
+// one per session (a later call replaces the hook; pass nil to detach).
+func (s *Session) attachMaintenance(m maintenanceHook) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.maint = m
+}
+
+// isClosed reports whether Close has run — background consumers (the
+// analytics tracker) use it to tell shutdown apart from a lag drop.
+func (s *Session) isClosed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
+// adoptCompacted publishes a background-compacted tree back into the
+// session. If snap is still the current version, the current snapshot is
+// swapped for one holding the compacted tree at the same version — no
+// new version, no delta, no watcher traffic, and persistence is
+// untouched (the durable log stores leaves, not layouts). The swap is
+// content-neutral: callers (Maintainer) verify fingerprint identity
+// against snap before offering the tree. Returns false when snap has
+// been superseded by a newer version — the job's work is discarded, as
+// a fresher snapshot (with its own compaction job) has replaced it —
+// or when the session is closed.
+func (s *Session) adoptCompacted(snap *Snapshot, compacted *store.Tree) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed || s.cur != snap {
+		return false
+	}
+	if compacted.Len() != snap.tree.Len() {
+		return false // defense in depth: never adopt a tree of different size
+	}
+	s.cur = &Snapshot{tree: compacted, version: snap.version}
+	s.loose = 0
+	return true
 }
 
 // Close ends the session: watchers' channels close, and further Ingest

@@ -1,0 +1,248 @@
+package qkbfly
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"qkbfly/internal/analytics"
+	"qkbfly/internal/stats"
+)
+
+// Counter names an AnalyticsTracker records into AnalyticsOptions.Counters.
+const (
+	CounterAnalyticsApplied = "analytics_deltas_applied"
+	CounterAnalyticsResyncs = "analytics_resyncs"
+	CounterAnalyticsDrops   = "analytics_watch_drops"
+)
+
+// AnalyticsOptions configure an AnalyticsTracker.
+type AnalyticsOptions struct {
+	// GrowthLimit bounds the retained per-version growth records
+	// (analytics.State); <= 0 means 256.
+	GrowthLimit int
+	// WatchBuffer is each analytics subscriber channel's capacity; <= 0
+	// means 256. Lagging subscribers are dropped, like session watchers.
+	WatchBuffer int
+	// Counters, when non-nil, receives the analytics_* accounting.
+	Counters *stats.CounterSet
+}
+
+// AnalyticsTracker maintains incremental analytical aggregates for one
+// session — entity/fact distributions, per-predicate confidence
+// histograms, per-document contributions, growth over versions — folded
+// from the session's delta stream instead of scanning snapshots. Folding
+// a version costs O(|delta|); the /analytics endpoint therefore answers
+// from state that is already current, independent of corpus size.
+//
+// The tracker subscribes via WatchDeltas before seeding from the current
+// snapshot, so no version falls in a gap. If its subscription is ever
+// dropped for lagging (or a fold detects divergence), it resynchronizes
+// by full recompute over the then-current snapshot and resumes folding —
+// correctness never depends on the stream staying healthy, only freshness
+// does. Growth history restarts empty after a resync (it cannot be
+// reconstructed from one version).
+type AnalyticsTracker struct {
+	s      *Session
+	opt    AnalyticsOptions
+	cancel context.CancelFunc
+	done   chan struct{}
+
+	mu        sync.Mutex
+	st        *analytics.State
+	summary   *analytics.Summary // cached; invalidated on every fold
+	contentID string             // snapshot ContentID at st's version
+	subs      map[int]chan analytics.VersionDelta
+	nextSub   int
+	closed    bool
+}
+
+// NewAnalyticsTracker starts incremental analytics over a session. The
+// returned tracker owns a background goroutine; Close it before (or
+// after) closing the session.
+func NewAnalyticsTracker(s *Session, opt AnalyticsOptions) *AnalyticsTracker {
+	if opt.WatchBuffer <= 0 {
+		opt.WatchBuffer = 256
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	t := &AnalyticsTracker{
+		s:      s,
+		opt:    opt,
+		cancel: cancel,
+		done:   make(chan struct{}),
+		subs:   make(map[int]chan analytics.VersionDelta),
+	}
+	// Subscribe before seeding: every version published after the seed
+	// snapshot is either <= the seed (skipped) or arrives on ch — no gap.
+	ch := s.WatchDeltas(ctx)
+	snap := s.Snapshot()
+	t.st = analytics.FromKB(snap.KB(), snap.Version(), opt.GrowthLimit)
+	t.contentID = cacheKeyOf(snap)
+	go t.run(ctx, ch)
+	return t
+}
+
+// cacheKeyOf derives the analytics cache key for one snapshot: its
+// ContentID when the tree's segments carry cache identities (a
+// server-backed session), else a version-scoped fallback — unique within
+// this session's lifetime, which is all an in-process cache needs.
+func cacheKeyOf(snap *Snapshot) string {
+	if id := snap.ContentID(); id != "" {
+		return id
+	}
+	return fmt.Sprintf("\x00v%d", snap.Version())
+}
+
+func (t *AnalyticsTracker) count(name string, d int64) {
+	if t.opt.Counters != nil {
+		t.opt.Counters.Add(name, d)
+	}
+}
+
+// run is the tracker's fold loop: drain the delta stream, and on a lag
+// drop resubscribe and resync. Exits when the context is cancelled or
+// the session closes.
+func (t *AnalyticsTracker) run(ctx context.Context, ch <-chan DeltaEvent) {
+	defer close(t.done)
+	for {
+		for ev := range ch {
+			t.fold(&ev)
+		}
+		// Channel closed: session shutdown, tracker Close, or a lag drop.
+		if ctx.Err() != nil || t.s.isClosed() {
+			return
+		}
+		t.count(CounterAnalyticsDrops, 1)
+		ch = t.s.WatchDeltas(ctx)
+		t.count(CounterAnalyticsResyncs, 1)
+		t.resync(t.s.Snapshot())
+	}
+}
+
+// fold applies one published version. Stale events are skipped (they
+// precede a resync); gaps and divergence trigger a resync from the
+// event's own snapshot.
+func (t *AnalyticsTracker) fold(ev *DeltaEvent) {
+	t.mu.Lock()
+	if ev.Version <= t.st.Version() {
+		t.mu.Unlock()
+		return
+	}
+	if ev.Version == t.st.Version()+1 {
+		vd, err := t.st.Apply(ev.Version, &ev.Delta)
+		if err == nil {
+			t.summary = nil
+			t.contentID = cacheKeyOf(ev.Snap)
+			t.notifyLocked(vd)
+			t.mu.Unlock()
+			t.count(CounterAnalyticsApplied, 1)
+			return
+		}
+	}
+	t.mu.Unlock()
+	t.count(CounterAnalyticsResyncs, 1)
+	t.resync(ev.Snap)
+}
+
+// resync rebuilds the state by full recompute over a snapshot — the
+// recovery path, and the reference the property test holds folding to.
+// The recompute runs off the tracker lock (it materializes the KB).
+func (t *AnalyticsTracker) resync(snap *Snapshot) {
+	st := analytics.FromKB(snap.KB(), snap.Version(), t.opt.GrowthLimit)
+	id := cacheKeyOf(snap)
+	t.mu.Lock()
+	if snap.Version() >= t.st.Version() {
+		t.st = st
+		t.summary = nil
+		t.contentID = id
+	}
+	t.mu.Unlock()
+}
+
+// notifyLocked fans one analytic delta out to subscribers, dropping any
+// that lag a full buffer behind. Callers hold t.mu.
+func (t *AnalyticsTracker) notifyLocked(vd analytics.VersionDelta) {
+	for id, ch := range t.subs {
+		select {
+		case ch <- vd:
+		default:
+			delete(t.subs, id)
+			close(ch)
+		}
+	}
+}
+
+// Version returns the session version the tracker has folded up to.
+func (t *AnalyticsTracker) Version() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.st.Version()
+}
+
+// Summary returns the aggregate view of the tracker's current version,
+// the snapshot ContentID it corresponds to, and whether the summary was
+// served from the per-version cache (false means this call computed and
+// cached it). The ContentID keys HTTP caching: two requests seeing the
+// same ID received byte-identical analytics.
+func (t *AnalyticsTracker) Summary() (sum *analytics.Summary, contentID string, cached bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.summary != nil {
+		return t.summary, t.contentID, true
+	}
+	t.summary = t.st.Summary()
+	return t.summary, t.contentID, false
+}
+
+// Growth returns the retained per-version analytic deltas, oldest first.
+func (t *AnalyticsTracker) Growth() []analytics.VersionDelta {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.st.Growth()
+}
+
+// WatchAnalytics subscribes to per-version analytic deltas as they fold
+// — the live tail of /analytics?follow=. The channel closes when ctx is
+// cancelled, the tracker closes, or the subscriber lags a full buffer
+// behind.
+func (t *AnalyticsTracker) WatchAnalytics(ctx context.Context) <-chan analytics.VersionDelta {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	ch := make(chan analytics.VersionDelta, t.opt.WatchBuffer)
+	if t.closed {
+		close(ch)
+		return ch
+	}
+	id := t.nextSub
+	t.nextSub++
+	t.subs[id] = ch
+	context.AfterFunc(ctx, func() {
+		t.mu.Lock()
+		defer t.mu.Unlock()
+		if c, ok := t.subs[id]; ok {
+			delete(t.subs, id)
+			close(c)
+		}
+	})
+	return ch
+}
+
+// Close stops the tracker: the fold loop exits, subscriber channels
+// close, and the final state remains readable (Summary/Growth/Version
+// keep answering). Idempotent.
+func (t *AnalyticsTracker) Close() {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		<-t.done
+		return
+	}
+	t.closed = true
+	for id, ch := range t.subs {
+		delete(t.subs, id)
+		close(ch)
+	}
+	t.mu.Unlock()
+	t.cancel()
+	<-t.done
+}

@@ -81,6 +81,7 @@ func (s *Session) notifyDeltasLocked(v uint64, delta store.Delta) {
 			// Same lagging-consumer contract as plain watchers: a stalled
 			// replication stream is dropped rather than blocking ingestion;
 			// it resumes by reconnecting from its last verified version.
+			s.count(CounterDeltaWatchDrops, 1)
 			s.removeDeltaWatcherLocked(id)
 		}
 	}

@@ -107,6 +107,7 @@ pwatchers:
 			case w.ch <- PatternEvent{Version: v, Row: row}:
 			default:
 				// Same lagging-consumer contract as plain watchers.
+				s.count(CounterPatternWatchDrops, 1)
 				s.removePatternWatcherLocked(id)
 				continue pwatchers
 			}
