@@ -205,6 +205,12 @@ func main() {
 	}
 	defer session.Close()
 
+	// Roll cached pattern answers forward through each published delta so
+	// standing queries stay warm across ingests (recompute-on-miss past
+	// the maintenance budgets; see internal/serve/serve_maintain.go).
+	stopPatternMaint := server.MaintainPatterns(context.Background(), session)
+	defer stopPatternMaint()
+
 	// Background maintenance: a snapshot-isolated scheduler compacts the
 	// session's deferred runs (adopted only after a fingerprint-identity
 	// check, and only if the version was not superseded mid-job) and

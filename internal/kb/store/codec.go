@@ -21,6 +21,14 @@
 // Strings that recur across segments (relations, entity IDs, types,
 // provenance doc IDs) are interned on decode, so reloaded segments share
 // string storage with live ones.
+//
+// Format version 2 appends the POS secondary index to the body as
+// (fact index, object ordinal) pairs in POS-key order: the keys
+// themselves rebuild deterministically from the decoded facts
+// (appendPOSKey), so no key bytes are stored and no re-sort happens on
+// decode. Version-1 blobs (no POS section) still decode — their POS
+// index rebuilds lazily on the segment's first POS access — so warm
+// restarts over pre-index stores stay compatible.
 package store
 
 import (
@@ -37,8 +45,12 @@ import (
 // segMagic opens every encoded segment blob.
 var segMagic = [4]byte{'q', 's', 'e', 'g'}
 
-// segFormatVersion is the current blob format.
-const segFormatVersion = 1
+// segFormatVersion is the current blob format; segFormatV1 (no POS
+// section) remains decodable.
+const (
+	segFormatVersion = 2
+	segFormatV1      = 1
+)
 
 // segFixedHeaderLen is the byte length of the fixed prefix before the
 // variable header: magic(4) + version(1) + headerLen(4) + headerSum(8) +
@@ -72,6 +84,13 @@ type SegmentInfo struct {
 // EncodeSegment serializes the segment (including its resident payload)
 // into a standalone checksummed blob.
 func EncodeSegment(s *Segment) []byte {
+	return encodeSegmentAt(s, segFormatVersion)
+}
+
+// encodeSegmentAt writes the blob at a specific format version — v1
+// omits the POS section. Kept for compatibility tests; production
+// writes always use the current version.
+func encodeSegmentAt(s *Segment, version byte) []byte {
 	d := s.payload()
 
 	// Header.
@@ -129,11 +148,21 @@ func EncodeSegment(s *Segment) []byte {
 			body = append(body, 0)
 		}
 	}
+	if version != segFormatV1 {
+		// POS index (format v2): (fact index, object ordinal) pairs in
+		// POS-key order. Keys rebuild from the facts on decode.
+		_, pf, po := d.posIndex()
+		body = appendUvarint(body, uint64(len(pf)))
+		for i := range pf {
+			body = appendUvarint(body, uint64(pf[i]))
+			body = appendUvarint(body, uint64(po[i]))
+		}
+	}
 	h = appendUvarint(h, uint64(len(body)))
 
 	out := make([]byte, 0, segFixedHeaderLen+len(h)+len(body))
 	out = append(out, segMagic[:]...)
-	out = append(out, segFormatVersion)
+	out = append(out, version)
 	out = binary.LittleEndian.AppendUint32(out, uint32(len(h)))
 	out = binary.LittleEndian.AppendUint64(out, fnvSum(h))
 	out = binary.LittleEndian.AppendUint64(out, fnvSum(body))
@@ -152,7 +181,7 @@ func DecodeSegmentInfo(blob []byte) (SegmentInfo, error) {
 	if [4]byte(blob[:4]) != segMagic {
 		return SegmentInfo{}, errors.New("store: not a segment blob (bad magic)")
 	}
-	if blob[4] != segFormatVersion {
+	if blob[4] != segFormatVersion && blob[4] != segFormatV1 {
 		return SegmentInfo{}, fmt.Errorf("store: unsupported segment blob format %d", blob[4])
 	}
 	hlen := int(binary.LittleEndian.Uint32(blob[5:9]))
@@ -288,6 +317,32 @@ func DecodeSegment(blob []byte) (*Segment, error) {
 		}
 		e.Emerging = em[0] == 1
 		d.ents = append(d.ents, e)
+	}
+	if blob[4] != segFormatV1 {
+		// POS index: rebuild each entry's key from its fact — the stored
+		// (fact, ordinal) pairs are already in POS-key order.
+		np := int(r.uvarint())
+		if r.err != nil || np > len(body) {
+			return nil, fmt.Errorf("store: segment blob POS index: %w", errors.Join(r.err, ErrShortBlob))
+		}
+		pk := make([]string, np)
+		pf := make([]int32, np)
+		po := make([]int32, np)
+		var buf []byte
+		for i := 0; i < np; i++ {
+			fi, ord := r.uvarint(), r.uvarint()
+			if r.err != nil {
+				return nil, fmt.Errorf("store: segment blob POS index: %w", r.err)
+			}
+			if fi >= uint64(n) || ord > uint64(len(d.facts[fi].Objects)) {
+				return nil, errors.New("store: segment blob POS index out of range")
+			}
+			buf = appendPOSKey(buf[:0], &d.facts[fi], d.keys[fi], int32(ord))
+			pk[i] = string(buf)
+			pf[i] = int32(fi)
+			po[i] = int32(ord)
+		}
+		d.posKeys, d.posFact, d.posOrd = pk, pf, po
 	}
 	if len(r.buf) != r.pos {
 		return nil, errors.New("store: segment blob has trailing bytes")

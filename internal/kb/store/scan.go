@@ -4,11 +4,15 @@
 // subject's value key, then the lowered relation, then the object value
 // keys — so any query that binds a key prefix (a subject, or a subject
 // plus relation) resolves to one binary-searched contiguous range per
-// run. A TreeCursor merges those per-run ranges k-way in key order and
-// resolves cross-run duplicates to the exact record the materialized KB
-// would hold, which is what lets the query engine (internal/query)
-// stream pattern matches straight off the runs with no Materialize() on
-// the path.
+// run. A second sorted index in POS order (relation, then object value
+// key, then the full dedup key — see appendPOSKey) gives clauses with an
+// unbound subject the same contiguous-range treatment: a bound predicate
+// (optionally narrowed by a bound object) pins one POS range per run
+// instead of scanning the world. A TreeCursor merges per-run ranges of
+// either index k-way in key order and resolves cross-run duplicates to
+// the exact record the materialized KB would hold, which is what lets
+// the query engine (internal/query) stream pattern matches straight off
+// the runs with no Materialize() on the path.
 package store
 
 import (
@@ -50,12 +54,30 @@ func (d *segData) prefixRange(prefix string) (lo, hi int) {
 	return lo, hi
 }
 
-// SegmentCursor streams one segment's facts in dedup-key order over a
-// key-prefix range. Returned fact pointers alias the segment's immutable
+// POSPrefix assembles a POS-index scan prefix from an already-lowered
+// relation key (RelKey) and an optional object value key (ValueKey; ""
+// selects the whole relation). The "|" terminators pin the relation —
+// and, when given, the object value — exactly, the way the dedup-key
+// prefixes ValueKey/RelKey callers assemble pin a subject.
+func POSPrefix(relKey, objKey string) string {
+	if objKey == "" {
+		return relKey + "|"
+	}
+	return relKey + "|" + objKey + "|"
+}
+
+// SegmentCursor streams one segment's facts in index-key order over a
+// key-prefix range of either sorted index (EAVT via ScanPrefix, POS via
+// ScanPOSPrefix). Returned fact pointers alias the segment's immutable
 // storage — read-only, like Segment.Lookup. The cursor pins the payload
 // it was opened over, so a concurrent demotion never invalidates it.
 type SegmentCursor struct {
-	data     *segData
+	data *segData
+	// fi maps cursor positions to fact indices; ks, when non-nil, holds
+	// the index key per position (the positional POS index). A nil ks
+	// means keys come from the primary index (data.keys[fi[pos]]).
+	ks       []string
+	fi       []int32
 	pos, end int
 }
 
@@ -64,7 +86,32 @@ type SegmentCursor struct {
 func (s *Segment) ScanPrefix(prefix string) *SegmentCursor {
 	d := s.payload()
 	lo, hi := d.prefixRange(prefix)
-	return &SegmentCursor{data: d, pos: lo, end: hi}
+	return &SegmentCursor{data: d, fi: d.sorted, pos: lo, end: hi}
+}
+
+// ScanPOSPrefix returns a cursor over the segment's POS index entries
+// whose key starts with prefix, in POS-key order. A fact yields once per
+// distinct object value matching the prefix (facts without objects carry
+// a single zero-object entry), so a relation-wide scan may yield one
+// fact several times under distinct keys.
+func (s *Segment) ScanPOSPrefix(prefix string) *SegmentCursor {
+	d := s.payload()
+	ks, fi, lo, hi := d.posRange(prefix)
+	return &SegmentCursor{data: d, ks: ks, fi: fi, pos: lo, end: hi}
+}
+
+// posRange binary-searches the POS index for the half-open positional
+// range of entries whose key starts with prefix, building the index
+// first when the payload predates it.
+func (d *segData) posRange(prefix string) (ks []string, fi []int32, lo, hi int) {
+	ks, fi, _ = d.posIndex()
+	lo = sort.Search(len(ks), func(i int) bool { return ks[i] >= prefix })
+	if end := prefixEnd(prefix); end != "" {
+		hi = lo + sort.Search(len(ks)-lo, func(i int) bool { return ks[lo+i] >= end })
+	} else {
+		hi = len(ks)
+	}
+	return ks, fi, lo, hi
 }
 
 // Remaining returns how many facts the cursor has left to yield.
@@ -76,9 +123,14 @@ func (c *SegmentCursor) Next() (key string, f *Fact, ok bool) {
 	if c.pos >= c.end {
 		return "", nil, false
 	}
-	i := c.data.sorted[c.pos]
+	i := c.fi[c.pos]
+	if c.ks != nil {
+		key = c.ks[c.pos]
+	} else {
+		key = c.data.keys[i]
+	}
 	c.pos++
-	return c.data.keys[i], &c.data.facts[i], true
+	return key, &c.data.facts[i], true
 }
 
 // EstimatePrefix returns the number of facts across the tree's runs whose
@@ -90,6 +142,19 @@ func (t *Tree) EstimatePrefix(prefix string) int {
 	n := 0
 	for _, r := range t.runs {
 		lo, hi := r.seg.payload().prefixRange(prefix)
+		n += hi - lo
+	}
+	return n
+}
+
+// EstimatePOSPrefix is EstimatePrefix over the POS index: the exact
+// per-run count of POS entries (facts × matching object values) under
+// the prefix, summed across runs. The planner compares it against the
+// EAVT estimate to cost the two access paths per clause.
+func (t *Tree) EstimatePOSPrefix(prefix string) int {
+	n := 0
+	for _, r := range t.runs {
+		_, _, lo, hi := r.seg.payload().posRange(prefix)
 		n += hi - lo
 	}
 	return n
@@ -118,6 +183,21 @@ type TreeCursor struct {
 // order. The k-way merge walks the O(log W) runs' binary-searched ranges
 // directly — no materialization, no map building.
 func (t *Tree) ScanPrefix(prefix string) *TreeCursor {
+	return t.mergedScan(func(s *Segment) *SegmentCursor { return s.ScanPrefix(prefix) })
+}
+
+// ScanPOSPrefix returns a merged cursor over the tree's POS index under
+// a POS-key prefix (see POSPrefix), with the same cross-run winner
+// folding as ScanPrefix: equal POS keys embed equal dedup keys, so
+// duplicates across runs fold to exactly the record the materialized KB
+// holds. A fact with several matching object values yields once per
+// value, under distinct keys.
+func (t *Tree) ScanPOSPrefix(prefix string) *TreeCursor {
+	return t.mergedScan(func(s *Segment) *SegmentCursor { return s.ScanPOSPrefix(prefix) })
+}
+
+// mergedScan opens one per-run cursor via open and wires the k-way merge.
+func (t *Tree) mergedScan(open func(*Segment) *SegmentCursor) *TreeCursor {
 	c := &TreeCursor{
 		runs:  make([]*SegmentCursor, len(t.runs)),
 		keys:  make([]string, len(t.runs)),
@@ -125,7 +205,7 @@ func (t *Tree) ScanPrefix(prefix string) *TreeCursor {
 		valid: make([]bool, len(t.runs)),
 	}
 	for i, r := range t.runs {
-		c.runs[i] = r.seg.ScanPrefix(prefix)
+		c.runs[i] = open(r.seg)
 		c.advance(i)
 	}
 	return c

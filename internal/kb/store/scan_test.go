@@ -249,3 +249,145 @@ func TestTreeContentID(t *testing.T) {
 		t.Fatal("anonymous segment in a later run must poison the identity")
 	}
 }
+
+// posEntriesOf derives the reference POS index of a materialized KB:
+// one entry per (fact, distinct object value), keyed
+// relation|objKey|dedupKey, plus a single zero-object entry for
+// object-less facts.
+func posEntriesOf(kb *KB) map[string]*Fact {
+	out := map[string]*Fact{}
+	for k, i := range kb.byKey {
+		f := &kb.facts[i]
+		rel := RelKey(f.Relation)
+		if len(f.Objects) == 0 {
+			out[rel+"||"+k] = f
+			continue
+		}
+		for _, o := range f.Objects {
+			out[rel+"|"+ValueKey(o)+"|"+k] = f
+		}
+	}
+	return out
+}
+
+// TestTreeScanPOSPrefixMatchesEAVT: on randomized multi-run trees, the
+// POS index yields exactly the entries the materialized KB implies —
+// per relation prefix and per (relation, object) prefix — with winner
+// fields identical to the EAVT scan's cross-run fold.
+func TestTreeScanPOSPrefixMatchesEAVT(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		rng := rand.New(rand.NewSource(900 + seed))
+		fx := &treeFixture{tree: NewTree(nil)}
+		for step := 0; step < 25; step++ {
+			if len(fx.shards) == 0 || rng.Intn(3) > 0 {
+				fx.push(rng)
+			} else {
+				fx.remove(rng.Intn(len(fx.shards)))
+			}
+			kb := fx.tree.Materialize()
+			ref := posEntriesOf(kb)
+			prefixes := map[string]bool{"": true}
+			for i := range kb.facts {
+				f := &kb.facts[i]
+				prefixes[POSPrefix(RelKey(f.Relation), "")] = true
+				for _, o := range f.Objects {
+					prefixes[POSPrefix(RelKey(f.Relation), ValueKey(o))] = true
+				}
+			}
+			for prefix := range prefixes {
+				label := fmt.Sprintf("seed %d step %d pos prefix %q", seed, step, prefix)
+				keys, facts := collectTree(t, fx.tree.ScanPOSPrefix(prefix), label)
+				var want []string
+				for k := range ref {
+					if strings.HasPrefix(k, prefix) {
+						want = append(want, k)
+					}
+				}
+				sort.Strings(want)
+				if len(keys) != len(want) {
+					t.Fatalf("%s: scanned %d entries, want %d", label, len(keys), len(want))
+				}
+				for i, k := range keys {
+					if k != want[i] {
+						t.Fatalf("%s: entry %d = %q, want %q", label, i, k, want[i])
+					}
+					w, g := ref[k], &facts[i]
+					if g.Confidence != w.Confidence || g.Source != w.Source || g.Pattern != w.Pattern {
+						t.Fatalf("%s: winner for %q = %+v, materialized %+v", label, k, g, w)
+					}
+					if g.Relation != w.Relation || g.String() != w.String() {
+						t.Fatalf("%s: spelling for %q = %s, materialized %s", label, k, g.String(), w.String())
+					}
+				}
+				if est := fx.tree.EstimatePOSPrefix(prefix); est < len(want) {
+					t.Fatalf("%s: EstimatePOSPrefix = %d underestimates %d entries", label, est, len(want))
+				}
+			}
+		}
+	}
+}
+
+// TestScanPrefixIndexEdgeCases: prefixEnd's carry/overflow corners and
+// the scan behavior they induce — all-0xff prefixes (no upper bound: the
+// range runs to the end of the index), the empty prefix over an empty
+// tree, and a prefix exactly equal to a full key.
+func TestScanPrefixIndexEdgeCases(t *testing.T) {
+	for _, tc := range []struct{ prefix, want string }{
+		{"", ""},
+		{"a", "b"},
+		{"a\xff", "b"},
+		{"\xff", ""},
+		{"\xff\xff\xff", ""},
+		{"ab\xff\xff", "ac"},
+	} {
+		if got := prefixEnd(tc.prefix); got != tc.want {
+			t.Errorf("prefixEnd(%q) = %q, want %q", tc.prefix, got, tc.want)
+		}
+	}
+
+	empty := NewTree(nil)
+	if _, _, ok := empty.ScanPrefix("").Next(); ok {
+		t.Fatal("empty tree: ScanPrefix(\"\") yielded an entry")
+	}
+	if _, _, ok := empty.ScanPOSPrefix("").Next(); ok {
+		t.Fatal("empty tree: ScanPOSPrefix(\"\") yielded an entry")
+	}
+	if est := empty.EstimatePOSPrefix(""); est != 0 {
+		t.Fatalf("empty tree: EstimatePOSPrefix = %d, want 0", est)
+	}
+
+	rng := rand.New(rand.NewSource(31))
+	fx := &treeFixture{tree: NewTree(nil)}
+	for i := 0; i < 5; i++ {
+		fx.push(rng)
+	}
+	kb := fx.tree.Materialize()
+	byKey := materializedByKey(kb)
+
+	// An all-0xff prefix sorts above every real key: empty range, no panic.
+	keys, _ := collectTree(t, fx.tree.ScanPrefix("\xff\xff"), "all-0xff")
+	if len(keys) != 0 {
+		t.Fatalf("all-0xff prefix scanned %d keys, want 0", len(keys))
+	}
+
+	// A prefix equal to a full dedup key yields at least that key, first.
+	for k := range byKey {
+		keys, _ := collectTree(t, fx.tree.ScanPrefix(k), "full-key "+k)
+		if len(keys) == 0 || keys[0] != k {
+			t.Fatalf("ScanPrefix(full key %q) = %v, want leading exact match", k, keys)
+		}
+		break
+	}
+
+	// Same corners on the POS index.
+	if keys, _ := collectTree(t, fx.tree.ScanPOSPrefix("\xff\xff"), "pos all-0xff"); len(keys) != 0 {
+		t.Fatalf("POS all-0xff prefix scanned %d entries, want 0", len(keys))
+	}
+	for k := range posEntriesOf(kb) {
+		keys, _ := collectTree(t, fx.tree.ScanPOSPrefix(k), "pos full-key "+k)
+		if len(keys) == 0 || keys[0] != k {
+			t.Fatalf("ScanPOSPrefix(full key %q) = %v, want leading exact match", k, keys)
+		}
+		break
+	}
+}

@@ -27,6 +27,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"qkbfly/internal/intern"
 )
 
 // segData is a segment's resident payload. It is immutable once built
@@ -39,9 +41,110 @@ type segData struct {
 	// merging and the binary-search index for Lookup.
 	sorted []int32
 
+	// POS (predicate–object–subject) secondary index: one entry per
+	// (fact, distinct object value) — plus one per zero-object fact —
+	// sorted by POS key (see appendPOSKey). Built at seal/merge time for
+	// new segments and lazily (posOnce) for payloads decoded from blobs
+	// that predate the index. posKeys is positional (entry i's key, not a
+	// permutation); posFact maps entries to fact indices; posOrd records
+	// which object produced the entry (0 = the zero-object entry, k > 0 =
+	// Objects[k-1]) so the codec can rebuild keys deterministically.
+	posOnce sync.Once
+	posKeys []string
+	posFact []int32
+	posOrd  []int32
+
 	ents []EntityRecord // first-seen order; Mentions/Types owned
 
 	bytes int // approximate resident heap footprint
+}
+
+// appendPOSKey appends the POS index key of one (fact, object) entry:
+// the lowered relation, the object's value key (empty for the
+// zero-object entry), and the fact's full dedup key. Embedding the dedup
+// key makes entries unique within a segment, and — because relation and
+// object keys are case-normalized exactly like dedup keys — equal POS
+// keys across runs name the same fact, so TreeCursor's cross-run winner
+// folding works unchanged over either index.
+func appendPOSKey(buf []byte, f *Fact, dedupKey string, ord int32) []byte {
+	buf = intern.AppendLower(buf, f.Relation)
+	buf = append(buf, '|')
+	if ord > 0 {
+		buf = appendValueKey(buf, f.Objects[ord-1])
+	}
+	buf = append(buf, '|')
+	return append(buf, dedupKey...)
+}
+
+// buildPOS derives the POS index from the payload's facts and dedup
+// keys. Repeated object values within one fact collapse to a single
+// entry (the first ordinal wins), mirroring how the dedup key already
+// fixes the object sequence.
+func (d *segData) buildPOS() {
+	est := 0
+	for i := range d.facts {
+		if n := len(d.facts[i].Objects); n > 0 {
+			est += n
+		} else {
+			est++
+		}
+	}
+	keys := make([]string, 0, est)
+	fact := make([]int32, 0, est)
+	ord := make([]int32, 0, est)
+	var buf []byte
+	for i := range d.facts {
+		f := &d.facts[i]
+		if len(f.Objects) == 0 {
+			buf = appendPOSKey(buf[:0], f, d.keys[i], 0)
+			keys = append(keys, string(buf))
+			fact = append(fact, int32(i))
+			ord = append(ord, 0)
+			continue
+		}
+		start := len(keys)
+		for j := range f.Objects {
+			buf = appendPOSKey(buf[:0], f, d.keys[i], int32(j+1))
+			k := string(buf)
+			dup := false
+			for _, prev := range keys[start:] {
+				if prev == k {
+					dup = true
+					break
+				}
+			}
+			if dup {
+				continue
+			}
+			keys = append(keys, k)
+			fact = append(fact, int32(i))
+			ord = append(ord, int32(j+1))
+		}
+	}
+	perm := make([]int32, len(keys))
+	for i := range perm {
+		perm[i] = int32(i)
+	}
+	sort.Slice(perm, func(a, b int) bool { return keys[perm[a]] < keys[perm[b]] })
+	d.posKeys = make([]string, len(keys))
+	d.posFact = make([]int32, len(keys))
+	d.posOrd = make([]int32, len(keys))
+	for i, p := range perm {
+		d.posKeys[i] = keys[p]
+		d.posFact[i] = fact[p]
+		d.posOrd[i] = ord[p]
+	}
+}
+
+// posIndex returns the payload's POS index, building it on first use
+// when the payload was decoded from a blob that predates the index.
+func (d *segData) posIndex() (keys []string, fact, ord []int32) {
+	d.posOnce.Do(func() {
+		if d.posKeys == nil {
+			d.buildPOS()
+		}
+	})
+	return d.posKeys, d.posFact, d.posOrd
 }
 
 // segClock is a process-wide access tick used to order segments for LRU
@@ -194,6 +297,10 @@ func segDataBytes(d *segData) int {
 		n += 16 + len(k)
 	}
 	n += 4 * len(d.sorted)
+	for _, k := range d.posKeys {
+		n += 16 + len(k)
+	}
+	n += 8 * len(d.posFact) // posFact + posOrd
 	for i := range d.ents {
 		e := &d.ents[i]
 		n += 80 + len(e.ID) + len(e.Name)
@@ -241,6 +348,7 @@ func SealSegment(kb *KB, id string) *Segment {
 		d.sorted[i] = int32(i)
 	}
 	sort.Slice(d.sorted, func(a, b int) bool { return d.keys[d.sorted[a]] < d.keys[d.sorted[b]] })
+	d.buildPOS()
 	for _, eid := range kb.order {
 		e := kb.entities[eid]
 		ec := *e
@@ -388,6 +496,35 @@ func MergeSegments(a, b *Segment) *Segment {
 			merged = append(merged, bOut[novel[ni]])
 		}
 		out.sorted = merged
+	}
+
+	// POS index: a's entries keep their fact positions and key strings
+	// verbatim (winner upgrades never change a key); b's entries for
+	// duplicate facts drop — their POS keys are identical to the a-side
+	// fact's, relation and object keys being case-normalized — and novel
+	// entries remap through bOut. The two sorted lists merge linearly,
+	// sharing key storage with the inputs.
+	apk, apf, apo := ad.posIndex()
+	bpk, bpf, bpo := bd.posIndex()
+	out.posKeys = make([]string, 0, len(apk)+len(bpk))
+	out.posFact = make([]int32, 0, len(apk)+len(bpk))
+	out.posOrd = make([]int32, 0, len(apk)+len(bpk))
+	for pi, pj := 0, 0; pi < len(apk) || pj < len(bpk); {
+		if pj < len(bpk) && bOut[bpf[pj]] < int32(len(ad.facts)) {
+			pj++ // duplicate fact: a's identical entry already covers it
+			continue
+		}
+		if pj == len(bpk) || (pi < len(apk) && apk[pi] <= bpk[pj]) {
+			out.posKeys = append(out.posKeys, apk[pi])
+			out.posFact = append(out.posFact, apf[pi])
+			out.posOrd = append(out.posOrd, apo[pi])
+			pi++
+		} else {
+			out.posKeys = append(out.posKeys, bpk[pj])
+			out.posFact = append(out.posFact, bOut[bpf[pj]])
+			out.posOrd = append(out.posOrd, bpo[pj])
+			pj++
+		}
 	}
 
 	// Entities: a's records first (deep copies), b's unioned in with

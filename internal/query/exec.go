@@ -2,6 +2,7 @@ package query
 
 import (
 	"sort"
+	"sync/atomic"
 
 	"qkbfly/internal/kb/store"
 )
@@ -9,11 +10,25 @@ import (
 // The executor is a backtracking nested-loop join whose per-clause
 // input is a store.TreeCursor prefix scan: each step resolves whatever
 // terms the plan has bound so far into the longest usable dedup-key
-// prefix (subject, or subject+relation), binary-searches that range in
-// every run, and streams candidates with cross-run winner resolution
-// done by the cursor itself. Nothing is materialized: a query touches
-// only the key ranges its bound terms select, and rows are produced
-// incrementally, so limit-k queries stop after k distinct rows.
+// prefix (subject, or subject+relation) and the longest usable POS-key
+// prefix (relation, or relation+object), binary-searches both ranges in
+// every run, opens the narrower one, and streams candidates with
+// cross-run winner resolution done by the cursor itself. Nothing is
+// materialized: a query touches only the key ranges its bound terms
+// select, and rows are produced incrementally, so limit-k queries stop
+// after k distinct rows.
+
+// Process-wide access-path counters: posScans counts frames opened on
+// the POS index, fullScans frames that had no usable prefix on either
+// index and scanned every run end to end. The serving layer surfaces
+// them through /stats (index_pos_scans / index_full_scans) so index
+// selection is observable in production.
+var indexPOSScans, indexFullScans atomic.Int64
+
+// IndexCounters returns the cumulative access-path counters.
+func IndexCounters() (posScans, fullScans int64) {
+	return indexPOSScans.Load(), indexFullScans.Load()
+}
 
 // mode classifies how a step treats one term position, fixed at plan
 // time (resolved-ness is static per plan position).
@@ -236,6 +251,27 @@ func (r *Rows) newFrame(d int) *frame {
 		fr.objKey = store.ValueKey(st.c.Object.Value)
 	case st.objMode == modeBound && !st.objIntra:
 		fr.objKey = store.ValueKey(r.bind[st.objVar])
+	}
+	// Runtime access-path selection: a resolved predicate offers a second
+	// contiguous range on the POS index, narrowed further by a resolved
+	// object. Both prefixes are costed exactly (binary-searched range
+	// widths over the live runs) and the narrower index wins; admit
+	// re-verifies every resolved term, so either prefix over-approximating
+	// is safe. Ties keep the subject-first index.
+	if !fr.dead && (st.predMode == modeConst || (st.predMode == modeBound && !st.predIntra)) {
+		objKey := ""
+		if st.objMode == modeConst || (st.objMode == modeBound && !st.objIntra) {
+			objKey = fr.objKey
+		}
+		posPrefix := store.POSPrefix(fr.relKey, objKey)
+		if r.tree.EstimatePOSPrefix(posPrefix) < r.tree.EstimatePrefix(prefix) {
+			indexPOSScans.Add(1)
+			fr.cur = r.tree.ScanPOSPrefix(posPrefix)
+			return fr
+		}
+	}
+	if prefix == "" {
+		indexFullScans.Add(1)
 	}
 	fr.cur = r.tree.ScanPrefix(prefix)
 	return fr
@@ -598,4 +634,25 @@ func EvalDelta(t *store.Tree, p *Pattern, d store.Delta) []Row {
 		out = out[:p.Limit]
 	}
 	return out
+}
+
+// Verify re-checks one complete binding assignment against the current
+// tree: it reports whether bindings (which must cover every variable of
+// p) still form an answer row of p, and returns the row with its
+// supporting facts refreshed to the tree's current winners. This is the
+// row-level re-check cached answers go through when a delta removes or
+// upgrades a fact a row cited — the row may survive on alternate
+// support, so dropping it outright would under-answer.
+func Verify(t *store.Tree, p *Pattern, bindings map[string]store.Value) (Row, bool) {
+	if t == nil || p.validate() != nil {
+		return Row{}, false
+	}
+	seed := make(map[string]store.Value, len(bindings))
+	boundSet := make(map[string]bool, len(bindings))
+	for n, v := range bindings {
+		seed[n] = v
+		boundSet[n] = true
+	}
+	plan := planClauses(t, p.Clauses, boundSet)
+	return runSub(t, p.Clauses, plan.Order, p.Tau, 1, seed, nil).Next()
 }

@@ -6,12 +6,17 @@ import "qkbfly/internal/kb/store"
 // beat cost-based search on pattern queries: at each step pick the
 // not-yet-placed clause with the most resolved terms (constants plus
 // variables bound by already-placed clauses), breaking ties by the
-// cheapest index estimate — a binary-searched prefix range width on the
-// tree's sorted run indexes (store.Tree.EstimatePrefix), costing
-// O(runs·log n) per clause and no maintained statistics. A clause whose
-// subject resolves scans one contiguous key range per run; anything
-// else is a full scan, so the greedy order fronts the selective clauses
-// and every later clause runs with more of its terms bound.
+// cheapest index estimate — an exact binary-searched prefix range width
+// on the tree's sorted run indexes, costing O(runs·log n) per clause
+// and no maintained statistics. Each clause is costed over both access
+// paths: the subject-first EAVT index (store.Tree.EstimatePrefix over
+// the prefix a constant subject, plus optionally a constant predicate,
+// determines) and the POS index (store.Tree.EstimatePOSPrefix over the
+// prefix a constant predicate, plus optionally a constant object,
+// determines), taking the cheaper — so `?s P o` and `?s P ?o` clauses
+// cost their contiguous POS range instead of a full scan. Remaining
+// ties break on the clause's canonical string, so plans are stable
+// under clause permutation.
 
 // estBoundSubject is the stand-in range width for a clause whose
 // subject is a bound variable: the concrete value is unknown at plan
@@ -51,24 +56,34 @@ func planClauses(t *store.Tree, clauses []Clause, bound map[string]bool) *Plan {
 		return tm.Kind == TermConst || (tm.Kind == TermVar && bound[tm.Name])
 	}
 	estimate := func(c Clause) int {
+		est := full
 		switch {
 		case c.Subject.Kind == TermConst:
 			prefix := store.ValueKey(c.Subject.Value) + "|"
 			if c.Predicate.Kind == TermConst {
 				prefix += store.RelKey(c.Predicate.Value.Literal)
 			}
-			return t.EstimatePrefix(prefix)
+			est = t.EstimatePrefix(prefix)
 		case resolved(c.Subject):
-			return estBoundSubject
-		default:
-			return full
+			est = estBoundSubject
 		}
+		if c.Predicate.Kind == TermConst {
+			objKey := ""
+			if c.Object.Kind == TermConst {
+				objKey = store.ValueKey(c.Object.Value)
+			}
+			pos := t.EstimatePOSPrefix(store.POSPrefix(store.RelKey(c.Predicate.Value.Literal), objKey))
+			if pos < est {
+				est = pos
+			}
+		}
+		return est
 	}
 	n := len(clauses)
 	placed := make([]bool, n)
 	plan := &Plan{Order: make([]int, 0, n), Est: make([]int, 0, n)}
 	for len(plan.Order) < n {
-		best, bestScore, bestEst := -1, -1, 0
+		best, bestScore, bestEst, bestKey := -1, -1, 0, ""
 		for i, c := range clauses {
 			if placed[i] {
 				continue
@@ -79,9 +94,10 @@ func planClauses(t *store.Tree, clauses []Clause, bound map[string]bool) *Plan {
 					score++
 				}
 			}
-			est := estimate(c)
-			if best < 0 || score > bestScore || (score == bestScore && est < bestEst) {
-				best, bestScore, bestEst = i, score, est
+			est, key := estimate(c), clauseKey(c)
+			if best < 0 || score > bestScore ||
+				(score == bestScore && (est < bestEst || (est == bestEst && key < bestKey))) {
+				best, bestScore, bestEst, bestKey = i, score, est, key
 			}
 		}
 		placed[best] = true
@@ -94,4 +110,26 @@ func planClauses(t *store.Tree, clauses []Clause, bound map[string]bool) *Plan {
 		}
 	}
 	return plan
+}
+
+// clauseKey renders one clause canonically — index-normalized constants,
+// "?name" variables, "_" wildcards — the planner's final tie-break:
+// under equal resolved-term scores and equal range estimates the
+// lexicographically smallest clause plans first, so the plan does not
+// depend on the order clauses were written in.
+func clauseKey(c Clause) string {
+	term := func(tm Term, pred bool) string {
+		switch tm.Kind {
+		case TermWild:
+			return "_"
+		case TermConst:
+			if pred {
+				return store.RelKey(tm.Value.Literal)
+			}
+			return store.ValueKey(tm.Value)
+		default:
+			return "?" + tm.Name
+		}
+	}
+	return term(c.Subject, false) + " " + term(c.Predicate, true) + " " + term(c.Object, false)
 }

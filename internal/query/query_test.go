@@ -384,3 +384,156 @@ func TestPatternString(t *testing.T) {
 		t.Fatalf("String() not canonical-stable: %q vs %q", back.Canonical(), p.Canonical())
 	}
 }
+
+// TestPlanPOSIndexEstimate: a clause with unbound subject but constant
+// predicate+object is costed by its POS range, not the full scan, and
+// plans ahead of a wider clause over the same tree.
+func TestPlanPOSIndexEstimate(t *testing.T) {
+	kb := store.New()
+	for i := 0; i < 40; i++ {
+		kb.AddFact(store.Fact{
+			Subject: store.Value{EntityID: fmt.Sprintf("E%d", i)}, Relation: "common",
+			Objects: []store.Value{{Literal: fmt.Sprintf("lit%d", i)}}, Confidence: 0.9,
+			Source: store.Provenance{DocID: "d", SentIndex: i}})
+	}
+	kb.AddFact(store.Fact{
+		Subject: store.Value{EntityID: "E1"}, Relation: "rare",
+		Objects: []store.Value{{Literal: "needle"}}, Confidence: 0.9,
+		Source: store.Provenance{DocID: "d", SentIndex: 99}})
+	tree := store.NewTree(nil).Push(store.SealSegment(kb, "d"), 0)
+
+	p, err := Parse(`?x common ?y ; ?z rare needle`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := PlanQuery(tree, p)
+	if plan.Order[0] != 1 {
+		t.Fatalf("plan order = %v, want the rare POS-indexed clause first", plan.Order)
+	}
+	if plan.Est[0] != 1 {
+		t.Fatalf("rare-clause estimate = %d, want exactly 1 (POS range width)", plan.Est[0])
+	}
+	if plan.Est[1] <= 1 {
+		t.Fatalf("common-clause estimate = %d, want the wide relation range", plan.Est[1])
+	}
+}
+
+// TestPlanIndexTieBreakStable: clause permutations of the same pattern
+// plan to the same clause sequence even when scores and estimates tie —
+// the canonical-string tie-break makes plan shape a function of pattern
+// content, not author ordering.
+func TestPlanIndexTieBreakStable(t *testing.T) {
+	tree := store.NewTree(nil) // empty: every clause estimates equal
+	clauses := []Clause{
+		{Subject: Var("a"), Predicate: Literal("relC"), Object: Var("b")},
+		{Subject: Var("a"), Predicate: Literal("relA"), Object: Var("b")},
+		{Subject: Var("a"), Predicate: Literal("relB"), Object: Var("b")},
+	}
+	render := func(p *Plan, cs []Clause) []string {
+		out := make([]string, len(p.Order))
+		for i, ci := range p.Order {
+			out[i] = clauseKey(cs[ci])
+		}
+		return out
+	}
+	base := render(planClauses(tree, clauses, nil), clauses)
+	perms := [][]int{{0, 1, 2}, {0, 2, 1}, {1, 0, 2}, {1, 2, 0}, {2, 0, 1}, {2, 1, 0}}
+	for _, perm := range perms {
+		cs := make([]Clause, len(perm))
+		for i, j := range perm {
+			cs[i] = clauses[j]
+		}
+		got := render(planClauses(tree, cs, nil), cs)
+		if !reflect.DeepEqual(got, base) {
+			t.Fatalf("permutation %v planned %v, base order planned %v", perm, got, base)
+		}
+	}
+	if base[0] != clauseKey(clauses[1]) {
+		t.Fatalf("tie-break winner = %q, want lexicographically smallest clause %q",
+			base[0], clauseKey(clauses[1]))
+	}
+
+	// On a populated tree, randomized patterns must also plan
+	// permutation-independently.
+	rng := rand.New(rand.NewSource(41))
+	popTree := randTree(rng, 3)
+	for q := 0; q < 25; q++ {
+		p := randPattern(rng)
+		if len(p.Clauses) < 2 {
+			continue
+		}
+		want := render(planClauses(popTree, p.Clauses, nil), p.Clauses)
+		rev := make([]Clause, len(p.Clauses))
+		for i, c := range p.Clauses {
+			rev[len(rev)-1-i] = c
+		}
+		if got := render(planClauses(popTree, rev, nil), rev); !reflect.DeepEqual(got, want) {
+			t.Fatalf("pattern %q: reversed clauses planned %v, want %v", p.String(), got, want)
+		}
+	}
+}
+
+// TestExecPOSIndexSelection: a variable-subject clause with a constant
+// predicate executes off the POS index (the pos-scan counter moves) and
+// still answers exactly the reference rows.
+func TestExecPOSIndexSelection(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	tree := randTree(rng, 5)
+	kb := tree.Materialize()
+	p, err := Parse(`?x rel2 ?y`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos0, _ := IndexCounters()
+	rows, err := Run(tree, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := rowKeys(rows.Collect())
+	pos1, _ := IndexCounters()
+	if pos1 == pos0 {
+		t.Fatal("variable-subject constant-predicate clause did not use the POS index")
+	}
+	if want := rowKeys(ScanKB(kb, p)); !reflect.DeepEqual(got, want) {
+		t.Fatalf("POS-indexed answer differs:\nengine    %v\nreference %v", got, want)
+	}
+}
+
+// TestVerifyRowMaintainsSupport: Verify re-admits a row whose bindings
+// still hold (refreshing its evidence to current winners) and rejects a
+// binding assignment with no support.
+func TestVerifyRowMaintainsSupport(t *testing.T) {
+	rng := rand.New(rand.NewSource(67))
+	tree := randTree(rng, 4)
+	p, err := Parse(`?x rel1 ?y`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := Run(tree, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := rows.Collect()
+	if len(all) == 0 {
+		t.Skip("fixture produced no rows")
+	}
+	for _, r := range all {
+		vr, ok := Verify(tree, p, r.Bindings)
+		if !ok {
+			t.Fatalf("valid row %q failed verification", r.Key())
+		}
+		if vr.Key() != r.Key() {
+			t.Fatalf("verification rebound the row: %q vs %q", vr.Key(), r.Key())
+		}
+		for _, f := range vr.Facts {
+			if f.Confidence < p.Tau {
+				t.Fatalf("verified row %q cites sub-tau evidence", vr.Key())
+			}
+		}
+	}
+	if _, ok := Verify(tree, p, map[string]store.Value{
+		"x": {EntityID: "no-such-entity"}, "y": {Literal: "nope"},
+	}); ok {
+		t.Fatal("unsupported binding assignment verified")
+	}
+}

@@ -67,6 +67,13 @@ const (
 	CounterPatternHits   = "pattern_hits"
 	CounterPatternMisses = "pattern_misses"
 	CounterPatternJoins  = "pattern_joins"
+	// CounterPatternMaintained counts cached pattern answers rolled
+	// forward through a published delta (served warm across an ingest
+	// without recomputation); CounterPatternMaintainFallbacks counts
+	// entries that exceeded the maintenance work budget (or carry a row
+	// limit) and were dropped to recompute on next read instead.
+	CounterPatternMaintained        = "pattern_maintained"
+	CounterPatternMaintainFallbacks = "pattern_maintain_fallbacks"
 	// CounterEngineRuns counts invocations of the construction pipeline
 	// (a warm query performs zero); CounterEngineDocs the documents those
 	// runs processed.
@@ -164,7 +171,7 @@ type Server struct {
 	queries  *lruCache  // query key   -> *queryEntry
 	shards   *lruCache  // doc key     -> *store.Segment (sealed shard)
 	runs     *lruCache  // combined id -> *store.Segment (partial merge)
-	patterns *lruCache  // pattern key -> []query.Row (see serve_query.go)
+	patterns *lruCache  // cid+pattern key -> *patternEntry (see serve_query.go)
 	flight   *flightGroup[*Result]
 	pflight  *flightGroup[[]query.Row]
 
@@ -249,8 +256,13 @@ func (s *Server) Stats() Snapshot {
 	if ps != nil {
 		persist = ps()
 	}
+	counters := s.counters.Snapshot()
+	// Access-path selection is accounted process-wide by the query
+	// engine (per-frame, not per-server); fold it into the same map so
+	// /stats shows index usage next to the cache counters.
+	counters["index_pos_scans"], counters["index_full_scans"] = query.IndexCounters()
 	return Snapshot{
-		Counters:        s.counters.Snapshot(),
+		Counters:        counters,
 		Persist:         persist,
 		QueryEntries:    q,
 		QueryCapacity:   s.opt.Capacity,

@@ -14,13 +14,34 @@ import (
 // LRU result cache on that key plus a singleflight group, so repeated
 // standing dashboards and polling readers cost one evaluation per
 // version — and evaluating is itself cheap (prefix scans over the
-// snapshot's merge tree, no materialization).
+// snapshot's merge tree, no materialization). Entries are additionally
+// delta-maintained across versions (serve_maintain.go): cached answers
+// roll forward through each published delta instead of being lost to
+// the ContentID change, so under write traffic a standing query still
+// hits warm.
+
+// patternEntry is one cached pattern answer: the rows plus the pattern
+// they answer, kept so maintenance can re-evaluate without re-parsing.
+// Rows and pattern are shared across callers — read-only.
+type patternEntry struct {
+	pat   *query.Pattern
+	canon string // pat.Canonical(), computed once at insertion
+	rows  []query.Row
+}
+
+// patternKey keys the result cache: content identity first, so one
+// version's entries form a contiguous key-prefix group that maintenance
+// (and nothing else) enumerates with keysWithPrefix.
+func patternKey(cid, canonical string) string { return cid + "\x00" + canonical }
 
 // QueryPattern evaluates p against the snapshot, serving from the
 // pattern result cache when the same normalized pattern was already
-// answered for identical content. cached reports a cache hit or an
-// in-flight join. The returned rows are shared across callers and must
-// be treated read-only; they are in the engine's deterministic order.
+// answered for identical content — whether by an earlier evaluation or
+// by delta maintenance rolling an older answer forward. cached reports
+// a cache hit or an in-flight join. The returned rows are shared across
+// callers and must be treated read-only; a freshly evaluated answer is
+// in the engine's deterministic order, a maintained one is row-set
+// identical to recomputation but may order rows differently.
 //
 // Snapshots without a content identity (anonymous segments — e.g. a
 // session over a bare System) evaluate uncached.
@@ -36,16 +57,17 @@ func (s *Server) QueryPattern(ctx context.Context, snap *qkbfly.Snapshot, p *que
 		}
 		return rows.Collect(), false, nil
 	}
-	key := p.Canonical() + "\x00" + cid
-	if rows, ok := s.lookupPattern(key); ok {
+	canon := p.Canonical()
+	key := patternKey(cid, canon)
+	if e, ok := s.lookupPattern(key); ok {
 		s.counters.Add(CounterPatternHits, 1)
-		return rows, true, nil
+		return e.rows, true, nil
 	}
 	fr, joined, err := s.pflight.do(ctx, key, func() *flightResult[[]query.Row] {
 		// Double-check under the flight, like KB() does.
-		if rows, ok := s.lookupPattern(key); ok {
+		if e, ok := s.lookupPattern(key); ok {
 			s.counters.Add(CounterPatternHits, 1)
-			return &flightResult[[]query.Row]{res: rows, hit: true}
+			return &flightResult[[]query.Row]{res: e.rows, hit: true}
 		}
 		s.counters.Add(CounterPatternMisses, 1)
 		it, err := snap.Query(p)
@@ -53,7 +75,7 @@ func (s *Server) QueryPattern(ctx context.Context, snap *qkbfly.Snapshot, p *que
 			return &flightResult[[]query.Row]{err: err}
 		}
 		rows := it.Collect()
-		s.storePattern(key, rows)
+		s.storePattern(key, &patternEntry{pat: p, canon: canon, rows: rows})
 		return &flightResult[[]query.Row]{res: rows}
 	})
 	if err != nil {
@@ -65,10 +87,10 @@ func (s *Server) QueryPattern(ctx context.Context, snap *qkbfly.Snapshot, p *que
 	return fr.res, joined || fr.hit, fr.err
 }
 
-// lookupPattern returns the cached rows for key, lazily expiring them
-// under the server TTL. The nil result set is a valid cached value, so
+// lookupPattern returns the cached entry for key, lazily expiring it
+// under the server TTL. The nil row set is a valid cached value, so
 // presence is reported separately.
-func (s *Server) lookupPattern(key string) ([]query.Row, bool) {
+func (s *Server) lookupPattern(key string) (*patternEntry, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	v, added, ok := s.patterns.get(key)
@@ -79,11 +101,11 @@ func (s *Server) lookupPattern(key string) ([]query.Row, bool) {
 		s.patterns.remove(key)
 		return nil, false
 	}
-	return v.([]query.Row), true
+	return v.(*patternEntry), true
 }
 
-func (s *Server) storePattern(key string, rows []query.Row) {
+func (s *Server) storePattern(key string, e *patternEntry) {
 	s.mu.Lock()
-	s.patterns.put(key, rows, s.opt.Clock())
+	s.patterns.put(key, e, s.opt.Clock())
 	s.mu.Unlock()
 }
